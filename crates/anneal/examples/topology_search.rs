@@ -1,0 +1,89 @@
+//! End-to-end floorplanning: topology search by simulated annealing with
+//! the Wang-Wong area optimizer as the inner loop.
+//!
+//! ```sh
+//! cargo run --release -p fp-anneal --example topology_search
+//! ```
+//!
+//! The DAC'92 paper assumes the topology is given; this example supplies
+//! it with Wong-Liu annealing over normalized Polish expressions. It also
+//! measures an instructive negative result: on *slicing-only* topologies
+//! the implementation lists grow only linearly (Stockmeyer's bound), so
+//! `R_Selection` is pure overhead here — its dramatic wins (EXPERIMENTS.md
+//! Tables 1-4) come from wheel-rich hierarchies whose L-shaped blocks
+//! explode combinatorially. This is exactly the paper's own §5 advice:
+//! apply selection where (and only where) sets outgrow their value.
+
+use std::time::Instant;
+
+use fp_anneal::{anneal, AnnealConfig};
+use fp_optimizer::OptimizeConfig;
+use fp_tree::layout::realize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = fp_tree::spread_library(16, 40, 2026);
+    let total_module_area: u128 = library
+        .iter()
+        .map(|m| m.implementations().min_area_value().expect("non-empty"))
+        .sum();
+    println!("16 soft modules, 40 implementations each (sum of min areas: {total_module_area})");
+
+    for (name, optimizer) in [
+        // Slicing lists stay small, so the plain loop is the right choice;
+        // the selection-capped variant is shown for the comparison.
+        ("plain inner loop", OptimizeConfig::default()),
+        (
+            "R_Selection(K1=12) inner loop",
+            OptimizeConfig::default().with_r_selection(12),
+        ),
+    ] {
+        let cfg = AnnealConfig {
+            moves: 3_000,
+            seed: 7,
+            random_start: true,
+            optimizer,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let result = anneal(&library, &cfg);
+        let layout = realize(&result.tree, &library, &result.assignment)?;
+        assert_eq!(layout.validate(), None);
+        println!(
+            "\n{name}: {} -> {} ({:.1}% better than the random start) in {:?}",
+            result.initial_area,
+            result.best_area,
+            100.0 * (result.initial_area - result.best_area) as f64 / result.initial_area as f64,
+            t0.elapsed(),
+        );
+        println!(
+            "  dead space {:.1}%  accepted {}/{} moves  best expression: {}",
+            100.0 * layout.dead_space() as f64 / layout.area() as f64,
+            result.accepted,
+            result.proposed,
+            result.expression,
+        );
+    }
+    println!(
+        "\nlesson: slicing merges are linear, so the selection layer only\n\
+         pays off on wheel-rich floorplans (see EXPERIMENTS.md Tables 1-4)\n\
+         or under hard memory caps - the paper's own deployment advice."
+    );
+
+    // Post-search refinement: upgrade 5-leaf slicing subtrees to wheels
+    // where that strictly helps (the structure slicing cannot express).
+    let best = anneal(
+        &library,
+        &AnnealConfig {
+            moves: 3_000,
+            seed: 7,
+            random_start: true,
+            ..Default::default()
+        },
+    );
+    let refined = fp_anneal::wheel_rewrite(&best.tree, &library, &OptimizeConfig::default());
+    println!(
+        "\nwheel rewriting: {} -> {} ({} wheel(s) introduced)",
+        refined.initial_area, refined.area, refined.rewrites
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Slicing-floorplan **topology search** by simulated annealing.
+//!
+//! The DAC'92 paper optimizes module implementations *for a fixed
+//! topology*, and assumes the topology itself comes from an upstream tool
+//! (its §1 cites Otten, Lauther, et al.). This crate supplies that
+//! upstream stage in its classic form — Wong–Liu simulated annealing over
+//! **normalized Polish expressions** (DAC'86) — with the Wang–Wong area
+//! optimizer as the inner cost loop.
+//!
+//! The combination also showcases the paper's point from a different
+//! angle: an annealer calls the area optimizer thousands of times, so the
+//! selection algorithms' memory/time caps directly bound the whole
+//! search's cost (see the `anneal` Criterion bench).
+//!
+//! # Example
+//!
+//! ```
+//! use fp_anneal::{anneal, AnnealConfig};
+//! use fp_tree::generators;
+//!
+//! let library = fp_tree::spread_library(8, 3, 42);
+//! let result = anneal(&library, &AnnealConfig { moves: 300, seed: 7, ..Default::default() });
+//! assert_eq!(result.tree.module_count(), 8);
+//! assert!(result.best_area > 0);
+//! assert!(result.accepted <= 300);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod polish;
+mod rewrite;
+mod sa;
+
+pub use polish::{Element, PolishExpression};
+pub use rewrite::{wheel_rewrite, RewriteResult};
+pub use sa::{anneal, AnnealConfig, AnnealResult};

@@ -1,0 +1,50 @@
+//! Criterion bench for the topology-search application layer: annealing
+//! throughput with different inner-loop configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_anneal::{anneal, AnnealConfig, PolishExpression};
+use fp_optimizer::OptimizeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inner_loop(c: &mut Criterion) {
+    let library = fp_tree::spread_library(12, 20, 5);
+    let mut group = c.benchmark_group("anneal_inner_loop");
+    group.sample_size(10);
+    group.bench_function("plain_200_moves", |b| {
+        let cfg = AnnealConfig {
+            moves: 200,
+            seed: 3,
+            ..Default::default()
+        };
+        b.iter(|| anneal(&library, &cfg));
+    });
+    group.bench_function("r_selection_200_moves", |b| {
+        let cfg = AnnealConfig {
+            moves: 200,
+            seed: 3,
+            optimizer: OptimizeConfig::default().with_r_selection(10),
+            ..Default::default()
+        };
+        b.iter(|| anneal(&library, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polish_moves");
+    group.bench_function("random_move_n32", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut expr = PolishExpression::row(32);
+        b.iter(|| expr.random_move(&mut rng));
+    });
+    group.bench_function("to_tree_n32", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let expr = PolishExpression::random(32, &mut rng);
+        b.iter(|| expr.to_tree());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inner_loop, bench_moves);
+criterion_main!(benches);

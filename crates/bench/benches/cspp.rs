@@ -1,0 +1,66 @@
+//! Criterion benches for the constrained shortest path solver: the
+//! `O(k(|V| + |E|))` bound of Theorem 1, plus the Figure 4 micro-case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_cspp::{constrained_shortest_path, shortest_path, Dag};
+
+/// The Figure 4 graph.
+fn figure4() -> Dag<u64> {
+    let mut g = Dag::new(6);
+    for (u, v, w) in [
+        (0, 1, 1),
+        (1, 2, 2),
+        (2, 3, 2),
+        (3, 4, 2),
+        (4, 5, 1),
+        (0, 2, 6),
+        (1, 3, 6),
+        (3, 5, 4),
+        (1, 4, 13),
+    ] {
+        g.add_edge(u, v, w).expect("valid edge");
+    }
+    g
+}
+
+/// A complete DAG on `n` vertices (the shape `R_Selection` solves on).
+fn complete_dag(n: usize) -> Dag<u64> {
+    let mut g = Dag::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_edge(i, j, ((i * 7 + j * 13) % 97 + 1) as u64)
+                .expect("valid edge");
+        }
+    }
+    g
+}
+
+fn bench_cspp(c: &mut Criterion) {
+    c.bench_function("cspp_figure4_k4", |b| {
+        let g = figure4();
+        b.iter(|| constrained_shortest_path(&g, 0, 5, 4).expect("path exists"));
+    });
+
+    let mut group = c.benchmark_group("cspp_complete_dag");
+    for n in [32usize, 64, 128, 256] {
+        let g = complete_dag(n);
+        let k = n / 4;
+        group.bench_with_input(BenchmarkId::new("k_quarter_n", n), &n, |b, _| {
+            b.iter(|| constrained_shortest_path(&g, 0, n - 1, k).expect("path exists"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cspp_vs_unconstrained");
+    let g = complete_dag(128);
+    group.bench_function("constrained_k32", |b| {
+        b.iter(|| constrained_shortest_path(&g, 0, 127, 32).expect("path exists"));
+    });
+    group.bench_function("classical", |b| {
+        b.iter(|| shortest_path(&g, 0, 127).expect("path exists"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cspp);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for the selection algorithms themselves: Theorem 2's
+//! `O(k n²)` for `R_Selection`, Theorem 3's `O(n³)` for `L_Selection`, and
+//! the §5 heuristic reducer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_bench::ablation::{synthetic_llist, synthetic_rlist};
+use fp_select::greedy::greedy_r_selection;
+use fp_select::{heuristic_l_reduction, l_selection, r_selection, Metric};
+
+fn bench_r_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_selection");
+    for n in [50usize, 100, 200, 400] {
+        let list = synthetic_rlist(n);
+        let k = n / 4;
+        group.bench_with_input(BenchmarkId::new("optimal", n), &n, |b, _| {
+            b.iter(|| r_selection(&list, k).expect("selection"));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_r_selection(&list, k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_l_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l_selection");
+    group.sample_size(20);
+    for n in [30usize, 60, 120, 240] {
+        let list = synthetic_llist(n);
+        let k = n / 4;
+        group.bench_with_input(BenchmarkId::new("optimal", n), &n, |b, _| {
+            b.iter(|| l_selection(&list, k).expect("selection"));
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, _| {
+            b.iter(|| heuristic_l_reduction(&list, k, Metric::L1));
+        });
+        // The paper's two-phase trick: greedy to S = n/2, then optimal.
+        group.bench_with_input(BenchmarkId::new("prefilter_then_optimal", n), &n, |b, _| {
+            b.iter(|| {
+                let coarse = heuristic_l_reduction(&list, n / 2, Metric::L1);
+                let reduced = list.subset(&coarse);
+                l_selection(&reduced, k).expect("selection")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The O(n^2) / O(n^3) error-table builds of Compute_R_Error and
+/// Compute_L_Error — the dominant costs of Theorems 2 and 3.
+fn bench_error_tables(c: &mut Criterion) {
+    use fp_select::{LErrorTable, RErrorTable};
+    let mut group = c.benchmark_group("error_tables");
+    group.sample_size(20);
+    for n in [50usize, 100, 200] {
+        let rlist = synthetic_rlist(n);
+        group.bench_with_input(BenchmarkId::new("compute_r_error", n), &n, |b, _| {
+            b.iter(|| RErrorTable::new(&rlist));
+        });
+        let llist = synthetic_llist(n);
+        group.bench_with_input(BenchmarkId::new("compute_l_error", n), &n, |b, _| {
+            b.iter(|| LErrorTable::new_l1(&llist));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_r_selection,
+    bench_l_selection,
+    bench_error_tables
+);
+criterion_main!(benches);

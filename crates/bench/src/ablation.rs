@@ -1,0 +1,205 @@
+//! Quality ablations for the design decisions listed in `DESIGN.md` §6.
+//!
+//! Each ablation reports *solution quality* (selection error or realized
+//! floorplan area); the corresponding runtime comparisons live in the
+//! Criterion benches.
+
+use fp_geom::LShape;
+use fp_optimizer::{optimize, OptimizeConfig};
+use fp_select::greedy::{greedy_l_selection, greedy_r_selection};
+use fp_select::{
+    heuristic_l_reduction, l_selection, l_selection_error, r_selection, LReductionPolicy, Metric,
+};
+use fp_shape::{LList, RList};
+use fp_tree::generators::{self, module_library};
+
+/// Ablation 1: optimal (CSPP) vs greedy selection error on synthetic
+/// staircases. Returns `(k, optimal_error, greedy_error)` triples.
+#[must_use]
+pub fn greedy_vs_cspp_r(list: &RList, ks: &[usize]) -> Vec<(usize, u128, u128)> {
+    ks.iter()
+        .map(|&k| {
+            let opt = r_selection(list, k).expect("valid selection input");
+            let greedy = greedy_r_selection(list, k);
+            (k, opt.error, greedy.error)
+        })
+        .collect()
+}
+
+/// Ablation 1 (L variant): optimal vs greedy vs prefilter+optimal error.
+/// Returns `(k, optimal, prefiltered, greedy)`.
+#[must_use]
+pub fn greedy_vs_cspp_l(list: &LList, ks: &[usize], s: usize) -> Vec<(usize, u128, u128, u128)> {
+    ks.iter()
+        .map(|&k| {
+            let opt = l_selection(list, k).expect("valid selection input");
+            let coarse = heuristic_l_reduction(list, s, Metric::L1);
+            let inner = l_selection(&list.subset(&coarse), k).expect("valid");
+            let pre: Vec<usize> = inner.positions.iter().map(|&i| coarse[i]).collect();
+            let pre_err = l_selection_error(list, &pre);
+            let (_, greedy_err) = greedy_l_selection(list, k, Metric::L1);
+            (k, opt.error, pre_err, greedy_err)
+        })
+        .collect()
+}
+
+/// Ablation 2: the θ trigger. Returns `(theta, area, peak, reductions)`
+/// for a fixed benchmark/budget.
+#[must_use]
+pub fn theta_sweep(
+    n: usize,
+    seed: u64,
+    k2: usize,
+    thetas: &[f64],
+) -> Vec<(f64, u128, usize, usize)> {
+    let bench = generators::fp1();
+    let lib = module_library(&bench.tree, n, seed);
+    thetas
+        .iter()
+        .map(|&theta| {
+            let cfg = OptimizeConfig::default()
+                .with_l_selection(LReductionPolicy::new(k2).with_theta(theta));
+            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            (
+                theta,
+                out.area,
+                out.stats.peak_impls,
+                out.stats.l_reductions,
+            )
+        })
+        .collect()
+}
+
+/// Ablation 3: the heuristic prefilter `S`. Returns
+/// `(s_or_none, area, peak, cpu_ms)`.
+#[must_use]
+pub fn prefilter_sweep(
+    n: usize,
+    seed: u64,
+    k2: usize,
+    svals: &[Option<usize>],
+) -> Vec<(Option<usize>, u128, usize, f64)> {
+    let bench = generators::fp1();
+    let lib = module_library(&bench.tree, n, seed);
+    svals
+        .iter()
+        .map(|&s| {
+            let mut policy = LReductionPolicy::new(k2);
+            if let Some(s) = s {
+                policy = policy.with_prefilter(s);
+            }
+            let cfg = OptimizeConfig::default().with_l_selection(policy);
+            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            (
+                s,
+                out.area,
+                out.stats.peak_impls,
+                out.stats.elapsed.as_secs_f64() * 1e3,
+            )
+        })
+        .collect()
+}
+
+/// Ablation 4: the `L_p` metric (Lemma 2 footnote). Returns
+/// `(metric, area, peak)`.
+#[must_use]
+pub fn metric_sweep(n: usize, seed: u64, k2: usize) -> Vec<(Metric, u128, usize)> {
+    let bench = generators::fp1();
+    let lib = module_library(&bench.tree, n, seed);
+    [Metric::L1, Metric::L2, Metric::Linf]
+        .into_iter()
+        .map(|metric| {
+            let cfg = OptimizeConfig::default()
+                .with_l_selection(LReductionPolicy::new(k2).with_metric(metric));
+            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            (metric, out.area, out.stats.peak_impls)
+        })
+        .collect()
+}
+
+/// A synthetic irreducible R-list with `n` corners (deterministic).
+#[must_use]
+pub fn synthetic_rlist(n: usize) -> RList {
+    RList::from_candidates(
+        (0..n as u64)
+            .map(|i| {
+                fp_geom::Rect::new(4 * (n as u64 - i) + (i * i) % 3, 4 * (i + 1) + (2 * i) % 3)
+            })
+            .collect(),
+    )
+}
+
+/// A synthetic irreducible L-list with `n` implementations.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn synthetic_llist(n: usize) -> LList {
+    assert!(n > 0, "need at least one implementation");
+    LList::from_sorted(
+        (0..n as u64)
+            .map(|i| {
+                LShape::new_canonical(
+                    10 * n as u64 - 3 * i - (i * i) % 2,
+                    7,
+                    20 + 4 * i + (3 * i) % 3,
+                    9 + 2 * i,
+                )
+            })
+            .collect(),
+    )
+    .expect("constructed chain is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_lists_have_requested_sizes() {
+        for n in [2usize, 10, 100] {
+            assert_eq!(synthetic_rlist(n).len(), n);
+            assert_eq!(synthetic_llist(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal_r() {
+        let list = synthetic_rlist(40);
+        for (k, opt, greedy) in greedy_vs_cspp_r(&list, &[3, 8, 20]) {
+            assert!(opt <= greedy, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal_l() {
+        let list = synthetic_llist(40);
+        for (k, opt, pre, greedy) in greedy_vs_cspp_l(&list, &[3, 8, 20], 30) {
+            assert!(opt <= pre, "k = {k}: prefilter can only lose");
+            assert!(opt <= greedy, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn theta_one_reduces_most() {
+        let rows = theta_sweep(5, 3, 80, &[0.05, 1.0]);
+        assert!(
+            rows[0].3 <= rows[1].3,
+            "smaller theta fires fewer reductions"
+        );
+        assert!(
+            rows[0].1 <= rows[1].1,
+            "fewer reductions never hurt quality"
+        );
+    }
+
+    #[test]
+    fn metric_sweep_runs_all() {
+        let rows = metric_sweep(4, 5, 60);
+        assert_eq!(rows.len(), 3);
+        for (_, area, peak) in rows {
+            assert!(area > 0 && peak > 0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Regenerates the paper's evaluation tables (and the worked figures).
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin tables              # everything
+//! cargo run --release -p fp-bench --bin tables -- table1    # one table
+//! cargo run --release -p fp-bench --bin tables -- ablations
+//! ```
+//!
+//! Output mirrors the paper's layout: one row per (case, K) combination
+//! with `N`, `M`, CPU seconds, and the area-degradation percentage.
+//! Failed runs print `M > peak` and `-`, exactly like the paper's Tables
+//! 3–4. See `EXPERIMENTS.md` for the recorded outputs and the comparison
+//! against the paper's numbers.
+
+use fp_bench::{
+    ablation, fmt_cpu, fmt_m, fmt_pct, paper_cases, table4, table_r, LCase, RTableRow, Table4Row,
+    PAPER_MEMORY_CAP,
+};
+use fp_tree::generators;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--csv").collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    CSV_MODE.store(csv, std::sync::atomic::Ordering::Relaxed);
+
+    if want("fig4") {
+        figure4();
+    }
+    if want("fig8") {
+        figure8();
+    }
+    if want("table1") {
+        table_r_report("Table 1", &generators::fp1(), 16, 24);
+    }
+    if want("table2") {
+        table_r_report("Table 2", &generators::fp2(), 12, 20);
+    }
+    if want("table3") {
+        table_r_report("Table 3", &generators::fp3(), 16, 28);
+    }
+    if want("table4") {
+        table4_report();
+    }
+    if want("census") {
+        census();
+    }
+    if want("figures") {
+        figures();
+    }
+    if want("ablations") {
+        ablations();
+    }
+}
+
+/// The §5 observation behind `L_Selection`: "the number of implementations
+/// of an L-shaped block in general is much larger than that of a
+/// rectangular block". Measured per benchmark.
+fn census() {
+    use fp_optimizer::{optimize, OptimizeConfig};
+    use fp_tree::generators::module_library;
+    println!("== Census: largest block implementation counts (plain runs) ==");
+    println!(
+        "{:>6} {:>4} {:>12} {:>12} {:>8}",
+        "bench", "N", "max R-block", "max L-block", "ratio"
+    );
+    for (bench, n) in [
+        (generators::fp1(), 12usize),
+        (generators::fp2(), 10),
+        (generators::fp3(), 8),
+    ] {
+        let lib = module_library(&bench.tree, n, 7);
+        let out = optimize(&bench.tree, &lib, &OptimizeConfig::default())
+            .expect("plain run fits the default budget at these sizes");
+        let ratio = out.stats.max_l_block as f64 / out.stats.max_r_block.max(1) as f64;
+        println!(
+            "{:>6} {:>4} {:>12} {:>12} {:>8.1}",
+            bench.name, n, out.stats.max_r_block, out.stats.max_l_block, ratio
+        );
+    }
+    println!();
+}
+
+/// When set (`--csv`), the table reports print CSV instead of the
+/// paper-formatted columns.
+static CSV_MODE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn csv_mode() -> bool {
+    CSV_MODE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Figure 4: the worked CSPP example.
+fn figure4() {
+    use fp_cspp::{constrained_shortest_path, shortest_path, Dag};
+    println!("== Figure 4: constrained shortest path example ==");
+    let mut g: Dag<u64> = Dag::new(6);
+    for (u, v, w) in [
+        (0, 1, 1),
+        (1, 2, 2),
+        (2, 3, 2),
+        (3, 4, 2),
+        (4, 5, 1),
+        (0, 2, 6),
+        (1, 3, 6),
+        (3, 5, 4),
+        (1, 4, 13),
+    ] {
+        g.add_edge(u, v, w).expect("valid edge");
+    }
+    let free = shortest_path(&g, 0, 5).expect("path exists");
+    println!(
+        "  unconstrained: weight {} via {}",
+        free.weight,
+        fmt_path(&free.vertices)
+    );
+    for k in 2..=6 {
+        match constrained_shortest_path(&g, 0, 5, k) {
+            Ok(sol) => println!(
+                "  k = {k}: weight {:2} via {}",
+                sol.weight,
+                fmt_path(&sol.vertices)
+            ),
+            Err(_) => println!("  k = {k}: no such path"),
+        }
+    }
+    println!();
+}
+
+fn fmt_path(vertices: &[usize]) -> String {
+    vertices
+        .iter()
+        .map(|v| format!("v{}", v + 1))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Figure 8: the benchmark floorplans.
+fn figure8() {
+    println!("== Figure 8: test floorplans ==");
+    println!(
+        "{:>6} {:>9} {:>7} {:>9} {:>9}",
+        "bench", "modules", "depth", "wheels", "L-blocks"
+    );
+    for bench in generators::paper_benchmarks() {
+        let wheels = (0..bench.tree.len())
+            .filter(|&i| {
+                matches!(
+                    bench.tree.node(i).expect("node").kind,
+                    fp_tree::NodeKind::Wheel(_)
+                )
+            })
+            .count();
+        let bin = fp_tree::restructure::restructure(&bench.tree).expect("valid");
+        println!(
+            "{:>6} {:>9} {:>7} {:>9} {:>9}",
+            bench.name,
+            bench.tree.module_count(),
+            bench.tree.depth(),
+            wheels,
+            bin.lshape_count()
+        );
+    }
+    println!();
+}
+
+/// Tables 1–3: \[9\] vs \[9\] + R_Selection.
+fn table_r_report(title: &str, bench: &generators::Benchmark, n_small: usize, n_large: usize) {
+    println!(
+        "== {title}: {} ({} modules), cap {} implementations ==",
+        bench.name,
+        bench.tree.module_count(),
+        PAPER_MEMORY_CAP
+    );
+    println!(
+        "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10}",
+        "case", "N", "M", "CPU(s)", "K1", "M", "CPU(s)", "(A_R-A)/A"
+    );
+    let cases = paper_cases(n_small, n_large);
+    let rows = table_r(bench, &cases, PAPER_MEMORY_CAP);
+    if csv_mode() {
+        print!("{}", fp_bench::to_csv_r(&rows));
+        println!();
+        return;
+    }
+    let mut last_case = 0;
+    for row in &rows {
+        let RTableRow {
+            case_no,
+            n,
+            plain,
+            k1,
+            reduced,
+        } = row;
+        let (plain_m, plain_cpu) = if *case_no != last_case {
+            last_case = *case_no;
+            (fmt_m(plain), fmt_cpu(plain))
+        } else {
+            (String::new(), String::new())
+        };
+        println!(
+            "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10}",
+            case_no,
+            n,
+            plain_m,
+            plain_cpu,
+            k1,
+            fmt_m(reduced),
+            fmt_cpu(reduced),
+            fmt_pct(row.area_excess_pct()),
+        );
+    }
+    println!();
+}
+
+/// Table 4: FP4 with R_Selection alone vs R + L_Selection.
+fn table4_report() {
+    let bench = generators::fp4();
+    println!(
+        "== Table 4: {} ({} modules), cap {} implementations ==",
+        bench.name,
+        bench.tree.module_count(),
+        PAPER_MEMORY_CAP
+    );
+    println!(
+        "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14}",
+        "case", "N", "K1", "M(R)", "CPU(s)", "K2", "M(R+L)", "CPU(s)", "(A_RL-A_R)/A_R"
+    );
+    let cases = [
+        LCase {
+            case_no: 1,
+            n: 16,
+            seed: 201,
+            k1: 32,
+            k2s: [1000, 1500, 2000],
+        },
+        LCase {
+            case_no: 2,
+            n: 16,
+            seed: 202,
+            k1: 32,
+            k2s: [1000, 1500, 2000],
+        },
+        LCase {
+            case_no: 3,
+            n: 40,
+            seed: 203,
+            k1: 80,
+            k2s: [1000, 1500, 2000],
+        },
+        LCase {
+            case_no: 4,
+            n: 40,
+            seed: 204,
+            k1: 80,
+            k2s: [1000, 1500, 2000],
+        },
+    ];
+    let rows = table4(&bench, &cases, PAPER_MEMORY_CAP, 10_000);
+    if csv_mode() {
+        print!("{}", fp_bench::to_csv_4(&rows));
+        println!();
+        return;
+    }
+    let mut last_case = 0;
+    for row in &rows {
+        let Table4Row {
+            case_no,
+            n,
+            k1,
+            r_only,
+            k2,
+            r_and_l,
+        } = row;
+        let (rm, rcpu) = if *case_no != last_case {
+            last_case = *case_no;
+            (fmt_m(r_only), fmt_cpu(r_only))
+        } else {
+            (String::new(), String::new())
+        };
+        println!(
+            "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14}",
+            case_no,
+            n,
+            k1,
+            rm,
+            rcpu,
+            k2,
+            fmt_m(r_and_l),
+            fmt_cpu(r_and_l),
+            fmt_pct(row.area_excess_pct()),
+        );
+    }
+    println!();
+}
+
+/// Writes the harness's figure SVGs to `target/figures/`.
+fn figures() {
+    use fp_bench::chart::{Chart, Scale, Series};
+    use fp_optimizer::{optimize, OptimizeConfig};
+    use fp_select::curve::r_selection_curve;
+    use fp_tree::generators::module_library;
+
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+    let mut written = Vec::new();
+
+    // Figure A: the error-vs-k trade-off curve of R_Selection vs greedy.
+    let list = ablation::synthetic_rlist(60);
+    let optimal: Vec<(f64, f64)> = r_selection_curve(&list)
+        .into_iter()
+        .filter(|p| p.error > 0)
+        .map(|p| (p.k as f64, p.error as f64))
+        .collect();
+    let greedy: Vec<(f64, f64)> = (2..60)
+        .map(|k| {
+            let g = fp_select::greedy::greedy_r_selection(&list, k);
+            (k as f64, g.error as f64)
+        })
+        .filter(|&(_, e)| e > 0.0)
+        .collect();
+    let chart = Chart {
+        title: "R_Selection error vs subset size (n = 60)".into(),
+        x_label: "k (implementations kept)".into(),
+        y_label: "ERROR(R, R') [log]".into(),
+        y_scale: Scale::Log10,
+        series: vec![
+            Series::new("optimal (CSPP)", optimal),
+            Series::new("greedy", greedy),
+        ],
+    };
+    let path = dir.join("fig_error_vs_k.svg");
+    std::fs::write(&path, chart.to_svg()).expect("write figure");
+    written.push(path);
+
+    // Figure B: memory (M) and area excess vs K1 on FP1.
+    let bench = generators::fp1();
+    let lib = module_library(&bench.tree, 16, 101);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits");
+    let mut mem = Vec::new();
+    let mut excess = Vec::new();
+    for k1 in [8usize, 12, 16, 24, 32, 48] {
+        let cfg = OptimizeConfig::default().with_r_selection(k1);
+        let out = optimize(&bench.tree, &lib, &cfg).expect("fits");
+        mem.push((k1 as f64, out.stats.peak_impls as f64));
+        excess.push((
+            k1 as f64,
+            100.0 * (out.area as f64 - plain.area as f64) / plain.area as f64,
+        ));
+    }
+    let chart = Chart {
+        title: format!(
+            "FP1 N=16: memory vs K1 (plain M = {})",
+            plain.stats.peak_impls
+        ),
+        x_label: "K1".into(),
+        y_label: "peak implementations (M)".into(),
+        y_scale: Scale::Linear,
+        series: vec![Series::new("[9] + R_Selection", mem)],
+    };
+    let path = dir.join("fig_memory_vs_k1.svg");
+    std::fs::write(&path, chart.to_svg()).expect("write figure");
+    written.push(path);
+
+    let chart = Chart {
+        title: "FP1 N=16: area excess vs K1".into(),
+        x_label: "K1".into(),
+        y_label: "(A_R - A_OPT)/A_OPT [%]".into(),
+        y_scale: Scale::Linear,
+        series: vec![Series::new("[9] + R_Selection", excess)],
+    };
+    let path = dir.join("fig_area_vs_k1.svg");
+    std::fs::write(&path, chart.to_svg()).expect("write figure");
+    written.push(path);
+
+    println!("== Figures ==");
+    for p in written {
+        println!("  wrote {}", p.display());
+    }
+    println!();
+}
+
+/// The DESIGN.md §6 quality ablations.
+fn ablations() {
+    println!("== Ablation 1: optimal (CSPP) vs greedy selection error ==");
+    let rlist = ablation::synthetic_rlist(60);
+    println!(
+        "  R-lists (n = 60): {:>4} {:>12} {:>12} {:>8}",
+        "k", "optimal", "greedy", "ratio"
+    );
+    for (k, opt, greedy) in ablation::greedy_vs_cspp_r(&rlist, &[4, 8, 16, 32]) {
+        let ratio = if opt == 0 {
+            1.0
+        } else {
+            greedy as f64 / opt as f64
+        };
+        println!("  {:>18} {:>12} {:>12} {:>8.3}", k, opt, greedy, ratio);
+    }
+    let llist = ablation::synthetic_llist(60);
+    println!(
+        "  L-lists (n = 60): {:>4} {:>10} {:>13} {:>10}",
+        "k", "optimal", "prefilter+opt", "greedy"
+    );
+    for (k, opt, pre, greedy) in ablation::greedy_vs_cspp_l(&llist, &[4, 8, 16, 32], 40) {
+        println!("  {:>18} {:>10} {:>13} {:>10}", k, opt, pre, greedy);
+    }
+
+    println!("\n== Ablation 2: theta trigger (FP1, N = 8, K2 = 120) ==");
+    println!(
+        "  {:>6} {:>10} {:>8} {:>11}",
+        "theta", "area", "peak", "reductions"
+    );
+    for (theta, area, peak, reds) in ablation::theta_sweep(8, 7, 120, &[0.1, 0.25, 0.5, 0.75, 1.0])
+    {
+        println!("  {:>6.2} {:>10} {:>8} {:>11}", theta, area, peak, reds);
+    }
+
+    println!("\n== Ablation 3: heuristic prefilter S (FP1, N = 10, K2 = 150) ==");
+    println!(
+        "  {:>8} {:>10} {:>8} {:>10}",
+        "S", "area", "peak", "cpu(ms)"
+    );
+    for (s, area, peak, ms) in
+        ablation::prefilter_sweep(10, 7, 150, &[None, Some(5000), Some(1000), Some(400)])
+    {
+        let s_str = s.map_or("off".to_owned(), |v| v.to_string());
+        println!("  {:>8} {:>10} {:>8} {:>10.2}", s_str, area, peak, ms);
+    }
+
+    println!("\n== Ablation 4: L_p metric (FP1, N = 8, K2 = 120) ==");
+    println!("  {:>6} {:>10} {:>8}", "metric", "area", "peak");
+    for (metric, area, peak) in ablation::metric_sweep(8, 7, 120) {
+        println!("  {:>6} {:>10} {:>8}", metric.to_string(), area, peak);
+    }
+    println!();
+}

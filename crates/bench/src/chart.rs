@@ -1,0 +1,316 @@
+//! A minimal SVG line-chart writer for the harness's figure outputs.
+//!
+//! No plotting dependency is warranted for a handful of benchmark
+//! figures; this renders multi-series line charts with linear or log-10
+//! y-axes, tick labels, and a legend — enough to visualize selection
+//! trade-off curves and the tables' memory/quality sweeps.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from integer-ish points.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (all values must be positive).
+    Log10,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const COLORS: [&str; 6] = [
+    "#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d6a9f", "#555555",
+];
+
+impl Chart {
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no points, or if a log-scaled axis receives a
+    /// non-positive value.
+    #[must_use]
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "chart needs at least one point");
+        let ty = |y: f64| -> f64 {
+            match self.y_scale {
+                Scale::Linear => y,
+                Scale::Log10 => {
+                    assert!(y > 0.0, "log axis requires positive values, got {y}");
+                    y.log10()
+                }
+            }
+        };
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(ty(y));
+            y1 = y1.max(ty(y));
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (ty(y) - y0) / (y1 - y0) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"##
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="0" y="0" width="{WIDTH}" height="{HEIGHT}" fill="white"/>"##
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r##"<text x="{:.0}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            xml(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{:.0}" y="{:.0}" text-anchor="middle">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="16" y="{:.0}" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"##,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml(&self.y_label)
+        );
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#999"/>"##
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let sx = px(fx);
+            let _ = write!(
+                svg,
+                r##"<line x1="{sx:.1}" y1="{:.1}" x2="{sx:.1}" y2="{:.1}" stroke="#ccc"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{sx:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(fx)
+            );
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let sy = MARGIN_T + plot_h - (fy - y0) / (y1 - y0) * plot_h;
+            let label = match self.y_scale {
+                Scale::Linear => fmt_tick(fy),
+                Scale::Log10 => fmt_tick(10f64.powf(fy)),
+            };
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{sy:.1}" x2="{:.1}" y2="{sy:.1}" stroke="#ccc"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{sy:.1}" text-anchor="end" dominant-baseline="middle">{label}</text>"##,
+                MARGIN_L - 6.0
+            );
+        }
+        // Series.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            let path: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let _ = write!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+                path.join(" ")
+            );
+            for &(x, y) in &series.points {
+                let _ = write!(
+                    svg,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend.
+            let ly = MARGIN_T + 16.0 + si as f64 * 18.0;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"##,
+                lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" dominant-baseline="middle">{}</text>"##,
+                lx + 24.0,
+                ly,
+                xml(&series.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100_000.0 {
+        format!(
+            "{:.1}e{}",
+            v / 10f64.powi(v.abs().log10().floor() as i32),
+            v.abs().log10().floor()
+        )
+    } else if v.abs() >= 10.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_chart(scale: Scale) -> Chart {
+        Chart {
+            title: "demo".into(),
+            x_label: "k".into(),
+            y_label: "error".into(),
+            y_scale: scale,
+            series: vec![
+                Series::new("optimal", vec![(2.0, 100.0), (4.0, 40.0), (8.0, 10.0)]),
+                Series::new("greedy", vec![(2.0, 120.0), (4.0, 70.0), (8.0, 30.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_linear_chart() {
+        let svg = demo_chart(Scale::Linear).to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">optimal</text>"));
+        assert!(svg.contains(">greedy</text>"));
+    }
+
+    #[test]
+    fn renders_log_chart() {
+        let svg = demo_chart(Scale::Log10).to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log axis requires positive values")]
+    fn log_rejects_zero() {
+        let chart = Chart {
+            title: "bad".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_scale: Scale::Log10,
+            series: vec![Series::new("s", vec![(1.0, 0.0)])],
+        };
+        let _ = chart.to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_chart_rejected() {
+        let chart = Chart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_scale: Scale::Linear,
+            series: vec![],
+        };
+        let _ = chart.to_svg();
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let chart = Chart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_scale: Scale::Linear,
+            series: vec![Series::new("s", vec![(3.0, 5.0), (3.0, 5.0)])],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

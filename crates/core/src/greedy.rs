@@ -1,0 +1,164 @@
+//! Greedy selection baselines.
+//!
+//! These are *not* part of the paper's contribution — they are the obvious
+//! cheap alternatives to the CSPP-based optimal selection, implemented so
+//! the ablation benchmarks can quantify what optimality buys
+//! (`DESIGN.md` §6, ablation 1).
+
+use fp_geom::{Area, Rect};
+use fp_shape::{staircase, LList, RList};
+
+use crate::{heuristic_l_reduction, l_selection_error, Metric, RSelection};
+
+/// Greedy counterpart of [`crate::r_selection`]: repeatedly drops the
+/// interior staircase corner whose removal adds the least discarded area
+/// given its *current* neighbours, until `k` remain.
+///
+/// Runs in `O(n log n)`; generally suboptimal because early removals change
+/// the cost landscape of later ones.
+///
+/// The returned [`RSelection::error`] is the true `ERROR(R, R')` of the
+/// final subset (evaluated geometrically), not the sum of greedy
+/// increments.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::RList;
+/// use fp_select::greedy::greedy_r_selection;
+///
+/// let list = RList::from_candidates((1..=8).map(|i| Rect::new(20 - 2 * i, 3 * i)).collect());
+/// let sel = greedy_r_selection(&list, 4);
+/// assert_eq!(sel.positions.len(), 4);
+/// ```
+#[must_use]
+pub fn greedy_r_selection(list: &RList, k: usize) -> RSelection {
+    let n = list.len();
+    if n <= k || n <= 2 {
+        return RSelection {
+            positions: (0..n).collect(),
+            error: 0,
+        };
+    }
+    let k = k.max(2);
+
+    // Linked list + lazy-deletion min-heap of removal increments:
+    // dropping corner q between kept p, r adds (w_p - w_q) * (h_r - h_q).
+    let items = list.as_slice();
+    let increment =
+        |p: Rect, q: Rect, r: Rect| -> Area { Area::from(p.w - q.w) * Area::from(r.h - q.h) };
+
+    let mut left: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
+    let mut right: Vec<usize> = (1..=n).collect();
+    let mut alive = vec![true; n];
+    let mut version = vec![0u32; n];
+    let mut heap: std::collections::BinaryHeap<core::cmp::Reverse<(Area, usize, u32)>> = (1..n - 1)
+        .map(|q| core::cmp::Reverse((increment(items[q - 1], items[q], items[q + 1]), q, 0)))
+        .collect();
+
+    let mut remaining = n;
+    while remaining > k {
+        let core::cmp::Reverse((_, q, ver)) = heap.pop().expect("interior elements remain");
+        if !alive[q] || ver != version[q] {
+            continue;
+        }
+        alive[q] = false;
+        remaining -= 1;
+        let (p, r) = (left[q], right[q]);
+        right[p] = r;
+        left[r] = p;
+        for x in [p, r] {
+            if x > 0 && x < n - 1 && alive[x] {
+                version[x] += 1;
+                heap.push(core::cmp::Reverse((
+                    increment(items[left[x]], items[x], items[right[x]]),
+                    x,
+                    version[x],
+                )));
+            }
+        }
+    }
+
+    let positions: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+    let error = staircase::area_between(list, &positions);
+    RSelection { positions, error }
+}
+
+/// Greedy counterpart of [`crate::l_selection`]: the §5 heuristic reducer
+/// run all the way down to `k`, with the true `ERROR(L, L')` of the result.
+#[must_use]
+pub fn greedy_l_selection(list: &LList, k: usize, metric: Metric) -> (Vec<usize>, u128) {
+    let positions = heuristic_l_reduction(list, k, metric);
+    let error = l_selection_error(list, &positions);
+    (positions, error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{l_selection, r_selection};
+    use fp_geom::LShape;
+    use proptest::prelude::*;
+
+    #[test]
+    fn greedy_r_keeps_endpoints() {
+        let list =
+            RList::from_candidates((1..=12u64).map(|i| Rect::new(30 - 2 * i, 4 * i)).collect());
+        for k in 2..12 {
+            let sel = greedy_r_selection(&list, k);
+            assert_eq!(sel.positions.len(), k);
+            assert_eq!(sel.positions[0], 0);
+            assert_eq!(*sel.positions.last().expect("non-empty"), list.len() - 1);
+        }
+    }
+
+    #[test]
+    fn greedy_r_identity_cases() {
+        let list = RList::from_candidates(vec![Rect::new(5, 1), Rect::new(1, 5)]);
+        assert_eq!(greedy_r_selection(&list, 2).positions, vec![0, 1]);
+        assert_eq!(greedy_r_selection(&list, 10).positions, vec![0, 1]);
+        assert_eq!(
+            greedy_r_selection(&RList::new(), 3).positions,
+            Vec::<usize>::new()
+        );
+    }
+
+    proptest! {
+        /// Greedy never beats optimal (sanity for the ablation).
+        #[test]
+        fn greedy_r_never_beats_optimal(
+            pairs in proptest::collection::vec((1u64..60, 1u64..60), 3..16),
+            k_seed in 0usize..16,
+        ) {
+            let list = RList::from_candidates(
+                pairs.into_iter().map(|(w, h)| Rect::new(w, h)).collect());
+            prop_assume!(list.len() >= 3);
+            let k = 2 + k_seed % (list.len() - 2);
+            let greedy = greedy_r_selection(&list, k);
+            let optimal = r_selection(&list, k).expect("selection");
+            prop_assert!(greedy.error >= optimal.error);
+            prop_assert_eq!(greedy.positions.len(), optimal.positions.len());
+        }
+
+        #[test]
+        fn greedy_l_never_beats_optimal(
+            steps in proptest::collection::vec((1u64..5, 0u64..4, 0u64..4), 2..12),
+            k_seed in 0usize..12,
+        ) {
+            let mut items = vec![LShape::new_canonical(200, 4, 5, 2)];
+            let (mut w1, mut h1, mut h2) = (200u64, 5u64, 2u64);
+            for (dw, dh1, dh2) in steps {
+                w1 -= dw;
+                h1 += dh1.max(1);
+                h2 = (h2 + dh2).min(h1);
+                items.push(LShape::new_canonical(w1, 4, h1, h2));
+            }
+            let list = LList::from_sorted(items).expect("valid chain");
+            let k = 2 + k_seed % (list.len() - 1);
+            let (_, greedy_err) = greedy_l_selection(&list, k, Metric::L1);
+            let optimal = l_selection(&list, k).expect("selection");
+            prop_assert!(greedy_err >= optimal.error);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The heuristic L-list reducer of paper §5: a fast greedy pass used to
+//! shrink a very large list to `S` implementations before the `O(n³)`
+//! optimal `L_Selection` takes over.
+
+use std::collections::BinaryHeap;
+
+use fp_shape::LList;
+
+use crate::Metric;
+
+/// Greedily reduces an irreducible L-list to at most `target` elements,
+/// returning the kept positions (strictly increasing, endpoints included).
+///
+/// The heuristic repeatedly discards the interior implementation whose
+/// Lemma-3 cost — the distance to the nearer of its two *current*
+/// neighbours — is smallest, updating neighbours as it goes. This is the
+/// `O((n − target) log n)` "heuristic version of `L_Selection`" the paper
+/// applies when a list exceeds the user threshold `S`; it is fast but not
+/// optimal (greedy removals are locally, not globally, cheapest).
+///
+/// If `target >= list.len()` everything is kept. `target` is clamped up to
+/// `2` (endpoints are always kept) for lists of two or more elements.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::LShape;
+/// use fp_shape::LList;
+/// use fp_select::{heuristic_l_reduction, Metric};
+///
+/// let list = LList::from_sorted((0..20).map(|i| {
+///     LShape::new(100 - 4 * i, 6, 10 + 3 * i, 2 + i).expect("canonical")
+/// }).collect()).expect("valid chain");
+/// let kept = heuristic_l_reduction(&list, 5, Metric::L1);
+/// assert_eq!(kept.len(), 5);
+/// assert_eq!(kept[0], 0);
+/// assert_eq!(kept[4], 19);
+/// ```
+#[must_use]
+pub fn heuristic_l_reduction(list: &LList, target: usize, metric: Metric) -> Vec<usize> {
+    let n = list.len();
+    if n <= target || n <= 2 {
+        return (0..n).collect();
+    }
+    let target = target.max(2);
+
+    // Doubly linked list over positions plus a lazy-deletion min-heap of
+    // (cost, position, version).
+    let mut left: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
+    let mut right: Vec<usize> = (1..=n).collect();
+    let mut alive = vec![true; n];
+    let mut version = vec![0u32; n];
+
+    let cost = |p: usize, q: usize, r: usize| -> f64 {
+        metric
+            .dist(list[p], list[q])
+            .min(metric.dist(list[q], list[r]))
+    };
+
+    // BinaryHeap is a max-heap; store negated cost via Reverse on an
+    // ordered pair (cost bits are safe: metric distances are finite, >= 0).
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        pos: usize,
+        ver: u32,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+            // Min-heap by cost (reverse), tie-break deterministically.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .expect("finite costs")
+                .then_with(|| other.pos.cmp(&self.pos))
+        }
+    }
+
+    let mut heap: BinaryHeap<Entry> = (1..n - 1)
+        .map(|q| Entry {
+            cost: cost(q - 1, q, q + 1),
+            pos: q,
+            ver: 0,
+        })
+        .collect();
+
+    let mut remaining = n;
+    while remaining > target {
+        let Entry { pos: q, ver, .. } = heap.pop().expect("interior elements remain");
+        if !alive[q] || ver != version[q] {
+            continue; // stale entry
+        }
+        // Remove q; relink and refresh neighbours.
+        alive[q] = false;
+        remaining -= 1;
+        let (p, r) = (left[q], right[q]);
+        right[p] = r;
+        left[r] = p;
+        for x in [p, r] {
+            if x > 0 && x < n - 1 && alive[x] {
+                version[x] += 1;
+                heap.push(Entry {
+                    cost: cost(left[x], x, right[x]),
+                    pos: x,
+                    ver: version[x],
+                });
+            }
+        }
+    }
+
+    (0..n).filter(|&i| alive[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{l_selection, l_selection_error};
+    use fp_geom::LShape;
+
+    fn l(w1: u64, w2: u64, h1: u64, h2: u64) -> LShape {
+        LShape::new_canonical(w1, w2, h1, h2)
+    }
+
+    fn chain(n: u64) -> LList {
+        LList::from_sorted(
+            (0..n)
+                .map(|i| {
+                    l(
+                        300 - 2 * i - (i * i) % 3,
+                        9,
+                        10 + 3 * i + (7 * i) % 5,
+                        5 + i,
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid chain")
+    }
+
+    #[test]
+    fn keeps_everything_when_target_large() {
+        let list = chain(6);
+        assert_eq!(
+            heuristic_l_reduction(&list, 6, Metric::L1),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(
+            heuristic_l_reduction(&list, 99, Metric::L1),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn reduces_to_target_with_endpoints() {
+        let list = chain(40);
+        for target in [2usize, 3, 10, 25] {
+            let kept = heuristic_l_reduction(&list, target, Metric::L1);
+            assert_eq!(kept.len(), target, "target {target}");
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().expect("non-empty"), 39);
+            assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn target_below_two_clamps() {
+        let list = chain(10);
+        assert_eq!(heuristic_l_reduction(&list, 0, Metric::L1).len(), 2);
+        assert_eq!(heuristic_l_reduction(&list, 1, Metric::L1).len(), 2);
+    }
+
+    #[test]
+    fn removes_the_obviously_redundant_middle() {
+        // l_1 sits a hair from l_0; the heuristic must drop it first.
+        let list = LList::from_sorted(vec![
+            l(100, 5, 10, 10),
+            l(99, 5, 11, 10),
+            l(50, 5, 60, 40),
+            l(10, 5, 100, 90),
+        ])
+        .expect("valid chain");
+        let kept = heuristic_l_reduction(&list, 3, Metric::L1);
+        assert_eq!(kept, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn heuristic_is_never_better_than_optimal() {
+        let list = chain(30);
+        for k in [3usize, 5, 10, 20] {
+            let greedy = heuristic_l_reduction(&list, k, Metric::L1);
+            let greedy_err = l_selection_error(&list, &greedy);
+            let optimal = l_selection(&list, k).expect("selection");
+            assert!(greedy_err >= optimal.error, "k = {k}");
+        }
+    }
+}

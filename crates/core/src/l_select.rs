@@ -1,0 +1,260 @@
+//! `L_Selection` (paper §4.3, Theorem 3): optimal subset selection for
+//! irreducible L-lists via constrained shortest paths.
+
+use fp_cspp::{constrained_shortest_path, Dag, OrderedF64, Weight};
+use fp_shape::LList;
+
+use crate::{LErrorTable, Metric, SelectError};
+
+/// The result of `L_Selection`: the positions (indices into the original
+/// L-list) of the kept implementations and the optimal `ERROR(L, L')`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LSelection<W> {
+    /// Strictly increasing indices of the kept implementations; always
+    /// includes `0` and `n - 1`.
+    pub positions: Vec<usize>,
+    /// The minimized total discarded-shape cost `ERROR(L, L')`.
+    pub error: W,
+}
+
+/// Optimally selects `k` implementations from an irreducible L-list under
+/// the exact integer Manhattan metric (the paper's default).
+///
+/// This is the paper's `L_Selection`: build the `error(l_i, l_j)` table
+/// with `Compute_L_Error` (`O(n³)`, the dominant cost), form the complete
+/// DAG with those weights, and solve the constrained shortest path from
+/// `l_1` to `l_n` with exactly `k` vertices (Theorem 3).
+///
+/// If `k >= n` the list already fits: the identity selection is returned.
+///
+/// # Errors
+///
+/// * [`SelectError::EmptyList`] — the list is empty.
+/// * [`SelectError::KTooSmall`] — `k < 2` while the list has two or more
+///   implementations.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::LShape;
+/// use fp_shape::LList;
+/// use fp_select::l_selection;
+///
+/// let list = LList::from_sorted(vec![
+///     LShape::new(9, 3, 2, 1)?,
+///     LShape::new(8, 3, 3, 2)?,  // close to its neighbours: cheap to drop
+///     LShape::new(5, 3, 6, 4)?,
+///     LShape::new(4, 3, 9, 8)?,
+/// ]).expect("valid chain");
+/// let sel = l_selection(&list, 3)?;
+/// assert_eq!(sel.positions, vec![0, 2, 3]);
+/// assert_eq!(sel.error, 3); // dist(l_1, l_2) = 1 + 1 + 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn l_selection(list: &LList, k: usize) -> Result<LSelection<u128>, SelectError> {
+    validate(list, k)?;
+    if k >= list.len() {
+        return Ok(identity(list.len()));
+    }
+    let table = LErrorTable::new_l1(list);
+    Ok(solve_on_table(&table, k))
+}
+
+/// [`l_selection`] under an arbitrary [`Metric`], accumulating float
+/// weights. Use this for `L₂`/`L∞`/general `L_p`; for `L₁` prefer
+/// [`l_selection`], which is exact.
+///
+/// # Errors
+///
+/// Same as [`l_selection`].
+pub fn l_selection_float(
+    list: &LList,
+    k: usize,
+    metric: Metric,
+) -> Result<LSelection<OrderedF64>, SelectError> {
+    validate(list, k)?;
+    if k >= list.len() {
+        return Ok(identity(list.len()));
+    }
+    let table = LErrorTable::new_metric(list, metric);
+    Ok(solve_on_table(&table, k))
+}
+
+fn validate(list: &LList, k: usize) -> Result<(), SelectError> {
+    let n = list.len();
+    if n == 0 {
+        return Err(SelectError::EmptyList);
+    }
+    if k < 2 && k < n {
+        return Err(SelectError::KTooSmall { k, n });
+    }
+    Ok(())
+}
+
+fn identity<W: Weight>(n: usize) -> LSelection<W> {
+    LSelection {
+        positions: (0..n).collect(),
+        error: W::ZERO,
+    }
+}
+
+/// Builds the complete DAG over the table's list and solves the CSPP.
+pub(crate) fn solve_on_table<W: Weight>(table: &LErrorTable<W>, k: usize) -> LSelection<W> {
+    let n = table.len();
+    let g: Dag<W> = Dag::complete(n, |i, j| table.error(i, j));
+    match constrained_shortest_path(&g, 0, n - 1, k) {
+        Ok(sol) => LSelection {
+            positions: sol.vertices,
+            error: sol.weight,
+        },
+        Err(e) => unreachable!("complete DAG always has a k-vertex path: {e:?}"),
+    }
+}
+
+/// Convenience: run [`l_selection`] and apply it, returning the reduced
+/// list together with the incurred error.
+///
+/// # Errors
+///
+/// Same as [`l_selection`].
+pub fn l_selection_apply(list: &LList, k: usize) -> Result<(LList, u128), SelectError> {
+    let sel = l_selection(list, k)?;
+    Ok((list.subset(&sel.positions), sel.error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::LShape;
+    use proptest::prelude::*;
+
+    fn l(w1: u64, w2: u64, h1: u64, h2: u64) -> LShape {
+        LShape::new_canonical(w1, w2, h1, h2)
+    }
+
+    fn chain(n: u64) -> LList {
+        LList::from_sorted(
+            (0..n)
+                .map(|i| l(100 - 3 * i, 7, 10 + 2 * i, 5 + i))
+                .collect(),
+        )
+        .expect("valid chain")
+    }
+
+    #[test]
+    fn identity_when_k_large_enough() {
+        let list = chain(4);
+        let sel = l_selection(&list, 9).expect("identity");
+        assert_eq!(sel.positions, vec![0, 1, 2, 3]);
+        assert_eq!(sel.error, 0);
+    }
+
+    #[test]
+    fn endpoints_always_kept_and_error_matches_table() {
+        let list = chain(8);
+        let table = LErrorTable::new_l1(&list);
+        for k in 2..8 {
+            let sel = l_selection(&list, k).expect("selection");
+            assert_eq!(sel.positions.len(), k);
+            assert_eq!(sel.positions[0], 0);
+            assert_eq!(*sel.positions.last().expect("non-empty"), 7);
+            assert_eq!(sel.error, table.selection_error(&sel.positions));
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(l_selection(&LList::new(), 2), Err(SelectError::EmptyList));
+        assert_eq!(
+            l_selection(&chain(4), 1),
+            Err(SelectError::KTooSmall { k: 1, n: 4 })
+        );
+        let single = LList::from_sorted(vec![l(5, 2, 3, 1)]).expect("chain");
+        assert_eq!(
+            l_selection(&single, 1).expect("identity").positions,
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn float_l1_matches_integer() {
+        let list = chain(7);
+        for k in 2..7 {
+            let exact = l_selection(&list, k).expect("selection");
+            let float = l_selection_float(&list, k, Metric::L1).expect("selection");
+            assert_eq!(exact.positions, float.positions, "k = {k}");
+            assert_eq!(exact.error as f64, float.error.into_inner(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn apply_returns_valid_chain() {
+        let list = chain(9);
+        let (reduced, _err) = l_selection_apply(&list, 4).expect("selection");
+        assert_eq!(reduced.len(), 4);
+        assert!(LList::from_sorted(reduced.as_slice().to_vec()).is_ok());
+    }
+
+    /// Exhaustive optimum over all endpoint-keeping subsets.
+    fn brute_force(list: &LList, k: usize) -> u128 {
+        let n = list.len();
+        let table = LErrorTable::new_l1(list);
+        let mid: Vec<usize> = (1..n - 1).collect();
+        let mut best = u128::MAX;
+        for mask in 0u32..(1 << mid.len()) {
+            if mask.count_ones() as usize != k - 2 {
+                continue;
+            }
+            let mut pos = vec![0];
+            pos.extend(
+                mid.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p),
+            );
+            pos.push(n - 1);
+            best = best.min(table.selection_error(&pos));
+        }
+        best
+    }
+
+    fn arb_chain() -> impl Strategy<Value = LList> {
+        proptest::collection::vec((1u64..6, 0u64..4, 0u64..4), 1..10).prop_map(|steps| {
+            let mut items = vec![l(150, 3, 4, 2)];
+            let (mut w1, mut h1, mut h2) = (150u64, 4u64, 2u64);
+            for (dw, dh1, dh2) in steps {
+                w1 -= dw;
+                h1 += dh1.max(1); // strictly taller each step keeps the chain valid
+                h2 = (h2 + dh2).min(h1);
+                items.push(l(w1, 3, h1, h2));
+            }
+            LList::from_sorted(items).expect("constructed chain is valid")
+        })
+    }
+
+    proptest! {
+        /// The CSPP reduction is optimal: it matches exhaustive search.
+        #[test]
+        fn optimal_vs_brute_force(list in arb_chain(), k_seed in 0usize..10) {
+            prop_assume!(list.len() >= 2);
+            let k = 2 + k_seed % (list.len() - 1);
+            let sel = l_selection(&list, k).expect("selection");
+            if k < list.len() {
+                prop_assert_eq!(sel.positions.len(), k);
+                prop_assert_eq!(sel.error, brute_force(&list, k));
+            }
+        }
+
+        /// Error is non-increasing in k: keeping more can never hurt.
+        #[test]
+        fn error_monotone_in_k(list in arb_chain()) {
+            prop_assume!(list.len() >= 3);
+            let mut prev = u128::MAX;
+            for k in 2..=list.len() {
+                let e = l_selection(&list, k).expect("selection").error;
+                prop_assert!(e <= prev);
+                prev = e;
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! `L_p` distance metrics between L-shape implementations.
+
+use core::fmt;
+
+use fp_geom::LShape;
+
+/// The distance metric used by `L_Selection` to measure shape difference
+/// between two implementations of the same irreducible L-list.
+///
+/// The paper uses the Manhattan (`L₁`) distance but notes (footnote 2) that
+/// every lemma holds for any `L_p` metric; this enum exposes the common
+/// choices. Because both implementations share the same `w2`, the distance
+/// is taken over the `(w1, h1, h2)` coordinates only.
+///
+/// ```
+/// use fp_geom::LShape;
+/// use fp_select::Metric;
+///
+/// let a = LShape::new(9, 3, 2, 1)?;
+/// let b = LShape::new(7, 3, 4, 2)?;
+/// assert_eq!(Metric::L1.dist_l1(a, b), 2 + 2 + 1);
+/// assert_eq!(Metric::Linf.dist(a, b), 2.0);
+/// # Ok::<(), fp_geom::InvalidShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Metric {
+    /// Manhattan distance (the paper's default).
+    #[default]
+    L1,
+    /// Euclidean distance.
+    L2,
+    /// Chebyshev distance.
+    Linf,
+    /// General `L_p` for `p >= 1`.
+    Lp(f64),
+}
+
+impl Metric {
+    /// The exact integer Manhattan distance
+    /// `|w1−w1'| + |h1−h1'| + |h2−h2'|`.
+    ///
+    /// Defined for any pair of L-shapes; when the two implementations come
+    /// from one irreducible L-list their `w2` components are equal, so this
+    /// is the full 4-coordinate Manhattan distance as well.
+    #[must_use]
+    pub fn dist_l1(self, a: LShape, b: LShape) -> u64 {
+        let _ = self;
+        a.w1.abs_diff(b.w1) + a.h1.abs_diff(b.h1) + a.h2.abs_diff(b.h2)
+    }
+
+    /// The distance under this metric as a float.
+    #[must_use]
+    pub fn dist(self, a: LShape, b: LShape) -> f64 {
+        let dw = a.w1.abs_diff(b.w1) as f64;
+        let dh1 = a.h1.abs_diff(b.h1) as f64;
+        let dh2 = a.h2.abs_diff(b.h2) as f64;
+        match self {
+            Metric::L1 => dw + dh1 + dh2,
+            Metric::L2 => (dw * dw + dh1 * dh1 + dh2 * dh2).sqrt(),
+            Metric::Linf => dw.max(dh1).max(dh2),
+            Metric::Lp(p) => {
+                assert!(p >= 1.0, "L_p metrics require p >= 1, got {p}");
+                (dw.powf(p) + dh1.powf(p) + dh2.powf(p)).powf(1.0 / p)
+            }
+        }
+    }
+
+    /// `true` for the exact-integer Manhattan metric.
+    #[must_use]
+    pub fn is_l1(self) -> bool {
+        matches!(self, Metric::L1) || matches!(self, Metric::Lp(p) if p == 1.0)
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::L1 => write!(f, "L1"),
+            Metric::L2 => write!(f, "L2"),
+            Metric::Linf => write!(f, "Linf"),
+            Metric::Lp(p) => write!(f, "L{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l(w1: u64, w2: u64, h1: u64, h2: u64) -> LShape {
+        LShape::new_canonical(w1, w2, h1, h2)
+    }
+
+    #[test]
+    fn l1_matches_manual() {
+        let a = l(9, 3, 2, 1);
+        let b = l(7, 3, 4, 2);
+        assert_eq!(Metric::L1.dist_l1(a, b), 5);
+        assert_eq!(Metric::L1.dist(a, b), 5.0);
+        assert_eq!(Metric::Lp(1.0).dist(a, b), 5.0);
+    }
+
+    #[test]
+    fn l2_and_linf() {
+        let a = l(10, 3, 5, 1);
+        let b = l(7, 3, 1, 1);
+        assert_eq!(Metric::L2.dist(a, b), 5.0); // 3-4-5 triangle
+        assert_eq!(Metric::Linf.dist(a, b), 4.0);
+        assert!((Metric::Lp(2.0).dist(a, b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "require p >= 1")]
+    fn lp_rejects_p_below_one() {
+        let _ = Metric::Lp(0.5).dist(l(2, 1, 2, 1), l(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn is_l1_detection() {
+        assert!(Metric::L1.is_l1());
+        assert!(Metric::Lp(1.0).is_l1());
+        assert!(!Metric::L2.is_l1());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Metric::L1.to_string(), "L1");
+        assert_eq!(Metric::Lp(3.0).to_string(), "L3");
+    }
+
+    fn arb_l() -> impl Strategy<Value = LShape> {
+        (1u64..50, 1u64..50, 1u64..50, 1u64..50)
+            .prop_map(|(a, b, c, d)| l(a.max(b), a.min(b), c.max(d), c.min(d)))
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(a in arb_l(), b in arb_l(), c in arb_l(),
+                         m in prop_oneof![Just(Metric::L1), Just(Metric::L2),
+                                          Just(Metric::Linf), Just(Metric::Lp(3.0))]) {
+            // Symmetry and identity.
+            prop_assert_eq!(m.dist(a, b), m.dist(b, a));
+            prop_assert_eq!(m.dist(a, a), 0.0);
+            // Triangle inequality (within float tolerance).
+            prop_assert!(m.dist(a, c) <= m.dist(a, b) + m.dist(b, c) + 1e-9);
+        }
+
+        #[test]
+        fn l1_float_matches_integer(a in arb_l(), b in arb_l()) {
+            prop_assert_eq!(Metric::L1.dist(a, b), Metric::L1.dist_l1(a, b) as f64);
+        }
+    }
+}

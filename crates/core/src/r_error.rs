@@ -1,0 +1,182 @@
+//! `Compute_R_Error` (paper §4.2): the pairwise staircase-gap error table.
+
+use fp_geom::Area;
+use fp_shape::RList;
+
+/// The table of `error(r_i, r_j)` values for an irreducible R-list: the
+/// staircase area discarded when `r_i` and `r_j` are kept as consecutive
+/// selections and everything strictly between them is dropped.
+///
+/// Built by the paper's `Compute_R_Error` recurrence in `O(n²)` time and
+/// stored triangularly (`i < j`) in `O(n²)` space:
+///
+/// ```text
+/// error(r_i, r_{i+1}) = 0
+/// error(r_i, r_{i+l}) = error(r_i, r_{i+l-1})
+///                       + (w_i − w_{i+l-1}) · (h_{i+l} − h_{i+l-1})
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::RList;
+/// use fp_select::RErrorTable;
+///
+/// let list = RList::from_candidates(vec![
+///     Rect::new(10, 1), Rect::new(6, 3), Rect::new(2, 9),
+/// ]);
+/// let table = RErrorTable::new(&list);
+/// assert_eq!(table.error(0, 1), 0);
+/// assert_eq!(table.error(0, 2), (10 - 6) * (9 - 3)); // the dropped middle corner
+/// ```
+#[derive(Debug, Clone)]
+pub struct RErrorTable {
+    n: usize,
+    /// Row-major upper triangle: entry for `(i, j)` with `i < j` lives at
+    /// `offset(i) + (j - i - 1)`.
+    values: Vec<Area>,
+}
+
+impl RErrorTable {
+    /// Runs `Compute_R_Error` on the list.
+    #[must_use]
+    pub fn new(list: &RList) -> Self {
+        let n = list.len();
+        let items = list.as_slice();
+        let mut values = vec![0; n.saturating_sub(1) * n / 2];
+        // The recurrence fills each row i left to right: j = i+1 is zero,
+        // then each extension adds one rectangle of discarded area.
+        for i in 0..n.saturating_sub(1) {
+            let row = Self::offset_for(n, i);
+            let mut acc: Area = 0;
+            values[row] = 0;
+            for j in i + 2..n {
+                acc += Area::from(items[i].w - items[j - 1].w)
+                    * Area::from(items[j].h - items[j - 1].h);
+                values[row + (j - i - 1)] = acc;
+            }
+        }
+        RErrorTable { n, values }
+    }
+
+    fn offset_for(n: usize, i: usize) -> usize {
+        // Row i holds n-1-i entries; rows 0..i hold (n-1) + (n-2) + ...
+        i * (2 * n - i - 1) / 2
+    }
+
+    /// The list length this table was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the table is for an empty list.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `error(r_i, r_j)`: the area discarded between consecutive kept
+    /// corners `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i < j < n`.
+    #[inline]
+    #[must_use]
+    pub fn error(&self, i: usize, j: usize) -> Area {
+        assert!(
+            i < j && j < self.n,
+            "error({i}, {j}) out of range for n = {}",
+            self.n
+        );
+        self.values[Self::offset_for(self.n, i) + (j - i - 1)]
+    }
+
+    /// The total `ERROR(R, R')` of the selection keeping exactly the given
+    /// strictly increasing positions (Equation 2): the sum of the
+    /// consecutive-gap errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if positions are not strictly increasing or out of range.
+    #[must_use]
+    pub fn selection_error(&self, positions: &[usize]) -> Area {
+        positions.windows(2).map(|w| self.error(w[0], w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::Rect;
+    use fp_shape::staircase;
+    use proptest::prelude::*;
+
+    fn rl(pairs: &[(u64, u64)]) -> RList {
+        RList::from_candidates(pairs.iter().map(|&(w, h)| Rect::new(w, h)).collect())
+    }
+
+    #[test]
+    fn adjacent_pairs_cost_nothing() {
+        let list = rl(&[(10, 1), (7, 2), (5, 4), (2, 9)]);
+        let t = RErrorTable::new(&list);
+        for i in 0..3 {
+            assert_eq!(t.error(i, i + 1), 0);
+        }
+    }
+
+    #[test]
+    fn figure6_decomposition() {
+        // R = {r1..r6}; R' = {r1, r3, r4, r6}: ERROR = error(r1,r3) +
+        // error(r4,r6) (the A1 + A2 areas of Figure 6), and error(r3,r4) = 0.
+        let list = rl(&[(12, 1), (10, 2), (8, 4), (6, 5), (3, 7), (1, 10)]);
+        let t = RErrorTable::new(&list);
+        let total = t.selection_error(&[0, 2, 3, 5]);
+        assert_eq!(total, t.error(0, 2) + t.error(3, 5));
+        // Geometric cross-check.
+        assert_eq!(total, staircase::area_between(&list, &[0, 2, 3, 5]));
+    }
+
+    #[test]
+    fn empty_and_singleton_tables() {
+        assert!(RErrorTable::new(&RList::new()).is_empty());
+        let t = RErrorTable::new(&rl(&[(3, 3)]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn error_bounds_checked() {
+        let t = RErrorTable::new(&rl(&[(5, 1), (2, 4)]));
+        let _ = t.error(1, 1);
+    }
+
+    proptest! {
+        /// Every pair error equals the geometric staircase area of the
+        /// selection that keeps only the endpoints of that gap (plus all
+        /// corners outside it).
+        #[test]
+        fn table_matches_geometry(
+            pairs in proptest::collection::vec((1u64..60, 1u64..60), 2..20)
+        ) {
+            let list = rl(&pairs);
+            prop_assume!(list.len() >= 2);
+            let t = RErrorTable::new(&list);
+            let n = list.len();
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    // Keep everything except the open interval (i, j).
+                    let mut pos: Vec<usize> =
+                        (0..=i).chain(j..n).collect();
+                    pos.dedup();
+                    let geo = staircase::area_between(&list, &pos);
+                    prop_assert_eq!(t.error(i, j), geo, "gap ({}, {})", i, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! `R_Selection` (paper §4.2, Theorem 2): optimal subset selection for
+//! irreducible R-lists via constrained shortest paths.
+
+use fp_cspp::{constrained_shortest_path, Dag};
+use fp_geom::Area;
+use fp_shape::RList;
+
+use crate::{RErrorTable, SelectError};
+
+/// The result of `R_Selection`: the positions (indices into the original
+/// R-list) of the kept implementations and the optimal `ERROR(R, R')`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RSelection {
+    /// Strictly increasing indices of the kept implementations; always
+    /// includes `0` and `n - 1`.
+    pub positions: Vec<usize>,
+    /// The minimized staircase-gap area `ERROR(R, R')`.
+    pub error: Area,
+}
+
+impl RSelection {
+    /// The identity selection (everything kept, zero error).
+    fn identity(n: usize) -> Self {
+        RSelection {
+            positions: (0..n).collect(),
+            error: 0,
+        }
+    }
+}
+
+/// Optimally selects `k` implementations from an irreducible R-list,
+/// minimizing the bounded area between the original and reduced staircase
+/// curves.
+///
+/// This is the paper's `R_Selection`: build the `error(r_i, r_j)` table
+/// with `Compute_R_Error`, form the complete DAG on the list with those
+/// edge weights, and solve the constrained shortest path from `r_1` to
+/// `r_n` with exactly `k` vertices. Total time `O(k n²)` (Theorem 2).
+///
+/// If `k >= n` the list already fits: the identity selection is returned.
+///
+/// # Errors
+///
+/// * [`SelectError::EmptyList`] — the list is empty.
+/// * [`SelectError::KTooSmall`] — `k < 2` while `n >= 2` (both staircase
+///   endpoints must be kept), or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::RList;
+/// use fp_select::r_selection;
+///
+/// let list = RList::from_candidates(vec![
+///     Rect::new(12, 1), Rect::new(10, 2), Rect::new(5, 3), Rect::new(1, 10),
+/// ]);
+/// let sel = r_selection(&list, 3)?;
+/// // Dropping r_2 wastes (12-10)*(3-2) = 2; dropping r_3 wastes
+/// // (10-5)*(10-3) = 35. The optimum drops r_2.
+/// assert_eq!(sel.positions, vec![0, 2, 3]);
+/// assert_eq!(sel.error, 2);
+/// # Ok::<(), fp_select::SelectError>(())
+/// ```
+pub fn r_selection(list: &RList, k: usize) -> Result<RSelection, SelectError> {
+    let n = list.len();
+    if n == 0 {
+        return Err(SelectError::EmptyList);
+    }
+    if k >= n {
+        return Ok(RSelection::identity(n));
+    }
+    if k < 2 {
+        // n >= 2 here (k < n), so both endpoints must be kept.
+        return Err(SelectError::KTooSmall { k, n });
+    }
+
+    let table = RErrorTable::new(list);
+    let sol = solve_on_table(&table, k);
+    Ok(RSelection {
+        positions: sol.0,
+        error: sol.1,
+    })
+}
+
+/// Builds the complete DAG over the table's list and solves the CSPP.
+/// Shared by [`r_selection`] and the policy layer.
+pub(crate) fn solve_on_table(table: &RErrorTable, k: usize) -> (Vec<usize>, Area) {
+    let n = table.len();
+    let g: Dag<Area> = Dag::complete(n, |i, j| table.error(i, j));
+    match constrained_shortest_path(&g, 0, n - 1, k) {
+        Ok(sol) => (sol.vertices, sol.weight),
+        // The chain 0 → 1 → … exists for every k <= n, so the complete DAG
+        // always has a k-vertex path.
+        Err(e) => unreachable!("complete DAG always has a k-vertex path: {e:?}"),
+    }
+}
+
+/// Convenience: run [`r_selection`] and apply it, returning the reduced
+/// list together with the incurred error.
+///
+/// # Errors
+///
+/// Same as [`r_selection`].
+pub fn r_selection_apply(list: &RList, k: usize) -> Result<(RList, Area), SelectError> {
+    let sel = r_selection(list, k)?;
+    Ok((list.subset(&sel.positions), sel.error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::Rect;
+    use fp_shape::staircase;
+    use proptest::prelude::*;
+
+    fn rl(pairs: &[(u64, u64)]) -> RList {
+        RList::from_candidates(pairs.iter().map(|&(w, h)| Rect::new(w, h)).collect())
+    }
+
+    fn staircase_list(n: u64) -> RList {
+        rl(&(1..=n)
+            .map(|i| (2 * (n + 1 - i), 3 * i))
+            .collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn identity_when_k_large_enough() {
+        let list = staircase_list(5);
+        for k in 5..8 {
+            let sel = r_selection(&list, k).expect("identity");
+            assert_eq!(sel.positions, vec![0, 1, 2, 3, 4]);
+            assert_eq!(sel.error, 0);
+        }
+    }
+
+    #[test]
+    fn endpoints_always_kept() {
+        let list = staircase_list(8);
+        for k in 2..8 {
+            let sel = r_selection(&list, k).expect("selection");
+            assert_eq!(sel.positions.len(), k);
+            assert_eq!(sel.positions[0], 0);
+            assert_eq!(*sel.positions.last().expect("non-empty"), 7);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(r_selection(&RList::new(), 3), Err(SelectError::EmptyList));
+        let list = staircase_list(4);
+        assert_eq!(
+            r_selection(&list, 1),
+            Err(SelectError::KTooSmall { k: 1, n: 4 })
+        );
+        assert_eq!(
+            r_selection(&list, 0),
+            Err(SelectError::KTooSmall { k: 0, n: 4 })
+        );
+        // Singleton lists accept k = 1 via the identity path.
+        let single = rl(&[(3, 3)]);
+        assert_eq!(
+            r_selection(&single, 1).expect("identity").positions,
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn reported_error_matches_geometry() {
+        let list = rl(&[(20, 1), (16, 2), (11, 4), (7, 7), (4, 11), (1, 17)]);
+        for k in 2..6 {
+            let sel = r_selection(&list, k).expect("selection");
+            assert_eq!(
+                sel.error,
+                staircase::area_between(&list, &sel.positions),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_returns_reduced_list() {
+        let list = staircase_list(6);
+        let (reduced, err) = r_selection_apply(&list, 3).expect("selection");
+        assert_eq!(reduced.len(), 3);
+        assert_eq!(reduced.widest(), list.widest());
+        assert_eq!(reduced.tallest(), list.tallest());
+        assert!(err > 0);
+    }
+
+    /// Exhaustive optimum over all C(n-2, k-2) endpoint-keeping subsets.
+    fn brute_force(list: &RList, k: usize) -> Area {
+        let n = list.len();
+        let mid: Vec<usize> = (1..n - 1).collect();
+        let mut best = Area::MAX;
+        let picks = k - 2;
+        // Iterate over combinations via bitmask (n small in tests).
+        for mask in 0u32..(1 << mid.len()) {
+            if mask.count_ones() as usize != picks {
+                continue;
+            }
+            let mut pos = vec![0];
+            pos.extend(
+                mid.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p),
+            );
+            pos.push(n - 1);
+            best = best.min(staircase::area_between(list, &pos));
+        }
+        best
+    }
+
+    proptest! {
+        /// The CSPP reduction is optimal: it matches exhaustive search.
+        #[test]
+        fn optimal_vs_brute_force(
+            pairs in proptest::collection::vec((1u64..50, 1u64..50), 2..12),
+            k_seed in 0usize..12,
+        ) {
+            let list = RList::from_candidates(
+                pairs.into_iter().map(|(w, h)| Rect::new(w, h)).collect());
+            prop_assume!(list.len() >= 2);
+            let k = 2 + k_seed % (list.len() - 1);
+            let sel = r_selection(&list, k).expect("selection");
+            if k < list.len() {
+                prop_assert_eq!(sel.positions.len(), k);
+            }
+            prop_assert_eq!(sel.error, brute_force(&list, sel.positions.len()));
+            prop_assert_eq!(sel.error, staircase::area_between(&list, &sel.positions));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Weighted directed graph storage with acyclicity checking.
+
+use core::fmt;
+
+use crate::Weight;
+
+/// Error returned by [`Dag::add_edge`] for malformed edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeError {
+    /// An endpoint is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        len: usize,
+    },
+    /// Self-loops are not allowed (they would make the graph cyclic).
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        vertex: usize,
+    },
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::VertexOutOfRange { vertex, len } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {len} vertices"
+                )
+            }
+            EdgeError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+/// A weighted directed graph intended to be acyclic, stored as incoming
+/// adjacency lists (the orientation the CSPP dynamic program consumes).
+///
+/// Acyclicity is not enforced edge-by-edge; the solvers verify it once per
+/// call via [`Dag::is_acyclic`] (an `O(|V| + |E|)` check) and report cyclic
+/// inputs as an error.
+///
+/// Parallel edges are permitted (only the lightest can ever matter).
+///
+/// # Example
+///
+/// ```
+/// use fp_cspp::Dag;
+///
+/// let mut g: Dag<u64> = Dag::new(3);
+/// g.add_edge(0, 1, 5)?;
+/// g.add_edge(1, 2, 7)?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.is_acyclic());
+/// # Ok::<(), fp_cspp::EdgeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag<W> {
+    /// `in_edges[v]` lists `(u, w)` for every edge `u → v`.
+    in_edges: Vec<Vec<(u32, W)>>,
+    edge_count: usize,
+}
+
+impl<W: Weight> Dag<W> {
+    /// Creates a graph with `n` vertices (ids `0 … n-1`) and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Dag {
+            in_edges: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Adds the directed edge `u → v` of weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError`] if either endpoint is out of range or if
+    /// `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: W) -> Result<(), EdgeError> {
+        let len = self.in_edges.len();
+        for x in [u, v] {
+            if x >= len {
+                return Err(EdgeError::VertexOutOfRange { vertex: x, len });
+            }
+        }
+        if u == v {
+            return Err(EdgeError::SelfLoop { vertex: u });
+        }
+        self.in_edges[v].push((u as u32, w));
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// The complete DAG on `n` vertices with edges `i → j` for every
+    /// `i < j`, weighted by `weight(i, j)` — the graph the floorplan
+    /// selection algorithms reduce to.
+    ///
+    /// ```
+    /// use fp_cspp::Dag;
+    ///
+    /// let g = Dag::complete(4, |i, j| (j - i) as u64);
+    /// assert_eq!(g.edge_count(), 6);
+    /// assert!(g.is_acyclic());
+    /// ```
+    #[must_use]
+    pub fn complete(n: usize, weight: impl Fn(usize, usize) -> W) -> Self {
+        let mut g = Dag::new(n);
+        for j in 0..n {
+            let edges = &mut g.in_edges[j];
+            edges.reserve_exact(j);
+            for i in 0..j {
+                edges.push((i as u32, weight(i, j)));
+            }
+        }
+        g.edge_count = n * n.saturating_sub(1) / 2;
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.in_edges.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The incoming edges of `v` as `(source, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn in_edges(&self, v: usize) -> &[(u32, W)] {
+        &self.in_edges[v]
+    }
+
+    /// `true` if the graph contains no directed cycle (Kahn's algorithm).
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.vertex_count();
+        let mut out_degree = vec![0usize; n];
+        for edges in &self.in_edges {
+            for &(u, _) in edges {
+                out_degree[u as usize] += 1;
+            }
+        }
+        // Peel vertices with zero out-degree repeatedly.
+        let mut stack: Vec<usize> = (0..n).filter(|&v| out_degree[v] == 0).collect();
+        let mut removed = 0usize;
+        while let Some(v) = stack.pop() {
+            removed += 1;
+            for &(u, _) in &self.in_edges[v] {
+                let u = u as usize;
+                out_degree[u] -= 1;
+                if out_degree[u] == 0 {
+                    stack.push(u);
+                }
+            }
+        }
+        removed == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_validates() {
+        let mut g: Dag<u64> = Dag::new(2);
+        assert_eq!(
+            g.add_edge(0, 2, 1),
+            Err(EdgeError::VertexOutOfRange { vertex: 2, len: 2 })
+        );
+        assert_eq!(g.add_edge(1, 1, 1), Err(EdgeError::SelfLoop { vertex: 1 }));
+        assert!(g.add_edge(0, 1, 1).is_ok());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.in_edges(1), &[(0, 1)]);
+        assert!(g.in_edges(0).is_empty());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(
+            EdgeError::VertexOutOfRange { vertex: 9, len: 3 }.to_string(),
+            "vertex 9 out of range for graph with 3 vertices"
+        );
+        assert_eq!(
+            EdgeError::SelfLoop { vertex: 2 }.to_string(),
+            "self-loop on vertex 2"
+        );
+    }
+
+    #[test]
+    fn acyclicity_detection() {
+        let mut g: Dag<u64> = Dag::new(3);
+        g.add_edge(0, 1, 1).expect("edge");
+        g.add_edge(1, 2, 1).expect("edge");
+        assert!(g.is_acyclic());
+        g.add_edge(2, 0, 1).expect("edge");
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_are_acyclic() {
+        assert!(Dag::<u64>::new(0).is_acyclic());
+        assert!(Dag::<u64>::new(5).is_acyclic());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g: Dag<u64> = Dag::new(2);
+        g.add_edge(0, 1, 3).expect("edge");
+        g.add_edge(0, 1, 5).expect("edge");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_acyclic());
+    }
+}

@@ -1,0 +1,50 @@
+//! The constrained shortest path problem (CSPP) on weighted DAGs.
+//!
+//! Given a weighted directed acyclic graph, two vertices `s` and `t`, and a
+//! positive integer `k`, the CSPP asks for a minimum-total-weight path from
+//! `s` to `t` with **exactly `k` vertices** (Wang–Wong DAC'92, §4.1). This
+//! differs from the classical shortest path problem, which places no
+//! constraint on the number of vertices.
+//!
+//! The solver is the paper's `Constrained_Shortest_Path` dynamic program:
+//! `W(s, v, l)`, the least weight of an `s → v` path with exactly `l`
+//! vertices, satisfies
+//!
+//! ```text
+//! W(s, v, l) = min over edges (u, v) of  W(s, u, l-1) + w(u, v)
+//! ```
+//!
+//! and is computed for `l = 2 … k` in `O(k (|V| + |E|))` time (Theorem 1).
+//!
+//! # Example (paper Figure 4)
+//!
+//! ```
+//! use fp_cspp::{constrained_shortest_path, shortest_path, Dag};
+//!
+//! let mut g: Dag<u64> = Dag::new(6);
+//! for (u, v, w) in [(0, 1, 1), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 5, 1),
+//!                   (0, 2, 6), (1, 3, 6), (3, 5, 4), (1, 4, 13)] {
+//!     g.add_edge(u, v, w)?;
+//! }
+//! // Unconstrained: the 6-vertex chain, total weight 8.
+//! assert_eq!(shortest_path(&g, 0, 5)?.weight, 8);
+//! // Constrained to exactly 4 vertices: v1 → v2 → v4 → v6, weight 11.
+//! let sol = constrained_shortest_path(&g, 0, 5, 4)?;
+//! assert_eq!(sol.vertices, vec![0, 1, 3, 5]);
+//! assert_eq!(sol.weight, 11);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dag;
+mod solve;
+mod weight;
+
+pub use dag::{Dag, EdgeError};
+pub use solve::{
+    constrained_shortest_path, constrained_shortest_paths_all_k, shortest_path, CsppError,
+    PathSolution,
+};
+pub use weight::{OrderedF64, Weight};

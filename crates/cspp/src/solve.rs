@@ -1,0 +1,639 @@
+//! The `Constrained_Shortest_Path` dynamic program (paper §4.1, Theorem 1)
+//! and the classical DAG shortest path for comparison.
+
+use core::fmt;
+
+use crate::{Dag, Weight};
+
+/// A shortest-path solution: the vertex sequence from `s` to `t` and its
+/// total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSolution<W> {
+    /// The vertices on the path, starting with `s` and ending with `t`.
+    pub vertices: Vec<usize>,
+    /// The total weight of the path.
+    pub weight: W,
+}
+
+/// Errors reported by the path solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsppError {
+    /// `s` or `t` is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        len: usize,
+    },
+    /// `k` is zero or exceeds the number of vertices (the paper requires
+    /// `1 <= k <= |V|`; a simple path cannot repeat vertices).
+    InvalidK {
+        /// The requested path length in vertices.
+        k: usize,
+        /// The number of vertices in the graph.
+        len: usize,
+    },
+    /// The graph contains a directed cycle, so the dynamic program's
+    /// walk/path equivalence does not hold.
+    NotAcyclic,
+    /// No `s → t` path with the requested number of vertices exists
+    /// (the paper's "Can not find such a path." outcome).
+    NoSuchPath,
+}
+
+impl fmt::Display for CsppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsppError::VertexOutOfRange { vertex, len } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {len} vertices"
+                )
+            }
+            CsppError::InvalidK { k, len } => {
+                write!(f, "k = {k} outside 1..={len}")
+            }
+            CsppError::NotAcyclic => write!(f, "graph contains a directed cycle"),
+            CsppError::NoSuchPath => write!(f, "no path with the requested vertex count"),
+        }
+    }
+}
+
+impl std::error::Error for CsppError {}
+
+const NO_PRED: u32 = u32::MAX;
+
+/// Solves the constrained shortest path problem: the minimum-weight simple
+/// path from `s` to `t` with **exactly `k` vertices**.
+///
+/// This is the paper's `Constrained_Shortest_Path` dynamic program, running
+/// in `O(k (|V| + |E|))` time and `O(k |V|)` space (for predecessor
+/// recovery).
+///
+/// # Errors
+///
+/// * [`CsppError::VertexOutOfRange`] — `s` or `t` is not a vertex.
+/// * [`CsppError::InvalidK`] — `k == 0` or `k > |V|`.
+/// * [`CsppError::NotAcyclic`] — the graph has a directed cycle.
+/// * [`CsppError::NoSuchPath`] — `W(s, t, k)` is infinite, including the
+///   `k == 1 && s != t` case.
+///
+/// # Example
+///
+/// ```
+/// use fp_cspp::{constrained_shortest_path, Dag};
+///
+/// let mut g: Dag<u64> = Dag::new(3);
+/// g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(0, 2, 10)?;
+/// // With k = 2 the direct (expensive) edge is forced.
+/// let sol = constrained_shortest_path(&g, 0, 2, 2)?;
+/// assert_eq!((sol.vertices, sol.weight), (vec![0, 2], 10));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn constrained_shortest_path<W: Weight>(
+    g: &Dag<W>,
+    s: usize,
+    t: usize,
+    k: usize,
+) -> Result<PathSolution<W>, CsppError> {
+    let n = g.vertex_count();
+    for x in [s, t] {
+        if x >= n {
+            return Err(CsppError::VertexOutOfRange { vertex: x, len: n });
+        }
+    }
+    if k == 0 || k > n {
+        return Err(CsppError::InvalidK { k, len: n });
+    }
+    if !g.is_acyclic() {
+        return Err(CsppError::NotAcyclic);
+    }
+
+    // W(s, v, 1) = 0 for v == s, infinity otherwise (represented as None).
+    let mut prev: Vec<Option<W>> = vec![None; n];
+    prev[s] = Some(W::ZERO);
+
+    if k == 1 {
+        return if s == t {
+            Ok(PathSolution {
+                vertices: vec![s],
+                weight: W::ZERO,
+            })
+        } else {
+            Err(CsppError::NoSuchPath)
+        };
+    }
+
+    // pred[(l-2) * n + v] = predecessor of v on the best l-vertex path.
+    let mut pred: Vec<u32> = vec![NO_PRED; (k - 1) * n];
+    let mut cur: Vec<Option<W>> = vec![None; n];
+
+    for l in 2..=k {
+        let layer = (l - 2) * n;
+        for v in 0..n {
+            let mut best: Option<(W, u32)> = None;
+            for &(u, w) in g.in_edges(v) {
+                if let Some(base) = prev[u as usize] {
+                    let cand = base + w;
+                    if best.is_none_or(|(b, _)| cand < b) {
+                        best = Some((cand, u));
+                    }
+                }
+            }
+            match best {
+                Some((w, u)) => {
+                    cur[v] = Some(w);
+                    pred[layer + v] = u;
+                }
+                None => cur[v] = None,
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(None);
+    }
+
+    let weight = prev[t].ok_or(CsppError::NoSuchPath)?;
+
+    // Walk the predecessor layers back from (t, k).
+    let mut vertices = vec![0usize; k];
+    vertices[k - 1] = t;
+    let mut v = t;
+    for l in (2..=k).rev() {
+        let u = pred[(l - 2) * n + v];
+        debug_assert_ne!(u, NO_PRED, "finite weight implies a recorded predecessor");
+        v = u as usize;
+        vertices[l - 2] = v;
+    }
+    debug_assert_eq!(vertices[0], s);
+    Ok(PathSolution { vertices, weight })
+}
+
+/// Solves the CSPP for **every** vertex count `1 ..= k_max` in a single
+/// dynamic-programming sweep — the same `O(k_max (|V| + |E|))` work as one
+/// [`constrained_shortest_path`] call at `k = k_max`.
+///
+/// Returns `solutions[l - 1]` for each `l in 1..=k_max`: `Some(solution)`
+/// when an `s → t` path with exactly `l` vertices exists, else `None`.
+/// This is the natural tool for *error-versus-k* curves: `R_Selection`'s
+/// trade-off between subset size and staircase error falls out of one
+/// sweep instead of `k` separate solves.
+///
+/// # Errors
+///
+/// Same as [`constrained_shortest_path`] minus `NoSuchPath` (absence is
+/// expressed per entry).
+///
+/// # Example
+///
+/// ```
+/// use fp_cspp::{constrained_shortest_paths_all_k, Dag};
+///
+/// let mut g: Dag<u64> = Dag::new(3);
+/// g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(0, 2, 10)?;
+/// let all = constrained_shortest_paths_all_k(&g, 0, 2, 3)?;
+/// assert!(all[0].is_none());                       // k = 1: s != t
+/// assert_eq!(all[1].as_ref().map(|s| s.weight), Some(10)); // direct edge
+/// assert_eq!(all[2].as_ref().map(|s| s.weight), Some(2));  // the chain
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn constrained_shortest_paths_all_k<W: Weight>(
+    g: &Dag<W>,
+    s: usize,
+    t: usize,
+    k_max: usize,
+) -> Result<Vec<Option<PathSolution<W>>>, CsppError> {
+    let n = g.vertex_count();
+    for x in [s, t] {
+        if x >= n {
+            return Err(CsppError::VertexOutOfRange { vertex: x, len: n });
+        }
+    }
+    if k_max == 0 || k_max > n {
+        return Err(CsppError::InvalidK { k: k_max, len: n });
+    }
+    if !g.is_acyclic() {
+        return Err(CsppError::NotAcyclic);
+    }
+
+    let mut prev: Vec<Option<W>> = vec![None; n];
+    prev[s] = Some(W::ZERO);
+    let mut solutions: Vec<Option<PathSolution<W>>> = Vec::with_capacity(k_max);
+    solutions.push((s == t).then(|| PathSolution {
+        vertices: vec![s],
+        weight: W::ZERO,
+    }));
+
+    let mut pred: Vec<u32> = vec![NO_PRED; k_max.saturating_sub(1) * n];
+    let mut cur: Vec<Option<W>> = vec![None; n];
+    for l in 2..=k_max {
+        let layer = (l - 2) * n;
+        for v in 0..n {
+            let mut best: Option<(W, u32)> = None;
+            for &(u, w) in g.in_edges(v) {
+                if let Some(base) = prev[u as usize] {
+                    let cand = base + w;
+                    if best.is_none_or(|(b, _)| cand < b) {
+                        best = Some((cand, u));
+                    }
+                }
+            }
+            match best {
+                Some((w, u)) => {
+                    cur[v] = Some(w);
+                    pred[layer + v] = u;
+                }
+                None => cur[v] = None,
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(None);
+
+        solutions.push(prev[t].map(|weight| {
+            let mut vertices = vec![0usize; l];
+            vertices[l - 1] = t;
+            let mut v = t;
+            for ll in (2..=l).rev() {
+                v = pred[(ll - 2) * n + v] as usize;
+                vertices[ll - 2] = v;
+            }
+            debug_assert_eq!(vertices[0], s);
+            PathSolution { vertices, weight }
+        }));
+    }
+    Ok(solutions)
+}
+
+/// The classical (unconstrained) shortest path from `s` to `t` on a DAG,
+/// for comparison with the constrained variant (paper Figure 4 contrasts
+/// the two).
+///
+/// Runs in `O(|V| + |E|)` after a topological ordering.
+///
+/// # Errors
+///
+/// Same as [`constrained_shortest_path`], minus the `k` validation.
+pub fn shortest_path<W: Weight>(
+    g: &Dag<W>,
+    s: usize,
+    t: usize,
+) -> Result<PathSolution<W>, CsppError> {
+    let n = g.vertex_count();
+    for x in [s, t] {
+        if x >= n {
+            return Err(CsppError::VertexOutOfRange { vertex: x, len: n });
+        }
+    }
+    if !g.is_acyclic() {
+        return Err(CsppError::NotAcyclic);
+    }
+
+    // Topological order via repeated peeling of in-degree-zero vertices.
+    let mut in_degree: Vec<usize> = (0..n).map(|v| g.in_edges(v).len()).collect();
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        for &(u, _) in g.in_edges(v) {
+            out_edges[u as usize].push(v);
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&v| in_degree[v] == 0).collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(v) = stack.pop() {
+        topo.push(v);
+        for &w in &out_edges[v] {
+            in_degree[w] -= 1;
+            if in_degree[w] == 0 {
+                stack.push(w);
+            }
+        }
+    }
+
+    let mut dist: Vec<Option<W>> = vec![None; n];
+    let mut pred: Vec<u32> = vec![NO_PRED; n];
+    dist[s] = Some(W::ZERO);
+    for &v in &topo {
+        if v == s {
+            continue;
+        }
+        let mut best: Option<(W, u32)> = None;
+        for &(u, w) in g.in_edges(v) {
+            if let Some(base) = dist[u as usize] {
+                let cand = base + w;
+                if best.is_none_or(|(b, _)| cand < b) {
+                    best = Some((cand, u));
+                }
+            }
+        }
+        if let Some((w, u)) = best {
+            dist[v] = Some(w);
+            pred[v] = u;
+        }
+    }
+
+    let weight = dist[t].ok_or(CsppError::NoSuchPath)?;
+    let mut vertices = vec![t];
+    let mut v = t;
+    while v != s {
+        v = pred[v] as usize;
+        vertices.push(v);
+    }
+    vertices.reverse();
+    Ok(PathSolution { vertices, weight })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's Figure 4 graph (vertices renumbered from 0).
+    fn figure4() -> Dag<u64> {
+        let mut g = Dag::new(6);
+        for (u, v, w) in [
+            (0, 1, 1),
+            (1, 2, 2),
+            (2, 3, 2),
+            (3, 4, 2),
+            (4, 5, 1),
+            (0, 2, 6),
+            (1, 3, 6),
+            (3, 5, 4),
+            (1, 4, 13),
+        ] {
+            g.add_edge(u, v, w).expect("valid edge");
+        }
+        g
+    }
+
+    #[test]
+    fn figure4_unconstrained_is_8() {
+        let sol = shortest_path(&figure4(), 0, 5).expect("path exists");
+        assert_eq!(sol.weight, 8);
+        assert_eq!(sol.vertices, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn figure4_k4_is_11_via_v2_v4() {
+        let sol = constrained_shortest_path(&figure4(), 0, 5, 4).expect("path exists");
+        assert_eq!(sol.weight, 11);
+        assert_eq!(sol.vertices, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn figure4_other_k_values() {
+        let g = figure4();
+        // The other two 4-vertex paths weigh 12 and 15 (asserted by the
+        // paper's prose); k = 5 has a cheaper option at 9.
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 6)
+                .expect("chain")
+                .weight,
+            8
+        );
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 5).expect("path").weight,
+            9
+        );
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 3),
+            Err(CsppError::NoSuchPath),
+        );
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 2),
+            Err(CsppError::NoSuchPath),
+        );
+    }
+
+    #[test]
+    fn k1_requires_s_equals_t() {
+        let g = figure4();
+        let sol = constrained_shortest_path(&g, 3, 3, 1).expect("trivial path");
+        assert_eq!((sol.vertices, sol.weight), (vec![3], 0));
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 1),
+            Err(CsppError::NoSuchPath)
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let g = figure4();
+        assert_eq!(
+            constrained_shortest_path(&g, 9, 5, 3),
+            Err(CsppError::VertexOutOfRange { vertex: 9, len: 6 })
+        );
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 0),
+            Err(CsppError::InvalidK { k: 0, len: 6 })
+        );
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 5, 7),
+            Err(CsppError::InvalidK { k: 7, len: 6 })
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g: Dag<u64> = Dag::new(3);
+        g.add_edge(0, 1, 1).expect("edge");
+        g.add_edge(1, 2, 1).expect("edge");
+        g.add_edge(2, 0, 1).expect("edge");
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 2, 3),
+            Err(CsppError::NotAcyclic)
+        );
+        assert_eq!(shortest_path(&g, 0, 2), Err(CsppError::NotAcyclic));
+    }
+
+    #[test]
+    fn parallel_edges_take_the_lighter() {
+        let mut g: Dag<u64> = Dag::new(2);
+        g.add_edge(0, 1, 9).expect("edge");
+        g.add_edge(0, 1, 4).expect("edge");
+        assert_eq!(
+            constrained_shortest_path(&g, 0, 1, 2).expect("path").weight,
+            4
+        );
+    }
+
+    #[test]
+    fn float_weights_work() {
+        use crate::OrderedF64;
+        let w = |x: f64| OrderedF64::new(x).expect("finite");
+        let mut g: Dag<OrderedF64> = Dag::new(3);
+        g.add_edge(0, 1, w(0.5)).expect("edge");
+        g.add_edge(1, 2, w(0.25)).expect("edge");
+        g.add_edge(0, 2, w(1.0)).expect("edge");
+        let sol = constrained_shortest_path(&g, 0, 2, 3).expect("path");
+        assert_eq!(sol.weight.into_inner(), 0.75);
+    }
+
+    /// Brute-force enumeration of all s→t paths with exactly k vertices.
+    fn brute_force(g: &Dag<u64>, s: usize, t: usize, k: usize) -> Option<(u64, Vec<usize>)> {
+        let n = g.vertex_count();
+        let mut out: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &(u, w) in g.in_edges(v) {
+                out[u as usize].push((v, w));
+            }
+        }
+        let mut best: Option<(u64, Vec<usize>)> = None;
+        let mut path = vec![s];
+        fn dfs(
+            out: &[Vec<(usize, u64)>],
+            path: &mut Vec<usize>,
+            weight: u64,
+            t: usize,
+            k: usize,
+            best: &mut Option<(u64, Vec<usize>)>,
+        ) {
+            let v = *path.last().expect("non-empty");
+            if path.len() == k {
+                if v == t && best.as_ref().is_none_or(|(bw, _)| weight < *bw) {
+                    *best = Some((weight, path.clone()));
+                }
+                return;
+            }
+            for &(nxt, w) in &out[v] {
+                if !path.contains(&nxt) {
+                    path.push(nxt);
+                    dfs(out, path, weight + w, t, k, best);
+                    path.pop();
+                }
+            }
+        }
+        dfs(&out, &mut path, 0, t, k, &mut best);
+        best
+    }
+
+    #[test]
+    fn all_k_matches_individual_solves_on_figure4() {
+        let g = figure4();
+        let all = constrained_shortest_paths_all_k(&g, 0, 5, 6).expect("valid");
+        assert_eq!(all.len(), 6);
+        for (i, entry) in all.iter().enumerate() {
+            let k = i + 1;
+            match constrained_shortest_path(&g, 0, 5, k) {
+                Ok(sol) => {
+                    let e = entry.as_ref().expect("both find a path");
+                    assert_eq!(
+                        (e.weight, &e.vertices),
+                        (sol.weight, &sol.vertices),
+                        "k={k}"
+                    );
+                }
+                Err(CsppError::NoSuchPath) => assert!(entry.is_none(), "k={k}"),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_k_validates_inputs() {
+        let g = figure4();
+        assert_eq!(
+            constrained_shortest_paths_all_k(&g, 0, 5, 0),
+            Err(CsppError::InvalidK { k: 0, len: 6 })
+        );
+        assert_eq!(
+            constrained_shortest_paths_all_k(&g, 0, 9, 3),
+            Err(CsppError::VertexOutOfRange { vertex: 9, len: 6 })
+        );
+    }
+
+    proptest! {
+        /// All-k sweep agrees with per-k solves on random DAGs.
+        #[test]
+        fn all_k_matches_per_k(
+            n in 2usize..9,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 0..24),
+        ) {
+            let mut g: Dag<u64> = Dag::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    g.add_edge(a, b, w).expect("valid edge");
+                }
+            }
+            let all = constrained_shortest_paths_all_k(&g, 0, n - 1, n).expect("valid");
+            for k in 1..=n {
+                match constrained_shortest_path(&g, 0, n - 1, k) {
+                    Ok(sol) => {
+                        let e = all[k - 1].as_ref().expect("present");
+                        prop_assert_eq!(e.weight, sol.weight);
+                        prop_assert_eq!(&e.vertices, &sol.vertices);
+                    }
+                    Err(CsppError::NoSuchPath) => prop_assert!(all[k - 1].is_none()),
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            }
+        }
+
+        /// DP weight matches exhaustive search on random small DAGs
+        /// (edges only go from lower to higher ids, guaranteeing acyclicity).
+        #[test]
+        fn matches_brute_force(
+            n in 2usize..9,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 0..24),
+            k in 1usize..8,
+        ) {
+            let mut g: Dag<u64> = Dag::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    g.add_edge(a, b, w).expect("valid edge");
+                }
+            }
+            let k = 1 + k % n;
+            let expected = brute_force(&g, 0, n - 1, k);
+            match constrained_shortest_path(&g, 0, n - 1, k) {
+                Ok(sol) => {
+                    let (bw, _) = expected.expect("solver found a path; brute force must too");
+                    prop_assert_eq!(sol.weight, bw);
+                    prop_assert_eq!(sol.vertices.len(), k);
+                    prop_assert_eq!(sol.vertices[0], 0);
+                    prop_assert_eq!(*sol.vertices.last().expect("non-empty"), n - 1);
+                    // Verify the reported weight matches the edge weights.
+                    let mut total = 0u64;
+                    for win in sol.vertices.windows(2) {
+                        let w = g.in_edges(win[1]).iter()
+                            .filter(|&&(u, _)| u as usize == win[0])
+                            .map(|&(_, w)| w).min();
+                        total += w.expect("edge exists on reported path");
+                    }
+                    prop_assert_eq!(total, sol.weight);
+                }
+                Err(CsppError::NoSuchPath) => prop_assert!(expected.is_none()),
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+
+        /// The unconstrained optimum equals the best constrained optimum
+        /// over all k.
+        #[test]
+        fn unconstrained_is_min_over_k(
+            n in 2usize..9,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 0..24),
+        ) {
+            let mut g: Dag<u64> = Dag::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    g.add_edge(a, b, w).expect("valid edge");
+                }
+            }
+            let best_k = (1..=n)
+                .filter_map(|k| constrained_shortest_path(&g, 0, n - 1, k).ok())
+                .map(|s| s.weight)
+                .min();
+            match shortest_path(&g, 0, n - 1) {
+                Ok(sol) => prop_assert_eq!(Some(sol.weight), best_k),
+                Err(CsppError::NoSuchPath) => prop_assert_eq!(best_k, None),
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Path-weight abstraction.
+
+use core::fmt;
+use core::ops::Add;
+
+/// A totally ordered, additively accumulating path weight.
+///
+/// Implemented for the unsigned integer types (exact arithmetic — the
+/// floorplan selection errors are integers) and for [`OrderedF64`] (for
+/// `L_p` metrics with non-integral `p`).
+///
+/// The paper assumes strictly positive edge weights; the solver itself only
+/// requires non-negative weights (zero-weight edges are handled correctly
+/// because the path length, not the weight, drives the DP).
+pub trait Weight: Copy + Ord + Add<Output = Self> + fmt::Debug {
+    /// The additive identity (the weight of a single-vertex path).
+    const ZERO: Self;
+}
+
+impl Weight for u32 {
+    const ZERO: Self = 0;
+}
+
+impl Weight for u64 {
+    const ZERO: Self = 0;
+}
+
+impl Weight for u128 {
+    const ZERO: Self = 0;
+}
+
+/// A totally ordered `f64` for use as a path weight.
+///
+/// NaN is rejected at construction so that `Ord` is sound. Comparisons are
+/// IEEE-754 ordering on the remaining values.
+///
+/// ```
+/// use fp_cspp::OrderedF64;
+///
+/// let a = OrderedF64::new(1.5).expect("finite");
+/// let b = OrderedF64::new(2.0).expect("finite");
+/// assert!(a < b);
+/// assert_eq!((a + b).into_inner(), 3.5);
+/// assert!(OrderedF64::new(f64::NAN).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a non-NaN value; returns `None` for NaN.
+    #[inline]
+    #[must_use]
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_nan() {
+            None
+        } else {
+            Some(OrderedF64(value))
+        }
+    }
+
+    /// The wrapped value.
+    #[inline]
+    #[must_use]
+    pub fn into_inner(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("OrderedF64 excludes NaN")
+    }
+}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for OrderedF64 {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        // Sum of non-NaN values is non-NaN (inf + -inf cannot occur with
+        // the non-negative weights used here, and would panic in debug via
+        // the constructor if it did not hold).
+        OrderedF64(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Weight for OrderedF64 {
+    const ZERO: Self = OrderedF64(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_weights_have_zero() {
+        assert_eq!(<u64 as Weight>::ZERO + 5, 5);
+        assert_eq!(<u128 as Weight>::ZERO, 0);
+        assert_eq!(<u32 as Weight>::ZERO, 0);
+    }
+
+    #[test]
+    fn ordered_f64_rejects_nan_and_orders() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+        let mut vals: Vec<OrderedF64> = [3.0, 1.0, 2.5]
+            .into_iter()
+            .filter_map(OrderedF64::new)
+            .collect();
+        vals.sort();
+        let raw: Vec<f64> = vals.into_iter().map(OrderedF64::into_inner).collect();
+        assert_eq!(raw, vec![1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn ordered_f64_zero_and_add() {
+        let z = <OrderedF64 as Weight>::ZERO;
+        let x = OrderedF64::new(4.25).expect("finite");
+        assert_eq!((z + x).into_inner(), 4.25);
+        assert_eq!(format!("{x}"), "4.25");
+    }
+}

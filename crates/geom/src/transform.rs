@@ -1,0 +1,334 @@
+//! Axis-aligned transforms (the dihedral group D4 without rotations spelled
+//! out: transpose + mirrors generate all eight symmetries).
+
+use core::fmt;
+
+use crate::{LShape, Rect};
+
+/// An axis-aligned symmetry: an optional transposition (reflection across
+/// `y = x`) followed by optional mirrors about the vertical (`flip_x`) and
+/// horizontal (`flip_y`) axes.
+///
+/// These eight transforms form the dihedral group D4. They act on
+/// [`Rect`]/[`LShape`] *sizes* (where only transposition matters — mirrors do
+/// not change measurements) and on [`crate::LOrient`] block orientations
+/// (where all three components matter).
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::{LOrient, Rect, Transform};
+///
+/// let t = Transform::TRANSPOSE.then(Transform::FLIP_X);
+/// assert_eq!(t.apply_rect(Rect::new(3, 7)), Rect::new(7, 3));
+/// assert_eq!(LOrient::NotchSw.transformed(t), LOrient::NotchSe);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transform {
+    transpose: bool,
+    flip_x: bool,
+    flip_y: bool,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        transpose: false,
+        flip_x: false,
+        flip_y: false,
+    };
+    /// Mirror about the vertical axis (x := -x).
+    pub const FLIP_X: Transform = Transform {
+        transpose: false,
+        flip_x: true,
+        flip_y: false,
+    };
+    /// Mirror about the horizontal axis (y := -y).
+    pub const FLIP_Y: Transform = Transform {
+        transpose: false,
+        flip_x: false,
+        flip_y: true,
+    };
+    /// Reflection across the main diagonal `y = x`.
+    pub const TRANSPOSE: Transform = Transform {
+        transpose: true,
+        flip_x: false,
+        flip_y: false,
+    };
+    /// 180° rotation (both mirrors).
+    pub const ROTATE_180: Transform = Transform {
+        transpose: false,
+        flip_x: true,
+        flip_y: true,
+    };
+
+    /// All eight transforms of D4.
+    pub const ALL: [Transform; 8] = [
+        Transform {
+            transpose: false,
+            flip_x: false,
+            flip_y: false,
+        },
+        Transform {
+            transpose: false,
+            flip_x: true,
+            flip_y: false,
+        },
+        Transform {
+            transpose: false,
+            flip_x: false,
+            flip_y: true,
+        },
+        Transform {
+            transpose: false,
+            flip_x: true,
+            flip_y: true,
+        },
+        Transform {
+            transpose: true,
+            flip_x: false,
+            flip_y: false,
+        },
+        Transform {
+            transpose: true,
+            flip_x: true,
+            flip_y: false,
+        },
+        Transform {
+            transpose: true,
+            flip_x: false,
+            flip_y: true,
+        },
+        Transform {
+            transpose: true,
+            flip_x: true,
+            flip_y: true,
+        },
+    ];
+
+    /// Creates a transform from its three components. The transposition is
+    /// applied first, then the mirrors.
+    #[inline]
+    #[must_use]
+    pub const fn new(transpose: bool, flip_x: bool, flip_y: bool) -> Self {
+        Transform {
+            transpose,
+            flip_x,
+            flip_y,
+        }
+    }
+
+    /// Whether this transform transposes (swaps the axes) first.
+    #[inline]
+    #[must_use]
+    pub const fn transpose(self) -> bool {
+        self.transpose
+    }
+
+    /// Whether this transform mirrors about the vertical axis.
+    #[inline]
+    #[must_use]
+    pub const fn flip_x(self) -> bool {
+        self.flip_x
+    }
+
+    /// Whether this transform mirrors about the horizontal axis.
+    #[inline]
+    #[must_use]
+    pub const fn flip_y(self) -> bool {
+        self.flip_y
+    }
+
+    /// Composition: the transform that applies `self` first, then `other`.
+    #[inline]
+    #[must_use]
+    pub const fn then(self, other: Transform) -> Transform {
+        // self = F_s ∘ T_s, other = F_o ∘ T_o (transpose applied first).
+        // other ∘ self = F_o ∘ (T_o ∘ F_s) ∘ T_s and T ∘ F_x = F_y ∘ T,
+        // so pulling F_s through T_o swaps its components when T_o holds.
+        let (sx, sy) = if other.transpose {
+            (self.flip_y, self.flip_x)
+        } else {
+            (self.flip_x, self.flip_y)
+        };
+        Transform {
+            transpose: self.transpose != other.transpose,
+            flip_x: sx != other.flip_x,
+            flip_y: sy != other.flip_y,
+        }
+    }
+
+    /// The inverse transform (`t.then(t.inverse()) == IDENTITY`).
+    #[inline]
+    #[must_use]
+    pub const fn inverse(self) -> Transform {
+        // F ∘ T inverted is T ∘ F = (T F T) ∘ T: swap flips when transposing.
+        if self.transpose {
+            Transform {
+                transpose: true,
+                flip_x: self.flip_y,
+                flip_y: self.flip_x,
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Applies the transform to a rectangle size (mirrors are no-ops on
+    /// sizes; transposition swaps width and height).
+    #[inline]
+    #[must_use]
+    pub const fn apply_rect(self, r: Rect) -> Rect {
+        if self.transpose {
+            r.rotated()
+        } else {
+            r
+        }
+    }
+
+    /// Applies the transform to a canonical L-shape tuple.
+    ///
+    /// Mirrors leave the canonical measurements unchanged (they only move
+    /// the notch, which [`crate::LOrient`] tracks); transposition swaps the
+    /// width and height roles.
+    #[inline]
+    #[must_use]
+    pub const fn apply_lshape(self, l: LShape) -> LShape {
+        if self.transpose {
+            l.transposed()
+        } else {
+            l
+        }
+    }
+}
+
+impl fmt::Debug for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Transform(transpose={}, flip_x={}, flip_y={})",
+            self.transpose, self.flip_x, self.flip_y
+        )
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Transform::IDENTITY {
+            return f.write_str("id");
+        }
+        let mut parts = Vec::new();
+        if self.transpose {
+            parts.push("T");
+        }
+        if self.flip_x {
+            parts.push("Fx");
+        }
+        if self.flip_y {
+            parts.push("Fy");
+        }
+        f.write_str(&parts.join("·"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LOrient;
+
+    /// Reference implementation: act on a labelled unit-square corner set.
+    /// Represent an orientation by the notch corner as (x, y) ∈ {0,1}².
+    fn corner(o: LOrient) -> (i8, i8) {
+        match o {
+            LOrient::NotchNe => (1, 1),
+            LOrient::NotchNw => (0, 1),
+            LOrient::NotchSe => (1, 0),
+            LOrient::NotchSw => (0, 0),
+        }
+    }
+
+    fn apply_to_corner(t: Transform, (x, y): (i8, i8)) -> (i8, i8) {
+        let (mut x, mut y) = if t.transpose() { (y, x) } else { (x, y) };
+        if t.flip_x() {
+            x = 1 - x;
+        }
+        if t.flip_y() {
+            y = 1 - y;
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn orientation_action_matches_corner_model() {
+        for t in Transform::ALL {
+            for o in LOrient::ALL {
+                assert_eq!(
+                    corner(o.transformed(t)),
+                    apply_to_corner(t, corner(o)),
+                    "transform {t} on {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                let c = a.then(b);
+                for o in LOrient::ALL {
+                    assert_eq!(
+                        o.transformed(a).transformed(b),
+                        o.transformed(c),
+                        "composition {a} then {b}"
+                    );
+                }
+                for r in [Rect::new(3, 7), Rect::new(5, 5)] {
+                    assert_eq!(b.apply_rect(a.apply_rect(r)), c.apply_rect(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided() {
+        for t in Transform::ALL {
+            assert_eq!(
+                t.then(t.inverse()),
+                Transform::IDENTITY,
+                "{t} right inverse"
+            );
+            assert_eq!(t.inverse().then(t), Transform::IDENTITY, "{t} left inverse");
+        }
+    }
+
+    #[test]
+    fn group_is_closed_with_eight_elements() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                seen.insert(format!("{:?}", a.then(b)));
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn lshape_action_transposes_only() {
+        let l = LShape::new_canonical(10, 4, 8, 3);
+        assert_eq!(Transform::FLIP_X.apply_lshape(l), l);
+        assert_eq!(Transform::FLIP_Y.apply_lshape(l), l);
+        assert_eq!(Transform::TRANSPOSE.apply_lshape(l), l.transposed());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Transform::IDENTITY.to_string(), "id");
+        assert_eq!(
+            Transform::TRANSPOSE.then(Transform::ROTATE_180).to_string(),
+            "T·Fx·Fy"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! `fpcompress` — compress the module shape lists of a floorplan instance
+//! with `R_Selection`.
+//!
+//! ```sh
+//! fpcompress design.fpt --k 8 -o compact.fpt
+//! fpcompress design.fpt --max-error 50 -o compact.fpt
+//! ```
+//!
+//! This is the paper's §6 "continuous shape curve" application in tool
+//! form: module generators often emit densely sampled shape curves;
+//! compressing each module's list to `k` points (or to an error budget)
+//! before floorplanning bounds the optimizer's input size with an
+//! *optimal* per-module approximation.
+
+use std::process::ExitCode;
+
+use fp_select::curve::r_selection_within;
+use fp_select::r_selection;
+use fp_tree::format::{parse_instance, write_instance, FloorplanInstance};
+use fp_tree::{Module, ModuleLibrary};
+
+const USAGE: &str = "\
+usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [-o <out.fpt>]
+
+  --k <count>        keep at most <count> implementations per module
+                     (optimal R_Selection; endpoints always survive)
+  --max-error <a>    keep the smallest subset per module whose staircase
+                     error is at most <a>
+  -o <out.fpt>       output path (default: stdout)
+";
+
+enum Mode {
+    FixedK(usize),
+    MaxError(u128),
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut mode: Option<Mode> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --k needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(k) if k >= 2 => mode = Some(Mode::FixedK(k)),
+                    _ => {
+                        eprintln!("fpcompress: --k must be an integer >= 2");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-error" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --max-error needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(e) => mode = Some(Mode::MaxError(e)),
+                    Err(err) => {
+                        eprintln!("fpcompress: --max-error: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-o" => output = it.next().cloned(),
+            "--help" | "-h" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fpcompress: unknown option {other}\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => input = Some(other.to_owned()),
+        }
+    }
+    let (Some(input), Some(mode)) = (input, mode) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fpcompress: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let instance = match parse_instance(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("fpcompress: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut before = 0usize;
+    let mut after = 0usize;
+    let mut total_error: u128 = 0;
+    let library: ModuleLibrary = instance
+        .library
+        .iter()
+        .map(|module| {
+            let list = module.implementations();
+            before += list.len();
+            let selection = match mode {
+                Mode::FixedK(k) => r_selection(list, k),
+                Mode::MaxError(e) => r_selection_within(list, e),
+            }
+            .expect("parsed modules have non-empty lists");
+            after += selection.positions.len();
+            total_error += selection.error;
+            Module::new(module.name(), list.subset(&selection.positions).into_vec())
+        })
+        .collect();
+
+    let compressed = FloorplanInstance {
+        name: instance.name.clone(),
+        tree: instance.tree.clone(),
+        library,
+    };
+    let out_text = write_instance(&compressed);
+    match &output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, out_text) {
+                eprintln!("fpcompress: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{out_text}"),
+    }
+    eprintln!(
+        "fpcompress: {} -> {} implementations across {} modules (total staircase error {})",
+        before,
+        after,
+        compressed.library.len(),
+        total_error
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,316 @@
+//! `fpopt` — command-line floorplan area optimizer.
+//!
+//! ```sh
+//! fpopt design.fpt --k1 40 --k2 1000 --svg out.svg
+//! fpopt @fp1 --n 16 --seed 3 --ascii
+//! ```
+//!
+//! Inputs are `.fpt` instance files (see `fp_tree::format`) or built-in
+//! benchmarks (`@fig1`, `@fp1` … `@fp4`). Options mirror the paper's
+//! knobs: `--k1` enables `R_Selection`, `--k2` (with `--theta`,
+//! `--prefilter`) enables `L_Selection`, and `--memory` bounds the
+//! implementation count the way the paper's machine did.
+
+use std::process::ExitCode;
+
+use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_select::LReductionPolicy;
+use fp_tree::format::{parse_instance, FloorplanInstance};
+use fp_tree::layout::realize;
+use fp_tree::{export, generators};
+
+const USAGE: &str = "\
+usage: fpopt <design.fpt | @fig1 | @fp1..@fp4> [options]
+
+input options (built-in benchmarks only):
+  --n <count>        implementations per module (default 8)
+  --seed <u64>       module-set seed (default 1)
+
+selection options (paper knobs):
+  --k1 <limit>       enable R_Selection with limit K1
+  --k2 <limit>       enable L_Selection with limit K2
+  --theta <0..1]     L_Selection trigger (default 1.0)
+  --prefilter <S>    heuristic prefilter threshold (default off)
+  --parallel         reduce L-lists on worker threads (same results)
+  --memory <count>   implementation budget (default 10000000)
+  --outline <WxH>    require the floorplan to fit a fixed outline
+  --objective <obj>  area (default) or hp (half-perimeter)
+
+output options:
+  --ascii            print the layout as ASCII art
+  --svg <path>       write the layout as SVG
+  --dot <path>       write the floorplan tree as Graphviz DOT
+  --fpt <path>       write the instance back as .fpt (round-trip)
+";
+
+struct Args {
+    input: String,
+    n: usize,
+    seed: u64,
+    k1: Option<usize>,
+    k2: Option<usize>,
+    theta: f64,
+    prefilter: Option<usize>,
+    parallel: bool,
+    memory: Option<usize>,
+    outline: Option<fp_geom::Rect>,
+    objective: fp_optimizer::Objective,
+    ascii: bool,
+    svg: Option<String>,
+    dot: Option<String>,
+    fpt: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        n: 8,
+        seed: 1,
+        k1: None,
+        k2: None,
+        theta: 1.0,
+        prefilter: None,
+        parallel: false,
+        memory: None,
+        outline: None,
+        objective: fp_optimizer::Objective::MinArea,
+        ascii: false,
+        svg: None,
+        dot: None,
+        fpt: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--k1" => args.k1 = Some(value("--k1")?.parse().map_err(|e| format!("--k1: {e}"))?),
+            "--k2" => args.k2 = Some(value("--k2")?.parse().map_err(|e| format!("--k2: {e}"))?),
+            "--theta" => {
+                args.theta = value("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?;
+            }
+            "--prefilter" => {
+                args.prefilter = Some(
+                    value("--prefilter")?
+                        .parse()
+                        .map_err(|e| format!("--prefilter: {e}"))?,
+                );
+            }
+            "--memory" => {
+                args.memory = Some(
+                    value("--memory")?
+                        .parse()
+                        .map_err(|e| format!("--memory: {e}"))?,
+                );
+            }
+            "--outline" => {
+                let v = value("--outline")?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("--outline expects WxH, found {v}"))?;
+                let w = w.parse().map_err(|e| format!("--outline width: {e}"))?;
+                let h = h.parse().map_err(|e| format!("--outline height: {e}"))?;
+                args.outline = Some(fp_geom::Rect::new(w, h));
+            }
+            "--objective" => {
+                args.objective = match value("--objective")?.as_str() {
+                    "area" => fp_optimizer::Objective::MinArea,
+                    "hp" => fp_optimizer::Objective::MinHalfPerimeter,
+                    other => return Err(format!("unknown objective `{other}` (area, hp)")),
+                };
+            }
+            "--parallel" => args.parallel = true,
+            "--ascii" => args.ascii = true,
+            "--svg" => args.svg = Some(value("--svg")?),
+            "--dot" => args.dot = Some(value("--dot")?),
+            "--fpt" => args.fpt = Some(value("--fpt")?),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => {
+                if !args.input.is_empty() {
+                    return Err(format!("multiple inputs: {} and {other}", args.input));
+                }
+                args.input = other.to_owned();
+            }
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing input".to_owned());
+    }
+    Ok(args)
+}
+
+fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
+    if let Some(name) = args.input.strip_prefix('@') {
+        let bench = match name {
+            "fig1" => generators::fig1(),
+            "fp1" => generators::fp1(),
+            "fp2" => generators::fp2(),
+            "fp3" => generators::fp3(),
+            "fp4" => generators::fp4(),
+            "ami33" => {
+                let (bench, library) = generators::ami33_like();
+                return Ok(FloorplanInstance {
+                    name: bench.name,
+                    tree: bench.tree,
+                    library,
+                });
+            }
+            "ami49" => {
+                let (bench, library) = generators::ami49_like();
+                return Ok(FloorplanInstance {
+                    name: bench.name,
+                    tree: bench.tree,
+                    library,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unknown built-in @{other} (fig1, fp1..fp4, ami33, ami49)"
+                ))
+            }
+        };
+        let library = generators::module_library(&bench.tree, args.n, args.seed);
+        Ok(FloorplanInstance {
+            name: bench.name,
+            tree: bench.tree,
+            library,
+        })
+    } else {
+        let text = std::fs::read_to_string(&args.input)
+            .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+        parse_instance(&text).map_err(|e| format!("{}: {e}", args.input))
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("fpopt: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let instance = match load_instance(&args) {
+        Ok(i) => i,
+        Err(msg) => {
+            eprintln!("fpopt: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "instance {}: {} modules, {} tree nodes",
+        instance.name,
+        instance.tree.module_count(),
+        instance.tree.len()
+    );
+
+    let mut config = OptimizeConfig::default().with_objective(args.objective);
+    if let Some(outline) = args.outline {
+        config = config.with_outline(outline);
+    }
+    if let Some(limit) = args.memory {
+        config = config.with_memory_limit(Some(limit));
+    }
+    if let Some(k1) = args.k1 {
+        config = config.with_r_selection(k1);
+    }
+    if let Some(k2) = args.k2 {
+        let mut policy = LReductionPolicy::new(k2)
+            .with_theta(args.theta)
+            .with_parallel(args.parallel);
+        if let Some(s) = args.prefilter {
+            policy = policy.with_prefilter(s);
+        }
+        config = config.with_l_selection(policy);
+    }
+
+    let outcome = match optimize(&instance.tree, &instance.library, &config) {
+        Ok(out) => out,
+        Err(OptError::OutOfMemory { live, limit, peak }) => {
+            eprintln!(
+                "fpopt: out of memory: {live} implementations live (budget {limit}, peak {peak})"
+            );
+            eprintln!("       try --k1/--k2 to enable the selection algorithms");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("fpopt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("optimal area {} as {}", outcome.area, outcome.root_impl);
+    let layout = match realize(&instance.tree, &instance.library, &outcome.assignment) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fpopt: internal error: assignment does not realize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    debug_assert_eq!(layout.area(), outcome.area);
+    println!(
+        "verified layout: {} modules placed, dead space {} of {} ({:.1}%)",
+        layout.placed.len(),
+        layout.dead_space(),
+        layout.area(),
+        100.0 * layout.dead_space() as f64 / layout.area().max(1) as f64
+    );
+    println!(
+        "stats: peak {} implementations (generated {}), {} R-reductions, {} L-reductions, {:?}",
+        outcome.stats.peak_impls,
+        outcome.stats.generated,
+        outcome.stats.r_reductions,
+        outcome.stats.l_reductions,
+        outcome.stats.elapsed
+    );
+
+    if args.ascii {
+        println!("\n{}", layout.to_ascii(72));
+    }
+    if let Some(path) = &args.svg {
+        let svg = export::layout_to_svg(&layout, &instance.tree, &instance.library, 800);
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.dot {
+        let dot = export::tree_to_dot(&instance.tree, &instance.library);
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.fpt {
+        let text = fp_tree::format::write_instance(&instance);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,169 @@
+//! The wheel join algebra: closed-form composition of partial pinwheels.
+//!
+//! A wheel `[A, B, C, D, E]` (see [`fp_tree::NodeKind`]) is assembled as
+//! `(((A ⊕ E) ⊕ B) ⊕ C) ⊕ D`. Each stage's partial assembly is an L-shaped
+//! block whose implementation 4-tuple carries exactly the measurements the
+//! remaining stages need; the final stage completes the enveloping
+//! rectangle. The formulas below are derived from the wheel's region
+//! constraints (see [`fp_tree::wheel`]) so that
+//!
+//! ```text
+//! stage4(stage3(stage2(stage1(a, e), b), c), d)
+//!     == fp_tree::wheel::min_envelope([a, b, c, d, e])
+//! ```
+//!
+//! for **every** combination of child sizes — a property test below checks
+//! this exhaustively. Each stage is monotone in every tuple coordinate,
+//! which is what makes dominance pruning of the intermediate L-lists sound.
+//!
+//! # Tuple semantics per stage
+//!
+//! * **Stage 1** (`A ⊕ E`, bottom-aligned): the canonical tall-left L.
+//!   `w1 = w_A + w_E`, `w2 = w_A`, `h1 = max(h_A, h_E)`, `h2 = h_E`.
+//! * **Stage 2** (`+ B` on top): a top-heavy L. `w1` = full (top) width,
+//!   `w2` = bottom width, `h1` = total height, `h2` = top-strip height.
+//! * **Stage 3** (`+ C` on the right): a bottom-right-hanging L. `w1` =
+//!   full width, `w2` = hanging-column width, `h1` = right-edge (total)
+//!   height, `h2` = upper-part height.
+//! * **Stage 4** (`+ D` bottom-left): the completed rectangle
+//!   `W = max(w1, w_D + w2)`, `H = max(h_D + h2, h1)`.
+
+use fp_geom::{LShape, Rect};
+
+/// Stage 1: arm `A` (left) beside centre `E` (right), bottom-aligned.
+///
+/// ```
+/// use fp_geom::{LShape, Rect};
+/// use fp_optimizer::joins::stage1;
+///
+/// let l = stage1(Rect::new(1, 2), Rect::new(1, 1));
+/// assert_eq!(l, LShape::new(2, 1, 2, 1).expect("canonical"));
+/// ```
+#[inline]
+#[must_use]
+pub fn stage1(a: Rect, e: Rect) -> LShape {
+    LShape::new_canonical(a.w + e.w, a.w, a.h.max(e.h), e.h)
+}
+
+/// Stage 2: the stage-1 L plus the top strip `B`.
+#[inline]
+#[must_use]
+pub fn stage2(l: LShape, b: Rect) -> LShape {
+    LShape::new_canonical((l.w2 + b.w).max(l.w1), l.w1, l.h1.max(l.h2 + b.h), b.h)
+}
+
+/// Stage 3: the stage-2 L plus the right column `C`.
+#[inline]
+#[must_use]
+pub fn stage3(l: LShape, c: Rect) -> LShape {
+    LShape::new_canonical(l.w1.max(l.w2 + c.w), c.w, l.h1.max(l.h2 + c.h), l.h1)
+}
+
+/// Stage 4: the stage-3 L plus the bottom strip `D`, completing the
+/// enveloping rectangle.
+#[inline]
+#[must_use]
+pub fn stage4(l: LShape, d: Rect) -> Rect {
+    Rect::new(l.w1.max(d.w + l.w2), (d.h + l.h2).max(l.h1))
+}
+
+/// The full chain for one combination of child sizes; equals
+/// [`fp_tree::wheel::min_envelope`].
+#[inline]
+#[must_use]
+pub fn wheel_envelope_via_stages(children: [Rect; 5]) -> Rect {
+    let [a, b, c, d, e] = children;
+    stage4(stage3(stage2(stage1(a, e), b), c), d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_tree::wheel;
+    use proptest::prelude::*;
+
+    #[test]
+    fn domino_pinwheel_through_stages() {
+        let a = Rect::new(1, 2);
+        let b = Rect::new(2, 1);
+        let c = Rect::new(1, 2);
+        let d = Rect::new(2, 1);
+        let e = Rect::new(1, 1);
+        let s1 = stage1(a, e);
+        assert_eq!(s1, LShape::new_canonical(2, 1, 2, 1));
+        let s2 = stage2(s1, b);
+        assert_eq!(s2, LShape::new_canonical(3, 2, 2, 1));
+        let s3 = stage3(s2, c);
+        assert_eq!(s3, LShape::new_canonical(3, 1, 3, 2));
+        assert_eq!(stage4(s3, d), Rect::new(3, 3));
+    }
+
+    #[test]
+    fn all_stages_stay_canonical_on_extremes() {
+        // Extreme aspect ratios must not break the canonical invariants.
+        let combos = [
+            [
+                Rect::new(1, 100),
+                Rect::new(100, 1),
+                Rect::new(1, 100),
+                Rect::new(100, 1),
+                Rect::new(1, 1),
+            ],
+            [Rect::new(100, 1); 5],
+            [Rect::new(1, 100); 5],
+            [Rect::new(1, 1); 5],
+        ];
+        for [a, b, c, d, e] in combos {
+            let s1 = stage1(a, e);
+            let s2 = stage2(s1, b);
+            let s3 = stage3(s2, c);
+            let _ = stage4(s3, d); // new_canonical would have panicked
+        }
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (1u64..40, 1u64..40).prop_map(|(w, h)| Rect::new(w, h))
+    }
+
+    proptest! {
+        /// The incremental stage algebra reproduces the closed-form wheel
+        /// envelope exactly, for every child-size combination.
+        #[test]
+        fn stages_match_closed_form(children in proptest::array::uniform5(arb_rect())) {
+            prop_assert_eq!(
+                wheel_envelope_via_stages(children),
+                wheel::min_envelope(children)
+            );
+        }
+
+        /// Every stage is monotone in each input coordinate (the property
+        /// dominance pruning relies on).
+        #[test]
+        fn stages_are_monotone(children in proptest::array::uniform5(arb_rect()),
+                               idx in 0usize..5, dw in 0u64..4, dh in 0u64..4) {
+            let mut grown = children;
+            grown[idx] = Rect::new(grown[idx].w + dw, grown[idx].h + dh);
+            let base = wheel_envelope_via_stages(children);
+            prop_assert!(wheel_envelope_via_stages(grown).dominates(base));
+        }
+
+        /// Dominance propagates through each single stage: if one stage-k
+        /// input dominates another, so does the output (with the same
+        /// attached rectangle).
+        #[test]
+        fn single_stage_dominance(la in proptest::array::uniform4(1u64..30),
+                                  lb in proptest::array::uniform4(1u64..30),
+                                  r in arb_rect()) {
+            let mk = |t: [u64; 4]| {
+                LShape::new_canonical(t[0].max(t[1]), t[0].min(t[1]),
+                                      t[2].max(t[3]), t[2].min(t[3]))
+            };
+            let (x, y) = (mk(la), mk(lb));
+            if x.dominates(y) {
+                prop_assert!(stage2(x, r).dominates(stage2(y, r)));
+                prop_assert!(stage3(x, r).dominates(stage3(y, r)));
+                prop_assert!(stage4(x, r).dominates(stage4(y, r)));
+            }
+        }
+    }
+}

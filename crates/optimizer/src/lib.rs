@@ -1,0 +1,45 @@
+//! Floorplan area optimization: a reconstruction of the Wang–Wong DAC'90
+//! optimal algorithm ("\[9\]" in the DAC'92 paper) with the DAC'92
+//! implementation-selection algorithms wired in as policies.
+//!
+//! The optimizer walks the restructured binary tree `T'` bottom-up,
+//! maintaining every block's set of non-redundant implementations:
+//! irreducible R-lists at rectangular blocks (slicing joins use the
+//! Stockmeyer merge) and sets of irreducible L-lists at the partial-wheel
+//! L-shaped blocks (the [`joins`] algebra). Whenever a block's set exceeds
+//! the configured limits, `R_Selection` / `L_Selection` optimally shrink it
+//! (paper §3); a configurable memory budget reproduces the "\[9\] failed to
+//! run" behaviour of the paper's Tables 3–4 deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_optimizer::{optimize, OptimizeConfig};
+//! use fp_tree::generators;
+//!
+//! let bench = generators::fp1();
+//! let lib = generators::module_library(&bench.tree, 3, 1);
+//! let outcome = optimize(&bench.tree, &lib, &OptimizeConfig::default())?;
+//! assert!(outcome.area > 0);
+//! // The assignment realizes to a layout with exactly the reported area.
+//! let layout = fp_tree::layout::realize(&bench.tree, &lib, &outcome.assignment)
+//!     .expect("assignment is valid");
+//! assert_eq!(layout.area(), outcome.area);
+//! assert_eq!(layout.validate(), None);
+//! # Ok::<(), fp_optimizer::OptError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direct;
+mod engine;
+pub mod joins;
+mod meter;
+pub mod oracle;
+pub mod stockmeyer;
+
+pub use engine::{
+    optimize, optimize_frontier, Frontier, Objective, OptError, OptimizeConfig, Outcome, RunStats,
+};
+pub use meter::{BudgetExhausted, MemoryMeter};

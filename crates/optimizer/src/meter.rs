@@ -1,0 +1,171 @@
+//! Implementation-count memory metering.
+//!
+//! The paper measures memory pressure as `M`, the maximum number of
+//! implementations ever stored at once, and reports "[9] failed to run"
+//! when the machine's memory was exhausted (Tables 3–4, the `> 8·10⁵`
+//! rows). [`MemoryMeter`] reproduces both deterministically: it tracks the
+//! live implementation count (committed block lists plus the candidates of
+//! the block currently being generated) and trips an optional budget the
+//! way `malloc` failure did on the 1991 SPARCstation.
+
+use core::fmt;
+
+/// Tracks live and peak implementation counts against an optional budget.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMeter {
+    limit: Option<usize>,
+    committed: usize,
+    transient: usize,
+    peak: usize,
+    generated: u64,
+}
+
+/// Error raised when the implementation budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Implementations live at the moment of exhaustion.
+    pub live: usize,
+    /// The configured budget.
+    pub limit: usize,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "implementation budget exhausted: {} live > {} allowed",
+            self.live, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+impl MemoryMeter {
+    /// A meter with no budget (tracks peak only).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        MemoryMeter::default()
+    }
+
+    /// A meter that fails once more than `limit` implementations are live.
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        MemoryMeter {
+            limit: Some(limit),
+            ..MemoryMeter::default()
+        }
+    }
+
+    /// Records `n` freshly generated candidate implementations for the
+    /// block under construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the live count passes the budget.
+    pub fn charge(&mut self, n: usize) -> Result<(), BudgetExhausted> {
+        self.transient += n;
+        self.generated += n as u64;
+        let live = self.committed + self.transient;
+        self.peak = self.peak.max(live);
+        match self.limit {
+            Some(limit) if live > limit => Err(BudgetExhausted { live, limit }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records that candidate implementations were pruned or selected away
+    /// while still under construction.
+    pub fn discard(&mut self, n: usize) {
+        debug_assert!(n <= self.transient, "discarding more than was charged");
+        self.transient -= n.min(self.transient);
+    }
+
+    /// Finalizes the block under construction: its surviving `n`
+    /// implementations become committed storage (they remain live for the
+    /// rest of the run — parents and the final traceback need them).
+    pub fn commit(&mut self, n: usize) {
+        debug_assert!(n <= self.transient, "committing more than is transient");
+        self.transient = 0;
+        self.committed += n;
+        self.peak = self.peak.max(self.committed);
+    }
+
+    /// Implementations currently live.
+    #[inline]
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.committed + self.transient
+    }
+
+    /// The peak live count (`M` in the paper's tables).
+    #[inline]
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total implementations ever generated (pre-pruning).
+    #[inline]
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The configured budget, if any.
+    #[inline]
+    #[must_use]
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak_across_blocks() {
+        let mut m = MemoryMeter::unbounded();
+        m.charge(100).expect("unbounded");
+        m.discard(40);
+        m.commit(60);
+        assert_eq!(m.live(), 60);
+        assert_eq!(m.peak(), 100);
+        m.charge(10).expect("unbounded");
+        m.commit(10);
+        assert_eq!(m.live(), 70);
+        assert_eq!(m.peak(), 100);
+        assert_eq!(m.generated(), 110);
+    }
+
+    #[test]
+    fn budget_trips_mid_block() {
+        let mut m = MemoryMeter::with_limit(50);
+        m.charge(30).expect("within budget");
+        m.commit(30);
+        m.charge(15).expect("within budget");
+        let err = m.charge(10).expect_err("over budget");
+        assert_eq!(
+            err,
+            BudgetExhausted {
+                live: 55,
+                limit: 50
+            }
+        );
+        assert!(err.to_string().contains("55 live > 50"));
+        // Peak still recorded at the moment of failure.
+        assert_eq!(m.peak(), 55);
+    }
+
+    #[test]
+    fn discard_then_commit_reduces_live() {
+        let mut m = MemoryMeter::with_limit(100);
+        m.charge(80).expect("ok");
+        m.discard(70);
+        m.commit(10);
+        assert_eq!(m.live(), 10);
+        m.charge(80).expect("ok after reduction");
+        assert_eq!(m.peak(), 90);
+    }
+}

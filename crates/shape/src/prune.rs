@@ -1,0 +1,376 @@
+//! Dominance-pruning kernels: extract the non-redundant (Pareto-minimal)
+//! subset of a candidate set.
+//!
+//! An implementation is *redundant* when it dominates another one (paper
+//! Definition 2): it is at least as large in every measurement, so it can
+//! never appear in an optimal floorplan that the smaller one could not also
+//! produce. All kernels here are payload-preserving: they operate on
+//! arbitrary items via a shape-key accessor so callers can carry provenance
+//! (which child implementations produced each candidate) through the prune.
+
+use fp_geom::{LShape, Rect};
+
+/// Keeps the Pareto-minimal rectangles of `items`, i.e. removes every item
+/// whose rectangle dominates another item's rectangle; exact duplicates are
+/// collapsed to one.
+///
+/// The survivors are returned sorted by width descending / height ascending
+/// — exactly the irreducible R-list order of paper Definition 4/5.
+///
+/// Runs in `O(n log n)`.
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::prune::pareto_min_rects_by;
+///
+/// let pruned = pareto_min_rects_by(
+///     vec![(Rect::new(3, 3), 'a'), (Rect::new(4, 4), 'b'), (Rect::new(5, 2), 'c')],
+///     |&(r, _)| r,
+/// );
+/// let names: Vec<char> = pruned.iter().map(|&(_, n)| n).collect();
+/// assert_eq!(names, vec!['c', 'a']); // 'b' dominated 'a'; width-descending order
+/// ```
+pub fn pareto_min_rects_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> Rect) -> Vec<T> {
+    // Sort by (w asc, h asc); sweep keeping a strictly decreasing minimum h.
+    items.sort_by_key(|t| {
+        let r = key(t);
+        (r.w, r.h)
+    });
+    let mut kept: Vec<T> = Vec::new();
+    let mut min_h: Option<u64> = None;
+    for item in items {
+        let h = key(&item).h;
+        if min_h.is_none_or(|m| h < m) {
+            min_h = Some(h);
+            kept.push(item);
+        }
+    }
+    // (w asc, h desc) reversed gives the canonical R-list order.
+    kept.reverse();
+    kept
+}
+
+/// [`pareto_min_rects_by`] for plain rectangles.
+pub fn pareto_min_rects(items: Vec<Rect>) -> Vec<Rect> {
+    pareto_min_rects_by(items, |&r| r)
+}
+
+/// Keeps the Pareto-minimal L-shapes of `items` under 4-dimensional
+/// dominance (paper Definition 1); exact duplicates collapse to one.
+///
+/// The survivors are returned sorted by `(w2, w1 desc, h1, h2)`, which is the
+/// grouping order [`crate::LListSet`] uses to carve irreducible L-lists.
+///
+/// Complexity: `O(n log n)` for the sort plus `O(n·f)` dominance checks
+/// where `f` is the Pareto-front size; candidate sets produced by block
+/// joins have modest fronts in practice, and the sort order lets each item
+/// be checked only against the kept front.
+pub fn pareto_min_lshapes_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> LShape) -> Vec<T> {
+    // Sort by total size ascending so that any dominator of an item appears
+    // after it; then each item only needs checking against already-kept
+    // items (which can only dominate it if equal — handled by dedup) and
+    // each kept item cannot be dominated by later ones except via >=.
+    //
+    // Concretely: sort by (w1+w2+h1+h2) ascending with a lexicographic
+    // tiebreak; if a dominates b (componentwise >=) then sum(a) >= sum(b),
+    // so dominators never precede their victims except as exact duplicates.
+    items.sort_by_key(|t| {
+        let l = key(t);
+        (
+            u128::from(l.w1) + u128::from(l.w2) + u128::from(l.h1) + u128::from(l.h2),
+            l.as_tuple(),
+        )
+    });
+    let mut kept: Vec<T> = Vec::new();
+    'outer: for item in items {
+        let l = key(&item);
+        for k in &kept {
+            if l.dominates(key(k)) {
+                continue 'outer; // redundant (covers exact duplicates too)
+            }
+        }
+        kept.push(item);
+    }
+    kept.sort_by_key(|t| {
+        let l = key(t);
+        (l.w2, core::cmp::Reverse(l.w1), l.h1, l.h2)
+    });
+    kept
+}
+
+/// [`pareto_min_lshapes_by`] for plain L-shapes.
+pub fn pareto_min_lshapes(items: Vec<LShape>) -> Vec<LShape> {
+    pareto_min_lshapes_by(items, |&l| l)
+}
+
+/// Removes every L-shape dominated by another **with the same `w2`**, in
+/// `O(n log n)` — the cheap first pass of L-block pruning.
+///
+/// Within a fixed `w2`, dominance is 3-dimensional (`w1`, `h1`, `h2`); the
+/// kernel sorts each group by `w1` and sweeps a 2-D staircase of minimal
+/// `(h1, h2)` pairs. Cross-`w2` redundancy is *not* removed (use
+/// [`pareto_min_lshapes_by`] for the full 4-D prune when affordable).
+///
+/// Survivors are returned in the canonical `(w2, w1 desc, h1, h2)` order
+/// that [`crate::chain_indices`] expects.
+pub fn pareto_min_lshapes_within_w2_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> LShape) -> Vec<T> {
+    // Sort groups together; within a group ascending w1 so that potential
+    // dominators (smaller or equal w1) precede their victims.
+    items.sort_by_key(|t| {
+        let l = key(t);
+        (l.w2, l.w1, l.h1, l.h2)
+    });
+    let mut kept: Vec<T> = Vec::with_capacity(items.len());
+    // Staircase of minimal (h1, h2) pairs for the current w2 group, sorted
+    // by h1 ascending (h2 then strictly descending).
+    let mut front: Vec<(u64, u64)> = Vec::new();
+    let mut current_w2: Option<u64> = None;
+    for item in items {
+        let l = key(&item);
+        if current_w2 != Some(l.w2) {
+            current_w2 = Some(l.w2);
+            front.clear();
+        }
+        // Query: does the front contain (h1', h2') <= (h1, h2)?
+        // The best candidate is the staircase point with the largest
+        // h1' <= h1 (it has the smallest h2 among those).
+        let idx = front.partition_point(|&(h1, _)| h1 <= l.h1);
+        let dominated = idx > 0 && front[idx - 1].1 <= l.h2;
+        if dominated {
+            continue;
+        }
+        // Insert (h1, h2) into the staircase: drop the points it dominates
+        // (h1' >= h1 and h2' >= h2), which form a contiguous run starting
+        // at the first entry with h1' >= h1.
+        let start = front.partition_point(|&(h1, _)| h1 < l.h1);
+        let mut end = start;
+        while end < front.len() && front[end].1 >= l.h2 {
+            end += 1;
+        }
+        front.splice(start..end, [(l.h1, l.h2)]);
+        kept.push(item);
+    }
+    // Canonical output order.
+    kept.sort_by_key(|t| {
+        let l = key(t);
+        (l.w2, core::cmp::Reverse(l.w1), l.h1, l.h2)
+    });
+    kept
+}
+
+/// Returns `true` if no element of `items` dominates another (Definition 2
+/// holds vacuously), checked by brute force. Intended for tests/debugging.
+pub fn is_nonredundant_rects(items: &[Rect]) -> bool {
+    for (i, a) in items.iter().enumerate() {
+        for (j, b) in items.iter().enumerate() {
+            if i != j && a.dominates(*b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Brute-force non-redundancy check for L-shapes. Intended for tests.
+pub fn is_nonredundant_lshapes(items: &[LShape]) -> bool {
+    for (i, a) in items.iter().enumerate() {
+        for (j, b) in items.iter().enumerate() {
+            if i != j && a.dominates(*b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rect_prune_removes_dominated_and_duplicates() {
+        let pruned = pareto_min_rects(vec![
+            Rect::new(4, 4),
+            Rect::new(4, 4),
+            Rect::new(5, 5),
+            Rect::new(2, 8),
+            Rect::new(8, 2),
+            Rect::new(8, 3),
+        ]);
+        assert_eq!(
+            pruned,
+            vec![Rect::new(8, 2), Rect::new(4, 4), Rect::new(2, 8)]
+        );
+    }
+
+    #[test]
+    fn rect_prune_empty_and_singleton() {
+        assert!(pareto_min_rects(vec![]).is_empty());
+        assert_eq!(
+            pareto_min_rects(vec![Rect::new(1, 1)]),
+            vec![Rect::new(1, 1)]
+        );
+    }
+
+    #[test]
+    fn rect_prune_keeps_payload() {
+        let pruned = pareto_min_rects_by(
+            vec![
+                (Rect::new(3, 3), 10),
+                (Rect::new(3, 4), 20),
+                (Rect::new(1, 9), 30),
+            ],
+            |&(r, _)| r,
+        );
+        assert_eq!(pruned, vec![(Rect::new(3, 3), 10), (Rect::new(1, 9), 30)]);
+    }
+
+    fn l(w1: u64, w2: u64, h1: u64, h2: u64) -> LShape {
+        LShape::new_canonical(w1, w2, h1, h2)
+    }
+
+    #[test]
+    fn lshape_prune_keeps_incomparable_front() {
+        let pruned = pareto_min_lshapes(vec![
+            l(5, 2, 3, 1),
+            l(4, 2, 4, 2),
+            l(6, 3, 4, 2), // dominates (4,2,4,2)
+            l(5, 2, 3, 1), // duplicate
+        ]);
+        assert_eq!(pruned.len(), 2);
+        assert!(is_nonredundant_lshapes(&pruned));
+        assert!(pruned.contains(&l(5, 2, 3, 1)));
+        assert!(pruned.contains(&l(4, 2, 4, 2)));
+    }
+
+    #[test]
+    fn lshape_prune_output_order_groups_by_w2() {
+        let pruned = pareto_min_lshapes(vec![
+            l(9, 3, 2, 1),
+            l(8, 2, 3, 2),
+            l(7, 3, 3, 2),
+            l(9, 2, 2, 1),
+        ]);
+        // Groups: w2 == 2 first (w1 desc), then w2 == 3.
+        let w2s: Vec<u64> = pruned.iter().map(|x| x.w2).collect();
+        let mut sorted_w2s = w2s.clone();
+        sorted_w2s.sort_unstable();
+        assert_eq!(w2s, sorted_w2s);
+        for win in pruned.windows(2) {
+            if win[0].w2 == win[1].w2 {
+                assert!(win[0].w1 >= win[1].w1);
+            }
+        }
+    }
+
+    fn arb_rects() -> impl Strategy<Value = Vec<Rect>> {
+        proptest::collection::vec(
+            (1u64..50, 1u64..50).prop_map(|(w, h)| Rect::new(w, h)),
+            0..60,
+        )
+    }
+
+    fn arb_lshapes() -> impl Strategy<Value = Vec<LShape>> {
+        proptest::collection::vec(
+            (1u64..20, 1u64..20, 1u64..20, 1u64..20)
+                .prop_map(|(a, b, c, d)| l(a.max(b), a.min(b), c.max(d), c.min(d))),
+            0..40,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn rect_prune_is_nonredundant_and_minimal(items in arb_rects()) {
+            let pruned = pareto_min_rects(items.clone());
+            prop_assert!(is_nonredundant_rects(&pruned));
+            // Every input is dominated by (or equal to) something kept --
+            // wait: minimal elements are *dominated by* inputs; every input
+            // must dominate some kept element.
+            for r in &items {
+                prop_assert!(pruned.iter().any(|p| r.dominates(*p)), "{r:?} lost");
+            }
+            // Every kept element was an input.
+            for p in &pruned {
+                prop_assert!(items.contains(p));
+            }
+            // Canonical order.
+            for w in pruned.windows(2) {
+                prop_assert!(w[0].w > w[1].w && w[0].h < w[1].h);
+            }
+        }
+
+        #[test]
+        fn rect_prune_idempotent(items in arb_rects()) {
+            let once = pareto_min_rects(items);
+            let twice = pareto_min_rects(once.clone());
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn lshape_prune_is_nonredundant_and_minimal(items in arb_lshapes()) {
+            let pruned = pareto_min_lshapes(items.clone());
+            prop_assert!(is_nonredundant_lshapes(&pruned));
+            for x in &items {
+                prop_assert!(pruned.iter().any(|p| x.dominates(*p)), "{x:?} lost");
+            }
+            for p in &pruned {
+                prop_assert!(items.contains(p));
+            }
+        }
+
+        #[test]
+        fn lshape_prune_idempotent(items in arb_lshapes()) {
+            let once = pareto_min_lshapes(items);
+            let twice = pareto_min_lshapes(once.clone());
+            prop_assert_eq!(once, twice);
+        }
+
+        /// The within-w2 kernel removes exactly the same-w2 redundancies.
+        #[test]
+        fn within_w2_prune_matches_reference(items in arb_lshapes()) {
+            let mut got = pareto_min_lshapes_within_w2_by(items.clone(), |&l| l);
+            // Reference: an item survives iff no *same-w2* item dominates
+            // it (first occurrence wins among duplicates).
+            let mut reference: Vec<LShape> = Vec::new();
+            for (i, a) in items.iter().enumerate() {
+                let redundant = items.iter().enumerate().any(|(j, b)| {
+                    j != i && a.w2 == b.w2 && a.dominates(*b) && (a != b || j < i)
+                });
+                if !redundant && !reference.contains(a) {
+                    reference.push(*a);
+                }
+            }
+            got.sort_by_key(|l| l.as_tuple());
+            reference.sort_by_key(|l| l.as_tuple());
+            prop_assert_eq!(got, reference);
+        }
+
+        /// The grouped prune output feeds chain_indices directly.
+        #[test]
+        fn within_w2_prune_output_is_chainable(items in arb_lshapes()) {
+            let got = pareto_min_lshapes_within_w2_by(items, |&l| l);
+            let chains = crate::chain_indices(&got);
+            let total: usize = chains.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, got.len());
+        }
+
+        /// Cross-check against an O(n^2) reference implementation.
+        #[test]
+        fn lshape_prune_matches_reference(items in arb_lshapes()) {
+            let mut reference: Vec<LShape> = Vec::new();
+            for (i, a) in items.iter().enumerate() {
+                let redundant = items.iter().enumerate().any(|(j, b)| {
+                    j != i && a.dominates(*b) && (a != b || j < i)
+                });
+                if !redundant && !reference.contains(a) {
+                    reference.push(*a);
+                }
+            }
+            let mut pruned = pareto_min_lshapes(items);
+            pruned.sort_by_key(|l| l.as_tuple());
+            reference.sort_by_key(|l| l.as_tuple());
+            prop_assert_eq!(pruned, reference);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Shape functions: the functional view of an irreducible R-list.
+//!
+//! Otten and Zimmerman (the paper's refs [4] and [10]) describe a block's
+//! realizable geometries by its *shape function* `h(w)` — the minimal
+//! height achievable at width at most `w`. An irreducible R-list is
+//! exactly the set of breakpoints of that piecewise-constant,
+//! non-increasing function, so the two views convert freely:
+//!
+//! * stacking two blocks adds their shape functions pointwise;
+//! * placing them beside each other splits the width optimally.
+//!
+//! [`ShapeFunction`] implements both views. The pointwise laws double as
+//! an independent validation of the corner-merging Stockmeyer kernel in
+//! [`crate::combine`] (see the property tests).
+
+use core::fmt;
+
+use fp_geom::Coord;
+
+use crate::combine::{combine, Compose};
+use crate::RList;
+
+/// A block's shape function: minimal height as a non-increasing,
+/// piecewise-constant function of the available width.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::{RList, ShapeFunction};
+///
+/// let f = ShapeFunction::from_corners(RList::from_candidates(vec![
+///     Rect::new(6, 1), Rect::new(3, 4),
+/// ]));
+/// assert_eq!(f.height_at(10), Some(1));
+/// assert_eq!(f.height_at(5), Some(4));
+/// assert_eq!(f.height_at(2), None); // narrower than any implementation
+/// assert_eq!(f.min_width(), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShapeFunction {
+    corners: RList,
+}
+
+impl ShapeFunction {
+    /// The shape function whose breakpoints are the given corners.
+    #[must_use]
+    pub fn from_corners(corners: RList) -> Self {
+        ShapeFunction { corners }
+    }
+
+    /// The breakpoints as an irreducible R-list.
+    #[must_use]
+    pub fn corners(&self) -> &RList {
+        &self.corners
+    }
+
+    /// Consumes the function, returning the corner list.
+    #[must_use]
+    pub fn into_corners(self) -> RList {
+        self.corners
+    }
+
+    /// `h(w)`: the minimal height achievable within width `w`; `None`
+    /// when `w` is below the narrowest implementation.
+    #[must_use]
+    pub fn height_at(&self, w: Coord) -> Option<Coord> {
+        self.corners.min_height_fitting_width(w).map(|r| r.h)
+    }
+
+    /// The narrowest realizable width (the function's domain boundary).
+    #[must_use]
+    pub fn min_width(&self) -> Option<Coord> {
+        self.corners.tallest().map(|r| r.w)
+    }
+
+    /// The widest breakpoint (beyond it the function is constant).
+    #[must_use]
+    pub fn max_corner_width(&self) -> Option<Coord> {
+        self.corners.widest().map(|r| r.w)
+    }
+
+    /// `true` if the block has no realization.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+
+    /// The shape function of the two blocks stacked (heights add):
+    /// `(f + g)(w) = f(w) + g(w)`.
+    #[must_use]
+    pub fn stack(&self, other: &ShapeFunction) -> ShapeFunction {
+        ShapeFunction {
+            corners: combine(&self.corners, &other.corners, Compose::Stack),
+        }
+    }
+
+    /// The shape function of the two blocks placed beside each other:
+    /// `(f | g)(w) = min over w1 + w2 <= w of max(f(w1), g(w2))`.
+    #[must_use]
+    pub fn beside(&self, other: &ShapeFunction) -> ShapeFunction {
+        ShapeFunction {
+            corners: combine(&self.corners, &other.corners, Compose::Beside),
+        }
+    }
+
+    /// The transposed function (the block rotated 90°): width and height
+    /// swap roles.
+    #[must_use]
+    pub fn transposed(&self) -> ShapeFunction {
+        ShapeFunction {
+            corners: self.corners.transposed(),
+        }
+    }
+
+    /// The pointwise minimum of two shape functions (a block realizable
+    /// as either of two alternatives).
+    #[must_use]
+    pub fn union_min(&self, other: &ShapeFunction) -> ShapeFunction {
+        ShapeFunction {
+            corners: self.corners.union(&other.corners),
+        }
+    }
+}
+
+impl fmt::Debug for ShapeFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShapeFunction({:?})", self.corners)
+    }
+}
+
+impl fmt::Display for ShapeFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h: ")?;
+        for (i, r) in self.corners.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "w>={} -> {}", r.w, r.h)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<RList> for ShapeFunction {
+    fn from(corners: RList) -> Self {
+        ShapeFunction::from_corners(corners)
+    }
+}
+
+impl From<ShapeFunction> for RList {
+    fn from(f: ShapeFunction) -> Self {
+        f.into_corners()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::Rect;
+    use proptest::prelude::*;
+
+    fn sf(pairs: &[(u64, u64)]) -> ShapeFunction {
+        ShapeFunction::from_corners(RList::from_candidates(
+            pairs.iter().map(|&(w, h)| Rect::new(w, h)).collect(),
+        ))
+    }
+
+    #[test]
+    fn evaluation_is_stepwise() {
+        let f = sf(&[(10, 1), (7, 2), (4, 5)]);
+        assert_eq!(f.height_at(11), Some(1));
+        assert_eq!(f.height_at(10), Some(1));
+        assert_eq!(f.height_at(9), Some(2));
+        assert_eq!(f.height_at(4), Some(5));
+        assert_eq!(f.height_at(3), None);
+        assert_eq!(f.min_width(), Some(4));
+        assert_eq!(f.max_corner_width(), Some(10));
+    }
+
+    #[test]
+    fn stack_is_pointwise_addition() {
+        let f = sf(&[(10, 1), (4, 5)]);
+        let g = sf(&[(8, 2), (3, 6)]);
+        let s = f.stack(&g);
+        for w in 1..=14 {
+            let expected = match (f.height_at(w), g.height_at(w)) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            assert_eq!(s.height_at(w), expected, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn beside_optimizes_the_split() {
+        let f = sf(&[(4, 2)]);
+        let g = sf(&[(3, 3), (1, 8)]);
+        let b = f.beside(&g);
+        // Width 7 fits 4+3: max(2, 3) = 3.
+        assert_eq!(b.height_at(7), Some(3));
+        // Width 5 fits only 4+1: max(2, 8) = 8.
+        assert_eq!(b.height_at(5), Some(8));
+        assert_eq!(b.height_at(4), None);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let f = sf(&[(5, 1), (2, 4)]);
+        assert_eq!(f.to_string(), "h: w>=5 -> 1, w>=2 -> 4");
+        let list: RList = f.clone().into();
+        assert_eq!(ShapeFunction::from(list), f);
+        assert!(ShapeFunction::default().is_empty());
+    }
+
+    fn arb_sf() -> impl Strategy<Value = ShapeFunction> {
+        proptest::collection::vec((1u64..25, 1u64..25), 1..10).prop_map(|pairs| {
+            ShapeFunction::from_corners(RList::from_candidates(
+                pairs.into_iter().map(|(w, h)| Rect::new(w, h)).collect(),
+            ))
+        })
+    }
+
+    proptest! {
+        /// The functional law of stacking, checked pointwise against the
+        /// Stockmeyer corner merge.
+        #[test]
+        fn stack_law(f in arb_sf(), g in arb_sf()) {
+            let s = f.stack(&g);
+            for w in 0..=55u64 {
+                let expected = match (f.height_at(w), g.height_at(w)) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+                prop_assert_eq!(s.height_at(w), expected, "w = {}", w);
+            }
+        }
+
+        /// The functional law of beside-placement: the optimal width split.
+        #[test]
+        fn beside_law(f in arb_sf(), g in arb_sf()) {
+            let b = f.beside(&g);
+            for w in 0..=55u64 {
+                let mut expected: Option<u64> = None;
+                for w1 in 1..w {
+                    if let (Some(a), Some(c)) = (f.height_at(w1), g.height_at(w - w1)) {
+                        let m = a.max(c);
+                        expected = Some(expected.map_or(m, |e| e.min(m)));
+                    }
+                }
+                prop_assert_eq!(b.height_at(w), expected, "w = {}", w);
+            }
+        }
+
+        /// Transposition swaps the axes: beside = transpose of stacked
+        /// transposes.
+        #[test]
+        fn beside_stack_duality(f in arb_sf(), g in arb_sf()) {
+            let lhs = f.beside(&g);
+            let rhs = f.transposed().stack(&g.transposed()).transposed();
+            prop_assert_eq!(lhs.corners().as_slice(), rhs.corners().as_slice());
+        }
+
+        /// union_min is the pointwise minimum.
+        #[test]
+        fn union_law(f in arb_sf(), g in arb_sf()) {
+            let u = f.union_min(&g);
+            for w in 0..=55u64 {
+                let expected = match (f.height_at(w), g.height_at(w)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (Some(a), None) | (None, Some(a)) => Some(a),
+                    (None, None) => None,
+                };
+                prop_assert_eq!(u.height_at(w), expected, "w = {}", w);
+            }
+        }
+
+        /// Stacking is associative and commutative (as functions).
+        #[test]
+        fn stack_algebra(f in arb_sf(), g in arb_sf(), h in arb_sf()) {
+            let ab = f.stack(&g);
+            let ba = g.stack(&f);
+            prop_assert_eq!(ab.corners().as_slice(), ba.corners().as_slice());
+            let left = f.stack(&g).stack(&h);
+            let right = f.stack(&g.stack(&h));
+            prop_assert_eq!(left.corners().as_slice(), right.corners().as_slice());
+        }
+    }
+}

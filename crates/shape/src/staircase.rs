@@ -1,0 +1,208 @@
+//! Staircase-curve geometry (paper §4.2, Figures 5 and 6).
+//!
+//! An irreducible R-list `R = {r_1, …, r_n}` corresponds to a staircase
+//! curve `C_R` whose corners are exactly the implementations: any point on
+//! or above the curve is a feasible implementation of the block, and only
+//! the corners are non-redundant. Selecting a subset `R' ⊆ R` discards the
+//! feasible region between `C_R` and `C_R'`; the bounded area between the
+//! curves is the selection error `ERROR(R, R')`.
+//!
+//! This module computes curve heights and the bounded area *geometrically*
+//! (by direct integration over the step intervals). The `fp-select` crate
+//! computes the same quantity via the paper's `Compute_R_Error` recurrence;
+//! the two serve as independent cross-checks.
+
+use fp_geom::{area, Area, Coord};
+
+use crate::RList;
+
+/// The height of the staircase curve of `list` at abscissa `x`: the minimum
+/// height of any implementation with width at most `x`; `None` left of the
+/// narrowest implementation (the curve is vertical there).
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::{staircase, RList};
+///
+/// let r = RList::from_candidates(vec![Rect::new(6, 1), Rect::new(3, 4)]);
+/// assert_eq!(staircase::height_at(&r, 7), Some(1));
+/// assert_eq!(staircase::height_at(&r, 5), Some(4));
+/// assert_eq!(staircase::height_at(&r, 2), None);
+/// ```
+#[must_use]
+pub fn height_at(list: &RList, x: Coord) -> Option<Coord> {
+    list.min_height_fitting_width(x).map(|r| r.h)
+}
+
+/// The bounded area between the staircase of `full` and the staircase of
+/// the subset of `full` at the given **strictly increasing** positions
+/// (paper Figure 6): the feasible region discarded by the selection.
+///
+/// The subset must retain the first and the last implementation (as
+/// `R_Selection` always does) so that the curves coincide outside the
+/// bounded region.
+///
+/// # Panics
+///
+/// Panics if `positions` is empty, not strictly increasing, out of range,
+/// or does not include both endpoints `0` and `full.len() - 1`.
+#[must_use]
+pub fn area_between(full: &RList, positions: &[usize]) -> Area {
+    assert!(!positions.is_empty(), "subset must be non-empty");
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must be strictly increasing"
+    );
+    assert_eq!(
+        *positions.first().expect("non-empty"),
+        0,
+        "subset must keep the first corner"
+    );
+    assert_eq!(
+        *positions.last().expect("non-empty"),
+        full.len() - 1,
+        "subset must keep the last corner"
+    );
+
+    // Integrate (subset height - full height) over x between consecutive
+    // kept corners. Within [w_{d_{q+1}}, w_{d_q}] the subset curve is flat at
+    // h_{d_{q+1}} … wait: for x in that interval the narrowest kept
+    // implementation with width <= x is r_{d_q} only when x >= w_{d_q}; for
+    // x just below w_{d_q} the best kept is r_{d_{q+1}} (narrower, taller).
+    // So on [w_{d_{q+1}}, w_{d_q}) the subset curve is flat at h_{d_{q+1}},
+    // while the full curve steps at every discarded corner.
+    let mut total: Area = 0;
+    for win in positions.windows(2) {
+        let (dq, dq1) = (win[0], win[1]);
+        let kept_h = full[dq1].h;
+        // Full curve steps: on [w_{i+1}, w_i) the full curve is at h_{i+1}.
+        for i in dq..dq1 {
+            let x_hi = full[i].w;
+            let x_lo = full[i + 1].w;
+            let full_h = full[i + 1].h;
+            debug_assert!(kept_h >= full_h);
+            total += area(x_hi - x_lo, kept_h - full_h);
+        }
+    }
+    total
+}
+
+/// The area under the staircase of `list` between its narrowest and widest
+/// corners, measured down to `y = 0`. Mostly useful as a test oracle:
+/// `area_between(full, sel) == area_under(subset) - area_under(full)` for
+/// any endpoint-preserving selection.
+#[must_use]
+pub fn area_under(list: &RList) -> Area {
+    let mut total: Area = 0;
+    let items = list.as_slice();
+    for win in items.windows(2) {
+        // On [w_{i+1}, w_i) the curve height is h_{i+1}.
+        total += area(win[0].w - win[1].w, win[1].h);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::Rect;
+    use proptest::prelude::*;
+
+    fn rl(pairs: &[(u64, u64)]) -> RList {
+        RList::from_candidates(pairs.iter().map(|&(w, h)| Rect::new(w, h)).collect())
+    }
+
+    #[test]
+    fn height_at_steps() {
+        let r = rl(&[(10, 1), (7, 2), (5, 4), (2, 9)]);
+        assert_eq!(height_at(&r, 12), Some(1));
+        assert_eq!(height_at(&r, 10), Some(1));
+        assert_eq!(height_at(&r, 9), Some(2));
+        assert_eq!(height_at(&r, 7), Some(2));
+        assert_eq!(height_at(&r, 6), Some(4));
+        assert_eq!(height_at(&r, 2), Some(9));
+        assert_eq!(height_at(&r, 1), None);
+    }
+
+    #[test]
+    fn keeping_everything_has_zero_error() {
+        let r = rl(&[(10, 1), (7, 2), (5, 4), (2, 9)]);
+        assert_eq!(area_between(&r, &[0, 1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn figure6_style_single_gap() {
+        // Drop the middle corner of three: the error rectangle spans from
+        // the dropped corner's width step.
+        let r = rl(&[(10, 1), (6, 3), (2, 9)]);
+        // Keep {0, 2}: on [2,10) subset height is 9... wait subset curve on
+        // [2, 10): narrowest kept with w <= x is (2,9) until x >= 10.
+        // Full curve: [2,6) -> 9, [6,10) -> 3.
+        // Difference on [6,10): 9 - 3 = 6 over width 4 => 24.
+        assert_eq!(area_between(&r, &[0, 2]), 24);
+    }
+
+    #[test]
+    fn two_gaps_sum() {
+        let r = rl(&[(10, 1), (8, 2), (6, 3), (4, 5), (2, 9)]);
+        let full = area_between(&r, &[0, 1, 2, 3, 4]);
+        assert_eq!(full, 0);
+        let e1 = area_between(&r, &[0, 2, 3, 4]); // drop r_1
+        let e2 = area_between(&r, &[0, 1, 2, 4]); // drop r_3
+        let both = area_between(&r, &[0, 2, 4]);
+        assert_eq!(both, e1 + e2); // independent gaps are additive
+    }
+
+    #[test]
+    #[should_panic(expected = "first corner")]
+    fn must_keep_first() {
+        let r = rl(&[(10, 1), (6, 3), (2, 9)]);
+        let _ = area_between(&r, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last corner")]
+    fn must_keep_last() {
+        let r = rl(&[(10, 1), (6, 3), (2, 9)]);
+        let _ = area_between(&r, &[0, 1]);
+    }
+
+    fn arb_list_and_subset() -> impl Strategy<Value = (RList, Vec<usize>)> {
+        proptest::collection::vec((1u64..60, 1u64..60), 2..25)
+            .prop_map(|pairs| rl(&pairs.iter().map(|&(w, h)| (w, h)).collect::<Vec<_>>()))
+            .prop_filter("need >= 2 corners", |r| r.len() >= 2)
+            .prop_flat_map(|r| {
+                let n = r.len();
+                (Just(r), proptest::collection::vec(proptest::bool::ANY, n))
+            })
+            .prop_map(|(r, mask)| {
+                let n = r.len();
+                let mut pos: Vec<usize> = (0..n)
+                    .filter(|&i| i == 0 || i == n - 1 || mask[i])
+                    .collect();
+                pos.dedup();
+                (r, pos)
+            })
+    }
+
+    proptest! {
+        /// The bounded area equals the difference of the areas under the
+        /// two curves (independent integration oracle).
+        #[test]
+        fn area_between_matches_area_under_difference((r, pos) in arb_list_and_subset()) {
+            let subset = r.subset(&pos);
+            let expected = area_under(&subset) - area_under(&r);
+            prop_assert_eq!(area_between(&r, &pos), expected);
+        }
+
+        /// Dropping more corners can only increase the error.
+        #[test]
+        fn error_is_monotone_in_dropping((r, pos) in arb_list_and_subset()) {
+            if pos.len() > 2 {
+                let mut fewer = pos.clone();
+                fewer.remove(1 + (r.len() % (pos.len() - 2)));
+                prop_assert!(area_between(&r, &fewer) >= area_between(&r, &pos));
+            }
+        }
+    }
+}

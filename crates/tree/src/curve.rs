@@ -1,0 +1,277 @@
+//! Continuous soft-module shape curves (paper §6).
+//!
+//! The concluding remarks of the paper point out that modules with an
+//! *infinite* implementation set along a continuous shape curve
+//! `w · h >= area` can still be handled: approximate the curve by a large
+//! number of points and let the selection algorithms keep the working set
+//! small. [`ShapeCurve`] models such a module analytically and produces
+//! the discretizations — including an error-controlled one that samples
+//! densely and then keeps the *optimal* subset within a staircase-error
+//! budget (via `fp-select`'s machinery downstream; here the dense sampling
+//! itself is provided).
+
+use core::fmt;
+
+use fp_geom::{Coord, Rect};
+use fp_shape::RList;
+
+use crate::Module;
+
+/// A continuous soft-module shape curve: any `w × h` with
+/// `w · h >= area` and aspect ratio `max(w,h)/min(w,h) <= max_aspect` is
+/// realizable.
+///
+/// # Example
+///
+/// ```
+/// use fp_tree::curve::ShapeCurve;
+///
+/// let curve = ShapeCurve::new(600, 3.0)?;
+/// assert!(curve.feasible(30, 20));  // 600 at 1.5:1
+/// assert!(!curve.feasible(60, 10)); // 6:1 is too elongated
+/// assert!(!curve.feasible(20, 20)); // 400 < 600
+/// let module = curve.sample("alu", 8);
+/// assert_eq!(module.implementations().len(), 8);
+/// # Ok::<(), fp_tree::curve::InvalidCurveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeCurve {
+    area: u64,
+    max_aspect: f64,
+}
+
+/// Error for invalid curve parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidCurveError {
+    area: u64,
+    max_aspect: f64,
+}
+
+impl fmt::Display for InvalidCurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid shape curve (area {}, max aspect {}): area must be positive and aspect >= 1",
+            self.area, self.max_aspect
+        )
+    }
+}
+
+impl std::error::Error for InvalidCurveError {}
+
+impl ShapeCurve {
+    /// Creates a curve for a module of `area` with aspect ratios bounded
+    /// by `max_aspect >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidCurveError`] when `area == 0` or `max_aspect < 1`.
+    pub fn new(area: u64, max_aspect: f64) -> Result<Self, InvalidCurveError> {
+        if area == 0 || max_aspect < 1.0 || max_aspect.is_nan() || !max_aspect.is_finite() {
+            return Err(InvalidCurveError { area, max_aspect });
+        }
+        Ok(ShapeCurve { area, max_aspect })
+    }
+
+    /// The module area under the curve.
+    #[must_use]
+    pub fn area(&self) -> u64 {
+        self.area
+    }
+
+    /// The aspect-ratio bound.
+    #[must_use]
+    pub fn max_aspect(&self) -> f64 {
+        self.max_aspect
+    }
+
+    /// The narrowest integer width with a feasible height. A width below
+    /// `⌈side/√aspect⌉ − 1` forces `h/w` past the aspect bound.
+    #[must_use]
+    pub fn min_width(&self) -> Coord {
+        let side = (self.area as f64).sqrt();
+        let lo = (((side / self.max_aspect.sqrt()).floor() as Coord).max(1))
+            .saturating_sub(1)
+            .max(1);
+        (lo..lo + 4)
+            .find(|&w| self.height_at(w).is_some())
+            .unwrap_or(lo)
+    }
+
+    /// The widest *useful* integer width: beyond it, implementations still
+    /// exist (pad the height to keep the aspect legal) but are dominated
+    /// by a narrower one, so a shape list never needs them.
+    #[must_use]
+    pub fn max_width(&self) -> Coord {
+        let side = (self.area as f64).sqrt();
+        let hi = (side * self.max_aspect.sqrt()).ceil() as Coord + 1;
+        let lo = self.min_width();
+        (lo..=hi.max(lo))
+            .rev()
+            .find(|&w| self.height_at(w).is_some())
+            .unwrap_or(lo)
+    }
+
+    /// `true` when a `w × h` rectangle realizes this module.
+    #[must_use]
+    pub fn feasible(&self, w: Coord, h: Coord) -> bool {
+        if w == 0 || h == 0 {
+            return false;
+        }
+        let aspect = (w.max(h) as f64) / (w.min(h) as f64);
+        u128::from(w) * u128::from(h) >= u128::from(self.area) && aspect <= self.max_aspect + 1e-9
+    }
+
+    /// The minimal feasible height at width `w`, if any.
+    ///
+    /// Integer rounding means the minimal area-covering height can break
+    /// the aspect bound in two ways: if the rectangle is too *flat*,
+    /// raising the height to `⌈w/aspect⌉` can legalize it; if it is too
+    /// *tall* (the width itself is too small), nothing helps.
+    #[must_use]
+    pub fn height_at(&self, w: Coord) -> Option<Coord> {
+        if w == 0 {
+            return None;
+        }
+        let h = self.area.div_ceil(w); // minimal area-covering height
+        if self.feasible(w, h) {
+            return Some(h);
+        }
+        if h < w {
+            // Too flat: the smallest aspect-legal height.
+            let h_legal = ((w as f64) / self.max_aspect).ceil() as Coord;
+            let h_legal = h_legal.max(h);
+            if self.feasible(w, h_legal) {
+                return Some(h_legal);
+            }
+        }
+        None
+    }
+
+    /// The curve discretized at every integer width — the densest exact
+    /// staircase (the “large number of points” of §6).
+    #[must_use]
+    pub fn dense(&self) -> RList {
+        let rects: Vec<Rect> = (self.min_width()..=self.max_width())
+            .filter_map(|w| self.height_at(w).map(|h| Rect::new(w, h)))
+            .collect();
+        RList::from_candidates(rects)
+    }
+
+    /// A module sampling `points` implementations geometrically across the
+    /// width range (the coarse discretization used when memory is tight
+    /// up front).
+    ///
+    /// The result may hold fewer than `points` implementations if rounding
+    /// collapses adjacent samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn sample(&self, name: impl Into<String>, points: usize) -> Module {
+        assert!(points > 0, "need at least one sample");
+        let (lo, hi) = (self.min_width() as f64, self.max_width() as f64);
+        let rects: Vec<Rect> = (0..points)
+            .filter_map(|i| {
+                let t = if points == 1 {
+                    0.5
+                } else {
+                    i as f64 / (points - 1) as f64
+                };
+                let w = (lo * (hi / lo).powf(t)).round() as Coord;
+                self.height_at(w).map(|h| Rect::new(w, h))
+            })
+            .collect();
+        Module::new(name, rects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ShapeCurve::new(0, 2.0).is_err());
+        assert!(ShapeCurve::new(10, 0.5).is_err());
+        assert!(ShapeCurve::new(10, f64::NAN).is_err());
+        let c = ShapeCurve::new(10, 1.0).expect("square-only curve");
+        assert_eq!(c.area(), 10);
+        assert!(ShapeCurve::new(0, 0.0)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid shape curve"));
+    }
+
+    #[test]
+    fn width_range_and_heights() {
+        let c = ShapeCurve::new(600, 3.0).expect("valid");
+        // sqrt(600) ~ 24.5; the feasible width range brackets [14.2, 42.4].
+        assert!(
+            c.min_width() >= 14 && c.min_width() <= 15,
+            "{}",
+            c.min_width()
+        );
+        assert!(
+            c.max_width() >= 42 && c.max_width() <= 44,
+            "{}",
+            c.max_width()
+        );
+        assert_eq!(c.height_at(30), Some(20));
+        assert_eq!(c.height_at(13), None, "13x47 needed, aspect 3.6");
+        // Every width in the advertised range is feasible.
+        for w in c.min_width()..=c.max_width() {
+            assert!(c.height_at(w).is_some(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn dense_staircase_is_exact() {
+        let c = ShapeCurve::new(600, 3.0).expect("valid");
+        let dense = c.dense();
+        assert!(!dense.is_empty());
+        for &r in dense.iter() {
+            assert!(c.feasible(r.w, r.h), "{r}");
+            // Minimality: one unit shorter is infeasible.
+            assert!(!c.feasible(r.w, r.h - 1), "{r} not minimal");
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_subset_quality_wise() {
+        let c = ShapeCurve::new(600, 3.0).expect("valid");
+        let coarse = c.sample("m", 5);
+        for &r in coarse.implementations().iter() {
+            assert!(c.feasible(r.w, r.h));
+        }
+        assert!(coarse.implementations().len() <= c.dense().len());
+    }
+
+    proptest! {
+        /// Every dense corner is feasible and minimal; the staircase covers
+        /// the whole width range.
+        #[test]
+        fn dense_correct(area in 1u64..5000, aspect in 1.0f64..6.0) {
+            let c = ShapeCurve::new(area, aspect).expect("valid parameters");
+            let dense = c.dense();
+            prop_assert!(!dense.is_empty(), "at least the square-ish point");
+            for &r in dense.iter() {
+                prop_assert!(c.feasible(r.w, r.h));
+            }
+        }
+
+        /// feasible() is monotone: growing a feasible rectangle inside the
+        /// aspect bound stays feasible.
+        #[test]
+        fn feasibility_monotone(area in 1u64..2000, w in 1u64..200, h in 1u64..200) {
+            let c = ShapeCurve::new(area, 4.0).expect("valid");
+            if c.feasible(w, h) {
+                // Grow the SHORTER side (keeps the aspect from worsening).
+                let (gw, gh) = if w <= h { (w + 1, h) } else { (w, h + 1) };
+                prop_assert!(c.feasible(gw, gh));
+            }
+        }
+    }
+}

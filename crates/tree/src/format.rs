@@ -1,0 +1,646 @@
+//! A human-writable text format for floorplan instances (`.fpt`).
+//!
+//! ```text
+//! # comment
+//! floorplan demo
+//! module cpu 12x6 9x8 6x12
+//! module ram 10x5 5x10
+//! module io  8x3 4x6
+//! tree (hsplit (vsplit cpu ram) io)
+//! ```
+//!
+//! * `floorplan <name>` — optional header naming the instance.
+//! * `module <name> [rot] <w>x<h> [...]` — a module and its
+//!   implementations (redundant candidates are pruned on load); with the
+//!   `rot` keyword every size also contributes its 90°-rotated variant
+//!   (free-orientation macros).
+//! * `tree <expr>` — the topology, where `<expr>` is a module name (one
+//!   leaf instance per occurrence) or one of:
+//!   * `(hsplit e1 e2 …)` — horizontal cut lines, children stacked
+//!     bottom-to-top;
+//!   * `(vsplit e1 e2 …)` — vertical cut lines, children left-to-right;
+//!   * `(wheel cw|ccw a b c d e)` — an order-5 wheel, children in the
+//!     `[A, B, C, D, E]` order of [`crate::NodeKind`].
+//!
+//! `#` starts a comment anywhere; whitespace is free-form. The format
+//! round-trips through [`write_instance`] / [`parse_instance`].
+
+use core::fmt;
+use std::collections::HashMap;
+
+use fp_geom::{Coord, Rect};
+
+use crate::{Chirality, CutDir, FloorplanTree, Module, ModuleLibrary, NodeId, NodeKind};
+
+/// A parsed floorplan instance: topology plus module library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloorplanInstance {
+    /// Instance name (from the `floorplan` header; defaults to
+    /// `"floorplan"`).
+    pub name: String,
+    /// The topology; leaf module ids index `library`.
+    pub tree: FloorplanTree,
+    /// The module library.
+    pub library: ModuleLibrary,
+}
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInstanceError {
+    /// 1-based line number of the offending token (0 for end-of-input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseInstanceError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Open,
+    Close,
+    Word(String),
+}
+
+/// Tokenized input: `(token, line)` pairs.
+fn tokenize(input: &str) -> Vec<(Token, usize)> {
+    let mut tokens = Vec::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("");
+        let mut word = String::new();
+        let flush = |word: &mut String, tokens: &mut Vec<(Token, usize)>| {
+            if !word.is_empty() {
+                tokens.push((Token::Word(std::mem::take(word)), line_no));
+            }
+        };
+        for ch in line.chars() {
+            match ch {
+                '(' => {
+                    flush(&mut word, &mut tokens);
+                    tokens.push((Token::Open, line_no));
+                }
+                ')' => {
+                    flush(&mut word, &mut tokens);
+                    tokens.push((Token::Close, line_no));
+                }
+                c if c.is_whitespace() => flush(&mut word, &mut tokens),
+                c => word.push(c),
+            }
+        }
+        flush(&mut word, &mut tokens);
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(Token, usize)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(Token, usize)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<(String, usize), ParseInstanceError> {
+        match self.next() {
+            Some((Token::Word(w), line)) => Ok((w, line)),
+            Some((other, line)) => Err(ParseInstanceError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+            None => Err(ParseInstanceError {
+                line: 0,
+                message: format!("expected {what}"),
+            }),
+        }
+    }
+}
+
+fn parse_size(word: &str, line: usize) -> Result<Rect, ParseInstanceError> {
+    let bad = || ParseInstanceError {
+        line,
+        message: format!("expected <width>x<height>, found `{word}`"),
+    };
+    let (w, h) = word.split_once(['x', 'X']).ok_or_else(bad)?;
+    let w: Coord = w.parse().map_err(|_| bad())?;
+    let h: Coord = h.parse().map_err(|_| bad())?;
+    if w == 0 || h == 0 {
+        return Err(ParseInstanceError {
+            line,
+            message: format!("zero dimension in `{word}`"),
+        });
+    }
+    if w > fp_geom::MAX_COORD || h > fp_geom::MAX_COORD {
+        return Err(ParseInstanceError {
+            line,
+            message: format!(
+                "dimension in `{word}` exceeds the supported maximum {}",
+                fp_geom::MAX_COORD
+            ),
+        });
+    }
+    Ok(Rect::new(w, h))
+}
+
+/// Parses an instance from its text form.
+///
+/// # Errors
+///
+/// Returns a [`ParseInstanceError`] with the offending line for syntax
+/// errors, unknown module references, arity violations, and structural
+/// problems ([`FloorplanTree::validate`] failures).
+pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceError> {
+    let mut parser = Parser {
+        tokens: tokenize(input),
+        pos: 0,
+    };
+    let mut name = "floorplan".to_owned();
+    let mut library = ModuleLibrary::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    let mut tree: Option<FloorplanTree> = None;
+
+    while let Some((token, line)) = parser.next() {
+        let keyword = match token {
+            Token::Word(w) => w,
+            other => {
+                return Err(ParseInstanceError {
+                    line,
+                    message: format!("expected a directive, found {other:?}"),
+                })
+            }
+        };
+        match keyword.as_str() {
+            "floorplan" => {
+                name = parser.expect_word("an instance name")?.0;
+            }
+            "module" => {
+                let (mod_name, name_line) = parser.expect_word("a module name")?;
+                if by_name.contains_key(&mod_name) {
+                    return Err(ParseInstanceError {
+                        line: name_line,
+                        message: format!("duplicate module `{mod_name}`"),
+                    });
+                }
+                let mut rotatable = false;
+                if let Some((Token::Word(w), _)) = parser.peek() {
+                    if w == "rot" {
+                        rotatable = true;
+                        parser.pos += 1;
+                    }
+                }
+                let mut sizes = Vec::new();
+                while let Some((Token::Word(w), wline)) = parser.peek().cloned() {
+                    if !w.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    parser.pos += 1;
+                    let r = parse_size(&w, wline)?;
+                    sizes.push(r);
+                    if rotatable {
+                        sizes.push(r.rotated());
+                    }
+                }
+                if sizes.is_empty() {
+                    return Err(ParseInstanceError {
+                        line: name_line,
+                        message: format!("module `{mod_name}` has no implementations"),
+                    });
+                }
+                let id = library.add(Module::new(mod_name.clone(), sizes));
+                by_name.insert(mod_name, id);
+            }
+            "tree" => {
+                if tree.is_some() {
+                    return Err(ParseInstanceError {
+                        line,
+                        message: "duplicate `tree` directive".to_owned(),
+                    });
+                }
+                let mut t = FloorplanTree::new();
+                let root = parse_expr(&mut parser, &by_name, &mut t, 0)?;
+                t.set_root(root);
+                tree = Some(t);
+            }
+            other => {
+                return Err(ParseInstanceError {
+                    line,
+                    message: format!(
+                        "unknown directive `{other}` (expected floorplan/module/tree)"
+                    ),
+                })
+            }
+        }
+    }
+
+    let tree = tree.ok_or(ParseInstanceError {
+        line: 0,
+        message: "missing `tree` directive".to_owned(),
+    })?;
+    tree.validate().map_err(|e| ParseInstanceError {
+        line: 0,
+        message: format!("invalid tree: {e}"),
+    })?;
+    Ok(FloorplanInstance {
+        name,
+        tree,
+        library,
+    })
+}
+
+/// Maximum expression nesting the parser accepts; a recursive-descent
+/// parser must bound its depth or adversarial inputs (`"((((…"`) exhaust
+/// the call stack.
+const MAX_NESTING: usize = 200;
+
+fn parse_expr(
+    parser: &mut Parser,
+    by_name: &HashMap<String, usize>,
+    tree: &mut FloorplanTree,
+    depth: usize,
+) -> Result<NodeId, ParseInstanceError> {
+    if depth > MAX_NESTING {
+        return Err(ParseInstanceError {
+            line: 0,
+            message: format!("expression nesting exceeds {MAX_NESTING} levels"),
+        });
+    }
+    match parser.next() {
+        Some((Token::Word(w), line)) => {
+            let id = by_name.get(&w).ok_or_else(|| ParseInstanceError {
+                line,
+                message: format!("unknown module `{w}`"),
+            })?;
+            Ok(tree.leaf(*id))
+        }
+        Some((Token::Open, _)) => {
+            let (op, op_line) = parser.expect_word("an operator (hsplit/vsplit/wheel)")?;
+            match op.as_str() {
+                "hsplit" | "vsplit" => {
+                    let dir = if op == "hsplit" {
+                        CutDir::Horizontal
+                    } else {
+                        CutDir::Vertical
+                    };
+                    let mut children = Vec::new();
+                    while !matches!(parser.peek(), Some((Token::Close, _)) | None) {
+                        children.push(parse_expr(parser, by_name, tree, depth + 1)?);
+                    }
+                    expect_close(parser)?;
+                    if children.len() < 2 {
+                        return Err(ParseInstanceError {
+                            line: op_line,
+                            message: format!("{op} needs at least 2 children"),
+                        });
+                    }
+                    Ok(tree.slice(dir, children))
+                }
+                "wheel" => {
+                    let (ch, ch_line) = parser.expect_word("a chirality (cw/ccw)")?;
+                    let chirality = match ch.as_str() {
+                        "cw" => Chirality::Clockwise,
+                        "ccw" => Chirality::Counterclockwise,
+                        other => {
+                            return Err(ParseInstanceError {
+                                line: ch_line,
+                                message: format!("expected cw or ccw, found `{other}`"),
+                            })
+                        }
+                    };
+                    let mut children = Vec::new();
+                    while !matches!(parser.peek(), Some((Token::Close, _)) | None) {
+                        children.push(parse_expr(parser, by_name, tree, depth + 1)?);
+                    }
+                    expect_close(parser)?;
+                    let arr: [NodeId; 5] =
+                        children
+                            .try_into()
+                            .map_err(|c: Vec<NodeId>| ParseInstanceError {
+                                line: op_line,
+                                message: format!(
+                                    "wheel needs exactly 5 children, found {}",
+                                    c.len()
+                                ),
+                            })?;
+                    Ok(tree.wheel(chirality, arr))
+                }
+                other => Err(ParseInstanceError {
+                    line: op_line,
+                    message: format!("unknown operator `{other}`"),
+                }),
+            }
+        }
+        Some((Token::Close, line)) => Err(ParseInstanceError {
+            line,
+            message: "unexpected `)`".to_owned(),
+        }),
+        None => Err(ParseInstanceError {
+            line: 0,
+            message: "unexpected end of input in expression".to_owned(),
+        }),
+    }
+}
+
+fn expect_close(parser: &mut Parser) -> Result<(), ParseInstanceError> {
+    match parser.next() {
+        Some((Token::Close, _)) => Ok(()),
+        Some((other, line)) => Err(ParseInstanceError {
+            line,
+            message: format!("expected `)`, found {other:?}"),
+        }),
+        None => Err(ParseInstanceError {
+            line: 0,
+            message: "expected `)`".to_owned(),
+        }),
+    }
+}
+
+/// Serializes an instance back to its text form (round-trips through
+/// [`parse_instance`]).
+///
+/// # Panics
+///
+/// Panics if the tree references modules missing from the library (call
+/// [`FloorplanTree::validate`] and check the library first).
+#[must_use]
+pub fn write_instance(instance: &FloorplanInstance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("floorplan {}\n", instance.name));
+    for module in instance.library.iter() {
+        out.push_str(&format!("module {}", module.name()));
+        for r in module.implementations().iter() {
+            out.push_str(&format!(" {}x{}", r.w, r.h));
+        }
+        out.push('\n');
+    }
+    out.push_str("tree ");
+    if !instance.tree.is_empty() {
+        write_expr(instance, instance.tree.root(), &mut out);
+    }
+    out.push('\n');
+    out
+}
+
+fn write_expr(instance: &FloorplanInstance, id: NodeId, out: &mut String) {
+    let node = instance.tree.node(id).expect("valid tree");
+    match &node.kind {
+        NodeKind::Leaf(m) => {
+            let module = instance.library.get(*m).expect("library covers the tree");
+            out.push_str(module.name());
+        }
+        NodeKind::Slice(dir) => {
+            out.push_str(match dir {
+                CutDir::Horizontal => "(hsplit",
+                CutDir::Vertical => "(vsplit",
+            });
+            for &c in &node.children {
+                out.push(' ');
+                write_expr(instance, c, out);
+            }
+            out.push(')');
+        }
+        NodeKind::Wheel(ch) => {
+            out.push_str(match ch {
+                Chirality::Clockwise => "(wheel cw",
+                Chirality::Counterclockwise => "(wheel ccw",
+            });
+            for &c in &node.children {
+                out.push(' ');
+                write_expr(instance, c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+# a demo instance
+floorplan demo
+module cpu 12x6 9x8 6x12
+module ram 10x5 5x10
+module io  8x3 4x6      # trailing comment
+tree (hsplit (vsplit cpu ram) io)
+";
+
+    #[test]
+    fn parses_the_demo() {
+        let inst = parse_instance(DEMO).expect("parses");
+        assert_eq!(inst.name, "demo");
+        assert_eq!(inst.library.len(), 3);
+        assert_eq!(inst.tree.module_count(), 3);
+        assert_eq!(inst.library[0].implementations().len(), 3);
+        assert!(inst.tree.validate().is_ok());
+    }
+
+    #[test]
+    fn wheel_and_reuse() {
+        let text = "\
+module a 2x1 1x2
+module e 1x1
+tree (wheel cw a a a a e)
+";
+        let inst = parse_instance(text).expect("parses");
+        assert_eq!(inst.tree.module_count(), 5);
+        // Four instances of the same module `a`.
+        let bin = crate::restructure::restructure(&inst.tree).expect("valid");
+        assert_eq!(bin.lshape_count(), 3);
+        assert_eq!(inst.name, "floorplan");
+    }
+
+    #[test]
+    fn round_trip() {
+        for text in [
+            DEMO,
+            "module a 2x1 1x2\nmodule e 1x1\ntree (wheel ccw a a a a e)\n",
+            "module a 1x1\nmodule b 2x2\ntree (vsplit a b a)\n",
+        ] {
+            let inst = parse_instance(text).expect("parses");
+            let written = write_instance(&inst);
+            let reparsed = parse_instance(&written).expect("round-trips");
+            assert_eq!(inst.name, reparsed.name);
+            assert_eq!(inst.library, reparsed.library);
+            assert_eq!(inst.tree.module_count(), reparsed.tree.module_count());
+            // Second write is a fixpoint.
+            assert_eq!(written, write_instance(&reparsed));
+        }
+    }
+
+    #[test]
+    fn error_reporting_lines() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("module m 3xx4\ntree m\n", 1, "expected <width>x<height>"),
+            ("module m 0x4\ntree m\n", 1, "zero dimension"),
+            (
+                "module m 1099511627777x4\ntree m\n",
+                1,
+                "exceeds the supported maximum",
+            ),
+            (
+                "module m 1x1\nmodule m 2x2\ntree m\n",
+                2,
+                "duplicate module",
+            ),
+            ("module m 1x1\ntree (vsplit m)\n", 2, "at least 2 children"),
+            (
+                "module m 1x1\ntree (wheel cw m m m)\n",
+                2,
+                "exactly 5 children",
+            ),
+            (
+                "module m 1x1\ntree (wheel sideways m m m m m)\n",
+                2,
+                "expected cw or ccw",
+            ),
+            ("module m 1x1\ntree nope\n", 2, "unknown module"),
+            ("module m 1x1\ntree (spiral m m)\n", 2, "unknown operator"),
+            ("module m 1x1\n", 0, "missing `tree`"),
+            ("module m\ntree m\n", 1, "no implementations"),
+            ("blorp\n", 1, "unknown directive"),
+        ];
+        for (text, line, needle) in cases {
+            let err = parse_instance(text).expect_err(text);
+            assert_eq!(err.line, *line, "{text}");
+            assert!(err.message.contains(needle), "{text} -> {}", err.message);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn rot_keyword_adds_rotations() {
+        let inst = parse_instance("module m rot 4x2\ntree (vsplit m m)\n").expect("parses");
+        assert_eq!(inst.library[0].implementations().len(), 2);
+        let square = parse_instance("module m rot 3x3\ntree (vsplit m m)\n").expect("parses");
+        assert_eq!(square.library[0].implementations().len(), 1);
+        // `rot` with no sizes is still an error.
+        let err = parse_instance("module m rot\ntree m\n").expect_err("no sizes");
+        assert!(err.message.contains("no implementations"));
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        // A light fuzz over adversarial inputs: errors are fine, panics
+        // are not.
+        let inputs = [
+            "",
+            "(",
+            ")",
+            "((((",
+            "tree",
+            "tree (",
+            "module",
+            "module x",
+            "module x 1x1 tree x",
+            "tree (wheel cw)",
+            "floorplan",
+            "module \u{1F600} 1x1\ntree \u{1F600}\n",
+            "tree (vsplit (vsplit (vsplit",
+            "module m 1x1\ntree ((((m",
+            "module m 99999999999999999999x1\ntree m\n",
+            "# only a comment",
+            "module m 1x1 2x2 3x3 4x4\ntree m m\n",
+        ];
+        for text in inputs {
+            let _ = parse_instance(text);
+        }
+    }
+
+    #[test]
+    fn adversarial_nesting_is_rejected_not_crashed() {
+        let bomb = format!(
+            "module m 1x1\ntree {}m{}\n",
+            "(vsplit m ".repeat(2000),
+            ")".repeat(2000)
+        );
+        let err = parse_instance(&bomb).expect_err("too deep");
+        assert!(err.message.contains("nesting exceeds"));
+        // At a reasonable depth it parses fine.
+        let ok = format!(
+            "module m 1x1\ntree {}m m{}\n",
+            "(vsplit m ".repeat(150),
+            ")".repeat(150)
+        );
+        assert!(parse_instance(&ok).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_parens() {
+        assert!(parse_instance("module m 1x1\ntree (vsplit m m\n").is_err());
+        assert!(parse_instance("module m 1x1\ntree (vsplit m m))\n").is_err());
+    }
+
+    #[test]
+    fn redundant_implementations_pruned_on_load() {
+        let inst = parse_instance("module m 3x3 4x4 2x5\ntree (vsplit m m)\n").expect("parses");
+        assert_eq!(inst.library[0].implementations().len(), 2); // 4x4 dominated
+    }
+
+    proptest::proptest! {
+        /// No input string can panic the parser.
+        #[test]
+        fn parser_total_on_random_input(text in ".{0,200}") {
+            let _ = parse_instance(&text);
+        }
+
+        /// Structured-ish random inputs exercise deeper paths.
+        #[test]
+        fn parser_total_on_token_soup(
+            tokens in proptest::collection::vec(
+                proptest::prop_oneof![
+                    proptest::prelude::Just("module".to_owned()),
+                    proptest::prelude::Just("tree".to_owned()),
+                    proptest::prelude::Just("floorplan".to_owned()),
+                    proptest::prelude::Just("(".to_owned()),
+                    proptest::prelude::Just(")".to_owned()),
+                    proptest::prelude::Just("vsplit".to_owned()),
+                    proptest::prelude::Just("wheel".to_owned()),
+                    proptest::prelude::Just("cw".to_owned()),
+                    proptest::prelude::Just("rot".to_owned()),
+                    proptest::prelude::Just("m".to_owned()),
+                    proptest::prelude::Just("3x4".to_owned()),
+                ],
+                0..40,
+            )
+        ) {
+            let _ = parse_instance(&tokens.join(" "));
+        }
+    }
+
+    #[test]
+    fn generated_benchmarks_round_trip() {
+        // Convert a generated benchmark into an instance and round-trip it.
+        let bench = crate::generators::fp1();
+        let library = crate::generators::module_library(&bench.tree, 3, 5);
+        let inst = FloorplanInstance {
+            name: bench.name.clone(),
+            tree: bench.tree,
+            library,
+        };
+        let text = write_instance(&inst);
+        let reparsed = parse_instance(&text).expect("round-trips");
+        assert_eq!(reparsed.tree.module_count(), 25);
+        assert_eq!(reparsed.library.len(), 25);
+    }
+}

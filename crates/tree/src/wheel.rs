@@ -1,0 +1,235 @@
+//! Closed-form wheel geometry.
+//!
+//! A **wheel** is the order-5 non-slicing floorplan pattern: four arms
+//! spiralling around a centre room (see [`crate::NodeKind`] for the child
+//! naming `[A, B, C, D, E]`). Given the realized sizes of the five
+//! children, the minimal enveloping rectangle and the four cut positions
+//! have closed forms; this module provides them as the ground truth that
+//! the optimizer's incremental L-shape joins must reproduce, and that the
+//! layout realizer uses to place children.
+//!
+//! For the clockwise wheel with cuts `x1 < x2` (vertical) and `y1 < y2`
+//! (horizontal):
+//!
+//! ```text
+//! A = [0, x1] × [y1, H]      (left column)
+//! B = [x1, W] × [y2, H]      (top strip)
+//! C = [x2, W] × [0, y2]      (right column)
+//! D = [0, x2] × [0, y1]      (bottom strip)
+//! E = [x1, x2] × [y1, y2]    (centre)
+//! ```
+//!
+//! The region constraints (`region ⊇ child`) give the minimal cuts
+//!
+//! ```text
+//! x1 = w_A                     y1 = h_D
+//! x2 = max(w_A + w_E, w_D)     y2 = max(h_D + h_E, h_C)
+//! W  = max(x1 + w_B, x2 + w_C) H  = max(y1 + h_A, y2 + h_B)
+//! ```
+
+use fp_geom::{Coord, Rect};
+
+use crate::Chirality;
+
+/// The realized cut positions of a wheel inside its envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelCuts {
+    /// Left vertical cut.
+    pub x1: Coord,
+    /// Right vertical cut (`x1 <= x2`).
+    pub x2: Coord,
+    /// Lower horizontal cut.
+    pub y1: Coord,
+    /// Upper horizontal cut (`y1 <= y2`).
+    pub y2: Coord,
+    /// The minimal envelope for the given children.
+    pub envelope: Rect,
+}
+
+/// The minimal cuts and envelope of a **clockwise** wheel whose five
+/// children realize the sizes `[a, b, c, d, e]`.
+///
+/// Counterclockwise wheels are mirror images: sizes are unchanged, so
+/// [`min_envelope`] is chirality-independent, and the layout realizer
+/// mirrors the placement instead.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_tree::wheel::cuts;
+///
+/// // Five unit squares cannot tile a pinwheel without slack: the minimal
+/// // envelope is 2x2... let's see: x1=1, x2=max(1+1,1)=2, y1=1,
+/// // y2=max(1+1,1)=2, W=max(1+1,2+1)=3, H=max(1+1,2+1)=3.
+/// let unit = Rect::new(1, 1);
+/// let c = cuts([unit; 5]);
+/// assert_eq!(c.envelope, Rect::new(3, 3));
+/// ```
+#[must_use]
+pub fn cuts(children: [Rect; 5]) -> WheelCuts {
+    let [a, b, c, d, e] = children;
+    let x1 = a.w;
+    let x2 = (a.w + e.w).max(d.w);
+    let y1 = d.h;
+    let y2 = (d.h + e.h).max(c.h);
+    let w = (x1 + b.w).max(x2 + c.w);
+    let h = (y1 + a.h).max(y2 + b.h);
+    WheelCuts {
+        x1,
+        x2,
+        y1,
+        y2,
+        envelope: Rect::new(w, h),
+    }
+}
+
+/// The minimal enveloping rectangle of a wheel with the given child sizes
+/// (chirality-independent).
+#[must_use]
+pub fn min_envelope(children: [Rect; 5]) -> Rect {
+    cuts(children).envelope
+}
+
+/// The five child regions of a wheel realized inside `envelope`
+/// (which must dominate the minimal envelope), in `[A, B, C, D, E]` order,
+/// as `(x, y, w, h)` regions.
+///
+/// For [`Chirality::Counterclockwise`] the clockwise placement is mirrored
+/// about the vertical axis.
+///
+/// # Panics
+///
+/// Panics if `envelope` is smaller than the minimal envelope.
+#[must_use]
+pub fn regions(
+    children: [Rect; 5],
+    chirality: Chirality,
+    envelope: Rect,
+) -> [(Coord, Coord, Rect); 5] {
+    let WheelCuts {
+        x1,
+        x2,
+        y1,
+        y2,
+        envelope: min,
+    } = cuts(children);
+    assert!(
+        envelope.dominates(min),
+        "envelope {envelope} smaller than the minimal wheel envelope {min}",
+    );
+    let (w, h) = (envelope.w, envelope.h);
+    let cw = [
+        (0, y1, Rect::new(x1, h - y1)),        // A: left column
+        (x1, y2, Rect::new(w - x1, h - y2)),   // B: top strip
+        (x2, 0, Rect::new(w - x2, y2)),        // C: right column
+        (0, 0, Rect::new(x2, y1)),             // D: bottom strip
+        (x1, y1, Rect::new(x2 - x1, y2 - y1)), // E: centre
+    ];
+    match chirality {
+        Chirality::Clockwise => cw,
+        Chirality::Counterclockwise => cw.map(|(x, y, r)| (w - x - r.w, y, r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::{first_overlap, PlacedRect, Point};
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_pinwheel_of_dominoes() {
+        // Four 2x1 dominoes around a 1x1 centre tile a 3x3 square exactly.
+        let children = [
+            Rect::new(1, 2), // A: left column, tall
+            Rect::new(2, 1), // B: top strip, wide
+            Rect::new(1, 2), // C: right column, tall
+            Rect::new(2, 1), // D: bottom strip, wide
+            Rect::new(1, 1), // E: centre
+        ];
+        let c = cuts(children);
+        assert_eq!(c.envelope, Rect::new(3, 3));
+        assert_eq!((c.x1, c.x2, c.y1, c.y2), (1, 2, 1, 2));
+    }
+
+    #[test]
+    fn regions_tile_exactly_when_tight() {
+        let children = [
+            Rect::new(1, 2),
+            Rect::new(2, 1),
+            Rect::new(1, 2),
+            Rect::new(2, 1),
+            Rect::new(1, 1),
+        ];
+        for chirality in [Chirality::Clockwise, Chirality::Counterclockwise] {
+            let regs = regions(children, chirality, Rect::new(3, 3));
+            let placed: Vec<PlacedRect> = regs
+                .iter()
+                .map(|&(x, y, r)| PlacedRect::new(Point::new(x, y), r))
+                .collect();
+            assert_eq!(first_overlap(&placed), None, "{chirality:?}");
+            let total: u128 = placed.iter().map(PlacedRect::area).sum();
+            assert_eq!(total, 9, "{chirality:?}");
+            // Children fit in their regions.
+            for (i, &(_, _, r)) in regs.iter().enumerate() {
+                assert!(children[i].fits_in(r), "{chirality:?} child {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the minimal wheel envelope")]
+    fn regions_reject_small_envelope() {
+        let unit = Rect::new(1, 1);
+        let _ = regions([unit; 5], Chirality::Clockwise, Rect::new(2, 2));
+    }
+
+    fn arb_children() -> impl Strategy<Value = [Rect; 5]> {
+        proptest::array::uniform5((1u64..12, 1u64..12).prop_map(|(w, h)| Rect::new(w, h)))
+    }
+
+    proptest! {
+        /// The computed regions never overlap, always contain their child,
+        /// and always fill the envelope structure (region areas sum to the
+        /// envelope area).
+        #[test]
+        fn regions_are_a_partition(children in arb_children(),
+                                   pad_w in 0u64..5, pad_h in 0u64..5,
+                                   ccw in proptest::bool::ANY) {
+            let chirality = if ccw { Chirality::Counterclockwise } else { Chirality::Clockwise };
+            let min = min_envelope(children);
+            let envelope = Rect::new(min.w + pad_w, min.h + pad_h);
+            let regs = regions(children, chirality, envelope);
+            let placed: Vec<PlacedRect> =
+                regs.iter().map(|&(x, y, r)| PlacedRect::new(Point::new(x, y), r)).collect();
+            prop_assert_eq!(first_overlap(&placed), None);
+            let total: u128 = placed.iter().map(PlacedRect::area).sum();
+            prop_assert_eq!(total, envelope.area());
+            for (i, &(x, y, r)) in regs.iter().enumerate() {
+                prop_assert!(children[i].fits_in(r), "child {} does not fit", i);
+                prop_assert!(x + r.w <= envelope.w && y + r.h <= envelope.h);
+            }
+        }
+
+        /// The minimal envelope is monotone in every child dimension.
+        #[test]
+        fn envelope_monotone(children in arb_children(), idx in 0usize..5,
+                             dw in 0u64..4, dh in 0u64..4) {
+            let base = min_envelope(children);
+            let mut grown = children;
+            grown[idx] = Rect::new(grown[idx].w + dw, grown[idx].h + dh);
+            prop_assert!(min_envelope(grown).dominates(base));
+        }
+
+        /// No child implementation combination can produce an envelope
+        /// smaller than any single child demands.
+        #[test]
+        fn envelope_contains_children(children in arb_children()) {
+            let env = min_envelope(children);
+            for (i, c) in children.iter().enumerate() {
+                prop_assert!(env.w >= c.w && env.h >= c.h, "child {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fixed-outline floorplanning: modern flows fix the die size up front
+//! and ask whether the design fits — and with what slack.
+//!
+//! ```sh
+//! cargo run --release -p fp-optimizer --example fixed_outline
+//! ```
+//!
+//! The optimizer's root implementation list *is* the feasible-envelope
+//! trade-off curve, so fixed-outline queries are a filter over it: this
+//! example binary-searches the smallest square die that fits FP1, then
+//! compares area- and half-perimeter-optimal floorplans inside it.
+
+use fp_geom::Rect;
+use fp_optimizer::{optimize_frontier, Objective, OptimizeConfig};
+use fp_tree::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = generators::fp1();
+    let library = generators::module_library(&bench.tree, 12, 11);
+
+    // One enumeration gives the whole feasible-envelope frontier; every
+    // fixed-outline/objective query below is answered from it without
+    // re-running the optimizer.
+    let frontier = optimize_frontier(&bench.tree, &library, &OptimizeConfig::default())?;
+    let free = frontier.best(Objective::MinArea, None)?;
+    println!(
+        "unconstrained optimum: {} (area {}, half-perimeter {}, {} envelopes on the frontier)",
+        free.root_impl,
+        free.area,
+        free.root_impl.half_perimeter(),
+        frontier.envelopes().len(),
+    );
+
+    // Binary-search the smallest square outline that admits any solution.
+    let fits = |side: u64| {
+        frontier
+            .best(Objective::MinArea, Some(Rect::new(side, side)))
+            .is_ok()
+    };
+    let (mut lo, mut hi) = (1u64, free.root_impl.w.max(free.root_impl.h) * 2);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    println!("smallest feasible square die: {lo}x{lo}");
+
+    // Inside that die, compare the two objectives.
+    for (name, objective) in [
+        ("min-area", Objective::MinArea),
+        ("min-half-perimeter", Objective::MinHalfPerimeter),
+    ] {
+        let out = frontier.best(objective, Some(Rect::new(lo, lo)))?;
+        let layout = fp_tree::layout::realize(&bench.tree, &library, &out.assignment)?;
+        assert_eq!(layout.validate(), None);
+        println!(
+            "  {name:<18}: {} area {} hp {} dead-space {:.1}%",
+            out.root_impl,
+            out.area,
+            out.root_impl.half_perimeter(),
+            100.0 * layout.dead_space() as f64 / layout.area() as f64,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The paper's headline scenario: a floorplan too large for plain
+//! enumeration, rescued by implementation selection.
+//!
+//! ```sh
+//! cargo run --release -p fp-optimizer --example memory_budget
+//! ```
+//!
+//! We run the FP1 benchmark (a wheel of wheels, the structure that makes
+//! L-shaped block implementation sets explode) with a deliberately small
+//! implementation budget, the way the paper's SPARCstation bounded [9]:
+//!
+//! 1. the plain optimal algorithm exhausts the budget and dies;
+//! 2. `R_Selection` alone cuts the peak but may still overflow;
+//! 3. `R_Selection` + `L_Selection` completes within budget, with a final
+//!    area within a few percent of the (budget-free) optimum.
+
+use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_select::LReductionPolicy;
+use fp_tree::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = generators::fp1();
+    let library = generators::module_library(&bench.tree, 16, 20260706);
+    println!(
+        "benchmark {}: {} modules, {} implementations each",
+        bench.name,
+        bench.tree.module_count(),
+        16
+    );
+
+    // Ground truth: the unconstrained optimum (fits comfortably here).
+    let optimum = optimize(&bench.tree, &library, &OptimizeConfig::default())?;
+    println!(
+        "\nunconstrained optimum: area {} (peak storage {})",
+        optimum.area, optimum.stats.peak_impls
+    );
+
+    // Emulate a small machine.
+    let budget = optimum.stats.peak_impls / 3;
+    println!("\nnow pretend the machine only fits {budget} implementations:");
+
+    let plain = OptimizeConfig::default().with_memory_limit(Some(budget));
+    match optimize(&bench.tree, &library, &plain) {
+        Err(OptError::OutOfMemory { live, .. }) => {
+            println!("  plain [9]                    : FAILED (out of memory at {live} live)");
+        }
+        Ok(out) => println!("  plain [9]                    : area {}", out.area),
+        Err(e) => return Err(e.into()),
+    }
+
+    let with_r = plain.clone().with_r_selection(12);
+    match optimize(&bench.tree, &library, &with_r) {
+        Ok(out) => println!(
+            "  [9] + R_Selection (K1=12)    : area {} (+{:.2}% vs optimum, peak {})",
+            out.area,
+            excess(out.area, optimum.area),
+            out.stats.peak_impls
+        ),
+        Err(OptError::OutOfMemory { live, .. }) => {
+            println!("  [9] + R_Selection (K1=12)    : FAILED (out of memory at {live} live)");
+        }
+        Err(e) => return Err(e.into()),
+    }
+
+    let with_rl = with_r.clone().with_l_selection(
+        LReductionPolicy::new(200)
+            .with_theta(0.9)
+            .with_prefilter(4000),
+    );
+    let out = optimize(&bench.tree, &library, &with_rl)?;
+    println!(
+        "  [9] + R + L_Selection (K2=200): area {} (+{:.2}% vs optimum, peak {})",
+        out.area,
+        excess(out.area, optimum.area),
+        out.stats.peak_impls
+    );
+    println!(
+        "    reductions fired: {} rectangular, {} L-shaped; {} candidates generated",
+        out.stats.r_reductions, out.stats.l_reductions, out.stats.generated
+    );
+
+    // The rescued solution is still physically realizable.
+    let layout = fp_tree::layout::realize(&bench.tree, &library, &out.assignment)?;
+    assert_eq!(layout.area(), out.area);
+    assert_eq!(layout.validate(), None);
+    println!(
+        "\nrescued layout verified: {} modules placed without overlap",
+        layout.placed.len()
+    );
+    Ok(())
+}
+
+fn excess(area: u128, optimum: u128) -> f64 {
+    100.0 * (area as f64 - optimum as f64) / optimum as f64
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a small floorplan, optimize its area, and print the
+//! resulting layout.
+//!
+//! ```sh
+//! cargo run -p fp-optimizer --example quickstart
+//! ```
+//!
+//! This walks the full pipeline of the library on a Figure-1 style
+//! floorplan: a hand-built topology plus a hand-built module library, the
+//! optimal bottom-up area optimization, solution trace-back, and physical
+//! realization of the chosen implementations.
+
+use fp_geom::Rect;
+use fp_optimizer::{optimize, OptimizeConfig};
+use fp_tree::layout::realize;
+use fp_tree::{CutDir, FloorplanTree, Module, ModuleLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Topology (paper Figure 1 flavour): a two-module row with a
+    // three-module row stacked on top of it (horizontal slices stack
+    // children bottom-to-top).
+    //
+    //      +---+----+----+
+    //      |io | ctl|dsp |
+    //      +---+--+-+----+
+    //      | cpu  | sram |
+    //      +------+------+
+    let mut tree = FloorplanTree::new();
+    let cpu = tree.leaf(0);
+    let sram = tree.leaf(1);
+    let top = tree.slice(CutDir::Vertical, vec![cpu, sram]);
+    let io = tree.leaf(2);
+    let ctl = tree.leaf(3);
+    let dsp = tree.leaf(4);
+    let bottom = tree.slice(CutDir::Vertical, vec![io, ctl, dsp]);
+    tree.slice(CutDir::Horizontal, vec![top, bottom]);
+
+    // Each module offers a few alternative implementations (soft macros).
+    let library: ModuleLibrary = [
+        Module::new(
+            "cpu",
+            vec![Rect::new(12, 6), Rect::new(9, 8), Rect::new(6, 12)],
+        ),
+        Module::new("sram", vec![Rect::new(10, 5), Rect::new(5, 10)]),
+        Module::new(
+            "io",
+            vec![Rect::new(8, 3), Rect::new(4, 6), Rect::new(3, 8)],
+        ),
+        Module::new("ctl", vec![Rect::new(6, 4), Rect::new(4, 6)]),
+        Module::new(
+            "dsp",
+            vec![Rect::new(9, 4), Rect::new(6, 6), Rect::new(4, 9)],
+        ),
+    ]
+    .into_iter()
+    .collect();
+
+    // Optimize: select one implementation per module so the enveloping
+    // rectangle's area is minimal with the topology unchanged.
+    let outcome = optimize(&tree, &library, &OptimizeConfig::default())?;
+    println!(
+        "optimal floorplan: {} (area {})",
+        outcome.root_impl, outcome.area
+    );
+    println!(
+        "peak implementations stored: {}  (generated {})",
+        outcome.stats.peak_impls, outcome.stats.generated
+    );
+
+    // Show which implementation each module uses.
+    let leaf_names = ["cpu", "sram", "io", "ctl", "dsp"];
+    for (name, &choice) in leaf_names.iter().zip(&outcome.assignment.choices) {
+        println!("  {name:<5} -> implementation #{choice}");
+    }
+
+    // Realize and verify the physical layout.
+    let layout = realize(&tree, &library, &outcome.assignment)?;
+    assert_eq!(layout.area(), outcome.area);
+    assert_eq!(layout.validate(), None);
+    println!(
+        "\nlayout ({} dead space of {} total):\n{}",
+        layout.dead_space(),
+        layout.area(),
+        layout.to_ascii(48)
+    );
+    Ok(())
+}

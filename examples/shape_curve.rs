@@ -1,0 +1,62 @@
+//! Continuous shape curves (paper §6, concluding remarks): when modules
+//! have *infinitely* many implementations along a continuous `w·h ≥ A`
+//! curve, discretize each curve into many points and let the selection
+//! algorithms keep the working set tractable.
+//!
+//! ```sh
+//! cargo run --release -p fp-optimizer --example shape_curve
+//! ```
+//!
+//! The experiment sweeps the discretization density: finer sampling gives
+//! better floorplans but a bigger memory footprint; `R_Selection` keeps
+//! the footprint flat while tracking the fine-grained quality.
+
+use fp_optimizer::{optimize, OptimizeConfig};
+use fp_tree::curve::ShapeCurve;
+use fp_tree::{generators, Module, ModuleLibrary};
+
+/// Samples `points` implementations of a soft module with a continuous
+/// shape curve `w · h >= area`, aspect ratio within `[1/3, 3]`.
+fn sample_curve(name: &str, area: u64, points: usize) -> Module {
+    ShapeCurve::new(area, 3.0)
+        .expect("valid curve")
+        .sample(name, points)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // FP1: the wheel-of-wheels benchmark, with 25 shape-curve modules.
+    let bench = generators::fp1();
+    let areas: Vec<u64> = (0..25).map(|i| 80 + 37 * i).collect();
+
+    println!("continuous shape-curve floorplanning on {}:", bench.name);
+    println!(
+        "{:>8} {:>12} {:>10} {:>14} {:>10}",
+        "samples", "plain area", "plain M", "R+L(K2=250) A", "R+L M"
+    );
+
+    for points in [4usize, 8, 16, 32, 64] {
+        let library: ModuleLibrary = areas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| sample_curve(&format!("m{i}"), a, points))
+            .collect();
+
+        let plain = optimize(&bench.tree, &library, &OptimizeConfig::default())?;
+        let reduced_cfg = OptimizeConfig::default()
+            .with_r_selection(24)
+            .with_l_selection(fp_select::LReductionPolicy::new(250).with_prefilter(4000));
+        let reduced = optimize(&bench.tree, &library, &reduced_cfg)?;
+
+        println!(
+            "{:>8} {:>12} {:>10} {:>14} {:>10}",
+            points, plain.area, plain.stats.peak_impls, reduced.area, reduced.stats.peak_impls
+        );
+    }
+
+    println!(
+        "\nfiner curves approach the continuous optimum; the selection\n\
+         algorithms keep the peak storage (M) bounded while staying within\n\
+         a few percent of the plain result — the paper's §6 use case."
+    );
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! End-to-end runs of the paper's benchmark suite at test-friendly sizes:
+//! the qualitative claims of Tables 1-4 must hold on every run.
+
+use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_select::LReductionPolicy;
+use fp_tree::generators;
+use fp_tree::layout::realize;
+
+/// Table 1/2 shape on FP1: R_Selection cuts peak memory while the area
+/// stays within a few percent, and every solution realizes physically.
+#[test]
+fn fp1_r_selection_tradeoff() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 1);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("runs");
+
+    let mut last_area = u128::MAX;
+    for k1 in [6usize, 10, 16] {
+        let cfg = OptimizeConfig::default().with_r_selection(k1);
+        let out = optimize(&bench.tree, &lib, &cfg).expect("runs");
+        assert!(out.stats.peak_impls <= plain.stats.peak_impls, "K1 = {k1}");
+        assert!(out.area >= plain.area, "K1 = {k1}");
+        // Larger K1 => at least as good quality (monotone in this sweep).
+        assert!(out.area <= last_area, "K1 = {k1}");
+        last_area = out.area;
+        let layout = realize(&bench.tree, &lib, &out.assignment).expect("valid");
+        assert_eq!(layout.area(), out.area);
+        assert_eq!(layout.validate(), None);
+        // Area degradation stays modest (paper: < 2%; allow 10% at these
+        // tiny test sizes).
+        let excess = (out.area - plain.area) as f64 / plain.area as f64;
+        assert!(excess < 0.10, "K1 = {k1}: {excess}");
+    }
+}
+
+/// Table 3/4 shape on FP1 with a budget: the plain algorithm dies, the
+/// L-selection run survives and stays realizable.
+#[test]
+fn budgeted_fp1_requires_l_selection() {
+    let bench = generators::fp1();
+    // N = 16 implementations per module: large enough that the plain
+    // algorithm's storage dwarfs the selection-based one (Table 1 regime).
+    let lib = generators::module_library(&bench.tree, 16, 20260706);
+    let unbounded =
+        optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits default budget");
+    let budget = unbounded.stats.peak_impls / 2;
+
+    let plain = OptimizeConfig::default().with_memory_limit(Some(budget));
+    assert!(matches!(
+        optimize(&bench.tree, &lib, &plain),
+        Err(OptError::OutOfMemory { .. })
+    ));
+
+    let rescued = plain
+        .clone()
+        .with_r_selection(12)
+        .with_l_selection(LReductionPolicy::new(100).with_prefilter(4000));
+    let out = optimize(&bench.tree, &lib, &rescued).expect("L_Selection rescues the run");
+    assert!(out.stats.peak_impls <= budget);
+    assert!(out.stats.l_reductions > 0);
+    let layout = realize(&bench.tree, &lib, &out.assignment).expect("valid");
+    assert_eq!(layout.area(), out.area);
+    assert_eq!(layout.validate(), None);
+}
+
+/// K2 sweep: more budget, better area; less budget, less memory
+/// (the Table 4 trend).
+#[test]
+fn k2_sweep_trends() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 5);
+    let mut prev_area = u128::MAX;
+    let mut prev_peak = 0usize;
+    for k2 in [150usize, 400, 1200] {
+        let cfg = OptimizeConfig::default()
+            .with_r_selection(12)
+            .with_l_selection(LReductionPolicy::new(k2).with_prefilter(4000));
+        let out = optimize(&bench.tree, &lib, &cfg).expect("runs");
+        assert!(
+            out.area <= prev_area,
+            "K2 = {k2}: area should improve with budget"
+        );
+        assert!(
+            out.stats.peak_impls >= prev_peak,
+            "K2 = {k2}: memory grows with budget"
+        );
+        prev_area = out.area;
+        prev_peak = out.stats.peak_impls;
+    }
+}
+
+/// FP2 end-to-end at small N: all three configurations and layouts agree
+/// with the reported areas.
+#[test]
+fn fp2_small_n_full_pipeline() {
+    let bench = generators::fp2();
+    let lib = generators::module_library(&bench.tree, 3, 9);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("runs");
+    let with_sel = optimize(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default()
+            .with_r_selection(10)
+            .with_l_selection(LReductionPolicy::new(300)),
+    )
+    .expect("runs");
+    for out in [&plain, &with_sel] {
+        let layout = realize(&bench.tree, &lib, &out.assignment).expect("valid");
+        assert_eq!(layout.area(), out.area);
+        assert_eq!(layout.validate(), None);
+        assert_eq!(layout.placed.len(), 49);
+    }
+    assert!(with_sel.stats.peak_impls <= plain.stats.peak_impls);
+    assert!(with_sel.area >= plain.area);
+}
+
+/// Chirality is a mirror symmetry: flipping every wheel's chirality leaves
+/// the optimal area unchanged.
+#[test]
+fn chirality_is_area_neutral() {
+    use fp_tree::{Chirality, FloorplanTree, NodeId};
+    let build = |ch: Chirality| {
+        let mut t = FloorplanTree::new();
+        let inner: Vec<NodeId> = (0..5).map(|m| t.leaf(m)).collect();
+        let w1 = t.wheel(ch, [inner[0], inner[1], inner[2], inner[3], inner[4]]);
+        let more: Vec<NodeId> = (5..9).map(|m| t.leaf(m)).collect();
+        let w2 = t.wheel(ch, [more[0], more[1], more[2], more[3], w1]);
+        t.set_root(w2);
+        t
+    };
+    let cw = build(Chirality::Clockwise);
+    let ccw = build(Chirality::Counterclockwise);
+    let lib = generators::module_library(&cw, 4, 13);
+    let out_cw = optimize(&cw, &lib, &OptimizeConfig::default()).expect("runs");
+    let out_ccw = optimize(&ccw, &lib, &OptimizeConfig::default()).expect("runs");
+    assert_eq!(out_cw.area, out_ccw.area);
+    // Both realize validly despite the mirrored placement.
+    for (t, out) in [(&cw, &out_cw), (&ccw, &out_ccw)] {
+        let layout = realize(t, &lib, &out.assignment).expect("valid");
+        assert_eq!(layout.area(), out.area);
+        assert_eq!(layout.validate(), None);
+    }
+}
+
+/// MCNC-flavoured instances (mostly hard macros, wide area spread)
+/// optimize and realize cleanly; dead space stays plausible.
+#[test]
+fn mcnc_like_instances_end_to_end() {
+    for (bench, lib) in [generators::ami33_like(), generators::ami49_like()] {
+        let out = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("runs");
+        let layout = realize(&bench.tree, &lib, &out.assignment).expect("valid");
+        assert_eq!(layout.area(), out.area, "{}", bench.name);
+        assert_eq!(layout.validate(), None, "{}", bench.name);
+        let dead = layout.dead_space() as f64 / layout.area() as f64;
+        assert!(
+            dead < 0.6,
+            "{}: implausible dead space {dead:.2}",
+            bench.name
+        );
+    }
+}
+
+/// Deep left-leaning slicing chains must not exhaust the stack: the
+/// recursive passes (restructure, size computation, placement) all track
+/// the tree depth, which we support to at least 2000.
+#[test]
+fn deep_slicing_chain_is_supported() {
+    use fp_tree::{CutDir, FloorplanTree};
+    let depth = 2000usize;
+    let mut t = FloorplanTree::new();
+    let mut acc = t.leaf(0);
+    for m in 1..depth {
+        let leaf = t.leaf(m);
+        acc = t.slice(
+            if m % 2 == 0 {
+                CutDir::Horizontal
+            } else {
+                CutDir::Vertical
+            },
+            vec![acc, leaf],
+        );
+    }
+    t.set_root(acc);
+    t.validate().expect("valid");
+    let lib = generators::module_library(&t, 2, 5);
+    let out = optimize(&t, &lib, &OptimizeConfig::default()).expect("runs");
+    let layout = realize(&t, &lib, &out.assignment).expect("valid");
+    assert_eq!(layout.placed.len(), depth);
+    assert_eq!(layout.area(), out.area);
+}

@@ -1,0 +1,222 @@
+//! Reproductions of the paper's worked figures as executable tests.
+//!
+//! Each test pins the exact numbers or structures the paper states in
+//! prose, so a regression here means the reproduction has drifted from the
+//! publication.
+
+use fp_cspp::{constrained_shortest_path, shortest_path, CsppError, Dag};
+use fp_geom::{LShape, Rect};
+use fp_select::{l_selection, r_selection, LErrorTable, RErrorTable};
+use fp_shape::{staircase, LList, RList};
+use fp_tree::restructure::{restructure, BinNode, BinOp};
+use fp_tree::{generators, CutDir, FloorplanTree, NodeKind};
+
+/// Figure 2: the L-shape and rectangle implementation measurements.
+#[test]
+fn figure2_implementation_tuples() {
+    // An L-shaped block of three basic rectangles and a rectangular block:
+    // the implementation records only the outline measurements.
+    let l = LShape::new(10, 4, 8, 3).expect("w1 >= w2, h1 >= h2");
+    assert_eq!(l.as_tuple(), (10, 4, 8, 3));
+    assert_eq!(l.bounding_box(), Rect::new(10, 8));
+    // Definition 1: componentwise dominance.
+    assert!(LShape::new(11, 4, 8, 3).expect("canonical").dominates(l));
+    assert!(!LShape::new(11, 3, 8, 3).expect("canonical").dominates(l));
+}
+
+/// Figure 1/3: a floorplan tree restructures into a binary tree whose
+/// internal nodes are rectangular or L-shaped blocks.
+#[test]
+fn figure3_restructure_shapes() {
+    // A slice of three over a wheel: T' must contain binary slice joins
+    // (rectangular) and the four wheel stages (three L-shaped, one final
+    // rectangle).
+    let mut t = FloorplanTree::new();
+    let leaves: Vec<_> = (0..5).map(|m| t.leaf(m)).collect();
+    let wheel = t.wheel(
+        fp_tree::Chirality::Clockwise,
+        [leaves[0], leaves[1], leaves[2], leaves[3], leaves[4]],
+    );
+    let extra1 = t.leaf(5);
+    let extra2 = t.leaf(6);
+    t.slice(CutDir::Vertical, vec![wheel, extra1, extra2]);
+
+    let bin = restructure(&t).expect("valid");
+    let slices = bin
+        .nodes()
+        .iter()
+        .filter(|n| {
+            matches!(
+                n,
+                BinNode::Join {
+                    op: BinOp::Slice(_),
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(slices, 2, "3-ary slice becomes 2 binary joins");
+    assert_eq!(bin.lshape_count(), 3, "one wheel contributes 3 L-blocks");
+    // Bottom-up order: the root is the last slice join.
+    assert!(matches!(
+        bin.node(bin.root()),
+        Some(BinNode::Join {
+            op: BinOp::Slice(_),
+            ..
+        })
+    ));
+}
+
+/// Figure 4: the CSPP example. The unconstrained shortest path has weight
+/// 8 over all six vertices; constrained to k = 4 the optimum is
+/// v1 -> v2 -> v4 -> v6 with weight 11, beating the alternatives of weight
+/// 12 and 15.
+#[test]
+fn figure4_constrained_shortest_path() {
+    let mut g: Dag<u64> = Dag::new(6);
+    for (u, v, w) in [
+        (0, 1, 1),
+        (1, 2, 2),
+        (2, 3, 2),
+        (3, 4, 2),
+        (4, 5, 1),
+        (0, 2, 6),
+        (1, 3, 6),
+        (3, 5, 4),
+        (1, 4, 13),
+    ] {
+        g.add_edge(u, v, w).expect("valid edge");
+    }
+
+    let unconstrained = shortest_path(&g, 0, 5).expect("path exists");
+    assert_eq!(unconstrained.weight, 8);
+    assert_eq!(unconstrained.vertices, vec![0, 1, 2, 3, 4, 5]);
+
+    let k4 = constrained_shortest_path(&g, 0, 5, 4).expect("path exists");
+    assert_eq!(k4.weight, 11);
+    assert_eq!(k4.vertices, vec![0, 1, 3, 5]);
+
+    // The paper's two other 4-vertex paths weigh 12 and 15.
+    let alt1: u64 = 6 + 2 + 4; // v1 -> v3 -> v4 -> v6
+    let alt2: u64 = 1 + 13 + 1; // v1 -> v2 -> v5 -> v6
+    assert_eq!((alt1, alt2), (12, 15));
+    assert!(k4.weight < alt1 && k4.weight < alt2);
+}
+
+/// Figure 5: an irreducible R-list is a staircase whose corners are
+/// exactly the non-redundant implementations.
+#[test]
+fn figure5_staircase_corners() {
+    let list = RList::from_candidates(vec![
+        Rect::new(12, 1),
+        Rect::new(10, 2),
+        Rect::new(8, 4),
+        Rect::new(6, 5),
+        Rect::new(3, 7),
+        Rect::new(1, 10),
+    ]);
+    assert_eq!(list.len(), 6);
+    // Points on/above the curve are feasible; corners are minimal.
+    for &corner in list.iter() {
+        assert_eq!(
+            staircase::height_at(&list, corner.w),
+            Some(corner.h),
+            "corner {corner} lies on the curve"
+        );
+    }
+    // Between corners the curve is flat at the next corner's height.
+    assert_eq!(staircase::height_at(&list, 11), Some(2));
+    assert_eq!(staircase::height_at(&list, 2), Some(10));
+}
+
+/// Figure 6: `ERROR(R, R')` decomposes into the per-gap bounded areas
+/// (`A1 + A2` for the selection `{r1, r3, r4, r6}`), which is what
+/// `Compute_R_Error` tabulates.
+#[test]
+fn figure6_error_decomposition() {
+    let list = RList::from_candidates(vec![
+        Rect::new(12, 1),
+        Rect::new(10, 2),
+        Rect::new(8, 4),
+        Rect::new(6, 5),
+        Rect::new(3, 7),
+        Rect::new(1, 10),
+    ]);
+    let table = RErrorTable::new(&list);
+    let selection = [0usize, 2, 3, 5]; // r1, r3, r4, r6
+    let a1 = table.error(0, 2);
+    let a2 = table.error(3, 5);
+    assert!(a1 > 0 && a2 > 0);
+    assert_eq!(table.error(2, 3), 0, "adjacent corners discard nothing");
+    assert_eq!(table.selection_error(&selection), a1 + a2);
+    assert_eq!(staircase::area_between(&list, &selection), a1 + a2);
+}
+
+/// Figure 7: `R_Selection` builds the complete DAG over the list and the
+/// constrained shortest path with k vertices is the optimal selection.
+#[test]
+fn figure7_selection_equals_cspp() {
+    let list = RList::from_candidates(vec![
+        Rect::new(12, 1),
+        Rect::new(10, 2),
+        Rect::new(8, 4),
+        Rect::new(6, 5),
+        Rect::new(3, 7),
+        Rect::new(1, 10),
+    ]);
+    // Independent CSPP over the explicitly constructed DAG.
+    let table = RErrorTable::new(&list);
+    let mut g: Dag<u128> = Dag::new(6);
+    for i in 0..6 {
+        for j in i + 1..6 {
+            g.add_edge(i, j, table.error(i, j)).expect("valid edge");
+        }
+    }
+    for k in 2..=6 {
+        let via_cspp = constrained_shortest_path(&g, 0, 5, k).expect("path exists");
+        let via_selection = r_selection(&list, k).expect("selection");
+        assert_eq!(via_cspp.vertices, via_selection.positions, "k = {k}");
+        assert_eq!(via_cspp.weight, via_selection.error, "k = {k}");
+    }
+    // k beyond any path length is correctly infeasible on the DAG side.
+    assert_eq!(
+        constrained_shortest_path(&g, 0, 5, 7),
+        Err(CsppError::InvalidK { k: 7, len: 6 })
+    );
+}
+
+/// Paragraph 4.3: `L_Selection` on an L-list agrees with its own table and
+/// keeps a valid chain.
+#[test]
+fn section43_l_selection_consistency() {
+    let list = LList::from_sorted(
+        (0..10u64)
+            .map(|i| LShape::new_canonical(60 - 3 * i, 7, 8 + 2 * i, 3 + i))
+            .collect(),
+    )
+    .expect("valid chain");
+    let table = LErrorTable::new_l1(&list);
+    for k in 2..10 {
+        let sel = l_selection(&list, k).expect("selection");
+        assert_eq!(sel.error, table.selection_error(&sel.positions), "k = {k}");
+        let reduced = list.subset(&sel.positions);
+        assert!(LList::from_sorted(reduced.into_vec()).is_ok(), "k = {k}");
+    }
+}
+
+/// Figure 8: the four benchmark floorplans have the paper's module counts
+/// and the wheel-rich structure that produces L-shaped blocks.
+#[test]
+fn figure8_benchmarks() {
+    let benches = generators::paper_benchmarks();
+    let counts: Vec<usize> = benches.iter().map(|b| b.tree.module_count()).collect();
+    assert_eq!(counts, vec![25, 49, 120, 245]);
+    for bench in &benches {
+        let wheels = (0..bench.tree.len())
+            .filter(|&i| matches!(bench.tree.node(i).expect("node").kind, NodeKind::Wheel(_)))
+            .count();
+        assert!(wheels >= 5, "{} needs a wheel-rich hierarchy", bench.name);
+        let bin = restructure(&bench.tree).expect("valid");
+        assert_eq!(bin.lshape_count(), wheels * 3, "{}", bench.name);
+    }
+}
