@@ -20,8 +20,7 @@
 use core::fmt;
 
 use fp_tree::{CutDir, FloorplanTree, ModuleId};
-use rand::rngs::StdRng;
-use rand::Rng;
+use fp_prng::StdRng;
 
 /// One symbol of a Polish expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -288,7 +287,6 @@ impl fmt::Display for PolishExpression {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::SeedableRng;
 
     #[test]
     fn row_expression_is_valid() {

@@ -3,8 +3,7 @@
 use fp_optimizer::{optimize, OptimizeConfig};
 use fp_tree::layout::Assignment;
 use fp_tree::{FloorplanTree, ModuleLibrary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fp_prng::StdRng;
 
 use crate::PolishExpression;
 

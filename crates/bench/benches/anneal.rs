@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fp_anneal::{anneal, AnnealConfig, PolishExpression};
 use fp_optimizer::OptimizeConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fp_prng::StdRng;
 
 fn bench_inner_loop(c: &mut Criterion) {
     let library = fp_tree::spread_library(12, 20, 5);

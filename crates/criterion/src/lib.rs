@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds without network access, so it cannot pull the real
+//! `criterion` crate from a registry. This shim provides the API subset the
+//! benches under `crates/bench/benches/` use — groups, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by plain
+//! wall-clock timing. It reports the mean and best iteration time per
+//! benchmark on stdout. Statistical analysis, plots, and baselines are out
+//! of scope: the goal is that `cargo bench` runs and produces honest
+//! comparative numbers, not publication-grade measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Identifies one benchmark within a group: an optional function name plus
+/// an optional parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function_name: &str) -> Self {
+        BenchmarkId {
+            function: Some(function_name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function_name: String) -> Self {
+        BenchmarkId {
+            function: Some(function_name),
+            parameter: None,
+        }
+    }
+}
+
+/// Times one closure repeatedly; handed to benchmark bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed: Vec::new(),
+        }
+    }
+
+    /// Runs `routine` once as warm-up and then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.elapsed.clear();
+        self.elapsed.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.elapsed.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.elapsed.iter().sum();
+        let mean = total / self.elapsed.len() as u32;
+        let best = self.elapsed.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<48} mean {:>12} best {:>12} ({} samples)",
+            format_duration(mean),
+            format_duration(best),
+            self.elapsed.len()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The top-level benchmark driver created by [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(DEFAULT_SAMPLE_SIZE);
+        routine(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group. (The shim keeps no cross-group state; this exists
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each [`criterion_group!`]-defined group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("s", 4000).render(), "s/4000");
+        assert_eq!(BenchmarkId::from_parameter(0.05).render(), "0.05");
+        assert_eq!(BenchmarkId::from("off").render(), "off");
+    }
+
+    #[test]
+    fn group_runs_every_sample() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(7);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // One warm-up call plus seven timed samples.
+        assert_eq!(runs, 8);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("n", 17), &17u64, |b, &n| {
+            b.iter(|| seen = n);
+        });
+        group.finish();
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn bench_a(c: &mut Criterion) {
+            c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+}

@@ -974,13 +974,14 @@ mod tests {
         assert_eq!(layout.area(), reduced.area);
     }
 
+
     #[test]
     fn l_selection_reduces_wheel_blocks() {
         let bench = generators::fp1();
         let lib = generators::module_library(&bench.tree, 6, 3);
         let cfg = OptimizeConfig::default()
             .with_r_selection(10)
-            .with_l_selection(LReductionPolicy::new(60).with_metric(Metric::L1));
+            .with_l_selection(LReductionPolicy::new(30).with_metric(Metric::L1));
         let out = run(&bench.tree, &lib, &cfg);
         assert!(out.stats.l_reductions > 0);
         let layout = realize(&bench.tree, &lib, &out.assignment).expect("valid");
@@ -1008,8 +1009,8 @@ mod tests {
         // The same run with selection squeezes under the budget.
         let rescued = OptimizeConfig::default()
             .with_memory_limit(Some(budget))
-            .with_r_selection(6)
-            .with_l_selection(LReductionPolicy::new(100));
+            .with_r_selection(3)
+            .with_l_selection(LReductionPolicy::new(30));
         let out = optimize(&bench.tree, &lib, &rescued).expect("selection rescues the run");
         assert!(out.stats.peak_impls <= budget);
     }

@@ -4,8 +4,7 @@ use core::fmt;
 
 use fp_geom::{Coord, Rect};
 use fp_shape::RList;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fp_prng::StdRng;
 
 /// Identifier of a module within a [`ModuleLibrary`].
 pub type ModuleId = usize;
