@@ -19,8 +19,8 @@
 
 use core::fmt;
 
-use fp_tree::{CutDir, FloorplanTree, ModuleId};
 use fp_prng::StdRng;
+use fp_tree::{CutDir, FloorplanTree, ModuleId};
 
 /// One symbol of a Polish expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

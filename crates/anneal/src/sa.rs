@@ -1,9 +1,9 @@
 //! The simulated-annealing loop.
 
 use fp_optimizer::{optimize, OptimizeConfig};
+use fp_prng::StdRng;
 use fp_tree::layout::Assignment;
 use fp_tree::{FloorplanTree, ModuleLibrary};
-use fp_prng::StdRng;
 
 use crate::PolishExpression;
 

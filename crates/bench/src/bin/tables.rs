@@ -211,6 +211,13 @@ fn table_r_report(title: &str, bench: &generators::Benchmark, n_small: usize, n_
             fmt_pct(row.area_excess_pct()),
         );
     }
+    let rungs: usize = rows
+        .iter()
+        .map(|r| r.plain.degradations() + r.reduced.degradations())
+        .sum();
+    if rungs > 0 {
+        println!("  * auto-rescued: budget tripped, completed under degraded policies ({rungs} degradation rungs total)");
+    }
     println!();
 }
 
@@ -291,6 +298,13 @@ fn table4_report() {
             fmt_cpu(r_and_l),
             fmt_pct(row.area_excess_pct()),
         );
+    }
+    let rungs: usize = rows
+        .iter()
+        .map(|r| r.r_only.degradations() + r.r_and_l.degradations())
+        .sum();
+    if rungs > 0 {
+        println!("  * auto-rescued: budget tripped, completed under degraded policies ({rungs} degradation rungs total)");
     }
     println!();
 }

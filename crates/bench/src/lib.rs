@@ -28,7 +28,7 @@ pub mod chart;
 use std::time::Duration;
 
 use fp_geom::Area;
-use fp_optimizer::{optimize, OptError, OptimizeConfig, Outcome};
+use fp_optimizer::{optimize, optimize_report, OptError, OptimizeConfig, Outcome};
 use fp_select::LReductionPolicy;
 use fp_tree::generators::{module_library, Benchmark};
 
@@ -56,6 +56,19 @@ pub enum RunResult {
         /// CPU time until failure.
         cpu: Duration,
     },
+    /// The run tripped the budget but the rescue ladder completed it
+    /// under automatically degraded policies — the tables report this
+    /// usable (near-optimal) value instead of a bare `-` row.
+    Rescued {
+        /// Peak implementations stored (`M`).
+        m: usize,
+        /// CPU time including the rescue retries.
+        cpu: Duration,
+        /// Final floorplan area under the degraded policies.
+        area: Area,
+        /// How many degradation rungs the ladder descended.
+        degradations: usize,
+    },
 }
 
 impl RunResult {
@@ -63,7 +76,7 @@ impl RunResult {
     #[must_use]
     pub fn area(&self) -> Option<Area> {
         match self {
-            RunResult::Done { area, .. } => Some(*area),
+            RunResult::Done { area, .. } | RunResult::Rescued { area, .. } => Some(*area),
             RunResult::OutOfMemory { .. } => None,
         }
     }
@@ -72,7 +85,7 @@ impl RunResult {
     #[must_use]
     pub fn peak(&self) -> usize {
         match self {
-            RunResult::Done { m, .. } => *m,
+            RunResult::Done { m, .. } | RunResult::Rescued { m, .. } => *m,
             RunResult::OutOfMemory { peak, .. } => *peak,
         }
     }
@@ -81,7 +94,18 @@ impl RunResult {
     #[must_use]
     pub fn cpu(&self) -> Duration {
         match self {
-            RunResult::Done { cpu, .. } | RunResult::OutOfMemory { cpu, .. } => *cpu,
+            RunResult::Done { cpu, .. }
+            | RunResult::OutOfMemory { cpu, .. }
+            | RunResult::Rescued { cpu, .. } => *cpu,
+        }
+    }
+
+    /// Degradation rungs applied (0 unless the run was rescued).
+    #[must_use]
+    pub fn degradations(&self) -> usize {
+        match self {
+            RunResult::Rescued { degradations, .. } => *degradations,
+            _ => 0,
         }
     }
 }
@@ -110,6 +134,65 @@ pub fn run_case(bench: &Benchmark, n: usize, seed: u64, config: &OptimizeConfig)
             }
         }
         Err(e) => panic!("benchmark input must be valid: {e}"),
+    }
+}
+
+/// Like [`run_case`], but with the engine's rescue ladder enabled: a
+/// budget trip degrades the selection policies and retries instead of
+/// failing, yielding a [`RunResult::Rescued`] row.
+///
+/// # Panics
+///
+/// Panics on structural errors (invalid tree/library), like [`run_case`].
+#[must_use]
+pub fn run_case_rescued(
+    bench: &Benchmark,
+    n: usize,
+    seed: u64,
+    config: &OptimizeConfig,
+) -> RunResult {
+    let library = module_library(&bench.tree, n, seed);
+    let cfg = config.clone().with_auto_rescue(true);
+    match optimize_report(&bench.tree, &library, &cfg) {
+        Ok(report) => {
+            let degradations = report.degradations().len();
+            let Outcome { area, stats, .. } = report.outcome;
+            if degradations == 0 {
+                RunResult::Done {
+                    m: stats.peak_impls,
+                    cpu: stats.elapsed,
+                    area,
+                }
+            } else {
+                RunResult::Rescued {
+                    m: stats.peak_impls,
+                    cpu: stats.elapsed,
+                    area,
+                    degradations,
+                }
+            }
+        }
+        Err(OptError::OutOfMemory { peak, .. }) => RunResult::OutOfMemory {
+            peak,
+            cpu: Duration::ZERO,
+        },
+        Err(e) => panic!("benchmark input must be valid: {e}"),
+    }
+}
+
+/// [`run_case`], falling back to [`run_case_rescued`] when the plain run
+/// dies on the budget — the table protocols use this so failed cells
+/// carry a degradation report instead of a bare `-`.
+#[must_use]
+pub fn run_case_or_rescue(
+    bench: &Benchmark,
+    n: usize,
+    seed: u64,
+    config: &OptimizeConfig,
+) -> RunResult {
+    match run_case(bench, n, seed, config) {
+        RunResult::OutOfMemory { .. } => run_case_rescued(bench, n, seed, config),
+        done => done,
     }
 }
 
@@ -192,10 +275,10 @@ pub fn table_r(bench: &Benchmark, cases: &[RCase], cap: usize) -> Vec<RTableRow>
     let mut rows = Vec::new();
     for case in cases {
         let plain_cfg = OptimizeConfig::default().with_memory_limit(Some(cap));
-        let plain = run_case(bench, case.n, case.seed, &plain_cfg);
+        let plain = run_case_or_rescue(bench, case.n, case.seed, &plain_cfg);
         for &k1 in &case.k1s {
             let cfg = plain_cfg.clone().with_r_selection(k1);
-            let reduced = run_case(bench, case.n, case.seed, &cfg);
+            let reduced = run_case_or_rescue(bench, case.n, case.seed, &cfg);
             rows.push(RTableRow {
                 case_no: case.case_no,
                 n: case.n,
@@ -259,12 +342,12 @@ pub fn table4(bench: &Benchmark, cases: &[LCase], cap: usize, prefilter: usize) 
         let r_cfg = OptimizeConfig::default()
             .with_memory_limit(Some(cap))
             .with_r_selection(case.k1);
-        let r_only = run_case(bench, case.n, case.seed, &r_cfg);
+        let r_only = run_case_or_rescue(bench, case.n, case.seed, &r_cfg);
         for &k2 in &case.k2s {
             let cfg = r_cfg
                 .clone()
                 .with_l_selection(LReductionPolicy::new(k2).with_prefilter(prefilter.max(k2 + 1)));
-            let r_and_l = run_case(bench, case.n, case.seed, &cfg);
+            let r_and_l = run_case_or_rescue(bench, case.n, case.seed, &cfg);
             rows.push(Table4Row {
                 case_no: case.case_no,
                 n: case.n,
@@ -344,12 +427,19 @@ fn csv_m(r: &RunResult) -> String {
     match r {
         RunResult::Done { m, .. } => m.to_string(),
         RunResult::OutOfMemory { peak, .. } => format!(">{peak}"),
+        // `*<rungs>` marks an auto-rescued value so downstream plots can
+        // tell degraded rows from exact ones.
+        RunResult::Rescued {
+            m, degradations, ..
+        } => format!("{m}*{degradations}"),
     }
 }
 
 fn csv_cpu(r: &RunResult) -> String {
     match r {
-        RunResult::Done { cpu, .. } => format!("{:.6}", cpu.as_secs_f64()),
+        RunResult::Done { cpu, .. } | RunResult::Rescued { cpu, .. } => {
+            format!("{:.6}", cpu.as_secs_f64())
+        }
         RunResult::OutOfMemory { .. } => String::new(),
     }
 }
@@ -359,12 +449,13 @@ fn csv_area(r: &RunResult) -> String {
 }
 
 /// Formats a [`RunResult`]'s `M` column (`>peak` for failed runs, as in
-/// the paper).
+/// the paper; a `*` suffix marks auto-rescued rows).
 #[must_use]
 pub fn fmt_m(r: &RunResult) -> String {
     match r {
         RunResult::Done { m, .. } => m.to_string(),
         RunResult::OutOfMemory { peak, .. } => format!("> {peak}"),
+        RunResult::Rescued { m, .. } => format!("{m}*"),
     }
 }
 
@@ -372,7 +463,9 @@ pub fn fmt_m(r: &RunResult) -> String {
 #[must_use]
 pub fn fmt_cpu(r: &RunResult) -> String {
     match r {
-        RunResult::Done { cpu, .. } => format!("{:.3}", cpu.as_secs_f64()),
+        RunResult::Done { cpu, .. } | RunResult::Rescued { cpu, .. } => {
+            format!("{:.3}", cpu.as_secs_f64())
+        }
         RunResult::OutOfMemory { .. } => "-".to_owned(),
     }
 }
@@ -483,14 +576,53 @@ mod tests {
             peak: 99,
             cpu: Duration::ZERO,
         };
+        let rescued = RunResult::Rescued {
+            m: 64,
+            cpu: Duration::from_millis(250),
+            area: 11,
+            degradations: 3,
+        };
         assert_eq!(fmt_m(&done), "42");
         assert_eq!(fmt_m(&oom), "> 99");
+        assert_eq!(fmt_m(&rescued), "64*");
         assert_eq!(fmt_cpu(&done), "1.500");
         assert_eq!(fmt_cpu(&oom), "-");
+        assert_eq!(fmt_cpu(&rescued), "0.250");
         assert_eq!(fmt_pct(Some(1.234)), "1.23%");
         assert_eq!(fmt_pct(None), "-");
         assert_eq!(done.area(), Some(7));
         assert_eq!(oom.area(), None);
         assert_eq!(oom.peak(), 99);
+        assert_eq!(rescued.area(), Some(11));
+        assert_eq!(rescued.peak(), 64);
+        assert_eq!(rescued.degradations(), 3);
+        assert_eq!(done.degradations(), 0);
+    }
+
+    #[test]
+    fn rescue_replaces_dash_rows() {
+        // A budget that kills the plain FP1 run at N=6: the table
+        // protocol now reports a rescued row instead of `-`.
+        let bench = generators::fp1();
+        let plain = run_case(&bench, 6, 9, &OptimizeConfig::default());
+        let budget = plain.peak() * 3 / 4;
+        let tiny = OptimizeConfig::default().with_memory_limit(Some(budget));
+        assert!(matches!(
+            run_case(&bench, 6, 9, &tiny),
+            RunResult::OutOfMemory { .. }
+        ));
+        let rescued = run_case_or_rescue(&bench, 6, 9, &tiny);
+        match &rescued {
+            RunResult::Rescued {
+                area, degradations, ..
+            } => {
+                assert!(*degradations > 0);
+                assert!(*area >= plain.area().expect("plain ran"));
+            }
+            other => panic!("expected a rescued row, got {other:?}"),
+        }
+        // The rescued row renders with the `*` marker in both formats.
+        assert!(fmt_m(&rescued).ends_with('*'));
+        assert!(csv_m(&rescued).contains('*'));
     }
 }

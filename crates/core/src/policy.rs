@@ -228,6 +228,13 @@ impl LReductionPolicy {
         self.metric
     }
 
+    /// Whether reductions run on worker threads.
+    #[inline]
+    #[must_use]
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
     /// Applies the policy to a block's L-list set: `Some(kept positions per
     /// list)` when the reduction fires, `None` otherwise.
     #[must_use]

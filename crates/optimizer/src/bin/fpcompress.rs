@@ -13,6 +13,7 @@
 //! *optimal* per-module approximation.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use fp_select::curve::r_selection_within;
 use fp_select::r_selection;
@@ -20,18 +21,71 @@ use fp_tree::format::{parse_instance, write_instance, FloorplanInstance};
 use fp_tree::{Module, ModuleLibrary};
 
 const USAGE: &str = "\
-usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [-o <out.fpt>]
+usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [options]
 
   --k <count>        keep at most <count> implementations per module
                      (optimal R_Selection; endpoints always survive)
   --max-error <a>    keep the smallest subset per module whose staircase
                      error is at most <a>
+  --max-impls <n>    cap the *total* output implementation count; without
+                     --auto-rescue, exceeding it is an error
+  --auto-rescue      when --max-impls is exceeded, halve k (floor 2) until
+                     the output fits
+  --deadline <secs>  wall-clock deadline for the compression
   -o <out.fpt>       output path (default: stdout)
+
+exit codes:
+  0 success   2 usage   3 bad input   4 over --max-impls   5 deadline
 ";
 
+#[derive(Clone, Copy)]
 enum Mode {
     FixedK(usize),
     MaxError(u128),
+}
+
+struct Compressed {
+    library: ModuleLibrary,
+    before: usize,
+    after: usize,
+    total_error: u128,
+}
+
+fn compress(instance: &FloorplanInstance, mode: Mode) -> Compressed {
+    let mut before = 0usize;
+    let mut after = 0usize;
+    let mut total_error: u128 = 0;
+    let library: ModuleLibrary = instance
+        .library
+        .iter()
+        .map(|module| {
+            let list = module.implementations();
+            before += list.len();
+            let selection = match mode {
+                Mode::FixedK(k) => r_selection(list, k),
+                Mode::MaxError(e) => r_selection_within(list, e),
+            };
+            match selection {
+                Ok(selection) => {
+                    after += selection.positions.len();
+                    total_error += selection.error;
+                    Module::new(module.name(), list.subset(&selection.positions).into_vec())
+                }
+                // Parsed modules always have non-empty lists; keep the
+                // module unchanged if selection ever declines anyway.
+                Err(_) => {
+                    after += list.len();
+                    Module::new(module.name(), list.clone().into_vec())
+                }
+            }
+        })
+        .collect();
+    Compressed {
+        library,
+        before,
+        after,
+        total_error,
+    }
 }
 
 fn main() -> ExitCode {
@@ -39,9 +93,43 @@ fn main() -> ExitCode {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut mode: Option<Mode> = None;
+    let mut max_impls: Option<usize> = None;
+    let mut auto_rescue = false;
+    let mut deadline: Option<Duration> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--max-impls" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --max-impls needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => max_impls = Some(n),
+                    Err(err) => {
+                        eprintln!("fpcompress: --max-impls: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--auto-rescue" => auto_rescue = true,
+            "--deadline" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --deadline needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse::<f64>() {
+                    Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                        deadline = Some(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!(
+                            "fpcompress: --deadline expects a non-negative number of seconds"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--k" => {
                 let Some(v) = it.next() else {
                     eprintln!("fpcompress: --k needs a value");
@@ -86,47 +174,82 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
+    let start = Instant::now();
     let text = match std::fs::read_to_string(&input) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("fpcompress: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
     let instance = match parse_instance(&text) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("fpcompress: {input}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
 
-    let mut before = 0usize;
-    let mut after = 0usize;
-    let mut total_error: u128 = 0;
-    let library: ModuleLibrary = instance
-        .library
-        .iter()
-        .map(|module| {
-            let list = module.implementations();
-            before += list.len();
-            let selection = match mode {
-                Mode::FixedK(k) => r_selection(list, k),
-                Mode::MaxError(e) => r_selection_within(list, e),
+    let mut mode = mode;
+    let mut result = compress(&instance, mode);
+    // Degrade-and-retry: halve k until the output fits the cap.
+    while let Some(cap) = max_impls {
+        if result.after <= cap {
+            break;
+        }
+        if !auto_rescue {
+            eprintln!(
+                "fpcompress: output has {} implementations, over the --max-impls cap {cap}",
+                result.after
+            );
+            eprintln!("            pass --auto-rescue to degrade k until it fits");
+            return ExitCode::from(4);
+        }
+        if let Some(d) = deadline {
+            if start.elapsed() > d {
+                eprintln!("fpcompress: deadline exceeded while rescuing");
+                return ExitCode::from(5);
             }
-            .expect("parsed modules have non-empty lists");
-            after += selection.positions.len();
-            total_error += selection.error;
-            Module::new(module.name(), list.subset(&selection.positions).into_vec())
-        })
-        .collect();
+        }
+        // MaxError mode rescues by switching to the largest per-module k
+        // that could still fit; FixedK halves (floor 2).
+        let next_k = match mode {
+            Mode::FixedK(k) if k > 2 => (k / 2).max(2),
+            Mode::FixedK(_) => {
+                eprintln!(
+                    "fpcompress: cannot fit {} implementations under {cap} even at k=2",
+                    result.after
+                );
+                return ExitCode::from(4);
+            }
+            Mode::MaxError(_) => (cap / instance.library.len().max(1)).max(2),
+        };
+        eprintln!(
+            "fpcompress: rescue: {} implementations over cap {cap}; retrying with k={next_k}",
+            result.after
+        );
+        mode = Mode::FixedK(next_k);
+        result = compress(&instance, mode);
+    }
+    if let Some(d) = deadline {
+        if start.elapsed() > d {
+            eprintln!("fpcompress: deadline exceeded");
+            return ExitCode::from(5);
+        }
+    }
 
     let compressed = FloorplanInstance {
         name: instance.name.clone(),
         tree: instance.tree.clone(),
-        library,
+        library: result.library,
     };
-    let out_text = write_instance(&compressed);
+    let out_text = match write_instance(&compressed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fpcompress: cannot serialize instance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match &output {
         Some(path) => {
             if let Err(e) = std::fs::write(path, out_text) {
@@ -138,10 +261,10 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "fpcompress: {} -> {} implementations across {} modules (total staircase error {})",
-        before,
-        after,
+        result.before,
+        result.after,
         compressed.library.len(),
-        total_error
+        result.total_error
     );
     ExitCode::SUCCESS
 }

@@ -12,8 +12,9 @@
 //! implementation count the way the paper's machine did.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_optimizer::{optimize_report, FaultPlan, OptError, OptimizeConfig};
 use fp_select::LReductionPolicy;
 use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::layout::realize;
@@ -33,14 +34,28 @@ selection options (paper knobs):
   --prefilter <S>    heuristic prefilter threshold (default off)
   --parallel         reduce L-lists on worker threads (same results)
   --memory <count>   implementation budget (default 10000000)
+  --max-impls <n>    alias for --memory
   --outline <WxH>    require the floorplan to fit a fixed outline
   --objective <obj>  area (default) or hp (half-perimeter)
+
+robustness options:
+  --deadline <secs>  wall-clock deadline for the optimization
+  --auto-rescue      on budget trips, retry under stricter selection
+                     (degradations are reported on stderr)
+  --inject-fault <n[,n...]>
+                     fail the n-th candidate allocation(s) (testing aid)
 
 output options:
   --ascii            print the layout as ASCII art
   --svg <path>       write the layout as SVG
   --dot <path>       write the floorplan tree as Graphviz DOT
   --fpt <path>       write the instance back as .fpt (round-trip)
+
+exit codes:
+  0  success             4  budget exhausted / injected fault
+  1  internal error      5  deadline exceeded or cancelled
+  2  usage error         6  no implementation fits the outline
+  3  bad input (unreadable or malformed instance)
 ";
 
 struct Args {
@@ -53,6 +68,9 @@ struct Args {
     prefilter: Option<usize>,
     parallel: bool,
     memory: Option<usize>,
+    deadline: Option<Duration>,
+    auto_rescue: bool,
+    inject_fault: Option<Vec<u64>>,
     outline: Option<fp_geom::Rect>,
     objective: fp_optimizer::Objective,
     ascii: bool,
@@ -72,6 +90,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         prefilter: None,
         parallel: false,
         memory: None,
+        deadline: None,
+        auto_rescue: false,
+        inject_fault: None,
         outline: None,
         objective: fp_optimizer::Objective::MinArea,
         ascii: false,
@@ -107,12 +128,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--prefilter: {e}"))?,
                 );
             }
-            "--memory" => {
-                args.memory = Some(
-                    value("--memory")?
-                        .parse()
-                        .map_err(|e| format!("--memory: {e}"))?,
-                );
+            "--memory" | "--max-impls" => {
+                args.memory = Some(value(arg)?.parse().map_err(|e| format!("{arg}: {e}"))?);
+            }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!(
+                        "--deadline expects a non-negative number of seconds, found {secs}"
+                    ));
+                }
+                args.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--auto-rescue" => args.auto_rescue = true,
+            "--inject-fault" => {
+                let v = value("--inject-fault")?;
+                let points: Result<Vec<u64>, _> =
+                    v.split(',').map(|p| p.trim().parse::<u64>()).collect();
+                args.inject_fault = Some(points.map_err(|e| format!("--inject-fault: {e}"))?);
             }
             "--outline" => {
                 let v = value("--outline")?;
@@ -194,6 +229,20 @@ fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
     }
 }
 
+/// The documented exit code for each optimizer error (see `USAGE`).
+fn exit_code_for(e: &OptError) -> u8 {
+    match e {
+        OptError::Tree(_)
+        | OptError::EmptyFloorplan
+        | OptError::MissingModule { .. }
+        | OptError::NoImplementations { .. } => 3,
+        OptError::OutOfMemory { .. } | OptError::FaultInjected { .. } => 4,
+        OptError::DeadlineExceeded { .. } | OptError::Cancelled { .. } => 5,
+        OptError::NoFeasibleOutline { .. } => 6,
+        OptError::Internal { .. } => 1,
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -215,7 +264,7 @@ fn main() -> ExitCode {
         Ok(i) => i,
         Err(msg) => {
             eprintln!("fpopt: {msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
     println!(
@@ -225,7 +274,13 @@ fn main() -> ExitCode {
         instance.tree.len()
     );
 
-    let mut config = OptimizeConfig::default().with_objective(args.objective);
+    let mut config = OptimizeConfig::default()
+        .with_objective(args.objective)
+        .with_auto_rescue(args.auto_rescue)
+        .with_deadline(args.deadline);
+    if let Some(points) = &args.inject_fault {
+        config = config.with_fault_plan(Some(FaultPlan::at_allocations(points)));
+    }
     if let Some(outline) = args.outline {
         config = config.with_outline(outline);
     }
@@ -245,20 +300,28 @@ fn main() -> ExitCode {
         config = config.with_l_selection(policy);
     }
 
-    let outcome = match optimize(&instance.tree, &instance.library, &config) {
-        Ok(out) => out,
-        Err(OptError::OutOfMemory { live, limit, peak }) => {
-            eprintln!(
-                "fpopt: out of memory: {live} implementations live (budget {limit}, peak {peak})"
-            );
-            eprintln!("       try --k1/--k2 to enable the selection algorithms");
-            return ExitCode::FAILURE;
-        }
+    let report = match optimize_report(&instance.tree, &instance.library, &config) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("fpopt: {e}");
-            return ExitCode::FAILURE;
+            if matches!(e, OptError::OutOfMemory { .. }) {
+                eprintln!(
+                    "       try --k1/--k2 to enable the selection algorithms, or --auto-rescue"
+                );
+            }
+            return ExitCode::from(exit_code_for(&e));
         }
     };
+    if report.rescued {
+        for event in report.degradations() {
+            eprintln!("fpopt: rescue: {event}");
+        }
+        eprintln!(
+            "fpopt: rescued after {} degradation(s); result is near-optimal under the final policies",
+            report.degradations().len()
+        );
+    }
+    let outcome = report.outcome;
 
     println!("optimal area {} as {}", outcome.area, outcome.root_impl);
     let layout = match realize(&instance.tree, &instance.library, &outcome.assignment) {
@@ -305,7 +368,13 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
     if let Some(path) = &args.fpt {
-        let text = fp_tree::format::write_instance(&instance);
+        let text = match fp_tree::format::write_instance(&instance) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("fpopt: cannot serialize instance: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("fpopt: cannot write {path}: {e}");
             return ExitCode::FAILURE;

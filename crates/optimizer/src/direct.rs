@@ -71,7 +71,9 @@ fn solve(
     id: NodeId,
     cap: u64,
 ) -> Result<Solved, SlicingError> {
-    let node = tree.node(id).expect("validated tree");
+    let node = tree
+        .node(id)
+        .ok_or_else(|| SlicingError::BadInput(format!("node {id} out of range")))?;
     match &node.kind {
         NodeKind::Leaf(m) => {
             let module = library
@@ -101,8 +103,9 @@ fn solve(
             let mut acc = kids.remove(0);
             for rhs in kids {
                 let combined = combine_with_provenance(&acc.list, &rhs.list, how);
-                let list = RList::from_sorted(combined.iter().map(|c| c.rect).collect())
-                    .expect("merge output is a staircase");
+                let list = RList::from_sorted(combined.iter().map(|c| c.rect).collect()).map_err(
+                    |_| SlicingError::BadInput("merge output is not a staircase".into()),
+                )?;
                 let prov = combined.iter().map(|c| vec![c.left, c.right]).collect();
                 acc = Solved {
                     list,
@@ -143,7 +146,9 @@ fn solve(
                     if i == 5 {
                         let pruned = pareto_min_rects_by(candidates, |&(r, _)| r);
                         let list = RList::from_sorted(pruned.iter().map(|&(r, _)| r).collect())
-                            .expect("pruned output is a staircase");
+                            .map_err(|_| {
+                                SlicingError::BadInput("pruned output is not a staircase".into())
+                            })?;
                         let prov = pruned.into_iter().map(|(_, p)| p).collect();
                         return Ok(Solved {
                             list,
@@ -166,10 +171,16 @@ fn solve(
 
 fn backtrack(solved: &Solved, idx: usize, slot_of: &[usize], choices: &mut Vec<usize>) {
     if let Some(leaf) = solved.leaf {
-        choices[slot_of[leaf]] = idx;
+        if let Some(c) = slot_of.get(leaf).and_then(|&slot| choices.get_mut(slot)) {
+            *c = idx;
+        }
         return;
     }
-    for (child, &child_idx) in solved.children.iter().zip(&solved.prov[idx]) {
+    let Some(prov) = solved.prov.get(idx) else {
+        debug_assert!(false, "provenance index out of range");
+        return;
+    };
+    for (child, &child_idx) in solved.children.iter().zip(prov) {
         backtrack(child, child_idx, slot_of, choices);
     }
 }

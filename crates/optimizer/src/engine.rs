@@ -11,8 +11,8 @@ use fp_tree::layout::Assignment;
 use fp_tree::restructure::{restructure, BinNode, BinOp, BinaryTree};
 use fp_tree::{FloorplanTree, ModuleLibrary, TreeError};
 
+use crate::governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 use crate::joins;
-use crate::meter::{BudgetExhausted, MemoryMeter};
 
 /// What the optimizer minimizes over the root implementation list.
 ///
@@ -68,6 +68,22 @@ pub struct OptimizeConfig {
     /// this rectangle qualify. [`OptError::NoFeasibleOutline`] when none
     /// does.
     pub outline: Option<Rect>,
+    /// When a budget (or injected fault) trips mid-block, retry the block
+    /// under progressively stricter selection policies instead of failing.
+    /// Every degradation is recorded in [`RunStats::degradations`].
+    pub auto_rescue: bool,
+    /// Wall-clock deadline for the whole run; [`OptError::DeadlineExceeded`]
+    /// when it passes. Never rescued — time does not come back.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token; [`OptError::Cancelled`] once
+    /// triggered. Never rescued.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection plan (testing aid): charges fail at
+    /// the configured allocation ordinals as if the budget had tripped.
+    pub fault_plan: Option<FaultPlan>,
+    /// How many rescue retries the whole run may spend before the original
+    /// trip is reported anyway.
+    pub max_rescue_attempts: u32,
 }
 
 impl OptimizeConfig {
@@ -76,6 +92,13 @@ impl OptimizeConfig {
 
     /// The default cross-chain pruning threshold.
     pub const DEFAULT_GLOBAL_L_PRUNE: usize = 50_000;
+
+    /// The default cap on run-wide rescue retries. Under a brutally tight
+    /// budget every join of a large tree can trip once at the ladder's
+    /// floor (re-selecting its operands each time), so the cap must
+    /// comfortably exceed the ladder's rung count plus the block count of
+    /// the paper's benchmarks.
+    pub const DEFAULT_MAX_RESCUE_ATTEMPTS: u32 = 256;
 
     /// Plain run (no selection) with the default budget.
     #[must_use]
@@ -87,6 +110,11 @@ impl OptimizeConfig {
             global_l_prune: Some(Self::DEFAULT_GLOBAL_L_PRUNE),
             objective: Objective::MinArea,
             outline: None,
+            auto_rescue: false,
+            deadline: None,
+            cancel: None,
+            fault_plan: None,
+            max_rescue_attempts: Self::DEFAULT_MAX_RESCUE_ATTEMPTS,
         }
     }
 
@@ -131,6 +159,41 @@ impl OptimizeConfig {
         self.memory_limit = limit;
         self
     }
+
+    /// Enables (or disables) the degrade-and-retry rescue ladder.
+    #[must_use]
+    pub fn with_auto_rescue(mut self, enabled: bool) -> Self {
+        self.auto_rescue = enabled;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the run.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Caps run-wide rescue retries.
+    #[must_use]
+    pub fn with_max_rescue_attempts(mut self, attempts: u32) -> Self {
+        self.max_rescue_attempts = attempts;
+        self
+    }
 }
 
 impl Default for OptimizeConfig {
@@ -173,6 +236,42 @@ pub enum OptError {
         /// Peak live count reached before failing (the `> M` the paper
         /// reports for failed runs).
         peak: usize,
+        /// The binary-tree block under construction when the budget
+        /// tripped (an index into the restructured tree's node order).
+        block: usize,
+    },
+    /// An injected fault point fired (deterministic stand-in for memory
+    /// pressure; only produced under a configured [`FaultPlan`]).
+    FaultInjected {
+        /// The allocation ordinal that tripped.
+        allocation: u64,
+        /// The block under construction at the trip.
+        block: usize,
+        /// Implementations live at the trip.
+        live: usize,
+        /// Peak live count reached before the trip.
+        peak: usize,
+    },
+    /// The wall-clock deadline passed before the run finished.
+    DeadlineExceeded {
+        /// Time elapsed when the trip was detected.
+        elapsed: Duration,
+        /// The configured deadline.
+        deadline: Duration,
+        /// The block under construction at the trip.
+        block: usize,
+    },
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled {
+        /// The block under construction at the trip.
+        block: usize,
+    },
+    /// An engine invariant was violated (a bug, not a user error).
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+        /// The block under construction when it broke.
+        block: usize,
     },
 }
 
@@ -192,10 +291,36 @@ impl fmt::Display for OptError {
                 f,
                 "no implementation fits the {outline} outline (best available: {best_available})"
             ),
-            OptError::OutOfMemory { live, limit, peak } => write!(
+            OptError::OutOfMemory {
+                live,
+                limit,
+                peak,
+                block,
+            } => write!(
                 f,
-                "out of memory: {live} implementations live (budget {limit}, peak {peak})"
+                "out of memory at block {block}: {live} implementations live (budget {limit}, peak {peak})"
             ),
+            OptError::FaultInjected {
+                allocation,
+                block,
+                live,
+                peak,
+            } => write!(
+                f,
+                "injected fault at allocation {allocation} (block {block}, {live} live, peak {peak})"
+            ),
+            OptError::DeadlineExceeded {
+                elapsed,
+                deadline,
+                block,
+            } => write!(
+                f,
+                "deadline exceeded at block {block}: {elapsed:?} elapsed (deadline {deadline:?})"
+            ),
+            OptError::Cancelled { block } => write!(f, "cancelled at block {block}"),
+            OptError::Internal { what, block } => {
+                write!(f, "internal invariant violated at block {block}: {what}")
+            }
         }
     }
 }
@@ -229,6 +354,101 @@ pub struct RunStats {
     pub max_l_block: usize,
     /// Wall-clock time of the optimization proper.
     pub elapsed: Duration,
+    /// Every policy degradation the rescue ladder applied, in order.
+    /// Empty when the run never tripped (or rescue was off).
+    pub degradations: Vec<DegradationEvent>,
+    /// Rescue retries spent (equals `degradations.len()` on success).
+    pub rescue_attempts: u32,
+}
+
+/// Why the rescue ladder fired for one degradation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescueReason {
+    /// The real implementation budget tripped.
+    Budget {
+        /// Implementations live at the trip.
+        live: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+    /// An injected fault point fired.
+    Fault {
+        /// The allocation ordinal that tripped.
+        allocation: u64,
+    },
+}
+
+impl fmt::Display for RescueReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RescueReason::Budget { live, limit } => {
+                write!(f, "budget exhausted ({live} live > {limit})")
+            }
+            RescueReason::Fault { allocation } => {
+                write!(f, "injected fault at allocation {allocation}")
+            }
+        }
+    }
+}
+
+/// One rung of the rescue ladder: the policies the run degraded *to*
+/// after a trip. The sequence across a run is monotone — `k1`/`k2` never
+/// grow, θ never shrinks — so the report reads as a tightening schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The block whose construction tripped.
+    pub block: usize,
+    /// 1-based attempt number across the whole run.
+    pub attempt: u32,
+    /// What tripped.
+    pub reason: RescueReason,
+    /// Implementations live at the moment of the trip (before rollback).
+    pub live_at_trip: usize,
+    /// `R_Selection` limit `K₁` now in force, if any.
+    pub k1: Option<usize>,
+    /// `L_Selection` limit `K₂` now in force, if any.
+    pub k2: Option<usize>,
+    /// `L_Selection` trigger θ now in force, in thousandths (1000 = 1.0).
+    pub theta_millis: u32,
+    /// `L_Selection` heuristic prefilter `S` now in force, if any.
+    pub prefilter: Option<usize>,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} attempt {}: {} -> K1={}, K2={}, theta={}.{:03}, prefilter {}",
+            self.block,
+            self.attempt,
+            self.reason,
+            self.k1.map_or_else(|| "off".into(), |k| k.to_string()),
+            self.k2.map_or_else(|| "off".into(), |k| k.to_string()),
+            self.theta_millis / 1000,
+            self.theta_millis % 1000,
+            self.prefilter
+                .map_or_else(|| "off".into(), |s| s.to_string()),
+        )
+    }
+}
+
+/// A successful run plus its fault-tolerance report: whether the rescue
+/// ladder fired and what it degraded. Returned by [`optimize_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The optimization result (its `stats.degradations` carries the
+    /// full degradation log).
+    pub outcome: Outcome,
+    /// Whether the rescue ladder fired at least once.
+    pub rescued: bool,
+}
+
+impl RunOutcome {
+    /// The degradation log, in the order the ladder applied it.
+    #[must_use]
+    pub fn degradations(&self) -> &[DegradationEvent] {
+        &self.outcome.stats.degradations
+    }
 }
 
 /// The result of a successful optimization.
@@ -248,6 +468,9 @@ pub struct Outcome {
 
 /// Borrowed view of an L-block: shapes, provenance, chain segments.
 type LView<'a> = (&'a [LShape], &'a [(u32, u32)], &'a [(u32, u32)]);
+
+/// Borrowed view of a rectangular block: list and provenance.
+type RectView<'a> = (&'a RList, &'a [(u32, u32)]);
 
 /// Per-node shape storage. `prov` maps each stored implementation to the
 /// indices of the child implementations that produced it (empty at
@@ -274,24 +497,30 @@ impl Shapes {
         }
     }
 
-    fn as_rect(&self) -> (&RList, &[(u32, u32)]) {
+    fn as_rect(&self) -> Result<RectView<'_>, Trip> {
         match self {
-            Shapes::Rect { list, prov } => (list, prov),
-            Shapes::L { .. } => unreachable!("expected a rectangular block"),
+            Shapes::Rect { list, prov } => Ok((list, prov)),
+            Shapes::L { .. } => Err(Trip::Internal("expected a rectangular block")),
         }
     }
 
-    fn as_l(&self) -> LView<'_> {
+    fn as_l(&self) -> Result<LView<'_>, Trip> {
         match self {
             Shapes::L {
                 shapes,
                 prov,
                 chains,
-            } => (shapes, prov, chains),
-            Shapes::Rect { .. } => unreachable!("expected an L-shaped block"),
+            } => Ok((shapes, prov, chains)),
+            Shapes::Rect { .. } => Err(Trip::Internal("expected an L-shaped block")),
         }
     }
 }
+
+/// Fallback for [`Frontier::envelopes`] should the root block ever not be
+/// rectangular — `optimize_frontier` verifies that invariant before
+/// constructing a [`Frontier`], so this is unreachable in practice but
+/// keeps the accessor panic-free.
+static EMPTY_RLIST: RList = RList::new();
 
 /// The full solution frontier of an optimization run: every non-redundant
 /// implementation of the whole floorplan, each traceable to a realizable
@@ -336,8 +565,13 @@ impl Frontier {
     /// (width descending).
     #[must_use]
     pub fn envelopes(&self) -> &RList {
-        let (list, _) = self.store[self.bin.root()].as_rect();
-        list
+        match self.store.get(self.bin.root()) {
+            Some(Shapes::Rect { list, .. }) => list,
+            _ => {
+                debug_assert!(false, "frontier root is always rectangular");
+                &EMPTY_RLIST
+            }
+        }
     }
 
     /// Run statistics of the enumeration that built this frontier.
@@ -379,14 +613,22 @@ impl Frontier {
             .map(|(i, _)| i);
         match pick {
             Some(i) => Ok(self.outcome(i)),
-            None => Err(OptError::NoFeasibleOutline {
-                outline: outline.expect("only the outline filter can empty the list"),
-                best_available: list
-                    .iter()
-                    .copied()
-                    .min_by_key(|r| r.area())
-                    .expect("joins of non-empty lists are non-empty"),
-            }),
+            None => {
+                // Only the outline filter can empty a non-empty list, and
+                // joins of non-empty lists are non-empty — but report a
+                // typed internal error rather than panic if either fails.
+                let best_available = list.iter().copied().min_by_key(|r| r.area());
+                match (outline, best_available) {
+                    (Some(outline), Some(best_available)) => Err(OptError::NoFeasibleOutline {
+                        outline,
+                        best_available,
+                    }),
+                    _ => Err(OptError::Internal {
+                        what: "solution frontier is empty",
+                        block: self.bin.root(),
+                    }),
+                }
+            }
         }
     }
 }
@@ -409,69 +651,155 @@ pub fn optimize_frontier(
         return Err(OptError::EmptyFloorplan);
     }
 
-    let mut meter = match config.memory_limit {
-        Some(limit) => MemoryMeter::with_limit(limit),
-        None => MemoryMeter::unbounded(),
-    };
+    let mut gov = ResourceGovernor::new(config.memory_limit)
+        .with_deadline(config.deadline)
+        .with_cancel(config.cancel.clone())
+        .with_faults(config.fault_plan.clone());
     let mut stats = RunStats::default();
-
-    let oom = |meter: &MemoryMeter, e: BudgetExhausted| OptError::OutOfMemory {
-        live: e.live,
-        limit: e.limit,
-        peak: meter.peak(),
+    // The policies actually in force; the rescue ladder tightens these.
+    let mut eff = EffectivePolicies {
+        r: config.r_policy,
+        l: config.l_policy.clone(),
     };
+
+    // Each block's consuming join (usize::MAX for the root): blocks whose
+    // parent has not been built yet form the committed *frontier*, the
+    // set the rescue ladder may legally re-select (consumed blocks must
+    // keep their lists — their parents' provenance indexes into them).
+    let mut parent = vec![usize::MAX; bin.len()];
+    for (i, n) in bin.nodes().iter().enumerate() {
+        if let BinNode::Join { left, right, .. } = n {
+            parent[*left] = i;
+            parent[*right] = i;
+        }
+    }
 
     // Bottom-up evaluation over the topologically ordered binary nodes.
     let mut store: Vec<Shapes> = Vec::with_capacity(bin.len());
-    for node in bin.nodes() {
-        let shapes = match node {
-            BinNode::Leaf { module, .. } => {
-                let m = library
-                    .get(*module)
-                    .ok_or(OptError::MissingModule { module: *module })?;
-                let list = m.implementations().clone();
-                if list.is_empty() {
-                    return Err(OptError::NoImplementations { module: *module });
-                }
-                meter.charge(list.len()).map_err(|e| oom(&meter, e))?;
-                Shapes::Rect {
-                    list,
-                    prov: Vec::new(),
-                }
+    for (index, node) in bin.nodes().iter().enumerate() {
+        // Input validation happens once, outside the retry loop: these
+        // errors are not resource trips and are never rescued.
+        if let BinNode::Leaf { module, .. } = node {
+            let m = library
+                .get(*module)
+                .ok_or(OptError::MissingModule { module: *module })?;
+            if m.implementations().is_empty() {
+                return Err(OptError::NoImplementations { module: *module });
             }
-            BinNode::Join { op, left, right } => {
-                let result = match op {
-                    BinOp::Slice(how) => {
-                        slice_join(&store[*left], &store[*right], *how, &mut meter)
-                    }
-                    BinOp::WheelS1 => wheel_s1(&store[*left], &store[*right], &mut meter),
-                    BinOp::WheelS2 => {
-                        wheel_s23(&store[*left], &store[*right], joins::stage2, &mut meter)
-                    }
-                    BinOp::WheelS3 => wheel_s3(&store[*left], &store[*right], &mut meter),
-                    BinOp::WheelS4 => wheel_s4(&store[*left], &store[*right], &mut meter),
-                };
-                let mut shapes = result.map_err(|e| oom(&meter, e))?;
-                global_l_prune(&mut shapes, config, &mut meter);
-                apply_policies(&mut shapes, config, &mut meter, &mut stats);
-                match &shapes {
-                    Shapes::Rect { list, .. } => {
-                        stats.max_r_block = stats.max_r_block.max(list.len());
-                    }
-                    Shapes::L { shapes: l, .. } => {
-                        stats.max_l_block = stats.max_l_block.max(l.len());
+        }
+
+        let shapes = loop {
+            let result = gov.poll().and_then(|()| match node {
+                BinNode::Leaf { module, .. } => {
+                    // Validated above; re-fetch to keep the borrow local.
+                    let list = library.get(*module).map(|m| m.implementations().clone());
+                    match list {
+                        Some(list) => {
+                            gov.charge(list.len())?;
+                            Ok(Shapes::Rect {
+                                list,
+                                prov: Vec::new(),
+                            })
+                        }
+                        None => Err(Trip::Internal("leaf module vanished mid-run")),
                     }
                 }
-                shapes
+                BinNode::Join { op, left, right } => build_join(
+                    *op,
+                    &store[*left],
+                    &store[*right],
+                    config,
+                    &eff,
+                    &mut gov,
+                    &mut stats,
+                ),
+            });
+            match result {
+                Ok(shapes) => break shapes,
+                Err(trip) => {
+                    let live_at_trip = gov.live();
+                    gov.abort_block();
+                    let exhausted = stats.rescue_attempts >= config.max_rescue_attempts;
+                    if !(config.auto_rescue && trip.is_rescuable()) || exhausted {
+                        return Err(trip_error(trip, index, live_at_trip, gov.peak()));
+                    }
+                    let tightened = tighten(&mut eff);
+                    // Post-hoc selection on the retried block cannot avoid
+                    // a mid-generation trip (candidates are charged before
+                    // policies fire), so shrink the *inputs*: re-select
+                    // every frontier block (this join's operands and all
+                    // committed blocks awaiting a future join) under the
+                    // tightened policies. Subsetting list+prov in place
+                    // keeps the grandchild provenance indices valid.
+                    let live_before = gov.live();
+                    for (b, shapes) in store.iter_mut().enumerate() {
+                        if parent.get(b).is_none_or(|&p| p < index) {
+                            continue; // consumed: its parent's prov needs it
+                        }
+                        reselect_committed(shapes, &eff, &mut gov, &mut stats)
+                            .map_err(|t| trip_error(t, b, gov.live(), gov.peak()))?;
+                    }
+                    // Progress requires a new rung on the ladder or freed
+                    // capacity from the operand re-selection; with neither,
+                    // the retry would trip identically — give up.
+                    if !tightened && gov.live() >= live_before {
+                        return Err(trip_error(trip, index, live_at_trip, gov.peak()));
+                    }
+                    stats.rescue_attempts += 1;
+                    let reason = match &trip {
+                        Trip::Budget(e) => RescueReason::Budget {
+                            live: e.live,
+                            limit: e.limit,
+                        },
+                        Trip::Fault { allocation } => RescueReason::Fault {
+                            allocation: *allocation,
+                        },
+                        // Unreachable: non-rescuable trips returned above.
+                        _ => RescueReason::Budget {
+                            live: live_at_trip,
+                            limit: gov.limit().unwrap_or(0),
+                        },
+                    };
+                    stats.degradations.push(DegradationEvent {
+                        block: index,
+                        attempt: stats.rescue_attempts,
+                        reason,
+                        live_at_trip,
+                        k1: eff.r.as_ref().map(RReductionPolicy::limit),
+                        k2: eff.l.as_ref().map(LReductionPolicy::k2),
+                        theta_millis: eff.l.as_ref().map_or(1000, |l| theta_millis(l.theta())),
+                        prefilter: eff.l.as_ref().and_then(LReductionPolicy::prefilter),
+                    });
+                }
             }
         };
-        meter.commit(shapes.len());
+
+        match &shapes {
+            Shapes::Rect { list, .. } => {
+                if !matches!(node, BinNode::Leaf { .. }) {
+                    stats.max_r_block = stats.max_r_block.max(list.len());
+                }
+            }
+            Shapes::L { shapes: l, .. } => {
+                stats.max_l_block = stats.max_l_block.max(l.len());
+            }
+        }
+        gov.commit(shapes.len());
         store.push(shapes);
     }
 
-    stats.peak_impls = meter.peak();
-    stats.final_impls = meter.live();
-    stats.generated = meter.generated();
+    // The restructured root is always a rectangular block; verify rather
+    // than assume so `Frontier::envelopes` stays panic-free.
+    if !matches!(store.get(bin.root()), Some(Shapes::Rect { .. })) {
+        return Err(OptError::Internal {
+            what: "root block is not rectangular",
+            block: bin.root(),
+        });
+    }
+
+    stats.peak_impls = gov.peak();
+    stats.final_impls = gov.live();
+    stats.generated = gov.generated();
     stats.elapsed = start.elapsed();
 
     // Map tree leaf node ids to assignment slots once, for all trace-backs.
@@ -511,15 +839,157 @@ pub fn optimize(
     frontier.best(config.objective, config.outline)
 }
 
+/// Like [`optimize`], but wraps the result in a [`RunOutcome`] carrying
+/// the fault-tolerance report (whether the rescue ladder fired, and the
+/// full degradation log in `outcome.stats.degradations`).
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_report(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<RunOutcome, OptError> {
+    let outcome = optimize(tree, library, config)?;
+    let rescued = !outcome.stats.degradations.is_empty();
+    Ok(RunOutcome { outcome, rescued })
+}
+
+/// The selection policies currently in force — starts as the configured
+/// pair and only ever tightens (the rescue ladder's state).
+#[derive(Clone)]
+struct EffectivePolicies {
+    r: Option<RReductionPolicy>,
+    l: Option<LReductionPolicy>,
+}
+
+/// θ as thousandths, for the integer-only degradation report.
+fn theta_millis(theta: f64) -> u32 {
+    (theta * 1000.0).round() as u32
+}
+
+/// Floor below which the ladder refuses to halve a selection limit.
+const POLICY_FLOOR: usize = 2;
+/// `K₁` introduced by the first rung when `R_Selection` was off.
+const RESCUE_SEED_K1: usize = 32;
+/// `K₂` introduced by the first rung when `L_Selection` was off.
+const RESCUE_SEED_K2: usize = 128;
+/// Prefilter `S` introduced alongside [`RESCUE_SEED_K2`].
+const RESCUE_SEED_PREFILTER: usize = 256;
+
+/// One rung down the rescue ladder: tightens the effective policies
+/// monotonically. Returns `false` when already at the floor (the ladder
+/// is out of rungs and the trip must be reported).
+fn tighten(eff: &mut EffectivePolicies) -> bool {
+    let mut changed = false;
+    match &mut eff.r {
+        None => {
+            eff.r = Some(RReductionPolicy::new(RESCUE_SEED_K1));
+            changed = true;
+        }
+        Some(r) => {
+            let k1 = r.limit();
+            if k1 > POLICY_FLOOR {
+                *r = RReductionPolicy::new((k1 / 2).max(POLICY_FLOOR));
+                changed = true;
+            }
+        }
+    }
+    match &mut eff.l {
+        None => {
+            eff.l =
+                Some(LReductionPolicy::new(RESCUE_SEED_K2).with_prefilter(RESCUE_SEED_PREFILTER));
+            changed = true;
+        }
+        Some(l) => {
+            let mut k2 = l.k2();
+            let mut theta = l.theta();
+            let mut prefilter = l.prefilter();
+            let metric = l.metric();
+            let parallel = l.parallel();
+            // Tighten the trigger and the heuristic first, then the limit.
+            if theta < 1.0 {
+                theta = 1.0;
+                changed = true;
+            } else if prefilter.is_none() {
+                prefilter = Some(2 * k2.max(POLICY_FLOOR));
+                changed = true;
+            } else if k2 > POLICY_FLOOR {
+                k2 = (k2 / 2).max(POLICY_FLOOR);
+                changed = true;
+            }
+            let mut next = LReductionPolicy::new(k2)
+                .with_theta(theta)
+                .with_metric(metric)
+                .with_parallel(parallel);
+            if let Some(s) = prefilter {
+                next = next.with_prefilter(s.max(k2));
+            }
+            *l = next;
+        }
+    }
+    changed
+}
+
+/// Maps a governor [`Trip`] to the public error for the block it stopped.
+fn trip_error(trip: Trip, block: usize, live: usize, peak: usize) -> OptError {
+    match trip {
+        Trip::Budget(e) => OptError::OutOfMemory {
+            live: e.live,
+            limit: e.limit,
+            peak,
+            block,
+        },
+        Trip::Fault { allocation } => OptError::FaultInjected {
+            allocation,
+            block,
+            live,
+            peak,
+        },
+        Trip::Deadline { elapsed, deadline } => OptError::DeadlineExceeded {
+            elapsed,
+            deadline,
+            block,
+        },
+        Trip::Cancelled => OptError::Cancelled { block },
+        Trip::Internal(what) => OptError::Internal { what, block },
+    }
+}
+
+/// Builds one join block under the governor: dispatch to the join kind,
+/// then global pruning and the effective selection policies.
+fn build_join(
+    op: BinOp,
+    left: &Shapes,
+    right: &Shapes,
+    config: &OptimizeConfig,
+    eff: &EffectivePolicies,
+    gov: &mut ResourceGovernor,
+    stats: &mut RunStats,
+) -> Result<Shapes, Trip> {
+    let mut shapes = match op {
+        BinOp::Slice(how) => slice_join(left, right, how, gov)?,
+        BinOp::WheelS1 => wheel_s1(left, right, gov)?,
+        BinOp::WheelS2 => wheel_s23(left, right, joins::stage2, gov)?,
+        BinOp::WheelS3 => wheel_s3(left, right, gov)?,
+        BinOp::WheelS4 => wheel_s4(left, right, gov)?,
+    };
+    global_l_prune(&mut shapes, config, gov);
+    let dropped = select_shapes(&mut shapes, eff, stats)?;
+    gov.discard(dropped);
+    Ok(shapes)
+}
+
 /// Slicing combination of two rectangular blocks (Stockmeyer merge).
 fn slice_join(
     left: &Shapes,
     right: &Shapes,
     how: Compose,
-    meter: &mut MemoryMeter,
-) -> Result<Shapes, BudgetExhausted> {
-    let (a, _) = left.as_rect();
-    let (b, _) = right.as_rect();
+    meter: &mut ResourceGovernor,
+) -> Result<Shapes, Trip> {
+    let (a, _) = left.as_rect()?;
+    let (b, _) = right.as_rect()?;
     let combined = combine_with_provenance(a, b, how);
     meter.charge(combined.len())?;
     let mut rects = Vec::with_capacity(combined.len());
@@ -528,7 +998,8 @@ fn slice_join(
         rects.push(c.rect);
         prov.push((c.left as u32, c.right as u32));
     }
-    let list = RList::from_sorted(rects).expect("Stockmeyer merge output is a staircase");
+    let list = RList::from_sorted(rects)
+        .map_err(|_| Trip::Internal("Stockmeyer merge output is not a staircase"))?;
     Ok(Shapes::Rect { list, prov })
 }
 
@@ -542,8 +1013,8 @@ fn push_l_chain(
     chain_start: usize,
     cand: LShape,
     p: (u32, u32),
-    meter: &mut MemoryMeter,
-) -> Result<(), BudgetExhausted> {
+    meter: &mut ResourceGovernor,
+) -> Result<(), Trip> {
     meter.charge(1)?;
     if shapes.len() > chain_start {
         let last = shapes[shapes.len() - 1];
@@ -571,8 +1042,8 @@ fn push_rect_chain(
     chain_start: usize,
     cand: Rect,
     p: (u32, u32),
-    meter: &mut MemoryMeter,
-) -> Result<(), BudgetExhausted> {
+    meter: &mut ResourceGovernor,
+) -> Result<(), Trip> {
     meter.charge(1)?;
     if out.len() > chain_start {
         let (last, _) = out[out.len() - 1];
@@ -591,13 +1062,9 @@ fn push_rect_chain(
 }
 
 /// Wheel stage 1: `A × E → L`. One chain per `A` implementation.
-fn wheel_s1(
-    left: &Shapes,
-    right: &Shapes,
-    meter: &mut MemoryMeter,
-) -> Result<Shapes, BudgetExhausted> {
-    let (a_list, _) = left.as_rect();
-    let (e_list, _) = right.as_rect();
+fn wheel_s1(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+    let (a_list, _) = left.as_rect()?;
+    let (e_list, _) = right.as_rect()?;
     let mut shapes = Vec::new();
     let mut prov = Vec::new();
     let mut chains = Vec::new();
@@ -630,10 +1097,10 @@ fn wheel_s23(
     left: &Shapes,
     right: &Shapes,
     stage: fn(LShape, Rect) -> LShape,
-    meter: &mut MemoryMeter,
-) -> Result<Shapes, BudgetExhausted> {
-    let (l_shapes, _, _) = left.as_l();
-    let (r_list, _) = right.as_rect();
+    meter: &mut ResourceGovernor,
+) -> Result<Shapes, Trip> {
+    let (l_shapes, _, _) = left.as_l()?;
+    let (r_list, _) = right.as_rect()?;
     let mut shapes = Vec::new();
     let mut prov = Vec::new();
     let mut chains = Vec::new();
@@ -663,13 +1130,9 @@ fn wheel_s23(
 /// Wheel stage 3: chains run over the *parent chain* for each fixed `C`
 /// implementation (that orientation keeps `w2 = w_C` constant and the
 /// monotonicity the chain prune needs).
-fn wheel_s3(
-    left: &Shapes,
-    right: &Shapes,
-    meter: &mut MemoryMeter,
-) -> Result<Shapes, BudgetExhausted> {
-    let (l_shapes, _, l_chains) = left.as_l();
-    let (c_list, _) = right.as_rect();
+fn wheel_s3(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+    let (l_shapes, _, l_chains) = left.as_l()?;
+    let (c_list, _) = right.as_rect()?;
     let mut shapes = Vec::new();
     let mut prov = Vec::new();
     let mut chains = Vec::new();
@@ -694,13 +1157,9 @@ fn wheel_s3(
 
 /// Wheel stage 4: `L × D → R`, with per-chain pruning then a global
 /// staircase prune.
-fn wheel_s4(
-    left: &Shapes,
-    right: &Shapes,
-    meter: &mut MemoryMeter,
-) -> Result<Shapes, BudgetExhausted> {
-    let (l_shapes, _, _) = left.as_l();
-    let (d_list, _) = right.as_rect();
+fn wheel_s4(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+    let (l_shapes, _, _) = left.as_l()?;
+    let (d_list, _) = right.as_rect()?;
     let mut out: Vec<(Rect, (u32, u32))> = Vec::new();
     for (li, &l) in l_shapes.iter().enumerate() {
         let start = out.len();
@@ -723,7 +1182,8 @@ fn wheel_s4(
         rects.push(r);
         prov.push(p);
     }
-    let list = RList::from_sorted(rects).expect("pruned output is a staircase");
+    let list = RList::from_sorted(rects)
+        .map_err(|_| Trip::Internal("pruned stage-4 output is not a staircase"))?;
     Ok(Shapes::Rect { list, prov })
 }
 
@@ -733,7 +1193,7 @@ fn wheel_s4(
 /// them and re-chains the survivors — this is what keeps the plain
 /// algorithm's non-redundant counts at \[9\]'s scale. Skipped above the
 /// configured threshold (the prune is `O(n·front)`).
-fn global_l_prune(shapes: &mut Shapes, config: &OptimizeConfig, meter: &mut MemoryMeter) {
+fn global_l_prune(shapes: &mut Shapes, config: &OptimizeConfig, meter: &mut ResourceGovernor) {
     let Shapes::L {
         shapes: l_shapes,
         prov,
@@ -780,20 +1240,21 @@ fn global_l_prune(shapes: &mut Shapes, config: &OptimizeConfig, meter: &mut Memo
     *chains = new_chains;
 }
 
-/// Applies the configured selection policies to a freshly built block.
-fn apply_policies(
+/// Applies the effective selection policies to a block in place,
+/// returning how many implementations were dropped (for the caller to
+/// account against the governor as `discard` or `release`).
+fn select_shapes(
     shapes: &mut Shapes,
-    config: &OptimizeConfig,
-    meter: &mut MemoryMeter,
+    eff: &EffectivePolicies,
     stats: &mut RunStats,
-) {
+) -> Result<usize, Trip> {
     match shapes {
         Shapes::Rect { list, prov } => {
-            let Some(policy) = &config.r_policy else {
-                return;
+            let Some(policy) = &eff.r else {
+                return Ok(0);
             };
             let Some(sel) = policy.apply(list) else {
-                return;
+                return Ok(0);
             };
             let dropped = list.len() - sel.positions.len();
             let new_list = list.subset(&sel.positions);
@@ -804,28 +1265,27 @@ fn apply_policies(
             };
             *list = new_list;
             *prov = new_prov;
-            meter.discard(dropped);
             stats.r_reductions += 1;
+            Ok(dropped)
         }
         Shapes::L {
             shapes: l_shapes,
             prov,
             chains,
         } => {
-            let Some(policy) = &config.l_policy else {
-                return;
+            let Some(policy) = &eff.l else {
+                return Ok(0);
             };
             // View the chains as an LListSet for the policy layer.
-            let lists: Vec<LList> = chains
-                .iter()
-                .map(|&(s, e)| {
-                    LList::from_sorted(l_shapes[s as usize..e as usize].to_vec())
-                        .expect("engine chains are irreducible L-lists")
-                })
-                .collect();
+            let mut lists = Vec::with_capacity(chains.len());
+            for &(s, e) in chains.iter() {
+                let list = LList::from_sorted(l_shapes[s as usize..e as usize].to_vec())
+                    .map_err(|_| Trip::Internal("engine chain is not an irreducible L-list"))?;
+                lists.push(list);
+            }
             let set = LListSet::from_lists(lists);
             let Some(kept) = policy.apply(&set) else {
-                return;
+                return Ok(0);
             };
             let mut new_shapes = Vec::new();
             let mut new_prov = Vec::new();
@@ -845,10 +1305,33 @@ fn apply_policies(
             *l_shapes = new_shapes;
             *prov = new_prov;
             *chains = new_chains;
-            meter.discard(dropped);
             stats.l_reductions += 1;
+            Ok(dropped)
         }
     }
+}
+
+/// Rescue-ladder shrink of an already *committed* block: re-applies the
+/// tightened policies to its list and releases the dropped storage.
+///
+/// Leaf blocks are built with empty provenance (their implementation
+/// index *is* the module choice), so before subsetting one we seed the
+/// identity provenance — trace-back then maps the surviving indices back
+/// to original module choices through it.
+fn reselect_committed(
+    shapes: &mut Shapes,
+    eff: &EffectivePolicies,
+    gov: &mut ResourceGovernor,
+    stats: &mut RunStats,
+) -> Result<(), Trip> {
+    if let Shapes::Rect { list, prov } = shapes {
+        if prov.is_empty() && !list.is_empty() {
+            *prov = (0..list.len() as u32).map(|i| (i, 0)).collect();
+        }
+    }
+    let dropped = select_shapes(shapes, eff, stats)?;
+    gov.release(dropped);
+    Ok(())
 }
 
 /// Traces the chosen root implementation back to per-module choices.
@@ -862,14 +1345,38 @@ fn trace_back_with(
     let mut choices = vec![0usize; leaves];
     let mut stack = vec![(bin.root(), root_idx)];
     while let Some((node, idx)) = stack.pop() {
-        match bin.node(node).expect("valid binary tree") {
+        let Some(bin_node) = bin.node(node) else {
+            debug_assert!(false, "trace-back reached an out-of-range node");
+            continue;
+        };
+        match bin_node {
             BinNode::Leaf { tree_leaf, .. } => {
-                choices[slot_of[*tree_leaf]] = idx;
+                // A leaf re-selected by the rescue ladder carries identity
+                // provenance mapping surviving indices to module choices;
+                // an untouched leaf's index is the choice itself.
+                let choice = match store.get(node) {
+                    Some(Shapes::Rect { prov, .. }) if !prov.is_empty() => {
+                        prov.get(idx).map_or(idx, |p| p.0 as usize)
+                    }
+                    _ => idx,
+                };
+                if let Some(slot) = slot_of.get(*tree_leaf).copied() {
+                    if let Some(c) = choices.get_mut(slot) {
+                        *c = choice;
+                    }
+                }
             }
             BinNode::Join { left, right, .. } => {
-                let (li, ri) = match &store[node] {
-                    Shapes::Rect { prov, .. } => prov[idx],
-                    Shapes::L { prov, .. } => prov[idx],
+                let prov = match store.get(node) {
+                    Some(Shapes::Rect { prov, .. }) | Some(Shapes::L { prov, .. }) => prov,
+                    None => {
+                        debug_assert!(false, "trace-back reached an unbuilt block");
+                        continue;
+                    }
+                };
+                let Some(&(li, ri)) = prov.get(idx) else {
+                    debug_assert!(false, "provenance index out of range");
+                    continue;
                 };
                 stack.push((*left, li as usize));
                 stack.push((*right, ri as usize));
@@ -974,7 +1481,6 @@ mod tests {
         assert_eq!(layout.area(), reduced.area);
     }
 
-
     #[test]
     fn l_selection_reduces_wheel_blocks() {
         let bench = generators::fp1();
@@ -999,7 +1505,9 @@ mod tests {
         let budget = plain.stats.peak_impls * 3 / 4;
         let tiny = OptimizeConfig::default().with_memory_limit(Some(budget));
         match optimize(&bench.tree, &lib, &tiny) {
-            Err(OptError::OutOfMemory { live, limit, peak }) => {
+            Err(OptError::OutOfMemory {
+                live, limit, peak, ..
+            }) => {
                 assert_eq!(limit, budget);
                 assert!(live > budget);
                 assert!(peak >= budget);

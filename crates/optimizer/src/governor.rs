@@ -1,0 +1,394 @@
+//! Run-wide resource governing: implementation budget, wall-clock
+//! deadline, cooperative cancellation, and deterministic fault injection.
+//!
+//! The paper's only resource model is the implementation count `M`
+//! ([`MemoryMeter`]); a production optimizer also needs to stop on a
+//! deadline, stop when the caller loses interest, and be *testable* under
+//! resource exhaustion without actually exhausting anything. The
+//! [`ResourceGovernor`] layers those three concerns over the meter behind
+//! one `charge` call that the hot join loops already make per candidate:
+//!
+//! * **Budget** — delegated to [`MemoryMeter`]; trips as [`Trip::Budget`].
+//! * **Deadline** — wall-clock, polled every [`POLL_INTERVAL`] charges so
+//!   the `Instant::now` syscall stays off the per-candidate fast path.
+//! * **Cancellation** — a shared [`CancelToken`] flag, polled on the same
+//!   cadence; lets another thread abort a long optimization cooperatively.
+//! * **Fault injection** — a [`FaultPlan`] of allocation ordinals; when
+//!   total generated candidates cross a trip point the governor fails the
+//!   charge exactly once, deterministically, regardless of machine. This
+//!   is how the rescue ladder's edges are exercised in tests: "trip at the
+//!   N-th allocation" reproduces a mid-block memory failure on any host.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fp_prng::SplitMix64;
+
+use crate::meter::{BudgetExhausted, MemoryMeter};
+
+/// How many `charge` calls pass between deadline/cancellation polls.
+/// Power of two so the check compiles to a mask test.
+pub const POLL_INTERVAL: u64 = 4096;
+
+/// A shared cancellation flag for cooperative shutdown of a run.
+///
+/// Clone the token, hand one clone to the optimizer via
+/// [`crate::OptimizeConfig::with_cancel`], keep the other; calling
+/// [`CancelToken::cancel`] makes the run fail with
+/// [`crate::OptError::Cancelled`] at its next poll point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every governor polling this token trips.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic fault-injection plan: the run fails the charge during
+/// which total generated candidates first reach each trip point. Each
+/// point fires exactly once, so a rescued retry proceeds past it — this is
+/// what lets tests drive every edge of the rescue ladder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Trip points as 1-based allocation ordinals, sorted ascending.
+    points: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan tripping at the given allocation ordinals (1-based: `1`
+    /// fails the very first candidate). Unsorted and duplicate inputs are
+    /// normalized; zeros are dropped.
+    #[must_use]
+    pub fn at_allocations(points: &[u64]) -> Self {
+        let mut points: Vec<u64> = points.iter().copied().filter(|&p| p > 0).collect();
+        points.sort_unstable();
+        points.dedup();
+        FaultPlan { points }
+    }
+
+    /// A seed-derived plan: `trips` points drawn uniformly from
+    /// `[1, window]` via [`SplitMix64`], so a single `u64` reproduces the
+    /// whole fault schedule.
+    #[must_use]
+    pub fn from_seed(seed: u64, trips: usize, window: u64) -> Self {
+        let window = window.max(1);
+        let mut mix = SplitMix64::new(seed ^ 0x4641_554C_5453); // "FAULTS"
+        let points: Vec<u64> = (0..trips).map(|_| 1 + mix.next_u64() % window).collect();
+        FaultPlan::at_allocations(&points)
+    }
+
+    /// The trip points, sorted ascending.
+    #[must_use]
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// Whether the plan has no remaining trip points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Why the governor stopped a run (or, for [`Trip::Internal`], why a join
+/// detected a broken invariant). `Budget` and `Fault` are *rescuable*: the
+/// rescue ladder may retry the in-flight block under stricter policies.
+/// `Deadline` and `Cancelled` are final — time and intent do not come
+/// back — and `Internal` is a bug report, never retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trip {
+    /// The implementation budget was exhausted (real memory pressure).
+    Budget(BudgetExhausted),
+    /// A [`FaultPlan`] point fired (injected memory pressure).
+    Fault {
+        /// The allocation ordinal that tripped.
+        allocation: u64,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// Time elapsed when the trip was detected.
+        elapsed: Duration,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// A join produced output violating an engine invariant.
+    Internal(&'static str),
+}
+
+impl Trip {
+    /// Whether the rescue ladder is allowed to retry after this trip.
+    #[must_use]
+    pub fn is_rescuable(&self) -> bool {
+        matches!(self, Trip::Budget(_) | Trip::Fault { .. })
+    }
+}
+
+/// The per-run resource governor: a [`MemoryMeter`] plus deadline,
+/// cancellation, and fault injection, checked inside the same `charge`
+/// call the join loops already make per generated candidate.
+#[derive(Debug, Clone)]
+pub struct ResourceGovernor {
+    meter: MemoryMeter,
+    start: Instant,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    /// Remaining fault points, ascending; `fault_cursor` indexes the next.
+    faults: Vec<u64>,
+    fault_cursor: usize,
+    /// Charge calls since the last deadline/cancellation poll.
+    calls: u64,
+}
+
+impl ResourceGovernor {
+    /// A governor with the given budget and no deadline, cancellation, or
+    /// faults.
+    #[must_use]
+    pub fn new(limit: Option<usize>) -> Self {
+        ResourceGovernor {
+            meter: match limit {
+                Some(limit) => MemoryMeter::with_limit(limit),
+                None => MemoryMeter::unbounded(),
+            },
+            start: Instant::now(),
+            deadline: None,
+            cancel: None,
+            faults: Vec::new(),
+            fault_cursor: 0,
+            calls: 0,
+        }
+    }
+
+    /// Adds a wall-clock deadline, measured from governor construction.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Adds a cancellation token to poll.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Adds a fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan.map(|p| p.points).unwrap_or_default();
+        self.fault_cursor = 0;
+        self
+    }
+
+    /// Records `n` freshly generated candidates, checking every governed
+    /// resource. Mirrors [`MemoryMeter::charge`]; `charge(0)` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Trip`] detected: an injected fault, the budget, or (at
+    /// poll points) the deadline or cancellation.
+    pub fn charge(&mut self, n: usize) -> Result<(), Trip> {
+        if n == 0 {
+            return Ok(());
+        }
+        let before = self.meter.generated();
+        self.meter.charge(n).map_err(Trip::Budget)?;
+        if let Some(&point) = self.faults.get(self.fault_cursor) {
+            if self.meter.generated() >= point && before < point {
+                // Consume the point so a rescued retry proceeds past it.
+                self.fault_cursor += 1;
+                return Err(Trip::Fault { allocation: point });
+            }
+        }
+        self.calls += 1;
+        if self.calls.is_multiple_of(POLL_INTERVAL) {
+            self.poll()?;
+        }
+        Ok(())
+    }
+
+    /// Checks deadline and cancellation immediately (called at block
+    /// boundaries, where a trip is cheapest to honour).
+    ///
+    /// # Errors
+    ///
+    /// [`Trip::Deadline`] or [`Trip::Cancelled`].
+    pub fn poll(&self) -> Result<(), Trip> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Err(Trip::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > deadline {
+                return Err(Trip::Deadline { elapsed, deadline });
+            }
+        }
+        Ok(())
+    }
+
+    /// See [`MemoryMeter::discard`].
+    pub fn discard(&mut self, n: usize) {
+        self.meter.discard(n);
+    }
+
+    /// See [`MemoryMeter::commit`].
+    pub fn commit(&mut self, n: usize) {
+        self.meter.commit(n);
+    }
+
+    /// See [`MemoryMeter::abort_block`].
+    pub fn abort_block(&mut self) -> usize {
+        self.meter.abort_block()
+    }
+
+    /// See [`MemoryMeter::release`].
+    pub fn release(&mut self, n: usize) {
+        self.meter.release(n);
+    }
+
+    /// See [`MemoryMeter::live`].
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.meter.live()
+    }
+
+    /// See [`MemoryMeter::peak`].
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.meter.peak()
+    }
+
+    /// See [`MemoryMeter::generated`].
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.meter.generated()
+    }
+
+    /// See [`MemoryMeter::limit`].
+    #[must_use]
+    pub fn limit(&self) -> Option<usize> {
+        self.meter.limit()
+    }
+
+    /// Time since the governor was constructed.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_normalizes_points() {
+        let plan = FaultPlan::at_allocations(&[30, 10, 0, 10, 20]);
+        assert_eq!(plan.points(), &[10, 20, 30]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::at_allocations(&[0]).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_window() {
+        let a = FaultPlan::from_seed(42, 5, 1000);
+        let b = FaultPlan::from_seed(42, 5, 1000);
+        let c = FaultPlan::from_seed(43, 5, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.points().iter().all(|&p| (1..=1000).contains(&p)));
+    }
+
+    #[test]
+    fn faults_fire_once_at_their_ordinal() {
+        let mut gov =
+            ResourceGovernor::new(None).with_faults(Some(FaultPlan::at_allocations(&[5])));
+        gov.charge(3).expect("below the trip point");
+        let err = gov.charge(3).expect_err("crosses allocation 5");
+        assert_eq!(err, Trip::Fault { allocation: 5 });
+        assert!(err.is_rescuable());
+        // Consumed: the retry proceeds.
+        gov.charge(100).expect("point already fired");
+    }
+
+    #[test]
+    fn budget_trips_as_rescuable() {
+        let mut gov = ResourceGovernor::new(Some(4));
+        let err = gov.charge(5).expect_err("over budget");
+        assert!(matches!(
+            err,
+            Trip::Budget(BudgetExhausted { live: 5, limit: 4 })
+        ));
+        assert!(err.is_rescuable());
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_poll_not_charge_fast_path() {
+        let gov = ResourceGovernor::new(None).with_deadline(Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        let err = gov.poll().expect_err("deadline passed");
+        assert!(matches!(err, Trip::Deadline { .. }));
+        assert!(!err.is_rescuable());
+    }
+
+    #[test]
+    fn cancellation_is_cooperative() {
+        let token = CancelToken::new();
+        let gov = ResourceGovernor::new(None).with_cancel(Some(token.clone()));
+        gov.poll().expect("not cancelled yet");
+        token.cancel();
+        assert_eq!(gov.poll(), Err(Trip::Cancelled));
+        assert!(!Trip::Cancelled.is_rescuable());
+    }
+
+    #[test]
+    fn hot_loop_polling_detects_cancellation_mid_block() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut gov = ResourceGovernor::new(None).with_cancel(Some(token));
+        // One-candidate charges, as the join loops issue them: the poll
+        // cadence must catch the flag within POLL_INTERVAL calls.
+        let mut tripped = false;
+        for _ in 0..POLL_INTERVAL + 1 {
+            if gov.charge(1).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "cancellation never observed in the hot loop");
+    }
+
+    #[test]
+    fn rollback_and_release_mirror_the_meter() {
+        let mut gov = ResourceGovernor::new(Some(100));
+        gov.charge(40).expect("fits");
+        gov.commit(40);
+        gov.charge(50).expect("fits");
+        assert_eq!(gov.abort_block(), 50);
+        assert_eq!(gov.live(), 40);
+        gov.release(15);
+        assert_eq!(gov.live(), 25);
+        assert_eq!(gov.peak(), 90);
+    }
+}

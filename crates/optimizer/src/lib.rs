@@ -34,12 +34,15 @@
 
 pub mod direct;
 mod engine;
+pub mod governor;
 pub mod joins;
 mod meter;
 pub mod oracle;
 pub mod stockmeyer;
 
 pub use engine::{
-    optimize, optimize_frontier, Frontier, Objective, OptError, OptimizeConfig, Outcome, RunStats,
+    optimize, optimize_frontier, optimize_report, DegradationEvent, Frontier, Objective, OptError,
+    OptimizeConfig, Outcome, RescueReason, RunOutcome, RunStats,
 };
+pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 pub use meter::{BudgetExhausted, MemoryMeter};

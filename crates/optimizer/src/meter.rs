@@ -58,12 +58,18 @@ impl MemoryMeter {
     }
 
     /// Records `n` freshly generated candidate implementations for the
-    /// block under construction.
+    /// block under construction. `charge(0)` is a no-op: it never trips
+    /// the budget, even when the meter already sits exactly at the limit.
     ///
     /// # Errors
     ///
-    /// Returns [`BudgetExhausted`] when the live count passes the budget.
+    /// Returns [`BudgetExhausted`] when the live count exceeds the budget
+    /// (a live count *equal* to the limit still fits — the budget models
+    /// storage capacity, not a watermark).
     pub fn charge(&mut self, n: usize) -> Result<(), BudgetExhausted> {
+        if n == 0 {
+            return Ok(());
+        }
         self.transient += n;
         self.generated += n as u64;
         let live = self.committed + self.transient;
@@ -75,20 +81,35 @@ impl MemoryMeter {
     }
 
     /// Records that candidate implementations were pruned or selected away
-    /// while still under construction.
+    /// while still under construction. Saturates at zero: discarding more
+    /// than was charged clamps the transient count instead of underflowing.
     pub fn discard(&mut self, n: usize) {
-        debug_assert!(n <= self.transient, "discarding more than was charged");
-        self.transient -= n.min(self.transient);
+        self.transient = self.transient.saturating_sub(n);
     }
 
     /// Finalizes the block under construction: its surviving `n`
     /// implementations become committed storage (they remain live for the
     /// rest of the run — parents and the final traceback need them).
+    /// `n` is clamped to the transient count, so a caller that over-reports
+    /// survivors cannot inflate the committed total.
     pub fn commit(&mut self, n: usize) {
-        debug_assert!(n <= self.transient, "committing more than is transient");
+        self.committed += n.min(self.transient);
         self.transient = 0;
-        self.committed += n;
         self.peak = self.peak.max(self.committed);
+    }
+
+    /// Drops every transient candidate of the block under construction
+    /// (the rescue ladder's rollback of an in-flight block), returning how
+    /// many were dropped. Committed storage is untouched.
+    pub fn abort_block(&mut self) -> usize {
+        std::mem::take(&mut self.transient)
+    }
+
+    /// Shrinks committed storage by `n` (saturating): used when the rescue
+    /// ladder re-selects an already committed block list down to a
+    /// stricter limit.
+    pub fn release(&mut self, n: usize) {
+        self.committed = self.committed.saturating_sub(n);
     }
 
     /// Implementations currently live.
@@ -96,6 +117,13 @@ impl MemoryMeter {
     #[must_use]
     pub fn live(&self) -> usize {
         self.committed + self.transient
+    }
+
+    /// Transient candidates of the block under construction.
+    #[inline]
+    #[must_use]
+    pub fn transient(&self) -> usize {
+        self.transient
     }
 
     /// The peak live count (`M` in the paper's tables).
@@ -167,5 +195,69 @@ mod tests {
         assert_eq!(m.live(), 10);
         m.charge(80).expect("ok after reduction");
         assert_eq!(m.peak(), 90);
+    }
+
+    #[test]
+    fn charge_zero_is_a_noop_even_at_the_limit() {
+        let mut m = MemoryMeter::with_limit(10);
+        m.charge(10).expect("exactly at the limit fits");
+        // Sitting exactly at the limit, a zero charge must not trip.
+        m.charge(0).expect("charge(0) never trips");
+        assert_eq!(m.live(), 10);
+        assert_eq!(m.generated(), 10);
+        assert_eq!(m.peak(), 10);
+    }
+
+    #[test]
+    fn budget_trips_strictly_above_the_limit() {
+        let mut m = MemoryMeter::with_limit(10);
+        // live == limit is fine; live == limit + 1 trips.
+        m.charge(10).expect("live == limit fits");
+        assert_eq!(m.peak(), 10);
+        let err = m.charge(1).expect_err("live > limit trips");
+        assert_eq!(
+            err,
+            BudgetExhausted {
+                live: 11,
+                limit: 10
+            }
+        );
+        // Peak records the overshoot even though the charge failed.
+        assert_eq!(m.peak(), 11);
+    }
+
+    #[test]
+    fn discard_saturates_instead_of_underflowing() {
+        let mut m = MemoryMeter::unbounded();
+        m.charge(5).expect("unbounded");
+        m.discard(9); // more than was charged: clamps to zero
+        assert_eq!(m.live(), 0);
+        assert_eq!(m.transient(), 0);
+        m.charge(3).expect("still usable afterwards");
+        assert_eq!(m.live(), 3);
+    }
+
+    #[test]
+    fn commit_clamps_to_transient() {
+        let mut m = MemoryMeter::unbounded();
+        m.charge(4).expect("unbounded");
+        m.commit(100); // over-reported survivors cannot inflate storage
+        assert_eq!(m.live(), 4);
+        assert_eq!(m.transient(), 0);
+    }
+
+    #[test]
+    fn abort_block_drops_only_transients() {
+        let mut m = MemoryMeter::with_limit(50);
+        m.charge(20).expect("ok");
+        m.commit(20);
+        m.charge(25).expect("ok");
+        assert_eq!(m.abort_block(), 25);
+        assert_eq!(m.live(), 20);
+        assert_eq!(m.peak(), 45);
+        // Released committed storage frees budget for a retry.
+        m.release(10);
+        assert_eq!(m.live(), 10);
+        m.charge(40).expect("fits after release");
     }
 }

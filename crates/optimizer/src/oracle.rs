@@ -62,7 +62,9 @@ pub fn exhaustive_optimal(
     let mut choices = vec![0usize; counts.len()];
     loop {
         let assignment = Assignment::new(choices.clone());
-        let layout = realize(tree, library, &assignment).expect("in-range choices");
+        // Choices are in range by construction; treat a realize failure as
+        // an unsolvable instance rather than panicking.
+        let layout = realize(tree, library, &assignment).ok()?;
         debug_assert_eq!(layout.validate(), None);
         let area = layout.area();
         if best.as_ref().is_none_or(|(b, _)| area < *b) {

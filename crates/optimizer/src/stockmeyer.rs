@@ -109,7 +109,9 @@ fn solve(
     library: &ModuleLibrary,
     id: NodeId,
 ) -> Result<Solved, SlicingError> {
-    let node = tree.node(id).expect("validated tree");
+    let node = tree
+        .node(id)
+        .ok_or_else(|| SlicingError::BadInput(format!("node {id} out of range")))?;
     match &node.kind {
         NodeKind::Leaf(m) => {
             let module = library
@@ -137,8 +139,9 @@ fn solve(
             for &child in &node.children[1..] {
                 let rhs = solve(tree, library, child)?;
                 let combined = combine_with_provenance(&acc.list, &rhs.list, how);
-                let list = RList::from_sorted(combined.iter().map(|c| c.rect).collect())
-                    .expect("merge output is a staircase");
+                let list = RList::from_sorted(combined.iter().map(|c| c.rect).collect()).map_err(
+                    |_| SlicingError::BadInput("merge output is not a staircase".into()),
+                )?;
                 acc = Solved {
                     list,
                     prov: combined,
@@ -155,22 +158,21 @@ fn solve(
 
 fn backtrack(solved: &Solved, idx: usize, slot_of: &[usize], choices: &mut Vec<usize>) {
     if let Some(leaf) = solved.leaf {
-        choices[slot_of[leaf]] = idx;
+        if let Some(c) = slot_of.get(leaf).and_then(|&slot| choices.get_mut(slot)) {
+            *c = idx;
+        }
         return;
     }
-    let c = solved.prov[idx];
-    backtrack(
-        solved.left.as_deref().expect("internal node"),
-        c.left,
-        slot_of,
-        choices,
-    );
-    backtrack(
-        solved.right.as_deref().expect("internal node"),
-        c.right,
-        slot_of,
-        choices,
-    );
+    let Some(&c) = solved.prov.get(idx) else {
+        debug_assert!(false, "provenance index out of range");
+        return;
+    };
+    let (Some(left), Some(right)) = (solved.left.as_deref(), solved.right.as_deref()) else {
+        debug_assert!(false, "internal node missing a child");
+        return;
+    };
+    backtrack(left, c.left, slot_of, choices);
+    backtrack(right, c.right, slot_of, choices);
 }
 
 #[cfg(test)]

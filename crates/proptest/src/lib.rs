@@ -238,7 +238,19 @@ pub mod strategy {
     /// outliers.
     fn arbitrary_char(rng: &mut TestRng) -> char {
         const SPICE: &[char] = &[
-            '(', ')', '#', 'x', 'X', '\n', '\t', ' ', '0', '9', '\u{e9}', '\u{1F600}', '\u{0}',
+            '(',
+            ')',
+            '#',
+            'x',
+            'X',
+            '\n',
+            '\t',
+            ' ',
+            '0',
+            '9',
+            '\u{e9}',
+            '\u{1F600}',
+            '\u{0}',
         ];
         if rng.gen_bool(0.3) {
             SPICE[rng.gen_range(0..SPICE.len())]
@@ -439,7 +451,9 @@ pub mod prelude {
 
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests. See the crate docs for the supported form.

@@ -44,11 +44,14 @@ pub struct FloorplanInstance {
     pub library: ModuleLibrary,
 }
 
-/// A parse error with 1-based line information.
+/// A parse error with 1-based line and column information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseInstanceError {
     /// 1-based line number of the offending token (0 for end-of-input).
     pub line: usize,
+    /// 1-based column of the offending token's first character (0 when no
+    /// single token is at fault, e.g. a structural error).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
@@ -57,13 +60,33 @@ impl fmt::Display for ParseInstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
             write!(f, "parse error at end of input: {}", self.message)
-        } else {
+        } else if self.col == 0 {
             write!(f, "parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
         }
     }
 }
 
 impl std::error::Error for ParseInstanceError {}
+
+/// `(line, column)` of a token's first character, both 1-based.
+type Pos = (usize, usize);
+
+/// A position for errors not tied to any single token.
+const NO_POS: Pos = (0, 0);
+
+fn err_at(pos: Pos, message: String) -> ParseInstanceError {
+    ParseInstanceError {
+        line: pos.0,
+        col: pos.1,
+        message,
+    }
+}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Token {
@@ -72,48 +95,55 @@ enum Token {
     Word(String),
 }
 
-/// Tokenized input: `(token, line)` pairs.
-fn tokenize(input: &str) -> Vec<(Token, usize)> {
+/// Tokenized input: `(token, position)` pairs.
+fn tokenize(input: &str) -> Vec<(Token, Pos)> {
     let mut tokens = Vec::new();
     for (idx, raw_line) in input.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw_line.split('#').next().unwrap_or("");
         let mut word = String::new();
-        let flush = |word: &mut String, tokens: &mut Vec<(Token, usize)>| {
+        let mut word_col = 0usize;
+        let flush = |word: &mut String, word_col: usize, tokens: &mut Vec<(Token, Pos)>| {
             if !word.is_empty() {
-                tokens.push((Token::Word(std::mem::take(word)), line_no));
+                tokens.push((Token::Word(std::mem::take(word)), (line_no, word_col)));
             }
         };
-        for ch in line.chars() {
+        for (col0, ch) in line.chars().enumerate() {
+            let col = col0 + 1;
             match ch {
                 '(' => {
-                    flush(&mut word, &mut tokens);
-                    tokens.push((Token::Open, line_no));
+                    flush(&mut word, word_col, &mut tokens);
+                    tokens.push((Token::Open, (line_no, col)));
                 }
                 ')' => {
-                    flush(&mut word, &mut tokens);
-                    tokens.push((Token::Close, line_no));
+                    flush(&mut word, word_col, &mut tokens);
+                    tokens.push((Token::Close, (line_no, col)));
                 }
-                c if c.is_whitespace() => flush(&mut word, &mut tokens),
-                c => word.push(c),
+                c if c.is_whitespace() => flush(&mut word, word_col, &mut tokens),
+                c => {
+                    if word.is_empty() {
+                        word_col = col;
+                    }
+                    word.push(c);
+                }
             }
         }
-        flush(&mut word, &mut tokens);
+        flush(&mut word, word_col, &mut tokens);
     }
     tokens
 }
 
 struct Parser {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, Pos)>,
     pos: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&(Token, usize)> {
+    fn peek(&self) -> Option<&(Token, Pos)> {
         self.tokens.get(self.pos)
     }
 
-    fn next(&mut self) -> Option<(Token, usize)> {
+    fn next(&mut self) -> Option<(Token, Pos)> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -121,43 +151,31 @@ impl Parser {
         t
     }
 
-    fn expect_word(&mut self, what: &str) -> Result<(String, usize), ParseInstanceError> {
+    fn expect_word(&mut self, what: &str) -> Result<(String, Pos), ParseInstanceError> {
         match self.next() {
-            Some((Token::Word(w), line)) => Ok((w, line)),
-            Some((other, line)) => Err(ParseInstanceError {
-                line,
-                message: format!("expected {what}, found {other:?}"),
-            }),
-            None => Err(ParseInstanceError {
-                line: 0,
-                message: format!("expected {what}"),
-            }),
+            Some((Token::Word(w), pos)) => Ok((w, pos)),
+            Some((other, pos)) => Err(err_at(pos, format!("expected {what}, found {other:?}"))),
+            None => Err(err_at(NO_POS, format!("expected {what}"))),
         }
     }
 }
 
-fn parse_size(word: &str, line: usize) -> Result<Rect, ParseInstanceError> {
-    let bad = || ParseInstanceError {
-        line,
-        message: format!("expected <width>x<height>, found `{word}`"),
-    };
+fn parse_size(word: &str, pos: Pos) -> Result<Rect, ParseInstanceError> {
+    let bad = || err_at(pos, format!("expected <width>x<height>, found `{word}`"));
     let (w, h) = word.split_once(['x', 'X']).ok_or_else(bad)?;
     let w: Coord = w.parse().map_err(|_| bad())?;
     let h: Coord = h.parse().map_err(|_| bad())?;
     if w == 0 || h == 0 {
-        return Err(ParseInstanceError {
-            line,
-            message: format!("zero dimension in `{word}`"),
-        });
+        return Err(err_at(pos, format!("zero dimension in `{word}`")));
     }
     if w > fp_geom::MAX_COORD || h > fp_geom::MAX_COORD {
-        return Err(ParseInstanceError {
-            line,
-            message: format!(
+        return Err(err_at(
+            pos,
+            format!(
                 "dimension in `{word}` exceeds the supported maximum {}",
                 fp_geom::MAX_COORD
             ),
-        });
+        ));
     }
     Ok(Rect::new(w, h))
 }
@@ -179,14 +197,14 @@ pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceErr
     let mut by_name: HashMap<String, usize> = HashMap::new();
     let mut tree: Option<FloorplanTree> = None;
 
-    while let Some((token, line)) = parser.next() {
+    while let Some((token, pos)) = parser.next() {
         let keyword = match token {
             Token::Word(w) => w,
             other => {
-                return Err(ParseInstanceError {
-                    line,
-                    message: format!("expected a directive, found {other:?}"),
-                })
+                return Err(err_at(
+                    pos,
+                    format!("expected a directive, found {other:?}"),
+                ))
             }
         };
         match keyword.as_str() {
@@ -194,12 +212,9 @@ pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceErr
                 name = parser.expect_word("an instance name")?.0;
             }
             "module" => {
-                let (mod_name, name_line) = parser.expect_word("a module name")?;
+                let (mod_name, name_pos) = parser.expect_word("a module name")?;
                 if by_name.contains_key(&mod_name) {
-                    return Err(ParseInstanceError {
-                        line: name_line,
-                        message: format!("duplicate module `{mod_name}`"),
-                    });
+                    return Err(err_at(name_pos, format!("duplicate module `{mod_name}`")));
                 }
                 let mut rotatable = false;
                 if let Some((Token::Word(w), _)) = parser.peek() {
@@ -209,32 +224,29 @@ pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceErr
                     }
                 }
                 let mut sizes = Vec::new();
-                while let Some((Token::Word(w), wline)) = parser.peek().cloned() {
+                while let Some((Token::Word(w), wpos)) = parser.peek().cloned() {
                     if !w.chars().next().is_some_and(|c| c.is_ascii_digit()) {
                         break;
                     }
                     parser.pos += 1;
-                    let r = parse_size(&w, wline)?;
+                    let r = parse_size(&w, wpos)?;
                     sizes.push(r);
                     if rotatable {
                         sizes.push(r.rotated());
                     }
                 }
                 if sizes.is_empty() {
-                    return Err(ParseInstanceError {
-                        line: name_line,
-                        message: format!("module `{mod_name}` has no implementations"),
-                    });
+                    return Err(err_at(
+                        name_pos,
+                        format!("module `{mod_name}` has no implementations"),
+                    ));
                 }
                 let id = library.add(Module::new(mod_name.clone(), sizes));
                 by_name.insert(mod_name, id);
             }
             "tree" => {
                 if tree.is_some() {
-                    return Err(ParseInstanceError {
-                        line,
-                        message: "duplicate `tree` directive".to_owned(),
-                    });
+                    return Err(err_at(pos, "duplicate `tree` directive".to_owned()));
                 }
                 let mut t = FloorplanTree::new();
                 let root = parse_expr(&mut parser, &by_name, &mut t, 0)?;
@@ -242,24 +254,17 @@ pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceErr
                 tree = Some(t);
             }
             other => {
-                return Err(ParseInstanceError {
-                    line,
-                    message: format!(
-                        "unknown directive `{other}` (expected floorplan/module/tree)"
-                    ),
-                })
+                return Err(err_at(
+                    pos,
+                    format!("unknown directive `{other}` (expected floorplan/module/tree)"),
+                ))
             }
         }
     }
 
-    let tree = tree.ok_or(ParseInstanceError {
-        line: 0,
-        message: "missing `tree` directive".to_owned(),
-    })?;
-    tree.validate().map_err(|e| ParseInstanceError {
-        line: 0,
-        message: format!("invalid tree: {e}"),
-    })?;
+    let tree = tree.ok_or_else(|| err_at(NO_POS, "missing `tree` directive".to_owned()))?;
+    tree.validate()
+        .map_err(|e| err_at(NO_POS, format!("invalid tree: {e}")))?;
     Ok(FloorplanInstance {
         name,
         tree,
@@ -279,21 +284,20 @@ fn parse_expr(
     depth: usize,
 ) -> Result<NodeId, ParseInstanceError> {
     if depth > MAX_NESTING {
-        return Err(ParseInstanceError {
-            line: 0,
-            message: format!("expression nesting exceeds {MAX_NESTING} levels"),
-        });
+        return Err(err_at(
+            NO_POS,
+            format!("expression nesting exceeds {MAX_NESTING} levels"),
+        ));
     }
     match parser.next() {
-        Some((Token::Word(w), line)) => {
-            let id = by_name.get(&w).ok_or_else(|| ParseInstanceError {
-                line,
-                message: format!("unknown module `{w}`"),
-            })?;
+        Some((Token::Word(w), pos)) => {
+            let id = by_name
+                .get(&w)
+                .ok_or_else(|| err_at(pos, format!("unknown module `{w}`")))?;
             Ok(tree.leaf(*id))
         }
         Some((Token::Open, _)) => {
-            let (op, op_line) = parser.expect_word("an operator (hsplit/vsplit/wheel)")?;
+            let (op, op_pos) = parser.expect_word("an operator (hsplit/vsplit/wheel)")?;
             match op.as_str() {
                 "hsplit" | "vsplit" => {
                     let dir = if op == "hsplit" {
@@ -307,23 +311,20 @@ fn parse_expr(
                     }
                     expect_close(parser)?;
                     if children.len() < 2 {
-                        return Err(ParseInstanceError {
-                            line: op_line,
-                            message: format!("{op} needs at least 2 children"),
-                        });
+                        return Err(err_at(op_pos, format!("{op} needs at least 2 children")));
                     }
                     Ok(tree.slice(dir, children))
                 }
                 "wheel" => {
-                    let (ch, ch_line) = parser.expect_word("a chirality (cw/ccw)")?;
+                    let (ch, ch_pos) = parser.expect_word("a chirality (cw/ccw)")?;
                     let chirality = match ch.as_str() {
                         "cw" => Chirality::Clockwise,
                         "ccw" => Chirality::Counterclockwise,
                         other => {
-                            return Err(ParseInstanceError {
-                                line: ch_line,
-                                message: format!("expected cw or ccw, found `{other}`"),
-                            })
+                            return Err(err_at(
+                                ch_pos,
+                                format!("expected cw or ccw, found `{other}`"),
+                            ))
                         }
                     };
                     let mut children = Vec::new();
@@ -331,58 +332,75 @@ fn parse_expr(
                         children.push(parse_expr(parser, by_name, tree, depth + 1)?);
                     }
                     expect_close(parser)?;
-                    let arr: [NodeId; 5] =
-                        children
-                            .try_into()
-                            .map_err(|c: Vec<NodeId>| ParseInstanceError {
-                                line: op_line,
-                                message: format!(
-                                    "wheel needs exactly 5 children, found {}",
-                                    c.len()
-                                ),
-                            })?;
+                    let arr: [NodeId; 5] = children.try_into().map_err(|c: Vec<NodeId>| {
+                        err_at(
+                            op_pos,
+                            format!("wheel needs exactly 5 children, found {}", c.len()),
+                        )
+                    })?;
                     Ok(tree.wheel(chirality, arr))
                 }
-                other => Err(ParseInstanceError {
-                    line: op_line,
-                    message: format!("unknown operator `{other}`"),
-                }),
+                other => Err(err_at(op_pos, format!("unknown operator `{other}`"))),
             }
         }
-        Some((Token::Close, line)) => Err(ParseInstanceError {
-            line,
-            message: "unexpected `)`".to_owned(),
-        }),
-        None => Err(ParseInstanceError {
-            line: 0,
-            message: "unexpected end of input in expression".to_owned(),
-        }),
+        Some((Token::Close, pos)) => Err(err_at(pos, "unexpected `)`".to_owned())),
+        None => Err(err_at(
+            NO_POS,
+            "unexpected end of input in expression".to_owned(),
+        )),
     }
 }
 
 fn expect_close(parser: &mut Parser) -> Result<(), ParseInstanceError> {
     match parser.next() {
         Some((Token::Close, _)) => Ok(()),
-        Some((other, line)) => Err(ParseInstanceError {
-            line,
-            message: format!("expected `)`, found {other:?}"),
-        }),
-        None => Err(ParseInstanceError {
-            line: 0,
-            message: "expected `)`".to_owned(),
-        }),
+        Some((other, pos)) => Err(err_at(pos, format!("expected `)`, found {other:?}"))),
+        None => Err(err_at(NO_POS, "expected `)`".to_owned())),
     }
 }
+
+/// Errors reported by [`write_instance`] for instances whose tree and
+/// library disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteInstanceError {
+    /// A leaf references a module that the library does not contain.
+    MissingModule {
+        /// The offending tree node.
+        node: NodeId,
+        /// The module id it references.
+        module: usize,
+    },
+    /// A node id is out of range for the tree.
+    InvalidNode {
+        /// The offending node id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for WriteInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteInstanceError::MissingModule { node, module } => write!(
+                f,
+                "tree node {node} references module {module}, which is missing from the library"
+            ),
+            WriteInstanceError::InvalidNode { node } => {
+                write!(f, "tree node {node} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteInstanceError {}
 
 /// Serializes an instance back to its text form (round-trips through
 /// [`parse_instance`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the tree references modules missing from the library (call
-/// [`FloorplanTree::validate`] and check the library first).
-#[must_use]
-pub fn write_instance(instance: &FloorplanInstance) -> String {
+/// [`WriteInstanceError`] when the tree references nodes or modules that
+/// do not exist — the instance cannot be represented faithfully.
+pub fn write_instance(instance: &FloorplanInstance) -> Result<String, WriteInstanceError> {
     let mut out = String::new();
     out.push_str(&format!("floorplan {}\n", instance.name));
     for module in instance.library.iter() {
@@ -394,17 +412,30 @@ pub fn write_instance(instance: &FloorplanInstance) -> String {
     }
     out.push_str("tree ");
     if !instance.tree.is_empty() {
-        write_expr(instance, instance.tree.root(), &mut out);
+        write_expr(instance, instance.tree.root(), &mut out)?;
     }
     out.push('\n');
-    out
+    Ok(out)
 }
 
-fn write_expr(instance: &FloorplanInstance, id: NodeId, out: &mut String) {
-    let node = instance.tree.node(id).expect("valid tree");
+fn write_expr(
+    instance: &FloorplanInstance,
+    id: NodeId,
+    out: &mut String,
+) -> Result<(), WriteInstanceError> {
+    let node = instance
+        .tree
+        .node(id)
+        .ok_or(WriteInstanceError::InvalidNode { node: id })?;
     match &node.kind {
         NodeKind::Leaf(m) => {
-            let module = instance.library.get(*m).expect("library covers the tree");
+            let module = instance
+                .library
+                .get(*m)
+                .ok_or(WriteInstanceError::MissingModule {
+                    node: id,
+                    module: *m,
+                })?;
             out.push_str(module.name());
         }
         NodeKind::Slice(dir) => {
@@ -414,7 +445,7 @@ fn write_expr(instance: &FloorplanInstance, id: NodeId, out: &mut String) {
             });
             for &c in &node.children {
                 out.push(' ');
-                write_expr(instance, c, out);
+                write_expr(instance, c, out)?;
             }
             out.push(')');
         }
@@ -425,11 +456,12 @@ fn write_expr(instance: &FloorplanInstance, id: NodeId, out: &mut String) {
             });
             for &c in &node.children {
                 out.push(' ');
-                write_expr(instance, c, out);
+                write_expr(instance, c, out)?;
             }
             out.push(')');
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -478,13 +510,13 @@ tree (wheel cw a a a a e)
             "module a 1x1\nmodule b 2x2\ntree (vsplit a b a)\n",
         ] {
             let inst = parse_instance(text).expect("parses");
-            let written = write_instance(&inst);
+            let written = write_instance(&inst).expect("writable");
             let reparsed = parse_instance(&written).expect("round-trips");
             assert_eq!(inst.name, reparsed.name);
             assert_eq!(inst.library, reparsed.library);
             assert_eq!(inst.tree.module_count(), reparsed.tree.module_count());
             // Second write is a fixpoint.
-            assert_eq!(written, write_instance(&reparsed));
+            assert_eq!(written, write_instance(&reparsed).expect("writable"));
         }
     }
 
@@ -638,9 +670,42 @@ tree (wheel cw a a a a e)
             tree: bench.tree,
             library,
         };
-        let text = write_instance(&inst);
+        let text = write_instance(&inst).expect("writable");
         let reparsed = parse_instance(&text).expect("round-trips");
         assert_eq!(reparsed.tree.module_count(), 25);
         assert_eq!(reparsed.library.len(), 25);
+    }
+
+    #[test]
+    fn error_reporting_columns() {
+        // The offending token's column, not just its line.
+        let err = parse_instance("module m 3xx4\ntree m\n").expect_err("bad size");
+        assert_eq!((err.line, err.col), (1, 10));
+        let err = parse_instance("module m 1x1\ntree nope\n").expect_err("unknown module");
+        assert_eq!((err.line, err.col), (2, 6));
+        let err = parse_instance("module m 1x1\nmodule m 2x2\ntree m\n").expect_err("dup");
+        assert_eq!((err.line, err.col), (2, 8));
+        // Structural errors carry no column.
+        let err = parse_instance("module m 1x1\n").expect_err("missing tree");
+        assert_eq!((err.line, err.col), (0, 0));
+        assert!(err.to_string().contains("end of input"));
+        // Display mentions both coordinates when known.
+        let err = parse_instance("module m 0x4\ntree m\n").expect_err("zero dim");
+        assert!(err.to_string().contains("line 1, column 10"), "{err}");
+    }
+
+    #[test]
+    fn write_instance_reports_missing_modules() {
+        let mut tree = FloorplanTree::new();
+        tree.leaf(7); // no module 7 in the (empty) library
+        let inst = FloorplanInstance {
+            name: "broken".into(),
+            tree,
+            library: ModuleLibrary::new(),
+        };
+        match write_instance(&inst) {
+            Err(WriteInstanceError::MissingModule { node: _, module }) => assert_eq!(module, 7),
+            other => panic!("expected MissingModule, got {other:?}"),
+        }
     }
 }

@@ -3,8 +3,8 @@
 use core::fmt;
 
 use fp_geom::{Coord, Rect};
-use fp_shape::RList;
 use fp_prng::StdRng;
+use fp_shape::RList;
 
 /// Identifier of a module within a [`ModuleLibrary`].
 pub type ModuleId = usize;

@@ -12,9 +12,12 @@
 //! 1. the plain optimal algorithm exhausts the budget and dies;
 //! 2. `R_Selection` alone cuts the peak but may still overflow;
 //! 3. `R_Selection` + `L_Selection` completes within budget, with a final
-//!    area within a few percent of the (budget-free) optimum.
+//!    area within a few percent of the (budget-free) optimum;
+//! 4. the *rescue ladder* reaches the same end automatically: the plain
+//!    run trips, the engine tightens the policies itself and retries,
+//!    reporting every degradation it applied.
 
-use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_optimizer::{optimize, optimize_report, OptError, OptimizeConfig};
 use fp_select::LReductionPolicy;
 use fp_tree::generators;
 
@@ -85,6 +88,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(layout.validate(), None);
     println!(
         "\nrescued layout verified: {} modules placed without overlap",
+        layout.placed.len()
+    );
+
+    // Act 4: no hand-tuned policies at all — the rescue ladder degrades
+    // the failing run by itself and reports what it gave up.
+    println!("\nsame budget, no policies, --auto-rescue style:");
+    let auto = OptimizeConfig::default()
+        .with_memory_limit(Some(budget))
+        .with_auto_rescue(true);
+    let report = optimize_report(&bench.tree, &library, &auto)?;
+    for event in report.degradations() {
+        println!("  rescue: {event}");
+    }
+    let rescued = &report.outcome;
+    println!(
+        "  auto-rescued: area {} (+{:.2}% vs optimum, peak {})",
+        rescued.area,
+        excess(rescued.area, optimum.area),
+        rescued.stats.peak_impls
+    );
+    let layout = fp_tree::layout::realize(&bench.tree, &library, &rescued.assignment)?;
+    assert_eq!(layout.validate(), None);
+    println!(
+        "  auto-rescued layout verified: {} modules placed without overlap",
         layout.placed.len()
     );
     Ok(())

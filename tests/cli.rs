@@ -95,10 +95,69 @@ fn oom_suggests_selection() {
         .args(["@fp1", "--n", "12", "--memory", "300"])
         .output()
         .expect("runs");
-    assert!(!out.status.success());
+    // Budget exhaustion has a stable, documented exit code.
+    assert_eq!(out.status.code(), Some(4));
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("out of memory"));
     assert!(text.contains("--k1/--k2"));
+    assert!(text.contains("--auto-rescue"));
+}
+
+#[test]
+fn oom_with_auto_rescue_completes_and_reports() {
+    // The acceptance scenario: the same budget that kills the plain run
+    // completes under --auto-rescue, with the degradation log on stderr.
+    let out = fpopt()
+        .args(["@fp1", "--n", "12", "--memory", "2000", "--auto-rescue"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rescue:"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimal area"));
+    assert!(stdout.contains("verified layout"));
+}
+
+#[test]
+fn injected_fault_exit_codes() {
+    // Deterministic fault injection: without rescue the run dies with the
+    // budget/fault exit code; with --auto-rescue it completes.
+    let fail = fpopt()
+        .args(["@fp3", "--n", "3", "--inject-fault", "200"])
+        .output()
+        .expect("runs");
+    assert_eq!(fail.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("injected fault"));
+
+    let rescued = fpopt()
+        .args(["@fp3", "--n", "3", "--inject-fault", "200", "--auto-rescue"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        rescued.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&rescued.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&rescued.stderr);
+    assert!(stderr.contains("rescue:"), "{stderr}");
+    assert!(String::from_utf8_lossy(&rescued.stdout).contains("verified layout"));
+}
+
+#[test]
+fn zero_deadline_exit_code() {
+    let out = fpopt()
+        .args(["@fp1", "--n", "4", "--deadline", "0"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(5));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
 }
 
 #[test]
@@ -112,7 +171,7 @@ fn outline_and_objective_flags() {
         .args(["@fig1", "--n", "4", "--outline", "2x2"])
         .output()
         .expect("runs");
-    assert!(!fail.status.success());
+    assert_eq!(fail.status.code(), Some(6));
     assert!(String::from_utf8_lossy(&fail.stderr).contains("outline"));
     let bad = fpopt()
         .args(["@fig1", "--outline", "nonsense"])
@@ -220,6 +279,51 @@ fn fpcompress_error_budget_zero_is_lossless() {
     // Output on stdout parses back.
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("floorplan soc-demo"));
+}
+
+#[test]
+fn fpcompress_max_impls_cap() {
+    // Four dense 8-point shape curves: 32 implementations in total.
+    let dir = std::env::temp_dir().join("fpcompress-cap-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let input = dir.join("dense.fpt");
+    let curve = "1x8 2x7 3x6 4x5 5x4 6x3 7x2 8x1";
+    let text = format!(
+        "floorplan dense\nmodule a {curve}\nmodule b {curve}\nmodule c {curve}\n\
+         module d {curve}\ntree (hsplit (vsplit a b) (vsplit c d))\n"
+    );
+    std::fs::write(&input, text).expect("write input");
+    let input = input.to_str().expect("utf8");
+
+    // A cap below the compressed size: hard error without rescue...
+    let fail = Command::new(env!("CARGO_BIN_EXE_fpcompress"))
+        .args([input, "--k", "8", "--max-impls", "12"])
+        .output()
+        .expect("runs");
+    assert_eq!(fail.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("--auto-rescue"));
+    // ...and a degraded-but-fitting output with it (8 -> 4 -> 2 per module).
+    let rescued = Command::new(env!("CARGO_BIN_EXE_fpcompress"))
+        .args([input, "--k", "8", "--max-impls", "12", "--auto-rescue"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        rescued.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&rescued.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&rescued.stderr);
+    assert!(stderr.contains("rescue:"), "{stderr}");
+    // The rescued output still parses and respects the cap.
+    let out_text = String::from_utf8_lossy(&rescued.stdout).to_string();
+    let impls: usize = out_text
+        .lines()
+        .filter(|l| l.starts_with("module "))
+        .map(|l| l.split_whitespace().skip(2).count())
+        .sum();
+    assert!(impls <= 12, "{impls} implementations over the cap");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

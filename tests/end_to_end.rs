@@ -188,4 +188,3 @@ fn deep_slicing_chain_is_supported() {
     assert_eq!(layout.placed.len(), depth);
     assert_eq!(layout.area(), out.area);
 }
-

@@ -1,0 +1,84 @@
+//! Malformed-input corpus for the `.fpt` parser.
+//!
+//! Each fixture under `tests/fixtures/malformed/` captures a distinct way
+//! real inputs go wrong (truncation, arity violations, duplicate names,
+//! degenerate sizes). The parser must reject every one with a precise
+//! line/column diagnostic — and the `fpopt` CLI must map them all to the
+//! documented "bad input" exit code 3.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use fp_tree::format::parse_instance;
+
+fn fixture(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/optimizer; fixtures live at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/fixtures/malformed/{name}"))
+}
+
+fn load(name: &str) -> String {
+    let path = fixture(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// `(fixture, expected line, expected column, message fragment)`.
+/// Line 0 marks an end-of-input error; column 0 a line-only diagnostic.
+const CORPUS: &[(&str, usize, usize, &str)] = &[
+    ("truncated.fpt", 0, 0, "expected `)`"),
+    (
+        "bad_wheel_arity.fpt",
+        5,
+        7,
+        "wheel needs exactly 5 children",
+    ),
+    ("duplicate_module.fpt", 4, 8, "duplicate module `cpu`"),
+    ("zero_dimension.fpt", 3, 12, "zero dimension in `4x0`"),
+];
+
+#[test]
+fn malformed_corpus_is_rejected_with_positions() {
+    for &(name, line, col, needle) in CORPUS {
+        let err = parse_instance(&load(name)).expect_err(name);
+        assert_eq!((err.line, err.col), (line, col), "{name}: {err}");
+        assert!(err.message.contains(needle), "{name}: {err}");
+        // The rendered form carries the position for line-anchored errors.
+        if line > 0 {
+            assert!(err.to_string().contains(&format!("line {line}")), "{err}");
+        } else {
+            assert!(err.to_string().contains("end of input"), "{err}");
+        }
+    }
+}
+
+#[test]
+fn fpopt_exits_3_on_every_malformed_fixture() {
+    for &(name, ..) in CORPUS {
+        let out = Command::new(env!("CARGO_BIN_EXE_fpopt"))
+            .arg(fixture(name))
+            .output()
+            .expect("fpopt runs");
+        assert_eq!(out.status.code(), Some(3), "{name}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("parse error"), "{name}: {stderr}");
+    }
+}
+
+#[test]
+fn fixing_the_fixture_makes_it_parse() {
+    // Sanity check on the corpus itself: each failure is the *intended*
+    // defect, not an unrelated typo — repairing the marked flaw yields a
+    // valid instance.
+    type Repair = (&'static str, fn(&str) -> String);
+    let repaired: &[Repair] = &[
+        ("truncated.fpt", |t| format!("{t} ram))\n")),
+        ("bad_wheel_arity.fpt", |t| t.replace("a a a e", "a a a a e")),
+        ("duplicate_module.fpt", |t| {
+            t.replace("module cpu 3x4", "module gpu 3x4")
+        }),
+        ("zero_dimension.fpt", |t| t.replace("4x0", "4x1")),
+    ];
+    for (name, fix) in repaired {
+        let text = fix(&load(name));
+        assert!(parse_instance(&text).is_ok(), "{name} repair failed");
+    }
+}

@@ -162,7 +162,9 @@ fn oom_reports_peak() {
     let budget = unbounded.stats.peak_impls / 2;
     let cfg = OptimizeConfig::default().with_memory_limit(Some(budget));
     match optimize(&bench.tree, &lib, &cfg) {
-        Err(OptError::OutOfMemory { live, limit, peak }) => {
+        Err(OptError::OutOfMemory {
+            live, limit, peak, ..
+        }) => {
             assert_eq!(limit, budget);
             assert!(live > limit);
             assert!(peak >= live);

@@ -1,0 +1,88 @@
+//! Lint gate: no panicking constructs on library code paths.
+//!
+//! The optimizer's contract is that every failure on a library path is a
+//! typed [`fp_optimizer::OptError`] (or a parser/writer error in
+//! `fp_tree::format`) — panics are reserved for binaries and tests. This
+//! test enforces the contract textually: it scans the non-binary sources
+//! of `fp-optimizer` and `fp-tree`'s format module and rejects
+//! `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(`, `todo!(`, and
+//! `unimplemented!(` outside comments and `#[cfg(test)]` modules.
+//! (`assert!`/`debug_assert!` stay allowed: they express documented
+//! preconditions and checked invariants, not error handling.)
+
+use std::path::{Path, PathBuf};
+
+const FORBIDDEN: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Strips everything from the first `#[cfg(test)]` on — test modules sit
+/// at the bottom of every file in this workspace.
+fn library_portion(source: &str) -> &str {
+    match source.find("#[cfg(test)]") {
+        Some(idx) => &source[..idx],
+        None => source,
+    }
+}
+
+fn scan_file(path: &Path, violations: &mut Vec<String>) {
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    for (idx, line) in library_portion(&source).lines().enumerate() {
+        let code = line.trim_start();
+        // Comment lines (incl. doc examples) are not library code paths.
+        if code.starts_with("//") {
+            continue;
+        }
+        for pat in FORBIDDEN {
+            if code.contains(pat) {
+                violations.push(format!(
+                    "{}:{}: `{pat}` in: {code}",
+                    path.display(),
+                    idx + 1
+                ));
+            }
+        }
+    }
+}
+
+fn scan_dir(dir: &Path, skip_bins: bool, violations: &mut Vec<String>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            if skip_bins && path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            scan_dir(&path, skip_bins, violations);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            scan_file(&path, violations);
+        }
+    }
+}
+
+#[test]
+fn library_paths_are_panic_free() {
+    // CARGO_MANIFEST_DIR is crates/optimizer (the [[test]] target's crate).
+    let optimizer_src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let format_rs = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../tree/src/format.rs")
+        .canonicalize()
+        .expect("fp-tree format.rs exists");
+
+    let mut violations = Vec::new();
+    scan_dir(&optimizer_src, true, &mut violations);
+    scan_file(&format_rs, &mut violations);
+
+    assert!(
+        violations.is_empty(),
+        "panicking constructs on library paths:\n{}",
+        violations.join("\n")
+    );
+}

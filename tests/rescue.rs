@@ -1,0 +1,253 @@
+//! End-to-end tests of the fault-tolerant optimizer engine: the resource
+//! governor's trip surfaces (budget, fault injection, deadline,
+//! cancellation) and the degrade-and-retry rescue ladder.
+//!
+//! The central scenario mirrors the paper's SPARCstation memory failures:
+//! a plain run whose peak implementation count `M` exceeds the budget
+//! trips mid-block; with `auto_rescue` the engine checkpoints committed
+//! subtrees, tightens the selection policies, and completes with a
+//! realizable (near-optimal) floorplan plus a structured degradation log.
+
+use std::time::Duration;
+
+use fp_optimizer::{
+    optimize, optimize_report, CancelToken, FaultPlan, OptError, OptimizeConfig, RescueReason,
+};
+use fp_tree::generators;
+use fp_tree::layout::realize;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+use proptest::prelude::*;
+
+/// A budget three quarters of the plain run's peak: tight enough to trip
+/// mid-enumeration, loose enough that tightened selection can fit.
+fn tight_budget(tree: &FloorplanTree, library: &ModuleLibrary) -> (usize, u128) {
+    let plain = optimize(tree, library, &OptimizeConfig::default()).expect("plain run solves");
+    (plain.stats.peak_impls * 3 / 4, plain.area)
+}
+
+#[test]
+fn budget_trip_is_rescued_end_to_end() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let (budget, plain_area) = tight_budget(&bench.tree, &lib);
+
+    let config = OptimizeConfig::default()
+        .with_memory_limit(Some(budget))
+        .with_auto_rescue(true);
+    let report = optimize_report(&bench.tree, &lib, &config).expect("rescue completes the run");
+
+    assert!(report.rescued);
+    assert!(!report.degradations().is_empty());
+    assert!(matches!(
+        report.degradations()[0].reason,
+        RescueReason::Budget { limit, .. } if limit == budget
+    ));
+    assert_eq!(
+        report.outcome.stats.rescue_attempts as usize,
+        report.degradations().len()
+    );
+
+    // The rescued result is a real floorplan: it realizes and validates.
+    let layout =
+        realize(&bench.tree, &lib, &report.outcome.assignment).expect("assignment realizes");
+    assert_eq!(layout.validate(), None);
+    assert_eq!(layout.area(), report.outcome.area);
+    // Selection is lossy: never better than the exact optimum.
+    assert!(report.outcome.area >= plain_area);
+}
+
+#[test]
+fn without_rescue_the_same_trip_is_a_typed_error() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let (budget, _) = tight_budget(&bench.tree, &lib);
+
+    let config = OptimizeConfig::default().with_memory_limit(Some(budget));
+    match optimize_report(&bench.tree, &lib, &config) {
+        Err(OptError::OutOfMemory { live, limit, .. }) => {
+            assert_eq!(limit, budget);
+            assert!(live > limit);
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+}
+
+#[test]
+fn degradation_schedule_tightens_monotonically() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let (budget, _) = tight_budget(&bench.tree, &lib);
+
+    let config = OptimizeConfig::default()
+        .with_memory_limit(Some(budget))
+        .with_auto_rescue(true);
+    let report = optimize_report(&bench.tree, &lib, &config).expect("rescues");
+    let events = report.degradations();
+    assert!(!events.is_empty());
+
+    for (i, pair) in events.windows(2).enumerate() {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert_eq!(b.attempt, a.attempt + 1, "attempts number consecutively");
+        // K₁/K₂ never grow, θ never shrinks, the prefilter never turns
+        // back off: the ladder only tightens.
+        if let (Some(ka), Some(kb)) = (a.k1, b.k1) {
+            assert!(kb <= ka, "step {i}: K1 grew {ka} -> {kb}");
+        }
+        if let (Some(ka), Some(kb)) = (a.k2, b.k2) {
+            assert!(kb <= ka, "step {i}: K2 grew {ka} -> {kb}");
+        }
+        assert!(a.k1.is_none() || b.k1.is_some(), "step {i}: K1 turned off");
+        assert!(a.k2.is_none() || b.k2.is_some(), "step {i}: K2 turned off");
+        assert!(
+            b.theta_millis >= a.theta_millis,
+            "step {i}: theta shrank {} -> {}",
+            a.theta_millis,
+            b.theta_millis
+        );
+        assert!(
+            a.prefilter.is_none() || b.prefilter.is_some(),
+            "step {i}: prefilter turned off"
+        );
+        // Every event renders a human-readable report line.
+        assert!(format!("{a}").contains("attempt"));
+    }
+}
+
+#[test]
+fn rescue_report_is_deterministic() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let (budget, _) = tight_budget(&bench.tree, &lib);
+
+    let config = OptimizeConfig::default()
+        .with_memory_limit(Some(budget))
+        .with_auto_rescue(true);
+    let first = optimize_report(&bench.tree, &lib, &config).expect("rescues");
+    let second = optimize_report(&bench.tree, &lib, &config).expect("rescues");
+    assert_eq!(first.degradations(), second.degradations());
+    assert_eq!(first.outcome.area, second.outcome.area);
+    assert_eq!(first.outcome.assignment, second.outcome.assignment);
+}
+
+#[test]
+fn injected_fault_is_an_error_without_rescue() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("solves");
+    let trip_at = plain.stats.generated / 2;
+    assert!(trip_at > 0);
+
+    let config =
+        OptimizeConfig::default().with_fault_plan(Some(FaultPlan::at_allocations(&[trip_at])));
+    match optimize(&bench.tree, &lib, &config) {
+        Err(OptError::FaultInjected { allocation, .. }) => assert!(allocation >= trip_at),
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_fault_is_rescued_with_auto_rescue() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("solves");
+    let trip_at = plain.stats.generated / 2;
+
+    let config = OptimizeConfig::default()
+        .with_fault_plan(Some(FaultPlan::at_allocations(&[trip_at])))
+        .with_auto_rescue(true);
+    let report = optimize_report(&bench.tree, &lib, &config).expect("rescued");
+    assert!(report.rescued);
+    assert!(report
+        .degradations()
+        .iter()
+        .any(|e| matches!(e.reason, RescueReason::Fault { .. })));
+    let layout =
+        realize(&bench.tree, &lib, &report.outcome.assignment).expect("assignment realizes");
+    assert_eq!(layout.validate(), None);
+}
+
+#[test]
+fn seeded_fault_plans_reproduce() {
+    let a = FaultPlan::from_seed(42, 3, 10_000);
+    let b = FaultPlan::from_seed(42, 3, 10_000);
+    assert_eq!(a.points(), b.points());
+    assert_eq!(a.points().len(), 3);
+    let c = FaultPlan::from_seed(43, 3, 10_000);
+    assert_ne!(a.points(), c.points());
+
+    // A seeded plan drives the engine to the same degradation log twice.
+    let bench = generators::fig1();
+    let lib = generators::module_library(&bench.tree, 4, 1);
+    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("solves");
+    let plan = FaultPlan::from_seed(7, 1, plain.stats.generated.max(2));
+    let config = OptimizeConfig::default()
+        .with_fault_plan(Some(plan))
+        .with_auto_rescue(true);
+    let first = optimize_report(&bench.tree, &lib, &config).expect("rescued");
+    let second = optimize_report(&bench.tree, &lib, &config).expect("rescued");
+    assert_eq!(first.degradations(), second.degradations());
+}
+
+#[test]
+fn zero_deadline_trips_and_is_not_rescuable() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    // auto_rescue on: deadlines must still be terminal (retrying cannot
+    // buy back wall-clock time).
+    let config = OptimizeConfig::default()
+        .with_deadline(Some(Duration::ZERO))
+        .with_auto_rescue(true);
+    match optimize(&bench.tree, &lib, &config) {
+        Err(OptError::DeadlineExceeded { deadline, .. }) => {
+            assert_eq!(deadline, Duration::ZERO);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancelled_token_aborts_the_run() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let token = CancelToken::new();
+    token.cancel();
+    let config = OptimizeConfig::default()
+        .with_cancel(Some(token))
+        .with_auto_rescue(true);
+    match optimize(&bench.tree, &lib, &config) {
+        Err(OptError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Rescued runs on random floorplans either complete with a
+    /// realizable, validated floorplan or fail with a typed error —
+    /// never a panic, never an unrealizable assignment.
+    #[test]
+    fn rescued_runs_yield_realizable_floorplans(
+        tree_seed in 0u64..40, lib_seed in 0u64..10, leaves in 4usize..12,
+    ) {
+        let bench = generators::random_floorplan(leaves, 0.6, tree_seed);
+        let lib = generators::module_library(&bench.tree, 5, lib_seed);
+        let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default())
+            .expect("plain run solves");
+        let budget = (plain.stats.peak_impls * 2 / 3).max(1);
+        let config = OptimizeConfig::default()
+            .with_memory_limit(Some(budget))
+            .with_auto_rescue(true);
+        match optimize_report(&bench.tree, &lib, &config) {
+            Ok(report) => {
+                let layout = realize(&bench.tree, &lib, &report.outcome.assignment)
+                    .expect("assignment realizes");
+                prop_assert_eq!(layout.validate(), None);
+                prop_assert!(report.outcome.area >= plain.area);
+            }
+            // The ladder may hit its floor on tiny budgets; the failure
+            // must still be the documented budget error.
+            Err(OptError::OutOfMemory { limit, .. }) => prop_assert_eq!(limit, budget),
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+}
