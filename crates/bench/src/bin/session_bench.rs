@@ -1,0 +1,254 @@
+//! Session subsystem benchmark: cold vs warm vs incremental
+//! re-optimization over the paper's FP1–FP4 floorplans, emitted as
+//! machine-readable `BENCH_session.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin session_bench
+//! cargo run --release -p fp-bench --bin session_bench -- --out path.json
+//! ```
+//!
+//! Three timed phases per benchmark, all through one [`fp_session::Session`]:
+//!
+//! * **cold** — first optimization, every join built from scratch
+//!   (fresh session per repetition);
+//! * **warm** — identical re-optimization, every join reconstituted
+//!   from the content-addressed block cache;
+//! * **incremental** — re-optimization after `update_module` on one
+//!   leaf, rebuilding only the leaf's root-path joins.
+//!
+//! Timings are the best of [`REPS`] repetitions (monotonic clock); hit
+//! rates are exact counter readings, so the JSON doubles as a
+//! regression gate: `warm_speedup` must stay ≥ 5 on the largest
+//! benchmark and `incremental` misses must stay `O(depth)`.
+
+use std::time::Instant;
+
+use fp_geom::Rect;
+use fp_optimizer::OptimizeConfig;
+use fp_session::Session;
+use fp_tree::generators::{self, module_library};
+use fp_tree::{FloorplanTree, Module, ModuleLibrary};
+
+/// Repetitions per phase; the minimum is reported.
+const REPS: usize = 3;
+/// Block-cache budget per benchmark (comfortably holds FP4).
+const CACHE_BYTES: usize = 256 << 20;
+
+struct PhaseResult {
+    millis: f64,
+    hits: usize,
+    misses: usize,
+    area: u128,
+}
+
+struct BenchResult {
+    name: String,
+    n: usize,
+    modules: usize,
+    cold: PhaseResult,
+    warm: PhaseResult,
+    incremental: PhaseResult,
+}
+
+fn time_optimize(session: &mut Session) -> PhaseResult {
+    let start = Instant::now();
+    let report = session.optimize().expect("benchmark instance solves");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    PhaseResult {
+        millis,
+        hits: report.outcome.stats.cache_hits,
+        misses: report.outcome.stats.cache_misses,
+        area: report.outcome.area,
+    }
+}
+
+fn min_phase(a: PhaseResult, b: PhaseResult) -> PhaseResult {
+    assert_eq!(a.area, b.area, "repetitions must agree");
+    assert_eq!((a.hits, a.misses), (b.hits, b.misses));
+    if b.millis < a.millis {
+        b
+    } else {
+        a
+    }
+}
+
+/// The edited stand-in for module 0: a fresh three-point shape list.
+fn edited_module(library: &ModuleLibrary) -> Module {
+    let name = library.get(0).expect("module 0").name().to_owned();
+    Module::new(
+        name,
+        vec![Rect::new(3, 9), Rect::new(5, 6), Rect::new(9, 3)],
+    )
+}
+
+fn run_bench(name: &str, tree: &FloorplanTree, n: usize, config: &OptimizeConfig) -> BenchResult {
+    let library = module_library(tree, n, 7);
+
+    // Cold: a fresh session (empty cache) per repetition.
+    let mut cold: Option<PhaseResult> = None;
+    for _ in 0..REPS {
+        let mut session = Session::open(tree.clone(), library.clone(), config.clone(), CACHE_BYTES);
+        let phase = time_optimize(&mut session);
+        cold = Some(match cold {
+            None => phase,
+            Some(best) => min_phase(best, phase),
+        });
+    }
+    let cold = cold.expect("at least one repetition");
+
+    // Warm + incremental share one primed session.
+    let mut session = Session::open(tree.clone(), library.clone(), config.clone(), CACHE_BYTES);
+    let primed = time_optimize(&mut session);
+    assert_eq!(primed.area, cold.area, "priming run agrees with cold runs");
+    let mut warm: Option<PhaseResult> = None;
+    for _ in 0..REPS {
+        let phase = time_optimize(&mut session);
+        assert_eq!(phase.misses, 0, "warm repeats must be all hits");
+        warm = Some(match warm {
+            None => phase,
+            Some(best) => min_phase(best, phase),
+        });
+    }
+    let warm = warm.expect("at least one repetition");
+
+    // Incremental: a fresh primed session per repetition (a second run
+    // after the edit would find *both* library states warm in cache and
+    // measure nothing), then edit module 0 and time the re-optimization
+    // that rebuilds only its root-path joins.
+    let mut incremental: Option<PhaseResult> = None;
+    for _ in 0..REPS {
+        let mut session = Session::open(tree.clone(), library.clone(), config.clone(), CACHE_BYTES);
+        let primed = time_optimize(&mut session);
+        assert_eq!(primed.area, cold.area);
+        session
+            .update_module(0, edited_module(&library))
+            .expect("module 0 exists");
+        let phase = time_optimize(&mut session);
+        incremental = Some(match incremental {
+            None => phase,
+            Some(best) => min_phase(best, phase),
+        });
+    }
+    let incremental = incremental.expect("at least one repetition");
+
+    BenchResult {
+        name: name.to_owned(),
+        n,
+        modules: library.len(),
+        cold,
+        warm,
+        incremental,
+    }
+}
+
+fn hit_rate(p: &PhaseResult) -> f64 {
+    let total = p.hits + p.misses;
+    if total == 0 {
+        0.0
+    } else {
+        p.hits as f64 / total as f64
+    }
+}
+
+fn phase_json(label: &str, p: &PhaseResult) -> String {
+    format!(
+        "\"{label}\": {{\"millis\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"hit_rate\": {:.4}, \"area\": {}}}",
+        p.millis,
+        p.hits,
+        p.misses,
+        hit_rate(p),
+        p.area
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_session.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("session_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("session_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The paper's four floorplans, sized so FP4 (the largest) is a
+    // multi-hundred-millisecond cold run under the default policies.
+    let config = OptimizeConfig::default();
+    let cases = [
+        ("FP1", generators::fp1(), 8usize),
+        ("FP2", generators::fp2(), 8),
+        ("FP3", generators::fp3(), 8),
+        ("FP4", generators::fp4(), 8),
+    ];
+
+    let mut results = Vec::new();
+    for (name, bench, n) in &cases {
+        eprintln!("session_bench: running {name} (n = {n}) ...");
+        results.push(run_bench(name, &bench.tree, *n, &config));
+    }
+
+    let mut entries = Vec::new();
+    for r in &results {
+        assert_eq!(r.cold.area, r.warm.area, "{}: warm run must agree", r.name);
+        let speedup = r.cold.millis / r.warm.millis.max(1e-6);
+        let incr_speedup = r.cold.millis / r.incremental.millis.max(1e-6);
+        entries.push(format!(
+            "    {{\"bench\": \"{}\", \"n\": {}, \"modules\": {},\n     {},\n     {},\n     {},\n     \
+             \"warm_speedup\": {:.2}, \"incremental_speedup\": {:.2}}}",
+            r.name,
+            r.n,
+            r.modules,
+            phase_json("cold", &r.cold),
+            phase_json("warm", &r.warm),
+            phase_json("incremental", &r.incremental),
+            speedup,
+            incr_speedup,
+        ));
+        println!(
+            "{:>4}: cold {:>9.3} ms | warm {:>8.3} ms ({:>6.1}x, hit rate {:.0}%) | \
+             incremental {:>8.3} ms ({} of {} joins rebuilt)",
+            r.name,
+            r.cold.millis,
+            r.warm.millis,
+            speedup,
+            100.0 * hit_rate(&r.warm),
+            r.incremental.millis,
+            r.incremental.misses,
+            r.incremental.hits + r.incremental.misses,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"session-subsystem cold/warm/incremental\",\n  \
+         \"reps\": {REPS},\n  \"cache_bytes\": {CACHE_BYTES},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("session_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // The headline guarantee: on the largest floorplan a fully warm
+    // re-optimization is at least 5x faster than a cold one.
+    let largest = results.last().expect("cases are non-empty");
+    let speedup = largest.cold.millis / largest.warm.millis.max(1e-6);
+    if speedup < 5.0 {
+        eprintln!(
+            "session_bench: FAIL: warm speedup on {} is {speedup:.2}x (< 5x)",
+            largest.name
+        );
+        std::process::exit(1);
+    }
+}

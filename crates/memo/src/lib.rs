@@ -1,0 +1,417 @@
+//! Content-addressed memoization for sub-floorplan results.
+//!
+//! The paper's whole pitch is avoiding recomputation of sub-floorplan
+//! implementation lists; this crate provides the two pieces a persistent
+//! session layer needs to make that literal across *runs*:
+//!
+//! * [`Fingerprinter`] — a dependency-free 128-bit content hash (two
+//!   independently seeded FNV-1a lanes, each finished with a SplitMix64
+//!   avalanche) for building canonical subtree fingerprints. Not
+//!   cryptographic; collisions across 128 bits are negligible for the
+//!   non-adversarial content-addressing done here.
+//! * [`MemoCache`] — a byte-budgeted LRU map from fingerprints to cached
+//!   values, with hit/miss/eviction/rejection counters. The cache is
+//!   value-generic: the optimizer stores committed block lists, the
+//!   `fpcompress` CLI stores per-module selection results.
+//!
+//! The crate is deliberately free of workspace dependencies so that any
+//! layer (tree, optimizer, session, CLIs) can use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+
+/// A 128-bit content fingerprint.
+pub type Fingerprint = u128;
+
+/// FNV-1a offset basis (lane A) and prime.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Lane-B offset basis: an arbitrary odd constant far from lane A's.
+const FNV_OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a fast avalanche that decorrelates the two FNV
+/// lanes and spreads low-entropy inputs (small integers) over all bits.
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An incremental 128-bit content hasher.
+///
+/// ```
+/// use fp_memo::Fingerprinter;
+///
+/// let mut h = Fingerprinter::new();
+/// h.write_u64(42);
+/// h.write_str("wheel");
+/// let a = h.finish();
+/// assert_ne!(a, Fingerprinter::new().finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    a: u64,
+    b: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprinter {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` (little-endian) — e.g. a child [`Fingerprint`].
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` portably (as `u64`).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The 128-bit fingerprint of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        (u128::from(avalanche(self.a)) << 64) | u128::from(avalanche(self.b))
+    }
+}
+
+/// Byte cost of a cached value, used against the cache budget.
+pub trait Weigh {
+    /// Approximate heap + inline size of the value, in bytes.
+    fn weight_bytes(&self) -> usize;
+}
+
+/// Per-entry bookkeeping overhead charged on top of the value's own
+/// weight (map slot, recency queue slot, key).
+pub const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Values stored (including re-stores over an existing key).
+    pub insertions: u64,
+    /// Values rejected because they alone exceed the whole budget.
+    pub rejected: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    /// Recency stamp; matches at most one live queue slot.
+    stamp: u64,
+}
+
+/// A content-addressed LRU cache under a byte budget.
+///
+/// Recency is maintained lazily: every touch pushes a fresh
+/// `(key, stamp)` pair onto a queue and bumps the entry's stamp; eviction
+/// pops from the front, skipping pairs whose stamp is stale. Amortized
+/// O(1) per operation, no unsafe, no intrusive lists.
+///
+/// ```
+/// use fp_memo::{MemoCache, Weigh};
+///
+/// struct Blob(usize);
+/// impl Weigh for Blob {
+///     fn weight_bytes(&self) -> usize {
+///         self.0
+///     }
+/// }
+///
+/// let mut cache: MemoCache<Blob> = MemoCache::new(1 << 20);
+/// cache.insert(1, Blob(100));
+/// assert!(cache.get(&1).is_some());
+/// assert!(cache.get(&2).is_none());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+pub struct MemoCache<V> {
+    budget: usize,
+    bytes: usize,
+    clock: u64,
+    map: HashMap<Fingerprint, Entry<V>>,
+    recency: VecDeque<(Fingerprint, u64)>,
+    stats: CacheStats,
+}
+
+impl<V: Weigh> MemoCache<V> {
+    /// An empty cache that will hold at most `budget_bytes` of weighed
+    /// content (plus [`ENTRY_OVERHEAD_BYTES`] per entry).
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        MemoCache {
+            budget: budget_bytes,
+            bytes: 0,
+            clock: 0,
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently accounted against the budget.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `key` is live, without touching recency or counters.
+    #[must_use]
+    pub fn contains(&self, key: &Fingerprint) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&mut self, key: &Fingerprint) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = clock;
+                self.recency.push_back((*key, clock));
+                self.stats.hits += 1;
+                Some(&entry.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting least-recently-used entries
+    /// until the budget holds it. A value too large for the whole budget
+    /// is rejected (counted in [`CacheStats::rejected`]) — the cache never
+    /// empties itself for one oversized entry.
+    pub fn insert(&mut self, key: Fingerprint, value: V) {
+        let weight = value.weight_bytes().saturating_add(ENTRY_OVERHEAD_BYTES);
+        if weight > self.budget {
+            self.stats.rejected += 1;
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.weight;
+        }
+        while self.bytes + weight > self.budget {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        self.clock += 1;
+        self.bytes += weight;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                stamp: self.clock,
+            },
+        );
+        self.recency.push_back((key, self.clock));
+        self.stats.insertions += 1;
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.bytes = 0;
+    }
+
+    /// Evicts the least-recently-used entry; `false` when empty.
+    fn evict_one(&mut self) -> bool {
+        while let Some((key, stamp)) = self.recency.pop_front() {
+            let live = self.map.get(&key).is_some_and(|e| e.stamp == stamp);
+            if live {
+                if let Some(entry) = self.map.remove(&key) {
+                    self.bytes -= entry.weight;
+                    self.stats.evictions += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Blob(usize);
+    impl Weigh for Blob {
+        fn weight_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// An entry's total budget footprint.
+    fn w(payload: usize) -> usize {
+        payload + ENTRY_OVERHEAD_BYTES
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_input_sensitive() {
+        let fp = |f: &dyn Fn(&mut Fingerprinter)| {
+            let mut h = Fingerprinter::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_eq!(fp(&|h| h.write_u64(7)), fp(&|h| h.write_u64(7)));
+        assert_ne!(fp(&|h| h.write_u64(7)), fp(&|h| h.write_u64(8)));
+        assert_ne!(fp(&|h| h.write_str("ab")), fp(&|h| h.write_str("ba")));
+        // Length prefixing: ("a","bc") never collides with ("ab","c").
+        assert_ne!(
+            fp(&|h| {
+                h.write_str("a");
+                h.write_str("bc");
+            }),
+            fp(&|h| {
+                h.write_str("ab");
+                h.write_str("c");
+            })
+        );
+        // Order sensitivity of child fingerprints.
+        assert_ne!(
+            fp(&|h| {
+                h.write_u128(1);
+                h.write_u128(2);
+            }),
+            fp(&|h| {
+                h.write_u128(2);
+                h.write_u128(1);
+            })
+        );
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut c: MemoCache<Blob> = MemoCache::new(w(10) * 4);
+        c.insert(1, Blob(10));
+        assert_eq!(c.get(&1), Some(&Blob(10)));
+        assert_eq!(c.get(&2), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recent_first() {
+        // Room for exactly three entries.
+        let mut c: MemoCache<Blob> = MemoCache::new(3 * w(10));
+        c.insert(1, Blob(10));
+        c.insert(2, Blob(10));
+        c.insert(3, Blob(10));
+        // Touch 1 so 2 becomes the least recently used.
+        assert!(c.get(&1).is_some());
+        c.insert(4, Blob(10));
+        assert!(!c.contains(&2), "LRU entry 2 must be evicted first");
+        assert!(c.contains(&1) && c.contains(&3) && c.contains(&4));
+        c.insert(5, Blob(10));
+        assert!(!c.contains(&3), "then 3, the next least recent");
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_insert_replace_evict() {
+        let mut c: MemoCache<Blob> = MemoCache::new(10 * w(10));
+        c.insert(1, Blob(10));
+        assert_eq!(c.bytes(), w(10));
+        c.insert(1, Blob(20)); // replace: old weight released
+        assert_eq!(c.bytes(), w(20));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert_eq!(c.bytes(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_not_thrashing() {
+        let mut c: MemoCache<Blob> = MemoCache::new(w(10));
+        c.insert(1, Blob(10));
+        c.insert(2, Blob(1_000_000));
+        assert!(c.contains(&1), "oversized insert must not purge the cache");
+        assert!(!c.contains(&2));
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn eviction_respects_budget_for_larger_values() {
+        let mut c: MemoCache<Blob> = MemoCache::new(4 * w(10));
+        for k in 0..4 {
+            c.insert(k, Blob(10));
+        }
+        // A value weighing as much as three small ones evicts 0, 1, 2.
+        c.insert(9, Blob(3 * w(10) - ENTRY_OVERHEAD_BYTES));
+        assert!(c.contains(&9) && c.contains(&3));
+        assert!(!c.contains(&0) && !c.contains(&1) && !c.contains(&2));
+        assert!(c.bytes() <= c.budget_bytes());
+    }
+}

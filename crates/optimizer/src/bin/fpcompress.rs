@@ -15,8 +15,10 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use fp_memo::{Fingerprinter, MemoCache, Weigh};
 use fp_select::curve::r_selection_within;
 use fp_select::r_selection;
+use fp_tree::fingerprint::module_fingerprint;
 use fp_tree::format::{parse_instance, write_instance, FloorplanInstance};
 use fp_tree::{Module, ModuleLibrary};
 
@@ -32,6 +34,9 @@ usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [options]
   --auto-rescue      when --max-impls is exceeded, halve k (floor 2) until
                      the output fits
   --deadline <secs>  wall-clock deadline for the compression
+  --cache-bytes <n>  memoize per-module selections (content-addressed);
+                     libraries with repeated shape lists — and rescue
+                     retries — compress each distinct list once
   -o <out.fpt>       output path (default: stdout)
 
 exit codes:
@@ -49,31 +54,102 @@ struct Compressed {
     before: usize,
     after: usize,
     total_error: u128,
+    cache_reused: usize,
 }
 
-fn compress(instance: &FloorplanInstance, mode: Mode) -> Compressed {
+/// A memoized per-module selection: the surviving positions and the
+/// staircase error they incur. `None` positions means "selection
+/// declined, keep the module unchanged".
+#[derive(Clone)]
+struct CachedSelection {
+    positions: Option<Vec<usize>>,
+    error: u128,
+}
+
+impl Weigh for CachedSelection {
+    fn weight_bytes(&self) -> usize {
+        self.positions.as_ref().map_or(0, |p| p.len()) * core::mem::size_of::<usize>()
+            + core::mem::size_of::<u128>()
+    }
+}
+
+type SelectionCache = MemoCache<CachedSelection>;
+
+/// The content address of one module's selection problem: the module's
+/// implementation list (name-independent) plus the mode's parameters.
+fn selection_key(module: &Module, mode: Mode) -> u128 {
+    let mut h = Fingerprinter::new();
+    h.write_str("fpcompress/selection/v1");
+    h.write_u128(module_fingerprint(module));
+    match mode {
+        Mode::FixedK(k) => {
+            h.write_u64(1);
+            h.write_usize(k);
+        }
+        Mode::MaxError(e) => {
+            h.write_u64(2);
+            h.write_u128(e);
+        }
+    }
+    h.finish()
+}
+
+fn compress(
+    instance: &FloorplanInstance,
+    mode: Mode,
+    cache: &mut Option<SelectionCache>,
+) -> Compressed {
     let mut before = 0usize;
     let mut after = 0usize;
     let mut total_error: u128 = 0;
+    let mut cache_reused = 0usize;
     let library: ModuleLibrary = instance
         .library
         .iter()
         .map(|module| {
             let list = module.implementations();
             before += list.len();
-            let selection = match mode {
-                Mode::FixedK(k) => r_selection(list, k),
-                Mode::MaxError(e) => r_selection_within(list, e),
+            let key = cache.as_ref().map(|_| selection_key(module, mode));
+            let cached = match (cache.as_mut(), key) {
+                (Some(cache), Some(key)) => cache.get(&key).cloned(),
+                _ => None,
             };
-            match selection {
-                Ok(selection) => {
-                    after += selection.positions.len();
-                    total_error += selection.error;
-                    Module::new(module.name(), list.subset(&selection.positions).into_vec())
+            let selection = match cached {
+                Some(hit) => {
+                    cache_reused += 1;
+                    hit
                 }
-                // Parsed modules always have non-empty lists; keep the
-                // module unchanged if selection ever declines anyway.
-                Err(_) => {
+                None => {
+                    let fresh = match mode {
+                        Mode::FixedK(k) => r_selection(list, k),
+                        Mode::MaxError(e) => r_selection_within(list, e),
+                    };
+                    let fresh = match fresh {
+                        Ok(s) => CachedSelection {
+                            positions: Some(s.positions),
+                            error: s.error,
+                        },
+                        // Parsed modules always have non-empty lists;
+                        // keep the module unchanged if selection ever
+                        // declines anyway.
+                        Err(_) => CachedSelection {
+                            positions: None,
+                            error: 0,
+                        },
+                    };
+                    if let (Some(cache), Some(key)) = (cache.as_mut(), key) {
+                        cache.insert(key, fresh.clone());
+                    }
+                    fresh
+                }
+            };
+            total_error += selection.error;
+            match &selection.positions {
+                Some(positions) => {
+                    after += positions.len();
+                    Module::new(module.name(), list.subset(positions).into_vec())
+                }
+                None => {
                     after += list.len();
                     Module::new(module.name(), list.clone().into_vec())
                 }
@@ -85,6 +161,7 @@ fn compress(instance: &FloorplanInstance, mode: Mode) -> Compressed {
         before,
         after,
         total_error,
+        cache_reused,
     }
 }
 
@@ -94,6 +171,7 @@ fn main() -> ExitCode {
     let mut output: Option<String> = None;
     let mut mode: Option<Mode> = None;
     let mut max_impls: Option<usize> = None;
+    let mut cache_bytes: Option<usize> = None;
     let mut auto_rescue = false;
     let mut deadline: Option<Duration> = None;
     let mut it = argv.iter();
@@ -108,6 +186,19 @@ fn main() -> ExitCode {
                     Ok(n) => max_impls = Some(n),
                     Err(err) => {
                         eprintln!("fpcompress: --max-impls: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--cache-bytes" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --cache-bytes needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => cache_bytes = Some(n),
+                    Err(err) => {
+                        eprintln!("fpcompress: --cache-bytes: {err}");
                         return ExitCode::from(2);
                     }
                 }
@@ -190,8 +281,9 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut cache = cache_bytes.map(MemoCache::new);
     let mut mode = mode;
-    let mut result = compress(&instance, mode);
+    let mut result = compress(&instance, mode, &mut cache);
     // Degrade-and-retry: halve k until the output fits the cap.
     while let Some(cap) = max_impls {
         if result.after <= cap {
@@ -229,7 +321,7 @@ fn main() -> ExitCode {
             result.after
         );
         mode = Mode::FixedK(next_k);
-        result = compress(&instance, mode);
+        result = compress(&instance, mode, &mut cache);
     }
     if let Some(d) = deadline {
         if start.elapsed() > d {
@@ -266,5 +358,15 @@ fn main() -> ExitCode {
         compressed.library.len(),
         result.total_error
     );
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        eprintln!(
+            "fpcompress: cache: {} of {} selections reused this pass ({} hits, {} misses lifetime)",
+            result.cache_reused,
+            compressed.library.len(),
+            stats.hits,
+            stats.misses
+        );
+    }
     ExitCode::SUCCESS
 }

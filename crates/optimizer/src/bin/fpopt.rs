@@ -45,6 +45,13 @@ robustness options:
   --inject-fault <n[,n...]>
                      fail the n-th candidate allocation(s) (testing aid)
 
+session options:
+  --cache-bytes <n>  optimize through a content-addressed block cache
+                     with an <n>-byte budget (reports hit/miss counters)
+  --session <file>   replay a JSON-lines request file through the
+                     fpserved protocol, one response per line on stdout;
+                     no <design> argument is needed in this mode
+
 output options:
   --ascii            print the layout as ASCII art
   --svg <path>       write the layout as SVG
@@ -73,6 +80,8 @@ struct Args {
     inject_fault: Option<Vec<u64>>,
     outline: Option<fp_geom::Rect>,
     objective: fp_optimizer::Objective,
+    cache_bytes: Option<usize>,
+    session: Option<String>,
     ascii: bool,
     svg: Option<String>,
     dot: Option<String>,
@@ -95,6 +104,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         inject_fault: None,
         outline: None,
         objective: fp_optimizer::Objective::MinArea,
+        cache_bytes: None,
+        session: None,
         ascii: false,
         svg: None,
         dot: None,
@@ -165,6 +176,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown objective `{other}` (area, hp)")),
                 };
             }
+            "--cache-bytes" => {
+                args.cache_bytes = Some(
+                    value("--cache-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-bytes: {e}"))?,
+                );
+            }
+            "--session" => args.session = Some(value("--session")?),
             "--parallel" => args.parallel = true,
             "--ascii" => args.ascii = true,
             "--svg" => args.svg = Some(value("--svg")?),
@@ -180,7 +199,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     }
-    if args.input.is_empty() {
+    if args.input.is_empty() && args.session.is_none() {
         return Err("missing input".to_owned());
     }
     Ok(args)
@@ -229,18 +248,38 @@ fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
     }
 }
 
-/// The documented exit code for each optimizer error (see `USAGE`).
+/// The documented exit code for each optimizer error (see `USAGE`);
+/// shared with `fpserved`'s per-request statuses.
 fn exit_code_for(e: &OptError) -> u8 {
-    match e {
-        OptError::Tree(_)
-        | OptError::EmptyFloorplan
-        | OptError::MissingModule { .. }
-        | OptError::NoImplementations { .. } => 3,
-        OptError::OutOfMemory { .. } | OptError::FaultInjected { .. } => 4,
-        OptError::DeadlineExceeded { .. } | OptError::Cancelled { .. } => 5,
-        OptError::NoFeasibleOutline { .. } => 6,
-        OptError::Internal { .. } => 1,
+    fp_optimizer::serve::status_for(e)
+}
+
+/// Replays a JSON-lines request file through the `fpserved` protocol
+/// against a fresh session cache: one response per line on stdout. Later
+/// requests reuse blocks committed by earlier ones. The exit code is the
+/// highest per-request status seen, so scripted replays fail loudly.
+fn replay_session(path: &str, cache_bytes: Option<usize>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fpopt: cannot read {path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let state = fp_optimizer::serve::ServeState::new(cache_bytes.unwrap_or(64 << 20));
+    let mut worst = 0u8;
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = fp_optimizer::serve::handle_line(line, index as u64 + 1, &state, None);
+        println!("{}", reply.json);
+        worst = worst.max(reply.status);
+        if reply.shutdown {
+            break;
+        }
     }
+    ExitCode::from(worst)
 }
 
 fn main() -> ExitCode {
@@ -259,6 +298,10 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    if let Some(path) = &args.session {
+        return replay_session(path, args.cache_bytes);
+    }
 
     let instance = match load_instance(&args) {
         Ok(i) => i,
@@ -300,7 +343,13 @@ fn main() -> ExitCode {
         config = config.with_l_selection(policy);
     }
 
-    let report = match optimize_report(&instance.tree, &instance.library, &config) {
+    let cache = args.cache_bytes.map(fp_optimizer::shared_cache);
+    let report = match match &cache {
+        Some(cache) => {
+            fp_optimizer::optimize_report_cached(&instance.tree, &instance.library, &config, cache)
+        }
+        None => optimize_report(&instance.tree, &instance.library, &config),
+    } {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fpopt: {e}");
@@ -347,6 +396,13 @@ fn main() -> ExitCode {
         outcome.stats.l_reductions,
         outcome.stats.elapsed
     );
+    if let Some(cache) = &cache {
+        let cs = fp_optimizer::shared_cache_stats(cache);
+        println!(
+            "cache: {} hits, {} misses this run; {} insertions, {} evictions lifetime",
+            outcome.stats.cache_hits, outcome.stats.cache_misses, cs.insertions, cs.evictions
+        );
+    }
 
     if args.ascii {
         println!("\n{}", layout.to_ascii(72));

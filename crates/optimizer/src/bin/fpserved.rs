@@ -1,0 +1,373 @@
+//! `fpserved` — concurrent JSON-lines batch server for floorplan
+//! optimization.
+//!
+//! ```sh
+//! fpserved --workers 4 < requests.jsonl > responses.jsonl
+//! fpserved --tcp 127.0.0.1:7878 --cache-bytes 134217728
+//! ```
+//!
+//! One request per line, one response per line (see
+//! `fp_optimizer::serve` for the protocol). All requests — across
+//! stdin and every TCP connection — share one content-addressed block
+//! cache, so repeated or incrementally edited instances are optimized
+//! from warm subtrees. Responses may arrive out of request order; they
+//! carry the echoed `id` and the request's `line` for correlation.
+//!
+//! Per-request `deadline_ms` is enforced twice: the optimizer's
+//! governor checks the wall clock itself, and a watchdog thread
+//! additionally fires the request's `CancelToken` so even a stage that
+//! misses a poll window is interrupted. Either way the response status
+//! is 5 and the server keeps running.
+//!
+//! A `{"method": "shutdown"}` request (or stdin EOF) drains: no new
+//! work is accepted, in-flight requests finish and their responses are
+//! written, then the process exits 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fp_optimizer::serve::{error_reply, execute, parse_request, Method, Request, ServeState};
+use fp_optimizer::CancelToken;
+
+const USAGE: &str = "\
+usage: fpserved [options]
+
+  --tcp <addr>         serve JSON-lines over TCP (e.g. 127.0.0.1:7878);
+                       without it, requests are read from stdin and
+                       responses written to stdout
+  --workers <n>        worker threads (default 4)
+  --cache-bytes <n>    block-cache byte budget (default 67108864)
+
+protocol: one JSON request per line; see the README's fpserved section.
+statuses reuse the fpopt exit-code contract:
+  0 success             4  budget exhausted / injected fault
+  1 internal error      5  deadline exceeded or cancelled
+  2 malformed request   6  no implementation fits the outline
+  3 bad instance
+";
+
+const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+struct Args {
+    tcp: Option<String>,
+    workers: usize,
+    cache_bytes: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        workers: 4,
+        cache_bytes: DEFAULT_CACHE_BYTES,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A pending request handed to the worker pool.
+struct Job {
+    line: String,
+    line_no: u64,
+    out: Arc<Mutex<dyn Write + Send>>,
+}
+
+/// Cancels registered tokens once their deadline passes. Entries are
+/// registered by workers before a run starts and swept by a single
+/// polling thread; passed entries are dropped, so the list stays small.
+#[derive(Clone, Default)]
+struct Watchdog {
+    entries: Arc<Mutex<Vec<(Instant, CancelToken)>>>,
+}
+
+impl Watchdog {
+    fn register(&self, deadline: Instant, token: CancelToken) {
+        if let Ok(mut entries) = self.entries.lock() {
+            entries.push((deadline, token));
+        }
+    }
+
+    fn spawn(&self, shutdown: Arc<AtomicBool>) {
+        let entries = Arc::clone(&self.entries);
+        std::thread::spawn(move || loop {
+            if shutdown.load(Ordering::Relaxed) {
+                // Drain mode: fire everything still registered so
+                // in-flight runs wind down promptly, then exit.
+                if let Ok(mut entries) = entries.lock() {
+                    for (_, token) in entries.drain(..) {
+                        token.cancel();
+                    }
+                }
+                return;
+            }
+            let now = Instant::now();
+            if let Ok(mut entries) = entries.lock() {
+                entries.retain(|(deadline, token)| {
+                    if *deadline <= now {
+                        token.cancel();
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        });
+    }
+}
+
+fn write_line(out: &Arc<Mutex<dyn Write + Send>>, line: &str) {
+    if let Ok(mut out) = out.lock() {
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+}
+
+fn run_job(job: &Job, state: &ServeState, watchdog: &Watchdog, shutdown: &AtomicBool) {
+    let reply = match parse_request(&job.line) {
+        Err(e) => error_reply(job.line_no, &e),
+        Ok(request) => {
+            let token = token_for(&request, watchdog);
+            execute(&request, job.line_no, state, Some(token))
+        }
+    };
+    write_line(&job.out, &reply.json);
+    if reply.shutdown {
+        shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A fresh per-request token; when the request carries `deadline_ms`
+/// the watchdog is armed to fire it.
+fn token_for(request: &Request, watchdog: &Watchdog) -> CancelToken {
+    let token = CancelToken::new();
+    if let Method::Optimize(req) = &request.method {
+        if let Some(ms) = req.deadline_ms {
+            watchdog.register(Instant::now() + Duration::from_millis(ms), token.clone());
+        }
+    }
+    token
+}
+
+fn serve_stdin(
+    state: Arc<ServeState>,
+    watchdog: Watchdog,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+) {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut pool = Vec::new();
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let watchdog = watchdog.clone();
+        let shutdown = Arc::clone(&shutdown);
+        pool.push(std::thread::spawn(move || loop {
+            let job = match rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => return,
+            };
+            match job {
+                Ok(job) => run_job(&job, &state, &watchdog, &shutdown),
+                Err(_) => return, // channel closed and drained
+            }
+        }));
+    }
+
+    let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
+    let stdin = std::io::stdin();
+    for (index, line) in stdin.lock().lines().enumerate() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let job = Job {
+            line,
+            line_no: index as u64 + 1,
+            out: Arc::clone(&out),
+        };
+        if tx.send(job).is_err() {
+            break;
+        }
+    }
+    // Graceful drain: close the queue, let every in-flight and queued
+    // request finish and flush its response, then stop the watchdog.
+    drop(tx);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    shutdown.store(true, Ordering::SeqCst);
+}
+
+fn serve_tcp(
+    addr: &str,
+    state: Arc<ServeState>,
+    watchdog: Watchdog,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+    if let Ok(local) = listener.local_addr() {
+        // Announced on stderr so test harnesses with `--tcp addr:0` can
+        // discover the bound port.
+        eprintln!("fpserved: listening on {local}");
+    }
+
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut pool = Vec::new();
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let watchdog = watchdog.clone();
+        let shutdown = Arc::clone(&shutdown);
+        pool.push(std::thread::spawn(move || loop {
+            let job = match rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => return,
+            };
+            match job {
+                Ok(job) => run_job(&job, &state, &watchdog, &shutdown),
+                Err(_) => return,
+            }
+        }));
+    }
+
+    let line_counter = Arc::new(AtomicU64::new(0));
+    let mut connections = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let line_counter = Arc::clone(&line_counter);
+                connections.push(std::thread::spawn(move || {
+                    // A short read timeout lets the reader notice a
+                    // drain request between lines.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                    let Ok(writer) = stream.try_clone() else {
+                        return;
+                    };
+                    let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(writer));
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    loop {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => return, // client closed
+                            Ok(_) => {
+                                if line.trim().is_empty() {
+                                    continue;
+                                }
+                                let job = Job {
+                                    line: line.trim_end_matches(['\n', '\r']).to_owned(),
+                                    line_no: line_counter.fetch_add(1, Ordering::SeqCst) + 1,
+                                    out: Arc::clone(&out),
+                                };
+                                if tx.send(job).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                continue
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Drain: stop accepting, wait for readers, close the queue, let the
+    // workers finish every queued request.
+    for conn in connections {
+        let _ = conn.join();
+    }
+    drop(tx);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("fpserved: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let state = Arc::new(ServeState::new(args.cache_bytes));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let watchdog = Watchdog::default();
+    watchdog.spawn(Arc::clone(&shutdown));
+
+    match &args.tcp {
+        Some(addr) => {
+            if let Err(msg) = serve_tcp(addr, state, watchdog, shutdown, args.workers) {
+                eprintln!("fpserved: {msg}");
+                return ExitCode::from(1);
+            }
+        }
+        None => serve_stdin(state, watchdog, shutdown, args.workers),
+    }
+    ExitCode::SUCCESS
+}

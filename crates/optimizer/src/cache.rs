@@ -1,0 +1,283 @@
+//! Content-addressed caching of committed blocks across runs.
+//!
+//! The paper avoids recomputing sub-floorplan implementation lists
+//! *within* one bottom-up pass; this module makes the same reuse work
+//! *across* passes. Every join block of the restructured tree gets a
+//! canonical 128-bit content address ([`fp_tree::fingerprint`]): the
+//! child fingerprints, the combining operation (cut type / wheel stage
+//! and arity), the module implementation lists at the leaves below, and
+//! the [`policy_fingerprint`] of the selection configuration in force.
+//! A [`BlockCache`] maps those addresses to the committed non-redundant
+//! list (and the selection [`DegradationEvent`]s recorded when it was
+//! built), so a re-optimization after a single-module edit rebuilds only
+//! the `O(depth)` blocks on the touched leaf's root path — every sibling
+//! subtree is reconstituted from cache.
+//!
+//! # Invalidation rules
+//!
+//! Content addressing makes invalidation implicit — nothing is ever
+//! *marked* stale; a changed input simply hashes to a new address:
+//!
+//! * editing a module's implementation list re-addresses its leaf and all
+//!   root-path ancestors (siblings keep their addresses → cache hits);
+//! * changing a selection policy (`K₁`, `K₂`, θ, `S`, metric) or the
+//!   global L-prune threshold changes the salt, re-addressing everything;
+//! * the memory budget, deadline, cancellation, fault plans, objective,
+//!   and fixed outline do **not** participate: they never change the
+//!   *content* of a cleanly committed block, only whether/when a run
+//!   trips or which root implementation is traced back;
+//! * the `--parallel` L-reduction flag does not participate either — the
+//!   parallel path is bit-equal to the serial one (enforced by the
+//!   `parallel_equivalence` property tests).
+//!
+//! Runs on which the rescue ladder fires stop consulting *and* stop
+//! populating the cache at the first trip: rescued blocks are built
+//! under policies that deviate from the salt, so memoizing them would
+//! let a later run observe degraded lists under a clean-policy address.
+
+use std::sync::Mutex;
+
+use fp_geom::{LShape, Rect};
+use fp_memo::{CacheStats, Fingerprint, Fingerprinter, MemoCache, Weigh};
+use fp_select::Metric;
+
+use crate::engine::{DegradationEvent, OptimizeConfig};
+
+/// The shape payload of a cached block, mirroring the engine's internal
+/// per-node storage: either a rectangular implementation list or an
+/// L-shaped list with its irreducible chain segmentation, each entry
+/// carrying the provenance pair that traces it to child implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedShapes {
+    /// A rectangular block (slice join or wheel stage 4).
+    Rect {
+        /// The non-redundant envelope list, width-descending.
+        rects: Vec<Rect>,
+        /// Child implementation indices per entry.
+        prov: Vec<(u32, u32)>,
+    },
+    /// An L-shaped block (wheel stages 1–3).
+    L {
+        /// The non-redundant L-implementations.
+        shapes: Vec<LShape>,
+        /// Child implementation indices per entry.
+        prov: Vec<(u32, u32)>,
+        /// Contiguous `(start, end)` irreducible chain segments.
+        chains: Vec<(u32, u32)>,
+    },
+}
+
+/// A committed block result: the non-redundant list plus the selection
+/// degradations recorded while building it (empty for blocks committed
+/// without any rescue, which is the only kind the engine memoizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedBlock {
+    /// The committed non-redundant list.
+    pub shapes: CachedShapes,
+    /// Selection [`DegradationEvent`]s replayed into a hitting run's
+    /// degradation log.
+    pub degradations: Vec<DegradationEvent>,
+}
+
+impl CachedBlock {
+    /// Number of implementations in the cached list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.shapes {
+            CachedShapes::Rect { rects, .. } => rects.len(),
+            CachedShapes::L { shapes, .. } => shapes.len(),
+        }
+    }
+
+    /// `true` when the cached list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Weigh for CachedBlock {
+    fn weight_bytes(&self) -> usize {
+        let payload = match &self.shapes {
+            CachedShapes::Rect { rects, prov } => {
+                rects.len() * core::mem::size_of::<Rect>()
+                    + prov.len() * core::mem::size_of::<(u32, u32)>()
+            }
+            CachedShapes::L {
+                shapes,
+                prov,
+                chains,
+            } => {
+                shapes.len() * core::mem::size_of::<LShape>()
+                    + (prov.len() + chains.len()) * core::mem::size_of::<(u32, u32)>()
+            }
+        };
+        payload + self.degradations.len() * core::mem::size_of::<DegradationEvent>()
+    }
+}
+
+/// The engine's per-block cache hooks: `lookup` may short-circuit a
+/// block's `build`/re-select entirely; `store` commits a cleanly built
+/// block for future runs. Implementations take `&self` so one cache can
+/// be shared by concurrently optimizing threads (the `fpserved` workers).
+pub trait BlockCache {
+    /// The cached block at `key`, if any (a hit must bump recency).
+    fn lookup(&self, key: Fingerprint) -> Option<CachedBlock>;
+    /// Stores a committed block under `key`.
+    fn store(&self, key: Fingerprint, value: CachedBlock);
+}
+
+/// The standard shared cache: a byte-budgeted LRU [`MemoCache`] behind a
+/// mutex, usable from one session or many server workers alike.
+pub type SharedBlockCache = Mutex<MemoCache<CachedBlock>>;
+
+/// A [`SharedBlockCache`] with the given byte budget.
+#[must_use]
+pub fn shared_cache(budget_bytes: usize) -> SharedBlockCache {
+    Mutex::new(MemoCache::new(budget_bytes))
+}
+
+/// Counter snapshot of a shared cache (zeros if the lock is poisoned).
+#[must_use]
+pub fn shared_cache_stats(cache: &SharedBlockCache) -> CacheStats {
+    cache.lock().map(|c| c.stats()).unwrap_or_default()
+}
+
+impl BlockCache for SharedBlockCache {
+    fn lookup(&self, key: Fingerprint) -> Option<CachedBlock> {
+        // A poisoned lock (a worker panicked mid-access) degrades to a
+        // cache miss rather than propagating the panic.
+        self.lock().ok()?.get(&key).cloned()
+    }
+
+    fn store(&self, key: Fingerprint, value: CachedBlock) {
+        if let Ok(mut cache) = self.lock() {
+            cache.insert(key, value);
+        }
+    }
+}
+
+/// The policy/limit fingerprint mixed into every block address as the
+/// salt: everything in an [`OptimizeConfig`] that can change the
+/// *content* of a cleanly committed block. See the module docs for what
+/// is deliberately excluded and why.
+#[must_use]
+pub fn policy_fingerprint(config: &OptimizeConfig) -> Fingerprint {
+    let mut h = Fingerprinter::new();
+    h.write_str("fp-optimizer/policy/v1");
+    match &config.r_policy {
+        None => h.write_u64(0),
+        Some(r) => {
+            h.write_u64(1);
+            h.write_usize(r.limit());
+        }
+    }
+    match &config.l_policy {
+        None => h.write_u64(0),
+        Some(l) => {
+            h.write_u64(1);
+            h.write_usize(l.k2());
+            h.write_u64(l.theta().to_bits());
+            match l.prefilter() {
+                None => h.write_u64(0),
+                Some(s) => {
+                    h.write_u64(1);
+                    h.write_usize(s);
+                }
+            }
+            match l.metric() {
+                Metric::L1 => h.write_u64(1),
+                Metric::L2 => h.write_u64(2),
+                Metric::Linf => h.write_u64(3),
+                Metric::Lp(p) => {
+                    h.write_u64(4);
+                    h.write_u64(p.to_bits());
+                }
+            }
+        }
+    }
+    match config.global_l_prune {
+        None => h.write_u64(0),
+        Some(t) => {
+            h.write_u64(1);
+            h.write_usize(t);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Objective;
+    use fp_select::LReductionPolicy;
+
+    #[test]
+    fn policy_fingerprint_covers_selection_knobs() {
+        let base = OptimizeConfig::default();
+        let fp = policy_fingerprint(&base);
+        assert_eq!(fp, policy_fingerprint(&base.clone()));
+        assert_ne!(fp, policy_fingerprint(&base.clone().with_r_selection(8)));
+        assert_ne!(
+            fp,
+            policy_fingerprint(&base.clone().with_l_selection(LReductionPolicy::new(30)))
+        );
+        assert_ne!(
+            fp,
+            policy_fingerprint(&base.clone().with_global_l_prune(None))
+        );
+        let theta = base
+            .clone()
+            .with_l_selection(LReductionPolicy::new(30).with_theta(0.5));
+        let theta2 = base
+            .clone()
+            .with_l_selection(LReductionPolicy::new(30).with_theta(0.7));
+        assert_ne!(policy_fingerprint(&theta), policy_fingerprint(&theta2));
+    }
+
+    #[test]
+    fn policy_fingerprint_ignores_run_only_knobs() {
+        let base = OptimizeConfig::default();
+        let fp = policy_fingerprint(&base);
+        assert_eq!(
+            fp,
+            policy_fingerprint(&base.clone().with_memory_limit(Some(123)))
+        );
+        assert_eq!(
+            fp,
+            policy_fingerprint(
+                &base
+                    .clone()
+                    .with_objective(Objective::MinHalfPerimeter)
+                    .with_outline(fp_geom::Rect::new(5, 5))
+                    .with_auto_rescue(true)
+            )
+        );
+        // The parallel flag is result-invariant (property-tested), so it
+        // must share the address space with the serial path.
+        let serial = base
+            .clone()
+            .with_l_selection(LReductionPolicy::new(30).with_parallel(false));
+        let parallel = base
+            .clone()
+            .with_l_selection(LReductionPolicy::new(30).with_parallel(true));
+        assert_eq!(policy_fingerprint(&serial), policy_fingerprint(&parallel));
+    }
+
+    #[test]
+    fn shared_cache_round_trips_blocks() {
+        let cache = shared_cache(1 << 20);
+        let block = CachedBlock {
+            shapes: CachedShapes::Rect {
+                rects: vec![Rect::new(4, 2), Rect::new(2, 4)],
+                prov: vec![(0, 0), (1, 1)],
+            },
+            degradations: Vec::new(),
+        };
+        assert!(cache.lookup(7).is_none());
+        cache.store(7, block.clone());
+        assert_eq!(cache.lookup(7), Some(block));
+        let stats = shared_cache_stats(&cache);
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+}

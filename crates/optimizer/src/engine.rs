@@ -11,6 +11,7 @@ use fp_tree::layout::Assignment;
 use fp_tree::restructure::{restructure, BinNode, BinOp, BinaryTree};
 use fp_tree::{FloorplanTree, ModuleLibrary, TreeError};
 
+use crate::cache::{policy_fingerprint, BlockCache, CachedBlock, CachedShapes};
 use crate::governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 use crate::joins;
 
@@ -359,6 +360,17 @@ pub struct RunStats {
     pub degradations: Vec<DegradationEvent>,
     /// Rescue retries spent (equals `degradations.len()` on success).
     pub rescue_attempts: u32,
+    /// Join blocks reconstituted from a [`BlockCache`] instead of being
+    /// rebuilt (always 0 on uncached runs). A cached block's candidates
+    /// are never generated, so `generated`/`peak_impls` on warm runs
+    /// undercount what a cold run would report.
+    pub cache_hits: usize,
+    /// Join blocks looked up in a [`BlockCache`] but rebuilt from scratch
+    /// (always 0 on uncached runs). After `update_module` on one leaf,
+    /// this equals the number of joins on the leaf's root path — the
+    /// instrumented proof that incremental re-optimization rebuilds
+    /// `O(depth)` blocks, not `O(n)`.
+    pub cache_misses: usize,
 }
 
 /// Why the rescue ladder fired for one degradation step.
@@ -645,11 +657,52 @@ pub fn optimize_frontier(
     library: &ModuleLibrary,
     config: &OptimizeConfig,
 ) -> Result<Frontier, OptError> {
+    optimize_frontier_impl(tree, library, config, None)
+}
+
+/// Like [`optimize_frontier`], but with a content-addressed [`BlockCache`]
+/// consulted before — and populated after — every join block build.
+///
+/// Every join block of the restructured tree is addressed by its
+/// canonical fingerprint (child fingerprints + combining op + module
+/// lists + [`policy_fingerprint`]); a hit short-circuits the block's
+/// enumeration, pruning, and selection entirely. Caching is disabled for
+/// the remainder of a run at the first resource trip: rescued blocks are
+/// built under tightened policies that no longer match the address salt.
+///
+/// # Errors
+///
+/// Same as [`optimize_frontier`].
+pub fn optimize_frontier_cached(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: &dyn BlockCache,
+) -> Result<Frontier, OptError> {
+    optimize_frontier_impl(tree, library, config, Some(cache))
+}
+
+fn optimize_frontier_impl(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: Option<&dyn BlockCache>,
+) -> Result<Frontier, OptError> {
     let start = Instant::now();
     let bin = restructure(tree)?;
     if bin.is_empty() {
         return Err(OptError::EmptyFloorplan);
     }
+
+    // Canonical block addresses, only when a cache is wired in. The salt
+    // folds in every configuration knob that can change committed block
+    // content, so differently configured runs never alias.
+    let fps = cache.map(|_| {
+        fp_tree::fingerprint::block_fingerprints(&bin, library, policy_fingerprint(config))
+    });
+    // Lookups and stores stop at the first resource trip: blocks rebuilt
+    // by the rescue ladder deviate from the salt's policies.
+    let mut caching = cache.is_some();
 
     let mut gov = ResourceGovernor::new(config.memory_limit)
         .with_deadline(config.deadline)
@@ -688,35 +741,62 @@ pub fn optimize_frontier(
             }
         }
 
+        let node_fp = fps.as_ref().and_then(|f| f.get(index)).copied();
         let shapes = loop {
-            let result = gov.poll().and_then(|()| match node {
-                BinNode::Leaf { module, .. } => {
-                    // Validated above; re-fetch to keep the borrow local.
-                    let list = library.get(*module).map(|m| m.implementations().clone());
-                    match list {
-                        Some(list) => {
-                            gov.charge(list.len())?;
-                            Ok(Shapes::Rect {
-                                list,
-                                prov: Vec::new(),
-                            })
+            let result = gov.poll().and_then(|()| {
+                // Per-block cache hook: a hit replaces the whole
+                // build/prune/select pipeline with a reconstitution of
+                // the committed list (still charged against the budget —
+                // cached implementations are as live as built ones).
+                if caching && matches!(node, BinNode::Join { .. }) {
+                    if let (Some(cache), Some(fp)) = (cache, node_fp) {
+                        if let Some(hit) = cache.lookup(fp) {
+                            gov.charge(hit.len())?;
+                            stats.cache_hits += 1;
+                            stats.degradations.extend(hit.degradations.iter().cloned());
+                            return cached_to_shapes(hit.shapes);
                         }
-                        None => Err(Trip::Internal("leaf module vanished mid-run")),
+                        stats.cache_misses += 1;
                     }
                 }
-                BinNode::Join { op, left, right } => build_join(
-                    *op,
-                    &store[*left],
-                    &store[*right],
-                    config,
-                    &eff,
-                    &mut gov,
-                    &mut stats,
-                ),
+                match node {
+                    BinNode::Leaf { module, .. } => {
+                        // Validated above; re-fetch to keep the borrow local.
+                        let list = library.get(*module).map(|m| m.implementations().clone());
+                        match list {
+                            Some(list) => {
+                                gov.charge(list.len())?;
+                                Ok(Shapes::Rect {
+                                    list,
+                                    prov: Vec::new(),
+                                })
+                            }
+                            None => Err(Trip::Internal("leaf module vanished mid-run")),
+                        }
+                    }
+                    BinNode::Join { op, left, right } => {
+                        let shapes = build_join(
+                            *op,
+                            &store[*left],
+                            &store[*right],
+                            config,
+                            &eff,
+                            &mut gov,
+                            &mut stats,
+                        )?;
+                        if caching {
+                            if let (Some(cache), Some(fp)) = (cache, node_fp) {
+                                cache.store(fp, shapes_to_cached(&shapes));
+                            }
+                        }
+                        Ok(shapes)
+                    }
+                }
             });
             match result {
                 Ok(shapes) => break shapes,
                 Err(trip) => {
+                    caching = false;
                     let live_at_trip = gov.live();
                     gov.abort_block();
                     let exhausted = stats.rescue_attempts >= config.max_rescue_attempts;
@@ -854,6 +934,85 @@ pub fn optimize_report(
     let outcome = optimize(tree, library, config)?;
     let rescued = !outcome.stats.degradations.is_empty();
     Ok(RunOutcome { outcome, rescued })
+}
+
+/// Like [`optimize`], but consulting (and populating) a content-addressed
+/// [`BlockCache`]; see [`optimize_frontier_cached`].
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_cached(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: &dyn BlockCache,
+) -> Result<Outcome, OptError> {
+    let frontier = optimize_frontier_cached(tree, library, config, cache)?;
+    frontier.best(config.objective, config.outline)
+}
+
+/// Like [`optimize_report`], but consulting (and populating) a
+/// content-addressed [`BlockCache`]; see [`optimize_frontier_cached`].
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_report_cached(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: &dyn BlockCache,
+) -> Result<RunOutcome, OptError> {
+    let outcome = optimize_cached(tree, library, config, cache)?;
+    let rescued = !outcome.stats.degradations.is_empty();
+    Ok(RunOutcome { outcome, rescued })
+}
+
+/// Snapshot of a committed block for the cross-run cache (clones the
+/// lists: the cache must not alias the run's own store, which the rescue
+/// ladder may later re-select in place).
+fn shapes_to_cached(shapes: &Shapes) -> CachedBlock {
+    let shapes = match shapes {
+        Shapes::Rect { list, prov } => CachedShapes::Rect {
+            rects: list.as_slice().to_vec(),
+            prov: prov.clone(),
+        },
+        Shapes::L {
+            shapes,
+            prov,
+            chains,
+        } => CachedShapes::L {
+            shapes: shapes.clone(),
+            prov: prov.clone(),
+            chains: chains.clone(),
+        },
+    };
+    CachedBlock {
+        shapes,
+        degradations: Vec::new(),
+    }
+}
+
+/// Reconstitutes a cached block into per-node storage, revalidating the
+/// staircase invariant the rest of the engine relies on.
+fn cached_to_shapes(shapes: CachedShapes) -> Result<Shapes, Trip> {
+    match shapes {
+        CachedShapes::Rect { rects, prov } => {
+            let list = RList::from_sorted(rects)
+                .map_err(|_| Trip::Internal("cached rectangular block is not a staircase"))?;
+            Ok(Shapes::Rect { list, prov })
+        }
+        CachedShapes::L {
+            shapes,
+            prov,
+            chains,
+        } => Ok(Shapes::L {
+            shapes,
+            prov,
+            chains,
+        }),
+    }
 }
 
 /// The selection policies currently in force — starts as the configured

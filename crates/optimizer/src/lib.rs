@@ -32,17 +32,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod direct;
 mod engine;
 pub mod governor;
 pub mod joins;
 mod meter;
 pub mod oracle;
+pub mod serve;
 pub mod stockmeyer;
 
+pub use cache::{
+    policy_fingerprint, shared_cache, shared_cache_stats, BlockCache, CachedBlock, CachedShapes,
+    SharedBlockCache,
+};
 pub use engine::{
-    optimize, optimize_frontier, optimize_report, DegradationEvent, Frontier, Objective, OptError,
-    OptimizeConfig, Outcome, RescueReason, RunOutcome, RunStats,
+    optimize, optimize_cached, optimize_frontier, optimize_frontier_cached, optimize_report,
+    optimize_report_cached, DegradationEvent, Frontier, Objective, OptError, OptimizeConfig,
+    Outcome, RescueReason, RunOutcome, RunStats,
 };
 pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 pub use meter::{BudgetExhausted, MemoryMeter};

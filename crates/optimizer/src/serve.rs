@@ -1,0 +1,1121 @@
+//! The `fpserved` JSON-lines batch protocol.
+//!
+//! One request per line, one response per line, over TCP or a stdin/stdout
+//! pipe. The protocol layer is deliberately std-only (the build is fully
+//! offline): a small hand-rolled JSON parser with column-accurate errors,
+//! request/response types, and a shared [`ServeState`] holding the
+//! content-addressed block cache that amortizes optimization work across
+//! requests — the session subsystem's serving front end.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "method": "optimize", "builtin": "fp1", "n": 8, "k1": 40}
+//! {"id": 2, "method": "optimize", "instance": "module a 2x3\ntree a"}
+//! {"id": 3, "method": "stats"}
+//! {"id": 4, "method": "ping"}
+//! {"id": 5, "method": "shutdown"}
+//! ```
+//!
+//! `optimize` takes either `builtin` (`fig1`, `fp1`…`fp4`, `ami33`,
+//! `ami49`, with `n`/`seed` module-generator knobs) or `instance` (a full
+//! `.fpt` text, `\n`-escaped), plus the CLI's selection and robustness
+//! knobs: `k1`, `k2`, `theta`, `prefilter`, `memory`, `deadline_ms`,
+//! `auto_rescue`, `objective` (`"area"`/`"hp"`), `outline` (`"WxH"`).
+//!
+//! ## Responses
+//!
+//! Every response carries the echoed `id` (when the request had one), the
+//! 1-based `line` of the request in the stream, and a `status` reusing the
+//! documented CLI exit-code contract ([`status_for`]): 0 success,
+//! 1 internal error, 2 malformed request, 3 bad instance, 4 budget
+//! exhausted, 5 deadline exceeded or cancelled, 6 outline infeasible.
+//! Malformed requests get positional errors: `line` plus the JSON `col`
+//! (or the embedded instance's `instance_line`/`instance_col`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use fp_tree::format::{parse_instance, FloorplanInstance};
+use fp_tree::generators;
+
+use crate::cache::{shared_cache, shared_cache_stats, SharedBlockCache};
+use crate::engine::{optimize_report_cached, Objective, OptError, OptimizeConfig, RunOutcome};
+use crate::governor::CancelToken;
+use fp_select::LReductionPolicy;
+
+/// Request handled successfully.
+pub const STATUS_OK: u8 = 0;
+/// An engine invariant broke (a bug, not a user error).
+pub const STATUS_INTERNAL: u8 = 1;
+/// The request line is malformed (bad JSON, unknown method, bad field).
+pub const STATUS_BAD_REQUEST: u8 = 2;
+/// The floorplan instance is unreadable or invalid.
+pub const STATUS_BAD_INPUT: u8 = 3;
+/// The implementation budget tripped (or an injected fault).
+pub const STATUS_RESOURCE: u8 = 4;
+/// The per-request deadline passed or the request was cancelled.
+pub const STATUS_DEADLINE: u8 = 5;
+/// No root implementation fits the requested fixed outline.
+pub const STATUS_OUTLINE: u8 = 6;
+
+/// Maps an optimizer error to the documented status/exit code. This is
+/// the single source of truth shared by the `fpopt` CLI's exit codes and
+/// `fpserved`'s per-request statuses.
+#[must_use]
+pub fn status_for(e: &OptError) -> u8 {
+    match e {
+        OptError::Tree(_)
+        | OptError::EmptyFloorplan
+        | OptError::MissingModule { .. }
+        | OptError::NoImplementations { .. } => STATUS_BAD_INPUT,
+        OptError::OutOfMemory { .. } | OptError::FaultInjected { .. } => STATUS_RESOURCE,
+        OptError::DeadlineExceeded { .. } | OptError::Cancelled { .. } => STATUS_DEADLINE,
+        OptError::NoFeasibleOutline { .. } => STATUS_OUTLINE,
+        OptError::Internal { .. } => STATUS_INTERNAL,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member `key` of an object, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if exactly one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON syntax error with a 1-based column (character position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based character column of the offending input.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Maximum `[`/`{` nesting accepted (keeps the parser's recursion safe).
+const MAX_JSON_DEPTH: usize = 64;
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            col: self.pos + 1,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_char(&mut self, want: char) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => {
+                self.pos -= 1;
+                Err(self.err(format!("expected `{want}`, found `{c}`")))
+            }
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("expected a value, found end of input")),
+            Some('{') => self.parse_object(depth),
+            Some('[') => self.parse_array(depth),
+            Some('"') => self.parse_string().map(Json::Str),
+            Some('t') | Some('f') | Some('n') => self.parse_keyword(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{c}`"))),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect_char('{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some('"') {
+                return Err(self.err("expected a string object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_char(':')?;
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(members)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(format!("expected `,` or `}}`, found `{c}`")));
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect_char('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(format!("expected `,` or `]`, found `{c}`")));
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        // Surrogates and other invalid scalars are
+                        // replaced rather than rejected.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    Some(c) => return Err(self.err(format!("invalid escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_keyword(&mut self) -> Result<Json, JsonError> {
+        for (word, value) in [
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("null", Json::Null),
+        ] {
+            let end = self.pos + word.chars().count();
+            if end <= self.chars.len() && self.chars[self.pos..end].iter().copied().eq(word.chars())
+            {
+                self.pos = end;
+                return Ok(value);
+            }
+        }
+        Err(self.err("expected `true`, `false`, or `null`"))
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => {
+                self.pos = start;
+                Err(self.err(format!("invalid number `{text}`")))
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (a full request line).
+///
+/// # Errors
+///
+/// [`JsonError`] with the 1-based character column of the first offence,
+/// including trailing garbage after a complete value.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut p = JsonParser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        return Err(p.err(format!("trailing characters after value: `{c}`")));
+    }
+    Ok(value)
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental JSON object writer (responses are always objects).
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// An empty object under construction.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    fn pre(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a raw, already-serialized member.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.pre(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds a string member.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.pre(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer member.
+    pub fn u128(&mut self, key: &str, value: u128) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Adds an unsigned integer member.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// The finished document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A request's `id`, echoed verbatim into its response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestId {
+    /// A JSON number id.
+    Num(f64),
+    /// A JSON string id.
+    Str(String),
+}
+
+impl RequestId {
+    fn to_json(&self) -> String {
+        match self {
+            RequestId::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            RequestId::Str(s) => format!("\"{}\"", escape_json(s)),
+        }
+    }
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Method {
+    /// Run the optimizer over an instance.
+    Optimize(Box<OptimizeRequest>),
+    /// Liveness probe.
+    Ping,
+    /// Cache/session counters.
+    Stats,
+    /// Stop accepting work, drain, exit.
+    Shutdown,
+}
+
+/// Parameters of an `optimize` request (all optional except the
+/// instance source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// Built-in benchmark name (`fig1`, `fp1`…`fp4`, `ami33`, `ami49`).
+    pub builtin: Option<String>,
+    /// Full `.fpt` instance text (alternative to `builtin`).
+    pub instance: Option<String>,
+    /// Implementations per module for built-in generators.
+    pub n: usize,
+    /// Module-set seed for built-in generators.
+    pub seed: u64,
+    /// `R_Selection` limit `K₁`.
+    pub k1: Option<usize>,
+    /// `L_Selection` limit `K₂`.
+    pub k2: Option<usize>,
+    /// `L_Selection` trigger θ.
+    pub theta: f64,
+    /// `L_Selection` heuristic prefilter `S`.
+    pub prefilter: Option<usize>,
+    /// Implementation budget.
+    pub memory: Option<usize>,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Degrade-and-retry on budget trips.
+    pub auto_rescue: bool,
+    /// Root objective.
+    pub objective: Objective,
+    /// Fixed outline `WxH`.
+    pub outline: Option<fp_geom::Rect>,
+}
+
+impl Default for OptimizeRequest {
+    fn default() -> Self {
+        OptimizeRequest {
+            builtin: None,
+            instance: None,
+            n: 8,
+            seed: 1,
+            k1: None,
+            k2: None,
+            theta: 1.0,
+            prefilter: None,
+            memory: None,
+            deadline_ms: None,
+            auto_rescue: false,
+            objective: Objective::MinArea,
+            outline: None,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed correlation id, if the client sent one.
+    pub id: Option<RequestId>,
+    /// The requested operation.
+    pub method: Method,
+}
+
+/// Why a request line was rejected (always status 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The line is not valid JSON; carries the id-less positional error.
+    Json(JsonError),
+    /// The JSON is valid but the request is not; carries the echoed id
+    /// (when one was readable) and the complaint.
+    Bad(Option<RequestId>, String),
+}
+
+fn field_usize(obj: &Json, key: &str) -> Result<Option<usize>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n as usize)),
+            None => Err(format!("`{key}` must be a non-negative integer")),
+        },
+    }
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v.as_bool().ok_or(format!("`{key}` must be a boolean")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`RequestError::Json`] for syntax errors (with a 1-based column),
+/// [`RequestError::Bad`] for structurally invalid requests.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let doc = parse_json(line).map_err(RequestError::Json)?;
+    let id = match doc.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Num(n)) => Some(RequestId::Num(*n)),
+        Some(Json::Str(s)) => Some(RequestId::Str(s.clone())),
+        Some(_) => {
+            return Err(RequestError::Bad(
+                None,
+                "`id` must be a number or string".to_owned(),
+            ))
+        }
+    };
+    let bad = |msg: String| RequestError::Bad(id.clone(), msg);
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object".to_owned()));
+    }
+    let method = doc
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing `method` string".to_owned()))?;
+    let method = match method {
+        "ping" => Method::Ping,
+        "stats" => Method::Stats,
+        "shutdown" => Method::Shutdown,
+        "optimize" => {
+            let mut req = OptimizeRequest {
+                builtin: doc.get("builtin").and_then(Json::as_str).map(str::to_owned),
+                instance: doc
+                    .get("instance")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                ..OptimizeRequest::default()
+            };
+            if req.builtin.is_none() && req.instance.is_none() {
+                return Err(bad("`optimize` needs `builtin` or `instance`".to_owned()));
+            }
+            if let Some(n) = field_usize(&doc, "n").map_err(&bad)? {
+                if n == 0 {
+                    return Err(bad("`n` must be at least 1".to_owned()));
+                }
+                req.n = n;
+            }
+            if let Some(seed) = field_usize(&doc, "seed").map_err(&bad)? {
+                req.seed = seed as u64;
+            }
+            req.k1 = field_usize(&doc, "k1").map_err(&bad)?;
+            req.k2 = field_usize(&doc, "k2").map_err(&bad)?;
+            req.prefilter = field_usize(&doc, "prefilter").map_err(&bad)?;
+            req.memory = field_usize(&doc, "memory").map_err(&bad)?;
+            req.deadline_ms = field_usize(&doc, "deadline_ms")
+                .map_err(&bad)?
+                .map(|ms| ms as u64);
+            req.auto_rescue = field_bool(&doc, "auto_rescue").map_err(&bad)?;
+            if let Some(theta) = doc.get("theta") {
+                let theta = theta
+                    .as_f64()
+                    .filter(|t| (0.0..=1.0).contains(t) && *t > 0.0)
+                    .ok_or_else(|| bad("`theta` must be a number in (0, 1]".to_owned()))?;
+                req.theta = theta;
+            }
+            if let Some(objective) = doc.get("objective") {
+                req.objective = match objective.as_str() {
+                    Some("area") => Objective::MinArea,
+                    Some("hp") => Objective::MinHalfPerimeter,
+                    _ => return Err(bad("`objective` must be \"area\" or \"hp\"".to_owned())),
+                };
+            }
+            if let Some(outline) = doc.get("outline") {
+                let text = outline
+                    .as_str()
+                    .ok_or_else(|| bad("`outline` must be a \"WxH\" string".to_owned()))?;
+                let parsed = text
+                    .split_once(['x', 'X'])
+                    .and_then(|(w, h)| Some(fp_geom::Rect::new(w.parse().ok()?, h.parse().ok()?)));
+                match parsed {
+                    Some(r) if r.w > 0 && r.h > 0 => req.outline = Some(r),
+                    _ => return Err(bad(format!("`outline` is not a WxH pair: `{text}`"))),
+                }
+            }
+            Method::Optimize(Box::new(req))
+        }
+        other => {
+            return Err(bad(format!(
+                "unknown method `{other}` (optimize, ping, stats, shutdown)"
+            )))
+        }
+    };
+    Ok(Request { id, method })
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Server-wide shared state: the cross-request block cache and counters.
+pub struct ServeState {
+    cache: SharedBlockCache,
+    requests: AtomicU64,
+}
+
+impl ServeState {
+    /// Fresh state with a block cache of the given byte budget.
+    #[must_use]
+    pub fn new(cache_bytes: usize) -> Self {
+        ServeState {
+            cache: shared_cache(cache_bytes),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared block cache.
+    #[must_use]
+    pub fn cache(&self) -> &SharedBlockCache {
+        &self.cache
+    }
+
+    /// Requests executed so far (any method).
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// A rendered response line plus its routing metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The response document (no trailing newline).
+    pub json: String,
+    /// The response's status code.
+    pub status: u8,
+    /// `true` when the request asked the server to drain and stop.
+    pub shutdown: bool,
+}
+
+fn response_head(id: Option<&RequestId>, line_no: u64, status: u8) -> JsonObj {
+    let mut obj = JsonObj::new();
+    if let Some(id) = id {
+        obj.raw("id", &id.to_json());
+    }
+    obj.u64("line", line_no);
+    obj.u64("status", u64::from(status));
+    obj
+}
+
+/// Renders the error response for an unparsable or invalid request line.
+#[must_use]
+pub fn error_reply(line_no: u64, error: &RequestError) -> Reply {
+    let mut obj;
+    match error {
+        RequestError::Json(e) => {
+            obj = response_head(None, line_no, STATUS_BAD_REQUEST);
+            obj.u64("col", e.col as u64);
+            obj.str("error", &format!("bad JSON: {}", e.message));
+        }
+        RequestError::Bad(id, message) => {
+            obj = response_head(id.as_ref(), line_no, STATUS_BAD_REQUEST);
+            obj.str("error", message);
+        }
+    }
+    Reply {
+        json: obj.finish(),
+        status: STATUS_BAD_REQUEST,
+        shutdown: false,
+    }
+}
+
+fn load_serve_instance(req: &OptimizeRequest) -> Result<FloorplanInstance, Reply> {
+    // Reply here is a template without id/line; callers re-head it.
+    if let Some(name) = &req.builtin {
+        let bench = match name.trim_start_matches('@') {
+            "fig1" => generators::fig1(),
+            "fp1" => generators::fp1(),
+            "fp2" => generators::fp2(),
+            "fp3" => generators::fp3(),
+            "fp4" => generators::fp4(),
+            "ami33" => {
+                let (bench, library) = generators::ami33_like();
+                return Ok(FloorplanInstance {
+                    name: bench.name,
+                    tree: bench.tree,
+                    library,
+                });
+            }
+            "ami49" => {
+                let (bench, library) = generators::ami49_like();
+                return Ok(FloorplanInstance {
+                    name: bench.name,
+                    tree: bench.tree,
+                    library,
+                });
+            }
+            other => {
+                let mut obj = JsonObj::new();
+                obj.str(
+                    "error",
+                    &format!("unknown builtin `{other}` (fig1, fp1..fp4, ami33, ami49)"),
+                );
+                return Err(Reply {
+                    json: obj.finish(),
+                    status: STATUS_BAD_INPUT,
+                    shutdown: false,
+                });
+            }
+        };
+        let library = generators::module_library(&bench.tree, req.n, req.seed);
+        Ok(FloorplanInstance {
+            name: bench.name,
+            tree: bench.tree,
+            library,
+        })
+    } else if let Some(text) = &req.instance {
+        parse_instance(text).map_err(|e| {
+            let mut obj = JsonObj::new();
+            obj.u64("instance_line", e.line as u64);
+            obj.u64("instance_col", e.col as u64);
+            obj.str("error", &format!("bad instance: {e}"));
+            Reply {
+                json: obj.finish(),
+                status: STATUS_BAD_INPUT,
+                shutdown: false,
+            }
+        })
+    } else {
+        let mut obj = JsonObj::new();
+        obj.str("error", "`optimize` needs `builtin` or `instance`");
+        Err(Reply {
+            json: obj.finish(),
+            status: STATUS_BAD_REQUEST,
+            shutdown: false,
+        })
+    }
+}
+
+fn config_for(req: &OptimizeRequest, cancel: Option<CancelToken>) -> OptimizeConfig {
+    let mut config = OptimizeConfig::default()
+        .with_objective(req.objective)
+        .with_auto_rescue(req.auto_rescue)
+        .with_cancel(cancel);
+    if let Some(outline) = req.outline {
+        config = config.with_outline(outline);
+    }
+    if let Some(limit) = req.memory {
+        config = config.with_memory_limit(Some(limit));
+    }
+    if let Some(ms) = req.deadline_ms {
+        config = config.with_deadline(Some(Duration::from_millis(ms)));
+    }
+    if let Some(k1) = req.k1 {
+        config = config.with_r_selection(k1);
+    }
+    if let Some(k2) = req.k2 {
+        let mut policy = LReductionPolicy::new(k2).with_theta(req.theta);
+        if let Some(s) = req.prefilter {
+            policy = policy.with_prefilter(s);
+        }
+        config = config.with_l_selection(policy);
+    }
+    config
+}
+
+fn optimize_reply(
+    id: Option<&RequestId>,
+    line_no: u64,
+    req: &OptimizeRequest,
+    state: &ServeState,
+    cancel: Option<CancelToken>,
+) -> Reply {
+    let instance = match load_serve_instance(req) {
+        Ok(instance) => instance,
+        Err(template) => {
+            // Re-head the template with id/line/status.
+            let mut obj = response_head(id, line_no, template.status);
+            let inner = template
+                .json
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or_default();
+            if !inner.is_empty() {
+                obj.raw_members(inner);
+            }
+            return Reply {
+                json: obj.finish(),
+                status: template.status,
+                shutdown: false,
+            };
+        }
+    };
+    let config = config_for(req, cancel);
+    match optimize_report_cached(&instance.tree, &instance.library, &config, state.cache()) {
+        Ok(RunOutcome { outcome, rescued }) => {
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.str("instance", &instance.name);
+            obj.u128("area", outcome.area);
+            obj.u64("width", outcome.root_impl.w);
+            obj.u64("height", outcome.root_impl.h);
+            obj.u64("elapsed_ms", outcome.stats.elapsed.as_millis() as u64);
+            obj.u64("peak_impls", outcome.stats.peak_impls as u64);
+            obj.u64("generated", outcome.stats.generated);
+            obj.u64("cache_hits", outcome.stats.cache_hits as u64);
+            obj.u64("cache_misses", outcome.stats.cache_misses as u64);
+            obj.bool("rescued", rescued);
+            obj.u64("degradations", outcome.stats.degradations.len() as u64);
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: false,
+            }
+        }
+        Err(e) => {
+            let status = status_for(&e);
+            let mut obj = response_head(id, line_no, status);
+            obj.str("error", &e.to_string());
+            Reply {
+                json: obj.finish(),
+                status,
+                shutdown: false,
+            }
+        }
+    }
+}
+
+impl JsonObj {
+    /// Splices pre-serialized members (used to re-head reply templates).
+    pub fn raw_members(&mut self, members: &str) -> &mut Self {
+        if !self.buf.is_empty() && !members.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(members);
+        self
+    }
+}
+
+/// Executes a parsed request. `cancel` is the per-request cancellation
+/// token the server's deadline watchdog fires; the request's own
+/// `deadline_ms` is additionally enforced by the governor's wall clock
+/// from run start.
+#[must_use]
+pub fn execute(
+    request: &Request,
+    line_no: u64,
+    state: &ServeState,
+    cancel: Option<CancelToken>,
+) -> Reply {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let id = request.id.as_ref();
+    match &request.method {
+        Method::Ping => {
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.bool("pong", true);
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: false,
+            }
+        }
+        Method::Stats => {
+            let stats = shared_cache_stats(state.cache());
+            let (bytes, entries, budget) = state
+                .cache()
+                .lock()
+                .map(|c| (c.bytes(), c.len(), c.budget_bytes()))
+                .unwrap_or_default();
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.u64("requests", state.requests());
+            obj.u64("cache_hits", stats.hits);
+            obj.u64("cache_misses", stats.misses);
+            obj.u64("cache_evictions", stats.evictions);
+            obj.u64("cache_insertions", stats.insertions);
+            obj.u64("cache_entries", entries as u64);
+            obj.u64("cache_bytes", bytes as u64);
+            obj.u64("cache_budget_bytes", budget as u64);
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: false,
+            }
+        }
+        Method::Shutdown => {
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.bool("draining", true);
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: true,
+            }
+        }
+        Method::Optimize(req) => optimize_reply(id, line_no, req, state, cancel),
+    }
+}
+
+/// Parses and executes one raw request line — the single entry point the
+/// server workers and the CLI `--session` replay mode share.
+#[must_use]
+pub fn handle_line(
+    line: &str,
+    line_no: u64,
+    state: &ServeState,
+    cancel: Option<CancelToken>,
+) -> Reply {
+    match parse_request(line) {
+        Ok(request) => execute(&request, line_no, state, cancel),
+        Err(e) => error_reply(line_no, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_basics() {
+        let doc = parse_json(r#"{"a": 1, "b": [true, null, "x\n"], "c": -2.5}"#).expect("parses");
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("c").and_then(Json::as_f64), Some(-2.5));
+        match doc.get("b") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0].as_bool(), Some(true));
+                assert_eq!(items[2].as_str(), Some("x\n"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_errors_carry_columns() {
+        let e = parse_json(r#"{"a": }"#).expect_err("bad");
+        assert_eq!(e.col, 7);
+        let e = parse_json("{\"a\": 1,}").expect_err("bad");
+        assert_eq!(e.col, 9);
+        let e = parse_json("nul").expect_err("bad");
+        assert_eq!(e.col, 1);
+        let e = parse_json("{\"a\": 1} trailing").expect_err("bad");
+        assert_eq!(e.col, 10);
+    }
+
+    #[test]
+    fn request_parsing_and_validation() {
+        let req = parse_request(r#"{"id": 7, "method": "ping"}"#).expect("valid");
+        assert_eq!(req.id, Some(RequestId::Num(7.0)));
+        assert_eq!(req.method, Method::Ping);
+
+        let req = parse_request(
+            r#"{"method": "optimize", "builtin": "fp1", "k1": 8, "deadline_ms": 50}"#,
+        )
+        .expect("valid");
+        match req.method {
+            Method::Optimize(o) => {
+                assert_eq!(o.builtin.as_deref(), Some("fp1"));
+                assert_eq!(o.k1, Some(8));
+                assert_eq!(o.deadline_ms, Some(50));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match parse_request(r#"{"method": "frobnicate"}"#) {
+            Err(RequestError::Bad(_, msg)) => assert!(msg.contains("unknown method")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request(r#"{"method": "optimize"}"#) {
+            Err(RequestError::Bad(_, msg)) => assert!(msg.contains("builtin")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request("{\"method\": \"ping\"") {
+            Err(RequestError::Json(e)) => assert!(e.col > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_optimize_reply_and_cache_reuse() {
+        let state = ServeState::new(64 << 20);
+        let line = r#"{"id": 1, "method": "optimize", "builtin": "fig1", "n": 4}"#;
+        let cold = handle_line(line, 1, &state, None);
+        assert_eq!(cold.status, STATUS_OK, "{}", cold.json);
+        assert!(cold.json.contains("\"area\":"));
+        let warm = handle_line(line, 2, &state, None);
+        assert_eq!(warm.status, STATUS_OK);
+        // Same request: every join served from cache on the warm pass.
+        assert!(warm.json.contains("\"cache_misses\":0"), "{}", warm.json);
+        // Identical results either way.
+        let area = |json: &str| {
+            json.split("\"area\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .map(str::to_owned)
+        };
+        assert_eq!(area(&cold.json), area(&warm.json));
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_report_positions() {
+        let state = ServeState::new(1 << 20);
+        let bad = handle_line("{\"method\": \"optimize\",, }", 3, &state, None);
+        assert_eq!(bad.status, STATUS_BAD_REQUEST);
+        assert!(bad.json.contains("\"line\":3"));
+        assert!(bad.json.contains("\"col\":"));
+        let unknown = handle_line(r#"{"id": "x", "method": "nope"}"#, 4, &state, None);
+        assert_eq!(unknown.status, STATUS_BAD_REQUEST);
+        assert!(unknown.json.contains("\"id\":\"x\""));
+        assert!(unknown.json.contains("unknown method"));
+    }
+
+    #[test]
+    fn bad_instance_reports_instance_position() {
+        let state = ServeState::new(1 << 20);
+        let line = r#"{"method": "optimize", "instance": "module a 0x3\ntree a"}"#;
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_BAD_INPUT, "{}", reply.json);
+        assert!(reply.json.contains("\"instance_line\":"), "{}", reply.json);
+    }
+
+    #[test]
+    fn deadline_zero_trips_as_status_5() {
+        let state = ServeState::new(1 << 20);
+        let line = r#"{"method": "optimize", "builtin": "fp2", "n": 8, "deadline_ms": 0}"#;
+        std::thread::sleep(Duration::from_millis(2));
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_DEADLINE, "{}", reply.json);
+    }
+
+    #[test]
+    fn cancelled_token_trips_as_status_5() {
+        let state = ServeState::new(1 << 20);
+        let token = CancelToken::new();
+        token.cancel();
+        let req = parse_request(r#"{"method": "optimize", "builtin": "fp1"}"#).expect("valid");
+        let reply = execute(&req, 1, &state, Some(token));
+        assert_eq!(reply.status, STATUS_DEADLINE, "{}", reply.json);
+    }
+
+    #[test]
+    fn shutdown_flags_drain() {
+        let state = ServeState::new(1 << 20);
+        let reply = handle_line(r#"{"method": "shutdown"}"#, 9, &state, None);
+        assert!(reply.shutdown);
+        assert_eq!(reply.status, STATUS_OK);
+        let stats = handle_line(r#"{"method": "stats"}"#, 10, &state, None);
+        assert!(stats.json.contains("\"requests\":2"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Canonical content fingerprints of restructured sub-floorplans.
+//!
+//! A block of the binary tree `T'` is fully determined — up to the
+//! optimizer's deterministic enumeration — by its *content*: the module
+//! implementation lists at its leaves, the combining operations along the
+//! way (cut type for slice joins, stage and arity for wheel joins), and
+//! the selection policies in force. This module assigns every binary node
+//! a 128-bit fingerprint over exactly that content, computed bottom-up
+//! from the child fingerprints:
+//!
+//! * **leaf** — `H(salt, LEAF, module implementation list)`
+//! * **join** — `H(salt, JOIN, op code, wheel arity, fp(left), fp(right))`
+//!
+//! The `salt` is the caller's policy/limit fingerprint (the optimizer
+//! hashes its selection configuration into it), so the same subtree under
+//! different policies never shares an address. Two subtrees share a
+//! fingerprint iff their canonical content is identical, which is what
+//! makes the fingerprint usable as a content address for a cross-run
+//! memo cache: mutate one module and only the leaf and its root-path
+//! ancestors change address, so every sibling subtree is served from
+//! cache.
+
+use fp_memo::{Fingerprint, Fingerprinter};
+use fp_shape::combine::Compose;
+
+use crate::restructure::{BinNode, BinOp, BinaryTree};
+use crate::{Module, ModuleLibrary};
+
+/// Bumped whenever the canonical encoding changes, so stale cache
+/// content from an older scheme can never alias a current address.
+pub const FINGERPRINT_VERSION: u64 = 1;
+
+/// Domain tags keeping leaves, joins, and absent modules disjoint.
+const TAG_LEAF: u64 = 0x4c45_4146; // "LEAF"
+const TAG_JOIN: u64 = 0x4a4f_494e; // "JOIN"
+const TAG_MISSING: u64 = 0x4d49_5353; // "MISS"
+
+/// The order of every wheel template in this codebase (the smallest
+/// non-slicing pattern); encoded into wheel-join fingerprints so a future
+/// higher-order template cannot alias today's addresses.
+const WHEEL_ARITY: u64 = 5;
+
+/// Stable code of a combining operation.
+fn op_code(op: BinOp) -> u64 {
+    match op {
+        BinOp::Slice(Compose::Beside) => 1,
+        BinOp::Slice(Compose::Stack) => 2,
+        BinOp::WheelS1 => 3,
+        BinOp::WheelS2 => 4,
+        BinOp::WheelS3 => 5,
+        BinOp::WheelS4 => 6,
+    }
+}
+
+/// The content fingerprint of one module's implementation list.
+///
+/// Only the list participates — the module's *name* does not influence
+/// optimization results, so renaming a module must not invalidate cached
+/// subtree results built from it.
+#[must_use]
+pub fn module_fingerprint(module: &Module) -> Fingerprint {
+    let mut h = Fingerprinter::new();
+    h.write_u64(FINGERPRINT_VERSION);
+    let list = module.implementations();
+    h.write_usize(list.len());
+    for r in list.iter() {
+        h.write_u64(r.w);
+        h.write_u64(r.h);
+    }
+    h.finish()
+}
+
+/// Computes the canonical fingerprint of every node of `bin`, in the
+/// arena's bottom-up order (index `i` of the result is node `i`'s
+/// fingerprint; the last entry addresses the whole floorplan).
+///
+/// `salt` is mixed into every node; pass the fingerprint of whatever
+/// run configuration affects block content (selection policies, pruning
+/// thresholds) so differently configured runs never share addresses.
+///
+/// A leaf referencing a module absent from `library` is fingerprinted
+/// under a distinct domain tag rather than reported as an error — the
+/// optimizer validates the library before any fingerprint is consulted.
+#[must_use]
+pub fn block_fingerprints(
+    bin: &BinaryTree,
+    library: &ModuleLibrary,
+    salt: Fingerprint,
+) -> Vec<Fingerprint> {
+    let mut fps: Vec<Fingerprint> = Vec::with_capacity(bin.len());
+    for node in bin.nodes() {
+        let fp = match node {
+            BinNode::Leaf { module, .. } => match library.get(*module) {
+                Some(m) => {
+                    let mut h = Fingerprinter::new();
+                    h.write_u64(FINGERPRINT_VERSION);
+                    h.write_u128(salt);
+                    h.write_u64(TAG_LEAF);
+                    h.write_u128(module_fingerprint(m));
+                    h.finish()
+                }
+                None => {
+                    let mut h = Fingerprinter::new();
+                    h.write_u64(FINGERPRINT_VERSION);
+                    h.write_u128(salt);
+                    h.write_u64(TAG_MISSING);
+                    h.write_usize(*module);
+                    h.finish()
+                }
+            },
+            BinNode::Join { op, left, right } => {
+                let mut h = Fingerprinter::new();
+                h.write_u64(FINGERPRINT_VERSION);
+                h.write_u128(salt);
+                h.write_u64(TAG_JOIN);
+                h.write_u64(op_code(*op));
+                if op.produces_lshape() || matches!(op, BinOp::WheelS4) {
+                    h.write_u64(WHEEL_ARITY);
+                }
+                h.write_u128(fps.get(*left).copied().unwrap_or_default());
+                h.write_u128(fps.get(*right).copied().unwrap_or_default());
+                h.finish()
+            }
+        };
+        fps.push(fp);
+    }
+    fps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restructure::restructure;
+    use crate::{generators, CutDir, FloorplanTree};
+    use fp_geom::Rect;
+
+    fn two_stack() -> FloorplanTree {
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        let b = t.leaf(1);
+        t.slice(CutDir::Horizontal, vec![a, b]);
+        t
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let bench = generators::fp1();
+        let lib = generators::module_library(&bench.tree, 4, 7);
+        let bin = restructure(&bench.tree).expect("valid");
+        assert_eq!(
+            block_fingerprints(&bin, &lib, 9),
+            block_fingerprints(&bin, &lib, 9)
+        );
+    }
+
+    #[test]
+    fn salt_separates_policy_spaces() {
+        let bench = generators::fig1();
+        let lib = generators::module_library(&bench.tree, 4, 7);
+        let bin = restructure(&bench.tree).expect("valid");
+        let a = block_fingerprints(&bin, &lib, 1);
+        let b = block_fingerprints(&bin, &lib, 2);
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn module_edit_changes_only_root_path_ancestors() {
+        let bench = generators::fp1();
+        let mut lib = generators::module_library(&bench.tree, 4, 7);
+        let bin = restructure(&bench.tree).expect("valid");
+        let before = block_fingerprints(&bin, &lib, 0);
+
+        // Mutate module 0's list and recompute.
+        let touched = 0usize;
+        lib.set(
+            touched,
+            Module::new("m0", vec![Rect::new(13, 11), Rect::new(7, 17)]),
+        )
+        .expect("module 0 exists");
+        let after = block_fingerprints(&bin, &lib, 0);
+
+        // Exactly the touched leaf and its ancestors change address.
+        let mut parent = vec![usize::MAX; bin.len()];
+        for (i, n) in bin.nodes().iter().enumerate() {
+            if let BinNode::Join { left, right, .. } = n {
+                parent[*left] = i;
+                parent[*right] = i;
+            }
+        }
+        let mut dirty = vec![false; bin.len()];
+        for (i, n) in bin.nodes().iter().enumerate() {
+            if matches!(n, BinNode::Leaf { module, .. } if *module == touched) {
+                let mut at = i;
+                loop {
+                    dirty[at] = true;
+                    if parent[at] == usize::MAX {
+                        break;
+                    }
+                    at = parent[at];
+                }
+            }
+        }
+        for i in 0..bin.len() {
+            assert_eq!(
+                before[i] != after[i],
+                dirty[i],
+                "node {i}: dirtiness must equal root-path membership"
+            );
+        }
+        assert!(dirty.iter().filter(|&&d| d).count() < bin.len());
+    }
+
+    #[test]
+    fn cut_type_and_structure_participate() {
+        let mut v = FloorplanTree::new();
+        let a = v.leaf(0);
+        let b = v.leaf(1);
+        v.slice(CutDir::Vertical, vec![a, b]);
+        let h = two_stack();
+        let lib: ModuleLibrary = [
+            Module::new("a", vec![Rect::new(2, 3)]),
+            Module::new("b", vec![Rect::new(4, 5)]),
+        ]
+        .into_iter()
+        .collect();
+        let fv = block_fingerprints(&restructure(&v).expect("valid"), &lib, 0);
+        let fh = block_fingerprints(&restructure(&h).expect("valid"), &lib, 0);
+        assert_eq!(fv.len(), fh.len());
+        // Same leaves, different cut type at the root join.
+        assert_eq!(fv[0], fh[0]);
+        assert_eq!(fv[1], fh[1]);
+        assert_ne!(fv[2], fh[2]);
+    }
+
+    #[test]
+    fn module_name_does_not_affect_address() {
+        let impls = vec![Rect::new(3, 4), Rect::new(2, 6)];
+        assert_eq!(
+            module_fingerprint(&Module::new("alu", impls.clone())),
+            module_fingerprint(&Module::new("renamed", impls))
+        );
+    }
+}

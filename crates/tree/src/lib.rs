@@ -36,6 +36,7 @@
 
 pub mod curve;
 pub mod export;
+pub mod fingerprint;
 pub mod format;
 pub mod generators;
 pub mod layout;

@@ -116,6 +116,23 @@ impl ModuleLibrary {
         self.modules.get(id)
     }
 
+    /// Replaces the module at `id`, returning the previous module.
+    ///
+    /// This is the mutation hook of the session layer: swapping a
+    /// module's implementation list in place (same id, so the floorplan
+    /// tree's leaves keep referencing it) invalidates exactly the cached
+    /// subtree results along the leaf's root path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offered module back when `id` is out of range.
+    pub fn set(&mut self, id: ModuleId, module: Module) -> Result<Module, Module> {
+        match self.modules.get_mut(id) {
+            Some(slot) => Ok(core::mem::replace(slot, module)),
+            None => Err(module),
+        }
+    }
+
     /// Number of modules.
     #[inline]
     #[must_use]

@@ -1,0 +1,212 @@
+//! Smoke tests driving the real `fpserved` binary: concurrent batch
+//! requests over stdin, per-request deadlines that cancel without
+//! killing the server, malformed-line fixtures answered with positional
+//! errors, graceful drain on EOF and on `shutdown`, and the TCP
+//! listener end to end.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn fpserved() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpserved"))
+}
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/../../tests/fixtures/malformed/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// Pipes `input` through a stdin-mode server and returns (exit code,
+/// response lines). EOF after the last request doubles as the drain
+/// signal, so a hung drain would hang the test (and trip the harness
+/// timeout).
+fn batch(args: &[&str], input: &str) -> (i32, Vec<String>) {
+    let mut child = fpserved()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("fpserved spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("fpserved exits");
+    let lines = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    (out.status.code().unwrap_or(-1), lines)
+}
+
+fn status_of(line: &str) -> u64 {
+    line.split("\"status\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no status in {line}"))
+}
+
+fn line_with_id(lines: &[String], id: &str) -> String {
+    lines
+        .iter()
+        .find(|l| l.contains(&format!("\"id\":{id},")))
+        .unwrap_or_else(|| panic!("no response with id {id} in {lines:?}"))
+        .clone()
+}
+
+/// Two optimize requests in flight at once on a two-worker pool, plus a
+/// ping; all answered, identical instances agree, and the second
+/// identical request is served entirely from the shared cache.
+#[test]
+fn concurrent_batch_is_answered_and_shares_the_cache() {
+    let requests = "\
+{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 5}\n\
+{\"id\": 2, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 5}\n\
+{\"id\": 3, \"method\": \"ping\"}\n\
+{\"id\": 4, \"method\": \"stats\"}\n";
+    let (code, lines) = batch(&["--workers", "2"], requests);
+    assert_eq!(code, 0, "clean drain on EOF: {lines:?}");
+    assert_eq!(lines.len(), 4, "{lines:?}");
+
+    let first = line_with_id(&lines, "1");
+    let second = line_with_id(&lines, "2");
+    assert_eq!(status_of(&first), 0, "{first}");
+    assert_eq!(status_of(&second), 0, "{second}");
+    let area = |l: &str| {
+        l.split("\"area\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .map(str::to_owned)
+    };
+    assert_eq!(area(&first), area(&second), "identical requests agree");
+    assert_eq!(status_of(&line_with_id(&lines, "3")), 0);
+    // With 2 workers racing on identical requests the interleaving is
+    // free, but the four fig-tree joins are cached by whichever run
+    // commits first; the stats response proves the cache saw traffic.
+    let stats = line_with_id(&lines, "4");
+    assert!(stats.contains("\"cache_insertions\":"), "{stats}");
+}
+
+/// A request whose deadline has already passed is answered with status 5
+/// — and the server keeps serving afterwards.
+#[test]
+fn past_deadline_gets_status_5_and_server_survives() {
+    let requests = "\
+{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fp2\", \"n\": 8, \"deadline_ms\": 0}\n\
+{\"id\": 2, \"method\": \"ping\"}\n";
+    let (code, lines) = batch(&["--workers", "1"], requests);
+    assert_eq!(code, 0);
+    let timed_out = line_with_id(&lines, "1");
+    assert_eq!(status_of(&timed_out), 5, "{timed_out}");
+    assert_eq!(status_of(&line_with_id(&lines, "2")), 0, "server survived");
+}
+
+/// The malformed fixtures: bad JSON answered with a line/column
+/// positional error, unknown method named in the error — and in both
+/// files the well-formed neighbours are still served.
+#[test]
+fn malformed_fixture_lines_get_positional_errors() {
+    let bad_json = std::fs::read_to_string(fixture("bad_json.jsonl")).expect("fixture");
+    let (code, lines) = batch(&[], &bad_json);
+    assert_eq!(code, 0);
+    let error = lines
+        .iter()
+        .find(|l| l.contains("\"line\":2"))
+        .expect("line-2 response");
+    assert_eq!(status_of(error), 2, "{error}");
+    assert!(error.contains("\"col\":51"), "{error}");
+    assert!(error.contains("bad JSON"), "{error}");
+    assert_eq!(status_of(&line_with_id(&lines, "1")), 0);
+    assert_eq!(status_of(&line_with_id(&lines, "3")), 0);
+
+    let unknown = std::fs::read_to_string(fixture("unknown_method.jsonl")).expect("fixture");
+    let (code, lines) = batch(&[], &unknown);
+    assert_eq!(code, 0);
+    let error = lines
+        .iter()
+        .find(|l| l.contains("\"id\":\"q7\""))
+        .expect("q7 response");
+    assert_eq!(status_of(error), 2, "{error}");
+    assert!(error.contains("unknown method `frobnicate`"), "{error}");
+}
+
+/// A `shutdown` request drains: it is acknowledged, queued work
+/// finishes, and the process exits 0 without reading further input.
+#[test]
+fn shutdown_request_drains_gracefully() {
+    let requests = "\
+{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fig1\", \"n\": 3}\n\
+{\"id\": 2, \"method\": \"shutdown\"}\n";
+    let (code, lines) = batch(&["--workers", "2"], requests);
+    assert_eq!(code, 0);
+    assert_eq!(status_of(&line_with_id(&lines, "1")), 0, "{lines:?}");
+    let ack = line_with_id(&lines, "2");
+    assert!(ack.contains("\"draining\":true"), "{ack}");
+}
+
+fn spawn_tcp() -> (Child, String) {
+    let mut child = fpserved()
+        .args(["--tcp", "127.0.0.1:0", "--workers", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fpserved spawns");
+    // The server announces the bound address on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("announce line");
+    let addr = line
+        .rsplit("listening on ")
+        .next()
+        .expect("address in announce")
+        .trim()
+        .to_owned();
+    (child, addr)
+}
+
+/// TCP end to end: connect, pipeline a ping and an optimize, read both
+/// responses, then a `shutdown` drains the whole server.
+#[test]
+fn tcp_mode_serves_and_drains() {
+    let (mut child, addr) = spawn_tcp();
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    stream
+        .write_all(
+            b"{\"id\": 1, \"method\": \"ping\"}\n\
+              {\"id\": 2, \"method\": \"optimize\", \"builtin\": \"fig1\", \"n\": 2}\n",
+        )
+        .expect("requests written");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut responses = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        responses.push(line.trim().to_owned());
+    }
+    assert_eq!(status_of(&line_with_id(&responses, "1")), 0);
+    let optimized = line_with_id(&responses, "2");
+    assert_eq!(status_of(&optimized), 0, "{optimized}");
+    assert!(optimized.contains("\"area\":"), "{optimized}");
+
+    stream
+        .write_all(b"{\"id\": 3, \"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain to EOF");
+    assert!(rest.contains("\"draining\":true"), "{rest}");
+    let status = child.wait().expect("fpserved exits");
+    assert_eq!(status.code(), Some(0), "clean TCP drain");
+}
