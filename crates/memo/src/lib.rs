@@ -147,8 +147,10 @@ struct Entry<V> {
 ///
 /// Recency is maintained lazily: every touch pushes a fresh
 /// `(key, stamp)` pair onto a queue and bumps the entry's stamp; eviction
-/// pops from the front, skipping pairs whose stamp is stale. Amortized
-/// O(1) per operation, no unsafe, no intrusive lists.
+/// pops from the front, skipping pairs whose stamp is stale. Stale pairs
+/// are also compacted away once they outnumber live entries, so the
+/// queue stays O(live entries) even on hit-only workloads that never
+/// evict. Amortized O(1) per operation, no unsafe, no intrusive lists.
 ///
 /// ```
 /// use fp_memo::{MemoCache, Weigh};
@@ -231,18 +233,16 @@ impl<V: Weigh> MemoCache<V> {
     pub fn get(&mut self, key: &Fingerprint) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        match self.map.get_mut(key) {
-            Some(entry) => {
-                entry.stamp = clock;
-                self.recency.push_back((*key, clock));
-                self.stats.hits += 1;
-                Some(&entry.value)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.stamp = clock;
+        } else {
+            self.stats.misses += 1;
+            return None;
         }
+        self.recency.push_back((*key, clock));
+        self.maybe_compact();
+        self.stats.hits += 1;
+        self.map.get(key).map(|entry| &entry.value)
     }
 
     /// Stores `value` under `key`, evicting least-recently-used entries
@@ -274,6 +274,7 @@ impl<V: Weigh> MemoCache<V> {
             },
         );
         self.recency.push_back((key, self.clock));
+        self.maybe_compact();
         self.stats.insertions += 1;
     }
 
@@ -282,6 +283,22 @@ impl<V: Weigh> MemoCache<V> {
         self.map.clear();
         self.recency.clear();
         self.bytes = 0;
+    }
+
+    /// Drops stale recency pairs once they outnumber live entries 2:1.
+    ///
+    /// Lazy LRU leaves one stale pair behind per touch, and a cache
+    /// under budget never evicts — so without compaction a
+    /// high-hit-rate workload (a long-running server) grows the queue
+    /// without bound. The sweep is O(queue) but runs only after O(live)
+    /// pushes, so touches stay amortized O(1); afterwards exactly one
+    /// pair per live entry remains, in recency order.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > 2 * self.map.len() + 16 {
+            let map = &self.map;
+            self.recency
+                .retain(|(key, stamp)| map.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
     }
 
     /// Evicts the least-recently-used entry; `false` when empty.
@@ -400,6 +417,33 @@ mod tests {
         assert!(c.contains(&1), "oversized insert must not purge the cache");
         assert!(!c.contains(&2));
         assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_on_hit_only_workloads() {
+        // A cache under budget never evicts, so only compaction keeps
+        // the lazy-LRU queue from growing per lookup.
+        let mut c: MemoCache<Blob> = MemoCache::new(4 * w(10));
+        for k in 0..3 {
+            c.insert(k, Blob(10));
+        }
+        for i in 0..10_000u64 {
+            assert!(c.get(&(u128::from(i) % 3)).is_some());
+        }
+        assert!(
+            c.recency.len() <= 2 * c.len() + 16,
+            "queue grew to {} pairs for {} entries",
+            c.recency.len(),
+            c.len()
+        );
+        // Compaction must preserve LRU order: make 0 the coldest key,
+        // then force an eviction.
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&2).is_some());
+        c.insert(3, Blob(10));
+        c.insert(4, Blob(10)); // budget forces one eviction
+        assert!(!c.contains(&0), "0, least recently touched, is evicted");
+        assert!(c.contains(&1) && c.contains(&2) && c.contains(&3) && c.contains(&4));
     }
 
     #[test]

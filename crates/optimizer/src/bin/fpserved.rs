@@ -26,7 +26,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -206,22 +206,42 @@ fn serve_stdin(
     }
 
     let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
-    let stdin = std::io::stdin();
-    for (index, line) in stdin.lock().lines().enumerate() {
+    // stdin is read on its own thread: the blocking `lines()` iterator
+    // cannot observe the shutdown flag, so a worker handling a
+    // `shutdown` request would otherwise only take effect at the next
+    // input line (or EOF). The main thread multiplexes incoming lines
+    // and the flag via a channel timeout. The reader thread is left
+    // blocked on stdin at exit; process teardown reaps it.
+    let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for (index, line) in stdin.lock().lines().enumerate() {
+            let Ok(line) = line else { break };
+            if line_tx.send((index as u64 + 1, line)).is_err() {
+                break;
+            }
+        }
+    });
+    loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let job = Job {
-            line,
-            line_no: index as u64 + 1,
-            out: Arc::clone(&out),
-        };
-        if tx.send(job).is_err() {
-            break;
+        match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((line_no, line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let job = Job {
+                    line,
+                    line_no,
+                    out: Arc::clone(&out),
+                };
+                if tx.send(job).is_err() {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
         }
     }
     // Graceful drain: close the queue, let every in-flight and queued
@@ -270,14 +290,12 @@ fn serve_tcp(
         }));
     }
 
-    let line_counter = Arc::new(AtomicU64::new(0));
     let mut connections = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let tx = tx.clone();
                 let shutdown = Arc::clone(&shutdown);
-                let line_counter = Arc::clone(&line_counter);
                 connections.push(std::thread::spawn(move || {
                     // A short read timeout lets the reader notice a
                     // drain request between lines.
@@ -287,32 +305,52 @@ fn serve_tcp(
                     };
                     let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(writer));
                     let mut reader = BufReader::new(stream);
+                    // `line` accumulates across read timeouts: a timeout
+                    // mid-line leaves the bytes read so far in place, and
+                    // only a completed line resets it.
                     let mut line = String::new();
+                    // 1-based request line within THIS connection's
+                    // stream, as the protocol docs define it.
+                    let mut line_no: u64 = 0;
+                    let submit = |line: &str, line_no: u64| {
+                        if line.trim().is_empty() {
+                            return true;
+                        }
+                        let job = Job {
+                            line: line.trim_end_matches(['\n', '\r']).to_owned(),
+                            line_no,
+                            out: Arc::clone(&out),
+                        };
+                        tx.send(job).is_ok()
+                    };
                     loop {
                         if shutdown.load(Ordering::SeqCst) {
                             return;
                         }
-                        line.clear();
                         match reader.read_line(&mut line) {
-                            Ok(0) => return, // client closed
-                            Ok(_) => {
-                                if line.trim().is_empty() {
-                                    continue;
+                            Ok(0) => {
+                                // Client closed; a trailing unterminated
+                                // line still counts as a request.
+                                if !line.is_empty() {
+                                    line_no += 1;
+                                    submit(&line, line_no);
                                 }
-                                let job = Job {
-                                    line: line.trim_end_matches(['\n', '\r']).to_owned(),
-                                    line_no: line_counter.fetch_add(1, Ordering::SeqCst) + 1,
-                                    out: Arc::clone(&out),
-                                };
-                                if tx.send(job).is_err() {
+                                return;
+                            }
+                            Ok(_) => {
+                                line_no += 1;
+                                if !submit(&line, line_no) {
                                     return;
                                 }
+                                line.clear();
                             }
                             Err(e)
                                 if e.kind() == std::io::ErrorKind::WouldBlock
                                     || e.kind() == std::io::ErrorKind::TimedOut =>
                             {
-                                continue
+                                // Partial bytes read before the timeout
+                                // stay in `line`; keep reading.
+                                continue;
                             }
                             Err(_) => return,
                         }

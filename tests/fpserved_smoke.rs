@@ -152,6 +152,46 @@ fn shutdown_request_drains_gracefully() {
     assert!(ack.contains("\"draining\":true"), "{ack}");
 }
 
+/// A `shutdown` request must terminate the server even when stdin is
+/// held open — the reply-then-hang regression: the main thread used to
+/// block in `lines()` and only notice the drain flag at the next line.
+#[test]
+fn shutdown_exits_even_while_stdin_stays_open() {
+    let mut child = fpserved()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("fpserved spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(b"{\"id\": 1, \"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    stdin.flush().expect("flushed");
+    // Deliberately keep stdin open while waiting for the exit.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert_eq!(status.code(), Some(0), "clean exit with stdin open");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server hung: shutdown not honored while stdin stays open"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(stdin);
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("stdout read");
+    assert!(out.contains("\"draining\":true"), "{out}");
+}
+
 fn spawn_tcp() -> (Child, String) {
     let mut child = fpserved()
         .args(["--tcp", "127.0.0.1:0", "--workers", "2"])
@@ -209,4 +249,70 @@ fn tcp_mode_serves_and_drains() {
     assert!(rest.contains("\"draining\":true"), "{rest}");
     let status = child.wait().expect("fpserved exits");
     assert_eq!(status.code(), Some(0), "clean TCP drain");
+}
+
+/// A request trickled in over writes spaced past the server's 100ms
+/// read timeout must still parse whole — the reader used to discard the
+/// partially-read prefix on every timeout and answer with a bogus
+/// malformed-request error.
+#[test]
+fn tcp_slow_fragmented_request_is_not_corrupted() {
+    let (mut child, addr) = spawn_tcp();
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    let request = b"{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fig1\", \"n\": 2}\n";
+    for chunk in request.chunks(9) {
+        stream.write_all(chunk).expect("chunk written");
+        stream.flush().expect("chunk flushed");
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    assert_eq!(status_of(&line), 0, "{line}");
+    assert!(line.contains("\"area\":"), "{line}");
+
+    stream
+        .write_all(b"{\"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+}
+
+/// Response `line` numbers count each connection's own stream, as the
+/// protocol documents — not a server-global request counter.
+#[test]
+fn tcp_line_numbers_are_per_connection() {
+    let (mut child, addr) = spawn_tcp();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(&addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout set");
+        stream
+            .write_all(b"{\"id\": 1, \"method\": \"ping\"}\n{\"id\": 2, \"method\": \"ping\"}\n")
+            .expect("requests written");
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response line");
+            responses.push(line.trim().to_owned());
+        }
+        // Every fresh connection starts at line 1 again.
+        assert!(
+            line_with_id(&responses, "1").contains("\"line\":1"),
+            "{responses:?}"
+        );
+        assert!(
+            line_with_id(&responses, "2").contains("\"line\":2"),
+            "{responses:?}"
+        );
+    }
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .write_all(b"{\"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
 }
