@@ -1,0 +1,249 @@
+//! Tree-parallel scheduler benchmark: FP1–FP4 wall-clock at 1/2/4/8
+//! worker threads, cold cache and warm cache, emitted as
+//! machine-readable `BENCH_parallel.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin parallel_bench
+//! cargo run --release -p fp-bench --bin parallel_bench -- --out path.json
+//! cargo run --release -p fp-bench --bin parallel_bench -- --smoke
+//! ```
+//!
+//! Per benchmark and thread count, two timed phases:
+//!
+//! * **cold** — no block cache: every join is built by the scheduler;
+//! * **warm** — a pre-primed shared cache: every join reconstitutes.
+//!
+//! Timings are the best of [`REPS`] repetitions. Every run's area and
+//! frontier must agree with the single-threaded baseline — the bench
+//! doubles as a determinism gate. The headline speedup gate (cold FP4
+//! at 4 threads ≥ [`SPEEDUP_GATE`]× over 1 thread) is enforced only
+//! when the host actually has ≥ 4 cores: thread counts above
+//! `available_parallelism` cannot speed anything up, and skipping the
+//! gate there keeps the bench honest instead of flaky.
+//!
+//! `--smoke` runs a reduced matrix (FP1–FP2, threads 1/2, 1 rep) with
+//! the identical JSON schema, for CI schema validation.
+
+use std::time::Instant;
+
+use fp_optimizer::{optimize_frontier, optimize_frontier_cached, OptimizeConfig, SharedBlockCache};
+use fp_tree::generators;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Repetitions per (bench, threads, phase) cell; the minimum is kept.
+const REPS: usize = 3;
+/// Block-cache budget for the warm phase (comfortably holds FP4).
+const CACHE_BYTES: usize = 256 << 20;
+/// Required cold-cache speedup at 4 threads on the largest benchmark,
+/// enforced when the host has at least 4 cores.
+const SPEEDUP_GATE: f64 = 2.0;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SMOKE_SWEEP: [usize; 2] = [1, 2];
+
+struct Cell {
+    threads: usize,
+    cold_millis: f64,
+    warm_millis: f64,
+}
+
+struct BenchRow {
+    name: String,
+    modules: usize,
+    nodes: usize,
+    area: u128,
+    cells: Vec<Cell>,
+}
+
+fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(run());
+    }
+    best
+}
+
+fn run_bench(
+    name: &str,
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    sweep: &[usize],
+    reps: usize,
+) -> BenchRow {
+    // Single-threaded baseline pins the expected result.
+    let baseline = optimize_frontier(tree, library, &OptimizeConfig::default().with_threads(1))
+        .expect("baseline solves");
+    let area = baseline.outcome(0).area;
+
+    let mut cells = Vec::new();
+    for &threads in sweep {
+        let config = OptimizeConfig::default().with_threads(threads);
+
+        let cold_millis = time_best(reps, || {
+            let start = Instant::now();
+            let frontier = optimize_frontier(tree, library, &config).expect("cold run solves");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                frontier.envelopes(),
+                baseline.envelopes(),
+                "{name} @{threads}: frontier diverged from the serial baseline"
+            );
+            millis
+        });
+
+        // Prime a cache at this thread count, then time fully warm runs.
+        let cache = SharedBlockCache::new(CACHE_BYTES);
+        let primed =
+            optimize_frontier_cached(tree, library, &config, &cache).expect("priming run solves");
+        assert_eq!(primed.envelopes(), baseline.envelopes());
+        let warm_millis = time_best(reps, || {
+            let start = Instant::now();
+            let frontier =
+                optimize_frontier_cached(tree, library, &config, &cache).expect("warm run solves");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(frontier.stats().cache_misses, 0, "{name}: warm run missed");
+            assert_eq!(frontier.envelopes(), baseline.envelopes());
+            millis
+        });
+
+        cells.push(Cell {
+            threads,
+            cold_millis,
+            warm_millis,
+        });
+    }
+
+    BenchRow {
+        name: name.to_owned(),
+        modules: library.len(),
+        nodes: tree.len(),
+        area,
+        cells,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_parallel.json".to_owned();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("parallel_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("parallel_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (sweep, reps, n): (&[usize], usize, usize) = if smoke {
+        (&SMOKE_SWEEP, 1, 4)
+    } else {
+        (&SWEEP, REPS, 8)
+    };
+
+    let mut cases = vec![("FP1", generators::fp1()), ("FP2", generators::fp2())];
+    if !smoke {
+        cases.push(("FP3", generators::fp3()));
+        cases.push(("FP4", generators::fp4()));
+    }
+
+    let mut rows = Vec::new();
+    for (name, bench) in &cases {
+        eprintln!("parallel_bench: running {name} (n = {n}, sweep {sweep:?}) ...");
+        let library = generators::module_library(&bench.tree, n, 7);
+        rows.push(run_bench(name, &bench.tree, &library, sweep, reps));
+    }
+
+    let mut entries = Vec::new();
+    for row in &rows {
+        let base_cold = row.cells.first().map_or(0.0, |c| c.cold_millis);
+        let base_warm = row.cells.first().map_or(0.0, |c| c.warm_millis);
+        let cells: Vec<String> = row
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "      {{\"threads\": {}, \"cold_millis\": {:.3}, \"warm_millis\": {:.3}, \
+                     \"cold_speedup\": {:.2}, \"warm_speedup\": {:.2}}}",
+                    c.threads,
+                    c.cold_millis,
+                    c.warm_millis,
+                    base_cold / c.cold_millis.max(1e-6),
+                    base_warm / c.warm_millis.max(1e-6),
+                )
+            })
+            .collect();
+        entries.push(format!(
+            "    {{\"bench\": \"{}\", \"modules\": {}, \"nodes\": {}, \"area\": {},\n     \
+             \"cells\": [\n{}\n    ]}}",
+            row.name,
+            row.modules,
+            row.nodes,
+            row.area,
+            cells.join(",\n")
+        ));
+        for c in &row.cells {
+            println!(
+                "{:>4} @{} threads: cold {:>9.3} ms ({:>5.2}x) | warm {:>8.3} ms ({:>5.2}x)",
+                row.name,
+                c.threads,
+                c.cold_millis,
+                base_cold / c.cold_millis.max(1e-6),
+                c.warm_millis,
+                base_warm / c.warm_millis.max(1e-6),
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tree-parallel scheduler cold/warm sweep\",\n  \
+         \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"cache_bytes\": {CACHE_BYTES},\n  \
+         \"cores\": {cores},\n  \"speedup_gate\": {SPEEDUP_GATE},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("parallel_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // Headline gate: cold FP4 at 4 threads must beat 1 thread by
+    // SPEEDUP_GATE when the host can actually run 4 workers.
+    if smoke {
+        return;
+    }
+    let largest = rows.last().expect("cases are non-empty");
+    let base = largest.cells.first().map_or(0.0, |c| c.cold_millis);
+    let at4 = largest
+        .cells
+        .iter()
+        .find(|c| c.threads == 4)
+        .map_or(f64::INFINITY, |c| c.cold_millis);
+    let speedup = base / at4.max(1e-6);
+    if cores >= 4 {
+        if speedup < SPEEDUP_GATE {
+            eprintln!(
+                "parallel_bench: FAIL: cold speedup on {} at 4 threads is {speedup:.2}x \
+                 (< {SPEEDUP_GATE}x, {cores} cores)",
+                largest.name
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "parallel_bench: speedup gate skipped: host has {cores} core(s); \
+             measured {speedup:.2}x on {}",
+            largest.name
+        );
+    }
+}

@@ -165,6 +165,7 @@ fn phase_json(label: &str, p: &PhaseResult) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_session.json".to_owned();
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -172,6 +173,13 @@ fn main() {
                 Some(p) => out_path = p.clone(),
                 None => {
                     eprintln!("session_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => threads = Some(n),
+                _ => {
+                    eprintln!("session_bench: --threads needs a numeric value");
                     std::process::exit(2);
                 }
             },
@@ -184,7 +192,11 @@ fn main() {
 
     // The paper's four floorplans, sized so FP4 (the largest) is a
     // multi-hundred-millisecond cold run under the default policies.
-    let config = OptimizeConfig::default();
+    let mut config = OptimizeConfig::default();
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
+    let resolved_threads = config.resolved_threads();
     let cases = [
         ("FP1", generators::fp1(), 8usize),
         ("FP2", generators::fp2(), 8),
@@ -231,7 +243,8 @@ fn main() {
 
     let json = format!(
         "{{\n  \"benchmark\": \"session-subsystem cold/warm/incremental\",\n  \
-         \"reps\": {REPS},\n  \"cache_bytes\": {CACHE_BYTES},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"reps\": {REPS},\n  \"cache_bytes\": {CACHE_BYTES},\n  \"threads\": {resolved_threads},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -134,6 +134,7 @@ pub struct LReductionPolicy {
     prefilter: Option<usize>,
     metric: Metric,
     parallel: bool,
+    workers: Option<usize>,
 }
 
 impl LReductionPolicy {
@@ -152,6 +153,7 @@ impl LReductionPolicy {
             prefilter: None,
             metric: Metric::L1,
             parallel: false,
+            workers: None,
         }
     }
 
@@ -162,6 +164,21 @@ impl LReductionPolicy {
     #[must_use]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Caps the scoped worker pool used by the parallel path. `None`
+    /// (the default) sizes the pool from `available_parallelism()`;
+    /// callers that already own a thread budget — the tree-level
+    /// scheduler in `fp-optimizer` — pass their per-worker share here
+    /// (typically 1) so nested reductions never oversubscribe the
+    /// machine. A budget of 0 or 1 takes the sequential path outright.
+    /// Like [`LReductionPolicy::with_parallel`], this never changes the
+    /// reduction's output, so it is excluded from the policy
+    /// fingerprint that addresses the block cache.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
@@ -235,12 +252,34 @@ impl LReductionPolicy {
         self.parallel
     }
 
+    /// The worker-pool cap for the parallel path, if one was set.
+    #[inline]
+    #[must_use]
+    pub fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+
     /// Applies the policy to a block's L-list set: `Some(kept positions per
     /// list)` when the reduction fires, `None` otherwise.
     #[must_use]
     pub fn apply(&self, set: &LListSet) -> Option<Vec<Vec<usize>>> {
         reduce_llist_set(set, self)
     }
+}
+
+/// The worker-pool default when no explicit budget was set: the
+/// `FP_LRED_WORKERS` environment variable if it parses, else the
+/// machine's available parallelism. Cached for the process lifetime so
+/// every join sees one consistent answer.
+fn default_lred_workers() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FP_LRED_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+    })
 }
 
 /// Applies an [`LReductionPolicy`] to a block's set of irreducible L-lists.
@@ -298,12 +337,17 @@ pub fn reduce_llist_set(set: &LListSet, policy: &LReductionPolicy) -> Option<Vec
         }
     };
 
-    if policy.parallel && lists.len() > 1 {
+    // The pool is sized by the caller's budget when one was given (the
+    // tree-level scheduler passes its per-worker share), by the
+    // FP_LRED_WORKERS environment default or the machine otherwise. A
+    // budget of 0 or 1 degenerates to the sequential path.
+    let workers = policy
+        .workers
+        .unwrap_or_else(default_lred_workers)
+        .min(lists.len());
+    if policy.parallel && workers > 1 {
         // Each list reduces independently: fan the lists out over scoped
         // threads in fixed-size stripes and reassemble in order.
-        let workers = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(lists.len());
         let mut out: Vec<Vec<Vec<usize>>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -546,6 +590,16 @@ mod tests {
             .apply(&set)
             .expect("fires");
         assert_eq!(seq, par);
+        // Any explicit worker budget (including the degenerate 0/1 that
+        // falls back to the sequential path) is bit-identical too.
+        for budget in [0usize, 1, 2, 3, 64] {
+            let capped = LReductionPolicy::new(20)
+                .with_parallel(true)
+                .with_workers(budget)
+                .apply(&set)
+                .expect("fires");
+            assert_eq!(seq, capped, "budget {budget} diverged");
+        }
     }
 
     #[test]

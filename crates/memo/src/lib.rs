@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
 
 /// A 128-bit content fingerprint.
 pub type Fingerprint = u128;
@@ -134,6 +135,17 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Values rejected because they alone exceed the whole budget.
     pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Adds `other`'s counters into `self` (used to merge shard stats).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+        self.rejected += other.rejected;
+    }
 }
 
 struct Entry<V> {
@@ -317,6 +329,167 @@ impl<V: Weigh> MemoCache<V> {
     }
 }
 
+/// Default shard count for [`ShardedMemoCache`]: enough to keep a
+/// handful of worker threads from serializing on one lock, small enough
+/// that per-shard budgets stay meaningful.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A thread-safe [`MemoCache`] sharded behind per-shard locks.
+///
+/// The byte budget is split evenly across shards; a fingerprint is
+/// routed to a shard by its (already avalanched) upper bits, so the
+/// low bits remain free for the shard's internal hash map. Counters
+/// are kept per shard and merged on read, so totals are exact even
+/// under concurrent hammering — each lookup/insert bumps exactly one
+/// shard's counters under that shard's lock.
+///
+/// A poisoned shard lock (a panicking thread mid-operation) degrades
+/// gracefully: lookups miss, inserts drop, counters read as zero for
+/// that shard. This mirrors the workspace's no-panic contract — the
+/// cache is an accelerator, never a correctness dependency.
+///
+/// ```
+/// use fp_memo::{ShardedMemoCache, Weigh};
+///
+/// struct Blob(usize);
+/// impl Weigh for Blob {
+///     fn weight_bytes(&self) -> usize {
+///         self.0
+///     }
+/// }
+///
+/// let cache: ShardedMemoCache<Blob> = ShardedMemoCache::new(1 << 20, 4);
+/// cache.insert(1, Blob(100));
+/// assert!(cache.contains(&1));
+/// assert_eq!(cache.stats().insertions, 1);
+/// ```
+pub struct ShardedMemoCache<V> {
+    shards: Vec<Mutex<MemoCache<V>>>,
+    mask: u64,
+}
+
+impl<V: Weigh> ShardedMemoCache<V> {
+    /// A cache of `budget_bytes` total, split over `shards` (rounded up
+    /// to a power of two, minimum 1) independently locked shards.
+    #[must_use]
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let per_shard = budget_bytes / count;
+        let shards = (0..count)
+            .map(|_| Mutex::new(MemoCache::new(per_shard)))
+            .collect();
+        ShardedMemoCache {
+            shards,
+            mask: (count - 1) as u64,
+        }
+    }
+
+    /// A cache with the [`DEFAULT_SHARDS`] shard count.
+    #[must_use]
+    pub fn with_default_shards(budget_bytes: usize) -> Self {
+        ShardedMemoCache::new(budget_bytes, DEFAULT_SHARDS)
+    }
+
+    /// Number of shards (always a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &Fingerprint) -> &Mutex<MemoCache<V>> {
+        // Route by the upper 64 bits: both lanes are avalanched, and
+        // this leaves the lower bits uncorrelated with shard choice for
+        // the shard's own HashMap.
+        let idx = ((key >> 64) as u64) & self.mask;
+        &self.shards[idx as usize]
+    }
+
+    /// Looks up `key`, cloning the value out under the shard lock and
+    /// bumping its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &Fingerprint) -> Option<V>
+    where
+        V: Clone,
+    {
+        match self.shard(key).lock() {
+            Ok(mut shard) => shard.get(key).cloned(),
+            Err(_) => None,
+        }
+    }
+
+    /// Stores `value` under `key` in its shard, evicting that shard's
+    /// least-recently-used entries to fit the per-shard budget.
+    pub fn insert(&self, key: Fingerprint, value: V) {
+        if let Ok(mut shard) = self.shard(&key).lock() {
+            shard.insert(key, value);
+        }
+    }
+
+    /// Whether `key` is live, without touching recency or counters.
+    #[must_use]
+    pub fn contains(&self, key: &Fingerprint) -> bool {
+        match self.shard(key).lock() {
+            Ok(shard) => shard.contains(key),
+            Err(_) => false,
+        }
+    }
+
+    /// Merged counter snapshot across all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            if let Ok(shard) = shard.lock() {
+                total.absorb(shard.stats());
+            }
+        }
+        total
+    }
+
+    /// Total live entries across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |s| s.len()))
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently accounted across shards.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |s| s.bytes()))
+            .sum()
+    }
+
+    /// The summed per-shard byte budgets (≤ the requested budget due to
+    /// integer division).
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |s| s.budget_bytes()))
+            .sum()
+    }
+
+    /// Drops every entry in every shard (counters survive).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            if let Ok(mut shard) = shard.lock() {
+                shard.clear();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +617,47 @@ mod tests {
         c.insert(4, Blob(10)); // budget forces one eviction
         assert!(!c.contains(&0), "0, least recently touched, is evicted");
         assert!(c.contains(&1) && c.contains(&2) && c.contains(&3) && c.contains(&4));
+    }
+
+    #[test]
+    fn sharded_cache_routes_and_merges() {
+        #[derive(Clone)]
+        struct Small;
+        impl Weigh for Small {
+            fn weight_bytes(&self) -> usize {
+                8
+            }
+        }
+        let cache: ShardedMemoCache<Small> = ShardedMemoCache::new(1 << 20, 4);
+        assert_eq!(cache.shard_count(), 4);
+        for k in 0..64u128 {
+            cache.insert(k << 64, Small); // distinct upper bits → all shards
+        }
+        assert_eq!(cache.len(), 64);
+        for k in 0..64u128 {
+            assert!(cache.get(&(k << 64)).is_some());
+        }
+        assert!(cache.get(&(999u128 << 64)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (64, 1, 64));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn sharded_shard_count_rounds_to_power_of_two() {
+        #[derive(Clone)]
+        struct Small;
+        impl Weigh for Small {
+            fn weight_bytes(&self) -> usize {
+                8
+            }
+        }
+        let cache: ShardedMemoCache<Small> = ShardedMemoCache::new(1 << 20, 5);
+        assert_eq!(cache.shard_count(), 8);
+        let one: ShardedMemoCache<Small> = ShardedMemoCache::new(1 << 20, 0);
+        assert_eq!(one.shard_count(), 1);
     }
 
     #[test]

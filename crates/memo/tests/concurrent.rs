@@ -1,0 +1,147 @@
+//! Concurrency tests for the sharded cache: many threads hammering the
+//! same keys (including keys that collide onto one shard) must leave
+//! the merged counters exactly consistent — every lookup accounted as a
+//! hit or a miss, every store as an insertion — and the byte accounting
+//! within budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use fp_memo::{CacheStats, Fingerprint, ShardedMemoCache, Weigh, ENTRY_OVERHEAD_BYTES};
+
+#[derive(Clone)]
+struct Blob(Vec<u8>);
+
+impl Weigh for Blob {
+    fn weight_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 4_000;
+
+/// Hammers a generously-budgeted cache from many threads with a small
+/// key universe and checks the merged counters add up exactly: with no
+/// evictions possible, hits + misses == lookups and insertions == stores.
+#[test]
+fn shard_hammering_keeps_exact_counter_totals() {
+    let blob = || Blob(vec![7u8; 32]);
+    let weight = blob().weight_bytes() + ENTRY_OVERHEAD_BYTES;
+    // 64 keys, room for all of them in every shard: nothing ever evicts.
+    let keys: Vec<Fingerprint> = (0..64u128).map(|k| k.wrapping_mul(0x9e37)).collect();
+    let cache = ShardedMemoCache::new(64 * weight * 16, 16);
+    let lookups = AtomicU64::new(0);
+    let stores = AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let keys = &keys;
+            let lookups = &lookups;
+            let stores = &stores;
+            scope.spawn(move || {
+                // Deterministic per-thread op mix, no shared RNG needed.
+                let mut state = (t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+                for _ in 0..OPS_PER_THREAD {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = keys[(state >> 33) as usize % keys.len()];
+                    if state & 3 == 0 {
+                        cache.insert(key, blob());
+                        stores.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let _ = cache.get(&key);
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats: CacheStats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups.load(Ordering::Relaxed),
+        "every lookup is exactly one hit or one miss"
+    );
+    assert_eq!(
+        stats.insertions,
+        stores.load(Ordering::Relaxed),
+        "every store is exactly one insertion"
+    );
+    assert_eq!(stats.evictions, 0, "budget never forces an eviction");
+    assert!(cache.len() <= keys.len());
+    assert!(cache.bytes() <= cache.budget_bytes());
+}
+
+/// Forces every key onto a single shard (shards = 1) under a tiny
+/// budget: the LRU churns constantly but the counters and the byte
+/// accounting stay exact.
+#[test]
+fn single_shard_churn_stays_consistent() {
+    let blob = || Blob(vec![3u8; 64]);
+    let weight = blob().weight_bytes() + ENTRY_OVERHEAD_BYTES;
+    // Room for only 4 of the 64 keys: heavy eviction traffic.
+    let cache = ShardedMemoCache::new(4 * weight, 1);
+    let stores = AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let stores = &stores;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let key = ((t * OPS_PER_THREAD + i) % 64) as Fingerprint;
+                    if i % 2 == 0 {
+                        cache.insert(key, blob());
+                        stores.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let _ = cache.get(&key);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.insertions, stores.load(Ordering::Relaxed));
+    assert!(
+        stats.evictions <= stats.insertions,
+        "cannot evict more than was ever inserted"
+    );
+    assert!(cache.bytes() <= cache.budget_bytes(), "budget respected");
+    assert!(
+        cache.len() <= 4,
+        "never more resident than the budget holds"
+    );
+}
+
+/// Readers observe whole values, never torn ones: concurrent writers
+/// store self-describing blobs and every read must round-trip.
+#[test]
+fn concurrent_reads_always_see_whole_values() {
+    let cache: ShardedMemoCache<Blob> = ShardedMemoCache::new(1 << 20, 8);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let key = (i % 16) as Fingerprint;
+                    // Each value is a run of one byte: a torn read would
+                    // show a mix.
+                    let fill = ((t * 31 + i) % 251) as u8;
+                    cache.insert(key, Blob(vec![fill; 48]));
+                    if let Some(got) = cache.get(&key) {
+                        let first = got.0.first().copied().unwrap_or(0);
+                        assert!(
+                            got.0.iter().all(|&b| b == first),
+                            "torn value observed at key {key}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}

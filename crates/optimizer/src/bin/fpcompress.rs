@@ -34,6 +34,9 @@ usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [options]
   --auto-rescue      when --max-impls is exceeded, halve k (floor 2) until
                      the output fits
   --deadline <secs>  wall-clock deadline for the compression
+  --threads <n>      run per-module selections on <n> worker threads
+                     (0 = all cores; default $FP_THREADS or 1; output
+                     is identical at any thread count)
   --cache-bytes <n>  memoize per-module selections (content-addressed);
                      libraries with repeated shape lists — and rescue
                      retries — compress each distinct list once
@@ -94,55 +97,114 @@ fn selection_key(module: &Module, mode: Mode) -> u128 {
     h.finish()
 }
 
+/// One module's selection, computed fresh. Parsed modules always have
+/// non-empty lists; keep the module unchanged if selection ever
+/// declines anyway.
+fn compute_selection(module: &Module, mode: Mode) -> CachedSelection {
+    let list = module.implementations();
+    let fresh = match mode {
+        Mode::FixedK(k) => r_selection(list, k),
+        Mode::MaxError(e) => r_selection_within(list, e),
+    };
+    match fresh {
+        Ok(s) => CachedSelection {
+            positions: Some(s.positions),
+            error: s.error,
+        },
+        Err(_) => CachedSelection {
+            positions: None,
+            error: 0,
+        },
+    }
+}
+
+/// Compresses the library in three deterministic phases: serial cache
+/// lookups, per-module selection of the misses (fanned across `threads`
+/// workers — selections are independent, so the output is identical at
+/// any thread count), and serial in-order cache insertion and assembly.
 fn compress(
     instance: &FloorplanInstance,
     mode: Mode,
     cache: &mut Option<SelectionCache>,
+    threads: usize,
 ) -> Compressed {
+    let modules: Vec<&Module> = instance.library.iter().collect();
+    let n = modules.len();
+    let keys: Vec<Option<u128>> = modules
+        .iter()
+        .map(|m| cache.as_ref().map(|_| selection_key(m, mode)))
+        .collect();
+
+    // Phase 1: serial lookups (hit accounting stays order-stable).
+    let mut selections: Vec<Option<CachedSelection>> = vec![None; n];
+    let mut cache_reused = 0usize;
+    if let Some(cache) = cache.as_mut() {
+        for (selection, key) in selections.iter_mut().zip(&keys) {
+            if let Some(key) = key {
+                if let Some(hit) = cache.get(key).cloned() {
+                    *selection = Some(hit);
+                    cache_reused += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 2: compute the misses, on worker threads when asked.
+    let misses: Vec<usize> = (0..n).filter(|&i| selections[i].is_none()).collect();
+    let workers = threads.clamp(1, misses.len().max(1));
+    if workers > 1 {
+        let chunk_len = misses.len().div_ceil(workers);
+        let computed: Vec<(usize, CachedSelection)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = misses
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let modules = &modules;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&i| (i, compute_selection(modules[i], mode)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        for (i, selection) in computed {
+            selections[i] = Some(selection);
+        }
+    }
+    // Serial path, and the backstop for anything a worker failed to
+    // deliver: compute in place.
+    for (i, selection) in selections.iter_mut().enumerate() {
+        if selection.is_none() {
+            *selection = Some(compute_selection(modules[i], mode));
+        }
+    }
+
+    // Phase 3: in-order cache insertion and library assembly.
     let mut before = 0usize;
     let mut after = 0usize;
     let mut total_error: u128 = 0;
-    let mut cache_reused = 0usize;
-    let library: ModuleLibrary = instance
-        .library
+    let mut miss_cursor = misses.iter().copied().peekable();
+    let library: ModuleLibrary = modules
         .iter()
-        .map(|module| {
+        .enumerate()
+        .map(|(i, module)| {
             let list = module.implementations();
             before += list.len();
-            let key = cache.as_ref().map(|_| selection_key(module, mode));
-            let cached = match (cache.as_mut(), key) {
-                (Some(cache), Some(key)) => cache.get(&key).cloned(),
-                _ => None,
-            };
-            let selection = match cached {
-                Some(hit) => {
-                    cache_reused += 1;
-                    hit
+            let selection = selections[i].take().unwrap_or(CachedSelection {
+                positions: None,
+                error: 0,
+            });
+            if miss_cursor.peek() == Some(&i) {
+                miss_cursor.next();
+                if let (Some(cache), Some(key)) = (cache.as_mut(), keys[i]) {
+                    cache.insert(key, selection.clone());
                 }
-                None => {
-                    let fresh = match mode {
-                        Mode::FixedK(k) => r_selection(list, k),
-                        Mode::MaxError(e) => r_selection_within(list, e),
-                    };
-                    let fresh = match fresh {
-                        Ok(s) => CachedSelection {
-                            positions: Some(s.positions),
-                            error: s.error,
-                        },
-                        // Parsed modules always have non-empty lists;
-                        // keep the module unchanged if selection ever
-                        // declines anyway.
-                        Err(_) => CachedSelection {
-                            positions: None,
-                            error: 0,
-                        },
-                    };
-                    if let (Some(cache), Some(key)) = (cache.as_mut(), key) {
-                        cache.insert(key, fresh.clone());
-                    }
-                    fresh
-                }
-            };
+            }
             total_error += selection.error;
             match &selection.positions {
                 Some(positions) => {
@@ -174,6 +236,7 @@ fn main() -> ExitCode {
     let mut cache_bytes: Option<usize> = None;
     let mut auto_rescue = false;
     let mut deadline: Option<Duration> = None;
+    let mut threads: Option<usize> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -204,6 +267,21 @@ fn main() -> ExitCode {
                 }
             }
             "--auto-rescue" => auto_rescue = true,
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --threads expects a value\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.parse::<usize>() {
+                    Ok(n) => threads = Some(n),
+                    Err(e) => {
+                        eprintln!("fpcompress: --threads: {e}\n");
+                        eprint!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--deadline" => {
                 let Some(v) = it.next() else {
                     eprintln!("fpcompress: --deadline needs a value");
@@ -283,7 +361,16 @@ fn main() -> ExitCode {
 
     let mut cache = cache_bytes.map(MemoCache::new);
     let mut mode = mode;
-    let mut result = compress(&instance, mode, &mut cache);
+    // `--threads 0` and the FP_THREADS default resolve the same way the
+    // optimizer's own scheduler does.
+    let threads = {
+        let mut config = fp_optimizer::OptimizeConfig::default();
+        if let Some(n) = threads {
+            config = config.with_threads(n);
+        }
+        config.resolved_threads()
+    };
+    let mut result = compress(&instance, mode, &mut cache, threads);
     // Degrade-and-retry: halve k until the output fits the cap.
     while let Some(cap) = max_impls {
         if result.after <= cap {
@@ -321,7 +408,7 @@ fn main() -> ExitCode {
             result.after
         );
         mode = Mode::FixedK(next_k);
-        result = compress(&instance, mode, &mut cache);
+        result = compress(&instance, mode, &mut cache, threads);
     }
     if let Some(d) = deadline {
         if start.elapsed() > d {

@@ -33,6 +33,9 @@ selection options (paper knobs):
   --theta <0..1]     L_Selection trigger (default 1.0)
   --prefilter <S>    heuristic prefilter threshold (default off)
   --parallel         reduce L-lists on worker threads (same results)
+  --threads <n>      evaluate independent subtrees on <n> worker
+                     threads (0 = all cores; default $FP_THREADS or 1;
+                     results are identical at any thread count)
   --memory <count>   implementation budget (default 10000000)
   --max-impls <n>    alias for --memory
   --outline <WxH>    require the floorplan to fit a fixed outline
@@ -74,6 +77,7 @@ struct Args {
     theta: f64,
     prefilter: Option<usize>,
     parallel: bool,
+    threads: Option<usize>,
     memory: Option<usize>,
     deadline: Option<Duration>,
     auto_rescue: bool,
@@ -98,6 +102,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         theta: 1.0,
         prefilter: None,
         parallel: false,
+        threads: None,
         memory: None,
         deadline: None,
         auto_rescue: false,
@@ -185,6 +190,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--session" => args.session = Some(value("--session")?),
             "--parallel" => args.parallel = true,
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
             "--ascii" => args.ascii = true,
             "--svg" => args.svg = Some(value("--svg")?),
             "--dot" => args.dot = Some(value("--dot")?),
@@ -321,6 +333,9 @@ fn main() -> ExitCode {
         .with_objective(args.objective)
         .with_auto_rescue(args.auto_rescue)
         .with_deadline(args.deadline);
+    if let Some(threads) = args.threads {
+        config = config.with_threads(threads);
+    }
     if let Some(points) = &args.inject_fault {
         config = config.with_fault_plan(Some(FaultPlan::at_allocations(points)));
     }

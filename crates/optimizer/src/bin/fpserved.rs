@@ -40,7 +40,11 @@ usage: fpserved [options]
   --tcp <addr>         serve JSON-lines over TCP (e.g. 127.0.0.1:7878);
                        without it, requests are read from stdin and
                        responses written to stdout
-  --workers <n>        worker threads (default 4)
+  --workers <n>        worker threads (default 4): concurrent requests
+  --threads <n>        per-request tree-parallelism default (0 = all
+                       cores; default $FP_THREADS or 1); a request's own
+                       `threads` field overrides it. Composes with
+                       --workers: up to workers x threads OS threads
   --cache-bytes <n>    block-cache byte budget (default 67108864)
 
 protocol: one JSON request per line; see the README's fpserved section.
@@ -56,6 +60,7 @@ const DEFAULT_CACHE_BYTES: usize = 64 << 20;
 struct Args {
     tcp: Option<String>,
     workers: usize,
+    threads: Option<usize>,
     cache_bytes: usize,
 }
 
@@ -63,6 +68,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         tcp: None,
         workers: 4,
+        threads: None,
         cache_bytes: DEFAULT_CACHE_BYTES,
     };
     let mut it = argv.iter();
@@ -81,6 +87,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 if args.workers == 0 {
                     return Err("--workers must be at least 1".to_owned());
                 }
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
             }
             "--cache-bytes" => {
                 args.cache_bytes = value("--cache-bytes")?
@@ -393,7 +406,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let state = Arc::new(ServeState::new(args.cache_bytes));
+    let mut state = ServeState::new(args.cache_bytes);
+    if let Some(threads) = args.threads {
+        state = state.with_threads(threads);
+    }
+    let state = Arc::new(state);
     let shutdown = Arc::new(AtomicBool::new(false));
     let watchdog = Watchdog::default();
     watchdog.spawn(Arc::clone(&shutdown));

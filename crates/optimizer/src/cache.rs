@@ -35,10 +35,8 @@
 //! under policies that deviate from the salt, so memoizing them would
 //! let a later run observe degraded lists under a clean-policy address.
 
-use std::sync::Mutex;
-
 use fp_geom::{LShape, Rect};
-use fp_memo::{CacheStats, Fingerprint, Fingerprinter, MemoCache, Weigh};
+use fp_memo::{CacheStats, Fingerprint, Fingerprinter, ShardedMemoCache, Weigh, DEFAULT_SHARDS};
 use fp_select::Metric;
 
 use crate::engine::{DegradationEvent, OptimizeConfig};
@@ -127,33 +125,107 @@ pub trait BlockCache {
     fn store(&self, key: Fingerprint, value: CachedBlock);
 }
 
-/// The standard shared cache: a byte-budgeted LRU [`MemoCache`] behind a
-/// mutex, usable from one session or many server workers alike.
-pub type SharedBlockCache = Mutex<MemoCache<CachedBlock>>;
+/// The standard shared cache: a byte-budgeted LRU sharded across
+/// fingerprint-routed per-shard locks ([`ShardedMemoCache`]), usable from
+/// one session, many server workers, or the tree-level scheduler's worker
+/// pool alike. Sharding keeps concurrent lookups from convoying on one
+/// mutex: fingerprints are uniform, so threads hammering the cache spread
+/// across [`DEFAULT_SHARDS`] independent locks.
+pub struct SharedBlockCache {
+    inner: ShardedMemoCache<CachedBlock>,
+}
+
+impl core::fmt::Debug for SharedBlockCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SharedBlockCache")
+            .field("shards", &self.shard_count())
+            .field("budget_bytes", &self.budget_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedBlockCache {
+    /// A cache with the given byte budget, split across the default
+    /// shard count.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        SharedBlockCache {
+            inner: ShardedMemoCache::new(budget_bytes, DEFAULT_SHARDS),
+        }
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of
+    /// two; `1` degenerates to the old single-mutex behavior).
+    #[must_use]
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        SharedBlockCache {
+            inner: ShardedMemoCache::new(budget_bytes, shards),
+        }
+    }
+
+    /// Merged counter snapshot across all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Total cached blocks across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when no shard holds any block.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Total weighed bytes across all shards.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+
+    /// Total byte budget across all shards.
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.inner.budget_bytes()
+    }
+
+    /// Number of independent shards (and locks).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Drops every cached block (counters survive).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
 
 /// A [`SharedBlockCache`] with the given byte budget.
 #[must_use]
 pub fn shared_cache(budget_bytes: usize) -> SharedBlockCache {
-    Mutex::new(MemoCache::new(budget_bytes))
+    SharedBlockCache::new(budget_bytes)
 }
 
-/// Counter snapshot of a shared cache (zeros if the lock is poisoned).
+/// Counter snapshot of a shared cache (merged across shards).
 #[must_use]
 pub fn shared_cache_stats(cache: &SharedBlockCache) -> CacheStats {
-    cache.lock().map(|c| c.stats()).unwrap_or_default()
+    cache.stats()
 }
 
 impl BlockCache for SharedBlockCache {
     fn lookup(&self, key: Fingerprint) -> Option<CachedBlock> {
-        // A poisoned lock (a worker panicked mid-access) degrades to a
-        // cache miss rather than propagating the panic.
-        self.lock().ok()?.get(&key).cloned()
+        // A poisoned shard (a worker panicked mid-access) degrades to a
+        // cache miss inside `ShardedMemoCache` rather than panicking.
+        self.inner.get(&key)
     }
 
     fn store(&self, key: Fingerprint, value: CachedBlock) {
-        if let Ok(mut cache) = self.lock() {
-            cache.insert(key, value);
-        }
+        self.inner.insert(key, value);
     }
 }
 

@@ -5,14 +5,14 @@ use std::time::{Duration, Instant};
 
 use fp_geom::{Area, LShape, Rect};
 use fp_select::{LReductionPolicy, RReductionPolicy};
-use fp_shape::combine::{combine_with_provenance, Compose};
-use fp_shape::{LList, LListSet, RList};
+use fp_shape::combine::{combine_with_provenance_scratch, Compose};
+use fp_shape::{JoinScratch, LList, LListSet, RList};
 use fp_tree::layout::Assignment;
 use fp_tree::restructure::{restructure, BinNode, BinOp, BinaryTree};
 use fp_tree::{FloorplanTree, ModuleLibrary, TreeError};
 
 use crate::cache::{policy_fingerprint, BlockCache, CachedBlock, CachedShapes};
-use crate::governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
+use crate::governor::{CancelToken, FaultPlan, Governor, ResourceGovernor, Trip};
 use crate::joins;
 
 /// What the optimizer minimizes over the root implementation list.
@@ -85,6 +85,14 @@ pub struct OptimizeConfig {
     /// How many rescue retries the whole run may spend before the original
     /// trip is reported anyway.
     pub max_rescue_attempts: u32,
+    /// Worker threads for the tree-level scheduler: `1` runs the classic
+    /// serial bottom-up pass, `n > 1` dispatches independent sibling
+    /// subtrees to a work-stealing pool of `n` threads, and `0` resolves
+    /// to the host's available parallelism. Results are byte-identical to
+    /// the serial path at any thread count (a run whose serial schedule
+    /// would trip a resource limit is transparently re-run serially).
+    /// Defaults to the `FP_THREADS` environment variable, else `1`.
+    pub threads: usize,
 }
 
 impl OptimizeConfig {
@@ -116,6 +124,26 @@ impl OptimizeConfig {
             cancel: None,
             fault_plan: None,
             max_rescue_attempts: Self::DEFAULT_MAX_RESCUE_ATTEMPTS,
+            threads: default_threads(),
+        }
+    }
+
+    /// Sets the scheduler thread count (`0` = available parallelism, `1`
+    /// = serial). The thread count never changes results — only how the
+    /// tree's independent subtrees are scheduled.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count this configuration runs with: `0`
+    /// resolves to the host's available parallelism at call time.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
         }
     }
 
@@ -201,6 +229,21 @@ impl Default for OptimizeConfig {
     fn default() -> Self {
         OptimizeConfig::plain()
     }
+}
+
+/// The process-wide default scheduler thread count: the `FP_THREADS`
+/// environment variable when set to a valid `usize` (`0` = available
+/// parallelism), else `1` (serial). Read once and cached — the CI matrix
+/// uses this to run the whole test suite through the parallel scheduler
+/// without touching every call site.
+fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+    })
 }
 
 /// Errors reported by [`optimize`].
@@ -487,7 +530,7 @@ type RectView<'a> = (&'a RList, &'a [(u32, u32)]);
 /// Per-node shape storage. `prov` maps each stored implementation to the
 /// indices of the child implementations that produced it (empty at
 /// leaves, where the index itself is the module's implementation choice).
-enum Shapes {
+pub(crate) enum Shapes {
     Rect {
         list: RList,
         prov: Vec<(u32, u32)>,
@@ -502,7 +545,7 @@ enum Shapes {
 }
 
 impl Shapes {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Shapes::Rect { list, .. } => list.len(),
             Shapes::L { shapes, .. } => shapes.len(),
@@ -573,6 +616,24 @@ pub struct Frontier {
 }
 
 impl Frontier {
+    /// Assembles a frontier from the scheduler's parts (same crate only;
+    /// the public constructors are [`optimize_frontier`] and friends).
+    pub(crate) fn from_parts(
+        bin: BinaryTree,
+        store: Vec<Shapes>,
+        stats: RunStats,
+        slot_of: Vec<usize>,
+        leaves: usize,
+    ) -> Self {
+        Frontier {
+            bin,
+            store,
+            stats,
+            slot_of,
+            leaves,
+        }
+    }
+
     /// The non-redundant envelope implementations of the whole floorplan
     /// (width descending).
     #[must_use]
@@ -677,7 +738,7 @@ pub fn optimize_frontier_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
-    cache: &dyn BlockCache,
+    cache: &(dyn BlockCache + Sync),
 ) -> Result<Frontier, OptError> {
     optimize_frontier_impl(tree, library, config, Some(cache))
 }
@@ -686,9 +747,31 @@ fn optimize_frontier_impl(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
-    cache: Option<&dyn BlockCache>,
+    cache: Option<&(dyn BlockCache + Sync)>,
 ) -> Result<Frontier, OptError> {
     let start = Instant::now();
+    if config.resolved_threads() > 1 {
+        // The scheduler returns `None` whenever the serial path must run
+        // instead — tiny trees, invalid inputs (whose error order the
+        // serial loop defines), or a run whose serial schedule would trip
+        // a resource limit (the rescue ladder is inherently sequential).
+        if let Some(frontier) = crate::sched::try_parallel(tree, library, config, cache, start)? {
+            return Ok(frontier);
+        }
+    }
+    serial_frontier(tree, library, config, cache, start)
+}
+
+/// The classic serial bottom-up pass. `start` is the run's epoch: the
+/// parallel scheduler backdates it when falling back so deadlines keep
+/// their original budget.
+pub(crate) fn serial_frontier(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: Option<&(dyn BlockCache + Sync)>,
+    start: Instant,
+) -> Result<Frontier, OptError> {
     let bin = restructure(tree)?;
     if bin.is_empty() {
         return Err(OptError::EmptyFloorplan);
@@ -705,10 +788,12 @@ fn optimize_frontier_impl(
     let mut caching = cache.is_some();
 
     let mut gov = ResourceGovernor::new(config.memory_limit)
+        .with_start(start)
         .with_deadline(config.deadline)
         .with_cancel(config.cancel.clone())
         .with_faults(config.fault_plan.clone());
     let mut stats = RunStats::default();
+    let mut scratch = JoinScratch::new();
     // The policies actually in force; the rescue ladder tightens these.
     let mut eff = EffectivePolicies {
         r: config.r_policy,
@@ -783,6 +868,7 @@ fn optimize_frontier_impl(
                             &eff,
                             &mut gov,
                             &mut stats,
+                            &mut scratch,
                         )?;
                         if caching {
                             if let (Some(cache), Some(fp)) = (cache, node_fp) {
@@ -946,7 +1032,7 @@ pub fn optimize_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
-    cache: &dyn BlockCache,
+    cache: &(dyn BlockCache + Sync),
 ) -> Result<Outcome, OptError> {
     let frontier = optimize_frontier_cached(tree, library, config, cache)?;
     frontier.best(config.objective, config.outline)
@@ -962,7 +1048,7 @@ pub fn optimize_report_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
-    cache: &dyn BlockCache,
+    cache: &(dyn BlockCache + Sync),
 ) -> Result<RunOutcome, OptError> {
     let outcome = optimize_cached(tree, library, config, cache)?;
     let rescued = !outcome.stats.degradations.is_empty();
@@ -972,7 +1058,7 @@ pub fn optimize_report_cached(
 /// Snapshot of a committed block for the cross-run cache (clones the
 /// lists: the cache must not alias the run's own store, which the rescue
 /// ladder may later re-select in place).
-fn shapes_to_cached(shapes: &Shapes) -> CachedBlock {
+pub(crate) fn shapes_to_cached(shapes: &Shapes) -> CachedBlock {
     let shapes = match shapes {
         Shapes::Rect { list, prov } => CachedShapes::Rect {
             rects: list.as_slice().to_vec(),
@@ -996,7 +1082,7 @@ fn shapes_to_cached(shapes: &Shapes) -> CachedBlock {
 
 /// Reconstitutes a cached block into per-node storage, revalidating the
 /// staircase invariant the rest of the engine relies on.
-fn cached_to_shapes(shapes: CachedShapes) -> Result<Shapes, Trip> {
+pub(crate) fn cached_to_shapes(shapes: CachedShapes) -> Result<Shapes, Trip> {
     match shapes {
         CachedShapes::Rect { rects, prov } => {
             let list = RList::from_sorted(rects)
@@ -1018,9 +1104,9 @@ fn cached_to_shapes(shapes: CachedShapes) -> Result<Shapes, Trip> {
 /// The selection policies currently in force — starts as the configured
 /// pair and only ever tightens (the rescue ladder's state).
 #[derive(Clone)]
-struct EffectivePolicies {
-    r: Option<RReductionPolicy>,
-    l: Option<LReductionPolicy>,
+pub(crate) struct EffectivePolicies {
+    pub(crate) r: Option<RReductionPolicy>,
+    pub(crate) l: Option<LReductionPolicy>,
 }
 
 /// θ as thousandths, for the integer-only degradation report.
@@ -1067,6 +1153,7 @@ fn tighten(eff: &mut EffectivePolicies) -> bool {
             let mut prefilter = l.prefilter();
             let metric = l.metric();
             let parallel = l.parallel();
+            let workers = l.workers();
             // Tighten the trigger and the heuristic first, then the limit.
             if theta < 1.0 {
                 theta = 1.0;
@@ -1082,6 +1169,9 @@ fn tighten(eff: &mut EffectivePolicies) -> bool {
                 .with_theta(theta)
                 .with_metric(metric)
                 .with_parallel(parallel);
+            if let Some(w) = workers {
+                next = next.with_workers(w);
+            }
             if let Some(s) = prefilter {
                 next = next.with_prefilter(s.max(k2));
             }
@@ -1092,7 +1182,7 @@ fn tighten(eff: &mut EffectivePolicies) -> bool {
 }
 
 /// Maps a governor [`Trip`] to the public error for the block it stopped.
-fn trip_error(trip: Trip, block: usize, live: usize, peak: usize) -> OptError {
+pub(crate) fn trip_error(trip: Trip, block: usize, live: usize, peak: usize) -> OptError {
     match trip {
         Trip::Budget(e) => OptError::OutOfMemory {
             live: e.live,
@@ -1117,39 +1207,45 @@ fn trip_error(trip: Trip, block: usize, live: usize, peak: usize) -> OptError {
 }
 
 /// Builds one join block under the governor: dispatch to the join kind,
-/// then global pruning and the effective selection policies.
-fn build_join(
+/// then global pruning and the effective selection policies. Generic
+/// over [`Governor`] so the serial loop and the scheduler's per-worker
+/// governors share one copy of the join machinery; `scratch` is the
+/// caller's reusable join arena (one per worker).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_join<G: Governor>(
     op: BinOp,
     left: &Shapes,
     right: &Shapes,
     config: &OptimizeConfig,
     eff: &EffectivePolicies,
-    gov: &mut ResourceGovernor,
+    gov: &mut G,
     stats: &mut RunStats,
+    scratch: &mut JoinScratch,
 ) -> Result<Shapes, Trip> {
     let mut shapes = match op {
-        BinOp::Slice(how) => slice_join(left, right, how, gov)?,
+        BinOp::Slice(how) => slice_join(left, right, how, gov, scratch)?,
         BinOp::WheelS1 => wheel_s1(left, right, gov)?,
         BinOp::WheelS2 => wheel_s23(left, right, joins::stage2, gov)?,
         BinOp::WheelS3 => wheel_s3(left, right, gov)?,
         BinOp::WheelS4 => wheel_s4(left, right, gov)?,
     };
-    global_l_prune(&mut shapes, config, gov);
+    global_l_prune(&mut shapes, config, gov, scratch);
     let dropped = select_shapes(&mut shapes, eff, stats)?;
     gov.discard(dropped);
     Ok(shapes)
 }
 
 /// Slicing combination of two rectangular blocks (Stockmeyer merge).
-fn slice_join(
+fn slice_join<G: Governor>(
     left: &Shapes,
     right: &Shapes,
     how: Compose,
-    meter: &mut ResourceGovernor,
+    meter: &mut G,
+    scratch: &mut JoinScratch,
 ) -> Result<Shapes, Trip> {
     let (a, _) = left.as_rect()?;
     let (b, _) = right.as_rect()?;
-    let combined = combine_with_provenance(a, b, how);
+    let combined = combine_with_provenance_scratch(a, b, how, scratch);
     meter.charge(combined.len())?;
     let mut rects = Vec::with_capacity(combined.len());
     let mut prov = Vec::with_capacity(combined.len());
@@ -1166,13 +1262,13 @@ fn slice_join(
 /// candidates arrive with `w1` non-increasing, `w2` constant, and
 /// `(h1, h2)` non-decreasing: a tie in `w1` makes the newcomer redundant;
 /// a tie in both heights makes the previous element redundant.
-fn push_l_chain(
+fn push_l_chain<G: Governor>(
     shapes: &mut Vec<LShape>,
     prov: &mut Vec<(u32, u32)>,
     chain_start: usize,
     cand: LShape,
     p: (u32, u32),
-    meter: &mut ResourceGovernor,
+    meter: &mut G,
 ) -> Result<(), Trip> {
     meter.charge(1)?;
     if shapes.len() > chain_start {
@@ -1196,12 +1292,12 @@ fn push_l_chain(
 
 /// Same pruning discipline for rectangle chains (`w` non-increasing,
 /// `h` non-decreasing).
-fn push_rect_chain(
+fn push_rect_chain<G: Governor>(
     out: &mut Vec<(Rect, (u32, u32))>,
     chain_start: usize,
     cand: Rect,
     p: (u32, u32),
-    meter: &mut ResourceGovernor,
+    meter: &mut G,
 ) -> Result<(), Trip> {
     meter.charge(1)?;
     if out.len() > chain_start {
@@ -1221,7 +1317,7 @@ fn push_rect_chain(
 }
 
 /// Wheel stage 1: `A × E → L`. One chain per `A` implementation.
-fn wheel_s1(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+fn wheel_s1<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (a_list, _) = left.as_rect()?;
     let (e_list, _) = right.as_rect()?;
     let mut shapes = Vec::new();
@@ -1252,11 +1348,11 @@ fn wheel_s1(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Resu
 
 /// Wheel stage 2 (and the shared machinery): for each stored L
 /// implementation, a chain over the attached arm's R-list.
-fn wheel_s23(
+fn wheel_s23<G: Governor>(
     left: &Shapes,
     right: &Shapes,
     stage: fn(LShape, Rect) -> LShape,
-    meter: &mut ResourceGovernor,
+    meter: &mut G,
 ) -> Result<Shapes, Trip> {
     let (l_shapes, _, _) = left.as_l()?;
     let (r_list, _) = right.as_rect()?;
@@ -1289,7 +1385,7 @@ fn wheel_s23(
 /// Wheel stage 3: chains run over the *parent chain* for each fixed `C`
 /// implementation (that orientation keeps `w2 = w_C` constant and the
 /// monotonicity the chain prune needs).
-fn wheel_s3(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+fn wheel_s3<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (l_shapes, _, l_chains) = left.as_l()?;
     let (c_list, _) = right.as_rect()?;
     let mut shapes = Vec::new();
@@ -1316,7 +1412,7 @@ fn wheel_s3(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Resu
 
 /// Wheel stage 4: `L × D → R`, with per-chain pruning then a global
 /// staircase prune.
-fn wheel_s4(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Result<Shapes, Trip> {
+fn wheel_s4<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (l_shapes, _, _) = left.as_l()?;
     let (d_list, _) = right.as_rect()?;
     let mut out: Vec<(Rect, (u32, u32))> = Vec::new();
@@ -1333,11 +1429,11 @@ fn wheel_s4(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Resu
         }
     }
     let before = out.len();
-    let pruned = fp_shape::prune::pareto_min_rects_by(out, |&(r, _)| r);
-    meter.discard(before - pruned.len());
-    let mut rects = Vec::with_capacity(pruned.len());
-    let mut prov = Vec::with_capacity(pruned.len());
-    for (r, p) in pruned {
+    fp_shape::prune::pareto_min_rects_in_place(&mut out, |&(r, _)| r);
+    meter.discard(before - out.len());
+    let mut rects = Vec::with_capacity(out.len());
+    let mut prov = Vec::with_capacity(out.len());
+    for (r, p) in out {
         rects.push(r);
         prov.push(p);
     }
@@ -1352,7 +1448,12 @@ fn wheel_s4(left: &Shapes, right: &Shapes, meter: &mut ResourceGovernor) -> Resu
 /// them and re-chains the survivors — this is what keeps the plain
 /// algorithm's non-redundant counts at \[9\]'s scale. Skipped above the
 /// configured threshold (the prune is `O(n·front)`).
-fn global_l_prune(shapes: &mut Shapes, config: &OptimizeConfig, meter: &mut ResourceGovernor) {
+fn global_l_prune<G: Governor>(
+    shapes: &mut Shapes,
+    config: &OptimizeConfig,
+    meter: &mut G,
+    scratch: &mut JoinScratch,
+) {
     let Shapes::L {
         shapes: l_shapes,
         prov,
@@ -1365,11 +1466,16 @@ fn global_l_prune(shapes: &mut Shapes, config: &OptimizeConfig, meter: &mut Reso
         return;
     }
     let before = l_shapes.len();
-    let tagged: Vec<(LShape, (u32, u32))> =
+    let mut pruned: Vec<(LShape, (u32, u32))> =
         l_shapes.iter().copied().zip(prov.iter().copied()).collect();
 
-    // Pass 1 (always): same-w2 dominance, O(n log n).
-    let mut pruned = fp_shape::prune::pareto_min_lshapes_within_w2_by(tagged, |&(l, _)| l);
+    // Pass 1 (always): same-w2 dominance, O(n log n), against the
+    // arena's reusable staircase-front buffer.
+    fp_shape::prune::pareto_min_lshapes_within_w2_scratch(
+        &mut pruned,
+        |&(l, _)| l,
+        &mut scratch.front,
+    );
 
     // Pass 2 (bounded): full cross-w2 dominance, O(n·front).
     if config.global_l_prune.is_some_and(|t| pruned.len() <= t) {

@@ -142,6 +142,37 @@ impl Trip {
     }
 }
 
+/// The subset of governing that the join kernels need: candidate
+/// charging, discard accounting, and deadline/cancellation polling.
+///
+/// The serial engine hands the kernels the full [`ResourceGovernor`];
+/// the tree-level scheduler hands them a per-worker governor that does
+/// local accounting against shared atomics. Making the kernels generic
+/// over this trait keeps one copy of the join code for both paths.
+pub(crate) trait Governor {
+    /// Records `n` freshly generated candidates; `Err` aborts the block.
+    fn charge(&mut self, n: usize) -> Result<(), Trip>;
+    /// Returns `n` candidates that pruning removed again.
+    fn discard(&mut self, n: usize);
+    /// Immediate deadline/cancellation check at a block boundary.
+    fn poll(&self) -> Result<(), Trip>;
+}
+
+impl Governor for ResourceGovernor {
+    fn charge(&mut self, n: usize) -> Result<(), Trip> {
+        // Inherent methods win resolution, so these call the real ones.
+        ResourceGovernor::charge(self, n)
+    }
+
+    fn discard(&mut self, n: usize) {
+        ResourceGovernor::discard(self, n);
+    }
+
+    fn poll(&self) -> Result<(), Trip> {
+        ResourceGovernor::poll(self)
+    }
+}
+
 /// The per-run resource governor: a [`MemoryMeter`] plus deadline,
 /// cancellation, and fault injection, checked inside the same `charge`
 /// call the join loops already make per generated candidate.
@@ -181,6 +212,16 @@ impl ResourceGovernor {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Backdates the governor's epoch (deadline measurement origin) to
+    /// `start`. The parallel scheduler uses this when it falls back to
+    /// the serial path: the replacement run keeps the original run's
+    /// deadline budget instead of getting a fresh one.
+    #[must_use]
+    pub(crate) fn with_start(mut self, start: Instant) -> Self {
+        self.start = start;
         self
     }
 

@@ -39,6 +39,7 @@ pub mod governor;
 pub mod joins;
 mod meter;
 pub mod oracle;
+mod sched;
 pub mod serve;
 pub mod stockmeyer;
 

@@ -1,0 +1,733 @@
+//! Tree-level parallel scheduler: work-stealing evaluation of the
+//! restructured slicing tree with serial-identical results.
+//!
+//! The bottom-up pass has natural task parallelism: two sibling subtrees
+//! share no data until their parent join consumes both. This module
+//! levels the binary tree by its dependency structure and dispatches
+//! *ready* nodes (leaves first, then joins whose children are built) to
+//! a bounded pool of workers with per-worker deques plus a shared
+//! injector — a hand-rolled work-stealing scheduler, since the build is
+//! fully offline.
+//!
+//! # The determinism contract
+//!
+//! `optimize*` results are **byte-identical at any thread count**. The
+//! parallel pass guarantees that by construction plus replay:
+//!
+//! * Block *content* is schedule-independent: each join's output depends
+//!   only on its children's lists, and every kernel is deterministic.
+//! * Governor state is the schedule-dependent part (budget trips, fault
+//!   ordinals, the rescue ladder). So workers do **local** accounting —
+//!   per-block generated counts and transient peaks — and after a clean
+//!   parallel pass the scheduler *replays the serial schedule* over
+//!   those records: walking nodes in tree order, tracking the committed
+//!   total, the generated ordinal, and the cache self-hit set exactly as
+//!   the serial meter would. If the replay shows the serial run would
+//!   have tripped anything (budget or fault plan), the parallel work is
+//!   discarded wholesale and the untouched serial path re-runs from
+//!   scratch — reproducing the rescue ladder, its [`DegradationEvent`]
+//!   sequence, or its error byte-for-byte. Otherwise the replay yields
+//!   the exact serial [`RunStats`] (peak, generated, cache counters).
+//! * Cache stores are buffered and flushed in tree order only after the
+//!   replay proves the run clean, so a trip-then-fallback run never
+//!   publishes blocks the serial run would not have.
+//! * Deadline and cancellation are *real-time* trips: a worker that
+//!   observes one records it, raises the abort flag, and every in-flight
+//!   join stops at its next poll. These cannot be schedule-deterministic
+//!   (wall clocks aren't), which matches their serial semantics.
+//!
+//! In-flight, workers also run a conservative budget check (shared
+//! committed total + local block) purely to bound overshoot; it never
+//! decides the outcome — it only routes to the exact serial path.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use fp_memo::Fingerprint;
+use fp_shape::JoinScratch;
+use fp_tree::restructure::{BinNode, BinaryTree};
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+use crate::cache::{policy_fingerprint, BlockCache};
+use crate::engine::{
+    build_join, cached_to_shapes, shapes_to_cached, trip_error, EffectivePolicies, Frontier,
+    OptError, OptimizeConfig, RunStats, Shapes,
+};
+use crate::governor::{CancelToken, FaultPlan, Governor, Trip, POLL_INTERVAL};
+
+/// Below this node count the scheduling overhead cannot pay off; the
+/// dispatcher falls through to the serial path (results are identical
+/// either way — this is purely a performance heuristic).
+const MIN_PARALLEL_NODES: usize = 8;
+
+/// Sentinel `Trip` a worker returns when it stops because a *peer*
+/// tripped (or requested fallback). Never recorded, never surfaced.
+const ABORT_WHAT: &str = "parallel scheduler abort";
+
+fn abort_trip() -> Trip {
+    Trip::Internal(ABORT_WHAT)
+}
+
+fn is_abort(trip: &Trip) -> bool {
+    matches!(trip, Trip::Internal(what) if *what == ABORT_WHAT)
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock: scheduler
+/// state stays usable even if a worker panicked (the engine is
+/// panic-free, but the queues must never silently drop tasks).
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Run-wide state shared by every worker.
+struct SharedGov {
+    /// The configured implementation budget.
+    limit: Option<usize>,
+    /// Final implementation counts of completed nodes (any order).
+    committed: AtomicUsize,
+    /// Raised on any trip or fallback: every worker stops at its next
+    /// poll point.
+    abort: AtomicBool,
+    /// Raised when the exact serial path must decide the run instead.
+    fallback: AtomicBool,
+    /// The first *real* trip recorded (trip, block). Written before
+    /// `abort` is raised, so peer-abort exits can never claim the slot.
+    first_trip: Mutex<Option<(Trip, usize)>>,
+    /// The run's epoch (deadlines are measured from here).
+    start: Instant,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl SharedGov {
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Routes the run to the serial path and stops every worker.
+    fn request_fallback(&self) {
+        self.fallback.store(true, Ordering::Release);
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// Records a real trip (first writer wins), then stops every worker.
+    fn record_trip(&self, trip: Trip, block: usize) {
+        {
+            let mut slot = lock_or_recover(&self.first_trip);
+            if slot.is_none() {
+                *slot = Some((trip, block));
+            }
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// Abort/cancellation/deadline check, attributed to `block`.
+    fn check_realtime(&self, block: usize) -> Result<(), Trip> {
+        if self.aborted() {
+            return Err(abort_trip());
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                let trip = Trip::Cancelled;
+                self.record_trip(trip.clone(), block);
+                return Err(trip);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > deadline {
+                let trip = Trip::Deadline { elapsed, deadline };
+                self.record_trip(trip.clone(), block);
+                return Err(trip);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker governor handed to the join kernels: local in-block
+/// accounting (exactly mirroring the serial meter's per-block view) plus
+/// shared-state polls on the serial path's cadence.
+struct WorkerGov<'a> {
+    shared: &'a SharedGov,
+    /// The node under construction (trip attribution).
+    block: usize,
+    /// Current in-block live candidates (charges minus discards).
+    live: usize,
+    /// Maximum in-block live ever reached — the serial meter's transient
+    /// peak contribution for this block.
+    peak: usize,
+    /// Candidates charged while building this block.
+    generated: u64,
+    calls: u64,
+}
+
+impl<'a> WorkerGov<'a> {
+    fn new(shared: &'a SharedGov, block: usize) -> Self {
+        WorkerGov {
+            shared,
+            block,
+            live: 0,
+            peak: 0,
+            generated: 0,
+            calls: 0,
+        }
+    }
+}
+
+impl Governor for WorkerGov<'_> {
+    fn charge(&mut self, n: usize) -> Result<(), Trip> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.live += n;
+        self.generated += n as u64;
+        if self.live > self.peak {
+            self.peak = self.live;
+        }
+        if let Some(limit) = self.shared.limit {
+            // Conservative overshoot bound: completed nodes plus this
+            // block already exceed the budget, so the serial schedule is
+            // at least *likely* to trip — let the exact serial path
+            // decide (it reproduces the trip, the rescue ladder, or a
+            // clean squeeze-through byte-for-byte).
+            if self.shared.committed.load(Ordering::Relaxed) + self.live > limit {
+                self.shared.request_fallback();
+                return Err(abort_trip());
+            }
+        }
+        self.calls += 1;
+        if self.calls.is_multiple_of(POLL_INTERVAL) {
+            self.poll()?;
+        }
+        Ok(())
+    }
+
+    fn discard(&mut self, n: usize) {
+        self.live = self.live.saturating_sub(n);
+    }
+
+    fn poll(&self) -> Result<(), Trip> {
+        self.shared.check_realtime(self.block)
+    }
+}
+
+/// Per-node accounting recorded by the worker that built it — the raw
+/// material for the serial-schedule replay.
+#[derive(Default)]
+struct NodeAcc {
+    /// Candidates charged while building (or reconstituting) the node.
+    generated: u64,
+    /// Maximum in-block live count during the build.
+    transient_peak: usize,
+    /// Implementations committed (the block's final list length).
+    final_len: usize,
+    /// Whether the block-cache was consulted for this node.
+    looked_up: bool,
+    /// Whether the pre-run cache lookup hit.
+    initial_hit: bool,
+    /// Degradations replayed from the cache hit (engine-stored blocks
+    /// always carry none; kept exact for foreign caches).
+    hit_degradations: Vec<crate::engine::DegradationEvent>,
+    /// Whether `R_Selection` fired while building this node.
+    r_reductions: usize,
+    /// Whether the L-block reduction fired while building this node.
+    l_reductions: usize,
+    /// Set by the replay: the serial pass would have stored this node to
+    /// the block cache (a built join, not a hit).
+    store_after_replay: bool,
+}
+
+/// A completed node: its committed list plus the replay accounting.
+struct BuiltNode {
+    shapes: Shapes,
+    acc: NodeAcc,
+}
+
+/// The work-stealing queues: one deque per worker plus a shared
+/// injector. Workers pop their own deque LIFO (depth-first locality),
+/// then the injector, then steal FIFO from peers.
+struct WorkQueues {
+    injector: Mutex<VecDeque<usize>>,
+    locals: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    fn new(workers: usize) -> Self {
+        WorkQueues {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Pushes a ready node onto worker `w`'s deque (injector if out of
+    /// range — never drops a task).
+    fn push_local(&self, w: usize, node: usize) {
+        match self.locals.get(w) {
+            Some(local) => lock_or_recover(local).push_back(node),
+            None => lock_or_recover(&self.injector).push_back(node),
+        }
+    }
+
+    /// Next task for worker `w`: own deque (back), injector, then a
+    /// steal sweep over the other workers' deques (front).
+    fn pop(&self, w: usize) -> Option<usize> {
+        if let Some(local) = self.locals.get(w) {
+            if let Some(node) = lock_or_recover(local).pop_back() {
+                return Some(node);
+            }
+        }
+        if let Some(node) = lock_or_recover(&self.injector).pop_front() {
+            return Some(node);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(local) = self.locals.get(victim) {
+                if let Some(node) = lock_or_recover(local).pop_front() {
+                    return Some(node);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Arguments threaded to every worker (one struct to keep the spawn
+/// call readable).
+struct WorkerCtx<'a> {
+    bin: &'a BinaryTree,
+    library: &'a ModuleLibrary,
+    config: &'a OptimizeConfig,
+    eff: &'a EffectivePolicies,
+    cache: Option<&'a (dyn BlockCache + Sync)>,
+    fps: Option<&'a [Fingerprint]>,
+    parent: &'a [usize],
+    deps: &'a [AtomicUsize],
+    results: &'a [OnceLock<BuiltNode>],
+    remaining: &'a AtomicUsize,
+    queues: &'a WorkQueues,
+    shared: &'a SharedGov,
+}
+
+/// Attempts the parallel pass. `Ok(None)` means "run the serial path
+/// instead" — tiny trees, invalid inputs (whose error ordering the
+/// serial loop defines), scheduling failures, or a run whose serial
+/// schedule would trip a resource limit.
+pub(crate) fn try_parallel(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: Option<&(dyn BlockCache + Sync)>,
+    start: Instant,
+) -> Result<Option<Frontier>, OptError> {
+    let bin = fp_tree::restructure::restructure(tree)?;
+    if bin.is_empty() {
+        return Err(OptError::EmptyFloorplan);
+    }
+    let n = bin.len();
+    let mut leaf_count = 0usize;
+    // Upfront leaf validation: the serial loop owns the error *ordering*
+    // for invalid inputs (it may trip a budget before reaching a broken
+    // leaf), so any invalid leaf routes the whole run to it.
+    for node in bin.nodes() {
+        if let BinNode::Leaf { module, .. } = node {
+            leaf_count += 1;
+            match library.get(*module) {
+                Some(m) if !m.implementations().is_empty() => {}
+                _ => return Ok(None),
+            }
+        }
+    }
+    let threads = config.resolved_threads().min(leaf_count.max(1));
+    if threads < 2 || n < MIN_PARALLEL_NODES {
+        return Ok(None);
+    }
+
+    let fps_vec = cache.map(|_| {
+        fp_tree::fingerprint::block_fingerprints(&bin, library, policy_fingerprint(config))
+    });
+    let fps = fps_vec.as_deref();
+
+    let mut parent = vec![usize::MAX; n];
+    let mut dep_counts = vec![0usize; n];
+    for (i, node) in bin.nodes().iter().enumerate() {
+        if let BinNode::Join { left, right, .. } = node {
+            parent[*left] = i;
+            parent[*right] = i;
+            dep_counts[i] = 2;
+        }
+    }
+    let deps: Vec<AtomicUsize> = dep_counts.into_iter().map(AtomicUsize::new).collect();
+    let results: Vec<OnceLock<BuiltNode>> = (0..n).map(|_| OnceLock::new()).collect();
+    let queues = WorkQueues::new(threads);
+    // Seed the initially ready nodes (the leaves) round-robin so every
+    // worker starts with local work.
+    let mut next_worker = 0usize;
+    for (i, node) in bin.nodes().iter().enumerate() {
+        if matches!(node, BinNode::Leaf { .. }) {
+            queues.push_local(next_worker % threads, i);
+            next_worker += 1;
+        }
+    }
+    let remaining = AtomicUsize::new(n);
+    let shared = SharedGov {
+        limit: config.memory_limit,
+        committed: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        fallback: AtomicBool::new(false),
+        first_trip: Mutex::new(None),
+        start,
+        deadline: config.deadline,
+        cancel: config.cancel.clone(),
+    };
+    // Workers run the per-join L-reduction sequentially (budget 1): the
+    // tree-level pool already owns every thread of the budget, and the
+    // reduction is bit-identical at any worker count.
+    let eff = EffectivePolicies {
+        r: config.r_policy,
+        l: config.l_policy.clone().map(|l| l.with_workers(1)),
+    };
+
+    {
+        let bin = &bin;
+        let parent: &[usize] = &parent;
+        let deps: &[AtomicUsize] = &deps;
+        let results: &[OnceLock<BuiltNode>] = &results;
+        let remaining = &remaining;
+        let queues = &queues;
+        let shared = &shared;
+        let eff = &eff;
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let ctx = WorkerCtx {
+                    bin,
+                    library,
+                    config,
+                    eff,
+                    cache,
+                    fps,
+                    parent,
+                    deps,
+                    results,
+                    remaining,
+                    queues,
+                    shared,
+                };
+                let spawned = std::thread::Builder::new()
+                    .name(format!("fp-sched-{w}"))
+                    .spawn_scoped(scope, move || worker_loop(w, ctx));
+                if spawned.is_err() {
+                    // Could not grow the pool: stop whoever started and
+                    // let the serial path run the job.
+                    shared.request_fallback();
+                    break;
+                }
+            }
+        });
+    }
+
+    // Non-rescuable trips (deadline, cancellation, broken invariants)
+    // are final and reported directly; anything rescuable routes through
+    // the serial path so the rescue ladder replays exactly.
+    let first = lock_or_recover(&shared.first_trip).take();
+    if let Some((trip, block)) = first {
+        if trip.is_rescuable() {
+            return Ok(None);
+        }
+        return Err(trip_error(trip, block, 0, 0));
+    }
+    if shared.fallback.load(Ordering::Acquire) {
+        return Ok(None);
+    }
+
+    let mut store: Vec<Shapes> = Vec::with_capacity(n);
+    let mut accs: Vec<NodeAcc> = Vec::with_capacity(n);
+    for cell in results {
+        match cell.into_inner() {
+            Some(built) => {
+                store.push(built.shapes);
+                accs.push(built.acc);
+            }
+            // A hole without a recorded trip is a scheduling bug; the
+            // serial path still produces the correct result.
+            None => return Ok(None),
+        }
+    }
+
+    let Some(mut stats) =
+        replay_serial_schedule(&bin, &store, &mut accs, config, fps, cache.is_some())
+    else {
+        // The serial schedule would have tripped: discard everything
+        // (including buffered cache stores) and let the serial path
+        // reproduce the trip/rescue byte-for-byte.
+        return Ok(None);
+    };
+
+    if !matches!(store.get(bin.root()), Some(Shapes::Rect { .. })) {
+        return Err(OptError::Internal {
+            what: "root block is not rectangular",
+            block: bin.root(),
+        });
+    }
+
+    // Clean run: flush the buffered cache stores in tree order — the
+    // same insertion order the serial pass would have produced.
+    if let (Some(cache), Some(fps)) = (cache, fps) {
+        for (i, acc) in accs.iter().enumerate() {
+            if acc.store_after_replay {
+                if let (Some(&fp), Some(shapes)) = (fps.get(i), store.get(i)) {
+                    cache.store(fp, shapes_to_cached(shapes));
+                }
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    let leaves = tree.leaves_in_order();
+    let mut slot_of = vec![usize::MAX; tree.len()];
+    for (slot, &leaf) in leaves.iter().enumerate() {
+        if let Some(s) = slot_of.get_mut(leaf) {
+            *s = slot;
+        }
+    }
+    let leaf_slots = leaves.len();
+    Ok(Some(Frontier::from_parts(
+        bin, store, stats, slot_of, leaf_slots,
+    )))
+}
+
+/// One worker: pop ready nodes, build them, complete parents.
+fn worker_loop(w: usize, ctx: WorkerCtx<'_>) {
+    let mut scratch = JoinScratch::new();
+    let mut idle_spins = 0u32;
+    loop {
+        if ctx.shared.aborted() {
+            return;
+        }
+        let Some(index) = ctx.queues.pop(w) else {
+            if ctx.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Out of work but the run isn't done: a peer holds the
+            // frontier. Spin briefly, then back off.
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            continue;
+        };
+        idle_spins = 0;
+        match build_node(index, &ctx, &mut scratch) {
+            Ok(built) => {
+                let len = built.acc.final_len;
+                let Some(cell) = ctx.results.get(index) else {
+                    ctx.shared.request_fallback();
+                    return;
+                };
+                if cell.set(built).is_err() {
+                    // Double-build: a scheduling bug. The serial path
+                    // still computes the right answer.
+                    ctx.shared.request_fallback();
+                    return;
+                }
+                ctx.shared.committed.fetch_add(len, Ordering::Relaxed);
+                ctx.remaining.fetch_sub(1, Ordering::AcqRel);
+                let p = ctx.parent.get(index).copied().unwrap_or(usize::MAX);
+                if p != usize::MAX {
+                    if let Some(dep) = ctx.deps.get(p) {
+                        if dep.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ctx.queues.push_local(w, p);
+                        }
+                    }
+                }
+            }
+            Err(trip) => {
+                if !is_abort(&trip) {
+                    if trip.is_rescuable() {
+                        // Defensive: workers do not produce rescuable
+                        // trips directly, but if one appears, the serial
+                        // path owns the rescue ladder.
+                        ctx.shared.request_fallback();
+                    } else {
+                        ctx.shared.record_trip(trip, index);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Builds one node under a per-worker governor, recording the replay
+/// accounting.
+fn build_node(
+    index: usize,
+    ctx: &WorkerCtx<'_>,
+    scratch: &mut JoinScratch,
+) -> Result<BuiltNode, Trip> {
+    ctx.shared.check_realtime(index)?;
+    let node = ctx
+        .bin
+        .node(index)
+        .ok_or(Trip::Internal("scheduler node index out of range"))?;
+    let mut acc = NodeAcc::default();
+    let mut gov = WorkerGov::new(ctx.shared, index);
+    let shapes = match node {
+        BinNode::Leaf { module, .. } => {
+            let list = ctx
+                .library
+                .get(*module)
+                .map(|m| m.implementations().clone())
+                .ok_or(Trip::Internal("leaf module vanished mid-run"))?;
+            gov.charge(list.len())?;
+            Shapes::Rect {
+                list,
+                prov: Vec::new(),
+            }
+        }
+        BinNode::Join { op, left, right } => {
+            let fp = ctx.fps.and_then(|f| f.get(index)).copied();
+            let mut hit_shapes = None;
+            if let (Some(cache), Some(fp)) = (ctx.cache, fp) {
+                acc.looked_up = true;
+                if let Some(hit) = cache.lookup(fp) {
+                    gov.charge(hit.len())?;
+                    acc.initial_hit = true;
+                    acc.hit_degradations = hit.degradations.clone();
+                    hit_shapes = Some(cached_to_shapes(hit.shapes)?);
+                }
+            }
+            match hit_shapes {
+                Some(shapes) => shapes,
+                None => {
+                    let left = ctx.results.get(*left).and_then(OnceLock::get);
+                    let right = ctx.results.get(*right).and_then(OnceLock::get);
+                    let (Some(left), Some(right)) = (left, right) else {
+                        return Err(Trip::Internal("scheduler dependency not built"));
+                    };
+                    let mut node_stats = RunStats::default();
+                    let shapes = build_join(
+                        *op,
+                        &left.shapes,
+                        &right.shapes,
+                        ctx.config,
+                        ctx.eff,
+                        &mut gov,
+                        &mut node_stats,
+                        scratch,
+                    )?;
+                    acc.r_reductions = node_stats.r_reductions;
+                    acc.l_reductions = node_stats.l_reductions;
+                    shapes
+                }
+            }
+        }
+    };
+    acc.generated = gov.generated;
+    acc.transient_peak = gov.peak;
+    acc.final_len = shapes.len();
+    Ok(BuiltNode { shapes, acc })
+}
+
+/// Replays the serial schedule over the per-node accounting: walks nodes
+/// in tree order tracking the committed total, the generated ordinal,
+/// and the set of fingerprints a serial pass would already have stored
+/// (within-run self-hits). Returns `None` if the serial run would have
+/// tripped the budget or a fault-plan ordinal anywhere — the caller then
+/// discards the parallel work. Otherwise returns the exact serial
+/// [`RunStats`] (minus `elapsed`, which the caller stamps) and marks
+/// which nodes the serial pass would have stored to the cache.
+fn replay_serial_schedule(
+    bin: &BinaryTree,
+    store: &[Shapes],
+    accs: &mut [NodeAcc],
+    config: &OptimizeConfig,
+    fps: Option<&[Fingerprint]>,
+    caching: bool,
+) -> Option<RunStats> {
+    let limit = config.memory_limit;
+    let empty: &[u64] = &[];
+    let points: &[u64] = config.fault_plan.as_ref().map_or(empty, FaultPlan::points);
+    let mut cursor = 0usize;
+    let mut committed: usize = 0;
+    let mut generated: u64 = 0;
+    let mut peak: usize = 0;
+    let mut stats = RunStats::default();
+    let mut stored: HashSet<Fingerprint> = HashSet::new();
+    for (i, acc) in accs.iter_mut().enumerate() {
+        let is_join = matches!(bin.node(i), Some(BinNode::Join { .. }));
+        let fp = fps.and_then(|f| f.get(i)).copied();
+        // Would the serial pass have hit the cache here? Either the
+        // pre-run lookup hit, or an identical block earlier in tree
+        // order stored under the same address during this run.
+        let serial_hit = caching
+            && is_join
+            && acc.looked_up
+            && (acc.initial_hit || fp.is_some_and(|fp| stored.contains(&fp)));
+        let (d_gen, d_peak) = if serial_hit {
+            // A serial hit charges the cached list in one go.
+            (acc.final_len as u64, acc.final_len)
+        } else {
+            (acc.generated, acc.transient_peak)
+        };
+        // Budget: the serial meter trips when committed-so-far plus the
+        // block's in-flight live count exceeds the limit at any charge;
+        // the recorded transient peak is that maximum.
+        if limit.is_some_and(|l| committed + d_peak > l) {
+            return None;
+        }
+        // Fault plan: trips when the generated ordinal crosses a point
+        // within this block's charges.
+        let after = generated + d_gen;
+        while let Some(&p) = points.get(cursor) {
+            if p <= generated {
+                cursor += 1;
+                continue;
+            }
+            if p <= after {
+                return None;
+            }
+            break;
+        }
+        generated = after;
+        peak = peak.max(committed + d_peak);
+        committed += acc.final_len;
+        if serial_hit {
+            stats.cache_hits += 1;
+            stats
+                .degradations
+                .extend(acc.hit_degradations.iter().cloned());
+        } else {
+            if caching && is_join && acc.looked_up {
+                stats.cache_misses += 1;
+                acc.store_after_replay = true;
+                if let Some(fp) = fp {
+                    stored.insert(fp);
+                }
+            }
+            stats.r_reductions += acc.r_reductions;
+            stats.l_reductions += acc.l_reductions;
+        }
+        match store.get(i) {
+            Some(Shapes::Rect { list, .. }) if is_join => {
+                stats.max_r_block = stats.max_r_block.max(list.len());
+            }
+            Some(Shapes::L { shapes, .. }) => {
+                stats.max_l_block = stats.max_l_block.max(shapes.len());
+            }
+            _ => {}
+        }
+    }
+    stats.peak_impls = peak;
+    stats.final_impls = committed;
+    stats.generated = generated;
+    Some(stats)
+}

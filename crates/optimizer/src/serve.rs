@@ -21,6 +21,7 @@
 //! `ami49`, with `n`/`seed` module-generator knobs) or `instance` (a full
 //! `.fpt` text, `\n`-escaped), plus the CLI's selection and robustness
 //! knobs: `k1`, `k2`, `theta`, `prefilter`, `memory`, `deadline_ms`,
+//! `threads` (intra-request tree parallelism, `0` = all cores),
 //! `auto_rescue`, `objective` (`"area"`/`"hp"`), `outline` (`"WxH"`).
 //!
 //! ## Responses
@@ -507,6 +508,9 @@ pub struct OptimizeRequest {
     pub memory: Option<usize>,
     /// Per-request deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Tree-parallelism worker count for this request (`0` = all
+    /// cores); defaults to the server-wide setting when absent.
+    pub threads: Option<usize>,
     /// Degrade-and-retry on budget trips.
     pub auto_rescue: bool,
     /// Root objective.
@@ -528,6 +532,7 @@ impl Default for OptimizeRequest {
             prefilter: None,
             memory: None,
             deadline_ms: None,
+            threads: None,
             auto_rescue: false,
             objective: Objective::MinArea,
             outline: None,
@@ -630,6 +635,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             req.deadline_ms = field_usize(&doc, "deadline_ms")
                 .map_err(&bad)?
                 .map(|ms| ms as u64);
+            req.threads = field_usize(&doc, "threads").map_err(&bad)?;
             req.auto_rescue = field_bool(&doc, "auto_rescue").map_err(&bad)?;
             if let Some(theta) = doc.get("theta") {
                 let theta = theta
@@ -676,16 +682,35 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 pub struct ServeState {
     cache: SharedBlockCache,
     requests: AtomicU64,
+    threads: usize,
 }
 
 impl ServeState {
-    /// Fresh state with a block cache of the given byte budget.
+    /// Fresh state with a block cache of the given byte budget. The
+    /// per-request thread default follows `FP_THREADS` (else 1).
     #[must_use]
     pub fn new(cache_bytes: usize) -> Self {
         ServeState {
             cache: shared_cache(cache_bytes),
             requests: AtomicU64::new(0),
+            threads: OptimizeConfig::default().threads,
         }
+    }
+
+    /// Sets the server-wide default for per-request tree parallelism
+    /// (`0` = all cores). Requests may override it per call with their
+    /// own `threads` field; either way the intra-request pool composes
+    /// multiplicatively with the server's request workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The per-request thread default (unresolved; `0` = all cores).
+    #[must_use]
+    pub fn default_threads(&self) -> usize {
+        self.threads
     }
 
     /// The shared block cache.
@@ -811,10 +836,15 @@ fn load_serve_instance(req: &OptimizeRequest) -> Result<FloorplanInstance, Reply
     }
 }
 
-fn config_for(req: &OptimizeRequest, cancel: Option<CancelToken>) -> OptimizeConfig {
+fn config_for(
+    req: &OptimizeRequest,
+    cancel: Option<CancelToken>,
+    default_threads: usize,
+) -> OptimizeConfig {
     let mut config = OptimizeConfig::default()
         .with_objective(req.objective)
         .with_auto_rescue(req.auto_rescue)
+        .with_threads(req.threads.unwrap_or(default_threads))
         .with_cancel(cancel);
     if let Some(outline) = req.outline {
         config = config.with_outline(outline);
@@ -865,11 +895,12 @@ fn optimize_reply(
             };
         }
     };
-    let config = config_for(req, cancel);
+    let config = config_for(req, cancel, state.default_threads());
     match optimize_report_cached(&instance.tree, &instance.library, &config, state.cache()) {
         Ok(RunOutcome { outcome, rescued }) => {
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.str("instance", &instance.name);
+            obj.u64("threads", config.resolved_threads() as u64);
             obj.u128("area", outcome.area);
             obj.u64("width", outcome.root_impl.w);
             obj.u64("height", outcome.root_impl.h);
@@ -935,13 +966,16 @@ pub fn execute(
         }
         Method::Stats => {
             let stats = shared_cache_stats(state.cache());
-            let (bytes, entries, budget) = state
-                .cache()
-                .lock()
-                .map(|c| (c.bytes(), c.len(), c.budget_bytes()))
-                .unwrap_or_default();
+            let cache = state.cache();
+            let (bytes, entries, budget) = (cache.bytes(), cache.len(), cache.budget_bytes());
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.u64("requests", state.requests());
+            obj.u64(
+                "threads",
+                OptimizeConfig::default()
+                    .with_threads(state.default_threads())
+                    .resolved_threads() as u64,
+            );
             obj.u64("cache_hits", stats.hits);
             obj.u64("cache_misses", stats.misses);
             obj.u64("cache_evictions", stats.evictions);

@@ -216,15 +216,14 @@ impl Session {
         self.config = config;
     }
 
-    /// Counter snapshot (cache counters are zeros if the cache lock was
-    /// poisoned by a panicking sharer).
+    /// Counter snapshot.
     #[must_use]
     pub fn stats(&self) -> SessionStats {
-        let (cache_entries, cache_bytes, cache_budget_bytes) = self
-            .cache
-            .lock()
-            .map(|c| (c.len(), c.bytes(), c.budget_bytes()))
-            .unwrap_or_default();
+        let (cache_entries, cache_bytes, cache_budget_bytes) = (
+            self.cache.len(),
+            self.cache.bytes(),
+            self.cache.budget_bytes(),
+        );
         SessionStats {
             runs: self.runs,
             module_edits: self.module_edits,

@@ -10,7 +10,8 @@
 
 use fp_geom::Rect;
 
-use crate::prune::pareto_min_rects_by;
+use crate::prune::pareto_min_rects_in_place;
+use crate::scratch::JoinScratch;
 use crate::RList;
 
 /// How two blocks are composed by a slice.
@@ -68,40 +69,58 @@ pub struct CombinedRect {
 /// ```
 #[must_use]
 pub fn combine_with_provenance(a: &RList, b: &RList, how: Compose) -> Vec<CombinedRect> {
+    let mut scratch = JoinScratch::new();
+    let _ = combine_with_provenance_scratch(a, b, how, &mut scratch);
+    scratch.combined
+}
+
+/// [`combine_with_provenance`] against a reusable [`JoinScratch`]: the
+/// merge runs entirely inside the arena's buffers (rotated staircases,
+/// candidate vector, in-place prune) and returns the irreducible result
+/// as a borrow of the arena. On a warmed arena whose buffers have grown
+/// to the working-set size, the call performs **zero** heap allocations
+/// — the property the allocation-count test in `crates/shape/tests`
+/// pins down.
+pub fn combine_with_provenance_scratch<'s>(
+    a: &RList,
+    b: &RList,
+    how: Compose,
+    scratch: &'s mut JoinScratch,
+) -> &'s [CombinedRect] {
+    scratch.combined.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return &scratch.combined;
     }
-    let candidates = match how {
-        Compose::Stack => stack_candidates(a.as_slice(), b.as_slice()),
+    match how {
+        Compose::Stack => {
+            stack_candidates_into(a.as_slice(), b.as_slice(), &mut scratch.combined);
+        }
         Compose::Beside => {
             // Mirror of the stacked walk with the axes swapped: walk from the
             // tallest (narrowest) end pairing by height.
-            let at: Vec<Rect> = a.iter().map(|r| r.rotated()).collect();
-            let bt: Vec<Rect> = b.iter().map(|r| r.rotated()).collect();
-            let mut at_sorted = at;
-            let mut bt_sorted = bt;
-            at_sorted.reverse(); // now width descending again
-            bt_sorted.reverse();
-            let n = at_sorted.len();
-            let m = bt_sorted.len();
-            stack_candidates(&at_sorted, &bt_sorted)
-                .into_iter()
-                .map(|c| CombinedRect {
-                    rect: c.rect.rotated(),
-                    left: n - 1 - c.left,
-                    right: m - 1 - c.right,
-                })
-                .collect()
+            scratch.rects_a.clear();
+            scratch.rects_a.extend(a.iter().rev().map(|r| r.rotated()));
+            scratch.rects_b.clear();
+            scratch.rects_b.extend(b.iter().rev().map(|r| r.rotated()));
+            stack_candidates_into(&scratch.rects_a, &scratch.rects_b, &mut scratch.combined);
+            let n = scratch.rects_a.len();
+            let m = scratch.rects_b.len();
+            for c in &mut scratch.combined {
+                c.rect = c.rect.rotated();
+                c.left = n - 1 - c.left;
+                c.right = m - 1 - c.right;
+            }
         }
-    };
-    pareto_min_rects_by(candidates, |c| c.rect)
+    }
+    pareto_min_rects_in_place(&mut scratch.combined, |c| c.rect);
+    &scratch.combined
 }
 
 /// Lockstep walk for `Stack` over width-descending staircases: pair the two
 /// widest implementations, then narrow whichever child currently determines
-/// the maximum width.
-fn stack_candidates(a: &[Rect], b: &[Rect]) -> Vec<CombinedRect> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// the maximum width. Appends into `out` (assumed cleared by the caller).
+fn stack_candidates_into(a: &[Rect], b: &[Rect], out: &mut Vec<CombinedRect>) {
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     loop {
         let (ra, rb) = (a[i], b[j]);
@@ -124,7 +143,6 @@ fn stack_candidates(a: &[Rect], b: &[Rect]) -> Vec<CombinedRect> {
             break;
         }
     }
-    out
 }
 
 /// [`combine_with_provenance`] without the provenance: just the combined
@@ -198,6 +216,26 @@ mod tests {
                 assert_eq!(c.rect, how.apply(a[c.left], b[c.right]));
             }
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_owned_variant() {
+        let a = rl(&[(9, 1), (7, 2), (4, 5), (2, 9)]);
+        let b = rl(&[(8, 2), (5, 3), (3, 6)]);
+        let mut scratch = JoinScratch::new();
+        for how in [Compose::Stack, Compose::Beside] {
+            let owned = combine_with_provenance(&a, &b, how);
+            // Run twice: the second call exercises dirty, pre-grown buffers.
+            let _ = combine_with_provenance_scratch(&a, &b, how, &mut scratch);
+            let reused = combine_with_provenance_scratch(&a, &b, how, &mut scratch);
+            assert_eq!(owned.as_slice(), reused, "{how:?}");
+        }
+        // Empty children clear stale contents.
+        let _ = combine_with_provenance_scratch(&a, &b, Compose::Stack, &mut scratch);
+        assert!(
+            combine_with_provenance_scratch(&RList::new(), &b, Compose::Stack, &mut scratch)
+                .is_empty()
+        );
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub mod combine;
 mod llist;
 pub mod prune;
 mod rlist;
+pub mod scratch;
 mod shapefn;
 pub mod staircase;
 
 pub use llist::{chain_indices, LList, LListSet};
 pub use rlist::RList;
+pub use scratch::JoinScratch;
 pub use shapefn::ShapeFunction;

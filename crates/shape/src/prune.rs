@@ -31,23 +31,33 @@ use fp_geom::{LShape, Rect};
 /// assert_eq!(names, vec!['c', 'a']); // 'b' dominated 'a'; width-descending order
 /// ```
 pub fn pareto_min_rects_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> Rect) -> Vec<T> {
+    pareto_min_rects_in_place(&mut items, key);
+    items
+}
+
+/// [`pareto_min_rects_by`] operating in place: `items` is reduced to its
+/// Pareto-minimal subset (canonical width-descending order) without any
+/// intermediate allocation — the sweep compacts survivors with `retain`.
+/// This is the allocation-free kernel the join hot path uses on buffers
+/// it owns or borrows from a [`crate::JoinScratch`].
+pub fn pareto_min_rects_in_place<T>(items: &mut Vec<T>, key: impl Fn(&T) -> Rect) {
     // Sort by (w asc, h asc); sweep keeping a strictly decreasing minimum h.
     items.sort_by_key(|t| {
         let r = key(t);
         (r.w, r.h)
     });
-    let mut kept: Vec<T> = Vec::new();
     let mut min_h: Option<u64> = None;
-    for item in items {
-        let h = key(&item).h;
+    items.retain(|item| {
+        let h = key(item).h;
         if min_h.is_none_or(|m| h < m) {
             min_h = Some(h);
-            kept.push(item);
+            true
+        } else {
+            false
         }
-    }
+    });
     // (w asc, h desc) reversed gives the canonical R-list order.
-    kept.reverse();
-    kept
+    items.reverse();
 }
 
 /// [`pareto_min_rects_by`] for plain rectangles.
@@ -114,19 +124,34 @@ pub fn pareto_min_lshapes(items: Vec<LShape>) -> Vec<LShape> {
 /// Survivors are returned in the canonical `(w2, w1 desc, h1, h2)` order
 /// that [`crate::chain_indices`] expects.
 pub fn pareto_min_lshapes_within_w2_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> LShape) -> Vec<T> {
+    let mut front: Vec<(u64, u64)> = Vec::new();
+    pareto_min_lshapes_within_w2_scratch(&mut items, key, &mut front);
+    items
+}
+
+/// [`pareto_min_lshapes_within_w2_by`] operating in place, with the
+/// staircase front borrowed from the caller (typically the `front`
+/// buffer of a [`crate::JoinScratch`]) so repeated prunes on the join
+/// hot path allocate nothing. Survivors are compacted to the head of
+/// `items` and left in canonical `(w2, w1 desc, h1, h2)` order.
+pub fn pareto_min_lshapes_within_w2_scratch<T>(
+    items: &mut Vec<T>,
+    key: impl Fn(&T) -> LShape,
+    front: &mut Vec<(u64, u64)>,
+) {
     // Sort groups together; within a group ascending w1 so that potential
     // dominators (smaller or equal w1) precede their victims.
     items.sort_by_key(|t| {
         let l = key(t);
         (l.w2, l.w1, l.h1, l.h2)
     });
-    let mut kept: Vec<T> = Vec::with_capacity(items.len());
     // Staircase of minimal (h1, h2) pairs for the current w2 group, sorted
     // by h1 ascending (h2 then strictly descending).
-    let mut front: Vec<(u64, u64)> = Vec::new();
+    front.clear();
     let mut current_w2: Option<u64> = None;
-    for item in items {
-        let l = key(&item);
+    let mut write = 0usize;
+    for read in 0..items.len() {
+        let l = key(&items[read]);
         if current_w2 != Some(l.w2) {
             current_w2 = Some(l.w2);
             front.clear();
@@ -148,14 +173,15 @@ pub fn pareto_min_lshapes_within_w2_by<T>(mut items: Vec<T>, key: impl Fn(&T) ->
             end += 1;
         }
         front.splice(start..end, [(l.h1, l.h2)]);
-        kept.push(item);
+        items.swap(write, read);
+        write += 1;
     }
+    items.truncate(write);
     // Canonical output order.
-    kept.sort_by_key(|t| {
+    items.sort_by_key(|t| {
         let l = key(t);
         (l.w2, core::cmp::Reverse(l.w1), l.h1, l.h2)
     });
-    kept
 }
 
 /// Returns `true` if no element of `items` dominates another (Definition 2

@@ -1,0 +1,129 @@
+//! Allocation accounting for the scratch-arena combine path: once a
+//! [`JoinScratch`] is warmed (its vectors have grown to the working-set
+//! size), repeated combines must not touch the global allocator at all.
+//! A counting `#[global_allocator]` makes that a hard assertion — but
+//! only in debug builds and off the test harness's own threads' noise:
+//! the counter is scoped to the measured section on one thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fp_geom::Rect;
+use fp_shape::combine::{combine_with_provenance, combine_with_provenance_scratch, Compose};
+use fp_shape::{JoinScratch, RList};
+
+/// Counts allocations while `ARMED` is set. Frees are always forwarded.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn rlist(seed: u64, n: u64) -> RList {
+    let rects = (0..n)
+        .map(|i| {
+            let w = 2 + (seed.wrapping_mul(31).wrapping_add(i * 7)) % 40 + i * 3;
+            let h = 2 + (seed.wrapping_mul(17).wrapping_add(i * 13)) % 40 + (n - i) * 3;
+            Rect::new(w, h)
+        })
+        .collect();
+    RList::from_candidates(rects)
+}
+
+/// Measures allocations during `f` on this thread's critical section.
+/// Other test threads could inflate the count, so the harness must run
+/// this binary single-threaded per test (Rust's default is one thread
+/// per `#[test]`, and this file keeps the armed windows disjoint by
+/// taking a lock).
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    static WINDOW: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = match WINDOW.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    let count = ALLOCATIONS.load(Ordering::SeqCst);
+    drop(guard);
+    (count, out)
+}
+
+/// A warmed scratch arena combines without allocating. Debug-only as an
+/// assertion (release builds may inline differently), but the count is
+/// printed either way so regressions show up in logs.
+#[test]
+fn warmed_scratch_combine_does_not_allocate() {
+    let a = rlist(3, 24);
+    let b = rlist(11, 20);
+    let mut scratch = JoinScratch::new();
+
+    // Warm-up: grow every scratch vector to the working-set size.
+    for how in [Compose::Beside, Compose::Stack] {
+        let _ = combine_with_provenance_scratch(&a, &b, how, &mut scratch);
+    }
+
+    let (count, total) = count_allocations(|| {
+        let mut total = 0usize;
+        for _ in 0..8 {
+            for how in [Compose::Beside, Compose::Stack] {
+                total += combine_with_provenance_scratch(&a, &b, how, &mut scratch).len();
+            }
+        }
+        total
+    });
+    assert!(total > 0, "combines produced output");
+    println!("warmed-scratch allocations over 16 combines: {count}");
+    if cfg!(debug_assertions) {
+        assert_eq!(count, 0, "warmed scratch arena must not allocate");
+    }
+}
+
+/// The allocating path and the scratch path agree bit for bit, and the
+/// scratch path allocates strictly less once warmed.
+#[test]
+fn scratch_combine_matches_allocating_combine() {
+    let a = rlist(5, 16);
+    let b = rlist(9, 18);
+    let mut scratch = JoinScratch::new();
+    for how in [Compose::Beside, Compose::Stack] {
+        let plain = combine_with_provenance(&a, &b, how);
+        let via_scratch = combine_with_provenance_scratch(&a, &b, how, &mut scratch).to_vec();
+        assert_eq!(plain, via_scratch, "{how:?}: scratch path diverges");
+    }
+
+    let (plain_allocs, _) = count_allocations(|| combine_with_provenance(&a, &b, Compose::Beside));
+    let (scratch_allocs, _) = count_allocations(|| {
+        combine_with_provenance_scratch(&a, &b, Compose::Beside, &mut scratch).len()
+    });
+    println!("allocating path: {plain_allocs}, scratch path: {scratch_allocs}");
+    if cfg!(debug_assertions) {
+        assert!(
+            scratch_allocs < plain_allocs.max(1),
+            "scratch path must allocate less than the allocating path"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The tree-level scheduler's determinism contract, end to end: at any
+//! thread count the optimizer's output is byte-identical to the serial
+//! path — same non-redundant frontier, same `DegradationEvent` sequence,
+//! same governor counters — on clean runs, on cache-backed runs, and on
+//! runs that trip the governor and descend the rescue ladder.
+
+use std::time::Duration;
+
+use fp_optimizer::{
+    optimize_frontier, optimize_frontier_cached, optimize_report, shared_cache_stats, CancelToken,
+    FaultPlan, OptError, OptimizeConfig, RunStats, SharedBlockCache,
+};
+use fp_select::LReductionPolicy;
+use fp_tree::generators::{self, Benchmark};
+use fp_tree::ModuleLibrary;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn benches() -> Vec<(Benchmark, ModuleLibrary)> {
+    let mut out = Vec::new();
+    for bench in generators::paper_benchmarks() {
+        let lib = generators::module_library(&bench.tree, 4, 7);
+        out.push((bench, lib));
+    }
+    for seed in [11u64, 29, 53] {
+        let bench = generators::random_floorplan(24, 0.5, seed);
+        let lib = generators::module_library(&bench.tree, 5, seed);
+        out.push((bench, lib));
+    }
+    out
+}
+
+/// Everything in [`RunStats`] except wall-clock time must match.
+fn assert_stats_identical(serial: &RunStats, parallel: &RunStats, label: &str) {
+    assert_eq!(serial.generated, parallel.generated, "{label}: generated");
+    assert_eq!(serial.peak_impls, parallel.peak_impls, "{label}: peak");
+    assert_eq!(serial.final_impls, parallel.final_impls, "{label}: final");
+    assert_eq!(serial.max_r_block, parallel.max_r_block, "{label}: max_r");
+    assert_eq!(serial.max_l_block, parallel.max_l_block, "{label}: max_l");
+    assert_eq!(
+        serial.r_reductions, parallel.r_reductions,
+        "{label}: r_reductions"
+    );
+    assert_eq!(
+        serial.l_reductions, parallel.l_reductions,
+        "{label}: l_reductions"
+    );
+    assert_eq!(serial.cache_hits, parallel.cache_hits, "{label}: hits");
+    assert_eq!(
+        serial.cache_misses, parallel.cache_misses,
+        "{label}: misses"
+    );
+    assert_eq!(
+        serial.degradations, parallel.degradations,
+        "{label}: degradation sequence"
+    );
+    assert_eq!(
+        serial.rescue_attempts, parallel.rescue_attempts,
+        "{label}: rescue attempts"
+    );
+}
+
+/// Clean runs: every thread count reproduces the serial frontier,
+/// stats, and traced-back assignment byte for byte.
+#[test]
+fn thread_sweep_clean_runs_are_bit_identical() {
+    for (bench, lib) in benches() {
+        let base = OptimizeConfig::default().with_threads(1);
+        let serial = optimize_frontier(&bench.tree, &lib, &base).expect("serial run solves");
+        for threads in SWEEP {
+            let config = OptimizeConfig::default().with_threads(threads);
+            let parallel =
+                optimize_frontier(&bench.tree, &lib, &config).expect("parallel run solves");
+            let label = format!("{} @{threads}", bench.name);
+            assert_eq!(
+                serial.envelopes(),
+                parallel.envelopes(),
+                "{label}: frontier"
+            );
+            assert_stats_identical(serial.stats(), parallel.stats(), &label);
+            assert_eq!(
+                serial.outcome(0).assignment,
+                parallel.outcome(0).assignment,
+                "{label}: assignment"
+            );
+        }
+    }
+}
+
+/// Selection policies (R and L, including the per-join parallel
+/// L-reduction) compose with the tree-level pool without changing
+/// results.
+#[test]
+fn thread_sweep_with_selection_policies() {
+    for (bench, lib) in benches() {
+        let config = |threads: usize| {
+            OptimizeConfig::default()
+                .with_r_selection(12)
+                .with_l_selection(
+                    LReductionPolicy::new(24)
+                        .with_theta(0.8)
+                        .with_parallel(true),
+                )
+                .with_threads(threads)
+        };
+        let serial = optimize_frontier(&bench.tree, &lib, &config(1)).expect("serial run solves");
+        for threads in SWEEP {
+            let parallel =
+                optimize_frontier(&bench.tree, &lib, &config(threads)).expect("parallel solves");
+            let label = format!("{} selection @{threads}", bench.name);
+            assert_eq!(serial.envelopes(), parallel.envelopes(), "{label}");
+            assert_stats_identical(serial.stats(), parallel.stats(), &label);
+        }
+    }
+}
+
+/// Governor-rescued runs: a tight budget sends every thread count down
+/// the same rescue ladder — identical degradation events, identical
+/// final answer (the parallel pass detects the would-be trip in its
+/// serial-schedule replay and defers to the serial path wholesale).
+#[test]
+fn thread_sweep_rescued_runs_are_bit_identical() {
+    for (bench, lib) in benches() {
+        let plain = optimize_frontier(&bench.tree, &lib, &OptimizeConfig::default())
+            .expect("plain run solves");
+        let budget = (plain.stats().peak_impls * 2 / 3).max(1);
+        let config = |threads: usize| {
+            OptimizeConfig::default()
+                .with_l_selection(LReductionPolicy::new(64))
+                .with_memory_limit(Some(budget))
+                .with_auto_rescue(true)
+                .with_threads(threads)
+        };
+        let serial = optimize_report(&bench.tree, &lib, &config(1));
+        for threads in SWEEP {
+            let parallel = optimize_report(&bench.tree, &lib, &config(threads));
+            let label = format!("{} rescued @{threads}", bench.name);
+            match (&serial, &parallel) {
+                (Ok(s), Ok(p)) => {
+                    assert_eq!(s.rescued, p.rescued, "{label}: rescue flag");
+                    assert_eq!(s.outcome.area, p.outcome.area, "{label}: area");
+                    assert_eq!(s.outcome.assignment, p.outcome.assignment, "{label}");
+                    assert_stats_identical(&s.outcome.stats, &p.outcome.stats, &label);
+                }
+                (Err(se), Err(pe)) => {
+                    assert_eq!(se.to_string(), pe.to_string(), "{label}: error");
+                }
+                (s, p) => panic!("{label}: paths diverged: {s:?} vs {p:?}"),
+            }
+        }
+    }
+}
+
+/// Injected faults land on the same generated-candidate ordinal at any
+/// thread count, so the rescued outcome is identical too.
+#[test]
+fn thread_sweep_fault_plans_are_bit_identical() {
+    let bench = generators::fp2();
+    let lib = generators::module_library(&bench.tree, 4, 7);
+    let plain =
+        optimize_frontier(&bench.tree, &lib, &OptimizeConfig::default()).expect("plain solves");
+    let midpoint = plain.stats().generated / 2;
+    let config = |threads: usize| {
+        OptimizeConfig::default()
+            .with_fault_plan(Some(FaultPlan::at_allocations(&[midpoint])))
+            .with_auto_rescue(true)
+            .with_threads(threads)
+    };
+    let serial = optimize_report(&bench.tree, &lib, &config(1)).expect("serial rescue solves");
+    for threads in SWEEP {
+        let parallel =
+            optimize_report(&bench.tree, &lib, &config(threads)).expect("parallel rescue solves");
+        assert_eq!(serial.rescued, parallel.rescued, "@{threads}: rescue flag");
+        assert_eq!(serial.outcome.area, parallel.outcome.area, "@{threads}");
+        assert_stats_identical(
+            &serial.outcome.stats,
+            &parallel.outcome.stats,
+            &format!("fault @{threads}"),
+        );
+    }
+}
+
+/// Cache-backed runs: cold-then-warm pairs produce the same frontiers
+/// and the same hit/miss counters at every thread count, and a cache
+/// warmed at one thread count serves any other.
+#[test]
+fn thread_sweep_with_shared_cache() {
+    let bench = generators::fp3();
+    let lib = generators::module_library(&bench.tree, 4, 7);
+    let mut baseline = None;
+    for threads in SWEEP {
+        let config = OptimizeConfig::default().with_threads(threads);
+        let cache = SharedBlockCache::new(64 << 20);
+        let cold =
+            optimize_frontier_cached(&bench.tree, &lib, &config, &cache).expect("cold solves");
+        let warm =
+            optimize_frontier_cached(&bench.tree, &lib, &config, &cache).expect("warm solves");
+        assert_eq!(cold.envelopes(), warm.envelopes(), "@{threads}: warm drift");
+        assert_eq!(warm.stats().cache_misses, 0, "@{threads}: warm misses");
+        assert!(warm.stats().cache_hits > 0, "@{threads}: warm hits");
+        let snapshot = (
+            cold.envelopes().clone(),
+            cold.stats().cache_hits,
+            cold.stats().cache_misses,
+            warm.stats().cache_hits,
+            shared_cache_stats(&cache).insertions,
+        );
+        match &baseline {
+            None => baseline = Some(snapshot),
+            Some(expect) => assert_eq!(expect, &snapshot, "@{threads}: cache counters diverge"),
+        }
+    }
+    // Cross-thread-count reuse: warm at 1 thread, serve at 4.
+    let cache = SharedBlockCache::new(64 << 20);
+    let at1 = optimize_frontier_cached(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default().with_threads(1),
+        &cache,
+    )
+    .expect("serial warmup solves");
+    let at4 = optimize_frontier_cached(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default().with_threads(4),
+        &cache,
+    )
+    .expect("parallel reuse solves");
+    assert_eq!(at1.envelopes(), at4.envelopes());
+    assert_eq!(
+        at4.stats().cache_misses,
+        0,
+        "parallel run misses warm cache"
+    );
+}
+
+/// A token cancelled before the run starts aborts the pool immediately.
+#[test]
+fn precancelled_token_cancels_the_parallel_run() {
+    let bench = generators::fp2();
+    let lib = generators::module_library(&bench.tree, 4, 7);
+    let token = CancelToken::new();
+    token.cancel();
+    let config = OptimizeConfig::default()
+        .with_cancel(Some(token))
+        .with_threads(4);
+    match optimize_frontier(&bench.tree, &lib, &config) {
+        Err(OptError::Cancelled { .. }) => {}
+        Err(other) => panic!("expected Cancelled, got {other:?}"),
+        Ok(_) => panic!("expected Cancelled, got a clean run"),
+    }
+}
+
+/// Cancelling mid-flight from another thread stops every in-flight
+/// worker: the run returns promptly with either the cancellation error
+/// or (if it won the race) a clean result — never a hang or a panic.
+#[test]
+fn mid_flight_cancellation_stops_the_pool() {
+    let bench = generators::random_floorplan(48, 0.5, 97);
+    let lib = generators::module_library(&bench.tree, 6, 3);
+    let token = CancelToken::new();
+    let config = OptimizeConfig::default()
+        .with_cancel(Some(token.clone()))
+        .with_threads(4);
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        token.cancel();
+    });
+    let result = optimize_frontier(&bench.tree, &lib, &config);
+    canceller.join().expect("canceller joins");
+    match result {
+        Ok(frontier) => assert!(!frontier.envelopes().is_empty(), "clean win has a frontier"),
+        Err(OptError::Cancelled { .. }) => {}
+        Err(other) => panic!("expected Ok or Cancelled, got {other:?}"),
+    }
+}
+
+/// `threads: 0` resolves to the machine's available parallelism and
+/// still matches the serial result.
+#[test]
+fn auto_thread_count_matches_serial() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 3, 1);
+    let serial = optimize_frontier(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default().with_threads(1),
+    )
+    .expect("serial solves");
+    let auto = optimize_frontier(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default().with_threads(0),
+    )
+    .expect("auto solves");
+    assert_eq!(serial.envelopes(), auto.envelopes());
+    assert_stats_identical(serial.stats(), auto.stats(), "auto threads");
+}

@@ -7,8 +7,8 @@
 use fp_geom::Rect;
 use fp_memo::Fingerprint;
 use fp_optimizer::{
-    optimize_frontier, optimize_frontier_cached, policy_fingerprint, shared_cache,
-    shared_cache_stats, BlockCache, CachedBlock, CachedShapes, OptimizeConfig,
+    optimize_frontier, optimize_frontier_cached, policy_fingerprint, shared_cache_stats,
+    BlockCache, CachedBlock, CachedShapes, OptimizeConfig, SharedBlockCache,
 };
 use fp_session::{Session, SessionError};
 use fp_tree::fingerprint::block_fingerprints;
@@ -133,13 +133,14 @@ fn block(widths: &[(u64, u64)]) -> CachedBlock {
 }
 
 /// Filling a cache past its byte budget evicts in LRU order, with
-/// lookups (not just stores) refreshing recency.
+/// lookups (not just stores) refreshing recency. Pinned to a single
+/// shard: the sharded cache runs an independent LRU per shard.
 #[test]
 fn cache_fill_past_budget_evicts_least_recently_used() {
     let one = block(&[(8, 1), (4, 2), (2, 4), (1, 8)]);
     let weight = fp_memo::Weigh::weight_bytes(&one) + fp_memo::ENTRY_OVERHEAD_BYTES;
     // Room for exactly three entries.
-    let cache = shared_cache(3 * weight);
+    let cache = SharedBlockCache::with_shards(3 * weight, 1);
 
     for key in 1u128..=3 {
         cache.store(key, one.clone());
@@ -161,10 +162,7 @@ fn cache_fill_past_budget_evicts_least_recently_used() {
     let stats = shared_cache_stats(&cache);
     assert_eq!(stats.evictions, 2);
     assert_eq!(stats.insertions, 5);
-    let (bytes, budget) = cache
-        .lock()
-        .map(|c| (c.bytes(), c.budget_bytes()))
-        .expect("lock");
+    let (bytes, budget) = (cache.bytes(), cache.budget_bytes());
     assert!(bytes <= budget, "accounting stays within budget");
 }
 
