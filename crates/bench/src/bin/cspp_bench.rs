@@ -1,0 +1,350 @@
+//! Selection-kernel benchmark: legacy `Dag` DP vs the flat layered
+//! kernel (dense and auto-dispatched divide-and-conquer), emitted as
+//! machine-readable `BENCH_cspp.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin cspp_bench
+//! cargo run --release -p fp-bench --bin cspp_bench -- --out path.json
+//! cargo run --release -p fp-bench --bin cspp_bench -- --smoke
+//! ```
+//!
+//! Two sections:
+//!
+//! * **synthetic** — R-selection instances at n ∈ {64, 256, 1024}
+//!   (`K₁ = max(4, n/8)`), with O(1) staircase weights from
+//!   [`RErrorPrefix`]. Each cell times the legacy materialized-`Dag`
+//!   DP, the flat dense kernel, and the auto dispatch (which takes the
+//!   divide-and-conquer row-minima path on these Monge tables), cold
+//!   (fresh arena per call) and warm (reused arena). Every solver's
+//!   weight and path are asserted identical, so the bench doubles as an
+//!   equivalence gate.
+//! * **floorplans** — FP1–FP4 end-to-end under the selection policies,
+//!   reporting the selection kernels' share of total CPU
+//!   ([`fp_optimizer`]'s `RunStats::selection_time`).
+//!
+//! Timings are the best of [`REPS`] repetitions. In full mode the
+//! headline gate is enforced: the auto kernel must beat the legacy DP
+//! by ≥ [`SPEEDUP_GATE`]× at n = 1024, warm, single-threaded.
+//!
+//! `--smoke` runs a reduced matrix (n ∈ {16, 32}, FP1 only, 1 rep)
+//! with the identical JSON schema, for CI schema validation.
+
+use std::time::Instant;
+
+use fp_bench::ablation::synthetic_rlist;
+use fp_cspp::{
+    constrained_shortest_path, constrained_shortest_path_scratch, solve_selection,
+    solve_selection_dense, CsppScratch, Dag, FlatKernel,
+};
+use fp_optimizer::{optimize, OptimizeConfig};
+use fp_select::{LReductionPolicy, RErrorPrefix};
+use fp_tree::generators::{self, module_library, Benchmark};
+
+/// Repetitions per timed cell; the minimum is kept.
+const REPS: usize = 7;
+/// Required warm speedup of the auto-dispatched flat kernel over the
+/// legacy `Dag` DP at the largest synthetic size (full mode only).
+const SPEEDUP_GATE: f64 = 3.0;
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+const SMOKE_SIZES: [usize; 2] = [16, 32];
+
+struct SyntheticCell {
+    n: usize,
+    k: usize,
+    legacy_cold_micros: f64,
+    legacy_warm_micros: f64,
+    dense_cold_micros: f64,
+    dense_warm_micros: f64,
+    auto_cold_micros: f64,
+    auto_warm_micros: f64,
+    auto_kernel: &'static str,
+    speedup_warm: f64,
+}
+
+struct FloorplanCell {
+    bench: String,
+    total_millis: f64,
+    selection_millis: f64,
+    selection_share_pct: f64,
+}
+
+fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(run());
+    }
+    best
+}
+
+fn micros<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+/// One synthetic size: staircase (Monge) R-error weights over the
+/// irreducible list, all six (solver, arena) combinations timed and
+/// cross-checked for byte-identical selections.
+fn run_synthetic(n_req: usize, reps: usize) -> SyntheticCell {
+    let list = synthetic_rlist(n_req);
+    let prefix = RErrorPrefix::new(&list);
+    let n = prefix.len();
+    assert!(n >= 4, "synthetic list too small after pruning");
+    let k = (n / 8).max(4);
+    let w = |i: usize, j: usize| prefix.error(i, j);
+
+    // Reference: the legacy materialized-DAG DP.
+    let g = Dag::complete(n, w);
+    let reference = constrained_shortest_path(&g, 0, n - 1, k).expect("complete DAG is solvable");
+
+    let mut warm = CsppScratch::new();
+    let auto_out = solve_selection(n, k, w, &mut warm).expect("solvable");
+    let auto_kernel = match auto_out.kernel {
+        FlatKernel::Dense => "dense",
+        FlatKernel::DivideConquer => "divide_conquer",
+    };
+    assert_eq!(
+        auto_out.weight, reference.weight,
+        "n = {n}: weight diverged"
+    );
+    assert_eq!(
+        warm.path(),
+        &reference.vertices[..],
+        "n = {n}: path diverged"
+    );
+    let dense_out = solve_selection_dense(n, k, w, &mut warm).expect("solvable");
+    assert_eq!(dense_out.weight, reference.weight);
+    assert_eq!(warm.path(), &reference.vertices[..]);
+
+    let legacy_cold_micros = time_best(reps, || {
+        micros(|| {
+            let sol = constrained_shortest_path(&g, 0, n - 1, k).expect("solvable");
+            assert_eq!(sol.weight, reference.weight);
+        })
+    });
+    let legacy_warm_micros = time_best(reps, || {
+        micros(|| {
+            let w_got =
+                constrained_shortest_path_scratch(&g, 0, n - 1, k, &mut warm).expect("solvable");
+            assert_eq!(w_got, reference.weight);
+        })
+    });
+    let dense_cold_micros = time_best(reps, || {
+        micros(|| {
+            let mut fresh = CsppScratch::new();
+            let out = solve_selection_dense(n, k, w, &mut fresh).expect("solvable");
+            assert_eq!(out.weight, reference.weight);
+        })
+    });
+    let dense_warm_micros = time_best(reps, || {
+        micros(|| {
+            let out = solve_selection_dense(n, k, w, &mut warm).expect("solvable");
+            assert_eq!(out.weight, reference.weight);
+        })
+    });
+    let auto_cold_micros = time_best(reps, || {
+        micros(|| {
+            let mut fresh = CsppScratch::new();
+            let out = solve_selection(n, k, w, &mut fresh).expect("solvable");
+            assert_eq!(out.weight, reference.weight);
+        })
+    });
+    let auto_warm_micros = time_best(reps, || {
+        micros(|| {
+            let out = solve_selection(n, k, w, &mut warm).expect("solvable");
+            assert_eq!(out.weight, reference.weight);
+        })
+    });
+
+    SyntheticCell {
+        n,
+        k,
+        legacy_cold_micros,
+        legacy_warm_micros,
+        dense_cold_micros,
+        dense_warm_micros,
+        auto_cold_micros,
+        auto_warm_micros,
+        auto_kernel,
+        speedup_warm: legacy_warm_micros / auto_warm_micros.max(1e-3),
+    }
+}
+
+/// One floorplan end-to-end under its selection policies; reports how
+/// much of the run the selection kernels account for.
+fn run_floorplan(
+    name: &str,
+    bench: &Benchmark,
+    n: usize,
+    config: &OptimizeConfig,
+) -> FloorplanCell {
+    let library = module_library(&bench.tree, n, 7);
+    let out = optimize(&bench.tree, &library, config).expect("benchmark run solves");
+    let total_millis = out.stats.elapsed.as_secs_f64() * 1e3;
+    let selection_millis = out.stats.selection_time.as_secs_f64() * 1e3;
+    FloorplanCell {
+        bench: name.to_owned(),
+        total_millis,
+        selection_millis,
+        selection_share_pct: 100.0 * selection_millis / total_millis.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_cspp.json".to_owned();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("cspp_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("cspp_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&SMOKE_SIZES, 1)
+    } else {
+        (&SIZES, REPS)
+    };
+
+    let mut synthetic = Vec::new();
+    for &n in sizes {
+        eprintln!("cspp_bench: synthetic n = {n} ...");
+        synthetic.push(run_synthetic(n, reps));
+    }
+
+    // FP1–FP4 under the table protocols' selection policies; sizes are
+    // kept modest so the full bench stays in seconds.
+    let fp_cases: Vec<(&str, Benchmark, usize, OptimizeConfig)> = if smoke {
+        vec![(
+            "FP1",
+            generators::fp1(),
+            4,
+            OptimizeConfig::default().with_r_selection(6),
+        )]
+    } else {
+        vec![
+            (
+                "FP1",
+                generators::fp1(),
+                12,
+                OptimizeConfig::default().with_r_selection(18),
+            ),
+            (
+                "FP2",
+                generators::fp2(),
+                10,
+                OptimizeConfig::default().with_r_selection(15),
+            ),
+            (
+                "FP3",
+                generators::fp3(),
+                8,
+                OptimizeConfig::default().with_r_selection(12),
+            ),
+            (
+                "FP4",
+                generators::fp4(),
+                8,
+                OptimizeConfig::default()
+                    .with_r_selection(12)
+                    .with_l_selection(LReductionPolicy::new(500).with_prefilter(2000)),
+            ),
+        ]
+    };
+    let mut floorplans = Vec::new();
+    for (name, bench, n, config) in &fp_cases {
+        eprintln!("cspp_bench: floorplan {name} (n = {n}) ...");
+        floorplans.push(run_floorplan(name, bench, *n, config));
+    }
+
+    for c in &synthetic {
+        println!(
+            "n {:>5} k {:>4}: legacy {:>10.1} us | dense {:>10.1} us | auto({}) {:>10.1} us | \
+             {:>6.2}x warm",
+            c.n,
+            c.k,
+            c.legacy_warm_micros,
+            c.dense_warm_micros,
+            c.auto_kernel,
+            c.auto_warm_micros,
+            c.speedup_warm,
+        );
+    }
+    for f in &floorplans {
+        println!(
+            "{:>4}: total {:>9.2} ms, selection {:>8.2} ms ({:>5.2}%)",
+            f.bench, f.total_millis, f.selection_millis, f.selection_share_pct,
+        );
+    }
+
+    let synth_json: Vec<String> = synthetic
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"n\": {}, \"k\": {}, \"legacy_cold_micros\": {:.2}, \
+                 \"legacy_warm_micros\": {:.2}, \"dense_cold_micros\": {:.2}, \
+                 \"dense_warm_micros\": {:.2}, \"auto_cold_micros\": {:.2}, \
+                 \"auto_warm_micros\": {:.2}, \"auto_kernel\": \"{}\", \
+                 \"speedup_warm\": {:.2}}}",
+                c.n,
+                c.k,
+                c.legacy_cold_micros,
+                c.legacy_warm_micros,
+                c.dense_cold_micros,
+                c.dense_warm_micros,
+                c.auto_cold_micros,
+                c.auto_warm_micros,
+                c.auto_kernel,
+                c.speedup_warm,
+            )
+        })
+        .collect();
+    let fp_json: Vec<String> = floorplans
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"bench\": \"{}\", \"total_millis\": {:.3}, \"selection_millis\": {:.3}, \
+                 \"selection_share_pct\": {:.2}}}",
+                f.bench, f.total_millis, f.selection_millis, f.selection_share_pct,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"flat layered CSPP selection kernel\",\n  \
+         \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"speedup_gate\": {SPEEDUP_GATE},\n  \
+         \"synthetic\": [\n{}\n  ],\n  \"floorplans\": [\n{}\n  ]\n}}\n",
+        synth_json.join(",\n"),
+        fp_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cspp_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // Headline gate: auto kernel vs legacy DP, warm, at the largest n.
+    if smoke {
+        return;
+    }
+    let largest = synthetic.last().expect("sizes are non-empty");
+    if largest.speedup_warm < SPEEDUP_GATE {
+        eprintln!(
+            "cspp_bench: FAIL: warm speedup at n = {} is {:.2}x (< {SPEEDUP_GATE}x)",
+            largest.n, largest.speedup_warm
+        );
+        std::process::exit(1);
+    }
+}

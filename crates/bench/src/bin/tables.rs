@@ -13,8 +13,8 @@
 //! against the paper's numbers.
 
 use fp_bench::{
-    ablation, fmt_cpu, fmt_m, fmt_pct, paper_cases, table4, table_r, LCase, RTableRow, Table4Row,
-    PAPER_MEMORY_CAP,
+    ablation, fmt_cpu, fmt_m, fmt_pct, fmt_sel_share, paper_cases, table4, table_r, LCase,
+    RTableRow, Table4Row, PAPER_MEMORY_CAP,
 };
 use fp_tree::generators;
 
@@ -174,8 +174,8 @@ fn table_r_report(title: &str, bench: &generators::Benchmark, n_small: usize, n_
         PAPER_MEMORY_CAP
     );
     println!(
-        "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10}",
-        "case", "N", "M", "CPU(s)", "K1", "M", "CPU(s)", "(A_R-A)/A"
+        "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10} {:>7}",
+        "case", "N", "M", "CPU(s)", "K1", "M", "CPU(s)", "(A_R-A)/A", "sel%"
     );
     let cases = paper_cases(n_small, n_large);
     let rows = table_r(bench, &cases, PAPER_MEMORY_CAP);
@@ -200,7 +200,7 @@ fn table_r_report(title: &str, bench: &generators::Benchmark, n_small: usize, n_
             (String::new(), String::new())
         };
         println!(
-            "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10}",
+            "{:>4} {:>4} | {:>9} {:>8} | {:>4} {:>9} {:>8} {:>10} {:>7}",
             case_no,
             n,
             plain_m,
@@ -209,6 +209,7 @@ fn table_r_report(title: &str, bench: &generators::Benchmark, n_small: usize, n_
             fmt_m(reduced),
             fmt_cpu(reduced),
             fmt_pct(row.area_excess_pct()),
+            fmt_sel_share(reduced),
         );
     }
     let rungs: usize = rows
@@ -231,8 +232,8 @@ fn table4_report() {
         PAPER_MEMORY_CAP
     );
     println!(
-        "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14}",
-        "case", "N", "K1", "M(R)", "CPU(s)", "K2", "M(R+L)", "CPU(s)", "(A_RL-A_R)/A_R"
+        "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14} {:>7}",
+        "case", "N", "K1", "M(R)", "CPU(s)", "K2", "M(R+L)", "CPU(s)", "(A_RL-A_R)/A_R", "sel%"
     );
     let cases = [
         LCase {
@@ -287,7 +288,7 @@ fn table4_report() {
             (String::new(), String::new())
         };
         println!(
-            "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14}",
+            "{:>4} {:>4} {:>4} | {:>9} {:>8} | {:>5} {:>9} {:>8} {:>14} {:>7}",
             case_no,
             n,
             k1,
@@ -297,6 +298,7 @@ fn table4_report() {
             fmt_m(r_and_l),
             fmt_cpu(r_and_l),
             fmt_pct(row.area_excess_pct()),
+            fmt_sel_share(r_and_l),
         );
     }
     let rungs: usize = rows

@@ -45,6 +45,8 @@ pub enum RunResult {
         m: usize,
         /// CPU time.
         cpu: Duration,
+        /// Time spent inside the R/L selection kernels (a subset of `cpu`).
+        sel: Duration,
         /// Final floorplan area.
         area: Area,
     },
@@ -64,6 +66,8 @@ pub enum RunResult {
         m: usize,
         /// CPU time including the rescue retries.
         cpu: Duration,
+        /// Time spent inside the R/L selection kernels (a subset of `cpu`).
+        sel: Duration,
         /// Final floorplan area under the degraded policies.
         area: Area,
         /// How many degradation rungs the ladder descended.
@@ -108,6 +112,28 @@ impl RunResult {
             _ => 0,
         }
     }
+
+    /// Time spent in the R/L selection kernels (zero for failed runs,
+    /// which don't carry stats).
+    #[must_use]
+    pub fn selection(&self) -> Duration {
+        match self {
+            RunResult::Done { sel, .. } | RunResult::Rescued { sel, .. } => *sel,
+            RunResult::OutOfMemory { .. } => Duration::ZERO,
+        }
+    }
+
+    /// The selection kernels' share of total CPU, in percent (`None`
+    /// when the run failed or took no measurable time).
+    #[must_use]
+    pub fn selection_share_pct(&self) -> Option<f64> {
+        let cpu = self.cpu().as_secs_f64();
+        match self {
+            RunResult::OutOfMemory { .. } => None,
+            _ if cpu <= 0.0 => None,
+            _ => Some(100.0 * self.selection().as_secs_f64() / cpu),
+        }
+    }
 }
 
 /// Runs one configuration, translating `OutOfMemory` into a row value.
@@ -123,6 +149,7 @@ pub fn run_case(bench: &Benchmark, n: usize, seed: u64, config: &OptimizeConfig)
         Ok(Outcome { area, stats, .. }) => RunResult::Done {
             m: stats.peak_impls,
             cpu: stats.elapsed,
+            sel: stats.selection_time,
             area,
         },
         Err(OptError::OutOfMemory { peak, .. }) => {
@@ -161,12 +188,14 @@ pub fn run_case_rescued(
                 RunResult::Done {
                     m: stats.peak_impls,
                     cpu: stats.elapsed,
+                    sel: stats.selection_time,
                     area,
                 }
             } else {
                 RunResult::Rescued {
                     m: stats.peak_impls,
                     cpu: stats.elapsed,
+                    sel: stats.selection_time,
                     area,
                     degradations,
                 }
@@ -377,11 +406,12 @@ pub fn table4(bench: &Benchmark, cases: &[LCase], cap: usize, prefilter: usize) 
 /// ```
 #[must_use]
 pub fn to_csv_r(rows: &[RTableRow]) -> String {
-    let mut out =
-        String::from("case,n,plain_m,plain_cpu_s,plain_area,k1,m,cpu_s,area,area_excess_pct\n");
+    let mut out = String::from(
+        "case,n,plain_m,plain_cpu_s,plain_area,k1,m,cpu_s,area,area_excess_pct,sel_share_pct\n",
+    );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
             row.case_no,
             row.n,
             csv_m(&row.plain),
@@ -393,6 +423,7 @@ pub fn to_csv_r(rows: &[RTableRow]) -> String {
             csv_area(&row.reduced),
             row.area_excess_pct()
                 .map_or(String::new(), |p| format!("{p:.4}")),
+            csv_sel_share(&row.reduced),
         ));
     }
     out
@@ -401,11 +432,12 @@ pub fn to_csv_r(rows: &[RTableRow]) -> String {
 /// Serializes Table 4 rows as CSV.
 #[must_use]
 pub fn to_csv_4(rows: &[Table4Row]) -> String {
-    let mut out =
-        String::from("case,n,k1,r_m,r_cpu_s,r_area,k2,rl_m,rl_cpu_s,rl_area,area_excess_pct\n");
+    let mut out = String::from(
+        "case,n,k1,r_m,r_cpu_s,r_area,k2,rl_m,rl_cpu_s,rl_area,area_excess_pct,sel_share_pct\n",
+    );
     for row in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
             row.case_no,
             row.n,
             row.k1,
@@ -418,6 +450,7 @@ pub fn to_csv_4(rows: &[Table4Row]) -> String {
             csv_area(&row.r_and_l),
             row.area_excess_pct()
                 .map_or(String::new(), |p| format!("{p:.4}")),
+            csv_sel_share(&row.r_and_l),
         ));
     }
     out
@@ -446,6 +479,11 @@ fn csv_cpu(r: &RunResult) -> String {
 
 fn csv_area(r: &RunResult) -> String {
     r.area().map_or(String::new(), |a| a.to_string())
+}
+
+fn csv_sel_share(r: &RunResult) -> String {
+    r.selection_share_pct()
+        .map_or(String::new(), |p| format!("{p:.2}"))
 }
 
 /// Formats a [`RunResult`]'s `M` column (`>peak` for failed runs, as in
@@ -477,6 +515,12 @@ pub fn fmt_pct(p: Option<f64>) -> String {
         Some(v) => format!("{v:.2}%"),
         None => "-".to_owned(),
     }
+}
+
+/// Formats a run's selection-kernel time share (`-` for failed runs).
+#[must_use]
+pub fn fmt_sel_share(r: &RunResult) -> String {
+    fmt_pct(r.selection_share_pct())
 }
 
 #[cfg(test)]
@@ -548,7 +592,7 @@ mod tests {
         let csv = to_csv_r(&rows);
         assert_eq!(csv.lines().count(), 4);
         for line in csv.lines().skip(1) {
-            assert_eq!(line.split(',').count(), 10, "{line}");
+            assert_eq!(line.split(',').count(), 11, "{line}");
         }
         let lcases = [LCase {
             case_no: 1,
@@ -561,7 +605,7 @@ mod tests {
         let csv4 = to_csv_4(&rows4);
         assert_eq!(csv4.lines().count(), 4);
         for line in csv4.lines().skip(1) {
-            assert_eq!(line.split(',').count(), 11, "{line}");
+            assert_eq!(line.split(',').count(), 12, "{line}");
         }
     }
 
@@ -570,6 +614,7 @@ mod tests {
         let done = RunResult::Done {
             m: 42,
             cpu: Duration::from_millis(1500),
+            sel: Duration::from_millis(300),
             area: 7,
         };
         let oom = RunResult::OutOfMemory {
@@ -579,6 +624,7 @@ mod tests {
         let rescued = RunResult::Rescued {
             m: 64,
             cpu: Duration::from_millis(250),
+            sel: Duration::from_millis(100),
             area: 11,
             degradations: 3,
         };
@@ -597,6 +643,11 @@ mod tests {
         assert_eq!(rescued.peak(), 64);
         assert_eq!(rescued.degradations(), 3);
         assert_eq!(done.degradations(), 0);
+        assert_eq!(done.selection(), Duration::from_millis(300));
+        assert_eq!(oom.selection(), Duration::ZERO);
+        assert_eq!(fmt_sel_share(&done), "20.00%");
+        assert_eq!(fmt_sel_share(&rescued), "40.00%");
+        assert_eq!(fmt_sel_share(&oom), "-");
     }
 
     #[test]

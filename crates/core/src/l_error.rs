@@ -11,10 +11,19 @@ use crate::Metric;
 /// `min(dist(l_i, l_q), dist(l_q, l_j))` — its distance to the nearer of its
 /// two kept neighbours.
 ///
-/// Built by the paper's `Compute_L_Error` triple loop in `O(n³)` time and
-/// stored triangularly in `O(n²)` space. Distances use an exact integer
-/// representation for the Manhattan metric and scaled floats otherwise; the
-/// table generic `W` is chosen by the callers in
+/// Stored triangularly in `O(n²)` space. The paper's `Compute_L_Error`
+/// is a triple loop in `O(n³)`; this build exploits Lemma 2 instead:
+/// along an irreducible L-list the per-coordinate sizes are monotone, so
+/// for a fixed gap `(i, j)` the discarded cost switches from the
+/// `dist(l_i, l_q)` branch to the `dist(l_q, l_j)` branch at a single
+/// crossover index `m`, and that crossover is itself monotone in `i` for
+/// fixed `j`. With per-row prefix sums of `dist(l_i, ·)` and a per-`j`
+/// suffix buffer of `dist(·, l_j)`, an amortized pointer sweep fills the
+/// whole table in **`O(n²)`** distance evaluations, producing exactly
+/// the same per-entry values as the triple loop (each term *is* the
+/// min; only the float summation order differs). Distances use an exact
+/// integer representation for the Manhattan metric and scaled floats
+/// otherwise; the table generic `W` is chosen by the callers in
 /// [`crate::l_selection`]/[`crate::l_selection_float`].
 #[derive(Debug, Clone)]
 pub struct LErrorTable<W> {
@@ -66,14 +75,44 @@ impl<W: fp_cspp::Weight> LErrorTable<W> {
         let n = list.len();
         let items = list.as_slice();
         let mut values = vec![W::ZERO; n.saturating_sub(1) * n / 2];
-        for i in 0..n.saturating_sub(1) {
+        if n < 3 {
+            // Only adjacent (zero-cost) gaps exist.
+            return LErrorTable { n, values };
+        }
+
+        // pre[offset(i) + (q-i-1)] = Σ_{p=i+1..=q} dist(l_i, l_p): the
+        // left-branch prefix sums, one triangular pass.
+        let mut pre = vec![W::ZERO; n.saturating_sub(1) * n / 2];
+        for i in 0..n - 1 {
             let row = Self::offset_for(n, i);
-            for j in i + 1..n {
-                let mut acc = W::ZERO;
-                for q in i + 1..j {
-                    acc = acc + dist(items[i], items[q]).min(dist(items[q], items[j]));
+            let mut acc = W::ZERO;
+            for q in i + 1..n {
+                acc = acc + dist(items[i], items[q]);
+                pre[row + (q - i - 1)] = acc;
+            }
+        }
+
+        // For each right endpoint j: sfx[q] = Σ_{p=q..j-1} dist(l_p, l_j),
+        // then sweep i downward. The crossover m(i, j) — the largest q
+        // with dist(l_i, l_q) <= dist(l_q, l_j) — only moves left as i
+        // decreases (Lemma 2), so the pointer walk is amortized O(j).
+        let mut sfx = vec![W::ZERO; n + 1];
+        for j in 2..n {
+            sfx[j] = W::ZERO;
+            for q in (1..j).rev() {
+                sfx[q] = sfx[q + 1] + dist(items[q], items[j]);
+            }
+            let mut m = j - 1;
+            for i in (0..j - 1).rev() {
+                while m > i && dist(items[i], items[m]) > dist(items[m], items[j]) {
+                    m -= 1;
                 }
-                values[row + (j - i - 1)] = acc;
+                let left = if m == i {
+                    W::ZERO
+                } else {
+                    pre[Self::offset_for(n, i) + (m - i - 1)]
+                };
+                values[Self::offset_for(n, i) + (j - i - 1)] = left + sfx[m + 1];
             }
         }
         LErrorTable { n, values }
@@ -273,7 +312,66 @@ mod tests {
         })
     }
 
+    /// The paper's `Compute_L_Error` triple loop — the `O(n³)` reference
+    /// the production build must reproduce entry for entry.
+    fn reference_build<W: fp_cspp::Weight>(
+        list: &LList,
+        dist: impl Fn(fp_geom::LShape, fp_geom::LShape) -> W,
+    ) -> Vec<Vec<W>> {
+        let n = list.len();
+        let items = list.as_slice();
+        let mut out = vec![vec![W::ZERO; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut acc = W::ZERO;
+                for q in i + 1..j {
+                    acc = acc + dist(items[i], items[q]).min(dist(items[q], items[j]));
+                }
+                out[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn crossover_build_matches_triple_loop_on_fixture() {
+        let list = chain(9);
+        let t = LErrorTable::new_l1(&list);
+        let reference = reference_build(&list, |a, b| u128::from(Metric::L1.dist_l1(a, b)));
+        for (i, row) in reference.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate().skip(i + 1) {
+                assert_eq!(t.error(i, j), want, "pair ({i}, {j})");
+            }
+        }
+    }
+
     proptest! {
+        /// The O(n²) crossover build equals the O(n³) triple loop exactly
+        /// under the integer metric, and up to summation-order rounding
+        /// under the float metrics.
+        #[test]
+        fn crossover_build_matches_triple_loop(list in arb_chain()) {
+            let n = list.len();
+            let exact = LErrorTable::new_l1(&list);
+            let exact_ref = reference_build(&list, |a, b| u128::from(Metric::L1.dist_l1(a, b)));
+            for metric in [Metric::L1, Metric::L2, Metric::Linf] {
+                let float = LErrorTable::new_metric(&list, metric);
+                let float_ref = reference_build(&list, |a, b| {
+                    fp_cspp::OrderedF64::new(metric.dist(a, b)).expect("finite")
+                });
+                for i in 0..n {
+                    for j in i + 1..n {
+                        prop_assert_eq!(exact.error(i, j), exact_ref[i][j],
+                            "L1 pair ({}, {})", i, j);
+                        let (a, b) = (float.error(i, j).into_inner(),
+                                      float_ref[i][j].into_inner());
+                        prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                            "{:?} pair ({}, {}): {} vs {}", metric, i, j, a, b);
+                    }
+                }
+            }
+        }
+
         /// Lemma 2: distances grow with list separation.
         #[test]
         fn lemma2_distance_monotonicity(list in arb_chain()) {

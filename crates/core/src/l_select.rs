@@ -1,7 +1,7 @@
 //! `L_Selection` (paper §4.3, Theorem 3): optimal subset selection for
 //! irreducible L-lists via constrained shortest paths.
 
-use fp_cspp::{constrained_shortest_path, Dag, OrderedF64, Weight};
+use fp_cspp::{solve_selection, CsppScratch, OrderedF64, Weight};
 use fp_shape::LList;
 
 use crate::{LErrorTable, Metric, SelectError};
@@ -52,12 +52,27 @@ pub struct LSelection<W> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn l_selection(list: &LList, k: usize) -> Result<LSelection<u128>, SelectError> {
+    l_selection_scratch(list, k, &mut CsppScratch::new())
+}
+
+/// [`l_selection`] through a caller-owned [`CsppScratch`] arena: a
+/// warmed arena solves the selection DP without per-call allocation
+/// beyond the error table and the returned positions.
+///
+/// # Errors
+///
+/// Same as [`l_selection`].
+pub fn l_selection_scratch(
+    list: &LList,
+    k: usize,
+    scratch: &mut CsppScratch<u128>,
+) -> Result<LSelection<u128>, SelectError> {
     validate(list, k)?;
     if k >= list.len() {
         return Ok(identity(list.len()));
     }
     let table = LErrorTable::new_l1(list);
-    Ok(solve_on_table(&table, k))
+    Ok(solve_on_table(&table, k, scratch))
 }
 
 /// [`l_selection`] under an arbitrary [`Metric`], accumulating float
@@ -72,12 +87,26 @@ pub fn l_selection_float(
     k: usize,
     metric: Metric,
 ) -> Result<LSelection<OrderedF64>, SelectError> {
+    l_selection_float_scratch(list, k, metric, &mut CsppScratch::new())
+}
+
+/// [`l_selection_float`] through a caller-owned [`CsppScratch`] arena.
+///
+/// # Errors
+///
+/// Same as [`l_selection`].
+pub fn l_selection_float_scratch(
+    list: &LList,
+    k: usize,
+    metric: Metric,
+    scratch: &mut CsppScratch<OrderedF64>,
+) -> Result<LSelection<OrderedF64>, SelectError> {
     validate(list, k)?;
     if k >= list.len() {
         return Ok(identity(list.len()));
     }
     let table = LErrorTable::new_metric(list, metric);
-    Ok(solve_on_table(&table, k))
+    Ok(solve_on_table(&table, k, scratch))
 }
 
 fn validate(list: &LList, k: usize) -> Result<(), SelectError> {
@@ -98,14 +127,20 @@ fn identity<W: Weight>(n: usize) -> LSelection<W> {
     }
 }
 
-/// Builds the complete DAG over the table's list and solves the CSPP.
-pub(crate) fn solve_on_table<W: Weight>(table: &LErrorTable<W>, k: usize) -> LSelection<W> {
+/// Solves the selection CSPP over the table's list in the flat layered
+/// kernel — the DAG is never materialized; the table is the O(1) weight
+/// oracle. When the table happens to be Monge the D&C row-minima path
+/// engages automatically.
+pub(crate) fn solve_on_table<W: Weight>(
+    table: &LErrorTable<W>,
+    k: usize,
+    scratch: &mut CsppScratch<W>,
+) -> LSelection<W> {
     let n = table.len();
-    let g: Dag<W> = Dag::complete(n, |i, j| table.error(i, j));
-    match constrained_shortest_path(&g, 0, n - 1, k) {
-        Ok(sol) => LSelection {
-            positions: sol.vertices,
-            error: sol.weight,
+    match solve_selection(n, k, |i, j| table.error(i, j), scratch) {
+        Ok(out) => LSelection {
+            positions: scratch.path().to_vec(),
+            error: out.weight,
         },
         Err(e) => unreachable!("complete DAG always has a k-vertex path: {e:?}"),
     }

@@ -54,11 +54,17 @@ mod r_select;
 pub use heuristic::heuristic_l_reduction;
 pub use l_error::l_selection_error;
 pub use l_error::LErrorTable;
-pub use l_select::{l_selection, l_selection_apply, l_selection_float, LSelection};
+pub use l_select::{
+    l_selection, l_selection_apply, l_selection_float, l_selection_float_scratch,
+    l_selection_scratch, LSelection,
+};
 pub use metric::Metric;
-pub use policy::{reduce_llist_set, reduce_rlist, LReductionPolicy, RReductionPolicy};
-pub use r_error::RErrorTable;
-pub use r_select::{r_selection, r_selection_apply, RSelection};
+pub use policy::{
+    reduce_llist_set, reduce_llist_set_scratch, reduce_rlist, reduce_rlist_scratch,
+    LReductionPolicy, RReductionPolicy,
+};
+pub use r_error::{RErrorPrefix, RErrorTable};
+pub use r_select::{r_selection, r_selection_apply, r_selection_scratch, RSelection};
 
 use core::fmt;
 

@@ -1,11 +1,12 @@
 //! Reduction policies: when and how the selection algorithms fire during a
 //! bottom-up optimization run (paper §3 and the §5 engineering techniques).
 
+use fp_cspp::{CsppScratch, SelectScratch};
 use fp_shape::{LListSet, RList};
 
 use crate::{
-    heuristic_l_reduction, l_selection, l_selection_float, r_selection, Metric, RSelection,
-    SelectError,
+    heuristic_l_reduction, l_selection_float_scratch, l_selection_scratch, r_selection_scratch,
+    Metric, RSelection, SelectError,
 };
 
 /// What an [`RReductionPolicy`] does once it triggers.
@@ -84,11 +85,24 @@ impl RReductionPolicy {
     /// trigger, `None` when no reduction is needed.
     #[must_use]
     pub fn apply(&self, list: &RList) -> Option<RSelection> {
+        self.apply_scratch(list, &mut CsppScratch::new())
+    }
+
+    /// [`RReductionPolicy::apply`] through a caller-owned scratch arena:
+    /// the fixed-size (`ToSize`) selection reuses the arena's buffers.
+    /// The error-budget mode runs the legacy curve machinery and ignores
+    /// the arena. Results are identical either way.
+    #[must_use]
+    pub fn apply_scratch(
+        &self,
+        list: &RList,
+        scratch: &mut CsppScratch<fp_geom::Area>,
+    ) -> Option<RSelection> {
         if list.len() <= self.limit {
             return None;
         }
         match self.action {
-            RAction::ToSize(k) => reduce_rlist(list, k),
+            RAction::ToSize(k) => reduce_rlist_scratch(list, k, scratch),
             RAction::WithinError(budget) => Some(
                 crate::curve::r_selection_within(list, budget)
                     .expect("list is non-empty past the trigger"),
@@ -101,10 +115,20 @@ impl RReductionPolicy {
 /// Returns `None` when the list already fits.
 #[must_use]
 pub fn reduce_rlist(list: &RList, k1: usize) -> Option<RSelection> {
+    reduce_rlist_scratch(list, k1, &mut CsppScratch::new())
+}
+
+/// [`reduce_rlist`] through a caller-owned scratch arena.
+#[must_use]
+pub fn reduce_rlist_scratch(
+    list: &RList,
+    k1: usize,
+    scratch: &mut CsppScratch<fp_geom::Area>,
+) -> Option<RSelection> {
     if list.len() <= k1 {
         return None;
     }
-    match r_selection(list, k1.max(2)) {
+    match r_selection_scratch(list, k1.max(2), scratch) {
         Ok(sel) => Some(sel),
         Err(SelectError::EmptyList | SelectError::KTooSmall { .. }) => {
             unreachable!("len > k1 >= 2 makes r_selection infallible")
@@ -265,6 +289,17 @@ impl LReductionPolicy {
     pub fn apply(&self, set: &LListSet) -> Option<Vec<Vec<usize>>> {
         reduce_llist_set(set, self)
     }
+
+    /// [`LReductionPolicy::apply`] through a caller-owned scratch arena
+    /// pair (see [`reduce_llist_set_scratch`]).
+    #[must_use]
+    pub fn apply_scratch(
+        &self,
+        set: &LListSet,
+        scratch: &mut SelectScratch,
+    ) -> Option<Vec<Vec<usize>>> {
+        reduce_llist_set_scratch(set, self, scratch)
+    }
 }
 
 /// The worker-pool default when no explicit budget was set: the
@@ -298,6 +333,20 @@ fn default_lred_workers() -> usize {
 /// least one implementation always survives, so feasibility is preserved.
 #[must_use]
 pub fn reduce_llist_set(set: &LListSet, policy: &LReductionPolicy) -> Option<Vec<Vec<usize>>> {
+    reduce_llist_set_scratch(set, policy, &mut SelectScratch::new())
+}
+
+/// [`reduce_llist_set`] through a caller-owned [`SelectScratch`] arena
+/// pair: the sequential path reuses the caller's arena across every
+/// list; the parallel path gives each scoped worker its own local arena
+/// (workers cannot share one `&mut`), so its allocation profile is
+/// unchanged. Output is bit-identical to [`reduce_llist_set`] either way.
+#[must_use]
+pub fn reduce_llist_set_scratch(
+    set: &LListSet,
+    policy: &LReductionPolicy,
+    scratch: &mut SelectScratch,
+) -> Option<Vec<Vec<usize>>> {
     let total = set.total_len();
     if total <= policy.k2 {
         return None;
@@ -317,26 +366,6 @@ pub fn reduce_llist_set(set: &LListSet, policy: &LReductionPolicy) -> Option<Vec
         budgets[i] += 1;
     }
 
-    let reduce_one = |list: &fp_shape::LList, budget: usize| -> Vec<usize> {
-        let n = list.len();
-        let budget = budget.min(n);
-        match budget {
-            0 => Vec::new(),
-            1 => vec![medoid(list, policy.metric)],
-            b if b >= n => (0..n).collect(),
-            b => match policy.prefilter {
-                // §5 technique 2: prefilter huge lists greedily to S first.
-                Some(s) if n > s && s > b => {
-                    let coarse = heuristic_l_reduction(list, s, policy.metric);
-                    let reduced = list.subset(&coarse);
-                    let inner = select_positions(&reduced, b, policy.metric);
-                    inner.into_iter().map(|i| coarse[i]).collect()
-                }
-                _ => select_positions(list, b, policy.metric),
-            },
-        }
-    };
-
     // The pool is sized by the caller's budget when one was given (the
     // tree-level scheduler passes its per-worker share), by the
     // FP_LRED_WORKERS environment default or the machine otherwise. A
@@ -353,14 +382,14 @@ pub fn reduce_llist_set(set: &LListSet, policy: &LReductionPolicy) -> Option<Vec
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let budgets = &budgets;
-                let reduce_one = &reduce_one;
                 handles.push(scope.spawn(move || {
+                    let mut local = SelectScratch::new();
                     lists
                         .iter()
                         .zip(budgets)
                         .enumerate()
                         .filter(|(i, _)| i % workers == w)
-                        .map(|(_, (list, &budget))| reduce_one(list, budget))
+                        .map(|(_, (list, &budget))| reduce_one(list, budget, policy, &mut local))
                         .collect::<Vec<_>>()
                 }));
             }
@@ -382,9 +411,35 @@ pub fn reduce_llist_set(set: &LListSet, policy: &LReductionPolicy) -> Option<Vec
             lists
                 .iter()
                 .zip(&budgets)
-                .map(|(list, &b)| reduce_one(list, b))
+                .map(|(list, &b)| reduce_one(list, b, policy, scratch))
                 .collect(),
         )
+    }
+}
+
+/// Reduces a single list to its budget under the policy's controls.
+fn reduce_one(
+    list: &fp_shape::LList,
+    budget: usize,
+    policy: &LReductionPolicy,
+    scratch: &mut SelectScratch,
+) -> Vec<usize> {
+    let n = list.len();
+    let budget = budget.min(n);
+    match budget {
+        0 => Vec::new(),
+        1 => vec![medoid(list, policy.metric)],
+        b if b >= n => (0..n).collect(),
+        b => match policy.prefilter {
+            // §5 technique 2: prefilter huge lists greedily to S first.
+            Some(s) if n > s && s > b => {
+                let coarse = heuristic_l_reduction(list, s, policy.metric);
+                let reduced = list.subset(&coarse);
+                let inner = select_positions(&reduced, b, policy.metric, scratch);
+                inner.into_iter().map(|i| coarse[i]).collect()
+            }
+            _ => select_positions(list, b, policy.metric, scratch),
+        },
     }
 }
 
@@ -399,13 +454,18 @@ fn medoid(list: &fp_shape::LList, metric: Metric) -> usize {
 }
 
 /// Runs the optimal selection (integer for L₁, float otherwise).
-fn select_positions(list: &fp_shape::LList, k: usize, metric: Metric) -> Vec<usize> {
+fn select_positions(
+    list: &fp_shape::LList,
+    k: usize,
+    metric: Metric,
+    scratch: &mut SelectScratch,
+) -> Vec<usize> {
     if metric.is_l1() {
-        l_selection(list, k)
+        l_selection_scratch(list, k, &mut scratch.int)
             .expect("k >= 2 and list non-empty")
             .positions
     } else {
-        l_selection_float(list, k, metric)
+        l_selection_float_scratch(list, k, metric, &mut scratch.float)
             .expect("k >= 2 and list non-empty")
             .positions
     }

@@ -109,6 +109,102 @@ impl RErrorTable {
     }
 }
 
+/// Prefix-sum form of the staircase-gap error: `O(n)` to build, `O(1)`
+/// per `error(i, j)` query — the table-free weight oracle for the flat
+/// selection kernel.
+///
+/// Expanding the `Compute_R_Error` recurrence telescopes into
+///
+/// ```text
+/// error(i, j) = w_i · (h_j − h_{i+1}) − (T_j − T_{i+1})
+/// T_m         = Σ_{p=1..m} w_{p-1} · (h_p − h_{p-1})
+/// ```
+///
+/// Both subtractions stay in range for an irreducible R-list (widths
+/// non-increasing), so the arithmetic is exact in [`Area`] and every
+/// query returns *exactly* the [`RErrorTable`] value.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Rect;
+/// use fp_shape::RList;
+/// use fp_select::{RErrorPrefix, RErrorTable};
+///
+/// let list = RList::from_candidates(vec![
+///     Rect::new(10, 1), Rect::new(6, 3), Rect::new(2, 9),
+/// ]);
+/// let table = RErrorTable::new(&list);
+/// let prefix = RErrorPrefix::new(&list);
+/// assert_eq!(prefix.error(0, 2), table.error(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RErrorPrefix {
+    n: usize,
+    widths: Vec<Area>,
+    heights: Vec<Area>,
+    /// `prefix[m] = T_m` above; `prefix[0] = 0`.
+    prefix: Vec<Area>,
+}
+
+impl RErrorPrefix {
+    /// Builds the prefix sums in one `O(n)` pass over the list.
+    #[must_use]
+    pub fn new(list: &RList) -> Self {
+        let items = list.as_slice();
+        let n = items.len();
+        let mut widths = Vec::with_capacity(n);
+        let mut heights = Vec::with_capacity(n);
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc: Area = 0;
+        for (m, r) in items.iter().enumerate() {
+            widths.push(Area::from(r.w));
+            heights.push(Area::from(r.h));
+            if m > 0 {
+                acc += Area::from(items[m - 1].w) * Area::from(items[m].h - items[m - 1].h);
+            }
+            prefix.push(acc);
+        }
+        RErrorPrefix {
+            n,
+            widths,
+            heights,
+            prefix,
+        }
+    }
+
+    /// The list length this oracle was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the oracle is for an empty list.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `error(r_i, r_j)` in O(1); identical to [`RErrorTable::error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i < j < n`.
+    #[inline]
+    #[must_use]
+    pub fn error(&self, i: usize, j: usize) -> Area {
+        assert!(
+            i < j && j < self.n,
+            "error({i}, {j}) out of range for n = {}",
+            self.n
+        );
+        self.widths[i] * (self.heights[j] - self.heights[i + 1])
+            - (self.prefix[j] - self.prefix[i + 1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +252,27 @@ mod tests {
     }
 
     proptest! {
+        /// The O(1) prefix-sum oracle agrees with the O(n²) table on
+        /// every pair of every random irreducible list.
+        #[test]
+        fn prefix_oracle_matches_table(
+            pairs in proptest::collection::vec((1u64..60, 1u64..60), 1..24)
+        ) {
+            let list = rl(&pairs);
+            let table = RErrorTable::new(&list);
+            let prefix = RErrorPrefix::new(&list);
+            prop_assert_eq!(prefix.len(), table.len());
+            let n = list.len();
+            for i in 0..n {
+                for j in i + 1..n {
+                    prop_assert_eq!(
+                        prefix.error(i, j), table.error(i, j),
+                        "pair ({}, {})", i, j
+                    );
+                }
+            }
+        }
+
         /// Every pair error equals the geometric staircase area of the
         /// selection that keeps only the endpoints of that gap (plus all
         /// corners outside it).

@@ -1,11 +1,11 @@
 //! `R_Selection` (paper §4.2, Theorem 2): optimal subset selection for
 //! irreducible R-lists via constrained shortest paths.
 
-use fp_cspp::{constrained_shortest_path, Dag};
+use fp_cspp::{solve_selection, CsppScratch};
 use fp_geom::Area;
 use fp_shape::RList;
 
-use crate::{RErrorTable, SelectError};
+use crate::{RErrorPrefix, SelectError};
 
 /// The result of `R_Selection`: the positions (indices into the original
 /// R-list) of the kept implementations and the optimal `ERROR(R, R')`.
@@ -63,6 +63,29 @@ impl RSelection {
 /// # Ok::<(), fp_select::SelectError>(())
 /// ```
 pub fn r_selection(list: &RList, k: usize) -> Result<RSelection, SelectError> {
+    let mut scratch = CsppScratch::new();
+    r_selection_scratch(list, k, &mut scratch)
+}
+
+/// [`r_selection`] through a caller-owned [`CsppScratch`] arena: a
+/// warmed arena performs no per-call allocation beyond the returned
+/// positions vector.
+///
+/// The selection DAG is never materialized. Its interval weights come
+/// from the O(1) [`RErrorPrefix`] oracle (`O(n)` setup instead of the
+/// `O(n²)` table) and the DP runs in the flat layered kernel — which,
+/// for irreducible R-lists, certifies the Monge property and takes the
+/// `O(n log n)`-per-layer divide-and-conquer path. Results are exactly
+/// those of the reference table-and-`Dag` formulation.
+///
+/// # Errors
+///
+/// Same as [`r_selection`].
+pub fn r_selection_scratch(
+    list: &RList,
+    k: usize,
+    scratch: &mut CsppScratch<Area>,
+) -> Result<RSelection, SelectError> {
     let n = list.len();
     if n == 0 {
         return Err(SelectError::EmptyList);
@@ -75,25 +98,17 @@ pub fn r_selection(list: &RList, k: usize) -> Result<RSelection, SelectError> {
         return Err(SelectError::KTooSmall { k, n });
     }
 
-    let table = RErrorTable::new(list);
-    let sol = solve_on_table(&table, k);
-    Ok(RSelection {
-        positions: sol.0,
-        error: sol.1,
-    })
-}
-
-/// Builds the complete DAG over the table's list and solves the CSPP.
-/// Shared by [`r_selection`] and the policy layer.
-pub(crate) fn solve_on_table(table: &RErrorTable, k: usize) -> (Vec<usize>, Area) {
-    let n = table.len();
-    let g: Dag<Area> = Dag::complete(n, |i, j| table.error(i, j));
-    match constrained_shortest_path(&g, 0, n - 1, k) {
-        Ok(sol) => (sol.vertices, sol.weight),
-        // The chain 0 → 1 → … exists for every k <= n, so the complete DAG
-        // always has a k-vertex path.
+    let prefix = RErrorPrefix::new(list);
+    let outcome = match solve_selection(n, k, |i, j| prefix.error(i, j), scratch) {
+        Ok(out) => out,
+        // The chain 0 → 1 → … exists for every k <= n, so the selection
+        // DAG always has a k-vertex path.
         Err(e) => unreachable!("complete DAG always has a k-vertex path: {e:?}"),
-    }
+    };
+    Ok(RSelection {
+        positions: scratch.path().to_vec(),
+        error: outcome.weight,
+    })
 }
 
 /// Convenience: run [`r_selection`] and apply it, returning the reduced

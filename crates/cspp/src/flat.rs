@@ -1,0 +1,589 @@
+//! Flat layered DP specialized to the *selection DAG*: the complete DAG
+//! on vertices `0 … n-1` whose edges all point from lower to higher
+//! indices, weighted by an interval function `w(i, j)`.
+//!
+//! `R_Selection`/`L_Selection` (paper §4.2–§4.3) always solve the CSPP
+//! on this graph, so the generic adjacency-list [`crate::Dag`] machinery
+//! is pure overhead there: every vertex's in-neighbourhood is the
+//! contiguous range `0 … v-1` and the weights come from an O(1) closure
+//! over a precomputed table. This module exploits that shape:
+//!
+//! * **contiguous layer-major storage** — two rolling `dist` rows and a
+//!   `(k-1) × n` predecessor matrix instead of per-vertex `Vec`s of
+//!   `(u32, W)` pairs, with no `Option` sentinel: layer windows (below)
+//!   guarantee every read slot was written;
+//! * **layer windows** — on the best `l`-vertex path `0 → v`, the
+//!   endpoint satisfies `l-1 <= v <= n-1-(k-l)`, so each layer touches
+//!   only the states that can still reach `t` with the remaining budget;
+//! * **scratch reuse** — all buffers live in a [`CsppScratch`] arena
+//!   owned by the caller, so a warmed solve performs no allocation;
+//! * **divide-and-conquer row minima** — when the weight matrix is
+//!   certified Monge (quadrangle inequality), each layer's leftmost
+//!   argmins are monotone and the layer solves in `O(n log n)` instead
+//!   of `O(n²)`, giving `O(n² + k n log n)` total (the `n²` being the
+//!   one-off certification sweep). A cheap sampled spot-check rejects
+//!   non-Monge inputs early and falls back to the exhaustive dense
+//!   layer, so results are *always* exactly optimal and byte-identical
+//!   to the reference DP ([`crate::constrained_shortest_path`] on
+//!   [`crate::Dag::complete`]).
+//!
+//! Both kernels scan candidate predecessors in ascending order keeping
+//! the first strict improvement, which is exactly the reference DP's
+//! tie-break (its in-edges are pushed in ascending source order), so the
+//! *paths* agree too — not just the weights.
+
+use crate::{CsppError, OrderedF64, Weight};
+
+pub(crate) const NO_PRED: u32 = u32::MAX;
+
+/// Dense layers beat D&C + certification below this vertex count.
+const DC_MIN_N: usize = 48;
+/// D&C needs enough layers to amortize the certification sweep.
+const DC_MIN_K: usize = 4;
+/// Sampled quadrangle-inequality probes before the full sweep.
+const SPOT_SAMPLES: usize = 32;
+
+/// Which layer kernel [`solve_selection`] actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatKernel {
+    /// The exhaustive dense layer: every predecessor scanned.
+    Dense,
+    /// Divide-and-conquer row minima on a certified-Monge weight matrix.
+    DivideConquer,
+}
+
+/// The result of a [`solve_selection`] call. The optimal path itself is
+/// left in the scratch arena ([`CsppScratch::path`]) so the hot path
+/// never allocates a fresh vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionOutcome<W> {
+    /// The minimal total weight of a `k`-vertex path `0 → n-1`.
+    pub weight: W,
+    /// The kernel that produced it (fallback contract: `DivideConquer`
+    /// only after the full Monge certification passed).
+    pub kernel: FlatKernel,
+}
+
+/// Reusable per-caller buffer arena for the CSPP solvers.
+///
+/// One arena serves both the flat selection kernels in this module and
+/// the legacy [`crate::Dag`] path
+/// ([`crate::constrained_shortest_path_scratch`]); buffers grow to the
+/// high-water mark of the workload and stay allocated, so a warmed
+/// arena solves without touching the global allocator.
+///
+/// ```
+/// use fp_cspp::{solve_selection, CsppScratch};
+///
+/// let mut scratch = CsppScratch::new();
+/// // w(i, j) = j - i: every hop costs its span, all paths weigh n-1.
+/// let out = solve_selection(5, 3, |i, j| (j - i) as u64, &mut scratch)?;
+/// assert_eq!(out.weight, 4);
+/// assert_eq!(scratch.path(), &[0, 1, 4]);
+/// # Ok::<(), fp_cspp::CsppError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsppScratch<W> {
+    /// Rolling distance row for the previous layer (flat kernels).
+    pub(crate) dist_prev: Vec<W>,
+    /// Rolling distance row for the current layer (flat kernels).
+    pub(crate) dist_cur: Vec<W>,
+    /// Layer-major predecessors: `pred[(l-2)*n + v]`.
+    pub(crate) pred: Vec<u32>,
+    /// The vertex sequence of the most recent successful solve.
+    pub(crate) path: Vec<usize>,
+    /// Previous-layer distances for the legacy `Dag` DP (`None` = ∞).
+    pub(crate) opt_prev: Vec<Option<W>>,
+    /// Current-layer distances for the legacy `Dag` DP.
+    pub(crate) opt_cur: Vec<Option<W>>,
+    /// Out-degree counters for the topological peel.
+    pub(crate) degree: Vec<u32>,
+    /// Peel stack for the topological sort.
+    pub(crate) stack: Vec<u32>,
+    /// Topological order (forward), reused by the infeasibility pre-check.
+    pub(crate) topo: Vec<u32>,
+    /// Minimum edge count of any `s → v` path (`u32::MAX` = unreachable).
+    pub(crate) min_len: Vec<u32>,
+    /// Maximum edge count of any `s → v` path.
+    pub(crate) max_len: Vec<u32>,
+}
+
+impl<W> Default for CsppScratch<W> {
+    fn default() -> Self {
+        CsppScratch {
+            dist_prev: Vec::new(),
+            dist_cur: Vec::new(),
+            pred: Vec::new(),
+            path: Vec::new(),
+            opt_prev: Vec::new(),
+            opt_cur: Vec::new(),
+            degree: Vec::new(),
+            stack: Vec::new(),
+            topo: Vec::new(),
+            min_len: Vec::new(),
+            max_len: Vec::new(),
+        }
+    }
+}
+
+impl<W> CsppScratch<W> {
+    /// An empty arena; buffers grow on first use and stay allocated.
+    #[must_use]
+    pub fn new() -> Self {
+        CsppScratch::default()
+    }
+
+    /// The vertex sequence found by the most recent successful solve
+    /// through this arena (empty before the first solve).
+    #[inline]
+    #[must_use]
+    pub fn path(&self) -> &[usize] {
+        &self.path
+    }
+}
+
+/// Paired integer/float arenas for callers that dispatch on the weight
+/// type at runtime (the selection layer solves `u128` for areas and
+/// exact `L₁` costs, [`OrderedF64`] for the other `L_p` metrics).
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    /// Arena for integer-weighted solves (areas, exact `L₁`).
+    pub int: CsppScratch<u128>,
+    /// Arena for float-weighted solves (`L₂`/`L∞`/general `L_p`).
+    pub float: CsppScratch<OrderedF64>,
+}
+
+impl SelectScratch {
+    /// An empty pair of arenas.
+    #[must_use]
+    pub fn new() -> Self {
+        SelectScratch::default()
+    }
+}
+
+/// Solves the CSPP on the complete forward DAG over `n` vertices with
+/// interval weights `w(i, j)` (`i < j`): the minimum-weight path from
+/// vertex `0` to vertex `n-1` with **exactly `k` vertices**.
+///
+/// This is the specialized hot path behind `R_Selection`/`L_Selection`.
+/// The optimal weight and the kernel used are returned; the path is
+/// written into `scratch` ([`CsppScratch::path`]). The weight closure
+/// must be pure: it is re-evaluated freely (and, on the D&C path,
+/// probed by the Monge certification).
+///
+/// Dispatch: when the instance is large enough to amortize it
+/// (`n >= 48`, `k >= 4`) and the weight matrix passes a sampled
+/// quadrangle-inequality spot-check followed by a full `O(n²)`
+/// adjacent-pair certification, each layer runs divide-and-conquer row
+/// minima in `O(n log n)`; otherwise the exhaustive dense layer runs.
+/// Either way the result is exactly optimal and byte-identical (weight
+/// *and* path) to [`crate::constrained_shortest_path`] on
+/// [`crate::Dag::complete`] with the same weights.
+///
+/// # Errors
+///
+/// * [`CsppError::VertexOutOfRange`] — `n == 0` (there is no vertex 0).
+/// * [`CsppError::InvalidK`] — `k == 0` or `k > n`.
+/// * [`CsppError::NoSuchPath`] — `k == 1` while `n > 1`.
+///
+/// # Example
+///
+/// ```
+/// use fp_cspp::{solve_selection, CsppScratch, FlatKernel};
+///
+/// // Skipping i..j costs the square of the span: convex, hence Monge —
+/// // but n is small, so the dense kernel runs.
+/// let w = |i: usize, j: usize| ((j - i) * (j - i)) as u64;
+/// let mut scratch = CsppScratch::new();
+/// let out = solve_selection(6, 3, w, &mut scratch)?;
+/// assert_eq!(out.kernel, FlatKernel::Dense);
+/// assert_eq!(out.weight, 13); // 0 → 2 → 5 or 0 → 3 → 5: 4 + 9
+/// assert_eq!(scratch.path(), &[0, 2, 5]); // leftmost tie-break
+/// # Ok::<(), fp_cspp::CsppError>(())
+/// ```
+pub fn solve_selection<W: Weight, F: Fn(usize, usize) -> W>(
+    n: usize,
+    k: usize,
+    w: F,
+    scratch: &mut CsppScratch<W>,
+) -> Result<SelectionOutcome<W>, CsppError> {
+    let use_dc = n >= DC_MIN_N && k >= DC_MIN_K && monge_certified(n, &w);
+    let kernel = if use_dc {
+        FlatKernel::DivideConquer
+    } else {
+        FlatKernel::Dense
+    };
+    solve_selection_with(n, k, w, scratch, kernel)
+}
+
+/// [`solve_selection`] pinned to the exhaustive dense kernel — no Monge
+/// probing, no D&C. Exists for benchmarking the kernels against each
+/// other; results are identical to the auto-dispatched solve.
+///
+/// # Errors
+///
+/// Same as [`solve_selection`].
+pub fn solve_selection_dense<W: Weight, F: Fn(usize, usize) -> W>(
+    n: usize,
+    k: usize,
+    w: F,
+    scratch: &mut CsppScratch<W>,
+) -> Result<SelectionOutcome<W>, CsppError> {
+    solve_selection_with(n, k, w, scratch, FlatKernel::Dense)
+}
+
+fn solve_selection_with<W: Weight, F: Fn(usize, usize) -> W>(
+    n: usize,
+    k: usize,
+    w: F,
+    scratch: &mut CsppScratch<W>,
+    kernel: FlatKernel,
+) -> Result<SelectionOutcome<W>, CsppError> {
+    if n == 0 {
+        return Err(CsppError::VertexOutOfRange { vertex: 0, len: 0 });
+    }
+    if k == 0 || k > n {
+        return Err(CsppError::InvalidK { k, len: n });
+    }
+    let t = n - 1;
+    if k == 1 {
+        if t != 0 {
+            return Err(CsppError::NoSuchPath);
+        }
+        scratch.path.clear();
+        scratch.path.push(0);
+        return Ok(SelectionOutcome {
+            weight: W::ZERO,
+            kernel,
+        });
+    }
+
+    scratch.dist_prev.clear();
+    scratch.dist_prev.resize(n, W::ZERO);
+    scratch.dist_cur.clear();
+    scratch.dist_cur.resize(n, W::ZERO);
+    scratch.pred.clear();
+    scratch.pred.resize((k - 1) * n, NO_PRED);
+
+    let dist_prev = &mut scratch.dist_prev;
+    let dist_cur = &mut scratch.dist_cur;
+    let pred = &mut scratch.pred;
+
+    // Layer 1 is the single-vertex path ending at the source.
+    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+    for l in 2..=k {
+        // States that can extend to t with the remaining k - l hops.
+        let (lo, hi) = if l == k {
+            (t, t)
+        } else {
+            (prev_lo + 1, n - 1 - (k - l))
+        };
+        let layer = &mut pred[(l - 2) * n..(l - 1) * n];
+        match kernel {
+            FlatKernel::Dense => {
+                dense_layer(dist_prev, dist_cur, layer, &w, lo, hi, prev_lo, prev_hi);
+            }
+            FlatKernel::DivideConquer => {
+                dc_layer(dist_prev, dist_cur, layer, &w, lo, hi, prev_lo, prev_hi);
+            }
+        }
+        core::mem::swap(dist_prev, dist_cur);
+        (prev_lo, prev_hi) = (lo, hi);
+    }
+    let weight = dist_prev[t];
+
+    // Trace the predecessor layers back from (t, k).
+    scratch.path.clear();
+    scratch.path.resize(k, 0);
+    scratch.path[k - 1] = t;
+    let mut v = t;
+    for l in (2..=k).rev() {
+        let u = pred[(l - 2) * n + v];
+        debug_assert_ne!(u, NO_PRED, "in-window states always record a predecessor");
+        v = u as usize;
+        scratch.path[l - 2] = v;
+    }
+    debug_assert_eq!(scratch.path[0], 0);
+    Ok(SelectionOutcome { weight, kernel })
+}
+
+/// One exhaustive layer: for every state `v` in `[lo, hi]`, scan the
+/// predecessor window `[prev_lo, min(v-1, prev_hi)]` in ascending order
+/// keeping the first strict improvement (the reference tie-break).
+#[allow(clippy::too_many_arguments)]
+fn dense_layer<W: Weight>(
+    dist_prev: &[W],
+    dist_cur: &mut [W],
+    pred: &mut [u32],
+    w: &impl Fn(usize, usize) -> W,
+    lo: usize,
+    hi: usize,
+    prev_lo: usize,
+    prev_hi: usize,
+) {
+    for v in lo..=hi {
+        let top = prev_hi.min(v - 1);
+        let mut best = dist_prev[prev_lo] + w(prev_lo, v);
+        let mut best_i = prev_lo as u32;
+        for (i, &d) in dist_prev.iter().enumerate().take(top + 1).skip(prev_lo + 1) {
+            let cand = d + w(i, v);
+            if cand < best {
+                best = cand;
+                best_i = i as u32;
+            }
+        }
+        dist_cur[v] = best;
+        pred[v] = best_i;
+    }
+}
+
+/// One divide-and-conquer layer over rows `[row_lo, row_hi]` whose
+/// candidate columns are `[col_lo, min(row-1, col_hi)]`. Valid only when
+/// the matrix `dist_prev[i] + w(i, v)` is Monge (adding a column-only
+/// term preserves the quadrangle inequality), which makes the leftmost
+/// argmin monotone in the row: solving the middle row splits the column
+/// range for both halves, for `O((rows + cols) log rows)` per layer.
+#[allow(clippy::too_many_arguments)]
+fn dc_layer<W: Weight>(
+    dist_prev: &[W],
+    dist_cur: &mut [W],
+    pred: &mut [u32],
+    w: &impl Fn(usize, usize) -> W,
+    row_lo: usize,
+    row_hi: usize,
+    col_lo: usize,
+    col_hi: usize,
+) {
+    let mid = row_lo + (row_hi - row_lo) / 2;
+    let top = col_hi.min(mid - 1);
+    let mut best = dist_prev[col_lo] + w(col_lo, mid);
+    let mut best_i = col_lo;
+    for (i, &d) in dist_prev.iter().enumerate().take(top + 1).skip(col_lo + 1) {
+        let cand = d + w(i, mid);
+        if cand < best {
+            best = cand;
+            best_i = i;
+        }
+    }
+    dist_cur[mid] = best;
+    pred[mid] = best_i as u32;
+    if mid > row_lo {
+        dc_layer(
+            dist_prev,
+            dist_cur,
+            pred,
+            w,
+            row_lo,
+            mid - 1,
+            col_lo,
+            best_i,
+        );
+    }
+    if mid < row_hi {
+        dc_layer(
+            dist_prev,
+            dist_cur,
+            pred,
+            w,
+            mid + 1,
+            row_hi,
+            best_i,
+            col_hi,
+        );
+    }
+}
+
+/// `true` if the interval weights satisfy the quadrangle (Monge)
+/// inequality `w(i, j) + w(i+1, j+1) <= w(i, j+1) + w(i+1, j)` for every
+/// adjacent quadruple in the staircase domain (`i + 2 <= j <= n - 2`).
+/// Summing adjacent inequalities extends this to all valid quadruples
+/// `i < i' <= j - 1, j < j'`, which is exactly what the D&C argmin-
+/// monotonicity argument needs, so a pass here is a *certification*,
+/// not a heuristic: [`solve_selection`] only takes the D&C path when
+/// this holds, keeping its output byte-identical to the dense kernel.
+///
+/// A deterministic sampled spot-check runs first so grossly non-Monge
+/// inputs are rejected in O(1) probes instead of the full `O(n²)` sweep.
+#[must_use]
+pub fn monge_certified<W: Weight>(n: usize, w: &impl Fn(usize, usize) -> W) -> bool {
+    if n < 4 {
+        return true;
+    }
+    let violated = |i: usize, j: usize| w(i, j) + w(i + 1, j + 1) > w(i, j + 1) + w(i + 1, j);
+    // Sampled spot-check: a fixed-seed LCG keeps runs deterministic.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+    for _ in 0..SPOT_SAMPLES {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let i = (state >> 33) as usize % (n - 3);
+        let j = i + 2 + (state as u32 as usize) % (n - 3 - i);
+        if violated(i, j) {
+            return false;
+        }
+    }
+    // Full adjacent-pair sweep: the actual certification.
+    for i in 0..=(n - 4) {
+        for j in i + 2..=(n - 2) {
+            if violated(i, j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{constrained_shortest_path, Dag};
+
+    /// Reference solve on the equivalent `Dag::complete` instance.
+    fn reference(n: usize, k: usize, w: impl Fn(usize, usize) -> u64) -> (u64, Vec<usize>) {
+        let g = Dag::complete(n, &w);
+        let sol = constrained_shortest_path(&g, 0, n - 1, k).expect("complete DAG path");
+        (sol.weight, sol.vertices)
+    }
+
+    #[test]
+    fn matches_reference_on_span_weights() {
+        let w = |i: usize, j: usize| ((j - i) * (j - i)) as u64;
+        let mut scratch = CsppScratch::new();
+        for n in 2..=12usize {
+            for k in 2..=n {
+                let out = solve_selection(n, k, w, &mut scratch).expect("solvable");
+                let (rw, rp) = reference(n, k, w);
+                assert_eq!(out.weight, rw, "n={n} k={k}");
+                assert_eq!(scratch.path(), &rp[..], "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_instances() {
+        let w = |_: usize, _: usize| 1u64;
+        let mut scratch = CsppScratch::new();
+        // Single vertex, k = 1.
+        let out = solve_selection(1, 1, w, &mut scratch).expect("trivial");
+        assert_eq!(out.weight, 0);
+        assert_eq!(scratch.path(), &[0]);
+        // k = n: the full chain is forced.
+        let out = solve_selection(5, 5, w, &mut scratch).expect("chain");
+        assert_eq!(out.weight, 4);
+        assert_eq!(scratch.path(), &[0, 1, 2, 3, 4]);
+        // k = 2: the direct edge.
+        let out = solve_selection(5, 2, |i, j| (10 * i + j) as u64, &mut scratch).expect("direct");
+        assert_eq!(out.weight, 4);
+        assert_eq!(scratch.path(), &[0, 4]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let w = |_: usize, _: usize| 1u64;
+        let mut scratch = CsppScratch::new();
+        assert_eq!(
+            solve_selection(0, 1, w, &mut scratch),
+            Err(CsppError::VertexOutOfRange { vertex: 0, len: 0 })
+        );
+        assert_eq!(
+            solve_selection(4, 0, w, &mut scratch),
+            Err(CsppError::InvalidK { k: 0, len: 4 })
+        );
+        assert_eq!(
+            solve_selection(4, 5, w, &mut scratch),
+            Err(CsppError::InvalidK { k: 5, len: 4 })
+        );
+        assert_eq!(
+            solve_selection(4, 1, w, &mut scratch),
+            Err(CsppError::NoSuchPath)
+        );
+    }
+
+    /// Staircase-gap weights (strictly decreasing widths, strictly
+    /// increasing heights) are strictly Monge — the R_Selection shape.
+    fn staircase_weight(n: usize) -> impl Fn(usize, usize) -> u64 + Copy {
+        move |i: usize, j: usize| {
+            let wd = |p: usize| (2 * (n - p)) as u64;
+            let ht = |p: usize| (3 * (p + 1)) as u64;
+            let mut acc = 0u64;
+            for m in i + 2..=j {
+                acc += (wd(i) - wd(m - 1)) * (ht(m) - ht(m - 1));
+            }
+            acc
+        }
+    }
+
+    #[test]
+    fn monge_certification_accepts_staircase_and_rejects_adversarial() {
+        assert!(monge_certified(60, &staircase_weight(60)));
+        // One planted violation: w(i, j) dips for a single far pair.
+        let adversarial = |i: usize, j: usize| {
+            if i == 10 && j == 40 {
+                0
+            } else {
+                ((j - i) * (j - i)) as u64
+            }
+        };
+        assert!(!monge_certified(60, &adversarial));
+    }
+
+    #[test]
+    fn dc_dispatch_on_monge_instances_matches_dense() {
+        let n = 64;
+        let w = staircase_weight(n);
+        let mut scratch = CsppScratch::new();
+        for k in [4usize, 9, 16, 33, 63] {
+            let auto = solve_selection(n, k, w, &mut scratch).expect("solvable");
+            assert_eq!(auto.kernel, FlatKernel::DivideConquer, "k={k}");
+            let auto_path = scratch.path().to_vec();
+            let dense = solve_selection_dense(n, k, w, &mut scratch).expect("solvable");
+            assert_eq!(auto.weight, dense.weight, "k={k}");
+            assert_eq!(auto_path, scratch.path(), "k={k}");
+            let (rw, rp) = reference(n, k, w);
+            assert_eq!(auto.weight, rw, "k={k}");
+            assert_eq!(auto_path, rp, "k={k}");
+        }
+    }
+
+    #[test]
+    fn non_monge_instances_fall_back_to_dense() {
+        let n = 64;
+        let adversarial = |i: usize, j: usize| {
+            if i == 7 && j == 50 {
+                0
+            } else {
+                ((j - i) * (j - i)) as u64
+            }
+        };
+        let mut scratch = CsppScratch::new();
+        let out = solve_selection(n, 6, adversarial, &mut scratch).expect("solvable");
+        assert_eq!(out.kernel, FlatKernel::Dense);
+        let (rw, rp) = reference(n, 6, adversarial);
+        assert_eq!(out.weight, rw);
+        assert_eq!(scratch.path(), &rp[..]);
+    }
+
+    #[test]
+    fn float_weights_work() {
+        let w = |i: usize, j: usize| OrderedF64::new(((j - i) as f64).sqrt()).expect("finite");
+        let mut scratch = CsppScratch::new();
+        let out = solve_selection(6, 3, w, &mut scratch).expect("solvable");
+        let g = Dag::complete(6, w);
+        let sol = constrained_shortest_path(&g, 0, 5, 3).expect("path");
+        assert_eq!(out.weight, sol.weight);
+        assert_eq!(scratch.path(), &sol.vertices[..]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let mut scratch = CsppScratch::new();
+        let w = staircase_weight(50);
+        let first = solve_selection(50, 8, w, &mut scratch).expect("solvable");
+        let first_path = scratch.path().to_vec();
+        // A differently-shaped solve in between must not perturb results.
+        let _ = solve_selection(9, 3, |i, j| (i * j) as u64, &mut scratch).expect("solvable");
+        let second = solve_selection(50, 8, w, &mut scratch).expect("solvable");
+        assert_eq!(first, second);
+        assert_eq!(first_path, scratch.path());
+    }
+}

@@ -39,12 +39,17 @@
 #![warn(missing_docs)]
 
 mod dag;
+mod flat;
 mod solve;
 mod weight;
 
 pub use dag::{Dag, EdgeError};
+pub use flat::{
+    monge_certified, solve_selection, solve_selection_dense, CsppScratch, FlatKernel,
+    SelectScratch, SelectionOutcome,
+};
 pub use solve::{
-    constrained_shortest_path, constrained_shortest_paths_all_k, shortest_path, CsppError,
-    PathSolution,
+    constrained_shortest_path, constrained_shortest_path_scratch, constrained_shortest_paths_all_k,
+    shortest_path, CsppError, PathSolution,
 };
 pub use weight::{OrderedF64, Weight};

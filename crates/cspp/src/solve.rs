@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use crate::{Dag, Weight};
+use crate::{CsppScratch, Dag, Weight};
 
 /// A shortest-path solution: the vertex sequence from `s` to `t` and its
 /// total weight.
@@ -98,6 +98,52 @@ pub fn constrained_shortest_path<W: Weight>(
     t: usize,
     k: usize,
 ) -> Result<PathSolution<W>, CsppError> {
+    let mut scratch = CsppScratch::new();
+    let weight = constrained_shortest_path_scratch(g, s, t, k, &mut scratch)?;
+    Ok(PathSolution {
+        vertices: std::mem::take(&mut scratch.path),
+        weight,
+    })
+}
+
+/// [`constrained_shortest_path`] through a caller-owned [`CsppScratch`]
+/// arena: once the arena is warmed to the workload's high-water mark,
+/// repeated solves perform **no allocation**. The optimal weight is
+/// returned; the path is left in the arena ([`CsppScratch::path`]).
+///
+/// Before running the full `O(k (|V| + |E|))` DP, a linear infeasibility
+/// pre-check compares `k - 1` against the minimum and maximum *edge
+/// counts* of any `s → t` path (one topological sweep): when `k - 1`
+/// falls outside that range, no `k`-vertex path can exist and
+/// [`CsppError::NoSuchPath`] returns without touching the DP layers.
+/// (The range test is a necessary condition only — an in-range `k` that
+/// no actual path achieves is still caught by the DP itself.)
+///
+/// # Errors
+///
+/// Same as [`constrained_shortest_path`].
+///
+/// # Example
+///
+/// ```
+/// use fp_cspp::{constrained_shortest_path_scratch, CsppScratch, Dag};
+///
+/// let mut g: Dag<u64> = Dag::new(3);
+/// g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(0, 2, 10)?;
+/// let mut scratch = CsppScratch::new();
+/// let weight = constrained_shortest_path_scratch(&g, 0, 2, 3, &mut scratch)?;
+/// assert_eq!((scratch.path(), weight), (&[0, 1, 2][..], 2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn constrained_shortest_path_scratch<W: Weight>(
+    g: &Dag<W>,
+    s: usize,
+    t: usize,
+    k: usize,
+    scratch: &mut CsppScratch<W>,
+) -> Result<W, CsppError> {
     let n = g.vertex_count();
     for x in [s, t] {
         if x >= n {
@@ -107,35 +153,49 @@ pub fn constrained_shortest_path<W: Weight>(
     if k == 0 || k > n {
         return Err(CsppError::InvalidK { k, len: n });
     }
-    if !g.is_acyclic() {
+    if !topo_into(g, scratch) {
         return Err(CsppError::NotAcyclic);
     }
 
-    // W(s, v, 1) = 0 for v == s, infinity otherwise (represented as None).
-    let mut prev: Vec<Option<W>> = vec![None; n];
-    prev[s] = Some(W::ZERO);
-
     if k == 1 {
         return if s == t {
-            Ok(PathSolution {
-                vertices: vec![s],
-                weight: W::ZERO,
-            })
+            scratch.path.clear();
+            scratch.path.push(s);
+            Ok(W::ZERO)
         } else {
             Err(CsppError::NoSuchPath)
         };
     }
 
+    if !edge_count_feasible(g, s, t, k, scratch) {
+        return Err(CsppError::NoSuchPath);
+    }
+
+    let CsppScratch {
+        opt_prev,
+        opt_cur,
+        pred,
+        path,
+        ..
+    } = scratch;
+
+    // W(s, v, 1) = 0 for v == s, infinity otherwise (represented as None).
+    opt_prev.clear();
+    opt_prev.resize(n, None);
+    opt_prev[s] = Some(W::ZERO);
+    opt_cur.clear();
+    opt_cur.resize(n, None);
+
     // pred[(l-2) * n + v] = predecessor of v on the best l-vertex path.
-    let mut pred: Vec<u32> = vec![NO_PRED; (k - 1) * n];
-    let mut cur: Vec<Option<W>> = vec![None; n];
+    pred.clear();
+    pred.resize((k - 1) * n, NO_PRED);
 
     for l in 2..=k {
         let layer = (l - 2) * n;
         for v in 0..n {
             let mut best: Option<(W, u32)> = None;
             for &(u, w) in g.in_edges(v) {
-                if let Some(base) = prev[u as usize] {
+                if let Some(base) = opt_prev[u as usize] {
                     let cand = base + w;
                     if best.is_none_or(|(b, _)| cand < b) {
                         best = Some((cand, u));
@@ -144,30 +204,119 @@ pub fn constrained_shortest_path<W: Weight>(
             }
             match best {
                 Some((w, u)) => {
-                    cur[v] = Some(w);
+                    opt_cur[v] = Some(w);
                     pred[layer + v] = u;
                 }
-                None => cur[v] = None,
+                None => opt_cur[v] = None,
             }
         }
-        std::mem::swap(&mut prev, &mut cur);
-        cur.fill(None);
+        std::mem::swap(opt_prev, opt_cur);
+        opt_cur.fill(None);
     }
 
-    let weight = prev[t].ok_or(CsppError::NoSuchPath)?;
+    let weight = opt_prev[t].ok_or(CsppError::NoSuchPath)?;
 
     // Walk the predecessor layers back from (t, k).
-    let mut vertices = vec![0usize; k];
-    vertices[k - 1] = t;
+    path.clear();
+    path.resize(k, 0);
+    path[k - 1] = t;
     let mut v = t;
     for l in (2..=k).rev() {
         let u = pred[(l - 2) * n + v];
         debug_assert_ne!(u, NO_PRED, "finite weight implies a recorded predecessor");
         v = u as usize;
-        vertices[l - 2] = v;
+        path[l - 2] = v;
     }
-    debug_assert_eq!(vertices[0], s);
-    Ok(PathSolution { vertices, weight })
+    debug_assert_eq!(path[0], s);
+    Ok(weight)
+}
+
+/// Fills `scratch.topo` with a forward topological order of `g` (by
+/// peeling zero-out-degree vertices into reverse order). Returns `false`
+/// when the graph has a directed cycle. Allocation-free once warmed.
+fn topo_into<W: Weight>(g: &Dag<W>, scratch: &mut CsppScratch<W>) -> bool {
+    let n = g.vertex_count();
+    let CsppScratch {
+        degree,
+        stack,
+        topo,
+        ..
+    } = scratch;
+    degree.clear();
+    degree.resize(n, 0);
+    for v in 0..n {
+        for &(u, _) in g.in_edges(v) {
+            degree[u as usize] += 1;
+        }
+    }
+    stack.clear();
+    for (v, &d) in degree.iter().enumerate() {
+        if d == 0 {
+            stack.push(v as u32);
+        }
+    }
+    topo.clear();
+    while let Some(v) = stack.pop() {
+        topo.push(v);
+        for &(u, _) in g.in_edges(v as usize) {
+            let u = u as usize;
+            degree[u] -= 1;
+            if degree[u] == 0 {
+                stack.push(u as u32);
+            }
+        }
+    }
+    if topo.len() != n {
+        return false;
+    }
+    topo.reverse();
+    true
+}
+
+/// Vertices this value in `min_len` cannot be reached from `s` at all.
+const UNREACH: u32 = u32::MAX;
+
+/// One topological sweep computing the minimum and maximum edge counts
+/// over all `s → v` paths; `k` vertices are achievable only if `k - 1`
+/// lies within `[min_len[t], max_len[t]]`. Requires `scratch.topo` to be
+/// freshly filled by [`topo_into`].
+fn edge_count_feasible<W: Weight>(
+    g: &Dag<W>,
+    s: usize,
+    t: usize,
+    k: usize,
+    scratch: &mut CsppScratch<W>,
+) -> bool {
+    let n = g.vertex_count();
+    let CsppScratch {
+        topo,
+        min_len,
+        max_len,
+        ..
+    } = scratch;
+    min_len.clear();
+    min_len.resize(n, UNREACH);
+    max_len.clear();
+    max_len.resize(n, 0);
+    min_len[s] = 0;
+    for &v in topo.iter() {
+        let v = v as usize;
+        if v == s {
+            continue;
+        }
+        let (mut mn, mut mx) = (UNREACH, 0u32);
+        for &(u, _) in g.in_edges(v) {
+            let u = u as usize;
+            if min_len[u] != UNREACH {
+                mn = mn.min(min_len[u] + 1);
+                mx = mx.max(max_len[u] + 1);
+            }
+        }
+        min_len[v] = mn;
+        max_len[v] = mx;
+    }
+    let need = (k - 1) as u32;
+    min_len[t] != UNREACH && need >= min_len[t] && need <= max_len[t]
 }
 
 /// Solves the CSPP for **every** vertex count `1 ..= k_max` in a single
@@ -507,6 +656,55 @@ mod tests {
         }
         dfs(&out, &mut path, 0, t, k, &mut best);
         best
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_across_k_and_reuse() {
+        let g = figure4();
+        let mut scratch = CsppScratch::new();
+        // Two sweeps through the same arena: reuse must not perturb results.
+        for _ in 0..2 {
+            for k in 1..=6usize {
+                let plain = constrained_shortest_path(&g, 0, 5, k);
+                let via = constrained_shortest_path_scratch(&g, 0, 5, k, &mut scratch);
+                match (plain, via) {
+                    (Ok(sol), Ok(w)) => {
+                        assert_eq!(sol.weight, w, "k={k}");
+                        assert_eq!(&sol.vertices[..], scratch.path(), "k={k}");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "k={k}"),
+                    (a, b) => panic!("k={k}: plain {a:?} vs scratch {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasibility_precheck_rejects_out_of_range_k() {
+        // A chain 0 → 1 → 2 → 3: only k = 4 (and trivially k = 1 at s = t)
+        // is feasible; all other k must short-circuit to NoSuchPath.
+        let mut g: Dag<u64> = Dag::new(4);
+        for v in 0..3 {
+            g.add_edge(v, v + 1, 1).expect("edge");
+        }
+        let mut scratch = CsppScratch::new();
+        for k in [2usize, 3] {
+            assert_eq!(
+                constrained_shortest_path_scratch(&g, 0, 3, k, &mut scratch),
+                Err(CsppError::NoSuchPath),
+                "k={k}"
+            );
+        }
+        assert_eq!(
+            constrained_shortest_path_scratch(&g, 0, 3, 4, &mut scratch),
+            Ok(3)
+        );
+        // Unreachable target: vertex 0 has no path to an isolated vertex.
+        let lonely: Dag<u64> = Dag::new(2);
+        assert_eq!(
+            constrained_shortest_path_scratch(&lonely, 0, 1, 2, &mut scratch),
+            Err(CsppError::NoSuchPath)
+        );
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Equivalence suite for the flat selection kernels: on *any* weighted
+//! selection DAG — randomized, Monge-by-construction, or adversarially
+//! non-Monge — [`solve_selection`] must return the same optimal weight
+//! **and the same path** as the reference `Constrained_Shortest_Path`
+//! DP on the equivalent [`Dag::complete`] instance, and the D&C kernel
+//! must engage only when the Monge certification passes.
+
+use fp_cspp::{
+    constrained_shortest_path, monge_certified, solve_selection, solve_selection_dense,
+    CsppScratch, Dag, FlatKernel, OrderedF64,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random interval weights from a seed.
+fn lcg_weight(seed: u64) -> impl Fn(usize, usize) -> u64 + Copy {
+    move |i: usize, j: usize| {
+        let x = seed ^ ((i as u64) << 32) ^ (j as u64);
+        let x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (x >> 40) + 1
+    }
+}
+
+/// Reference solve on the equivalent complete DAG.
+fn reference(n: usize, k: usize, w: impl Fn(usize, usize) -> u64) -> (u64, Vec<usize>) {
+    let g = Dag::complete(n, &w);
+    let sol = constrained_shortest_path(&g, 0, n - 1, k).expect("complete DAG has all k-paths");
+    (sol.weight, sol.vertices)
+}
+
+/// A staircase-gap error table from strictly decreasing widths and
+/// strictly increasing heights — the `R_Selection` weight shape, which
+/// is strictly Monge (the quadrangle-inequality margin for the adjacent
+/// quadruple `(i, j)` is `(width[i] - width[i+1]) * (height[j+1] -
+/// height[j]) > 0`).
+fn staircase_table(n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = seed | 1;
+    let mut step = move || {
+        rng = rng
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        1 + (rng >> 48) % 9
+    };
+    let mut heights = Vec::with_capacity(n);
+    let mut acc = 1u64;
+    for _ in 0..n {
+        acc += step();
+        heights.push(acc);
+    }
+    let mut widths = Vec::with_capacity(n);
+    let mut acc = 1u64;
+    for _ in 0..n {
+        acc += step();
+        widths.push(acc);
+    }
+    widths.reverse();
+
+    let mut err = vec![vec![0u64; n]; n];
+    for i in 0..n {
+        let mut acc = 0u64;
+        for j in i + 2..n {
+            acc += (widths[i] - widths[j - 1]) * (heights[j] - heights[j - 1]);
+            err[i][j] = acc;
+        }
+    }
+    err
+}
+
+proptest! {
+    /// Randomized weights are essentially never Monge: the auto-dispatch
+    /// must fall back to the dense kernel and still agree byte-for-byte
+    /// with the reference DP on weight and path.
+    #[test]
+    fn flat_matches_reference_on_random_weights(
+        n in 2usize..24,
+        k_raw in 0usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = 2 + k_raw % (n - 1).max(1);
+        let w = lcg_weight(seed);
+        let (rw, rp) = reference(n, k, w);
+        let mut scratch = CsppScratch::new();
+        let out = solve_selection(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(out.weight, rw);
+        prop_assert_eq!(scratch.path(), &rp[..]);
+        let dense = solve_selection_dense(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(dense.weight, rw);
+        prop_assert_eq!(scratch.path(), &rp[..]);
+    }
+
+    /// Monge-by-construction staircase weights at D&C scale: the
+    /// certification must pass, the D&C kernel must engage, and weight
+    /// and path must be byte-identical to both the dense kernel and the
+    /// reference DP.
+    #[test]
+    fn dc_kernel_is_byte_identical_on_monge_weights(
+        n in 48usize..72,
+        k_raw in 0usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = 4 + k_raw % (n - 4);
+        let table = staircase_table(n, seed);
+        let w = |i: usize, j: usize| table[i][j];
+        prop_assert!(monge_certified(n, &w));
+
+        let mut scratch = CsppScratch::new();
+        let auto = solve_selection(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(auto.kernel, FlatKernel::DivideConquer);
+        let auto_path = scratch.path().to_vec();
+
+        let dense = solve_selection_dense(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(auto.weight, dense.weight);
+        prop_assert_eq!(&auto_path, &scratch.path().to_vec());
+
+        let (rw, rp) = reference(n, k, w);
+        prop_assert_eq!(auto.weight, rw);
+        prop_assert_eq!(auto_path, rp);
+    }
+
+    /// Adversarial weights: a staircase table with one planted
+    /// quadrangle-inequality violation. The certification must reject
+    /// it (forced fallback), the dense kernel must run, and the result
+    /// must still match the reference DP exactly.
+    #[test]
+    fn planted_violation_forces_dense_fallback(
+        n in 48usize..72,
+        k_raw in 0usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = 4 + k_raw % (n - 4);
+        let mut table = staircase_table(n, seed);
+        // Plant a spike inside the certification domain: `violated(a, b)`
+        // is then guaranteed because only the left-hand side grows.
+        let (a, b) = (n / 4, n / 2);
+        table[a][b] += 1_000_000_000;
+        let w = |i: usize, j: usize| table[i][j];
+        prop_assert!(!monge_certified(n, &w));
+
+        let mut scratch = CsppScratch::new();
+        let out = solve_selection(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(out.kernel, FlatKernel::Dense);
+        let (rw, rp) = reference(n, k, w);
+        prop_assert_eq!(out.weight, rw);
+        prop_assert_eq!(scratch.path(), &rp[..]);
+    }
+
+    /// Float weights take the same code path and must agree bitwise with
+    /// the reference DP (identical addition order layer by layer).
+    #[test]
+    fn float_weights_match_reference(
+        n in 2usize..16,
+        k_raw in 0usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = 2 + k_raw % (n - 1).max(1);
+        let base = lcg_weight(seed);
+        let w = move |i: usize, j: usize| {
+            OrderedF64::new((base(i, j) as f64).sqrt()).expect("finite")
+        };
+        let g = Dag::complete(n, w);
+        let sol = constrained_shortest_path(&g, 0, n - 1, k).expect("path");
+        let mut scratch = CsppScratch::new();
+        let out = solve_selection(n, k, w, &mut scratch).expect("solvable");
+        prop_assert_eq!(out.weight, sol.weight);
+        prop_assert_eq!(scratch.path(), &sol.vertices[..]);
+    }
+}
+
+/// One arena across many differently-shaped solves: buffer reuse must
+/// never leak state between instances.
+#[test]
+fn shared_scratch_across_instances_is_sound() {
+    let mut scratch = CsppScratch::new();
+    for round in 0..3u64 {
+        for &(n, k) in &[(64usize, 9usize), (5, 2), (50, 48), (2, 2), (31, 17)] {
+            let table = staircase_table(n, 7 + round);
+            let w = |i: usize, j: usize| table[i][j];
+            let out = solve_selection(n, k, w, &mut scratch).expect("solvable");
+            let (rw, rp) = reference(n, k, w);
+            assert_eq!(out.weight, rw, "n={n} k={k} round={round}");
+            assert_eq!(scratch.path(), &rp[..], "n={n} k={k} round={round}");
+        }
+    }
+}

@@ -398,6 +398,10 @@ pub struct RunStats {
     pub max_l_block: usize,
     /// Wall-clock time of the optimization proper.
     pub elapsed: Duration,
+    /// Wall-clock spent inside the R/L selection kernels (a subset of
+    /// [`RunStats::elapsed`]; on parallel runs it is the *sum* across
+    /// workers and can exceed the wall-clock).
+    pub selection_time: Duration,
     /// Every policy degradation the rescue ladder applied, in order.
     /// Empty when the run never tripped (or rescue was off).
     pub degradations: Vec<DegradationEvent>,
@@ -902,7 +906,7 @@ pub(crate) fn serial_frontier(
                         if parent.get(b).is_none_or(|&p| p < index) {
                             continue; // consumed: its parent's prov needs it
                         }
-                        reselect_committed(shapes, &eff, &mut gov, &mut stats)
+                        reselect_committed(shapes, &eff, &mut gov, &mut stats, &mut scratch)
                             .map_err(|t| trip_error(t, b, gov.live(), gov.peak()))?;
                     }
                     // Progress requires a new rung on the ladder or freed
@@ -1230,7 +1234,7 @@ pub(crate) fn build_join<G: Governor>(
         BinOp::WheelS4 => wheel_s4(left, right, gov)?,
     };
     global_l_prune(&mut shapes, config, gov, scratch);
-    let dropped = select_shapes(&mut shapes, eff, stats)?;
+    let dropped = select_shapes(&mut shapes, eff, stats, scratch)?;
     gov.discard(dropped);
     Ok(shapes)
 }
@@ -1512,13 +1516,17 @@ fn select_shapes(
     shapes: &mut Shapes,
     eff: &EffectivePolicies,
     stats: &mut RunStats,
+    scratch: &mut JoinScratch,
 ) -> Result<usize, Trip> {
     match shapes {
         Shapes::Rect { list, prov } => {
             let Some(policy) = &eff.r else {
                 return Ok(0);
             };
-            let Some(sel) = policy.apply(list) else {
+            let started = Instant::now();
+            let sel = policy.apply_scratch(list, &mut scratch.cspp.int);
+            stats.selection_time += started.elapsed();
+            let Some(sel) = sel else {
                 return Ok(0);
             };
             let dropped = list.len() - sel.positions.len();
@@ -1549,7 +1557,10 @@ fn select_shapes(
                 lists.push(list);
             }
             let set = LListSet::from_lists(lists);
-            let Some(kept) = policy.apply(&set) else {
+            let started = Instant::now();
+            let kept = policy.apply_scratch(&set, &mut scratch.cspp);
+            stats.selection_time += started.elapsed();
+            let Some(kept) = kept else {
                 return Ok(0);
             };
             let mut new_shapes = Vec::new();
@@ -1588,13 +1599,14 @@ fn reselect_committed(
     eff: &EffectivePolicies,
     gov: &mut ResourceGovernor,
     stats: &mut RunStats,
+    scratch: &mut JoinScratch,
 ) -> Result<(), Trip> {
     if let Shapes::Rect { list, prov } = shapes {
         if prov.is_empty() && !list.is_empty() {
             *prov = (0..list.len() as u32).map(|i| (i, 0)).collect();
         }
     }
-    let dropped = select_shapes(shapes, eff, stats)?;
+    let dropped = select_shapes(shapes, eff, stats, scratch)?;
     gov.release(dropped);
     Ok(())
 }

@@ -238,6 +238,8 @@ struct NodeAcc {
     r_reductions: usize,
     /// Whether the L-block reduction fired while building this node.
     l_reductions: usize,
+    /// Wall-clock this node's worker spent in the selection kernels.
+    selection_time: std::time::Duration,
     /// Set by the replay: the serial pass would have stored this node to
     /// the block cache (a built join, not a hit).
     store_after_replay: bool,
@@ -626,6 +628,7 @@ fn build_node(
                     )?;
                     acc.r_reductions = node_stats.r_reductions;
                     acc.l_reductions = node_stats.l_reductions;
+                    acc.selection_time = node_stats.selection_time;
                     shapes
                 }
             }
@@ -715,6 +718,7 @@ fn replay_serial_schedule(
             }
             stats.r_reductions += acc.r_reductions;
             stats.l_reductions += acc.l_reductions;
+            stats.selection_time += acc.selection_time;
         }
         match store.get(i) {
             Some(Shapes::Rect { list, .. }) if is_join => {

@@ -41,6 +41,11 @@ pub struct JoinScratch {
     /// Staircase front for the within-`w2` L-shape prune
     /// ([`crate::prune::pareto_min_lshapes_within_w2_scratch`]).
     pub front: Vec<(u64, u64)>,
+    /// CSPP arenas for the R/L selection kernels (`fp-select` threads
+    /// these through `RReductionPolicy::apply_scratch` and
+    /// `LReductionPolicy::apply_scratch`), so a warmed join worker runs
+    /// selections allocation-free too.
+    pub cspp: fp_cspp::SelectScratch,
 }
 
 impl JoinScratch {

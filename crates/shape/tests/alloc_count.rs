@@ -102,6 +102,50 @@ fn warmed_scratch_combine_does_not_allocate() {
     }
 }
 
+/// A warmed CSPP arena solves selections — flat kernel, D&C kernel, and
+/// the legacy `Dag` DP — without touching the allocator. This is the
+/// gate for the selection hot path: `JoinScratch` now carries these
+/// arenas (`JoinScratch::cspp`), so every warmed join worker inherits
+/// the same guarantee.
+#[test]
+fn warmed_cspp_solvers_do_not_allocate() {
+    use fp_cspp::{
+        constrained_shortest_path_scratch, solve_selection, solve_selection_dense, CsppScratch, Dag,
+    };
+
+    let n = 48usize;
+    // Convex span cost: certified Monge, so the auto path exercises the
+    // divide-and-conquer kernel; the dense call pins the exhaustive one.
+    let w = |i: usize, j: usize| ((j - i) * (j - i) + i) as u64;
+    let g: Dag<u64> = Dag::complete(n, w);
+    let mut scratch = CsppScratch::new();
+
+    // Warm-up at the largest k each path will see.
+    let _ = solve_selection(n, 8, w, &mut scratch).expect("solvable");
+    let _ = solve_selection_dense(n, 8, w, &mut scratch).expect("solvable");
+    let _ = constrained_shortest_path_scratch(&g, 0, n - 1, 8, &mut scratch).expect("solvable");
+
+    let (count, total) = count_allocations(|| {
+        let mut total = 0u64;
+        for k in [4usize, 6, 8] {
+            total += solve_selection(n, k, w, &mut scratch)
+                .expect("solvable")
+                .weight;
+            total += solve_selection_dense(n, k, w, &mut scratch)
+                .expect("solvable")
+                .weight;
+            total +=
+                constrained_shortest_path_scratch(&g, 0, n - 1, k, &mut scratch).expect("solvable");
+        }
+        total
+    });
+    assert!(total > 0, "solves produced weights");
+    println!("warmed-scratch allocations over 9 CSPP solves: {count}");
+    if cfg!(debug_assertions) {
+        assert_eq!(count, 0, "warmed CSPP arena must not allocate");
+    }
+}
+
 /// The allocating path and the scratch path agree bit for bit, and the
 /// scratch path allocates strictly less once warmed.
 #[test]
