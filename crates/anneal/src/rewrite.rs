@@ -13,7 +13,7 @@
 //! pass is where the DAC'92 machinery (L-shaped blocks and their
 //! selection) enters an otherwise slicing-only flow.
 
-use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_optimizer::{OptError, OptimizeConfig, Optimizer};
 use fp_tree::{Chirality, FloorplanTree, ModuleLibrary, NodeId, NodeKind};
 
 /// The outcome of a [`wheel_rewrite`] pass.
@@ -46,7 +46,9 @@ pub fn wheel_rewrite(
     library: &ModuleLibrary,
     config: &OptimizeConfig,
 ) -> RewriteResult {
-    let initial_area = optimize(tree, library, config)
+    let initial_area = Optimizer::new(tree, library)
+        .config(config)
+        .run_best()
         .expect("the initial tree must optimize")
         .area;
     let mut current = tree.clone();
@@ -68,7 +70,10 @@ pub fn wheel_rewrite(
             }
             for chirality in [Chirality::Clockwise, Chirality::Counterclockwise] {
                 let candidate = replace_with_wheel(&current, node, &leaves, chirality);
-                match optimize(&candidate, library, config) {
+                match Optimizer::new(&candidate, library)
+                    .config(config)
+                    .run_best()
+                {
                     Ok(out) if out.area < current_area => {
                         if best.as_ref().is_none_or(|(a, _)| out.area < *a) {
                             best = Some((out.area, candidate));
@@ -205,7 +210,11 @@ mod tests {
         let library = domino_library();
         let tree = slicing_tree_of_five();
         let config = OptimizeConfig::default();
-        let slicing_area = optimize(&tree, &library, &config).expect("runs").area;
+        let slicing_area = Optimizer::new(&tree, &library)
+            .config(&config)
+            .run_best()
+            .expect("runs")
+            .area;
         assert!(
             slicing_area > 9,
             "no slicing arrangement tiles 3x3: {slicing_area}"
@@ -219,7 +228,10 @@ mod tests {
         );
         assert_eq!(result.rewrites, 1);
 
-        let out = optimize(&result.tree, &library, &config).expect("runs");
+        let out = Optimizer::new(&result.tree, &library)
+            .config(&config)
+            .run_best()
+            .expect("runs");
         let layout = realize(&result.tree, &library, &out.assignment).expect("valid");
         assert_eq!(layout.dead_space(), 0);
     }

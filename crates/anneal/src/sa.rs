@@ -1,6 +1,6 @@
 //! The simulated-annealing loop.
 
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_optimizer::{OptimizeConfig, Optimizer};
 use fp_prng::StdRng;
 use fp_tree::layout::Assignment;
 use fp_tree::{FloorplanTree, ModuleLibrary};
@@ -81,7 +81,9 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
 
     let evaluate = |expr: &PolishExpression| -> (u128, FloorplanTree, Assignment) {
         let tree = expr.to_tree();
-        let out = optimize(&tree, library, &config.optimizer)
+        let out = Optimizer::new(&tree, library)
+            .config(&config.optimizer)
+            .run_best()
             .expect("slicing candidates fit the configured budget");
         (out.area, tree, out.assignment)
     };

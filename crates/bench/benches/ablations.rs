@@ -2,7 +2,8 @@
 //! quality side is printed by `tables -- ablations`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_bench::optimize_best;
+use fp_optimizer::OptimizeConfig;
 use fp_select::{LReductionPolicy, Metric};
 use fp_tree::generators::{self, module_library};
 
@@ -17,7 +18,7 @@ fn bench_theta(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
             let cfg = OptimizeConfig::default()
                 .with_l_selection(LReductionPolicy::new(150).with_theta(theta));
-            b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+            b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
         });
     }
     group.finish();
@@ -31,13 +32,13 @@ fn bench_prefilter(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("off", |b| {
         let cfg = OptimizeConfig::default().with_l_selection(LReductionPolicy::new(150));
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     for s in [400usize, 1000] {
         group.bench_with_input(BenchmarkId::new("s", s), &s, |b, &s| {
             let cfg = OptimizeConfig::default()
                 .with_l_selection(LReductionPolicy::new(150).with_prefilter(s));
-            b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+            b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
         });
     }
     group.finish();
@@ -58,7 +59,7 @@ fn bench_metric(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &metric, |b, &metric| {
             let cfg = OptimizeConfig::default()
                 .with_l_selection(LReductionPolicy::new(120).with_metric(metric));
-            b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+            b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
         });
     }
     group.finish();
@@ -73,15 +74,15 @@ fn bench_global_prune(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full", |b| {
         let cfg = OptimizeConfig::default();
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     group.bench_function("group_only", |b| {
         let cfg = OptimizeConfig::default().with_global_l_prune(Some(0));
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     group.bench_function("off", |b| {
         let cfg = OptimizeConfig::default().with_global_l_prune(None);
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! (The full paper-scale sweeps are produced by the `tables` binary.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_bench::optimize_best;
+use fp_optimizer::OptimizeConfig;
 use fp_select::LReductionPolicy;
 use fp_tree::generators::{self, module_library};
 
@@ -13,12 +14,12 @@ fn bench_table1_fp1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_fp1_n16");
     group.sample_size(10);
     group.bench_function("plain", |b| {
-        b.iter(|| optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits"));
     });
     for k1 in [16usize, 24, 32] {
         group.bench_with_input(BenchmarkId::new("r_selection", k1), &k1, |b, &k1| {
             let cfg = OptimizeConfig::default().with_r_selection(k1);
-            b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+            b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
         });
     }
     group.finish();
@@ -30,11 +31,11 @@ fn bench_table2_fp2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_fp2_n12");
     group.sample_size(10);
     group.bench_function("plain", |b| {
-        b.iter(|| optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits"));
     });
     group.bench_function("r_selection_k24", |b| {
         let cfg = OptimizeConfig::default().with_r_selection(24);
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     group.finish();
 }
@@ -46,14 +47,14 @@ fn bench_table4_fp4(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("r_selection_k24", |b| {
         let cfg = OptimizeConfig::default().with_r_selection(24);
-        b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+        b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
     });
     for k2 in [1000usize, 2000] {
         group.bench_with_input(BenchmarkId::new("r_plus_l", k2), &k2, |b, &k2| {
             let cfg = OptimizeConfig::default()
                 .with_r_selection(24)
                 .with_l_selection(LReductionPolicy::new(k2).with_prefilter(10_000));
-            b.iter(|| optimize(&bench.tree, &lib, &cfg).expect("fits"));
+            b.iter(|| optimize_best(&bench.tree, &lib, &cfg).expect("fits"));
         });
     }
     group.finish();

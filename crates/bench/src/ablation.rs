@@ -5,7 +5,9 @@
 //! Criterion benches.
 
 use fp_geom::LShape;
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_optimizer::OptimizeConfig;
+
+use crate::optimize_best;
 use fp_select::greedy::{greedy_l_selection, greedy_r_selection};
 use fp_select::{
     heuristic_l_reduction, l_selection, l_selection_error, r_selection, LReductionPolicy, Metric,
@@ -59,7 +61,7 @@ pub fn theta_sweep(
         .map(|&theta| {
             let cfg = OptimizeConfig::default()
                 .with_l_selection(LReductionPolicy::new(k2).with_theta(theta));
-            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            let out = optimize_best(&bench.tree, &lib, &cfg).expect("fits default budget");
             (
                 theta,
                 out.area,
@@ -89,7 +91,7 @@ pub fn prefilter_sweep(
                 policy = policy.with_prefilter(s);
             }
             let cfg = OptimizeConfig::default().with_l_selection(policy);
-            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            let out = optimize_best(&bench.tree, &lib, &cfg).expect("fits default budget");
             (
                 s,
                 out.area,
@@ -111,7 +113,7 @@ pub fn metric_sweep(n: usize, seed: u64, k2: usize) -> Vec<(Metric, u128, usize)
         .map(|metric| {
             let cfg = OptimizeConfig::default()
                 .with_l_selection(LReductionPolicy::new(k2).with_metric(metric));
-            let out = optimize(&bench.tree, &lib, &cfg).expect("fits default budget");
+            let out = optimize_best(&bench.tree, &lib, &cfg).expect("fits default budget");
             (metric, out.area, out.stats.peak_impls)
         })
         .collect()

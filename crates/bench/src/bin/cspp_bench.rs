@@ -32,11 +32,12 @@
 use std::time::Instant;
 
 use fp_bench::ablation::synthetic_rlist;
+use fp_bench::optimize_best;
 use fp_cspp::{
     constrained_shortest_path, constrained_shortest_path_scratch, solve_selection,
     solve_selection_dense, CsppScratch, Dag, FlatKernel,
 };
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_optimizer::OptimizeConfig;
 use fp_select::{LReductionPolicy, RErrorPrefix};
 use fp_tree::generators::{self, module_library, Benchmark};
 
@@ -180,7 +181,7 @@ fn run_floorplan(
     config: &OptimizeConfig,
 ) -> FloorplanCell {
     let library = module_library(&bench.tree, n, 7);
-    let out = optimize(&bench.tree, &library, config).expect("benchmark run solves");
+    let out = optimize_best(&bench.tree, &library, config).expect("benchmark run solves");
     let total_millis = out.stats.elapsed.as_secs_f64() * 1e3;
     let selection_millis = out.stats.selection_time.as_secs_f64() * 1e3;
     FloorplanCell {

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use fp_optimizer::{optimize_frontier, optimize_frontier_cached, OptimizeConfig, SharedBlockCache};
+use fp_optimizer::{OptimizeConfig, Optimizer, SharedBlockCache};
 use fp_tree::generators;
 use fp_tree::{FloorplanTree, ModuleLibrary};
 
@@ -71,7 +71,9 @@ fn run_bench(
     reps: usize,
 ) -> BenchRow {
     // Single-threaded baseline pins the expected result.
-    let baseline = optimize_frontier(tree, library, &OptimizeConfig::default().with_threads(1))
+    let baseline = Optimizer::new(tree, library)
+        .config(&OptimizeConfig::default().with_threads(1))
+        .run_frontier()
         .expect("baseline solves");
     let area = baseline.outcome(0).area;
 
@@ -81,7 +83,10 @@ fn run_bench(
 
         let cold_millis = time_best(reps, || {
             let start = Instant::now();
-            let frontier = optimize_frontier(tree, library, &config).expect("cold run solves");
+            let frontier = Optimizer::new(tree, library)
+                .config(&config)
+                .run_frontier()
+                .expect("cold run solves");
             let millis = start.elapsed().as_secs_f64() * 1e3;
             assert_eq!(
                 frontier.envelopes(),
@@ -93,13 +98,19 @@ fn run_bench(
 
         // Prime a cache at this thread count, then time fully warm runs.
         let cache = SharedBlockCache::new(CACHE_BYTES);
-        let primed =
-            optimize_frontier_cached(tree, library, &config, &cache).expect("priming run solves");
+        let primed = Optimizer::new(tree, library)
+            .config(&config)
+            .cache(&cache)
+            .run_frontier()
+            .expect("priming run solves");
         assert_eq!(primed.envelopes(), baseline.envelopes());
         let warm_millis = time_best(reps, || {
             let start = Instant::now();
-            let frontier =
-                optimize_frontier_cached(tree, library, &config, &cache).expect("warm run solves");
+            let frontier = Optimizer::new(tree, library)
+                .config(&config)
+                .cache(&cache)
+                .run_frontier()
+                .expect("warm run solves");
             let millis = start.elapsed().as_secs_f64() * 1e3;
             assert_eq!(frontier.stats().cache_misses, 0, "{name}: warm run missed");
             assert_eq!(frontier.envelopes(), baseline.envelopes());

@@ -59,7 +59,8 @@ fn main() {
 /// of an L-shaped block in general is much larger than that of a
 /// rectangular block". Measured per benchmark.
 fn census() {
-    use fp_optimizer::{optimize, OptimizeConfig};
+    use fp_bench::optimize_best;
+    use fp_optimizer::OptimizeConfig;
     use fp_tree::generators::module_library;
     println!("== Census: largest block implementation counts (plain runs) ==");
     println!(
@@ -72,7 +73,7 @@ fn census() {
         (generators::fp3(), 8),
     ] {
         let lib = module_library(&bench.tree, n, 7);
-        let out = optimize(&bench.tree, &lib, &OptimizeConfig::default())
+        let out = optimize_best(&bench.tree, &lib, &OptimizeConfig::default())
             .expect("plain run fits the default budget at these sizes");
         let ratio = out.stats.max_l_block as f64 / out.stats.max_r_block.max(1) as f64;
         println!(
@@ -314,7 +315,8 @@ fn table4_report() {
 /// Writes the harness's figure SVGs to `target/figures/`.
 fn figures() {
     use fp_bench::chart::{Chart, Scale, Series};
-    use fp_optimizer::{optimize, OptimizeConfig};
+    use fp_bench::optimize_best;
+    use fp_optimizer::OptimizeConfig;
     use fp_select::curve::r_selection_curve;
     use fp_tree::generators::module_library;
 
@@ -353,12 +355,12 @@ fn figures() {
     // Figure B: memory (M) and area excess vs K1 on FP1.
     let bench = generators::fp1();
     let lib = module_library(&bench.tree, 16, 101);
-    let plain = optimize(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits");
+    let plain = optimize_best(&bench.tree, &lib, &OptimizeConfig::default()).expect("fits");
     let mut mem = Vec::new();
     let mut excess = Vec::new();
     for k1 in [8usize, 12, 16, 24, 32, 48] {
         let cfg = OptimizeConfig::default().with_r_selection(k1);
-        let out = optimize(&bench.tree, &lib, &cfg).expect("fits");
+        let out = optimize_best(&bench.tree, &lib, &cfg).expect("fits");
         mem.push((k1 as f64, out.stats.peak_impls as f64));
         excess.push((
             k1 as f64,

@@ -1,0 +1,203 @@
+//! `trace_bench` — the observability layer's overhead budget, measured.
+//!
+//! For each paper benchmark the same optimization runs three ways:
+//!
+//! * **disabled** — no tracer attached (the facade's `None` fast path);
+//! * **unsubscribed** — `Tracer::unsubscribed()` attached: every
+//!   emission site takes one extra branch but records nothing. This is
+//!   the mode production callers pay for "tracing available but off";
+//! * **subscribed** — `Tracer::new()` attached and drained per run:
+//!   the full ring-buffer collection cost.
+//!
+//! Writes `BENCH_trace.json`. In full mode the run *fails* (exit 1)
+//! when the unsubscribed overhead exceeds the gate on any benchmark
+//! long enough to measure reliably — the observability layer's
+//! contract is that instrumenting the hot path costs nothing when
+//! nobody is listening.
+//!
+//! `--smoke` runs FP1–FP2 with one rep for CI schema validation; the
+//! gate is reported but not enforced (millisecond runs are
+//! noise-bound).
+
+use std::time::Instant;
+
+use fp_optimizer::{OptimizeConfig, Optimizer, Tracer};
+use fp_tree::generators;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Repetitions per (bench, mode) cell; the minimum is kept.
+const REPS: usize = 5;
+/// Maximum tolerated unsubscribed overhead, percent.
+const OVERHEAD_GATE_PCT: f64 = 2.0;
+/// Benchmarks faster than this are too noisy to gate on.
+const GATE_FLOOR_MILLIS: f64 = 10.0;
+
+struct Row {
+    name: String,
+    disabled_millis: f64,
+    unsubscribed_millis: f64,
+    subscribed_millis: f64,
+    subscribed_events: usize,
+}
+
+fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(run());
+    }
+    best
+}
+
+fn run_bench(name: &str, tree: &FloorplanTree, library: &ModuleLibrary, reps: usize) -> Row {
+    let config = OptimizeConfig::default().with_r_selection(8);
+    // Warm-up: page in the instance and the allocator.
+    let baseline = Optimizer::new(tree, library)
+        .config(&config)
+        .run_best()
+        .expect("baseline solves");
+
+    let disabled_millis = time_best(reps, || {
+        let start = Instant::now();
+        let out = Optimizer::new(tree, library)
+            .config(&config)
+            .run_best()
+            .expect("disabled run solves");
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            out.area, baseline.area,
+            "{name}: tracing changed the result"
+        );
+        millis
+    });
+
+    let muted = Tracer::unsubscribed();
+    let unsubscribed_millis = time_best(reps, || {
+        let start = Instant::now();
+        let out = Optimizer::new(tree, library)
+            .config(&config)
+            .tracer(&muted)
+            .run_best()
+            .expect("unsubscribed run solves");
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            out.area, baseline.area,
+            "{name}: tracing changed the result"
+        );
+        millis
+    });
+
+    let mut subscribed_events = 0usize;
+    let subscribed_millis = time_best(reps, || {
+        let tracer = Tracer::new();
+        let start = Instant::now();
+        let out = Optimizer::new(tree, library)
+            .config(&config)
+            .tracer(&tracer)
+            .run_best()
+            .expect("subscribed run solves");
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            out.area, baseline.area,
+            "{name}: tracing changed the result"
+        );
+        subscribed_events = tracer.drain().events.len();
+        millis
+    });
+
+    Row {
+        name: name.to_owned(),
+        disabled_millis,
+        unsubscribed_millis,
+        subscribed_millis,
+        subscribed_events,
+    }
+}
+
+fn overhead_pct(base: f64, with: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (with - base) / base
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_trace.json".to_owned();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("trace_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("trace_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (reps, n): (usize, usize) = if smoke { (1, 4) } else { (REPS, 8) };
+    let mut cases = vec![("FP1", generators::fp1()), ("FP2", generators::fp2())];
+    if !smoke {
+        cases.push(("FP3", generators::fp3()));
+        cases.push(("FP4", generators::fp4()));
+    }
+
+    let mut rows = Vec::new();
+    for (name, bench) in &cases {
+        eprintln!("trace_bench: running {name} (n = {n}, reps = {reps}) ...");
+        let library = generators::module_library(&bench.tree, n, 7);
+        rows.push(run_bench(name, &bench.tree, &library, reps));
+    }
+
+    let mut gate_failures = Vec::new();
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let pct = overhead_pct(row.disabled_millis, row.unsubscribed_millis);
+            if !smoke && row.disabled_millis >= GATE_FLOOR_MILLIS && pct > OVERHEAD_GATE_PCT {
+                gate_failures.push(format!("{}: {pct:.2}%", row.name));
+            }
+            format!(
+                "    {{\"bench\": \"{}\", \"disabled_millis\": {:.3}, \
+                 \"unsubscribed_millis\": {:.3}, \"subscribed_millis\": {:.3}, \
+                 \"unsubscribed_overhead_pct\": {:.2}, \"subscribed_events\": {}}}",
+                row.name,
+                row.disabled_millis,
+                row.unsubscribed_millis,
+                row.subscribed_millis,
+                pct,
+                row.subscribed_events,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"trace_overhead\",\n  \"smoke\": {},\n  \"reps\": {},\n  \
+         \"overhead_gate_pct\": {:.1},\n  \"results\": [\n{}\n  ]\n}}\n",
+        smoke,
+        reps,
+        OVERHEAD_GATE_PCT,
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("trace_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprint!("{json}");
+    eprintln!("trace_bench: wrote {out_path}");
+
+    if !gate_failures.is_empty() {
+        eprintln!(
+            "trace_bench: FAIL: unsubscribed tracing overhead over {OVERHEAD_GATE_PCT}%: {}",
+            gate_failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -28,9 +28,24 @@ pub mod chart;
 use std::time::Duration;
 
 use fp_geom::Area;
-use fp_optimizer::{optimize, optimize_report, OptError, OptimizeConfig, Outcome};
+use fp_optimizer::{OptError, OptimizeConfig, Optimizer, Outcome};
 use fp_select::LReductionPolicy;
 use fp_tree::generators::{module_library, Benchmark};
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Facade shorthand shared by the bench suites: optimize `tree` over
+/// `library` under `config` and return the best outcome.
+///
+/// # Errors
+///
+/// Any [`OptError`] the engine reports.
+pub fn optimize_best(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Outcome, OptError> {
+    Optimizer::new(tree, library).config(config).run_best()
+}
 
 /// The emulated machine memory: the paper's failed runs report
 /// `M > 8·10⁵` implementations.
@@ -145,7 +160,7 @@ impl RunResult {
 #[must_use]
 pub fn run_case(bench: &Benchmark, n: usize, seed: u64, config: &OptimizeConfig) -> RunResult {
     let library = module_library(&bench.tree, n, seed);
-    match optimize(&bench.tree, &library, config) {
+    match optimize_best(&bench.tree, &library, config) {
         Ok(Outcome { area, stats, .. }) => RunResult::Done {
             m: stats.peak_impls,
             cpu: stats.elapsed,
@@ -180,7 +195,7 @@ pub fn run_case_rescued(
 ) -> RunResult {
     let library = module_library(&bench.tree, n, seed);
     let cfg = config.clone().with_auto_rescue(true);
-    match optimize_report(&bench.tree, &library, &cfg) {
+    match Optimizer::new(&bench.tree, &library).config(&cfg).run() {
         Ok(report) => {
             let degradations = report.degradations().len();
             let Outcome { area, stats, .. } = report.outcome;

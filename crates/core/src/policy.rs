@@ -283,6 +283,17 @@ impl LReductionPolicy {
         self.workers
     }
 
+    /// The worker-pool size this policy resolves to, under the one
+    /// documented precedence order: an explicit
+    /// [`LReductionPolicy::with_workers`] budget, else the
+    /// `FP_LRED_WORKERS` environment variable, else the machine's
+    /// available parallelism. (When a reduction actually runs, the pool
+    /// is additionally capped at the block's list count.)
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.unwrap_or_else(default_lred_workers)
+    }
+
     /// Applies the policy to a block's L-list set: `Some(kept positions per
     /// list)` when the reduction fires, `None` otherwise.
     #[must_use]

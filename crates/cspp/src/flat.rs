@@ -52,6 +52,58 @@ pub enum FlatKernel {
     DivideConquer,
 }
 
+/// Cumulative solver-dispatch counters of one scratch arena: how many
+/// solves each kernel ran, and how often a D&C-eligible instance failed
+/// Monge certification and fell back to the dense layer.
+///
+/// Plain integers bumped at dispatch time — no allocation, so the
+/// warmed-arena zero-allocation gate is unaffected. Callers that want
+/// per-call attribution snapshot before a solve and subtract with
+/// [`SolveCounters::since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounters {
+    /// Solves through the legacy adjacency-list DAG DP
+    /// ([`crate::constrained_shortest_path_scratch`]).
+    pub legacy: u64,
+    /// Flat-kernel solves that ran the exhaustive dense layer.
+    pub dense: u64,
+    /// Flat-kernel solves that ran divide-and-conquer row minima after
+    /// full Monge certification.
+    pub divide_conquer: u64,
+    /// Dense solves that were D&C-eligible (`n`, `k` over the engage
+    /// thresholds) but failed certification.
+    pub monge_fallbacks: u64,
+}
+
+impl SolveCounters {
+    /// The counter deltas accumulated since `earlier` (a snapshot of
+    /// the same arena; saturates defensively on mismatched snapshots).
+    #[must_use]
+    pub fn since(&self, earlier: SolveCounters) -> SolveCounters {
+        SolveCounters {
+            legacy: self.legacy.saturating_sub(earlier.legacy),
+            dense: self.dense.saturating_sub(earlier.dense),
+            divide_conquer: self.divide_conquer.saturating_sub(earlier.divide_conquer),
+            monge_fallbacks: self.monge_fallbacks.saturating_sub(earlier.monge_fallbacks),
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (merges the paired arenas of
+    /// a [`SelectScratch`]).
+    pub fn absorb(&mut self, other: SolveCounters) {
+        self.legacy += other.legacy;
+        self.dense += other.dense;
+        self.divide_conquer += other.divide_conquer;
+        self.monge_fallbacks += other.monge_fallbacks;
+    }
+
+    /// Total solves dispatched.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.legacy + self.dense + self.divide_conquer
+    }
+}
+
 /// The result of a [`solve_selection`] call. The optimal path itself is
 /// left in the scratch arena ([`CsppScratch::path`]) so the hot path
 /// never allocates a fresh vector.
@@ -106,6 +158,8 @@ pub struct CsppScratch<W> {
     pub(crate) min_len: Vec<u32>,
     /// Maximum edge count of any `s → v` path.
     pub(crate) max_len: Vec<u32>,
+    /// Solver-dispatch telemetry (see [`SolveCounters`]).
+    pub(crate) counters: SolveCounters,
 }
 
 impl<W> Default for CsppScratch<W> {
@@ -122,6 +176,7 @@ impl<W> Default for CsppScratch<W> {
             topo: Vec::new(),
             min_len: Vec::new(),
             max_len: Vec::new(),
+            counters: SolveCounters::default(),
         }
     }
 }
@@ -139,6 +194,14 @@ impl<W> CsppScratch<W> {
     #[must_use]
     pub fn path(&self) -> &[usize] {
         &self.path
+    }
+
+    /// Cumulative solver-dispatch counters of every solve routed
+    /// through this arena.
+    #[inline]
+    #[must_use]
+    pub fn counters(&self) -> SolveCounters {
+        self.counters
     }
 }
 
@@ -158,6 +221,14 @@ impl SelectScratch {
     #[must_use]
     pub fn new() -> Self {
         SelectScratch::default()
+    }
+
+    /// The merged solver-dispatch counters of both arenas.
+    #[must_use]
+    pub fn counters(&self) -> SolveCounters {
+        let mut merged = self.int.counters();
+        merged.absorb(self.float.counters());
+        merged
     }
 }
 
@@ -207,10 +278,16 @@ pub fn solve_selection<W: Weight, F: Fn(usize, usize) -> W>(
     w: F,
     scratch: &mut CsppScratch<W>,
 ) -> Result<SelectionOutcome<W>, CsppError> {
-    let use_dc = n >= DC_MIN_N && k >= DC_MIN_K && monge_certified(n, &w);
+    let eligible = n >= DC_MIN_N && k >= DC_MIN_K;
+    let use_dc = eligible && monge_certified(n, &w);
     let kernel = if use_dc {
+        scratch.counters.divide_conquer += 1;
         FlatKernel::DivideConquer
     } else {
+        scratch.counters.dense += 1;
+        if eligible {
+            scratch.counters.monge_fallbacks += 1;
+        }
         FlatKernel::Dense
     };
     solve_selection_with(n, k, w, scratch, kernel)
@@ -229,6 +306,7 @@ pub fn solve_selection_dense<W: Weight, F: Fn(usize, usize) -> W>(
     w: F,
     scratch: &mut CsppScratch<W>,
 ) -> Result<SelectionOutcome<W>, CsppError> {
+    scratch.counters.dense += 1;
     solve_selection_with(n, k, w, scratch, FlatKernel::Dense)
 }
 

@@ -46,7 +46,7 @@ mod weight;
 pub use dag::{Dag, EdgeError};
 pub use flat::{
     monge_certified, solve_selection, solve_selection_dense, CsppScratch, FlatKernel,
-    SelectScratch, SelectionOutcome,
+    SelectScratch, SelectionOutcome, SolveCounters,
 };
 pub use solve::{
     constrained_shortest_path, constrained_shortest_path_scratch, constrained_shortest_paths_all_k,

@@ -144,6 +144,7 @@ pub fn constrained_shortest_path_scratch<W: Weight>(
     k: usize,
     scratch: &mut CsppScratch<W>,
 ) -> Result<W, CsppError> {
+    scratch.counters.legacy += 1;
     let n = g.vertex_count();
     for x in [s, t] {
         if x >= n {

@@ -15,9 +15,12 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use fp_cspp::CsppScratch;
+use fp_geom::Area;
 use fp_memo::{Fingerprinter, MemoCache, Weigh};
+use fp_optimizer::{PhaseName, SolverKind, TraceEvent, Tracer};
 use fp_select::curve::r_selection_within;
-use fp_select::r_selection;
+use fp_select::r_selection_scratch;
 use fp_tree::fingerprint::module_fingerprint;
 use fp_tree::format::{parse_instance, write_instance, FloorplanInstance};
 use fp_tree::{Module, ModuleLibrary};
@@ -40,6 +43,9 @@ usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [options]
   --cache-bytes <n>  memoize per-module selections (content-addressed);
                      libraries with repeated shape lists — and rescue
                      retries — compress each distinct list once
+  --trace <path>     write the structured event stream (per-module
+                     selections, cache traffic, phase spans) as JSON
+                     lines to <path>
   -o <out.fpt>       output path (default: stdout)
 
 exit codes:
@@ -99,11 +105,17 @@ fn selection_key(module: &Module, mode: Mode) -> u128 {
 
 /// One module's selection, computed fresh. Parsed modules always have
 /// non-empty lists; keep the module unchanged if selection ever
-/// declines anyway.
-fn compute_selection(module: &Module, mode: Mode) -> CachedSelection {
+/// declines anyway. The fixed-k path routes through a caller-owned
+/// arena so repeated selections reuse buffers (and so the arena's
+/// solver-dispatch counters attribute each selection to a kernel).
+fn compute_selection(
+    module: &Module,
+    mode: Mode,
+    scratch: &mut CsppScratch<Area>,
+) -> CachedSelection {
     let list = module.implementations();
     let fresh = match mode {
-        Mode::FixedK(k) => r_selection(list, k),
+        Mode::FixedK(k) => r_selection_scratch(list, k, scratch),
         Mode::MaxError(e) => r_selection_within(list, e),
     };
     match fresh {
@@ -118,6 +130,68 @@ fn compute_selection(module: &Module, mode: Mode) -> CachedSelection {
     }
 }
 
+/// [`compute_selection`] with a [`TraceEvent::Selection`] span emitted
+/// per module. `--max-error` selections run outside the CSPP arena
+/// (the error-budget sweep never builds the DAG) and are reported as a
+/// single legacy solve.
+fn compute_selection_traced(
+    module: &Module,
+    mode: Mode,
+    scratch: &mut CsppScratch<Area>,
+    node: u32,
+    worker: u32,
+    tracer: &Tracer,
+) -> CachedSelection {
+    if !tracer.is_subscribed() {
+        return compute_selection(module, mode, scratch);
+    }
+    let n = module.implementations().len();
+    let before = scratch.counters();
+    let started = Instant::now();
+    let selection = compute_selection(module, mode, scratch);
+    let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let delta = scratch.counters().since(before);
+    let k = match mode {
+        Mode::FixedK(k) => k,
+        Mode::MaxError(_) => selection.positions.as_ref().map_or(n, Vec::len),
+    };
+    let solver = if delta.divide_conquer > 0 {
+        SolverKind::Monge
+    } else if delta.dense > 0 {
+        SolverKind::Dense
+    } else {
+        SolverKind::Legacy
+    };
+    let legacy = if delta.total() == 0 {
+        1
+    } else {
+        delta.legacy as u32
+    };
+    tracer.emit(
+        worker,
+        TraceEvent::Selection {
+            node,
+            solver,
+            legacy,
+            dense: delta.dense as u32,
+            monge: delta.divide_conquer as u32,
+            k: k as u32,
+            n: n as u32,
+            dur_ns,
+        },
+    );
+    if delta.monge_fallbacks > 0 {
+        tracer.emit(
+            worker,
+            TraceEvent::MongeFallback {
+                node,
+                count: delta.monge_fallbacks as u32,
+            },
+        );
+    }
+    selection
+}
+
 /// Compresses the library in three deterministic phases: serial cache
 /// lookups, per-module selection of the misses (fanned across `threads`
 /// workers — selections are independent, so the output is identical at
@@ -127,7 +201,9 @@ fn compress(
     mode: Mode,
     cache: &mut Option<SelectionCache>,
     threads: usize,
+    tracer: &Tracer,
 ) -> Compressed {
+    let run_started = Instant::now();
     let modules: Vec<&Module> = instance.library.iter().collect();
     let n = modules.len();
     let keys: Vec<Option<u128>> = modules
@@ -139,17 +215,27 @@ fn compress(
     let mut selections: Vec<Option<CachedSelection>> = vec![None; n];
     let mut cache_reused = 0usize;
     if let Some(cache) = cache.as_mut() {
-        for (selection, key) in selections.iter_mut().zip(&keys) {
+        for (i, (selection, key)) in selections.iter_mut().zip(&keys).enumerate() {
             if let Some(key) = key {
                 if let Some(hit) = cache.get(key).cloned() {
+                    tracer.emit(
+                        0,
+                        TraceEvent::CacheHit {
+                            node: i as u32,
+                            len: hit.positions.as_ref().map_or(0, Vec::len) as u32,
+                        },
+                    );
                     *selection = Some(hit);
                     cache_reused += 1;
+                } else {
+                    tracer.emit(0, TraceEvent::CacheMiss { node: i as u32 });
                 }
             }
         }
     }
 
     // Phase 2: compute the misses, on worker threads when asked.
+    let selection_started = Instant::now();
     let misses: Vec<usize> = (0..n).filter(|&i| selections[i].is_none()).collect();
     let workers = threads.clamp(1, misses.len().max(1));
     if workers > 1 {
@@ -157,12 +243,24 @@ fn compress(
         let computed: Vec<(usize, CachedSelection)> = std::thread::scope(|scope| {
             let handles: Vec<_> = misses
                 .chunks(chunk_len)
-                .map(|chunk| {
+                .enumerate()
+                .map(|(w, chunk)| {
                     let modules = &modules;
                     scope.spawn(move || {
+                        let mut scratch = CsppScratch::new();
                         chunk
                             .iter()
-                            .map(|&i| (i, compute_selection(modules[i], mode)))
+                            .map(|&i| {
+                                let selection = compute_selection_traced(
+                                    modules[i],
+                                    mode,
+                                    &mut scratch,
+                                    i as u32,
+                                    w as u32 + 1,
+                                    tracer,
+                                );
+                                (i, selection)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -178,11 +276,26 @@ fn compress(
     }
     // Serial path, and the backstop for anything a worker failed to
     // deliver: compute in place.
+    let mut scratch = CsppScratch::new();
     for (i, selection) in selections.iter_mut().enumerate() {
         if selection.is_none() {
-            *selection = Some(compute_selection(modules[i], mode));
+            *selection = Some(compute_selection_traced(
+                modules[i],
+                mode,
+                &mut scratch,
+                i as u32,
+                0,
+                tracer,
+            ));
         }
     }
+    tracer.emit(
+        0,
+        TraceEvent::Phase {
+            name: PhaseName::Selection,
+            dur_ns: u64::try_from(selection_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        },
+    );
 
     // Phase 3: in-order cache insertion and library assembly.
     let mut before = 0usize;
@@ -218,6 +331,13 @@ fn compress(
             }
         })
         .collect();
+    tracer.emit(
+        0,
+        TraceEvent::Phase {
+            name: PhaseName::Run,
+            dur_ns: u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        },
+    );
     Compressed {
         library,
         before,
@@ -237,6 +357,7 @@ fn main() -> ExitCode {
     let mut auto_rescue = false;
     let mut deadline: Option<Duration> = None;
     let mut threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -267,6 +388,13 @@ fn main() -> ExitCode {
                 }
             }
             "--auto-rescue" => auto_rescue = true,
+            "--trace" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --trace needs a value");
+                    return ExitCode::from(2);
+                };
+                trace_path = Some(v.clone());
+            }
             "--threads" => {
                 let Some(v) = it.next() else {
                     eprintln!("fpcompress: --threads expects a value\n");
@@ -370,7 +498,12 @@ fn main() -> ExitCode {
         }
         config.resolved_threads()
     };
-    let mut result = compress(&instance, mode, &mut cache, threads);
+    let tracer = if trace_path.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::unsubscribed()
+    };
+    let mut result = compress(&instance, mode, &mut cache, threads, &tracer);
     // Degrade-and-retry: halve k until the output fits the cap.
     while let Some(cap) = max_impls {
         if result.after <= cap {
@@ -408,7 +541,7 @@ fn main() -> ExitCode {
             result.after
         );
         mode = Mode::FixedK(next_k);
-        result = compress(&instance, mode, &mut cache, threads);
+        result = compress(&instance, mode, &mut cache, threads, &tracer);
     }
     if let Some(d) = deadline {
         if start.elapsed() > d {
@@ -437,6 +570,27 @@ fn main() -> ExitCode {
             }
         }
         None => print!("{out_text}"),
+    }
+    if let Some(path) = &trace_path {
+        let trace = tracer.drain();
+        let mut buf: Vec<u8> = Vec::new();
+        if let Err(e) = trace.write_jsonl(&mut buf) {
+            eprintln!("fpcompress: cannot serialize trace: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("fpcompress: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "fpcompress: trace: wrote {} events to {path}{}",
+            trace.events.len(),
+            if trace.dropped > 0 {
+                format!(" ({} dropped at capacity)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
     }
     eprintln!(
         "fpcompress: {} -> {} implementations across {} modules (total staircase error {})",

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fp_optimizer::{optimize_report, FaultPlan, OptError, OptimizeConfig};
+use fp_optimizer::{FaultPlan, OptError, OptimizeConfig, Optimizer, Tracer};
 use fp_select::LReductionPolicy;
 use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::layout::realize;
@@ -55,6 +55,12 @@ session options:
                      fpserved protocol, one response per line on stdout;
                      no <design> argument is needed in this mode
 
+observability options:
+  --trace <path>     write the run's structured event stream as JSON
+                     lines (join/selection/cache/steal/rescue events)
+  --profile          print a per-phase wall-time tree with % shares
+                     (restructure / enumerate / selection / trace-back)
+
 output options:
   --ascii            print the layout as ASCII art
   --svg <path>       write the layout as SVG
@@ -86,6 +92,8 @@ struct Args {
     objective: fp_optimizer::Objective,
     cache_bytes: Option<usize>,
     session: Option<String>,
+    trace: Option<String>,
+    profile: bool,
     ascii: bool,
     svg: Option<String>,
     dot: Option<String>,
@@ -111,6 +119,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         objective: fp_optimizer::Objective::MinArea,
         cache_bytes: None,
         session: None,
+        trace: None,
+        profile: false,
         ascii: false,
         svg: None,
         dot: None,
@@ -189,6 +199,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--session" => args.session = Some(value("--session")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--profile" => args.profile = true,
             "--parallel" => args.parallel = true,
             "--threads" => {
                 args.threads = Some(
@@ -359,12 +371,45 @@ fn main() -> ExitCode {
     }
 
     let cache = args.cache_bytes.map(fp_optimizer::shared_cache);
-    let report = match match &cache {
-        Some(cache) => {
-            fp_optimizer::optimize_report_cached(&instance.tree, &instance.library, &config, cache)
+    // The tracer is only subscribed (and only costs anything) when an
+    // observability flag asks for the event stream.
+    let tracer = if args.trace.is_some() || args.profile {
+        Tracer::new()
+    } else {
+        Tracer::unsubscribed()
+    };
+    let mut optimizer = Optimizer::new(&instance.tree, &instance.library)
+        .config(&config)
+        .tracer(&tracer);
+    if let Some(cache) = &cache {
+        optimizer = optimizer.cache(cache);
+    }
+    let result = optimizer.run();
+    let trace = tracer.drain();
+    if let Some(path) = &args.trace {
+        let mut buf: Vec<u8> = Vec::new();
+        if let Err(e) = trace.write_jsonl(&mut buf) {
+            eprintln!("fpopt: cannot render trace: {e}");
+            return ExitCode::FAILURE;
         }
-        None => optimize_report(&instance.tree, &instance.library, &config),
-    } {
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: wrote {} events to {path}{}",
+            trace.events.len(),
+            if trace.dropped > 0 {
+                format!(" ({} dropped at capacity)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if args.profile {
+        eprint!("{}", trace.profile());
+    }
+    let report = match result {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fpopt: {e}");

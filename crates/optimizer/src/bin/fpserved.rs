@@ -22,6 +22,12 @@
 //! A `{"method": "shutdown"}` request (or stdin EOF) drains: no new
 //! work is accepted, in-flight requests finish and their responses are
 //! written, then the process exits 0.
+//!
+//! The TCP port doubles as a Prometheus scrape target: a connection
+//! whose first line is `GET /metrics ...` receives a one-shot HTTP
+//! response with the text exposition of the server's counters (the
+//! same numbers as the JSON `{"method": "metrics"}` request) and is
+//! then closed.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -48,6 +54,9 @@ usage: fpserved [options]
   --cache-bytes <n>    block-cache byte budget (default 67108864)
 
 protocol: one JSON request per line; see the README's fpserved section.
+observability: `{\"method\": \"metrics\"}` returns the server counters;
+with --tcp, an HTTP `GET /metrics` on the same port returns the
+Prometheus text exposition.
 statuses reuse the fpopt exit-code contract:
   0 success             4  budget exhausted / injected fault
   1 internal error      5  deadline exceeded or cancelled
@@ -155,6 +164,26 @@ impl Watchdog {
             }
             std::thread::sleep(Duration::from_millis(2));
         });
+    }
+}
+
+/// Answers a plain HTTP `GET` probe on the JSON-lines TCP port: the
+/// `/metrics` target gets the Prometheus text exposition, anything
+/// else a 404. One response per connection, then close.
+fn respond_http(out: &Arc<Mutex<dyn Write + Send>>, state: &ServeState, request_line: &str) {
+    let target = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if target == "/metrics" {
+        ("200 OK", state.metrics().render_prometheus())
+    } else {
+        ("404 Not Found", "only /metrics is served here\n".to_owned())
+    };
+    let reply = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if let Ok(mut out) = out.lock() {
+        let _ = out.write_all(reply.as_bytes());
+        let _ = out.flush();
     }
 }
 
@@ -309,6 +338,7 @@ fn serve_tcp(
             Ok((stream, _peer)) => {
                 let tx = tx.clone();
                 let shutdown = Arc::clone(&shutdown);
+                let state = Arc::clone(&state);
                 connections.push(std::thread::spawn(move || {
                     // A short read timeout lets the reader notice a
                     // drain request between lines.
@@ -351,6 +381,12 @@ fn serve_tcp(
                                 return;
                             }
                             Ok(_) => {
+                                // A first line spelling an HTTP request
+                                // marks a scrape probe, not a JSON peer.
+                                if line_no == 0 && line.trim_start().starts_with("GET ") {
+                                    respond_http(&out, &state, &line);
+                                    return;
+                                }
                                 line_no += 1;
                                 if !submit(&line, line_no) {
                                     return;

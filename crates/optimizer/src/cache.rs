@@ -123,6 +123,13 @@ pub trait BlockCache {
     fn lookup(&self, key: Fingerprint) -> Option<CachedBlock>;
     /// Stores a committed block under `key`.
     fn store(&self, key: Fingerprint, value: CachedBlock);
+    /// Lifetime counters, when the implementation tracks them. The
+    /// engine's tracer snapshots these around stores to attribute
+    /// evictions to the run that caused them; `None` (the default)
+    /// simply disables eviction events.
+    fn stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// The standard shared cache: a byte-budgeted LRU sharded across
@@ -226,6 +233,10 @@ impl BlockCache for SharedBlockCache {
 
     fn store(&self, key: Fingerprint, value: CachedBlock) {
         self.inner.insert(key, value);
+    }
+
+    fn stats(&self) -> Option<CacheStats> {
+        Some(SharedBlockCache::stats(self))
     }
 }
 

@@ -11,9 +11,57 @@ use fp_tree::layout::Assignment;
 use fp_tree::restructure::{restructure, BinNode, BinOp, BinaryTree};
 use fp_tree::{FloorplanTree, ModuleLibrary, TreeError};
 
+use fp_trace::{PhaseName, SolverKind, TraceEvent, Tracer};
+
 use crate::cache::{policy_fingerprint, BlockCache, CachedBlock, CachedShapes};
 use crate::governor::{CancelToken, FaultPlan, Governor, ResourceGovernor, Trip};
 use crate::joins;
+
+/// The engine-internal tracing handle: an optional [`Tracer`] plus the
+/// emitting worker's id, threaded by value through the hot path. With
+/// no tracer attached every emission is a `None` check; with an
+/// unsubscribed tracer it is one more branch — either way cheap enough
+/// to instrument unconditionally.
+#[derive(Clone, Copy)]
+pub(crate) struct TraceCtx<'a> {
+    pub(crate) tracer: Option<&'a Tracer>,
+    pub(crate) worker: u32,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// The main-thread context over an optional tracer.
+    pub(crate) fn main(tracer: Option<&'a Tracer>) -> Self {
+        TraceCtx { tracer, worker: 0 }
+    }
+
+    /// Whether events are actually recorded (gates the few emission
+    /// sites that must compute extra data, like cache-eviction deltas).
+    #[inline]
+    pub(crate) fn on(&self) -> bool {
+        self.tracer.is_some_and(Tracer::is_subscribed)
+    }
+
+    #[inline]
+    pub(crate) fn emit(&self, event: TraceEvent) {
+        if let Some(tracer) = self.tracer {
+            tracer.emit(self.worker, event);
+        }
+    }
+
+    /// Emits a completed [`PhaseName`] span.
+    #[inline]
+    pub(crate) fn phase(&self, name: PhaseName, dur: Duration) {
+        self.emit(TraceEvent::Phase {
+            name,
+            dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
+}
+
+/// Saturating nanosecond conversion for event fields.
+pub(crate) fn ns(dur: Duration) -> u64 {
+    u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// What the optimizer minimizes over the root implementation list.
 ///
@@ -222,6 +270,35 @@ impl OptimizeConfig {
     pub fn with_max_rescue_attempts(mut self, attempts: u32) -> Self {
         self.max_rescue_attempts = attempts;
         self
+    }
+
+    /// Resolves every environment-sensitive knob to the concrete value
+    /// the run will actually execute with. This is the **one documented
+    /// precedence order** for configuration:
+    ///
+    /// 1. **explicit builder values** — [`OptimizeConfig::with_threads`]
+    ///    and [`LReductionPolicy::with_workers`] always win;
+    /// 2. **environment variables** — `$FP_THREADS` seeds the scheduler
+    ///    default and `$FP_LRED_WORKERS` the standalone L-reduction
+    ///    pool (both read once per process);
+    /// 3. **defaults** — a serial scheduler, an all-cores L-reduction
+    ///    pool.
+    ///
+    /// In the returned config `threads` is never `0` (available
+    /// parallelism is resolved at call time) and any L-policy carries a
+    /// concrete worker budget. Binaries, the batch server, and trace
+    /// metadata echo this resolved config instead of re-deriving the
+    /// precedence themselves. Resolution never changes results — only
+    /// scheduling.
+    #[must_use]
+    pub fn resolve(&self) -> OptimizeConfig {
+        let mut resolved = self.clone();
+        resolved.threads = self.resolved_threads();
+        resolved.l_policy = self.l_policy.clone().map(|l| {
+            let workers = l.resolved_workers();
+            l.with_workers(workers)
+        });
+        resolved
     }
 }
 
@@ -710,6 +787,141 @@ impl Frontier {
     }
 }
 
+/// The unified optimizer facade: one builder over every execution
+/// regime — serial, work-stealing parallel, content-addressed caching,
+/// and structured tracing — replacing the historical `optimize*`
+/// entry-point family.
+///
+/// ```
+/// use fp_optimizer::{Optimizer, OptimizeConfig};
+/// use fp_tree::generators;
+///
+/// let bench = generators::fp1();
+/// let library = generators::module_library(&bench.tree, 4, 1);
+/// let outcome = Optimizer::new(&bench.tree, &library)
+///     .config(&OptimizeConfig::default())
+///     .run_best()?;
+/// assert!(outcome.area > 0);
+/// # Ok::<(), fp_optimizer::OptError>(())
+/// ```
+///
+/// Attach a cache ([`Optimizer::cache`]) to memoize committed join
+/// blocks across runs, and a tracer ([`Optimizer::tracer`]) to collect
+/// the structured event stream (joins, selections with solver kinds,
+/// cache traffic, steals, rescues) for JSON-lines export, metrics, or
+/// the per-phase profiler. Neither changes results: every combination
+/// is byte-identical to the plain serial run.
+#[derive(Clone)]
+pub struct Optimizer<'a> {
+    tree: &'a FloorplanTree,
+    library: &'a ModuleLibrary,
+    config: OptimizeConfig,
+    cache: Option<&'a (dyn BlockCache + Sync)>,
+    tracer: Option<&'a Tracer>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// A facade over `tree`/`library` with the default configuration,
+    /// no cache, and no tracer.
+    #[must_use]
+    pub fn new(tree: &'a FloorplanTree, library: &'a ModuleLibrary) -> Self {
+        Optimizer {
+            tree,
+            library,
+            config: OptimizeConfig::default(),
+            cache: None,
+            tracer: None,
+        }
+    }
+
+    /// Sets the run configuration (cloned; the builder owns its copy).
+    #[must_use]
+    pub fn config(mut self, config: &OptimizeConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Attaches a content-addressed [`BlockCache`], consulted before —
+    /// and populated after — every join block build. Every join block
+    /// of the restructured tree is addressed by its canonical
+    /// fingerprint (child fingerprints + combining op + module lists +
+    /// [`policy_fingerprint`]); a hit short-circuits the block's
+    /// enumeration, pruning, and selection entirely. Caching is
+    /// disabled for the remainder of a run at the first resource trip:
+    /// rescued blocks are built under tightened policies that no longer
+    /// match the address salt.
+    #[must_use]
+    pub fn cache(mut self, cache: &'a (dyn BlockCache + Sync)) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a [`Tracer`]: the run emits the structured event
+    /// vocabulary (`join_start`/`join_done`, `selection` with the CSPP
+    /// solver kind, `cache_hit`/`miss`/`evict`, `steal`,
+    /// `replay_discard`, `rescue`, `deadline_trip`, phase spans) into
+    /// its ring buffers. An unsubscribed tracer costs one branch per
+    /// emission site; tracing never changes results.
+    #[must_use]
+    pub fn tracer(mut self, tracer: &'a Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Runs the bottom-up enumeration and returns the whole solution
+    /// [`Frontier`] (every non-redundant root implementation), for
+    /// querying several objectives/outlines from one enumeration.
+    ///
+    /// # Errors
+    ///
+    /// See [`OptError`]; outline infeasibility is deferred to
+    /// [`Frontier::best`].
+    pub fn run_frontier(self) -> Result<Frontier, OptError> {
+        optimize_frontier_impl(
+            self.tree,
+            self.library,
+            &self.config,
+            self.cache,
+            self.tracer,
+        )
+    }
+
+    /// Runs the optimizer and returns the best implementation under the
+    /// configured objective and outline (exact when no selection policy
+    /// is configured; near-optimal under selection), together with a
+    /// realizable per-module assignment and run statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`OptError`]; in particular [`OptError::OutOfMemory`]
+    /// reproduces the paper's memory-exhaustion failures
+    /// deterministically.
+    pub fn run_best(self) -> Result<Outcome, OptError> {
+        let objective = self.config.objective;
+        let outline = self.config.outline;
+        let tc = TraceCtx::main(self.tracer);
+        let frontier = self.run_frontier()?;
+        let started = Instant::now();
+        let best = frontier.best(objective, outline);
+        tc.phase(PhaseName::TraceBack, started.elapsed());
+        best
+    }
+
+    /// Like [`Optimizer::run_best`], wrapped in a [`RunOutcome`]
+    /// carrying the fault-tolerance report (whether the rescue ladder
+    /// fired, and the full degradation log in
+    /// `outcome.stats.degradations`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run_best`].
+    pub fn run(self) -> Result<RunOutcome, OptError> {
+        let outcome = self.run_best()?;
+        let rescued = !outcome.stats.degradations.is_empty();
+        Ok(RunOutcome { outcome, rescued })
+    }
+}
+
 /// Runs the bottom-up enumeration and returns the whole solution
 /// [`Frontier`] instead of a single outcome.
 ///
@@ -717,34 +929,37 @@ impl Frontier {
 ///
 /// Same as [`optimize`], except outline infeasibility (which is deferred
 /// to [`Frontier::best`]).
+#[deprecated(
+    note = "use the unified facade: `Optimizer::new(tree, library).config(config).run_frontier()`"
+)]
 pub fn optimize_frontier(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
 ) -> Result<Frontier, OptError> {
-    optimize_frontier_impl(tree, library, config, None)
+    Optimizer::new(tree, library).config(config).run_frontier()
 }
 
-/// Like [`optimize_frontier`], but with a content-addressed [`BlockCache`]
-/// consulted before — and populated after — every join block build.
-///
-/// Every join block of the restructured tree is addressed by its
-/// canonical fingerprint (child fingerprints + combining op + module
-/// lists + [`policy_fingerprint`]); a hit short-circuits the block's
-/// enumeration, pruning, and selection entirely. Caching is disabled for
-/// the remainder of a run at the first resource trip: rescued blocks are
-/// built under tightened policies that no longer match the address salt.
+/// Like [`optimize_frontier`], but with a content-addressed
+/// [`BlockCache`] consulted before — and populated after — every join
+/// block build; see [`Optimizer::cache`].
 ///
 /// # Errors
 ///
 /// Same as [`optimize_frontier`].
+#[deprecated(
+    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run_frontier()`"
+)]
 pub fn optimize_frontier_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
     cache: &(dyn BlockCache + Sync),
 ) -> Result<Frontier, OptError> {
-    optimize_frontier_impl(tree, library, config, Some(cache))
+    Optimizer::new(tree, library)
+        .config(config)
+        .cache(cache)
+        .run_frontier()
 }
 
 fn optimize_frontier_impl(
@@ -752,6 +967,7 @@ fn optimize_frontier_impl(
     library: &ModuleLibrary,
     config: &OptimizeConfig,
     cache: Option<&(dyn BlockCache + Sync)>,
+    tracer: Option<&Tracer>,
 ) -> Result<Frontier, OptError> {
     let start = Instant::now();
     if config.resolved_threads() > 1 {
@@ -759,11 +975,13 @@ fn optimize_frontier_impl(
         // instead — tiny trees, invalid inputs (whose error order the
         // serial loop defines), or a run whose serial schedule would trip
         // a resource limit (the rescue ladder is inherently sequential).
-        if let Some(frontier) = crate::sched::try_parallel(tree, library, config, cache, start)? {
+        if let Some(frontier) =
+            crate::sched::try_parallel(tree, library, config, cache, start, tracer)?
+        {
             return Ok(frontier);
         }
     }
-    serial_frontier(tree, library, config, cache, start)
+    serial_frontier(tree, library, config, cache, start, TraceCtx::main(tracer))
 }
 
 /// The classic serial bottom-up pass. `start` is the run's epoch: the
@@ -775,8 +993,11 @@ pub(crate) fn serial_frontier(
     config: &OptimizeConfig,
     cache: Option<&(dyn BlockCache + Sync)>,
     start: Instant,
+    tc: TraceCtx<'_>,
 ) -> Result<Frontier, OptError> {
+    let restructure_started = Instant::now();
     let bin = restructure(tree)?;
+    tc.phase(PhaseName::Restructure, restructure_started.elapsed());
     if bin.is_empty() {
         return Err(OptError::EmptyFloorplan);
     }
@@ -817,6 +1038,14 @@ pub(crate) fn serial_frontier(
     }
 
     // Bottom-up evaluation over the topologically ordered binary nodes.
+    let enumerate_started = Instant::now();
+    // Eviction counts are only observable as deltas of the cache's own
+    // stats, and only worth polling when someone is listening.
+    let mut last_evictions = if tc.on() {
+        cache.and_then(BlockCache::stats).map(|s| s.evictions)
+    } else {
+        None
+    };
     let mut store: Vec<Shapes> = Vec::with_capacity(bin.len());
     for (index, node) in bin.nodes().iter().enumerate() {
         // Input validation happens once, outside the retry loop: these
@@ -842,10 +1071,15 @@ pub(crate) fn serial_frontier(
                         if let Some(hit) = cache.lookup(fp) {
                             gov.charge(hit.len())?;
                             stats.cache_hits += 1;
+                            tc.emit(TraceEvent::CacheHit {
+                                node: index as u32,
+                                len: hit.len() as u32,
+                            });
                             stats.degradations.extend(hit.degradations.iter().cloned());
                             return cached_to_shapes(hit.shapes);
                         }
                         stats.cache_misses += 1;
+                        tc.emit(TraceEvent::CacheMiss { node: index as u32 });
                     }
                 }
                 match node {
@@ -873,10 +1107,19 @@ pub(crate) fn serial_frontier(
                             &mut gov,
                             &mut stats,
                             &mut scratch,
+                            index as u32,
+                            tc,
                         )?;
                         if caching {
                             if let (Some(cache), Some(fp)) = (cache, node_fp) {
                                 cache.store(fp, shapes_to_cached(&shapes));
+                                if let Some(last) = last_evictions.as_mut() {
+                                    let now = cache.stats().map_or(*last, |s| s.evictions);
+                                    if now > *last {
+                                        tc.emit(TraceEvent::CacheEvict { count: now - *last });
+                                        *last = now;
+                                    }
+                                }
                             }
                         }
                         Ok(shapes)
@@ -889,6 +1132,12 @@ pub(crate) fn serial_frontier(
                     caching = false;
                     let live_at_trip = gov.live();
                     gov.abort_block();
+                    if matches!(trip, Trip::Deadline { .. }) {
+                        tc.emit(TraceEvent::DeadlineTrip {
+                            block: index as u32,
+                            elapsed_ns: ns(start.elapsed()),
+                        });
+                    }
                     let exhausted = stats.rescue_attempts >= config.max_rescue_attempts;
                     if !(config.auto_rescue && trip.is_rescuable()) || exhausted {
                         return Err(trip_error(trip, index, live_at_trip, gov.peak()));
@@ -906,8 +1155,16 @@ pub(crate) fn serial_frontier(
                         if parent.get(b).is_none_or(|&p| p < index) {
                             continue; // consumed: its parent's prov needs it
                         }
-                        reselect_committed(shapes, &eff, &mut gov, &mut stats, &mut scratch)
-                            .map_err(|t| trip_error(t, b, gov.live(), gov.peak()))?;
+                        reselect_committed(
+                            shapes,
+                            &eff,
+                            &mut gov,
+                            &mut stats,
+                            &mut scratch,
+                            b as u32,
+                            tc,
+                        )
+                        .map_err(|t| trip_error(t, b, gov.live(), gov.peak()))?;
                     }
                     // Progress requires a new rung on the ladder or freed
                     // capacity from the operand re-selection; with neither,
@@ -930,6 +1187,11 @@ pub(crate) fn serial_frontier(
                             limit: gov.limit().unwrap_or(0),
                         },
                     };
+                    tc.emit(TraceEvent::Rescue {
+                        block: index as u32,
+                        attempt: stats.rescue_attempts,
+                        live: live_at_trip as u64,
+                    });
                     stats.degradations.push(DegradationEvent {
                         block: index,
                         attempt: stats.rescue_attempts,
@@ -971,6 +1233,12 @@ pub(crate) fn serial_frontier(
     stats.final_impls = gov.live();
     stats.generated = gov.generated();
     stats.elapsed = start.elapsed();
+    // Enumerate covers the whole bottom-up pass; Selection (accumulated
+    // by `select_shapes`) and Run mirror `RunStats` exactly so the
+    // profile reconciles with the stats report to the nanosecond.
+    tc.phase(PhaseName::Enumerate, enumerate_started.elapsed());
+    tc.phase(PhaseName::Selection, stats.selection_time);
+    tc.phase(PhaseName::Run, stats.elapsed);
 
     // Map tree leaf node ids to assignment slots once, for all trace-backs.
     let leaves = tree.leaves_in_order();
@@ -993,20 +1261,22 @@ pub(crate) fn serial_frontier(
 /// Returns the best implementation of the whole floorplan under the
 /// configured objective and outline (exact when no selection policy is
 /// configured; near-optimal under selection) together with a realizable
-/// per-module assignment and run statistics. Use [`optimize_frontier`] to
-/// query several objectives/outlines from one enumeration.
+/// per-module assignment and run statistics. Use [`Optimizer::run_frontier`]
+/// to query several objectives/outlines from one enumeration.
 ///
 /// # Errors
 ///
 /// See [`OptError`]; in particular [`OptError::OutOfMemory`] reproduces
 /// the paper's memory-exhaustion failures deterministically.
+#[deprecated(
+    note = "use the unified facade: `Optimizer::new(tree, library).config(config).run_best()`"
+)]
 pub fn optimize(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
 ) -> Result<Outcome, OptError> {
-    let frontier = optimize_frontier(tree, library, config)?;
-    frontier.best(config.objective, config.outline)
+    Optimizer::new(tree, library).config(config).run_best()
 }
 
 /// Like [`optimize`], but wraps the result in a [`RunOutcome`] carrying
@@ -1016,47 +1286,55 @@ pub fn optimize(
 /// # Errors
 ///
 /// Same as [`optimize`].
+#[deprecated(note = "use the unified facade: `Optimizer::new(tree, library).config(config).run()`")]
 pub fn optimize_report(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
 ) -> Result<RunOutcome, OptError> {
-    let outcome = optimize(tree, library, config)?;
-    let rescued = !outcome.stats.degradations.is_empty();
-    Ok(RunOutcome { outcome, rescued })
+    Optimizer::new(tree, library).config(config).run()
 }
 
 /// Like [`optimize`], but consulting (and populating) a content-addressed
-/// [`BlockCache`]; see [`optimize_frontier_cached`].
+/// [`BlockCache`]; see [`Optimizer::cache`].
 ///
 /// # Errors
 ///
 /// Same as [`optimize`].
+#[deprecated(
+    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run_best()`"
+)]
 pub fn optimize_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
     cache: &(dyn BlockCache + Sync),
 ) -> Result<Outcome, OptError> {
-    let frontier = optimize_frontier_cached(tree, library, config, cache)?;
-    frontier.best(config.objective, config.outline)
+    Optimizer::new(tree, library)
+        .config(config)
+        .cache(cache)
+        .run_best()
 }
 
 /// Like [`optimize_report`], but consulting (and populating) a
-/// content-addressed [`BlockCache`]; see [`optimize_frontier_cached`].
+/// content-addressed [`BlockCache`]; see [`Optimizer::cache`].
 ///
 /// # Errors
 ///
 /// Same as [`optimize`].
+#[deprecated(
+    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run()`"
+)]
 pub fn optimize_report_cached(
     tree: &FloorplanTree,
     library: &ModuleLibrary,
     config: &OptimizeConfig,
     cache: &(dyn BlockCache + Sync),
 ) -> Result<RunOutcome, OptError> {
-    let outcome = optimize_cached(tree, library, config, cache)?;
-    let rescued = !outcome.stats.degradations.is_empty();
-    Ok(RunOutcome { outcome, rescued })
+    Optimizer::new(tree, library)
+        .config(config)
+        .cache(cache)
+        .run()
 }
 
 /// Snapshot of a committed block for the cross-run cache (clones the
@@ -1225,7 +1503,15 @@ pub(crate) fn build_join<G: Governor>(
     gov: &mut G,
     stats: &mut RunStats,
     scratch: &mut JoinScratch,
+    node: u32,
+    tc: TraceCtx<'_>,
 ) -> Result<Shapes, Trip> {
+    tc.emit(TraceEvent::JoinStart {
+        node,
+        left_len: left.len() as u32,
+        right_len: right.len() as u32,
+    });
+    let started = tc.on().then(Instant::now);
     let mut shapes = match op {
         BinOp::Slice(how) => slice_join(left, right, how, gov, scratch)?,
         BinOp::WheelS1 => wheel_s1(left, right, gov)?,
@@ -1234,8 +1520,15 @@ pub(crate) fn build_join<G: Governor>(
         BinOp::WheelS4 => wheel_s4(left, right, gov)?,
     };
     global_l_prune(&mut shapes, config, gov, scratch);
-    let dropped = select_shapes(&mut shapes, eff, stats, scratch)?;
+    let dropped = select_shapes(&mut shapes, eff, stats, scratch, node, tc)?;
     gov.discard(dropped);
+    if let Some(started) = started {
+        tc.emit(TraceEvent::JoinDone {
+            node,
+            out_len: shapes.len() as u32,
+            dur_ns: ns(started.elapsed()),
+        });
+    }
     Ok(shapes)
 }
 
@@ -1517,18 +1810,25 @@ fn select_shapes(
     eff: &EffectivePolicies,
     stats: &mut RunStats,
     scratch: &mut JoinScratch,
+    node: u32,
+    tc: TraceCtx<'_>,
 ) -> Result<usize, Trip> {
     match shapes {
         Shapes::Rect { list, prov } => {
             let Some(policy) = &eff.r else {
                 return Ok(0);
             };
+            let n = list.len();
+            let before = scratch.cspp.int.counters();
             let started = Instant::now();
             let sel = policy.apply_scratch(list, &mut scratch.cspp.int);
-            stats.selection_time += started.elapsed();
+            let spent = started.elapsed();
+            stats.selection_time += spent;
+            let delta = scratch.cspp.int.counters().since(before);
             let Some(sel) = sel else {
                 return Ok(0);
             };
+            emit_selection(tc, node, delta, policy.limit(), n, spent);
             let dropped = list.len() - sel.positions.len();
             let new_list = list.subset(&sel.positions);
             let new_prov = if prov.is_empty() {
@@ -1557,12 +1857,17 @@ fn select_shapes(
                 lists.push(list);
             }
             let set = LListSet::from_lists(lists);
+            let n = l_shapes.len();
+            let before = scratch.cspp.counters();
             let started = Instant::now();
             let kept = policy.apply_scratch(&set, &mut scratch.cspp);
-            stats.selection_time += started.elapsed();
+            let spent = started.elapsed();
+            stats.selection_time += spent;
+            let delta = scratch.cspp.counters().since(before);
             let Some(kept) = kept else {
                 return Ok(0);
             };
+            emit_selection(tc, node, delta, policy.k2(), n, spent);
             let mut new_shapes = Vec::new();
             let mut new_prov = Vec::new();
             let mut new_chains = Vec::new();
@@ -1587,6 +1892,49 @@ fn select_shapes(
     }
 }
 
+/// Emits the `selection` (and, when any solves fell back, the
+/// `monge_fallback`) event for one *effective* policy application —
+/// declined applications (the block already fits) stay silent, so the
+/// event count equals `RunStats::{r,l}_reductions`. The dominant solver
+/// kind is classified from the arena's dispatch-counter delta; the
+/// error-budget R mode bypasses the arena entirely (zero delta), which
+/// reports as the legacy kind.
+fn emit_selection(
+    tc: TraceCtx<'_>,
+    node: u32,
+    delta: fp_cspp::SolveCounters,
+    k: usize,
+    n: usize,
+    dur: Duration,
+) {
+    if !tc.on() {
+        return;
+    }
+    let solver = if delta.divide_conquer > 0 {
+        SolverKind::Monge
+    } else if delta.dense > 0 {
+        SolverKind::Dense
+    } else {
+        SolverKind::Legacy
+    };
+    tc.emit(TraceEvent::Selection {
+        node,
+        solver,
+        legacy: delta.legacy as u32,
+        dense: delta.dense as u32,
+        monge: delta.divide_conquer as u32,
+        k: k as u32,
+        n: n as u32,
+        dur_ns: ns(dur),
+    });
+    if delta.monge_fallbacks > 0 {
+        tc.emit(TraceEvent::MongeFallback {
+            node,
+            count: delta.monge_fallbacks as u32,
+        });
+    }
+}
+
 /// Rescue-ladder shrink of an already *committed* block: re-applies the
 /// tightened policies to its list and releases the dropped storage.
 ///
@@ -1600,13 +1948,15 @@ fn reselect_committed(
     gov: &mut ResourceGovernor,
     stats: &mut RunStats,
     scratch: &mut JoinScratch,
+    node: u32,
+    tc: TraceCtx<'_>,
 ) -> Result<(), Trip> {
     if let Shapes::Rect { list, prov } = shapes {
         if prov.is_empty() && !list.is_empty() {
             *prov = (0..list.len() as u32).map(|i| (i, 0)).collect();
         }
     }
-    let dropped = select_shapes(shapes, eff, stats, scratch)?;
+    let dropped = select_shapes(shapes, eff, stats, scratch, node, tc)?;
     gov.release(dropped);
     Ok(())
 }
@@ -1670,6 +2020,24 @@ mod tests {
     use fp_tree::layout::{realize, Assignment as LayoutAssignment};
     use fp_tree::{generators, Chirality, CutDir, Module};
     use proptest::prelude::*;
+
+    /// Facade shorthand; shadows the deprecated glob-imported wrapper.
+    fn optimize(
+        tree: &FloorplanTree,
+        lib: &ModuleLibrary,
+        config: &OptimizeConfig,
+    ) -> Result<Outcome, OptError> {
+        Optimizer::new(tree, lib).config(config).run_best()
+    }
+
+    /// Facade shorthand; shadows the deprecated glob-imported wrapper.
+    fn optimize_frontier(
+        tree: &FloorplanTree,
+        lib: &ModuleLibrary,
+        config: &OptimizeConfig,
+    ) -> Result<Frontier, OptError> {
+        Optimizer::new(tree, lib).config(config).run_frontier()
+    }
 
     fn run(tree: &FloorplanTree, lib: &ModuleLibrary, config: &OptimizeConfig) -> Outcome {
         optimize(tree, lib, config).expect("optimization succeeds")

@@ -14,12 +14,14 @@
 //! # Example
 //!
 //! ```
-//! use fp_optimizer::{optimize, OptimizeConfig};
+//! use fp_optimizer::{Optimizer, OptimizeConfig};
 //! use fp_tree::generators;
 //!
 //! let bench = generators::fp1();
 //! let lib = generators::module_library(&bench.tree, 3, 1);
-//! let outcome = optimize(&bench.tree, &lib, &OptimizeConfig::default())?;
+//! let outcome = Optimizer::new(&bench.tree, &lib)
+//!     .config(&OptimizeConfig::default())
+//!     .run_best()?;
 //! assert!(outcome.area > 0);
 //! // The assignment realizes to a layout with exactly the reported area.
 //! let layout = fp_tree::layout::realize(&bench.tree, &lib, &outcome.assignment)
@@ -28,9 +30,17 @@
 //! assert_eq!(layout.validate(), None);
 //! # Ok::<(), fp_optimizer::OptError>(())
 //! ```
+//!
+//! # Observability
+//!
+//! Attach an [`fp_trace::Tracer`] via [`Optimizer::tracer`] to collect
+//! the structured event stream (joins, CSPP solver selections, cache
+//! traffic, steals, rescues, phase spans). Drain it into a
+//! [`fp_trace::Trace`] for JSON-lines export, a [`TraceSummary`] of
+//! counters, or a [`ProfileReport`] per-phase wall-time breakdown.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod direct;
@@ -47,10 +57,20 @@ pub use cache::{
     policy_fingerprint, shared_cache, shared_cache_stats, BlockCache, CachedBlock, CachedShapes,
     SharedBlockCache,
 };
+#[allow(deprecated)]
 pub use engine::{
     optimize, optimize_cached, optimize_frontier, optimize_frontier_cached, optimize_report,
-    optimize_report_cached, DegradationEvent, Frontier, Objective, OptError, OptimizeConfig,
-    Outcome, RescueReason, RunOutcome, RunStats,
+    optimize_report_cached,
+};
+pub use engine::{
+    DegradationEvent, Frontier, Objective, OptError, OptimizeConfig, Optimizer, Outcome,
+    RescueReason, RunOutcome, RunStats,
 };
 pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 pub use meter::{BudgetExhausted, MemoryMeter};
+// Re-exported so downstream users of the facade's tracing hooks don't
+// need a direct `fp-trace` dependency.
+pub use fp_trace::{
+    MetricsRegistry, MetricsSnapshot, PhaseName, ProfileReport, SolverKind, Trace, TraceEvent,
+    TraceSummary, Tracer,
+};

@@ -47,13 +47,14 @@ use std::time::{Duration, Instant};
 
 use fp_memo::Fingerprint;
 use fp_shape::JoinScratch;
+use fp_trace::{PhaseName, TraceEvent, Tracer};
 use fp_tree::restructure::{BinNode, BinaryTree};
 use fp_tree::{FloorplanTree, ModuleLibrary};
 
 use crate::cache::{policy_fingerprint, BlockCache};
 use crate::engine::{
     build_join, cached_to_shapes, shapes_to_cached, trip_error, EffectivePolicies, Frontier,
-    OptError, OptimizeConfig, RunStats, Shapes,
+    OptError, OptimizeConfig, RunStats, Shapes, TraceCtx,
 };
 use crate::governor::{CancelToken, FaultPlan, Governor, Trip, POLL_INTERVAL};
 
@@ -277,8 +278,10 @@ impl WorkQueues {
     }
 
     /// Next task for worker `w`: own deque (back), injector, then a
-    /// steal sweep over the other workers' deques (front).
-    fn pop(&self, w: usize) -> Option<usize> {
+    /// steal sweep over the other workers' deques (front). Successful
+    /// steals are traced (thief/victim use the trace worker ids, where
+    /// 0 is the main thread).
+    fn pop(&self, w: usize, tc: TraceCtx<'_>) -> Option<usize> {
         if let Some(local) = self.locals.get(w) {
             if let Some(node) = lock_or_recover(local).pop_back() {
                 return Some(node);
@@ -292,6 +295,10 @@ impl WorkQueues {
             let victim = (w + off) % n;
             if let Some(local) = self.locals.get(victim) {
                 if let Some(node) = lock_or_recover(local).pop_front() {
+                    tc.emit(TraceEvent::Steal {
+                        worker: w as u32 + 1,
+                        victim: victim as u32 + 1,
+                    });
                     return Some(node);
                 }
             }
@@ -315,6 +322,7 @@ struct WorkerCtx<'a> {
     remaining: &'a AtomicUsize,
     queues: &'a WorkQueues,
     shared: &'a SharedGov,
+    tracer: Option<&'a Tracer>,
 }
 
 /// Attempts the parallel pass. `Ok(None)` means "run the serial path
@@ -327,8 +335,15 @@ pub(crate) fn try_parallel(
     config: &OptimizeConfig,
     cache: Option<&(dyn BlockCache + Sync)>,
     start: Instant,
+    tracer: Option<&Tracer>,
 ) -> Result<Option<Frontier>, OptError> {
+    // The main thread's trace context; the serial path re-emits its own
+    // phases after a fallback, so every `Ok(None)` route below must emit
+    // a `replay_discard` (when work was attempted) and no phase spans.
+    let tc = TraceCtx::main(tracer);
+    let restructure_started = Instant::now();
     let bin = fp_tree::restructure::restructure(tree)?;
+    let restructure_spent = restructure_started.elapsed();
     if bin.is_empty() {
         return Err(OptError::EmptyFloorplan);
     }
@@ -396,6 +411,7 @@ pub(crate) fn try_parallel(
         l: config.l_policy.clone().map(|l| l.with_workers(1)),
     };
 
+    let enumerate_started = Instant::now();
     {
         let bin = &bin;
         let parent: &[usize] = &parent;
@@ -420,6 +436,7 @@ pub(crate) fn try_parallel(
                     remaining,
                     queues,
                     shared,
+                    tracer,
                 };
                 let spawned = std::thread::Builder::new()
                     .name(format!("fp-sched-{w}"))
@@ -437,14 +454,27 @@ pub(crate) fn try_parallel(
     // Non-rescuable trips (deadline, cancellation, broken invariants)
     // are final and reported directly; anything rescuable routes through
     // the serial path so the rescue ladder replays exactly.
+    let enumerate_spent = enumerate_started.elapsed();
     let first = lock_or_recover(&shared.first_trip).take();
     if let Some((trip, block)) = first {
         if trip.is_rescuable() {
+            tc.emit(TraceEvent::ReplayDiscard {
+                reason: "trip_fallback",
+            });
             return Ok(None);
+        }
+        if let Trip::Deadline { elapsed, .. } = &trip {
+            tc.emit(TraceEvent::DeadlineTrip {
+                block: block as u32,
+                elapsed_ns: crate::engine::ns(*elapsed),
+            });
         }
         return Err(trip_error(trip, block, 0, 0));
     }
     if shared.fallback.load(Ordering::Acquire) {
+        tc.emit(TraceEvent::ReplayDiscard {
+            reason: "trip_fallback",
+        });
         return Ok(None);
     }
 
@@ -458,18 +488,28 @@ pub(crate) fn try_parallel(
             }
             // A hole without a recorded trip is a scheduling bug; the
             // serial path still produces the correct result.
-            None => return Ok(None),
+            None => {
+                tc.emit(TraceEvent::ReplayDiscard {
+                    reason: "worker_hole",
+                });
+                return Ok(None);
+            }
         }
     }
 
+    let replay_started = Instant::now();
     let Some(mut stats) =
         replay_serial_schedule(&bin, &store, &mut accs, config, fps, cache.is_some())
     else {
         // The serial schedule would have tripped: discard everything
         // (including buffered cache stores) and let the serial path
         // reproduce the trip/rescue byte-for-byte.
+        tc.emit(TraceEvent::ReplayDiscard {
+            reason: "replay_budget",
+        });
         return Ok(None);
     };
+    let replay_spent = replay_started.elapsed();
 
     if !matches!(store.get(bin.root()), Some(Shapes::Rect { .. })) {
         return Err(OptError::Internal {
@@ -480,6 +520,7 @@ pub(crate) fn try_parallel(
 
     // Clean run: flush the buffered cache stores in tree order — the
     // same insertion order the serial pass would have produced.
+    let flush_started = Instant::now();
     if let (Some(cache), Some(fps)) = (cache, fps) {
         for (i, acc) in accs.iter().enumerate() {
             if acc.store_after_replay {
@@ -489,8 +530,17 @@ pub(crate) fn try_parallel(
             }
         }
     }
+    let flush_spent = flush_started.elapsed();
 
     stats.elapsed = start.elapsed();
+    // Phase spans only on the committed pass (a fallback's serial rerun
+    // emits its own); Selection and Run mirror the replayed `RunStats`.
+    tc.phase(PhaseName::Restructure, restructure_spent);
+    tc.phase(PhaseName::Enumerate, enumerate_spent);
+    tc.phase(PhaseName::Replay, replay_spent);
+    tc.phase(PhaseName::CacheFlush, flush_spent);
+    tc.phase(PhaseName::Selection, stats.selection_time);
+    tc.phase(PhaseName::Run, stats.elapsed);
     let leaves = tree.leaves_in_order();
     let mut slot_of = vec![usize::MAX; tree.len()];
     for (slot, &leaf) in leaves.iter().enumerate() {
@@ -506,13 +556,17 @@ pub(crate) fn try_parallel(
 
 /// One worker: pop ready nodes, build them, complete parents.
 fn worker_loop(w: usize, ctx: WorkerCtx<'_>) {
+    let tc = TraceCtx {
+        tracer: ctx.tracer,
+        worker: w as u32 + 1,
+    };
     let mut scratch = JoinScratch::new();
     let mut idle_spins = 0u32;
     loop {
         if ctx.shared.aborted() {
             return;
         }
-        let Some(index) = ctx.queues.pop(w) else {
+        let Some(index) = ctx.queues.pop(w, tc) else {
             if ctx.remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
@@ -527,7 +581,7 @@ fn worker_loop(w: usize, ctx: WorkerCtx<'_>) {
             continue;
         };
         idle_spins = 0;
-        match build_node(index, &ctx, &mut scratch) {
+        match build_node(index, &ctx, &mut scratch, tc) {
             Ok(built) => {
                 let len = built.acc.final_len;
                 let Some(cell) = ctx.results.get(index) else {
@@ -574,6 +628,7 @@ fn build_node(
     index: usize,
     ctx: &WorkerCtx<'_>,
     scratch: &mut JoinScratch,
+    tc: TraceCtx<'_>,
 ) -> Result<BuiltNode, Trip> {
     ctx.shared.check_realtime(index)?;
     let node = ctx
@@ -603,8 +658,14 @@ fn build_node(
                 if let Some(hit) = cache.lookup(fp) {
                     gov.charge(hit.len())?;
                     acc.initial_hit = true;
+                    tc.emit(TraceEvent::CacheHit {
+                        node: index as u32,
+                        len: hit.len() as u32,
+                    });
                     acc.hit_degradations = hit.degradations.clone();
                     hit_shapes = Some(cached_to_shapes(hit.shapes)?);
+                } else {
+                    tc.emit(TraceEvent::CacheMiss { node: index as u32 });
                 }
             }
             match hit_shapes {
@@ -625,6 +686,8 @@ fn build_node(
                         &mut gov,
                         &mut node_stats,
                         scratch,
+                        index as u32,
+                        tc,
                     )?;
                     acc.r_reductions = node_stats.r_reductions;
                     acc.l_reductions = node_stats.l_reductions;

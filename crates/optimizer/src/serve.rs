@@ -13,8 +13,9 @@
 //! {"id": 1, "method": "optimize", "builtin": "fp1", "n": 8, "k1": 40}
 //! {"id": 2, "method": "optimize", "instance": "module a 2x3\ntree a"}
 //! {"id": 3, "method": "stats"}
-//! {"id": 4, "method": "ping"}
-//! {"id": 5, "method": "shutdown"}
+//! {"id": 4, "method": "metrics"}
+//! {"id": 5, "method": "ping"}
+//! {"id": 6, "method": "shutdown"}
 //! ```
 //!
 //! `optimize` takes either `builtin` (`fig1`, `fp1`…`fp4`, `ami33`,
@@ -41,9 +42,10 @@ use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::generators;
 
 use crate::cache::{shared_cache, shared_cache_stats, SharedBlockCache};
-use crate::engine::{optimize_report_cached, Objective, OptError, OptimizeConfig, RunOutcome};
+use crate::engine::{Objective, OptError, OptimizeConfig, Optimizer, RunOutcome};
 use crate::governor::CancelToken;
 use fp_select::LReductionPolicy;
+use fp_trace::{MetricsRegistry, Tracer};
 
 /// Request handled successfully.
 pub const STATUS_OK: u8 = 0;
@@ -480,6 +482,9 @@ pub enum Method {
     Ping,
     /// Cache/session counters.
     Stats,
+    /// The server-lifetime metrics registry, as structured counters plus
+    /// a Prometheus text rendering.
+    Metrics,
     /// Stop accepting work, drain, exit.
     Shutdown,
 }
@@ -606,6 +611,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let method = match method {
         "ping" => Method::Ping,
         "stats" => Method::Stats,
+        "metrics" => Method::Metrics,
         "shutdown" => Method::Shutdown,
         "optimize" => {
             let mut req = OptimizeRequest {
@@ -667,7 +673,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         }
         other => {
             return Err(bad(format!(
-                "unknown method `{other}` (optimize, ping, stats, shutdown)"
+                "unknown method `{other}` (optimize, ping, stats, metrics, shutdown)"
             )))
         }
     };
@@ -683,6 +689,7 @@ pub struct ServeState {
     cache: SharedBlockCache,
     requests: AtomicU64,
     threads: usize,
+    metrics: MetricsRegistry,
 }
 
 impl ServeState {
@@ -694,6 +701,7 @@ impl ServeState {
             cache: shared_cache(cache_bytes),
             requests: AtomicU64::new(0),
             threads: OptimizeConfig::default().threads,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -723,6 +731,14 @@ impl ServeState {
     #[must_use]
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The server-lifetime metrics registry: every `optimize` request's
+    /// drained trace summary is absorbed here, so its counters are
+    /// exactly the sum of the per-reply `trace_summary` objects.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 }
 
@@ -896,11 +912,26 @@ fn optimize_reply(
         }
     };
     let config = config_for(req, cancel, state.default_threads());
-    match optimize_report_cached(&instance.tree, &instance.library, &config, state.cache()) {
+    // Every optimize request runs under a subscribed tracer: the drained
+    // summary feeds the reply's `trace_summary` and the server-lifetime
+    // metrics registry (so the two always reconcile).
+    let tracer = Tracer::new();
+    let result = Optimizer::new(&instance.tree, &instance.library)
+        .config(&config)
+        .cache(state.cache())
+        .tracer(&tracer)
+        .run();
+    let summary = tracer.drain().summary();
+    state.metrics().absorb(&summary);
+    let eff = config.resolve();
+    match result {
         Ok(RunOutcome { outcome, rescued }) => {
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.str("instance", &instance.name);
-            obj.u64("threads", config.resolved_threads() as u64);
+            obj.u64("threads", eff.threads as u64);
+            if let Some(l) = &eff.l_policy {
+                obj.u64("lred_workers", l.resolved_workers() as u64);
+            }
             obj.u128("area", outcome.area);
             obj.u64("width", outcome.root_impl.w);
             obj.u64("height", outcome.root_impl.h);
@@ -911,6 +942,7 @@ fn optimize_reply(
             obj.u64("cache_misses", outcome.stats.cache_misses as u64);
             obj.bool("rescued", rescued);
             obj.u64("degradations", outcome.stats.degradations.len() as u64);
+            obj.raw("trace_summary", &summary.to_json());
             Reply {
                 json: obj.finish(),
                 status: STATUS_OK,
@@ -921,6 +953,7 @@ fn optimize_reply(
             let status = status_for(&e);
             let mut obj = response_head(id, line_no, status);
             obj.str("error", &e.to_string());
+            obj.raw("trace_summary", &summary.to_json());
             Reply {
                 json: obj.finish(),
                 status,
@@ -983,6 +1016,18 @@ pub fn execute(
             obj.u64("cache_entries", entries as u64);
             obj.u64("cache_bytes", bytes as u64);
             obj.u64("cache_budget_bytes", budget as u64);
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: false,
+            }
+        }
+        Method::Metrics => {
+            let snapshot = state.metrics().snapshot();
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.u64("runs", snapshot.runs);
+            obj.raw("totals", &snapshot.totals.to_json());
+            obj.str("prometheus", &state.metrics().render_prometheus());
             Reply {
                 json: obj.finish(),
                 status: STATUS_OK,
@@ -1141,6 +1186,63 @@ mod tests {
         let req = parse_request(r#"{"method": "optimize", "builtin": "fp1"}"#).expect("valid");
         let reply = execute(&req, 1, &state, Some(token));
         assert_eq!(reply.status, STATUS_DEADLINE, "{}", reply.json);
+    }
+
+    #[test]
+    fn metrics_registry_reconciles_with_trace_summaries() {
+        let state = ServeState::new(16 << 20);
+        let line = r#"{"method": "optimize", "builtin": "fp1", "n": 6, "k1": 6}"#;
+        let mut summed_joins = 0u64;
+        let mut summed_hits = 0u64;
+        let mut summed_selections = 0u64;
+        for line_no in 1..=3 {
+            let reply = handle_line(line, line_no, &state, None);
+            assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+            let doc = parse_json(&reply.json).expect("reply parses");
+            let ts = doc.get("trace_summary").expect("reply has trace_summary");
+            summed_joins += ts.get("joins").and_then(Json::as_u64).expect("joins");
+            summed_hits += ts.get("cache_hits").and_then(Json::as_u64).expect("hits");
+            for solver in ["selections_legacy", "selections_dense", "selections_monge"] {
+                summed_selections += ts.get(solver).and_then(Json::as_u64).expect(solver);
+            }
+        }
+        assert!(summed_joins > 0, "fp1 runs must trace join events");
+        assert!(summed_selections > 0, "k1 runs must trace selections");
+        assert!(summed_hits > 0, "warm repeats must trace cache hits");
+
+        // The registry is the running sum of the per-reply summaries.
+        let metrics = handle_line(r#"{"method": "metrics"}"#, 4, &state, None);
+        assert_eq!(metrics.status, STATUS_OK, "{}", metrics.json);
+        let doc = parse_json(&metrics.json).expect("metrics reply parses");
+        assert_eq!(doc.get("runs").and_then(Json::as_u64), Some(3));
+        let totals = doc.get("totals").expect("metrics reply has totals");
+        assert_eq!(
+            totals.get("joins").and_then(Json::as_u64),
+            Some(summed_joins)
+        );
+        assert_eq!(
+            totals.get("cache_hits").and_then(Json::as_u64),
+            Some(summed_hits)
+        );
+        let prom = doc
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .expect("metrics reply has a Prometheus rendering");
+        assert!(prom.contains("fp_runs_total 3"), "{prom}");
+        assert!(
+            prom.contains(&format!("fp_joins_total {summed_joins}")),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn optimize_reply_echoes_effective_config() {
+        let state = ServeState::new(1 << 20);
+        let line = r#"{"method": "optimize", "builtin": "fig1", "n": 3, "k2": 9, "threads": 1}"#;
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+        assert!(reply.json.contains("\"threads\":1"), "{}", reply.json);
+        assert!(reply.json.contains("\"lred_workers\":"), "{}", reply.json);
     }
 
     #[test]

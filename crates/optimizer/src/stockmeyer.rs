@@ -178,7 +178,16 @@ fn backtrack(solved: &Solved, idx: usize, slot_of: &[usize], choices: &mut Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{optimize, OptimizeConfig};
+    use crate::{OptimizeConfig, Optimizer};
+
+    /// Facade shorthand keeping this module's call sites compact.
+    fn optimize(
+        tree: &fp_tree::FloorplanTree,
+        library: &fp_tree::ModuleLibrary,
+        config: &OptimizeConfig,
+    ) -> Result<crate::Outcome, crate::OptError> {
+        Optimizer::new(tree, library).config(config).run_best()
+    }
     use fp_geom::Rect;
     use fp_tree::layout::realize;
     use fp_tree::{generators, Module};

@@ -42,8 +42,8 @@ use std::fmt;
 
 use fp_memo::CacheStats;
 use fp_optimizer::{
-    optimize_report_cached, shared_cache, shared_cache_stats, OptError, OptimizeConfig, RunOutcome,
-    SharedBlockCache,
+    shared_cache, shared_cache_stats, OptError, OptimizeConfig, Optimizer, RunOutcome,
+    SharedBlockCache, Tracer,
 };
 use fp_tree::{FloorplanTree, Module, ModuleId, ModuleLibrary};
 
@@ -110,6 +110,7 @@ pub struct Session {
     library: ModuleLibrary,
     config: OptimizeConfig,
     cache: SharedBlockCache,
+    tracer: Option<Tracer>,
     runs: u64,
     module_edits: u64,
     policy_edits: u64,
@@ -132,6 +133,7 @@ impl Session {
             library,
             config,
             cache: shared_cache(cache_bytes),
+            tracer: None,
             runs: 0,
             module_edits: 0,
             policy_edits: 0,
@@ -164,6 +166,20 @@ impl Session {
         &self.cache
     }
 
+    /// Attaches a [`Tracer`]: every subsequent [`Session::optimize`]
+    /// emits its structured event stream (joins, selections, cache
+    /// traffic, phase spans) there. The tracer is shared — keep a clone
+    /// and drain it between runs. Pass-through tracing never changes
+    /// results.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer installed by [`Session::set_tracer`], if any.
+    pub fn clear_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
     /// Optimizes the current instance under the current policies,
     /// reusing every cleanly committed block from previous runs.
     ///
@@ -174,7 +190,13 @@ impl Session {
     /// intact: blocks committed before the trip remain reusable.
     pub fn optimize(&mut self) -> Result<RunOutcome, OptError> {
         self.runs += 1;
-        let report = optimize_report_cached(&self.tree, &self.library, &self.config, &self.cache);
+        let mut optimizer = Optimizer::new(&self.tree, &self.library)
+            .config(&self.config)
+            .cache(&self.cache);
+        if let Some(tracer) = &self.tracer {
+            optimizer = optimizer.tracer(tracer);
+        }
+        let report = optimizer.run();
         if let Ok(report) = &report {
             self.last_run_hits = report.outcome.stats.cache_hits;
             self.last_run_misses = report.outcome.stats.cache_misses;

@@ -1,0 +1,227 @@
+//! The in-memory metrics registry: lifetime counters plus latency
+//! histograms, rendered in the Prometheus text exposition format.
+//!
+//! The registry accumulates [`TraceSummary`] values — one per drained
+//! run — so its counters are, by construction, the running sum of the
+//! per-request `trace_summary` objects a server hands back.
+
+use std::sync::Mutex;
+
+use crate::TraceSummary;
+
+/// Upper bounds (seconds) of the latency histogram buckets; the
+/// implicit `+Inf` bucket completes the series.
+const LATENCY_BOUNDS: [f64; 10] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0];
+
+/// One cumulative histogram over [`LATENCY_BOUNDS`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Histogram {
+    counts: [u64; LATENCY_BOUNDS.len() + 1],
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, seconds: f64) {
+        let slot = LATENCY_BOUNDS
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(LATENCY_BOUNDS.len());
+        self.counts[slot] += 1;
+        self.sum += seconds;
+        self.count += 1;
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0;
+        for (slot, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            cumulative += self.counts[slot];
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.counts[LATENCY_BOUNDS.len()];
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    runs: u64,
+    totals: TraceSummary,
+    run_seconds: Histogram,
+    selection_seconds: Histogram,
+}
+
+/// A consistent copy of the registry's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Runs absorbed.
+    pub runs: u64,
+    /// Summed per-run counters.
+    pub totals: TraceSummary,
+}
+
+/// Lifetime counters + histograms for a long-lived process (the batch
+/// server). Thread-safe; absorbing a run and rendering the exposition
+/// both take one short lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Folds one run's summary into the lifetime counters and observes
+    /// its run/selection latencies.
+    pub fn absorb(&self, summary: &TraceSummary) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        inner.runs += 1;
+        let t = &mut inner.totals;
+        t.events += summary.events;
+        t.dropped += summary.dropped;
+        t.joins += summary.joins;
+        t.selections_legacy += summary.selections_legacy;
+        t.selections_dense += summary.selections_dense;
+        t.selections_monge += summary.selections_monge;
+        t.monge_fallbacks += summary.monge_fallbacks;
+        t.cache_hits += summary.cache_hits;
+        t.cache_misses += summary.cache_misses;
+        t.cache_evictions += summary.cache_evictions;
+        t.steals += summary.steals;
+        t.replay_discards += summary.replay_discards;
+        t.rescues += summary.rescues;
+        t.deadline_trips += summary.deadline_trips;
+        t.join_ns += summary.join_ns;
+        t.selection_ns += summary.selection_ns;
+        t.run_ns += summary.run_ns;
+        let run_s = summary.run_ns as f64 / 1e9;
+        let sel_s = summary.selection_ns as f64 / 1e9;
+        inner.run_seconds.observe(run_s);
+        inner.selection_seconds.observe(sel_s);
+    }
+
+    /// A copy of the current counters.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().map_or_else(
+            |_| MetricsSnapshot::default(),
+            |inner| MetricsSnapshot {
+                runs: inner.runs,
+                totals: inner.totals,
+            },
+        )
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Counter names mirror the per-run
+    /// [`TraceSummary`] field names as `fp_<field>_total`, except the
+    /// three solver counters which share `fp_selections_total` with a
+    /// `solver` label.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let Ok(inner) = self.inner.lock() else {
+            return String::new();
+        };
+        let t = &inner.totals;
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "# TYPE fp_runs_total counter");
+        let _ = writeln!(out, "fp_runs_total {}", inner.runs);
+        let _ = writeln!(out, "# TYPE fp_selections_total counter");
+        for (solver, count) in [
+            ("legacy", t.selections_legacy),
+            ("dense", t.selections_dense),
+            ("monge", t.selections_monge),
+        ] {
+            let _ = writeln!(out, "fp_selections_total{{solver=\"{solver}\"}} {count}");
+        }
+        for (name, value) in [
+            ("events", t.events),
+            ("dropped", t.dropped),
+            ("joins", t.joins),
+            ("monge_fallbacks", t.monge_fallbacks),
+            ("cache_hits", t.cache_hits),
+            ("cache_misses", t.cache_misses),
+            ("cache_evictions", t.cache_evictions),
+            ("steals", t.steals),
+            ("replay_discards", t.replay_discards),
+            ("rescues", t.rescues),
+            ("deadline_trips", t.deadline_trips),
+            ("join_ns", t.join_ns),
+            ("selection_ns", t.selection_ns),
+            ("run_ns", t.run_ns),
+        ] {
+            let _ = writeln!(out, "# TYPE fp_{name}_total counter");
+            let _ = writeln!(out, "fp_{name}_total {value}");
+        }
+        inner
+            .run_seconds
+            .render("fp_run_duration_seconds", &mut out);
+        inner
+            .selection_seconds
+            .render("fp_selection_duration_seconds", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> TraceSummary {
+        TraceSummary {
+            events: 10,
+            joins: 4,
+            selections_dense: 3,
+            selections_monge: 1,
+            cache_hits: 2,
+            cache_misses: 2,
+            run_ns: 2_000_000, // 2 ms
+            selection_ns: 500_000,
+            ..TraceSummary::default()
+        }
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let registry = MetricsRegistry::new();
+        registry.absorb(&summary());
+        registry.absorb(&summary());
+        let snap = registry.snapshot();
+        assert_eq!(snap.runs, 2);
+        assert_eq!(snap.totals.joins, 8);
+        assert_eq!(snap.totals.selections_dense, 6);
+        assert_eq!(snap.totals.run_ns, 4_000_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_every_counter() {
+        let registry = MetricsRegistry::new();
+        registry.absorb(&summary());
+        let text = registry.render_prometheus();
+        assert!(text.contains("fp_runs_total 1"));
+        assert!(text.contains("fp_joins_total 4"));
+        assert!(text.contains("fp_selections_total{solver=\"dense\"} 3"));
+        assert!(text.contains("fp_selections_total{solver=\"monge\"} 1"));
+        assert!(text.contains("fp_cache_hits_total 2"));
+        assert!(text.contains("fp_run_duration_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("fp_run_duration_seconds_count 1"));
+        // Every line is name<space>value or a comment: exposition-parseable.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "{line}"
+            );
+        }
+    }
+}

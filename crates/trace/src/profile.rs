@@ -1,0 +1,172 @@
+//! The self-profiler: reconstructs a per-phase wall-time tree from the
+//! `phase` spans of one drained trace — the Table-1-style breakdown of
+//! Wang–Wong DAC'92, produced from a single run instead of a benchmark
+//! harness.
+
+use std::fmt;
+
+use crate::{PhaseName, Trace, TraceEvent};
+
+/// Per-phase wall-time totals of one run, with the fixed two-level
+/// hierarchy the pipeline actually has:
+///
+/// ```text
+/// run
+/// ├ restructure
+/// ├ enumerate
+/// │ └ selection
+/// ├ replay
+/// ├ cache_flush
+/// ├ trace_back
+/// └ other          (run − the named top-level phases)
+/// ```
+///
+/// `run` is stamped from the engine's own `RunStats::elapsed` and
+/// `selection` from `RunStats::selection_time`, so the report
+/// reconciles with the run statistics exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// The root span (equals `RunStats::elapsed`).
+    pub run_ns: u64,
+    /// Tree restructuring.
+    pub restructure_ns: u64,
+    /// The bottom-up enumeration (selection included).
+    pub enumerate_ns: u64,
+    /// Selection solves (a child of `enumerate`; equals
+    /// `RunStats::selection_time`).
+    pub selection_ns: u64,
+    /// Exact serial-schedule replay (parallel runs only).
+    pub replay_ns: u64,
+    /// Buffered cache-store flush (parallel cached runs only).
+    pub cache_flush_ns: u64,
+    /// Root trace-back to module choices.
+    pub trace_back_ns: u64,
+}
+
+impl ProfileReport {
+    /// `run` minus every named top-level phase: bookkeeping the
+    /// pipeline does between phases (governor polling, store pushes,
+    /// frontier assembly). Saturates at zero against clock jitter.
+    #[must_use]
+    pub fn other_ns(&self) -> u64 {
+        self.run_ns.saturating_sub(
+            self.restructure_ns
+                + self.enumerate_ns
+                + self.replay_ns
+                + self.cache_flush_ns
+                + self.trace_back_ns,
+        )
+    }
+
+    /// Sum of the named top-level phases plus `other` — by construction
+    /// equal to `run_ns` (up to the saturation above), which is the ≤1%
+    /// reconciliation the profiler promises.
+    #[must_use]
+    pub fn accounted_ns(&self) -> u64 {
+        self.restructure_ns
+            + self.enumerate_ns
+            + self.replay_ns
+            + self.cache_flush_ns
+            + self.trace_back_ns
+            + self.other_ns()
+    }
+}
+
+/// Builds the report by summing each phase's spans (a rescued or
+/// replayed run can emit a phase more than once).
+pub(crate) fn build(trace: &Trace) -> ProfileReport {
+    let mut report = ProfileReport::default();
+    for record in &trace.events {
+        let TraceEvent::Phase { name, dur_ns } = record.event else {
+            continue;
+        };
+        match name {
+            PhaseName::Run => report.run_ns += dur_ns,
+            PhaseName::Restructure => report.restructure_ns += dur_ns,
+            PhaseName::Enumerate => report.enumerate_ns += dur_ns,
+            PhaseName::Selection => report.selection_ns += dur_ns,
+            PhaseName::Replay => report.replay_ns += dur_ns,
+            PhaseName::CacheFlush => report.cache_flush_ns += dur_ns,
+            PhaseName::TraceBack => report.trace_back_ns += dur_ns,
+        }
+    }
+    report
+}
+
+fn line(f: &mut fmt::Formatter<'_>, prefix: &str, name: &str, ns: u64, run_ns: u64) -> fmt::Result {
+    let millis = ns as f64 / 1e6;
+    let share = if run_ns == 0 {
+        0.0
+    } else {
+        100.0 * ns as f64 / run_ns as f64
+    };
+    writeln!(f, "{prefix}{name:<12} {millis:>10.3} ms {share:>6.1}%")
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let run = self.run_ns;
+        line(f, "", "run", run, run)?;
+        line(f, "├ ", "restructure", self.restructure_ns, run)?;
+        line(f, "├ ", "enumerate", self.enumerate_ns, run)?;
+        line(f, "│ └ ", "selection", self.selection_ns, run)?;
+        if self.replay_ns > 0 {
+            line(f, "├ ", "replay", self.replay_ns, run)?;
+        }
+        if self.cache_flush_ns > 0 {
+            line(f, "├ ", "cache_flush", self.cache_flush_ns, run)?;
+        }
+        line(f, "├ ", "trace_back", self.trace_back_ns, run)?;
+        line(f, "└ ", "other", self.other_ns(), run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Record;
+
+    fn phase(name: PhaseName, dur_ns: u64) -> Record {
+        Record {
+            t_ns: 0,
+            worker: 0,
+            event: TraceEvent::Phase { name, dur_ns },
+        }
+    }
+
+    #[test]
+    fn report_reconciles_with_the_run_span() {
+        let trace = Trace {
+            events: vec![
+                phase(PhaseName::Restructure, 50),
+                phase(PhaseName::Enumerate, 800),
+                phase(PhaseName::Selection, 300),
+                phase(PhaseName::TraceBack, 20),
+                phase(PhaseName::Run, 1_000),
+            ],
+            dropped: 0,
+        };
+        let report = trace.profile();
+        assert_eq!(report.run_ns, 1_000);
+        assert_eq!(report.other_ns(), 130);
+        assert_eq!(report.accounted_ns(), report.run_ns);
+        let rendered = format!("{report}");
+        assert!(rendered.contains("run"));
+        assert!(rendered.contains("selection"));
+        assert!(rendered.contains("100.0%"));
+        // Parallel-only phases absent from a serial run's tree.
+        assert!(!rendered.contains("replay"));
+    }
+
+    #[test]
+    fn children_exceeding_run_saturate_other_at_zero() {
+        let trace = Trace {
+            events: vec![
+                phase(PhaseName::Enumerate, 1_100),
+                phase(PhaseName::Run, 1_000),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(trace.profile().other_ns(), 0);
+    }
+}

@@ -11,7 +11,7 @@
 //! compares area- and half-perimeter-optimal floorplans inside it.
 
 use fp_geom::Rect;
-use fp_optimizer::{optimize_frontier, Objective, OptimizeConfig};
+use fp_optimizer::{Objective, OptimizeConfig, Optimizer};
 use fp_tree::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One enumeration gives the whole feasible-envelope frontier; every
     // fixed-outline/objective query below is answered from it without
     // re-running the optimizer.
-    let frontier = optimize_frontier(&bench.tree, &library, &OptimizeConfig::default())?;
+    let frontier = Optimizer::new(&bench.tree, &library)
+        .config(&OptimizeConfig::default())
+        .run_frontier()?;
     let free = frontier.best(Objective::MinArea, None)?;
     println!(
         "unconstrained optimum: {} (area {}, half-perimeter {}, {} envelopes on the frontier)",

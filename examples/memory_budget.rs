@@ -17,7 +17,7 @@
 //!    run trips, the engine tightens the policies itself and retries,
 //!    reporting every degradation it applied.
 
-use fp_optimizer::{optimize, optimize_report, OptError, OptimizeConfig};
+use fp_optimizer::{OptError, OptimizeConfig, Optimizer};
 use fp_select::LReductionPolicy;
 use fp_tree::generators;
 
@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ground truth: the unconstrained optimum (fits comfortably here).
-    let optimum = optimize(&bench.tree, &library, &OptimizeConfig::default())?;
+    let optimum = Optimizer::new(&bench.tree, &library)
+        .config(&OptimizeConfig::default())
+        .run_best()?;
     println!(
         "\nunconstrained optimum: area {} (peak storage {})",
         optimum.area, optimum.stats.peak_impls
@@ -43,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nnow pretend the machine only fits {budget} implementations:");
 
     let plain = OptimizeConfig::default().with_memory_limit(Some(budget));
-    match optimize(&bench.tree, &library, &plain) {
+    match Optimizer::new(&bench.tree, &library)
+        .config(&plain)
+        .run_best()
+    {
         Err(OptError::OutOfMemory { live, .. }) => {
             println!("  plain [9]                    : FAILED (out of memory at {live} live)");
         }
@@ -52,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let with_r = plain.clone().with_r_selection(12);
-    match optimize(&bench.tree, &library, &with_r) {
+    match Optimizer::new(&bench.tree, &library)
+        .config(&with_r)
+        .run_best()
+    {
         Ok(out) => println!(
             "  [9] + R_Selection (K1=12)    : area {} (+{:.2}% vs optimum, peak {})",
             out.area,
@@ -70,7 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_theta(0.9)
             .with_prefilter(4000),
     );
-    let out = optimize(&bench.tree, &library, &with_rl)?;
+    let out = Optimizer::new(&bench.tree, &library)
+        .config(&with_rl)
+        .run_best()?;
     println!(
         "  [9] + R + L_Selection (K2=200): area {} (+{:.2}% vs optimum, peak {})",
         out.area,
@@ -97,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let auto = OptimizeConfig::default()
         .with_memory_limit(Some(budget))
         .with_auto_rescue(true);
-    let report = optimize_report(&bench.tree, &library, &auto)?;
+    let report = Optimizer::new(&bench.tree, &library).config(&auto).run()?;
     for event in report.degradations() {
         println!("  rescue: {event}");
     }

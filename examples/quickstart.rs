@@ -11,7 +11,7 @@
 //! realization of the chosen implementations.
 
 use fp_geom::Rect;
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_optimizer::{OptimizeConfig, Optimizer};
 use fp_tree::layout::realize;
 use fp_tree::{CutDir, FloorplanTree, Module, ModuleLibrary};
 
@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Optimize: select one implementation per module so the enveloping
     // rectangle's area is minimal with the topology unchanged.
-    let outcome = optimize(&tree, &library, &OptimizeConfig::default())?;
+    let outcome = Optimizer::new(&tree, &library)
+        .config(&OptimizeConfig::default())
+        .run_best()?;
     println!(
         "optimal floorplan: {} (area {})",
         outcome.root_impl, outcome.area

@@ -11,7 +11,7 @@
 //! better floorplans but a bigger memory footprint; `R_Selection` keeps
 //! the footprint flat while tracking the fine-grained quality.
 
-use fp_optimizer::{optimize, OptimizeConfig};
+use fp_optimizer::{OptimizeConfig, Optimizer};
 use fp_tree::curve::ShapeCurve;
 use fp_tree::{generators, Module, ModuleLibrary};
 
@@ -41,11 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(i, &a)| sample_curve(&format!("m{i}"), a, points))
             .collect();
 
-        let plain = optimize(&bench.tree, &library, &OptimizeConfig::default())?;
+        let plain = Optimizer::new(&bench.tree, &library)
+            .config(&OptimizeConfig::default())
+            .run_best()?;
         let reduced_cfg = OptimizeConfig::default()
             .with_r_selection(24)
             .with_l_selection(fp_select::LReductionPolicy::new(250).with_prefilter(4000));
-        let reduced = optimize(&bench.tree, &library, &reduced_cfg)?;
+        let reduced = Optimizer::new(&bench.tree, &library)
+            .config(&reduced_cfg)
+            .run_best()?;
 
         println!(
             "{:>8} {:>12} {:>10} {:>14} {:>10}",

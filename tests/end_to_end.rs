@@ -1,10 +1,20 @@
 //! End-to-end runs of the paper's benchmark suite at test-friendly sizes:
 //! the qualitative claims of Tables 1-4 must hold on every run.
 
-use fp_optimizer::{optimize, OptError, OptimizeConfig};
+use fp_optimizer::{OptError, OptimizeConfig, Optimizer, Outcome};
 use fp_select::LReductionPolicy;
 use fp_tree::generators;
 use fp_tree::layout::realize;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Outcome, OptError> {
+    Optimizer::new(tree, library).config(config).run_best()
+}
 
 /// Table 1/2 shape on FP1: R_Selection cuts peak memory while the area
 /// stays within a few percent, and every solution realizes physically.

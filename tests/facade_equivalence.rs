@@ -1,0 +1,190 @@
+//! The [`Optimizer`] facade must be a drop-in for the six deprecated
+//! entry points: byte-identical frontiers, outcomes, and degradation
+//! logs across the serial/parallel × cached/uncached × tracer on/off
+//! matrix. These tests are the one sanctioned caller of the legacy
+//! functions — everything else in the repository goes through the
+//! facade (CI greps for it).
+
+#![allow(deprecated)]
+
+use fp_optimizer::{
+    optimize, optimize_cached, optimize_frontier, optimize_frontier_cached, optimize_report,
+    optimize_report_cached, OptimizeConfig, Optimizer, SharedBlockCache, Tracer,
+};
+use fp_select::LReductionPolicy;
+use fp_tree::generators::{self, Benchmark};
+use fp_tree::ModuleLibrary;
+
+const CACHE_BYTES: usize = 64 << 20;
+
+fn benches() -> Vec<(Benchmark, ModuleLibrary)> {
+    let fp1 = generators::fp1();
+    let lib1 = generators::module_library(&fp1.tree, 5, 1);
+    let rnd = generators::random_floorplan(18, 0.5, 23);
+    let lib_rnd = generators::module_library(&rnd.tree, 4, 23);
+    vec![(fp1, lib1), (rnd, lib_rnd)]
+}
+
+/// Serial, parallel, and selection-heavy configurations. `FP_THREADS`
+/// in the environment shifts the unset-thread default identically for
+/// the facade and the legacy wrappers, so equivalence is unaffected.
+fn configs() -> Vec<OptimizeConfig> {
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 4] {
+        out.push(OptimizeConfig::default().with_threads(threads));
+        out.push(
+            OptimizeConfig::default()
+                .with_threads(threads)
+                .with_r_selection(8)
+                .with_l_selection(LReductionPolicy::new(12)),
+        );
+    }
+    out
+}
+
+#[test]
+fn facade_matches_optimize_frontier() {
+    for (bench, lib) in benches() {
+        for config in configs() {
+            let legacy = optimize_frontier(&bench.tree, &lib, &config).expect("legacy solves");
+            let facade = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_frontier()
+                .expect("facade solves");
+            assert_eq!(legacy.envelopes(), facade.envelopes(), "{}", bench.name);
+            assert_eq!(
+                legacy.stats().degradations,
+                facade.stats().degradations,
+                "{}",
+                bench.name
+            );
+            assert_eq!(legacy.stats().peak_impls, facade.stats().peak_impls);
+        }
+    }
+}
+
+#[test]
+fn facade_matches_optimize_and_report() {
+    for (bench, lib) in benches() {
+        for config in configs() {
+            let legacy = optimize(&bench.tree, &lib, &config).expect("legacy solves");
+            let facade = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_best()
+                .expect("facade solves");
+            assert_eq!(legacy.area, facade.area, "{}", bench.name);
+            assert_eq!(legacy.root_impl, facade.root_impl);
+            assert_eq!(legacy.assignment, facade.assignment);
+
+            let legacy_report =
+                optimize_report(&bench.tree, &lib, &config).expect("legacy report solves");
+            let facade_report = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run()
+                .expect("facade report solves");
+            assert_eq!(legacy_report.outcome.area, facade_report.outcome.area);
+            assert_eq!(
+                legacy_report.outcome.assignment,
+                facade_report.outcome.assignment
+            );
+            assert_eq!(legacy_report.rescued, facade_report.rescued);
+            assert_eq!(legacy_report.degradations(), facade_report.degradations());
+        }
+    }
+}
+
+#[test]
+fn facade_matches_cached_entry_points() {
+    for (bench, lib) in benches() {
+        for config in configs() {
+            // Independent caches, primed by the same cold run each side.
+            let legacy_cache = SharedBlockCache::new(CACHE_BYTES);
+            let facade_cache = SharedBlockCache::new(CACHE_BYTES);
+
+            let legacy_cold = optimize_frontier_cached(&bench.tree, &lib, &config, &legacy_cache)
+                .expect("legacy cold solves");
+            let facade_cold = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .cache(&facade_cache)
+                .run_frontier()
+                .expect("facade cold solves");
+            assert_eq!(legacy_cold.envelopes(), facade_cold.envelopes());
+
+            let legacy_warm = optimize_frontier_cached(&bench.tree, &lib, &config, &legacy_cache)
+                .expect("legacy warm solves");
+            let facade_warm = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .cache(&facade_cache)
+                .run_frontier()
+                .expect("facade warm solves");
+            assert_eq!(legacy_warm.envelopes(), facade_warm.envelopes());
+            assert_eq!(
+                legacy_warm.stats().cache_hits,
+                facade_warm.stats().cache_hits
+            );
+            assert_eq!(legacy_warm.stats().cache_misses, 0);
+            assert_eq!(facade_warm.stats().cache_misses, 0);
+
+            let legacy_best = optimize_cached(&bench.tree, &lib, &config, &legacy_cache)
+                .expect("legacy cached best solves");
+            let facade_best = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .cache(&facade_cache)
+                .run_best()
+                .expect("facade cached best solves");
+            assert_eq!(legacy_best.area, facade_best.area);
+            assert_eq!(legacy_best.assignment, facade_best.assignment);
+
+            let legacy_report = optimize_report_cached(&bench.tree, &lib, &config, &legacy_cache)
+                .expect("legacy cached report solves");
+            let facade_report = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .cache(&facade_cache)
+                .run()
+                .expect("facade cached report solves");
+            assert_eq!(legacy_report.outcome.area, facade_report.outcome.area);
+            assert_eq!(
+                legacy_report.outcome.assignment,
+                facade_report.outcome.assignment
+            );
+        }
+    }
+}
+
+#[test]
+fn tracer_does_not_change_results() {
+    for (bench, lib) in benches() {
+        for config in configs() {
+            let untraced = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_frontier()
+                .expect("untraced solves");
+
+            let subscribed = Tracer::new();
+            let traced = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .tracer(&subscribed)
+                .run_frontier()
+                .expect("traced solves");
+            assert_eq!(untraced.envelopes(), traced.envelopes(), "{}", bench.name);
+            assert_eq!(untraced.stats().degradations, traced.stats().degradations);
+            assert!(
+                subscribed.drain().summary().joins > 0,
+                "a subscribed tracer must observe the run"
+            );
+
+            let muted = Tracer::unsubscribed();
+            let silent = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .tracer(&muted)
+                .run_frontier()
+                .expect("silent solves");
+            assert_eq!(untraced.envelopes(), silent.envelopes());
+            assert_eq!(
+                muted.drain().events.len(),
+                0,
+                "unsubscribed collects nothing"
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use fp_geom::Rect;
 use fp_optimizer::stockmeyer::slicing_optimal;
-use fp_optimizer::{optimize, oracle, OptError, OptimizeConfig};
+use fp_optimizer::{oracle, OptError, OptimizeConfig, Optimizer, Outcome};
 use fp_select::{
     greedy::greedy_r_selection, heuristic_l_reduction, l_selection, l_selection_error, r_selection,
     LReductionPolicy, Metric,
@@ -12,6 +12,15 @@ use fp_select::{
 use fp_shape::{staircase, LList, RList};
 use fp_tree::layout::{realize, Assignment};
 use fp_tree::{generators, Chirality, CutDir, FloorplanTree, Module, ModuleLibrary};
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Outcome, OptError> {
+    Optimizer::new(tree, library).config(config).run_best()
+}
 
 /// A module list reduced by `R_Selection` before optimization behaves like
 /// an on-the-fly reduction: the optimizer over the reduced library can

@@ -6,10 +6,29 @@
 //! `fp_optimizer::cache`): a block committed by a serial run may be
 //! reconstituted by a parallel one and vice versa.
 
-use fp_optimizer::{optimize_frontier, optimize_report, OptimizeConfig};
+use fp_optimizer::{Frontier, OptError, OptimizeConfig, Optimizer, RunOutcome};
 use fp_select::LReductionPolicy;
 use fp_tree::generators;
+use fp_tree::{FloorplanTree, ModuleLibrary};
 use proptest::prelude::*;
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize_frontier(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Frontier, OptError> {
+    Optimizer::new(tree, library).config(config).run_frontier()
+}
+
+/// Facade shorthand for the report-carrying runs.
+fn optimize_report(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<RunOutcome, OptError> {
+    Optimizer::new(tree, library).config(config).run()
+}
 
 fn config(k1: usize, k2: usize, theta: f64, parallel: bool) -> OptimizeConfig {
     OptimizeConfig::default()

@@ -7,12 +7,43 @@
 use std::time::Duration;
 
 use fp_optimizer::{
-    optimize_frontier, optimize_frontier_cached, optimize_report, shared_cache_stats, CancelToken,
-    FaultPlan, OptError, OptimizeConfig, RunStats, SharedBlockCache,
+    shared_cache_stats, BlockCache, CancelToken, FaultPlan, Frontier, OptError, OptimizeConfig,
+    Optimizer, RunOutcome, RunStats, SharedBlockCache,
 };
 use fp_select::LReductionPolicy;
 use fp_tree::generators::{self, Benchmark};
-use fp_tree::ModuleLibrary;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize_frontier(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Frontier, OptError> {
+    Optimizer::new(tree, library).config(config).run_frontier()
+}
+
+/// Facade shorthand for the cache-backed runs.
+fn optimize_frontier_cached(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: &(dyn BlockCache + Sync),
+) -> Result<Frontier, OptError> {
+    Optimizer::new(tree, library)
+        .config(config)
+        .cache(cache)
+        .run_frontier()
+}
+
+/// Facade shorthand for the report-carrying runs.
+fn optimize_report(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<RunOutcome, OptError> {
+    Optimizer::new(tree, library).config(config).run()
+}
 
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 

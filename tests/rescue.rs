@@ -11,12 +11,30 @@
 use std::time::Duration;
 
 use fp_optimizer::{
-    optimize, optimize_report, CancelToken, FaultPlan, OptError, OptimizeConfig, RescueReason,
+    CancelToken, FaultPlan, OptError, OptimizeConfig, Optimizer, Outcome, RescueReason, RunOutcome,
 };
 use fp_tree::generators;
 use fp_tree::layout::realize;
 use fp_tree::{FloorplanTree, ModuleLibrary};
 use proptest::prelude::*;
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Outcome, OptError> {
+    Optimizer::new(tree, library).config(config).run_best()
+}
+
+/// Facade shorthand for the report-carrying runs.
+fn optimize_report(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<RunOutcome, OptError> {
+    Optimizer::new(tree, library).config(config).run()
+}
 
 /// A budget three quarters of the plain run's peak: tight enough to trip
 /// mid-enumeration, loose enough that tightened selection can fit.

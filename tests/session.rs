@@ -7,13 +7,35 @@
 use fp_geom::Rect;
 use fp_memo::Fingerprint;
 use fp_optimizer::{
-    optimize_frontier, optimize_frontier_cached, policy_fingerprint, shared_cache_stats,
-    BlockCache, CachedBlock, CachedShapes, OptimizeConfig, SharedBlockCache,
+    policy_fingerprint, shared_cache_stats, BlockCache, CachedBlock, CachedShapes, Frontier,
+    OptError, OptimizeConfig, Optimizer, SharedBlockCache,
 };
 use fp_session::{Session, SessionError};
 use fp_tree::fingerprint::block_fingerprints;
 use fp_tree::restructure::{restructure, BinNode};
 use fp_tree::{generators, FloorplanTree, Module, ModuleLibrary};
+
+/// Facade shorthand keeping this suite's call sites compact.
+fn optimize_frontier(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+) -> Result<Frontier, OptError> {
+    Optimizer::new(tree, library).config(config).run_frontier()
+}
+
+/// Facade shorthand for the cache-backed runs.
+fn optimize_frontier_cached(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    config: &OptimizeConfig,
+    cache: &(dyn BlockCache + Sync),
+) -> Result<Frontier, OptError> {
+    Optimizer::new(tree, library)
+        .config(config)
+        .cache(cache)
+        .run_frontier()
+}
 
 /// The joins whose content address differs between two library states:
 /// exactly the edited leaves' root-path ancestors.
@@ -96,7 +118,9 @@ fn incremental_reoptimize_rebuilds_only_the_root_path() {
         cold_edited.stats().degradations,
         warm_frontier.stats().degradations
     );
-    let cold_best = fp_optimizer::optimize(&bench.tree, session.library(), &config)
+    let cold_best = Optimizer::new(&bench.tree, session.library())
+        .config(&config)
+        .run_best()
         .expect("cold optimize over edited instance");
     assert_eq!(warm.outcome.area, cold_best.area);
     assert_eq!(warm.outcome.assignment, cold_best.assignment);
