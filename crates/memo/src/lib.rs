@@ -20,8 +20,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod persist;
+
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub use persist::{
+    crc32, scan_store, Codec, IoFaultPlan, PersistError, PersistOptions, PersistStats,
+    PersistentCache, RecoveryReport, SegmentHealth, SegmentScan, StoreScan, HEADER_BYTES,
+    RECORD_FRAME_BYTES, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+
+/// Acquires `mutex`, recovering the guard from a poisoned lock.
+///
+/// Poisoning only means *some* thread panicked while holding the lock;
+/// every [`MemoCache`] method leaves the cache structurally consistent
+/// between calls (byte accounting, map/queue agreement), so the data is
+/// safe to keep using. Recovering — rather than treating the shard as
+/// lost — preserves hits and exact counters after a panicking tenant.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A 128-bit content fingerprint.
 pub type Fingerprint = u128;
@@ -343,10 +362,14 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// under concurrent hammering — each lookup/insert bumps exactly one
 /// shard's counters under that shard's lock.
 ///
-/// A poisoned shard lock (a panicking thread mid-operation) degrades
-/// gracefully: lookups miss, inserts drop, counters read as zero for
-/// that shard. This mirrors the workspace's no-panic contract — the
-/// cache is an accelerator, never a correctness dependency.
+/// A poisoned shard lock (a panicking thread mid-operation) is
+/// *recovered*, not abandoned: every [`MemoCache`] method leaves the
+/// shard structurally consistent between calls, so after a tenant
+/// panics — e.g. inside a [`ShardedMemoCache::get_or_insert_with`]
+/// closure — subsequent hits, inserts, and counter reads all keep
+/// working with exact totals. The cache is an accelerator, never a
+/// correctness dependency, and it must not shrink because a caller
+/// panicked.
 ///
 /// ```
 /// use fp_memo::{ShardedMemoCache, Weigh};
@@ -411,26 +434,57 @@ impl<V: Weigh> ShardedMemoCache<V> {
     where
         V: Clone,
     {
-        match self.shard(key).lock() {
-            Ok(mut shard) => shard.get(key).cloned(),
-            Err(_) => None,
-        }
+        lock_recovering(self.shard(key)).get(key).cloned()
     }
 
     /// Stores `value` under `key` in its shard, evicting that shard's
     /// least-recently-used entries to fit the per-shard budget.
     pub fn insert(&self, key: Fingerprint, value: V) {
-        if let Ok(mut shard) = self.shard(&key).lock() {
-            shard.insert(key, value);
+        lock_recovering(self.shard(&key)).insert(key, value);
+    }
+
+    /// Looks up `key`; on a miss, computes the value with `build` and
+    /// stores it — all under the shard lock, so concurrent callers of
+    /// the same key never duplicate the computation.
+    ///
+    /// `build` runs *before* any cache mutation, so a panic inside it
+    /// poisons the shard lock without corrupting the shard; the poison
+    /// is recovered on the next acquisition and the cache keeps serving
+    /// (see the type-level docs).
+    pub fn get_or_insert_with<F>(&self, key: Fingerprint, build: F) -> V
+    where
+        V: Clone,
+        F: FnOnce() -> V,
+    {
+        let mut shard = lock_recovering(self.shard(&key));
+        if let Some(value) = shard.get(&key) {
+            return value.clone();
         }
+        let value = build();
+        shard.insert(key, value.clone());
+        value
     }
 
     /// Whether `key` is live, without touching recency or counters.
     #[must_use]
     pub fn contains(&self, key: &Fingerprint) -> bool {
-        match self.shard(key).lock() {
-            Ok(shard) => shard.contains(key),
-            Err(_) => false,
+        lock_recovering(self.shard(key)).contains(key)
+    }
+
+    /// Visits every live entry, shard by shard, holding one shard lock
+    /// at a time. Recency and counters are untouched; inserts into a
+    /// shard currently being visited block until that shard is done.
+    /// Used by the persistence layer's compactor to snapshot the live
+    /// set.
+    pub fn for_each<F>(&self, mut visit: F)
+    where
+        F: FnMut(Fingerprint, &V),
+    {
+        for shard in &self.shards {
+            let shard = lock_recovering(shard);
+            for (key, entry) in &shard.map {
+                visit(*key, &entry.value);
+            }
         }
     }
 
@@ -439,9 +493,7 @@ impl<V: Weigh> ShardedMemoCache<V> {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            if let Ok(shard) = shard.lock() {
-                total.absorb(shard.stats());
-            }
+            total.absorb(lock_recovering(shard).stats());
         }
         total
     }
@@ -449,10 +501,7 @@ impl<V: Weigh> ShardedMemoCache<V> {
     /// Total live entries across shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().map_or(0, |s| s.len()))
-            .sum()
+        self.shards.iter().map(|s| lock_recovering(s).len()).sum()
     }
 
     /// `true` when no shard holds an entry.
@@ -464,10 +513,7 @@ impl<V: Weigh> ShardedMemoCache<V> {
     /// Bytes currently accounted across shards.
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().map_or(0, |s| s.bytes()))
-            .sum()
+        self.shards.iter().map(|s| lock_recovering(s).bytes()).sum()
     }
 
     /// The summed per-shard byte budgets (≤ the requested budget due to
@@ -476,16 +522,14 @@ impl<V: Weigh> ShardedMemoCache<V> {
     pub fn budget_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().map_or(0, |s| s.budget_bytes()))
+            .map(|s| lock_recovering(s).budget_bytes())
             .sum()
     }
 
     /// Drops every entry in every shard (counters survive).
     pub fn clear(&self) {
         for shard in &self.shards {
-            if let Ok(mut shard) = shard.lock() {
-                shard.clear();
-            }
+            lock_recovering(shard).clear();
         }
     }
 }

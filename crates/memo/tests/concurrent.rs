@@ -118,6 +118,51 @@ fn single_shard_churn_stays_consistent() {
     );
 }
 
+/// A panic inside a `get_or_insert_with` closure poisons the shard
+/// lock mid-operation; the cache must recover — subsequent hits,
+/// inserts, and stats on that same shard keep working with exact
+/// counters, and entries present before the panic stay readable.
+#[test]
+fn poisoned_shard_recovers_with_stats_intact() {
+    let cache: ShardedMemoCache<Blob> = ShardedMemoCache::new(1 << 20, 4);
+    // Key 0 and key 1<<64... route to different shards only if upper
+    // bits differ; use the same upper bits to hit ONE shard for both
+    // the pre-poison entry and the panicking call.
+    let survivor: Fingerprint = 5; // upper 64 bits zero → shard 0
+    let victim: Fingerprint = 9; // shard 0 as well
+    cache.insert(survivor, Blob(vec![1u8; 16]));
+    let before = cache.stats();
+    assert_eq!(before.insertions, 1);
+
+    // Panic while holding the shard lock (inside the build closure).
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cache.get_or_insert_with(victim, || panic!("tenant panicked mid-build"))
+    }));
+    assert!(panicked.is_err(), "the panic must propagate to the caller");
+
+    // The shard keeps serving: the pre-panic entry is still a hit...
+    assert!(
+        cache.get(&survivor).is_some(),
+        "pre-panic entry must survive a poisoned shard"
+    );
+    // ...new inserts land...
+    cache.insert(victim, Blob(vec![2u8; 16]));
+    assert!(cache.get(&victim).is_some());
+    // ...and counters stay exact, not zeroed-out for the shard. The
+    // panicking get_or_insert_with accounted its lookup as a miss
+    // before the closure ran.
+    let after = cache.stats();
+    assert_eq!(after.insertions, 2, "both successful inserts counted");
+    assert_eq!(after.hits, before.hits + 2);
+    assert_eq!(after.misses, before.misses + 1);
+    assert!(cache.bytes() <= cache.budget_bytes());
+
+    // get_or_insert_with itself still works on the recovered shard.
+    let built = cache.get_or_insert_with(77, || Blob(vec![3u8; 8]));
+    assert_eq!(built.0, vec![3u8; 8]);
+    assert!(cache.contains(&77));
+}
+
 /// Readers observe whole values, never torn ones: concurrent writers
 /// store self-describing blobs and every read must round-trip.
 #[test]

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use fp_cspp::CsppScratch;
 use fp_geom::Area;
-use fp_memo::{Fingerprinter, MemoCache, Weigh};
+use fp_memo::{Codec, Fingerprinter, PersistOptions, PersistentCache, Weigh, DEFAULT_SHARDS};
 use fp_optimizer::{PhaseName, SolverKind, TraceEvent, Tracer};
 use fp_select::curve::r_selection_within;
 use fp_select::r_selection_scratch;
@@ -43,6 +43,11 @@ usage: fpcompress <design.fpt> (--k <count> | --max-error <area>) [options]
   --cache-bytes <n>  memoize per-module selections (content-addressed);
                      libraries with repeated shape lists — and rescue
                      retries — compress each distinct list once
+  --cache-file <dir> persist the selection cache to an append-only
+                     segment store in <dir>: replayed on startup,
+                     flushed on exit, so re-compressing overlapping
+                     libraries skips already-solved modules. Implies
+                     a cache (default --cache-bytes 16777216)
   --trace <path>     write the structured event stream (per-module
                      selections, cache traffic, phase spans) as JSON
                      lines to <path>
@@ -82,7 +87,56 @@ impl Weigh for CachedSelection {
     }
 }
 
-type SelectionCache = MemoCache<CachedSelection>;
+type SelectionCache = PersistentCache<CachedSelection>;
+
+/// Fixed salt for `--cache-file` stores. Selection keys already mix the
+/// mode parameters and a format version tag, so the salt only isolates
+/// fpcompress stores from other tools'.
+const STORE_SALT: u128 = 0x6670_636f_6d70_7265_7373_2f73_746f_7265; // "fpcompress/store"
+
+impl Codec for CachedSelection {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match &self.positions {
+            None => out.push(0),
+            Some(positions) => {
+                out.push(1);
+                out.extend_from_slice(&(positions.len() as u32).to_le_bytes());
+                for &p in positions {
+                    out.extend_from_slice(&(p as u64).to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&self.error.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        let (positions, rest) = match tag {
+            0 => (None, rest),
+            1 => {
+                let len_bytes: [u8; 4] = rest.get(..4)?.try_into().ok()?;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let rest = &rest[4..];
+                // Exact-length check doubles as the allocation guard.
+                if rest.len() != len.checked_mul(8)?.checked_add(16)? {
+                    return None;
+                }
+                let mut positions = Vec::with_capacity(len);
+                for chunk in rest[..len * 8].chunks_exact(8) {
+                    let raw = u64::from_le_bytes(chunk.try_into().ok()?);
+                    positions.push(usize::try_from(raw).ok()?);
+                }
+                (Some(positions), &rest[len * 8..])
+            }
+            _ => return None,
+        };
+        let error_bytes: [u8; 16] = rest.try_into().ok()?;
+        Some(CachedSelection {
+            positions,
+            error: u128::from_le_bytes(error_bytes),
+        })
+    }
+}
 
 /// The content address of one module's selection problem: the module's
 /// implementation list (name-independent) plus the mode's parameters.
@@ -217,7 +271,7 @@ fn compress(
     if let Some(cache) = cache.as_mut() {
         for (i, (selection, key)) in selections.iter_mut().zip(&keys).enumerate() {
             if let Some(key) = key {
-                if let Some(hit) = cache.get(key).cloned() {
+                if let Some(hit) = cache.get(key) {
                     tracer.emit(
                         0,
                         TraceEvent::CacheHit {
@@ -354,6 +408,7 @@ fn main() -> ExitCode {
     let mut mode: Option<Mode> = None;
     let mut max_impls: Option<usize> = None;
     let mut cache_bytes: Option<usize> = None;
+    let mut cache_file: Option<String> = None;
     let mut auto_rescue = false;
     let mut deadline: Option<Duration> = None;
     let mut threads: Option<usize> = None;
@@ -386,6 +441,13 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 }
+            }
+            "--cache-file" => {
+                let Some(v) = it.next() else {
+                    eprintln!("fpcompress: --cache-file needs a value");
+                    return ExitCode::from(2);
+                };
+                cache_file = Some(v.clone());
             }
             "--auto-rescue" => auto_rescue = true,
             "--trace" => {
@@ -487,7 +549,29 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut cache = cache_bytes.map(MemoCache::new);
+    let mut cache = match &cache_file {
+        None => cache_bytes.map(|bytes| PersistentCache::in_memory(bytes, DEFAULT_SHARDS)),
+        Some(dir) => {
+            match PersistentCache::open(
+                std::path::Path::new(dir),
+                cache_bytes.unwrap_or(16 << 20),
+                STORE_SALT,
+                PersistOptions::default(),
+            ) {
+                Ok(cache) => {
+                    eprintln!(
+                        "fpcompress: cache store {dir} replayed {} selections",
+                        cache.recovery().recovered_entries
+                    );
+                    Some(cache)
+                }
+                Err(e) => {
+                    eprintln!("fpcompress: cannot open cache store: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
     let mut mode = mode;
     // `--threads 0` and the FP_THREADS default resolve the same way the
     // optimizer's own scheduler does.
@@ -608,6 +692,12 @@ fn main() -> ExitCode {
             stats.hits,
             stats.misses
         );
+        if cache.is_persistent() {
+            if let Err(e) = cache.flush() {
+                eprintln!("fpcompress: cache flush failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

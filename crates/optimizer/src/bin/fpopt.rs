@@ -20,6 +20,10 @@ use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::layout::realize;
 use fp_tree::{export, generators};
 
+/// Fixed salt for `--session` replay stores (replay requests carry
+/// their own policies; block keys already mix the policy fingerprint).
+const REPLAY_STORE_SALT: u128 = 0x6670_6f70_742f_7265_706c_6179_2f31_3131; // "fpopt/replay/111"
+
 const USAGE: &str = "\
 usage: fpopt <design.fpt | @fig1 | @fp1..@fp4> [options]
 
@@ -51,6 +55,13 @@ robustness options:
 session options:
   --cache-bytes <n>  optimize through a content-addressed block cache
                      with an <n>-byte budget (reports hit/miss counters)
+  --cache-file <dir> persist the block cache to an append-only segment
+                     store in <dir>: replayed on startup for warm
+                     restarts, flushed on exit. The store is salted
+                     with the policy fingerprint, so changing --k1/--k2/
+                     --theta/--prefilter cold-starts it instead of
+                     serving stale entries. Implies a cache (default
+                     --cache-bytes 67108864)
   --session <file>   replay a JSON-lines request file through the
                      fpserved protocol, one response per line on stdout;
                      no <design> argument is needed in this mode
@@ -91,6 +102,7 @@ struct Args {
     outline: Option<fp_geom::Rect>,
     objective: fp_optimizer::Objective,
     cache_bytes: Option<usize>,
+    cache_file: Option<String>,
     session: Option<String>,
     trace: Option<String>,
     profile: bool,
@@ -118,6 +130,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         outline: None,
         objective: fp_optimizer::Objective::MinArea,
         cache_bytes: None,
+        cache_file: None,
         session: None,
         trace: None,
         profile: false,
@@ -198,6 +211,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--cache-bytes: {e}"))?,
                 );
             }
+            "--cache-file" => args.cache_file = Some(value("--cache-file")?),
             "--session" => args.session = Some(value("--session")?),
             "--trace" => args.trace = Some(value("--trace")?),
             "--profile" => args.profile = true,
@@ -282,7 +296,7 @@ fn exit_code_for(e: &OptError) -> u8 {
 /// against a fresh session cache: one response per line on stdout. Later
 /// requests reuse blocks committed by earlier ones. The exit code is the
 /// highest per-request status seen, so scripted replays fail loudly.
-fn replay_session(path: &str, cache_bytes: Option<usize>) -> ExitCode {
+fn replay_session(path: &str, cache_bytes: Option<usize>, cache_file: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -290,7 +304,32 @@ fn replay_session(path: &str, cache_bytes: Option<usize>) -> ExitCode {
             return ExitCode::from(3);
         }
     };
-    let state = fp_optimizer::serve::ServeState::new(cache_bytes.unwrap_or(64 << 20));
+    let budget = cache_bytes.unwrap_or(64 << 20);
+    let state = match cache_file {
+        None => fp_optimizer::serve::ServeState::new(budget),
+        // Replay-mode requests carry their own policies and block keys
+        // already mix the policy fingerprint in, so a fixed salt is
+        // correct here (same reasoning as fpserved's store).
+        Some(dir) => {
+            match fp_optimizer::cache::SharedBlockCache::open_persistent(
+                std::path::Path::new(dir),
+                budget,
+                REPLAY_STORE_SALT,
+            ) {
+                Ok(cache) => {
+                    eprintln!(
+                        "fpopt: cache store {dir} replayed {} entries",
+                        cache.recovery().recovered_entries
+                    );
+                    fp_optimizer::serve::ServeState::with_cache(cache)
+                }
+                Err(e) => {
+                    eprintln!("fpopt: cannot open cache store: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
     let mut worst = 0u8;
     for (index, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -301,6 +340,11 @@ fn replay_session(path: &str, cache_bytes: Option<usize>) -> ExitCode {
         worst = worst.max(reply.status);
         if reply.shutdown {
             break;
+        }
+    }
+    if state.cache().is_persistent() {
+        if let Err(e) = state.cache().flush() {
+            eprintln!("fpopt: cache flush failed: {e}");
         }
     }
     ExitCode::from(worst)
@@ -324,7 +368,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &args.session {
-        return replay_session(path, args.cache_bytes);
+        return replay_session(path, args.cache_bytes, args.cache_file.as_deref());
     }
 
     let instance = match load_instance(&args) {
@@ -370,7 +414,32 @@ fn main() -> ExitCode {
         config = config.with_l_selection(policy);
     }
 
-    let cache = args.cache_bytes.map(fp_optimizer::shared_cache);
+    let cache = match &args.cache_file {
+        None => args.cache_bytes.map(fp_optimizer::shared_cache),
+        Some(dir) => {
+            // Salted with the policy fingerprint: a warm store is only
+            // replayed for the exact selection policies that wrote it.
+            let salt = fp_optimizer::policy_fingerprint(&config);
+            match fp_optimizer::cache::SharedBlockCache::open_persistent(
+                std::path::Path::new(dir),
+                args.cache_bytes.unwrap_or(64 << 20),
+                salt,
+            ) {
+                Ok(cache) => {
+                    let recovery = cache.recovery();
+                    eprintln!(
+                        "fpopt: cache store {dir} replayed {} entries ({} bytes)",
+                        recovery.recovered_entries, recovery.recovered_bytes
+                    );
+                    Some(cache)
+                }
+                Err(e) => {
+                    eprintln!("fpopt: cannot open cache store: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
     // The tracer is only subscribed (and only costs anything) when an
     // observability flag asks for the event stream.
     let tracer = if args.trace.is_some() || args.profile {
@@ -462,6 +531,18 @@ fn main() -> ExitCode {
             "cache: {} hits, {} misses this run; {} insertions, {} evictions lifetime",
             outcome.stats.cache_hits, outcome.stats.cache_misses, cs.insertions, cs.evictions
         );
+        if cache.is_persistent() {
+            if let Err(e) = cache.flush() {
+                eprintln!("fpopt: cache flush failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(ps) = cache.persist_stats() {
+                println!(
+                    "cache store: {} records appended, {} rotations, {} compactions",
+                    ps.appended_records, ps.rotations, ps.compactions
+                );
+            }
+        }
     }
 
     if args.ascii {

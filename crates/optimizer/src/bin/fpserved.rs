@@ -31,46 +31,78 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use fp_optimizer::serve::{error_reply, execute, parse_request, Method, Request, ServeState};
-use fp_optimizer::CancelToken;
+use fp_optimizer::serve::{
+    error_reply, execute, idle_timeout_reply, parse_request, shed_reply, Method, Request,
+    ServeState,
+};
+use fp_optimizer::{cache::SharedBlockCache, CancelToken};
 
 const USAGE: &str = "\
 usage: fpserved [options]
 
-  --tcp <addr>         serve JSON-lines over TCP (e.g. 127.0.0.1:7878);
-                       without it, requests are read from stdin and
-                       responses written to stdout
-  --workers <n>        worker threads (default 4): concurrent requests
-  --threads <n>        per-request tree-parallelism default (0 = all
-                       cores; default $FP_THREADS or 1); a request's own
-                       `threads` field overrides it. Composes with
-                       --workers: up to workers x threads OS threads
-  --cache-bytes <n>    block-cache byte budget (default 67108864)
+  --tcp <addr>           serve JSON-lines over TCP (e.g. 127.0.0.1:7878);
+                         without it, requests are read from stdin and
+                         responses written to stdout
+  --workers <n>          worker threads (default 4): concurrent requests
+  --threads <n>          per-request tree-parallelism default (0 = all
+                         cores; default $FP_THREADS or 1); a request's own
+                         `threads` field overrides it. Composes with
+                         --workers: up to workers x threads OS threads
+  --cache-bytes <n>      block-cache byte budget (default 67108864)
+  --cache-file <dir>     persist the block cache to an append-only
+                         segment store in <dir>; replayed on startup
+                         (warm restarts), flushed on drain
+  --max-inflight <n>     admission limit: optimize requests beyond <n>
+                         queued + executing are shed with status 7
+                         (default 0 = unlimited)
+  --queue-deadline-ms <n>  shed queued optimize requests older than this
+                         at dequeue instead of running them late
+                         (default 0 = off)
+  --idle-timeout-ms <n>  close TCP connections idle past this, after a
+                         clean `timeout` status line (default 60000;
+                         0 = off)
+  --max-conns <n>        bound concurrent TCP connections; excess
+                         connections get one status-7 line and are
+                         closed (default 0 = unlimited)
 
 protocol: one JSON request per line; see the README's fpserved section.
 observability: `{\"method\": \"metrics\"}` returns the server counters;
 with --tcp, an HTTP `GET /metrics` on the same port returns the
-Prometheus text exposition.
+Prometheus text exposition (cache, persistence, and overload gauges
+included).
 statuses reuse the fpopt exit-code contract:
   0 success             4  budget exhausted / injected fault
   1 internal error      5  deadline exceeded or cancelled
   2 malformed request   6  no implementation fits the outline
-  3 bad instance
+  3 bad instance        7  overloaded: shed before execution, retry ok
 ";
 
 const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+const DEFAULT_IDLE_TIMEOUT_MS: u64 = 60_000;
+
+/// Fixed salt for the server's persistent store. Block fingerprints
+/// already mix in the per-request [`fp_optimizer::policy_fingerprint`],
+/// so one store safely serves requests with different policies; the
+/// salt only isolates fpserved stores from other tools' stores.
+const STORE_SALT: u128 = 0x6670_7365_7276_6564_2f73_746f_7265_2f31; // "fpserved/store/1"
 
 struct Args {
     tcp: Option<String>,
     workers: usize,
     threads: Option<usize>,
     cache_bytes: usize,
+    cache_file: Option<PathBuf>,
+    max_inflight: u64,
+    queue_deadline: Option<Duration>,
+    idle_timeout_ms: u64,
+    max_conns: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -79,6 +111,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workers: 4,
         threads: None,
         cache_bytes: DEFAULT_CACHE_BYTES,
+        cache_file: None,
+        max_inflight: 0,
+        queue_deadline: None,
+        idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+        max_conns: 0,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -109,6 +146,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-bytes: {e}"))?;
             }
+            "--cache-file" => {
+                args.cache_file = Some(PathBuf::from(value("--cache-file")?));
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--queue-deadline-ms" => {
+                let ms: u64 = value("--queue-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--queue-deadline-ms: {e}"))?;
+                args.queue_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -121,6 +182,11 @@ struct Job {
     line: String,
     line_no: u64,
     out: Arc<Mutex<dyn Write + Send>>,
+    /// When the job entered the queue (for the queue deadline).
+    enqueued: Instant,
+    /// `true` when this job holds an in-flight admission slot the
+    /// worker must release with `ServeState::finish_job`.
+    admitted: bool,
 }
 
 /// Cancels registered tokens once their deadline passes. Entries are
@@ -173,7 +239,7 @@ impl Watchdog {
 fn respond_http(out: &Arc<Mutex<dyn Write + Send>>, state: &ServeState, request_line: &str) {
     let target = request_line.split_whitespace().nth(1).unwrap_or("");
     let (status, body) = if target == "/metrics" {
-        ("200 OK", state.metrics().render_prometheus())
+        ("200 OK", state.render_prometheus())
     } else {
         ("404 Not Found", "only /metrics is served here\n".to_owned())
     };
@@ -195,7 +261,29 @@ fn write_line(out: &Arc<Mutex<dyn Write + Send>>, line: &str) {
     }
 }
 
-fn run_job(job: &Job, state: &ServeState, watchdog: &Watchdog, shutdown: &AtomicBool) {
+fn run_job(
+    job: &Job,
+    state: &ServeState,
+    watchdog: &Watchdog,
+    shutdown: &AtomicBool,
+    queue_deadline: Option<Duration>,
+) {
+    // Queue-deadline shedding: a job that waited longer than the client
+    // plausibly still cares about is answered with status 7 at dequeue
+    // instead of burning a worker on a stale request.
+    if job.admitted {
+        if let Some(deadline) = queue_deadline {
+            if job.enqueued.elapsed() > deadline {
+                state.note_shed();
+                state.finish_job();
+                write_line(
+                    &job.out,
+                    &shed_reply(&job.line, job.line_no, "queue_deadline").json,
+                );
+                return;
+            }
+        }
+    }
     let reply = match parse_request(&job.line) {
         Err(e) => error_reply(job.line_no, &e),
         Ok(request) => {
@@ -203,10 +291,47 @@ fn run_job(job: &Job, state: &ServeState, watchdog: &Watchdog, shutdown: &Atomic
             execute(&request, job.line_no, state, Some(token))
         }
     };
+    if job.admitted {
+        state.finish_job();
+    }
     write_line(&job.out, &reply.json);
     if reply.shutdown {
         shutdown.store(true, Ordering::SeqCst);
     }
+}
+
+/// Admission + enqueue for one raw request line. Control methods
+/// (ping/stats/metrics/shutdown) always pass — they are cheap, and a
+/// drain request must get through even under flood; only `optimize`
+/// lines consume admission slots. Returns `false` when the worker
+/// queue is closed.
+fn submit_line(
+    line: String,
+    line_no: u64,
+    out: &Arc<Mutex<dyn Write + Send>>,
+    state: &ServeState,
+    tx: &mpsc::Sender<Job>,
+) -> bool {
+    let heavy = matches!(
+        parse_request(&line),
+        Ok(Request {
+            method: Method::Optimize(_),
+            ..
+        })
+    );
+    if heavy && !state.try_admit() {
+        state.note_shed();
+        write_line(out, &shed_reply(&line, line_no, "queue_full").json);
+        return true; // shed is a handled outcome, not a closed queue
+    }
+    let job = Job {
+        line,
+        line_no,
+        out: Arc::clone(out),
+        enqueued: Instant::now(),
+        admitted: heavy,
+    };
+    tx.send(job).is_ok()
 }
 
 /// A fresh per-request token; when the request carries `deadline_ms`
@@ -221,31 +346,45 @@ fn token_for(request: &Request, watchdog: &Watchdog) -> CancelToken {
     token
 }
 
-fn serve_stdin(
-    state: Arc<ServeState>,
-    watchdog: Watchdog,
-    shutdown: Arc<AtomicBool>,
+/// Spawns the shared worker pool reading jobs from `rx`.
+fn spawn_workers(
     workers: usize,
-) {
-    let (tx, rx) = mpsc::channel::<Job>();
+    rx: mpsc::Receiver<Job>,
+    state: &Arc<ServeState>,
+    watchdog: &Watchdog,
+    shutdown: &Arc<AtomicBool>,
+    queue_deadline: Option<Duration>,
+) -> Vec<std::thread::JoinHandle<()>> {
     let rx = Arc::new(Mutex::new(rx));
     let mut pool = Vec::new();
     for _ in 0..workers {
         let rx = Arc::clone(&rx);
-        let state = Arc::clone(&state);
+        let state = Arc::clone(state);
         let watchdog = watchdog.clone();
-        let shutdown = Arc::clone(&shutdown);
+        let shutdown = Arc::clone(shutdown);
         pool.push(std::thread::spawn(move || loop {
             let job = match rx.lock() {
                 Ok(rx) => rx.recv(),
                 Err(_) => return,
             };
             match job {
-                Ok(job) => run_job(&job, &state, &watchdog, &shutdown),
+                Ok(job) => run_job(&job, &state, &watchdog, &shutdown, queue_deadline),
                 Err(_) => return, // channel closed and drained
             }
         }));
     }
+    pool
+}
+
+fn serve_stdin(
+    state: Arc<ServeState>,
+    watchdog: Watchdog,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+    queue_deadline: Option<Duration>,
+) {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let pool = spawn_workers(workers, rx, &state, &watchdog, &shutdown, queue_deadline);
 
     let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
     // stdin is read on its own thread: the blocking `lines()` iterator
@@ -273,12 +412,7 @@ fn serve_stdin(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let job = Job {
-                    line,
-                    line_no,
-                    out: Arc::clone(&out),
-                };
-                if tx.send(job).is_err() {
+                if !submit_line(line, line_no, &out, &state, &tx) {
                     break;
                 }
             }
@@ -295,12 +429,21 @@ fn serve_stdin(
     shutdown.store(true, Ordering::SeqCst);
 }
 
+/// The overload knobs a TCP listener threads through to its readers.
+#[derive(Clone, Copy)]
+struct TcpPolicy {
+    queue_deadline: Option<Duration>,
+    idle_timeout_ms: u64,
+    max_conns: usize,
+}
+
 fn serve_tcp(
     addr: &str,
     state: Arc<ServeState>,
     watchdog: Watchdog,
     shutdown: Arc<AtomicBool>,
     workers: usize,
+    policy: TcpPolicy,
 ) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     listener
@@ -313,29 +456,32 @@ fn serve_tcp(
     }
 
     let (tx, rx) = mpsc::channel::<Job>();
-    let rx = Arc::new(Mutex::new(rx));
-    let mut pool = Vec::new();
-    for _ in 0..workers {
-        let rx = Arc::clone(&rx);
-        let state = Arc::clone(&state);
-        let watchdog = watchdog.clone();
-        let shutdown = Arc::clone(&shutdown);
-        pool.push(std::thread::spawn(move || loop {
-            let job = match rx.lock() {
-                Ok(rx) => rx.recv(),
-                Err(_) => return,
-            };
-            match job {
-                Ok(job) => run_job(&job, &state, &watchdog, &shutdown),
-                Err(_) => return,
-            }
-        }));
-    }
+    let pool = spawn_workers(
+        workers,
+        rx,
+        &state,
+        &watchdog,
+        &shutdown,
+        policy.queue_deadline,
+    );
 
-    let mut connections = Vec::new();
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Reap finished reader threads so the backlog bound
+                // tracks *live* connections, not historical ones.
+                connections.retain(|handle| !handle.is_finished());
+                if policy.max_conns > 0 && connections.len() >= policy.max_conns {
+                    // Bounded backlog: one structured status-7 line,
+                    // then close; the client may retry after backoff.
+                    state.note_shed();
+                    let mut stream = stream;
+                    let reply = shed_reply("", 0, "too_many_connections");
+                    let _ = stream.write_all(reply.json.as_bytes());
+                    let _ = stream.write_all(b"\n");
+                    continue;
+                }
                 let tx = tx.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let state = Arc::clone(&state);
@@ -359,13 +505,21 @@ fn serve_tcp(
                         if line.trim().is_empty() {
                             return true;
                         }
-                        let job = Job {
-                            line: line.trim_end_matches(['\n', '\r']).to_owned(),
+                        submit_line(
+                            line.trim_end_matches(['\n', '\r']).to_owned(),
                             line_no,
-                            out: Arc::clone(&out),
-                        };
-                        tx.send(job).is_ok()
+                            &out,
+                            &state,
+                            &tx,
+                        )
                     };
+                    // Read-idle deadline: `last_activity` advances on
+                    // every byte of progress, including partial lines
+                    // accumulating across read timeouts (tracked via
+                    // the buffer length), so slow-but-live peers
+                    // sending fragmented requests are never cut off.
+                    let mut last_activity = Instant::now();
+                    let mut seen_len = 0usize;
                     loop {
                         if shutdown.load(Ordering::SeqCst) {
                             return;
@@ -392,6 +546,8 @@ fn serve_tcp(
                                     return;
                                 }
                                 line.clear();
+                                last_activity = Instant::now();
+                                seen_len = 0;
                             }
                             Err(e)
                                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -399,6 +555,20 @@ fn serve_tcp(
                             {
                                 // Partial bytes read before the timeout
                                 // stay in `line`; keep reading.
+                                if line.len() != seen_len {
+                                    seen_len = line.len();
+                                    last_activity = Instant::now();
+                                } else if policy.idle_timeout_ms > 0
+                                    && last_activity.elapsed()
+                                        >= Duration::from_millis(policy.idle_timeout_ms)
+                                {
+                                    // Truly idle: say why, then close.
+                                    write_line(
+                                        &out,
+                                        &idle_timeout_reply(policy.idle_timeout_ms).json,
+                                    );
+                                    return;
+                                }
                                 continue;
                             }
                             Err(_) => return,
@@ -442,7 +612,31 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut state = ServeState::new(args.cache_bytes);
+    let cache = match &args.cache_file {
+        None => SharedBlockCache::new(args.cache_bytes),
+        Some(dir) => match SharedBlockCache::open_persistent(dir, args.cache_bytes, STORE_SALT) {
+            Ok(cache) => {
+                let recovery = cache.recovery();
+                eprintln!(
+                    "fpserved: cache store {} replayed {} entries ({} bytes){}",
+                    dir.display(),
+                    recovery.recovered_entries,
+                    recovery.recovered_bytes,
+                    if recovery.truncated_segments > 0 {
+                        " after truncating a torn tail"
+                    } else {
+                        ""
+                    }
+                );
+                cache
+            }
+            Err(e) => {
+                eprintln!("fpserved: cannot open cache store: {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+    let mut state = ServeState::with_cache(cache).with_max_inflight(args.max_inflight);
     if let Some(threads) = args.threads {
         state = state.with_threads(threads);
     }
@@ -453,12 +647,47 @@ fn main() -> ExitCode {
 
     match &args.tcp {
         Some(addr) => {
-            if let Err(msg) = serve_tcp(addr, state, watchdog, shutdown, args.workers) {
+            let policy = TcpPolicy {
+                queue_deadline: args.queue_deadline,
+                idle_timeout_ms: args.idle_timeout_ms,
+                max_conns: args.max_conns,
+            };
+            if let Err(msg) = serve_tcp(
+                addr,
+                Arc::clone(&state),
+                watchdog,
+                shutdown,
+                args.workers,
+                policy,
+            ) {
                 eprintln!("fpserved: {msg}");
                 return ExitCode::from(1);
             }
         }
-        None => serve_stdin(state, watchdog, shutdown, args.workers),
+        None => serve_stdin(
+            Arc::clone(&state),
+            watchdog,
+            shutdown,
+            args.workers,
+            args.queue_deadline,
+        ),
+    }
+
+    // Graceful drain: every worker has finished and flushed its
+    // response; now make the persistent store durable before exit.
+    // Stderr may already be gone (the supervisor stopped listening),
+    // so report via a non-panicking write.
+    if state.cache().is_persistent() {
+        use std::io::Write as _;
+        let mut stderr = std::io::stderr();
+        match state.cache().flush() {
+            Ok(()) => {
+                let _ = writeln!(stderr, "fpserved: cache store flushed clean");
+            }
+            Err(e) => {
+                let _ = writeln!(stderr, "fpserved: cache flush failed: {e}");
+            }
+        }
     }
     ExitCode::SUCCESS
 }

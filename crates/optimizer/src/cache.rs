@@ -35,11 +35,16 @@
 //! under policies that deviate from the salt, so memoizing them would
 //! let a later run observe degraded lists under a clean-policy address.
 
+use std::path::Path;
+
 use fp_geom::{LShape, Rect};
-use fp_memo::{CacheStats, Fingerprint, Fingerprinter, ShardedMemoCache, Weigh, DEFAULT_SHARDS};
+use fp_memo::{
+    CacheStats, Codec, Fingerprint, Fingerprinter, PersistError, PersistOptions, PersistStats,
+    PersistentCache, RecoveryReport, Weigh, DEFAULT_SHARDS,
+};
 use fp_select::Metric;
 
-use crate::engine::{DegradationEvent, OptimizeConfig};
+use crate::engine::{DegradationEvent, OptimizeConfig, RescueReason};
 
 /// The shape payload of a cached block, mirroring the engine's internal
 /// per-node storage: either a rectangular implementation list or an
@@ -114,6 +119,235 @@ impl Weigh for CachedBlock {
     }
 }
 
+/// A bounds-checked little-endian reader over persisted block bytes:
+/// the decode half of the [`Codec`], where every read can fail.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// A length prefix for `per_item`-byte elements, rejected unless the
+    /// remaining input can actually hold that many (so a corrupt length
+    /// cannot trigger a huge allocation).
+    fn len(&mut self, per_item: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(per_item)? > self.bytes.len() - self.pos {
+            return None;
+        }
+        Some(n)
+    }
+
+    fn opt_usize(&mut self) -> Option<Option<usize>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(usize::try_from(self.u64()?).ok()?)),
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_opt_usize(out: &mut Vec<u8>, v: Option<usize>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+    }
+}
+
+fn encode_pairs(out: &mut Vec<u8>, pairs: &[(u32, u32)]) {
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(a, b) in pairs {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+fn decode_pairs(r: &mut ByteReader<'_>) -> Option<Vec<(u32, u32)>> {
+    let n = r.len(8)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((r.u32()?, r.u32()?));
+    }
+    Some(pairs)
+}
+
+const SHAPES_RECT_TAG: u8 = 0;
+const SHAPES_L_TAG: u8 = 1;
+const REASON_BUDGET_TAG: u8 = 0;
+const REASON_FAULT_TAG: u8 = 1;
+
+/// The persisted wire format of a committed block (`fp-memo` segment
+/// record payloads; see `fp_memo::persist`). Everything is
+/// little-endian and length-prefixed; `decode` is the trust boundary
+/// for bytes read back from disk — structural invariants (provenance
+/// arity, canonical L-shapes, chain bounds) are revalidated here, and
+/// the engine's reconstitution path re-checks the staircase invariant
+/// on top.
+impl Codec for CachedBlock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match &self.shapes {
+            CachedShapes::Rect { rects, prov } => {
+                out.push(SHAPES_RECT_TAG);
+                out.extend_from_slice(&(rects.len() as u32).to_le_bytes());
+                for r in rects {
+                    out.extend_from_slice(&r.w.to_le_bytes());
+                    out.extend_from_slice(&r.h.to_le_bytes());
+                }
+                encode_pairs(out, prov);
+            }
+            CachedShapes::L {
+                shapes,
+                prov,
+                chains,
+            } => {
+                out.push(SHAPES_L_TAG);
+                out.extend_from_slice(&(shapes.len() as u32).to_le_bytes());
+                for l in shapes {
+                    out.extend_from_slice(&l.w1.to_le_bytes());
+                    out.extend_from_slice(&l.w2.to_le_bytes());
+                    out.extend_from_slice(&l.h1.to_le_bytes());
+                    out.extend_from_slice(&l.h2.to_le_bytes());
+                }
+                encode_pairs(out, prov);
+                encode_pairs(out, chains);
+            }
+        }
+        out.extend_from_slice(&(self.degradations.len() as u32).to_le_bytes());
+        for d in &self.degradations {
+            out.extend_from_slice(&(d.block as u64).to_le_bytes());
+            out.extend_from_slice(&d.attempt.to_le_bytes());
+            match d.reason {
+                RescueReason::Budget { live, limit } => {
+                    out.push(REASON_BUDGET_TAG);
+                    out.extend_from_slice(&(live as u64).to_le_bytes());
+                    out.extend_from_slice(&(limit as u64).to_le_bytes());
+                }
+                RescueReason::Fault { allocation } => {
+                    out.push(REASON_FAULT_TAG);
+                    out.extend_from_slice(&allocation.to_le_bytes());
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(d.live_at_trip as u64).to_le_bytes());
+            encode_opt_usize(out, d.k1);
+            encode_opt_usize(out, d.k2);
+            out.extend_from_slice(&d.theta_millis.to_le_bytes());
+            encode_opt_usize(out, d.prefilter);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        let shapes = match r.u8()? {
+            SHAPES_RECT_TAG => {
+                let n = r.len(16)?;
+                let mut rects = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rects.push(Rect::new(r.u64()?, r.u64()?));
+                }
+                let prov = decode_pairs(&mut r)?;
+                if prov.len() != rects.len() {
+                    return None;
+                }
+                CachedShapes::Rect { rects, prov }
+            }
+            SHAPES_L_TAG => {
+                let n = r.len(32)?;
+                let mut shapes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (w1, w2, h1, h2) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+                    // `LShape::new` rejects non-canonical tuples, so a
+                    // decoded L can never violate the type's invariant.
+                    shapes.push(LShape::new(w1, w2, h1, h2).ok()?);
+                }
+                let prov = decode_pairs(&mut r)?;
+                let chains = decode_pairs(&mut r)?;
+                if prov.len() != shapes.len() {
+                    return None;
+                }
+                let n = shapes.len() as u32;
+                if chains.iter().any(|&(s, e)| s > e || e > n) {
+                    return None;
+                }
+                CachedShapes::L {
+                    shapes,
+                    prov,
+                    chains,
+                }
+            }
+            _ => return None,
+        };
+        // 44 = the minimum encoded size of one degradation event.
+        let n = r.len(44)?;
+        let mut degradations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let block = usize::try_from(r.u64()?).ok()?;
+            let attempt = r.u32()?;
+            let reason = match r.u8()? {
+                REASON_BUDGET_TAG => RescueReason::Budget {
+                    live: usize::try_from(r.u64()?).ok()?,
+                    limit: usize::try_from(r.u64()?).ok()?,
+                },
+                REASON_FAULT_TAG => {
+                    let allocation = r.u64()?;
+                    let _pad = r.u64()?;
+                    RescueReason::Fault { allocation }
+                }
+                _ => return None,
+            };
+            degradations.push(DegradationEvent {
+                block,
+                attempt,
+                reason,
+                live_at_trip: usize::try_from(r.u64()?).ok()?,
+                k1: r.opt_usize()?,
+                k2: r.opt_usize()?,
+                theta_millis: r.u32()?,
+                prefilter: r.opt_usize()?,
+            });
+        }
+        if !r.done() {
+            return None; // trailing bytes: not a canonical encoding
+        }
+        Some(CachedBlock {
+            shapes,
+            degradations,
+        })
+    }
+}
+
 /// The engine's per-block cache hooks: `lookup` may short-circuit a
 /// block's `build`/re-select entirely; `store` commits a cleanly built
 /// block for future runs. Implementations take `&self` so one cache can
@@ -139,7 +373,7 @@ pub trait BlockCache {
 /// mutex: fingerprints are uniform, so threads hammering the cache spread
 /// across [`DEFAULT_SHARDS`] independent locks.
 pub struct SharedBlockCache {
-    inner: ShardedMemoCache<CachedBlock>,
+    inner: PersistentCache<CachedBlock>,
 }
 
 impl core::fmt::Debug for SharedBlockCache {
@@ -147,6 +381,7 @@ impl core::fmt::Debug for SharedBlockCache {
         f.debug_struct("SharedBlockCache")
             .field("shards", &self.shard_count())
             .field("budget_bytes", &self.budget_bytes())
+            .field("persistent", &self.is_persistent())
             .finish_non_exhaustive()
     }
 }
@@ -157,7 +392,7 @@ impl SharedBlockCache {
     #[must_use]
     pub fn new(budget_bytes: usize) -> Self {
         SharedBlockCache {
-            inner: ShardedMemoCache::new(budget_bytes, DEFAULT_SHARDS),
+            inner: PersistentCache::in_memory(budget_bytes, DEFAULT_SHARDS),
         }
     }
 
@@ -166,8 +401,87 @@ impl SharedBlockCache {
     #[must_use]
     pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
         SharedBlockCache {
-            inner: ShardedMemoCache::new(budget_bytes, shards),
+            inner: PersistentCache::in_memory(budget_bytes, shards),
         }
+    }
+
+    /// A crash-consistent persistent cache backed by the segment store
+    /// at `dir` (created if absent): verified records whose store salt
+    /// matches `salt` are replayed into memory, and every subsequent
+    /// store is appended to the log by a write-behind flusher. Pass the
+    /// run's [`policy_fingerprint`] as `salt` for single-policy CLI use
+    /// (a policy change then cold-starts the store), or a fixed salt
+    /// for multi-policy servers whose block addresses are already
+    /// policy-salted.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when the store directory cannot be created or
+    /// the active segment cannot be opened. Corrupt store *content*
+    /// never errors — recovery degrades to a cold start or a verified
+    /// prefix (see [`SharedBlockCache::recovery`]).
+    pub fn open_persistent(
+        dir: &Path,
+        budget_bytes: usize,
+        salt: u128,
+    ) -> Result<Self, PersistError> {
+        Self::open_persistent_with(dir, budget_bytes, salt, PersistOptions::default())
+    }
+
+    /// [`SharedBlockCache::open_persistent`] with explicit
+    /// [`PersistOptions`] (segment sizing, compaction threshold, I/O
+    /// fault injection for chaos tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedBlockCache::open_persistent`].
+    pub fn open_persistent_with(
+        dir: &Path,
+        budget_bytes: usize,
+        salt: u128,
+        options: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        Ok(SharedBlockCache {
+            inner: PersistentCache::open(dir, budget_bytes, salt, options)?,
+        })
+    }
+
+    /// Whether stores are persisted to a segment log.
+    #[must_use]
+    pub fn is_persistent(&self) -> bool {
+        self.inner.is_persistent()
+    }
+
+    /// The segment store directory, when persistent.
+    #[must_use]
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.inner.store_dir()
+    }
+
+    /// What recovery found on disk at open (all zeros for in-memory
+    /// caches).
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryReport {
+        self.inner.recovery()
+    }
+
+    /// Write-behind flusher counters, when persistent.
+    #[must_use]
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.inner.persist_stats()
+    }
+
+    /// Blocks until every store so far is appended and synced to the
+    /// segment log (no-op in memory-only mode). Called by servers and
+    /// CLIs on graceful drain so a restart warm-starts from everything
+    /// this process computed.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::FlusherGone`] when the log writer wedged on an
+    /// unrecoverable I/O fault; the in-memory cache is unaffected.
+    pub fn flush(&self) -> Result<(), PersistError> {
+        self.inner.flush()
     }
 
     /// Merged counter snapshot across all shards.
@@ -345,6 +659,98 @@ mod tests {
             .clone()
             .with_l_selection(LReductionPolicy::new(30).with_parallel(true));
         assert_eq!(policy_fingerprint(&serial), policy_fingerprint(&parallel));
+    }
+
+    fn sample_l_block() -> CachedBlock {
+        CachedBlock {
+            shapes: CachedShapes::L {
+                shapes: vec![
+                    LShape::new(10, 4, 8, 3).expect("canonical"),
+                    LShape::new(7, 7, 9, 9).expect("degenerate rect"),
+                ],
+                prov: vec![(0, 1), (2, 3)],
+                chains: vec![(0, 2)],
+            },
+            degradations: vec![
+                DegradationEvent {
+                    block: 5,
+                    attempt: 2,
+                    reason: RescueReason::Budget {
+                        live: 40,
+                        limit: 32,
+                    },
+                    live_at_trip: 40,
+                    k1: Some(16),
+                    k2: None,
+                    theta_millis: 1500,
+                    prefilter: Some(8),
+                },
+                DegradationEvent {
+                    block: 6,
+                    attempt: 3,
+                    reason: RescueReason::Fault { allocation: 1234 },
+                    live_at_trip: 7,
+                    k1: None,
+                    k2: Some(12),
+                    theta_millis: 0,
+                    prefilter: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_both_shape_kinds() {
+        let rect_block = CachedBlock {
+            shapes: CachedShapes::Rect {
+                rects: vec![Rect::new(6, 2), Rect::new(4, 3), Rect::new(2, 8)],
+                prov: vec![(0, 0), (1, 2), (3, 1)],
+            },
+            degradations: Vec::new(),
+        };
+        for block in [rect_block, sample_l_block()] {
+            let mut bytes = Vec::new();
+            block.encode(&mut bytes);
+            let decoded = CachedBlock::decode(&bytes).expect("round trip");
+            assert_eq!(decoded, block);
+            // Canonical encodings are byte-stable (required for the
+            // crash suite's byte-identity assertions).
+            let mut again = Vec::new();
+            decoded.encode(&mut again);
+            assert_eq!(again, bytes);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_malformed_bytes_without_panicking() {
+        let mut bytes = Vec::new();
+        sample_l_block().encode(&mut bytes);
+        // Truncation at every boundary, bogus tags, and trailing junk
+        // must all decode to None — never panic, never a wrong value.
+        for cut in 0..bytes.len() {
+            let _ = CachedBlock::decode(&bytes[..cut]);
+        }
+        assert!(CachedBlock::decode(&[]).is_none());
+        assert!(CachedBlock::decode(&[9, 0, 0, 0, 0]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(
+            CachedBlock::decode(&trailing).is_none(),
+            "trailing bytes are not canonical"
+        );
+        // A non-canonical L tuple (w1 < w2) must be rejected even
+        // though the container structure parses.
+        let mut bad_l = Vec::new();
+        bad_l.push(1u8); // L tag
+        bad_l.extend_from_slice(&1u32.to_le_bytes());
+        for v in [3u64, 9, 8, 2] {
+            bad_l.extend_from_slice(&v.to_le_bytes());
+        }
+        bad_l.extend_from_slice(&1u32.to_le_bytes()); // prov len 1
+        bad_l.extend_from_slice(&0u64.to_le_bytes()); // prov pair
+        bad_l.extend_from_slice(&0u32.to_le_bytes()); // chains len 0
+        bad_l.extend_from_slice(&0u32.to_le_bytes()); // degradations len 0
+        assert!(CachedBlock::decode(&bad_l).is_none());
     }
 
     #[test]

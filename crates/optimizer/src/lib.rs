@@ -68,6 +68,9 @@ pub use engine::{
 };
 pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 pub use meter::{BudgetExhausted, MemoryMeter};
+// Persistence vocabulary re-exported so cache users (CLIs, the session
+// layer, fpserved) don't need a direct `fp-memo` dependency.
+pub use fp_memo::{IoFaultPlan, PersistError, PersistOptions, PersistStats, RecoveryReport};
 // Re-exported so downstream users of the facade's tracing hooks don't
 // need a direct `fp-trace` dependency.
 pub use fp_trace::{

@@ -61,6 +61,11 @@ pub const STATUS_RESOURCE: u8 = 4;
 pub const STATUS_DEADLINE: u8 = 5;
 /// No root implementation fits the requested fixed outline.
 pub const STATUS_OUTLINE: u8 = 6;
+/// The server shed this request instead of queueing it: admission
+/// control was at its in-flight limit, the request overstayed its queue
+/// deadline, or the connection backlog was full. The request was never
+/// executed — retrying later is safe.
+pub const STATUS_OVERLOADED: u8 = 7;
 
 /// Maps an optimizer error to the documented status/exit code. This is
 /// the single source of truth shared by the `fpopt` CLI's exit codes and
@@ -684,12 +689,19 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 // Execution
 // ---------------------------------------------------------------------------
 
-/// Server-wide shared state: the cross-request block cache and counters.
+/// Server-wide shared state: the cross-request block cache, admission
+/// control, and counters.
 pub struct ServeState {
     cache: SharedBlockCache,
     requests: AtomicU64,
     threads: usize,
     metrics: MetricsRegistry,
+    /// Jobs admitted and not yet finished (queued + executing).
+    inflight: AtomicU64,
+    /// Admission limit on in-flight jobs (`0` = unlimited).
+    max_inflight: u64,
+    /// Requests shed with [`STATUS_OVERLOADED`] instead of executed.
+    shed: AtomicU64,
 }
 
 impl ServeState {
@@ -697,11 +709,22 @@ impl ServeState {
     /// per-request thread default follows `FP_THREADS` (else 1).
     #[must_use]
     pub fn new(cache_bytes: usize) -> Self {
+        ServeState::with_cache(shared_cache(cache_bytes))
+    }
+
+    /// Fresh state around an existing cache — in-memory or persistent
+    /// (see [`SharedBlockCache::open_persistent`]); a persistent cache
+    /// gives the server warm restarts across process boundaries.
+    #[must_use]
+    pub fn with_cache(cache: SharedBlockCache) -> Self {
         ServeState {
-            cache: shared_cache(cache_bytes),
+            cache,
             requests: AtomicU64::new(0),
             threads: OptimizeConfig::default().threads,
             metrics: MetricsRegistry::new(),
+            inflight: AtomicU64::new(0),
+            max_inflight: 0,
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -739,6 +762,142 @@ impl ServeState {
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Sets the admission limit: at most `max_inflight` jobs may be
+    /// queued or executing at once; beyond it, submissions are shed
+    /// with [`STATUS_OVERLOADED`]. `0` (the default) disables the limit.
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: u64) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// The admission limit in force (`0` = unlimited).
+    #[must_use]
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight
+    }
+
+    /// Jobs currently admitted and not yet finished.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with [`STATUS_OVERLOADED`] so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one job. `true` reserves an in-flight slot the
+    /// caller must release with [`ServeState::finish_job`] exactly once;
+    /// `false` means the server is at its limit and the caller should
+    /// shed the request (see [`shed_reply`]).
+    #[must_use]
+    pub fn try_admit(&self) -> bool {
+        if self.max_inflight == 0 {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        // CAS loop: never exceed the limit even under racing admits.
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max_inflight {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Releases an in-flight slot reserved by a successful
+    /// [`ServeState::try_admit`] (whether the job executed or was shed
+    /// at dequeue by its queue deadline).
+    pub fn finish_job(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shed request (the caller already rendered the
+    /// [`STATUS_OVERLOADED`] reply).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The full Prometheus exposition for this server: the metrics
+    /// registry's run counters plus cache, persistence, and overload
+    /// gauges — what `fpserved` serves at `GET /metrics`. A warm
+    /// restart shows up here as nonzero `fp_cache_recovered_entries`
+    /// and an immediately high hit rate.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.metrics.render_prometheus();
+        let cache = &self.cache;
+        let stats = cache.stats();
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge("fp_cache_hits_total", "Block cache hits", stats.hits);
+        gauge("fp_cache_misses_total", "Block cache misses", stats.misses);
+        gauge(
+            "fp_cache_insertions_total",
+            "Block cache insertions",
+            stats.insertions,
+        );
+        gauge(
+            "fp_cache_evictions_total",
+            "Block cache evictions",
+            stats.evictions,
+        );
+        gauge("fp_cache_entries", "Live cached blocks", cache.len() as u64);
+        gauge(
+            "fp_cache_bytes",
+            "Cached bytes in memory",
+            cache.bytes() as u64,
+        );
+        gauge(
+            "fp_cache_recovered_entries",
+            "Entries replayed from the persistent store at startup",
+            cache.recovery().recovered_entries as u64,
+        );
+        if let Some(persist) = cache.persist_stats() {
+            gauge(
+                "fp_cache_persist_appended_records_total",
+                "Records appended to the segment log",
+                persist.appended_records,
+            );
+            gauge(
+                "fp_cache_persist_io_errors_total",
+                "Segment log I/O errors",
+                persist.io_errors,
+            );
+            gauge(
+                "fp_cache_persist_wedged",
+                "1 when the log writer has stopped (in-memory service continues)",
+                u64::from(persist.wedged),
+            );
+        }
+        gauge(
+            "fp_server_inflight_jobs",
+            "Jobs admitted and not yet finished",
+            self.inflight(),
+        );
+        gauge(
+            "fp_server_shed_total",
+            "Requests shed with the overloaded status",
+            self.shed(),
+        );
+        out
     }
 }
 
@@ -778,6 +937,52 @@ pub fn error_reply(line_no: u64, error: &RequestError) -> Reply {
             obj.str("error", message);
         }
     }
+    Reply {
+        json: obj.finish(),
+        status: STATUS_BAD_REQUEST,
+        shutdown: false,
+    }
+}
+
+/// Extracts the request id from a raw line best-effort, for replies
+/// built without fully parsing the request (shed / timed-out lines).
+fn best_effort_id(line: &str) -> Option<RequestId> {
+    match parse_json(line).ok()?.get("id")? {
+        Json::Num(n) => Some(RequestId::Num(*n)),
+        Json::Str(s) => Some(RequestId::Str(s.clone())),
+        _ => None,
+    }
+}
+
+/// Renders the structured [`STATUS_OVERLOADED`] reply for a request the
+/// server sheds instead of queueing. The raw line is parsed best-effort
+/// only to echo its `id`; the request was never executed, so the client
+/// may safely retry after backing off. `reason` is a short machine-
+/// readable tag (`"queue_full"`, `"queue_deadline"`).
+#[must_use]
+pub fn shed_reply(line: &str, line_no: u64, reason: &str) -> Reply {
+    let id = best_effort_id(line);
+    let mut obj = response_head(id.as_ref(), line_no, STATUS_OVERLOADED);
+    obj.bool("overloaded", true);
+    obj.str("reason", reason);
+    obj.str("error", "server overloaded; request shed before execution");
+    Reply {
+        json: obj.finish(),
+        status: STATUS_OVERLOADED,
+        shutdown: false,
+    }
+}
+
+/// Renders the clean status reply a connection receives when it sat
+/// idle past the server's read deadline. Informational: no request was
+/// in flight, the server is simply reclaiming the connection.
+#[must_use]
+pub fn idle_timeout_reply(idle_ms: u64) -> Reply {
+    let mut obj = JsonObj::new();
+    obj.u64("status", u64::from(STATUS_BAD_REQUEST));
+    obj.str("timeout", "idle");
+    obj.u64("idle_ms", idle_ms);
+    obj.str("error", "connection idle past the read deadline; closing");
     Reply {
         json: obj.finish(),
         status: STATUS_BAD_REQUEST,
@@ -1016,6 +1221,22 @@ pub fn execute(
             obj.u64("cache_entries", entries as u64);
             obj.u64("cache_bytes", bytes as u64);
             obj.u64("cache_budget_bytes", budget as u64);
+            obj.bool("cache_persistent", cache.is_persistent());
+            obj.u64(
+                "cache_recovered_entries",
+                cache.recovery().recovered_entries as u64,
+            );
+            if let Some(persist) = cache.persist_stats() {
+                obj.u64("persist_appended_records", persist.appended_records);
+                obj.u64("persist_rotations", persist.rotations);
+                obj.u64("persist_compactions", persist.compactions);
+                obj.u64("persist_io_errors", persist.io_errors);
+                obj.u64("persist_dropped_records", persist.dropped_records);
+                obj.bool("persist_wedged", persist.wedged);
+            }
+            obj.u64("inflight", state.inflight());
+            obj.u64("max_inflight", state.max_inflight());
+            obj.u64("shed", state.shed());
             Reply {
                 json: obj.finish(),
                 status: STATUS_OK,
@@ -1027,7 +1248,7 @@ pub fn execute(
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.u64("runs", snapshot.runs);
             obj.raw("totals", &snapshot.totals.to_json());
-            obj.str("prometheus", &state.metrics().render_prometheus());
+            obj.str("prometheus", &state.render_prometheus());
             Reply {
                 json: obj.finish(),
                 status: STATUS_OK,
@@ -1253,5 +1474,81 @@ mod tests {
         assert_eq!(reply.status, STATUS_OK);
         let stats = handle_line(r#"{"method": "stats"}"#, 10, &state, None);
         assert!(stats.json.contains("\"requests\":2"));
+    }
+
+    #[test]
+    fn admission_control_enforces_the_limit() {
+        let state = ServeState::new(1 << 20).with_max_inflight(2);
+        assert!(state.try_admit());
+        assert!(state.try_admit());
+        assert!(!state.try_admit(), "third admit exceeds the limit");
+        assert_eq!(state.inflight(), 2);
+        state.finish_job();
+        assert!(state.try_admit(), "a freed slot is reusable");
+        state.finish_job();
+        state.finish_job();
+        assert_eq!(state.inflight(), 0);
+
+        // Unlimited (the default) never sheds.
+        let open = ServeState::new(1 << 20);
+        for _ in 0..100 {
+            assert!(open.try_admit());
+        }
+        assert_eq!(open.inflight(), 100);
+    }
+
+    #[test]
+    fn shed_reply_is_structured_and_echoes_the_id() {
+        let reply = shed_reply(r#"{"id": 42, "method": "optimize"}"#, 7, "queue_full");
+        assert_eq!(reply.status, STATUS_OVERLOADED);
+        assert!(!reply.shutdown);
+        assert!(reply.json.contains("\"id\":42"), "{}", reply.json);
+        assert!(reply.json.contains("\"status\":7"), "{}", reply.json);
+        assert!(reply.json.contains("\"overloaded\":true"), "{}", reply.json);
+        assert!(
+            reply.json.contains("\"reason\":\"queue_full\""),
+            "{}",
+            reply.json
+        );
+
+        // Unparsable line: still a well-formed reply, just no id.
+        let anon = shed_reply("not json at all", 8, "queue_deadline");
+        assert_eq!(anon.status, STATUS_OVERLOADED);
+        assert!(!anon.json.contains("\"id\""), "{}", anon.json);
+        assert!(anon.json.contains("\"overloaded\":true"), "{}", anon.json);
+    }
+
+    #[test]
+    fn idle_timeout_reply_names_the_deadline() {
+        let reply = idle_timeout_reply(1500);
+        assert!(
+            reply.json.contains("\"timeout\":\"idle\""),
+            "{}",
+            reply.json
+        );
+        assert!(reply.json.contains("\"idle_ms\":1500"), "{}", reply.json);
+        assert!(!reply.shutdown);
+    }
+
+    #[test]
+    fn stats_and_prometheus_carry_overload_and_cache_gauges() {
+        let state = ServeState::new(1 << 20).with_max_inflight(1);
+        assert!(state.try_admit());
+        assert!(!state.try_admit());
+        state.note_shed();
+        let stats = handle_line(r#"{"method": "stats"}"#, 1, &state, None);
+        assert!(stats.json.contains("\"inflight\":1"), "{}", stats.json);
+        assert!(stats.json.contains("\"max_inflight\":1"), "{}", stats.json);
+        assert!(stats.json.contains("\"shed\":1"), "{}", stats.json);
+        assert!(
+            stats.json.contains("\"cache_persistent\":false"),
+            "{}",
+            stats.json
+        );
+        let prom = state.render_prometheus();
+        assert!(prom.contains("fp_server_inflight_jobs 1"), "{prom}");
+        assert!(prom.contains("fp_server_shed_total 1"), "{prom}");
+        assert!(prom.contains("fp_cache_recovered_entries 0"), "{prom}");
+        state.finish_job();
     }
 }

@@ -40,10 +40,12 @@
 
 use std::fmt;
 
+use std::path::Path;
+
 use fp_memo::CacheStats;
 use fp_optimizer::{
-    shared_cache, shared_cache_stats, OptError, OptimizeConfig, Optimizer, RunOutcome,
-    SharedBlockCache, Tracer,
+    shared_cache, shared_cache_stats, OptError, OptimizeConfig, Optimizer, PersistError,
+    RecoveryReport, RunOutcome, SharedBlockCache, Tracer,
 };
 use fp_tree::{FloorplanTree, Module, ModuleId, ModuleLibrary};
 
@@ -140,6 +142,81 @@ impl Session {
             last_run_hits: 0,
             last_run_misses: 0,
         }
+    }
+
+    /// Opens a session whose block cache is backed by the append-only
+    /// segment store in `dir`: entries flushed by previous sessions are
+    /// replayed (a torn tail from a crash is truncated to the verified
+    /// prefix), and [`Session::flush_cache`] / [`Session::close`] make
+    /// new work durable. The store is salted with the *opening* policy
+    /// fingerprint, so a session opened under different policies
+    /// cold-starts rather than replaying mismatched entries.
+    /// ([`Session::update_policy`] after open keeps working — block
+    /// addresses themselves are policy-salted — but only entries are
+    /// replayed whose store matched at open.)
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when `dir` cannot be created, locked, or read.
+    pub fn open_persistent(
+        tree: FloorplanTree,
+        library: ModuleLibrary,
+        config: OptimizeConfig,
+        cache_bytes: usize,
+        dir: &Path,
+    ) -> Result<Self, PersistError> {
+        let salt = fp_optimizer::policy_fingerprint(&config);
+        let cache = SharedBlockCache::open_persistent(dir, cache_bytes, salt)?;
+        Ok(Session {
+            tree,
+            library,
+            config,
+            cache,
+            tracer: None,
+            runs: 0,
+            module_edits: 0,
+            policy_edits: 0,
+            last_run_hits: 0,
+            last_run_misses: 0,
+        })
+    }
+
+    /// What startup replay recovered (all zeros for in-memory sessions).
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryReport {
+        self.cache.recovery()
+    }
+
+    /// `true` when the session's cache is backed by a segment store.
+    #[must_use]
+    pub fn is_persistent(&self) -> bool {
+        self.cache.is_persistent()
+    }
+
+    /// Drains the write-behind flusher and syncs the segment store, so
+    /// every block committed so far survives a crash. A no-op for
+    /// in-memory sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when the store's writer has wedged (disk full,
+    /// I/O error); the in-memory cache keeps serving regardless.
+    pub fn flush_cache(&self) -> Result<(), PersistError> {
+        if self.cache.is_persistent() {
+            self.cache.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flushes and consumes the session — the explicit, checkable form
+    /// of drop for persistent sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] as for [`Session::flush_cache`].
+    pub fn close(self) -> Result<(), PersistError> {
+        self.flush_cache()
     }
 
     /// The session's floorplan topology.
@@ -300,6 +377,54 @@ mod tests {
             .expect_err("empty");
         assert!(matches!(err, SessionError::EmptyModule { id: 0 }));
         assert_eq!(session.stats().module_edits, 0);
+    }
+
+    #[test]
+    fn persistent_session_warm_restarts() {
+        let dir = std::env::temp_dir().join(format!("fp-session-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || {
+            let bench = generators::fp1();
+            let library = generators::module_library(&bench.tree, 4, 1);
+            Session::open_persistent(
+                bench.tree,
+                library,
+                OptimizeConfig::default(),
+                16 << 20,
+                &dir,
+            )
+            .expect("open persistent session")
+        };
+
+        let mut first = open();
+        assert!(first.is_persistent());
+        assert_eq!(first.recovery().recovered_entries, 0);
+        let cold = first.optimize().expect("cold run");
+        assert!(cold.outcome.stats.cache_misses > 0);
+        first.close().expect("clean close");
+
+        // A brand-new session over the same store starts warm: the
+        // repeat run rebuilds nothing and agrees exactly.
+        let mut second = open();
+        assert!(second.recovery().recovered_entries > 0);
+        let warm = second.optimize().expect("warm run");
+        assert_eq!(warm.outcome.stats.cache_misses, 0);
+        assert_eq!(warm.outcome.area, cold.outcome.area);
+        assert_eq!(warm.outcome.assignment, cold.outcome.assignment);
+
+        // A different policy at open cold-starts instead of replaying.
+        let bench = generators::fp1();
+        let library = generators::module_library(&bench.tree, 4, 1);
+        let other = Session::open_persistent(
+            bench.tree,
+            library,
+            OptimizeConfig::default().with_r_selection(64),
+            16 << 20,
+            &dir,
+        )
+        .expect("open under other policy");
+        assert_eq!(other.recovery().recovered_entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Optimizer-level persistence integration: a warm restart over the
+//! segment store must reproduce the cold run's outcome *byte for byte*
+//! with zero rebuilds, the on-disk records must round-trip through the
+//! [`CachedBlock`] codec identically, and a corrupted store must
+//! degrade to recomputation — never to a panic or a stale answer.
+
+use std::path::{Path, PathBuf};
+
+use fp_memo::{scan_store, Codec, SegmentHealth, HEADER_BYTES};
+use fp_optimizer::cache::SharedBlockCache;
+use fp_optimizer::{policy_fingerprint, CachedBlock, OptimizeConfig, Optimizer, Outcome};
+use fp_tree::generators;
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp-cache-persist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fixed instance every test agrees on.
+fn instance() -> (FloorplanTree, ModuleLibrary) {
+    let bench = generators::fp1();
+    let library = generators::module_library(&bench.tree, 5, 7);
+    (bench.tree, library)
+}
+
+fn run_with(cache: &SharedBlockCache) -> Outcome {
+    let (tree, library) = instance();
+    Optimizer::new(&tree, &library)
+        .config(&OptimizeConfig::default())
+        .cache(cache)
+        .run()
+        .expect("optimize succeeds")
+        .outcome
+}
+
+fn open(dir: &Path) -> SharedBlockCache {
+    let salt = policy_fingerprint(&OptimizeConfig::default());
+    SharedBlockCache::open_persistent(dir, 16 << 20, salt).expect("store opens")
+}
+
+#[test]
+fn warm_restart_reproduces_the_outcome_with_zero_rebuilds() {
+    let dir = scratch("warm");
+    let cold = {
+        let cache = open(&dir);
+        assert_eq!(cache.recovery().recovered_entries, 0, "first open is cold");
+        let outcome = run_with(&cache);
+        assert!(outcome.stats.cache_misses > 0, "cold run builds blocks");
+        cache.flush().expect("flush");
+        outcome
+    };
+
+    // A brand-new process image would see exactly this: every block
+    // replayed, nothing rebuilt, the identical optimum.
+    let cache = open(&dir);
+    assert!(cache.recovery().recovered_entries > 0, "store replayed");
+    let warm = run_with(&cache);
+    assert_eq!(warm.stats.cache_misses, 0, "no block rebuilt");
+    assert!(warm.stats.cache_hits > 0);
+    assert_eq!(warm.area, cold.area);
+    assert_eq!(warm.root_impl, cold.root_impl);
+    assert_eq!(warm.assignment, cold.assignment);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_records_round_trip_the_block_codec_byte_identically() {
+    let dir = scratch("codec");
+    let cache = open(&dir);
+    run_with(&cache);
+    cache.flush().expect("flush");
+    drop(cache);
+
+    let salt = policy_fingerprint(&OptimizeConfig::default());
+    let scan = scan_store(&dir, salt).expect("scan");
+    let records = scan.records();
+    assert!(!records.is_empty(), "the run persisted blocks");
+    for (key, bytes) in &records {
+        let block =
+            CachedBlock::decode(bytes).unwrap_or_else(|| panic!("record {key:#034x} decodes"));
+        let mut reencoded = Vec::new();
+        block.encode(&mut reencoded);
+        assert_eq!(
+            &reencoded, bytes,
+            "record {key:#034x} re-encodes to its stored bytes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_recomputes_instead_of_panicking() {
+    let dir = scratch("corrupt");
+    let cold = {
+        let cache = open(&dir);
+        let outcome = run_with(&cache);
+        cache.flush().expect("flush");
+        outcome
+    };
+    let salt = policy_fingerprint(&OptimizeConfig::default());
+    let intact = scan_store(&dir, salt).expect("scan").records().len();
+    assert!(intact > 0);
+
+    // Flip one payload byte a few records in: everything from that
+    // record on fails its CRC and is discarded at recovery.
+    let wal = dir.join("wal.fpm");
+    let mut bytes = std::fs::read(&wal).expect("read wal");
+    let target = HEADER_BYTES + (bytes.len() - HEADER_BYTES) / 3;
+    bytes[target] ^= 0x40;
+    std::fs::write(&wal, &bytes).expect("rewrite wal");
+
+    let cache = open(&dir);
+    let recovered = cache.recovery().recovered_entries;
+    assert!(
+        recovered < intact,
+        "corruption cut the verified prefix ({recovered} of {intact})"
+    );
+    assert!(cache.recovery().truncated_segments > 0);
+    // The optimizer simply recomputes what was lost — same optimum.
+    let healed = run_with(&cache);
+    assert_eq!(healed.area, cold.area);
+    assert_eq!(healed.assignment, cold.assignment);
+    assert!(healed.stats.cache_misses > 0, "lost blocks were rebuilt");
+    cache.flush().expect("flush after heal");
+    drop(cache);
+
+    // And the store is clean again end to end.
+    let rescan = scan_store(&dir, salt).expect("rescan");
+    assert!(
+        rescan
+            .segments
+            .iter()
+            .all(|s| s.health == SegmentHealth::Clean),
+        "post-heal store verifies"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn policy_change_cold_starts_the_store() {
+    let dir = scratch("salt");
+    {
+        let cache = open(&dir);
+        run_with(&cache);
+        cache.flush().expect("flush");
+    }
+    // Same directory, different selection policy → different salt →
+    // cold start; never replays entries from the other policy.
+    let other = policy_fingerprint(&OptimizeConfig::default().with_r_selection(64));
+    let cache = SharedBlockCache::open_persistent(&dir, 16 << 20, other).expect("reopen");
+    assert_eq!(cache.recovery().recovered_entries, 0);
+    assert!(cache.recovery().foreign_salt_segments > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

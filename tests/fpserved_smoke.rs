@@ -193,23 +193,44 @@ fn shutdown_exits_even_while_stdin_stays_open() {
 }
 
 fn spawn_tcp() -> (Child, String) {
+    spawn_tcp_with(&[])
+}
+
+fn spawn_tcp_with(extra: &[&str]) -> (Child, String) {
     let mut child = fpserved()
         .args(["--tcp", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
         .expect("fpserved spawns");
-    // The server announces the bound address on stderr.
+    // The server announces the bound address on stderr (possibly after
+    // other startup lines, e.g. the cache-store replay report).
     let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
-    let mut line = String::new();
-    stderr.read_line(&mut line).expect("announce line");
-    let addr = line
-        .rsplit("listening on ")
-        .next()
-        .expect("address in announce")
-        .trim()
-        .to_owned();
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("announce line") > 0,
+            "stderr closed before the listen announcement"
+        );
+        if line.contains("listening on ") {
+            let addr = line
+                .rsplit("listening on ")
+                .next()
+                .expect("address")
+                .trim()
+                .to_owned();
+            // Keep draining stderr in the background so later server
+            // writes (e.g. the drain-flush report) never block or hit
+            // a closed pipe.
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                let _ = stderr.read_to_string(&mut sink);
+            });
+            break addr;
+        }
+    };
     (child, addr)
 }
 
@@ -278,6 +299,190 @@ fn tcp_slow_fragmented_request_is_not_corrupted() {
         .write_all(b"{\"method\": \"shutdown\"}\n")
         .expect("shutdown written");
     assert_eq!(child.wait().expect("exits").code(), Some(0));
+}
+
+/// Flooding a one-worker, one-slot server sheds the overflow with
+/// structured status-7 replies — and still drains cleanly: every line
+/// is answered, admitted requests succeed, nothing hangs.
+#[test]
+fn overload_flood_sheds_with_structured_status_7() {
+    let mut requests = String::new();
+    for id in 1..=10 {
+        requests.push_str(&format!(
+            "{{\"id\": {id}, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 4, \"seed\": {id}}}\n"
+        ));
+    }
+    requests.push_str("{\"id\": 99, \"method\": \"stats\"}\n");
+    let (code, lines) = batch(&["--workers", "1", "--max-inflight", "1"], &requests);
+    assert_eq!(code, 0, "clean drain under flood: {lines:?}");
+    assert_eq!(lines.len(), 11, "every line answered: {lines:?}");
+
+    let shed: Vec<&String> = lines.iter().filter(|l| status_of(l) == 7).collect();
+    let served = lines
+        .iter()
+        .filter(|l| status_of(l) == 0 && l.contains("\"area\":"))
+        .count();
+    assert!(
+        !shed.is_empty(),
+        "a 1-slot server under a 10-deep flood sheds"
+    );
+    assert!(served >= 1, "the admitted request completes: {lines:?}");
+    assert_eq!(shed.len() + served, 10, "every optimize is shed xor served");
+    for line in &shed {
+        assert!(line.contains("\"overloaded\":true"), "{line}");
+        assert!(line.contains("\"reason\":\"queue_full\""), "{line}");
+        assert!(line.contains("\"id\":"), "shed replies echo the id: {line}");
+    }
+    // Control traffic is never shed — stats got through and reports it.
+    let stats = line_with_id(&lines, "99");
+    assert_eq!(status_of(&stats), 0, "{stats}");
+    assert!(
+        stats.contains(&format!("\"shed\":{}", shed.len())),
+        "{stats}"
+    );
+}
+
+/// A silent TCP connection is reclaimed after the read-idle deadline
+/// with a clean `timeout` status line, then closed; the server itself
+/// keeps serving.
+#[test]
+fn tcp_idle_connection_times_out_cleanly() {
+    let (mut child, addr) = spawn_tcp_with(&["--idle-timeout-ms", "300"]);
+    let idle = TcpStream::connect(&addr).expect("connects");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(idle);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("timeout line");
+    assert!(line.contains("\"timeout\":\"idle\""), "{line}");
+    assert!(line.contains("\"idle_ms\":300"), "{line}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("closed after line");
+    assert!(rest.is_empty(), "nothing after the timeout line: {rest}");
+
+    // The listener is unaffected: a live connection still gets served.
+    let mut live = TcpStream::connect(&addr).expect("reconnects");
+    live.write_all(b"{\"id\": 1, \"method\": \"ping\"}\n{\"method\": \"shutdown\"}\n")
+        .expect("requests written");
+    let mut reader = BufReader::new(live.try_clone().expect("clone"));
+    let mut pong = String::new();
+    reader.read_line(&mut pong).expect("pong line");
+    assert_eq!(status_of(&pong), 0, "{pong}");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+}
+
+/// Beyond `--max-conns`, a new connection receives exactly one
+/// status-7 line and is closed — a bounded backlog, not an ever-growing
+/// thread list.
+#[test]
+fn tcp_backlog_is_bounded_by_max_conns() {
+    let (mut child, addr) = spawn_tcp_with(&["--max-conns", "1"]);
+    let held = TcpStream::connect(&addr).expect("first connects");
+    // Give the acceptor time to register the held connection.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let refused = TcpStream::connect(&addr).expect("second connects");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(refused);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("refusal line");
+    assert_eq!(status_of(&line), 7, "{line}");
+    assert!(
+        line.contains("\"reason\":\"too_many_connections\""),
+        "{line}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("closed");
+    assert!(rest.is_empty(), "one line then close: {rest}");
+
+    // The held connection still works and can drain the server.
+    let mut held = held;
+    held.write_all(b"{\"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+}
+
+/// End-to-end warm restart: a `--cache-file` server is run, drained,
+/// and restarted over the same store; the replayed entries show up in
+/// the Prometheus `/metrics` exposition and the repeat request is
+/// served entirely from the recovered cache.
+#[test]
+fn tcp_warm_restart_shows_recovered_entries_in_metrics() {
+    let dir = std::env::temp_dir().join(format!("fpserved-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().expect("utf-8 temp path").to_owned();
+    let request =
+        b"{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 4}\n" as &[u8];
+
+    // First life: populate the store, drain cleanly (the drain flushes).
+    let (mut child, addr) = spawn_tcp_with(&["--cache-file", &store]);
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    stream.write_all(request).expect("request written");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response");
+    assert_eq!(status_of(&line), 0, "{line}");
+    stream
+        .write_all(b"{\"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+
+    // Second life: /metrics proves the replay before any request runs.
+    let (mut child, addr) = spawn_tcp_with(&["--cache-file", &store]);
+    let mut probe = TcpStream::connect(&addr).expect("probe connects");
+    probe
+        .write_all(b"GET /metrics HTTP/1.1\r\n\r\n")
+        .expect("probe written");
+    let mut exposition = String::new();
+    BufReader::new(probe)
+        .read_to_string(&mut exposition)
+        .expect("exposition read");
+    let recovered: u64 = exposition
+        .lines()
+        .find_map(|l| l.strip_prefix("fp_cache_recovered_entries "))
+        .expect("recovered gauge present")
+        .trim()
+        .parse()
+        .expect("gauge is a number");
+    assert!(
+        recovered > 0,
+        "warm restart replayed entries:\n{exposition}"
+    );
+    assert!(
+        exposition.contains("fp_cache_persist_appended_records_total"),
+        "{exposition}"
+    );
+
+    // And the repeat request is a pure cache hit: zero misses.
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    stream.write_all(request).expect("request written");
+    stream
+        .write_all(b"{\"id\": 2, \"method\": \"stats\"}\n{\"method\": \"shutdown\"}\n")
+        .expect("tail written");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut responses = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        responses.push(line.trim().to_owned());
+    }
+    assert_eq!(status_of(&line_with_id(&responses, "1")), 0);
+    let stats = line_with_id(&responses, "2");
+    assert!(stats.contains("\"cache_persistent\":true"), "{stats}");
+    assert!(
+        stats.contains(&format!("\"cache_recovered_entries\":{recovered}")),
+        "{stats}"
+    );
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Response `line` numbers count each connection's own stream, as the
