@@ -1,8 +1,8 @@
 //! The simulated-annealing loop.
 
-use fp_optimizer::{OptimizeConfig, Optimizer};
+use fp_optimizer::{HpwlEvaluator, Netlist, OptimizeConfig, Optimizer};
 use fp_prng::StdRng;
-use fp_tree::layout::Assignment;
+use fp_tree::layout::{realize, Assignment};
 use fp_tree::{FloorplanTree, ModuleLibrary};
 
 use crate::PolishExpression;
@@ -26,6 +26,15 @@ pub struct AnnealConfig {
     /// Configuration of the inner area optimizer — this is where the
     /// paper's selection policies cap each evaluation's memory/time.
     pub optimizer: OptimizeConfig,
+    /// Optional netlist for wirelength-aware search. `None` anneals on
+    /// area alone (the classic loop, unchanged move for move).
+    pub netlist: Option<Netlist>,
+    /// Weight on area in the composite acceptance cost when a netlist
+    /// is attached: `alpha·area/a₀ + (1−alpha)·hpwl/h₀`, both terms
+    /// normalized by the initial solution. `alpha ≥ 1` (the default)
+    /// anneals on area exactly as without a netlist — same moves, same
+    /// acceptances — and only reports the final wirelength.
+    pub alpha: f64,
 }
 
 impl Default for AnnealConfig {
@@ -38,6 +47,8 @@ impl Default for AnnealConfig {
             cooling: 0.9,
             moves_per_step: 50,
             optimizer: OptimizeConfig::default(),
+            netlist: None,
+            alpha: 1.0,
         }
     }
 }
@@ -49,12 +60,17 @@ pub struct AnnealResult {
     pub tree: FloorplanTree,
     /// The best expression (the tree in Polish form).
     pub expression: PolishExpression,
-    /// The best area.
+    /// The best solution's area. Under a composite cost
+    /// ([`AnnealConfig::netlist`] with `alpha < 1`) this is the area of
+    /// the best *composite* solution, not necessarily the smallest area
+    /// seen.
     pub best_area: u128,
     /// The per-module implementation choices realizing it.
     pub assignment: Assignment,
     /// Area of the initial (all-in-a-row) topology, for reference.
     pub initial_area: u128,
+    /// The best solution's total HPWL, when a netlist was attached.
+    pub best_hpwl: Option<u128>,
     /// Moves accepted.
     pub accepted: usize,
     /// Moves proposed.
@@ -64,12 +80,17 @@ pub struct AnnealResult {
 /// Searches for a low-area slicing topology for `library` by simulated
 /// annealing, evaluating every candidate with the optimal area engine.
 ///
+/// With a netlist attached and `alpha < 1`, every candidate's layout is
+/// additionally scored by HPWL through one persistent *incremental*
+/// evaluator (consecutive moves re-measure only the nets they touch)
+/// and acceptance runs on the normalized composite cost.
+///
 /// Deterministic in `config.seed`.
 ///
 /// # Panics
 ///
-/// Panics if the library is empty or a module has no implementations
-/// (topology search needs a well-formed library).
+/// Panics if the library is empty, a module has no implementations, or
+/// the attached netlist does not bind against `library`.
 #[must_use]
 pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
     assert!(
@@ -79,13 +100,33 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
     let n = library.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let evaluate = |expr: &PolishExpression| -> (u128, FloorplanTree, Assignment) {
+    let bound = config
+        .netlist
+        .as_ref()
+        .map(|netlist| netlist.bind(library).expect("netlist binds the library"));
+    // Composite acceptance only below alpha = 1: at and above it the
+    // walk is the classic area anneal, move for move.
+    let wire = bound.is_some() && config.alpha < 1.0;
+    let mut evaluator = bound.as_ref().map(HpwlEvaluator::new);
+
+    let mut evaluate = |expr: &PolishExpression,
+                        need_hpwl: bool|
+     -> (u128, u128, FloorplanTree, Assignment) {
         let tree = expr.to_tree();
         let out = Optimizer::new(&tree, library)
             .config(&config.optimizer)
             .run_best()
             .expect("slicing candidates fit the configured budget");
-        (out.area, tree, out.assignment)
+        let hpwl = match (&mut evaluator, need_hpwl) {
+            (Some(evaluator), true) => {
+                let layout = realize(&tree, library, &out.assignment).expect("assignments realize");
+                evaluator
+                    .update(&tree, &layout, &out.assignment)
+                    .expect("bound netlists evaluate")
+            }
+            _ => 0,
+        };
+        (out.area, hpwl, tree, out.assignment)
     };
 
     let mut current = if config.random_start {
@@ -93,14 +134,29 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
     } else {
         PolishExpression::row(n)
     };
-    let (mut current_area, tree, assignment) = evaluate(&current);
-    let initial_area = current_area;
+    let (initial_area, initial_hpwl, tree, assignment) = evaluate(&current, wire);
+    // Composite cost, normalized by the initial solution so alpha is
+    // scale-free; plain area cost otherwise (bit-compatible with the
+    // netlist-free loop).
+    let area_scale = initial_area.max(1) as f64;
+    let hpwl_scale = initial_hpwl.max(1) as f64;
+    let alpha = config.alpha.clamp(0.0, 1.0);
+    let cost = |area: u128, hpwl: u128| -> f64 {
+        if wire {
+            alpha * (area as f64 / area_scale) + (1.0 - alpha) * (hpwl as f64 / hpwl_scale)
+        } else {
+            area as f64
+        }
+    };
+    let mut current_cost = cost(initial_area, initial_hpwl);
+    let mut best_cost = current_cost;
     let mut best = AnnealResult {
         tree,
         expression: current.clone(),
-        best_area: current_area,
+        best_area: initial_area,
         assignment,
         initial_area,
+        best_hpwl: bound.is_some().then_some(initial_hpwl),
         accepted: 0,
         proposed: 0,
     };
@@ -109,26 +165,26 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
     // uphill delta, then set T0 so such a move is accepted with the
     // configured probability.
     let mut probe = current.clone();
-    let mut probe_area = current_area as f64;
+    let mut probe_cost = current_cost;
     let mut uphill_sum = 0.0f64;
     let mut uphill_count = 0u32;
     for _ in 0..30 {
         if probe.random_move(&mut rng).is_none() {
             break;
         }
-        let (area, _, _) = evaluate(&probe);
-        let delta = area as f64 - probe_area;
+        let (area, hpwl, _, _) = evaluate(&probe, wire);
+        let delta = cost(area, hpwl) - probe_cost;
         if delta > 0.0 {
             uphill_sum += delta;
             uphill_count += 1;
         }
-        probe_area = area as f64;
+        probe_cost = cost(area, hpwl);
     }
     let p0 = config.initial_accept_prob.clamp(0.01, 0.99);
     let mut temp = if uphill_count > 0 {
         (uphill_sum / f64::from(uphill_count)) / (1.0 / p0).ln()
     } else {
-        initial_area as f64 * 0.05
+        current_cost * 0.05
     };
     for step in 0..config.moves {
         if step > 0 && step % config.moves_per_step.max(1) == 0 {
@@ -139,21 +195,31 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
             break; // single module: nothing to search
         }
         best.proposed += 1;
-        let (area, tree, assignment) = evaluate(&candidate);
-        let delta = area as f64 - current_area as f64;
+        let (area, hpwl, tree, assignment) = evaluate(&candidate, wire);
+        let delta = cost(area, hpwl) - current_cost;
         let accept =
             delta <= 0.0 || (temp > 0.0 && rng.gen_range(0.0..1.0f64) < (-delta / temp).exp());
         if accept {
             best.accepted += 1;
             current = candidate;
-            current_area = area;
-            if area < best.best_area {
+            current_cost = cost(area, hpwl);
+            if current_cost < best_cost {
+                best_cost = current_cost;
                 best.best_area = area;
                 best.expression = current.clone();
                 best.tree = tree;
                 best.assignment = assignment;
+                if wire {
+                    best.best_hpwl = Some(hpwl);
+                }
             }
         }
+    }
+    // Area-only walk with a netlist attached: report the winner's
+    // wirelength without having paid for it per move.
+    if bound.is_some() && !wire {
+        let (_, hpwl, _, _) = evaluate(&best.expression, true);
+        best.best_hpwl = Some(hpwl);
     }
     best
 }
@@ -207,6 +273,64 @@ mod tests {
         // A different seed explores differently (may or may not tie on
         // area, but the walk differs).
         assert!(c.proposed > 0);
+    }
+
+    #[test]
+    fn wirelength_aware_walk_is_deterministic_and_reports_hpwl() {
+        let library = fp_tree::spread_library(8, 3, 5);
+        let netlist = fp_optimizer::random_netlist(&library, 20, 9);
+        let cfg = AnnealConfig {
+            moves: 200,
+            seed: 21,
+            netlist: Some(netlist.clone()),
+            alpha: 0.5,
+            ..Default::default()
+        };
+        let a = anneal(&library, &cfg);
+        let b = anneal(&library, &cfg);
+        assert_eq!(a.best_area, b.best_area);
+        assert_eq!(a.best_hpwl, b.best_hpwl);
+        assert_eq!(a.expression, b.expression);
+        let hpwl = a.best_hpwl.expect("netlist attached");
+        assert!(hpwl > 0);
+        // The reported HPWL is the best layout's actual wirelength.
+        let bound = netlist.bind(&library).expect("binds");
+        let layout = realize(&a.tree, &library, &a.assignment).expect("valid");
+        let mut fresh = fp_optimizer::HpwlEvaluator::new(&bound);
+        let full = fresh
+            .evaluate_full(&a.tree, &layout, &a.assignment)
+            .expect("evaluates");
+        assert_eq!(full, hpwl);
+    }
+
+    #[test]
+    fn alpha_one_with_netlist_matches_the_area_walk() {
+        let library = fp_tree::spread_library(8, 3, 5);
+        let netlist = fp_optimizer::random_netlist(&library, 15, 4);
+        let area_only = anneal(
+            &library,
+            &AnnealConfig {
+                moves: 200,
+                seed: 33,
+                ..Default::default()
+            },
+        );
+        let with_netlist = anneal(
+            &library,
+            &AnnealConfig {
+                moves: 200,
+                seed: 33,
+                netlist: Some(netlist),
+                alpha: 1.0,
+                ..Default::default()
+            },
+        );
+        // Same walk, same winner — the netlist only adds reporting.
+        assert_eq!(area_only.best_area, with_netlist.best_area);
+        assert_eq!(area_only.expression, with_netlist.expression);
+        assert_eq!(area_only.accepted, with_netlist.accepted);
+        assert!(area_only.best_hpwl.is_none());
+        assert!(with_netlist.best_hpwl.is_some());
     }
 
     #[test]

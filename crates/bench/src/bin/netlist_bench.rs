@@ -1,0 +1,335 @@
+//! Wirelength (HPWL) evaluator and Pareto-frontier benchmark, emitted
+//! as machine-readable `BENCH_netlist.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin netlist_bench
+//! cargo run --release -p fp-bench --bin netlist_bench -- --smoke
+//! cargo run --release -p fp-bench --bin netlist_bench -- --out path.json
+//! ```
+//!
+//! Two phases per paper benchmark, against a seeded random netlist
+//! bound to the benchmark's module library:
+//!
+//! * **hpwl** — replay an annealer-style probe sequence (each step a
+//!   single-module implementation what-if against a pinned base
+//!   layout, built up front so only the evaluation is timed) through a
+//!   persistent incremental
+//!   [`HpwlEvaluator`] and through full per-step recomputation. Both
+//!   totals must agree exactly at every step, and the incremental pass
+//!   must be at least [`MIN_SPEEDUP`]x faster — that factor is the
+//!   whole point of the incremental bounding boxes.
+//! * **pareto** — run the multi-objective frontier sweep
+//!   ([`Optimizer::run_pareto`]) and record the non-dominated front
+//!   size, the number of envelopes evaluated, and the normalized
+//!   hypervolume. At least [`MIN_FRONTED`] benchmarks must produce a
+//!   front of [`MIN_FRONT`]+ points, or the trade-off surface has
+//!   collapsed.
+//!
+//! Timings are the best of [`REPS`] repetitions (monotonic clock).
+//! `--smoke` runs a reduced matrix (2 benchmarks, short move sequence,
+//! 1 rep) so CI can gate on the schema and both invariants cheaply.
+
+use std::time::Instant;
+
+use fp_optimizer::{random_netlist, BoundNetlist, HpwlEvaluator, Optimizer};
+use fp_prng::Xoshiro256;
+use fp_tree::layout::{realize, Assignment, Layout};
+use fp_tree::{generators, FloorplanTree, ModuleLibrary, NodeKind};
+
+/// Repetitions per timed phase; the minimum is reported.
+const REPS: usize = 3;
+/// Implementations per module: wide libraries give the frontier sweep
+/// a real trade-off surface to walk.
+const IMPLS: usize = 16;
+/// Module-set seed (matches the `tables` benchmark convention).
+const LIB_SEED: u64 = 1;
+/// Nets in the generated netlist and its seed.
+const NETS: usize = 800;
+const NET_SEED: u64 = 3;
+/// Gate: the incremental evaluator must beat full recomputation by at
+/// least this factor on every benchmark.
+const MIN_SPEEDUP: f64 = 5.0;
+/// Gate: at least `MIN_FRONTED` benchmarks must yield a Pareto front
+/// with `MIN_FRONT`+ mutually non-dominated points.
+const MIN_FRONT: usize = 3;
+const MIN_FRONTED: usize = 2;
+
+struct HpwlResult {
+    moves: usize,
+    full_millis: f64,
+    inc_millis: f64,
+    inc_evals_per_sec: f64,
+    speedup: f64,
+}
+
+struct ParetoResult {
+    front_size: usize,
+    evaluated: usize,
+    hypervolume: f64,
+}
+
+struct BenchResult {
+    bench: &'static str,
+    modules: usize,
+    nets: usize,
+    hpwl: HpwlResult,
+    pareto: ParetoResult,
+}
+
+fn benchmark(name: &str) -> generators::Benchmark {
+    match name {
+        "fp1" => generators::fp1(),
+        "fp2" => generators::fp2(),
+        "fp3" => generators::fp3(),
+        "fp4" => generators::fp4(),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// A deterministic annealer-style probe sequence: each step is a
+/// single-module what-if — one leaf's implementation choice flips and
+/// its placed rectangle is re-sized in place, every other placement
+/// pinned (the annealer's candidate-probing regime, where a full
+/// re-realize is deferred until a move is accepted). Layouts are built
+/// up front so the timed loops measure evaluation only.
+fn move_sequence(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    moves: usize,
+) -> (Vec<Assignment>, Vec<Layout>) {
+    let leaves = tree.leaves_in_order();
+    let counts: Vec<usize> = leaves
+        .iter()
+        .map(|&leaf| match tree.node(leaf).map(|n| &n.kind) {
+            Some(&NodeKind::Leaf(m)) => library
+                .get(m)
+                .map_or(1, |module| module.implementations().len().max(1)),
+            _ => 1,
+        })
+        .collect();
+    let base_choices = vec![0usize; leaves.len()];
+    let base_assignment = Assignment::new(base_choices.clone());
+    let base_layout = realize(tree, library, &base_assignment).expect("base assignment realizes");
+
+    let mut rng = Xoshiro256::seed_from_u64(0xbe5c);
+    let mut choices = base_choices;
+    let mut layout = base_layout;
+    let mut assignments = vec![Assignment::new(choices.clone())];
+    let mut layouts = vec![layout.clone()];
+    for _ in 0..moves {
+        let slot = rng.gen_range(0..leaves.len());
+        let choice = rng.gen_range(0..counts[slot]);
+        let module = match tree.node(leaves[slot]).map(|n| &n.kind) {
+            Some(&NodeKind::Leaf(m)) => m,
+            _ => continue,
+        };
+        let Some(size) = library
+            .get(module)
+            .and_then(|m| m.implementations().get(choice))
+        else {
+            continue;
+        };
+        choices[slot] = choice;
+        for (leaf, rect) in &mut layout.placed {
+            if *leaf == leaves[slot] {
+                rect.size = size;
+            }
+        }
+        assignments.push(Assignment::new(choices.clone()));
+        layouts.push(layout.clone());
+    }
+    (assignments, layouts)
+}
+
+fn hpwl_phase(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    bound: &BoundNetlist,
+    moves: usize,
+    reps: usize,
+) -> HpwlResult {
+    let (assignments, layouts) = move_sequence(tree, library, moves);
+
+    let mut inc_millis = f64::INFINITY;
+    let mut full_millis = f64::INFINITY;
+    for _ in 0..reps {
+        // Incremental: one persistent evaluator across the walk.
+        let mut inc = HpwlEvaluator::new(bound);
+        let mut inc_totals = Vec::with_capacity(assignments.len());
+        let start = Instant::now();
+        for (a, l) in assignments.iter().zip(&layouts) {
+            inc_totals.push(inc.update(tree, l, a).expect("netlist binds the tree"));
+        }
+        inc_millis = inc_millis.min(start.elapsed().as_secs_f64() * 1e3);
+
+        // Full: every step recomputes every net from scratch.
+        let mut full = HpwlEvaluator::new(bound);
+        let mut full_totals = Vec::with_capacity(assignments.len());
+        let start = Instant::now();
+        for (a, l) in assignments.iter().zip(&layouts) {
+            full_totals.push(full.evaluate_full(tree, l, a).expect("netlist binds"));
+        }
+        full_millis = full_millis.min(start.elapsed().as_secs_f64() * 1e3);
+
+        assert_eq!(
+            inc_totals, full_totals,
+            "incremental and full HPWL must agree at every step"
+        );
+    }
+
+    let steps = assignments.len();
+    HpwlResult {
+        moves,
+        full_millis,
+        inc_millis,
+        inc_evals_per_sec: if inc_millis > 0.0 {
+            steps as f64 / (inc_millis / 1e3)
+        } else {
+            0.0
+        },
+        speedup: if inc_millis > 0.0 {
+            full_millis / inc_millis
+        } else {
+            0.0
+        },
+    }
+}
+
+fn pareto_phase(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    bound: &BoundNetlist,
+) -> ParetoResult {
+    let pareto = Optimizer::new(tree, library)
+        .run_pareto(bound)
+        .expect("benchmark frontier enumerates");
+    let ref_area = pareto.front.iter().map(|p| p.area).max().unwrap_or(0) * 11 / 10 + 1;
+    let ref_hpwl = pareto.front.iter().map(|p| p.hpwl).max().unwrap_or(0) * 11 / 10 + 1;
+    ParetoResult {
+        front_size: pareto.front.len(),
+        evaluated: pareto.evaluated,
+        hypervolume: fp_optimizer::hypervolume(&pareto.front, ref_area, ref_hpwl),
+    }
+}
+
+fn run_bench(name: &'static str, moves: usize, reps: usize) -> BenchResult {
+    let bench = benchmark(name);
+    let library = generators::module_library(&bench.tree, IMPLS, LIB_SEED);
+    let netlist = random_netlist(&library, NETS, NET_SEED);
+    let bound = netlist.bind(&library).expect("generated netlist binds");
+    let hpwl = hpwl_phase(&bench.tree, &library, &bound, moves, reps);
+    let pareto = pareto_phase(&bench.tree, &library, &bound);
+    BenchResult {
+        bench: name,
+        modules: library.len(),
+        nets: netlist.nets.len(),
+        hpwl,
+        pareto,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_netlist.json".to_owned();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("netlist_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("netlist_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (benches, moves, reps): (&[&'static str], usize, usize) = if smoke {
+        (&["fp1", "fp2"], 300, 1)
+    } else {
+        (&["fp1", "fp2", "fp3", "fp4"], 2_000, REPS)
+    };
+
+    let mut results = Vec::new();
+    for name in benches {
+        eprintln!("netlist_bench: {name}: {NETS} nets, {moves} moves ...");
+        results.push(run_bench(name, moves, reps));
+    }
+
+    let mut entries = Vec::new();
+    for r in &results {
+        entries.push(format!(
+            "    {{\"bench\": \"{}\", \"modules\": {}, \"nets\": {},\n     \
+             \"hpwl\": {{\"moves\": {}, \"full_millis\": {:.3}, \"incremental_millis\": {:.3}, \
+             \"incremental_evals_per_sec\": {:.0}, \"speedup\": {:.2}}},\n     \
+             \"pareto\": {{\"front_size\": {}, \"evaluated\": {}, \"hypervolume\": {:.6}}}}}",
+            r.bench,
+            r.modules,
+            r.nets,
+            r.hpwl.moves,
+            r.hpwl.full_millis,
+            r.hpwl.inc_millis,
+            r.hpwl.inc_evals_per_sec,
+            r.hpwl.speedup,
+            r.pareto.front_size,
+            r.pareto.evaluated,
+            r.pareto.hypervolume,
+        ));
+        println!(
+            "{:>4}: hpwl full {:>9.3} ms | incremental {:>8.3} ms ({:>9.0} evals/s, {:>5.1}x) | \
+             pareto front {:>2} of {:>3} (hv {:.4})",
+            r.bench,
+            r.hpwl.full_millis,
+            r.hpwl.inc_millis,
+            r.hpwl.inc_evals_per_sec,
+            r.hpwl.speedup,
+            r.pareto.front_size,
+            r.pareto.evaluated,
+            r.pareto.hypervolume,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"netlist HPWL evaluator and Pareto frontier\",\n  \
+         \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"impls_per_module\": {IMPLS},\n  \
+         \"nets\": {NETS},\n  \"net_seed\": {NET_SEED},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("netlist_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // Regression gates (the per-step agreement assert already ran).
+    let mut failed = false;
+    for r in &results {
+        if r.hpwl.speedup < MIN_SPEEDUP {
+            eprintln!(
+                "netlist_bench: FAIL: {} incremental speedup {:.2}x < {MIN_SPEEDUP}x",
+                r.bench, r.hpwl.speedup
+            );
+            failed = true;
+        }
+    }
+    let fronted = results
+        .iter()
+        .filter(|r| r.pareto.front_size >= MIN_FRONT)
+        .count();
+    if fronted < MIN_FRONTED {
+        eprintln!(
+            "netlist_bench: FAIL: only {fronted} benchmark(s) produced a \
+             {MIN_FRONT}+-point Pareto front (need {MIN_FRONTED})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

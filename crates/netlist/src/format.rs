@@ -1,0 +1,443 @@
+//! A human-writable text format for netlists (`.fpn`).
+//!
+//! ```text
+//! # comment
+//! netlist demo
+//! die 40x30
+//! pad clk 0 15
+//! pad rst 40 0
+//! pin cpu d0 0.5 1
+//! pin ram a0 offsets 1,2 3,1
+//! net bus cpu.d0 ram.a0 clk
+//! ```
+//!
+//! * `netlist <name>` — optional header naming the netlist.
+//! * `die <w>x<h>` — the die rectangle pad positions refer to; required
+//!   before the first `pad`. Pad positions are scaled proportionally
+//!   onto the realized envelope at evaluation time.
+//! * `pad <name> <x> <y>` — an I/O pad; `(x, y)` must lie **on the die
+//!   boundary** (x ∈ {0, w} or y ∈ {0, h}).
+//! * `pin <module> <name> <fx> <fy>` — a pin at fractional offsets
+//!   `fx, fy ∈ [0, 1]` of whichever implementation the optimizer picks.
+//! * `pin <module> <name> offsets <dx>,<dy> …` — absolute offsets, one
+//!   per implementation in the module's list order (validated at bind
+//!   time).
+//! * `net <name> <endpoint> …` — at least two endpoints; an endpoint is
+//!   `<module>.<pin>` (a declared pin) or a bare `<pad-name>`.
+//!
+//! `#` starts a comment anywhere; each directive occupies one line. The
+//! format round-trips through [`write_netlist`] / [`parse_netlist`].
+
+use core::fmt;
+use std::collections::HashSet;
+
+use fp_geom::{Coord, Point, Rect};
+
+use crate::model::{Endpoint, Net, Netlist, Pad, Pin, PinOffset};
+
+/// A parse error with 1-based line and column information, mirroring
+/// `fp_tree::format::ParseInstanceError` for the `.fpt` format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending token (0 for end-of-input).
+    pub line: usize,
+    /// 1-based column of the offending token's first character (0 when
+    /// no single token is at fault).
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "netlist parse error at end of input: {}", self.message)
+        } else {
+            write!(
+                f,
+                "netlist parse error at line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+/// `(line, column)` of a token's first character, both 1-based.
+type Pos = (usize, usize);
+
+fn err_at(pos: Pos, message: String) -> ParseNetlistError {
+    ParseNetlistError {
+        line: pos.0,
+        col: pos.1,
+        message,
+    }
+}
+
+/// Splits one comment-stripped line into `(word, position)` tokens.
+fn words(line_no: usize, line: &str) -> Vec<(String, Pos)> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut word_col = 0usize;
+    for (col0, ch) in line.chars().enumerate() {
+        if ch.is_whitespace() {
+            if !word.is_empty() {
+                out.push((std::mem::take(&mut word), (line_no, word_col)));
+            }
+        } else {
+            if word.is_empty() {
+                word_col = col0 + 1;
+            }
+            word.push(ch);
+        }
+    }
+    if !word.is_empty() {
+        out.push((word, (line_no, word_col)));
+    }
+    out
+}
+
+fn parse_size(word: &str, pos: Pos) -> Result<Rect, ParseNetlistError> {
+    let bad = || err_at(pos, format!("expected <width>x<height>, found `{word}`"));
+    let (w, h) = word.split_once(['x', 'X']).ok_or_else(bad)?;
+    let w: Coord = w.parse().map_err(|_| bad())?;
+    let h: Coord = h.parse().map_err(|_| bad())?;
+    if w == 0 || h == 0 {
+        return Err(err_at(pos, format!("zero dimension in `{word}`")));
+    }
+    if w > fp_geom::MAX_COORD || h > fp_geom::MAX_COORD {
+        return Err(err_at(
+            pos,
+            format!(
+                "dimension in `{word}` exceeds the supported maximum {}",
+                fp_geom::MAX_COORD
+            ),
+        ));
+    }
+    Ok(Rect::new(w, h))
+}
+
+fn parse_coord(word: &str, pos: Pos, what: &str) -> Result<Coord, ParseNetlistError> {
+    word.parse()
+        .map_err(|_| err_at(pos, format!("expected {what}, found `{word}`")))
+}
+
+fn parse_fraction(word: &str, pos: Pos) -> Result<f64, ParseNetlistError> {
+    let f: f64 = word.parse().map_err(|_| {
+        err_at(
+            pos,
+            format!("expected a fraction in [0, 1], found `{word}`"),
+        )
+    })?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(err_at(pos, format!("fraction `{word}` is outside [0, 1]")));
+    }
+    Ok(f)
+}
+
+/// Parses a netlist from its `.fpn` text form.
+///
+/// Reference resolution happens here: every net endpoint must name a
+/// previously declared pin (`module.pin`) or pad, every pad needs a
+/// prior `die`, pad positions must sit on the die boundary, net names
+/// must be unique, and every net needs at least two distinct endpoints —
+/// each violation is reported with the offending token's line and
+/// column.
+///
+/// # Errors
+///
+/// See [`ParseNetlistError`].
+pub fn parse_netlist(input: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut netlist = Netlist::new("netlist");
+    let mut pad_names: HashSet<String> = HashSet::new();
+    let mut pin_keys: HashSet<(String, String)> = HashSet::new();
+    let mut net_names: HashSet<String> = HashSet::new();
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("");
+        let tokens = words(line_no, line);
+        let Some((keyword, key_pos)) = tokens.first() else {
+            continue;
+        };
+        let rest = &tokens[1..];
+        let missing = |what: &str| err_at(*key_pos, format!("`{keyword}` needs {what}"));
+        match keyword.as_str() {
+            "netlist" => {
+                let (name, _) = rest.first().ok_or_else(|| missing("a name"))?;
+                netlist.name = name.clone();
+            }
+            "die" => {
+                if netlist.die.is_some() {
+                    return Err(err_at(*key_pos, "duplicate `die` directive".to_owned()));
+                }
+                let (size, pos) = rest.first().ok_or_else(|| missing("a <width>x<height>"))?;
+                netlist.die = Some(parse_size(size, *pos)?);
+            }
+            "pad" => {
+                let [(name, name_pos), (x, x_pos), (y, y_pos)] = rest else {
+                    return Err(missing("`<name> <x> <y>`"));
+                };
+                let Some(die) = netlist.die else {
+                    return Err(err_at(
+                        *key_pos,
+                        "`pad` requires a prior `die` directive".to_owned(),
+                    ));
+                };
+                if !pad_names.insert(name.clone()) {
+                    return Err(err_at(*name_pos, format!("duplicate pad `{name}`")));
+                }
+                let x = parse_coord(x, *x_pos, "a pad x coordinate")?;
+                let y = parse_coord(y, *y_pos, "a pad y coordinate")?;
+                let on_boundary =
+                    x <= die.w && y <= die.h && (x == 0 || x == die.w || y == 0 || y == die.h);
+                if !on_boundary {
+                    return Err(err_at(
+                        *x_pos,
+                        format!("pad `{name}` at ({x}, {y}) is not on the {die} die boundary"),
+                    ));
+                }
+                netlist.pads.push(Pad {
+                    name: name.clone(),
+                    position: Point::new(x, y),
+                });
+            }
+            "pin" => {
+                let ((module, _), (name, name_pos), offset_tokens) = match rest {
+                    [m, n, o @ ..] if !o.is_empty() => (m, n, o),
+                    _ => return Err(missing("`<module> <name> <fx> <fy>` or `offsets …`")),
+                };
+                if !pin_keys.insert((module.clone(), name.clone())) {
+                    return Err(err_at(
+                        *name_pos,
+                        format!("duplicate pin `{module}.{name}`"),
+                    ));
+                }
+                let offset = if offset_tokens[0].0 == "offsets" {
+                    let mut offsets = Vec::new();
+                    for (word, pos) in &offset_tokens[1..] {
+                        let bad = || err_at(*pos, format!("expected `<dx>,<dy>`, found `{word}`"));
+                        let (dx, dy) = word.split_once(',').ok_or_else(bad)?;
+                        let dx: Coord = dx.parse().map_err(|_| bad())?;
+                        let dy: Coord = dy.parse().map_err(|_| bad())?;
+                        offsets.push((dx, dy));
+                    }
+                    if offsets.is_empty() {
+                        return Err(err_at(
+                            offset_tokens[0].1,
+                            format!("pin `{module}.{name}` declares no offsets"),
+                        ));
+                    }
+                    PinOffset::PerImpl(offsets)
+                } else {
+                    let [(fx, fx_pos), (fy, fy_pos)] = offset_tokens else {
+                        return Err(missing("two fractional offsets `<fx> <fy>`"));
+                    };
+                    PinOffset::Fraction {
+                        fx: parse_fraction(fx, *fx_pos)?,
+                        fy: parse_fraction(fy, *fy_pos)?,
+                    }
+                };
+                netlist.pins.push(Pin {
+                    module: module.clone(),
+                    name: name.clone(),
+                    offset,
+                });
+            }
+            "net" => {
+                let ((name, name_pos), endpoint_tokens) = match rest {
+                    [n, e @ ..] => (n, e),
+                    [] => return Err(missing("a net name and endpoints")),
+                };
+                if !net_names.insert(name.clone()) {
+                    return Err(err_at(*name_pos, format!("duplicate net `{name}`")));
+                }
+                let mut endpoints = Vec::new();
+                for (word, pos) in endpoint_tokens {
+                    let ep = if let Some((module, pin)) = word.split_once('.') {
+                        let Some(index) = netlist.pin_index(module, pin) else {
+                            return Err(err_at(
+                                *pos,
+                                format!("net `{name}` references undeclared pin `{word}`"),
+                            ));
+                        };
+                        Endpoint::Pin(index)
+                    } else {
+                        let Some(index) = netlist.pad_index(word) else {
+                            return Err(err_at(
+                                *pos,
+                                format!("net `{name}` references undeclared pad `{word}`"),
+                            ));
+                        };
+                        Endpoint::Pad(index)
+                    };
+                    if endpoints.contains(&ep) {
+                        return Err(err_at(
+                            *pos,
+                            format!("net `{name}` lists endpoint `{word}` twice"),
+                        ));
+                    }
+                    endpoints.push(ep);
+                }
+                if endpoints.len() < 2 {
+                    return Err(err_at(
+                        *name_pos,
+                        format!(
+                            "net `{name}` has {} endpoint(s); a net needs at least two",
+                            endpoints.len()
+                        ),
+                    ));
+                }
+                netlist.nets.push(Net {
+                    name: name.clone(),
+                    endpoints,
+                });
+            }
+            other => {
+                return Err(err_at(
+                    *key_pos,
+                    format!("unknown directive `{other}` (expected netlist/die/pad/pin/net)"),
+                ));
+            }
+        }
+    }
+    Ok(netlist)
+}
+
+/// Renders a netlist in its `.fpn` text form; the output parses back to
+/// an equal netlist ([`parse_netlist`] ∘ [`write_netlist`] is the
+/// identity on valid netlists).
+#[must_use]
+pub fn write_netlist(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "netlist {}", netlist.name);
+    if let Some(die) = netlist.die {
+        let _ = writeln!(out, "die {}x{}", die.w, die.h);
+    }
+    for pad in &netlist.pads {
+        let _ = writeln!(
+            out,
+            "pad {} {} {}",
+            pad.name, pad.position.x, pad.position.y
+        );
+    }
+    for pin in &netlist.pins {
+        match &pin.offset {
+            PinOffset::Fraction { fx, fy } => {
+                let _ = writeln!(out, "pin {} {} {fx} {fy}", pin.module, pin.name);
+            }
+            PinOffset::PerImpl(offsets) => {
+                let _ = write!(out, "pin {} {} offsets", pin.module, pin.name);
+                for (dx, dy) in offsets {
+                    let _ = write!(out, " {dx},{dy}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    for net in &netlist.nets {
+        let _ = write!(out, "net {}", net.name);
+        for &ep in &net.endpoints {
+            match ep {
+                Endpoint::Pin(i) => {
+                    let pin = &netlist.pins[i];
+                    let _ = write!(out, " {}.{}", pin.module, pin.name);
+                }
+                Endpoint::Pad(i) => {
+                    let _ = write!(out, " {}", netlist.pads[i].name);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+# a demo netlist
+netlist demo
+die 40x30
+pad clk 0 15
+pad rst 40 0
+pin cpu d0 0.5 1
+pin ram a0 offsets 1,2 3,1
+net bus cpu.d0 ram.a0 clk
+net reset cpu.d0 rst
+";
+
+    #[test]
+    fn parses_the_demo() {
+        let n = parse_netlist(DEMO).expect("parses");
+        assert_eq!(n.name, "demo");
+        assert_eq!(n.die, Some(Rect::new(40, 30)));
+        assert_eq!(n.pads.len(), 2);
+        assert_eq!(n.pins.len(), 2);
+        assert_eq!(n.nets.len(), 2);
+        assert_eq!(n.nets[0].endpoints.len(), 3);
+    }
+
+    #[test]
+    fn round_trips() {
+        let n = parse_netlist(DEMO).expect("parses");
+        let text = write_netlist(&n);
+        let again = parse_netlist(&text).expect("reparses");
+        assert_eq!(n, again);
+        // Writing is a fixpoint.
+        assert_eq!(text, write_netlist(&again));
+    }
+
+    #[test]
+    fn error_corpus_reports_positions() {
+        // (input, expected line, expected col, message fragment)
+        let cases: &[(&str, usize, usize, &str)] = &[
+            (
+                "die 40x30\npad a 3 7",
+                2,
+                7,
+                "not on the 40x30 die boundary",
+            ),
+            ("pad a 0 0", 1, 1, "requires a prior `die`"),
+            ("die 4x4\npad a 0 0\npad a 4 4", 3, 5, "duplicate pad `a`"),
+            ("die 0x5", 1, 5, "zero dimension"),
+            ("die 4x4\ndie 5x5", 2, 1, "duplicate `die`"),
+            ("pin m p 0.5 1.5", 1, 13, "outside [0, 1]"),
+            ("pin m p 0.5 0.5\npin m p 0 0", 2, 7, "duplicate pin `m.p`"),
+            ("pin m p offsets", 1, 9, "declares no offsets"),
+            ("pin m p offsets 1;2", 1, 17, "expected `<dx>,<dy>`"),
+            ("net n m.p x", 1, 7, "undeclared pin `m.p`"),
+            ("net n padx", 1, 7, "undeclared pad `padx`"),
+            ("pin m p 0 0\nnet n m.p", 2, 5, "at least two"),
+            ("pin m p 0 0\nnet n m.p m.p", 2, 11, "twice"),
+            (
+                "pin m p 0 0\npin q r 0 0\nnet n m.p q.r\nnet n q.r m.p",
+                4,
+                5,
+                "duplicate net `n`",
+            ),
+            ("frobnicate x", 1, 1, "unknown directive `frobnicate`"),
+            ("pin m", 1, 1, "`pin` needs"),
+        ];
+        for (input, line, col, needle) in cases {
+            let err = parse_netlist(input).expect_err(input);
+            assert_eq!((err.line, err.col), (*line, *col), "{input}: {err}");
+            assert!(
+                err.message.contains(needle),
+                "{input}: `{}` lacks `{needle}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let n = parse_netlist("\n# hi\n  # indented\nnetlist x # trailing\n").expect("parses");
+        assert_eq!(n.name, "x");
+        assert!(n.nets.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic netlist generation for benchmarks and tests: the paper
+//! benchmarks (FP1–FP4, AMI-like) ship without connectivity, so the
+//! wirelength experiments synthesize it reproducibly from a seed.
+
+use fp_geom::{Coord, Point, Rect};
+use fp_prng::StdRng;
+use fp_tree::ModuleLibrary;
+
+use crate::model::{Endpoint, Net, Netlist, Pad, Pin, PinOffset};
+
+/// Pin-offset fractions drawn by the generator (edge midpoints, corners,
+/// and center — typical pin sites).
+const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Generates a random netlist over `library` with `nets` nets,
+/// deterministically from `seed`.
+///
+/// Every module gets 2–4 pins at random fractional offsets; a square
+/// die of roughly twice the summed module area carries
+/// `max(4, modules/2)` boundary pads; each net connects 2–4 distinct
+/// module pins and, with probability ~1/4, one pad. Module references
+/// use the library's module *names*, so the netlist binds against the
+/// same library regardless of floorplan topology.
+///
+/// # Panics
+///
+/// Panics when the library is empty or `nets == 0`.
+#[must_use]
+pub fn random_netlist(library: &ModuleLibrary, nets: usize, seed: u64) -> Netlist {
+    assert!(!library.is_empty(), "netlist generation needs modules");
+    assert!(nets > 0, "netlist generation needs at least one net");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut netlist = Netlist::new(format!("gen{seed}"));
+
+    // Die: a square holding about twice the module area.
+    let total_area: u128 = library
+        .iter()
+        .map(|m| {
+            m.implementations()
+                .iter()
+                .map(|r| r.area())
+                .min()
+                .unwrap_or(1)
+        })
+        .sum();
+    let side = ((2 * total_area) as f64).sqrt().ceil().max(4.0) as Coord;
+    let die = Rect::new(side, side);
+    netlist.die = Some(die);
+
+    // Pads, spread around the boundary perimeter.
+    let pad_count = (library.len() / 2).max(4);
+    let perimeter = 2 * (die.w + die.h);
+    for i in 0..pad_count {
+        let at = (i as u128 * u128::from(perimeter) / pad_count as u128) as Coord;
+        let position = if at < die.w {
+            Point::new(at, 0) // bottom edge, left to right
+        } else if at < die.w + die.h {
+            Point::new(die.w, at - die.w) // right edge, bottom to top
+        } else if at < 2 * die.w + die.h {
+            Point::new(die.w - (at - die.w - die.h), die.h) // top, right to left
+        } else {
+            Point::new(0, die.h - (at - 2 * die.w - die.h)) // left, top to bottom
+        };
+        netlist.pads.push(Pad {
+            name: format!("io{i}"),
+            position,
+        });
+    }
+
+    // Pins: 2–4 per module at grid fractions.
+    let mut pins_of: Vec<Vec<usize>> = Vec::with_capacity(library.len());
+    for module in library.iter() {
+        let count = rng.gen_range(2..=4usize);
+        let mut ids = Vec::with_capacity(count);
+        for p in 0..count {
+            ids.push(netlist.pins.len());
+            netlist.pins.push(Pin {
+                module: module.name().to_owned(),
+                name: format!("p{p}"),
+                offset: PinOffset::Fraction {
+                    fx: FRACTIONS[rng.gen_range(0..FRACTIONS.len())],
+                    fy: FRACTIONS[rng.gen_range(0..FRACTIONS.len())],
+                },
+            });
+        }
+        pins_of.push(ids);
+    }
+
+    // Nets: 2–4 distinct module pins, sometimes plus a pad.
+    for n in 0..nets {
+        let arity = rng.gen_range(2..=4usize).min(library.len());
+        let mut modules: Vec<usize> = Vec::with_capacity(arity);
+        while modules.len() < arity {
+            let m = rng.gen_range(0..library.len());
+            if !modules.contains(&m) {
+                modules.push(m);
+            }
+        }
+        let mut endpoints: Vec<Endpoint> = modules
+            .iter()
+            .map(|&m| Endpoint::Pin(pins_of[m][rng.gen_range(0..pins_of[m].len())]))
+            .collect();
+        if rng.gen_range(0..4usize) == 0 || endpoints.len() < 2 {
+            endpoints.push(Endpoint::Pad(rng.gen_range(0..netlist.pads.len())));
+        }
+        netlist.nets.push(Net {
+            name: format!("n{n}"),
+            endpoints,
+        });
+    }
+    netlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{parse_netlist, write_netlist};
+    use fp_tree::generators;
+
+    #[test]
+    fn generation_is_deterministic_and_binds() {
+        let bench = generators::fp1();
+        let lib = generators::module_library(&bench.tree, 4, 1);
+        let a = random_netlist(&lib, 30, 7);
+        let b = random_netlist(&lib, 30, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, random_netlist(&lib, 30, 8));
+        assert_eq!(a.nets.len(), 30);
+        let bound = a.bind(&lib).expect("binds against its own library");
+        assert_eq!(bound.net_count(), 30);
+        // Every net has at least two endpoints.
+        assert!(a.nets.iter().all(|n| n.endpoints.len() >= 2));
+    }
+
+    #[test]
+    fn generated_netlists_round_trip_through_fpn() {
+        let bench = generators::fp2();
+        let lib = generators::module_library(&bench.tree, 3, 2);
+        let netlist = random_netlist(&lib, 20, 3);
+        let text = write_netlist(&netlist);
+        let parsed = parse_netlist(&text).expect("generated netlists are valid .fpn");
+        assert_eq!(netlist, parsed);
+    }
+
+    #[test]
+    fn pads_sit_on_the_boundary() {
+        let bench = generators::fp1();
+        let lib = generators::module_library(&bench.tree, 4, 5);
+        let netlist = random_netlist(&lib, 10, 11);
+        let die = netlist.die.expect("generator declares a die");
+        for pad in &netlist.pads {
+            let p = pad.position;
+            assert!(
+                p.x <= die.w
+                    && p.y <= die.h
+                    && (p.x == 0 || p.x == die.w || p.y == 0 || p.y == die.h),
+                "{} at {p} is off the {die} boundary",
+                pad.name
+            );
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The netlist model: pins, nets, I/O pads, and name resolution against a
+//! module library.
+
+use core::fmt;
+
+use fp_geom::{Coord, Point, Rect};
+use fp_memo::{Fingerprint, Fingerprinter};
+use fp_tree::{ModuleId, ModuleLibrary};
+
+/// Where a pin sits on its module, relative to the module's lower-left
+/// corner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PinOffset {
+    /// Fractions of the *chosen implementation's* width and height, both
+    /// in `[0, 1]` — the pin tracks the module's shape as the optimizer
+    /// picks different implementations.
+    Fraction {
+        /// Horizontal fraction of the implementation width.
+        fx: f64,
+        /// Vertical fraction of the implementation height.
+        fy: f64,
+    },
+    /// One absolute `(dx, dy)` offset per implementation, in
+    /// implementation-list order. Validated against the library at bind
+    /// time: the list length must equal the implementation count and
+    /// every offset must lie inside its implementation.
+    PerImpl(Vec<(Coord, Coord)>),
+}
+
+/// A pin declaration: a named connection point on a named module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// The module the pin belongs to (resolved by name at bind time).
+    pub module: String,
+    /// The pin's name (unique per module).
+    pub name: String,
+    /// Where the pin sits on the module.
+    pub offset: PinOffset,
+}
+
+/// An I/O pad: a named connection point fixed on the die boundary. Pad
+/// coordinates are declared against the netlist's `die` rectangle and
+/// scaled proportionally onto the realized envelope at evaluation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pad {
+    /// The pad's name (unique within the netlist).
+    pub name: String,
+    /// Position on the declared die's boundary.
+    pub position: Point,
+}
+
+/// One endpoint of a net, as resolved indices into the netlist's own
+/// declaration lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Index into [`Netlist::pins`].
+    Pin(usize),
+    /// Index into [`Netlist::pads`].
+    Pad(usize),
+}
+
+/// A net: a named set of at least two endpoints whose half-perimeter
+/// bounding box contributes to the HPWL objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The net's name (unique within the netlist).
+    pub name: String,
+    /// The connected endpoints (≥ 2, no duplicates).
+    pub endpoints: Vec<Endpoint>,
+}
+
+/// A parsed netlist: module pins, nets, and boundary I/O pads, still
+/// referencing modules by *name*. Bind it against a [`ModuleLibrary`]
+/// ([`Netlist::bind`]) before evaluating wirelength.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    /// The netlist's name (informational; excluded from the fingerprint).
+    pub name: String,
+    /// The die rectangle pad positions are declared against (required as
+    /// soon as any pad is declared).
+    pub die: Option<Rect>,
+    /// Declared pads.
+    pub pads: Vec<Pad>,
+    /// Declared pins.
+    pub pins: Vec<Pin>,
+    /// Declared nets.
+    pub nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// An empty netlist with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The index of the pin `module.pin`, if declared.
+    #[must_use]
+    pub fn pin_index(&self, module: &str, pin: &str) -> Option<usize> {
+        self.pins
+            .iter()
+            .position(|p| p.module == module && p.name == pin)
+    }
+
+    /// The index of the pad `name`, if declared.
+    #[must_use]
+    pub fn pad_index(&self, name: &str) -> Option<usize> {
+        self.pads.iter().position(|p| p.name == name)
+    }
+
+    /// Resolves every module-name reference against `library` and
+    /// validates per-implementation pin offsets, producing an evaluable
+    /// [`BoundNetlist`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BindError`].
+    pub fn bind(&self, library: &ModuleLibrary) -> Result<BoundNetlist, BindError> {
+        // Module name -> id; names must be unambiguous for the ones the
+        // netlist actually references.
+        let mut pin_targets = Vec::with_capacity(self.pins.len());
+        for (pi, pin) in self.pins.iter().enumerate() {
+            let mut found: Option<ModuleId> = None;
+            for (id, module) in library.iter().enumerate() {
+                if module.name() == pin.module {
+                    if found.is_some() {
+                        return Err(BindError::AmbiguousModule {
+                            module: pin.module.clone(),
+                        });
+                    }
+                    found = Some(id);
+                }
+            }
+            let Some(id) = found else {
+                return Err(BindError::UnknownModule {
+                    pin: pi,
+                    module: pin.module.clone(),
+                });
+            };
+            let impls = library[id].implementations();
+            if let PinOffset::PerImpl(offsets) = &pin.offset {
+                if offsets.len() != impls.len() {
+                    return Err(BindError::OffsetCount {
+                        module: pin.module.clone(),
+                        pin: pin.name.clone(),
+                        got: offsets.len(),
+                        expected: impls.len(),
+                    });
+                }
+                for (k, &(dx, dy)) in offsets.iter().enumerate() {
+                    let r = impls[k];
+                    if dx > r.w || dy > r.h {
+                        return Err(BindError::OffsetOutOfRange {
+                            module: pin.module.clone(),
+                            pin: pin.name.clone(),
+                            implementation: k,
+                        });
+                    }
+                }
+            }
+            pin_targets.push(id);
+        }
+
+        let mut nets = Vec::with_capacity(self.nets.len());
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); library.len()];
+        let mut pad_nets = Vec::new();
+        for (ni, net) in self.nets.iter().enumerate() {
+            let net_id = ni as u32;
+            let mut endpoints = Vec::with_capacity(net.endpoints.len());
+            let mut has_pad = false;
+            for &ep in &net.endpoints {
+                match ep {
+                    Endpoint::Pin(p) => {
+                        let module = pin_targets[p];
+                        if !incident[module].contains(&net_id) {
+                            incident[module].push(net_id);
+                        }
+                        endpoints.push(BoundEndpoint::Module {
+                            module,
+                            pin: p as u32,
+                        });
+                    }
+                    Endpoint::Pad(p) => {
+                        has_pad = true;
+                        endpoints.push(BoundEndpoint::Pad(p as u32));
+                    }
+                }
+            }
+            if has_pad {
+                pad_nets.push(net_id);
+            }
+            nets.push(BoundNet { endpoints });
+        }
+
+        Ok(BoundNetlist {
+            nets,
+            incident,
+            pad_nets,
+            die: self.die,
+            pads: self.pads.clone(),
+            pins: self.pins.clone(),
+            modules: library.len(),
+        })
+    }
+}
+
+/// Errors resolving a [`Netlist`] against a [`ModuleLibrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A pin references a module name absent from the library.
+    UnknownModule {
+        /// Index into [`Netlist::pins`].
+        pin: usize,
+        /// The unresolved module name.
+        module: String,
+    },
+    /// Two library modules share a referenced name.
+    AmbiguousModule {
+        /// The ambiguous module name.
+        module: String,
+    },
+    /// A per-implementation offset list does not match the module's
+    /// implementation count.
+    OffsetCount {
+        /// The module name.
+        module: String,
+        /// The pin name.
+        pin: String,
+        /// Offsets declared.
+        got: usize,
+        /// Implementations in the library.
+        expected: usize,
+    },
+    /// A per-implementation offset falls outside its implementation.
+    OffsetOutOfRange {
+        /// The module name.
+        module: String,
+        /// The pin name.
+        pin: String,
+        /// The offending implementation index.
+        implementation: usize,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownModule { pin, module } => {
+                write!(f, "pin #{pin} references unknown module `{module}`")
+            }
+            BindError::AmbiguousModule { module } => {
+                write!(f, "module name `{module}` is ambiguous in the library")
+            }
+            BindError::OffsetCount {
+                module,
+                pin,
+                got,
+                expected,
+            } => write!(
+                f,
+                "pin `{module}.{pin}` declares {got} offsets for {expected} implementations"
+            ),
+            BindError::OffsetOutOfRange {
+                module,
+                pin,
+                implementation,
+            } => write!(
+                f,
+                "pin `{module}.{pin}` offset #{implementation} lies outside its implementation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// One endpoint of a bound net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundEndpoint {
+    /// A pin on a library module.
+    Module {
+        /// The resolved module id.
+        module: ModuleId,
+        /// Index into the netlist's pin list (for the offset).
+        pin: u32,
+    },
+    /// An I/O pad (index into the netlist's pad list).
+    Pad(u32),
+}
+
+/// A bound net: endpoints fully resolved to module ids and pad indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundNet {
+    /// The resolved endpoints.
+    pub endpoints: Vec<BoundEndpoint>,
+}
+
+/// A netlist resolved against a concrete [`ModuleLibrary`]: every module
+/// reference is an id, per-module net incidence lists are precomputed
+/// (the incremental evaluator's dirty sets), and pad-connected nets are
+/// indexed separately (they also go dirty when the envelope changes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundNetlist {
+    pub(crate) nets: Vec<BoundNet>,
+    /// `incident[module_id]` = ids of nets with a pin on that module.
+    pub(crate) incident: Vec<Vec<u32>>,
+    /// Nets with at least one pad endpoint.
+    pub(crate) pad_nets: Vec<u32>,
+    pub(crate) die: Option<Rect>,
+    pub(crate) pads: Vec<Pad>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) modules: usize,
+}
+
+impl BoundNetlist {
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of library modules this netlist was bound against.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules
+    }
+
+    /// The bound nets.
+    #[must_use]
+    pub fn nets(&self) -> &[BoundNet] {
+        &self.nets
+    }
+
+    /// Ids of the nets incident to `module`.
+    #[must_use]
+    pub fn incident(&self, module: ModuleId) -> &[u32] {
+        self.incident.get(module).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Content fingerprint of a netlist: everything that influences HPWL
+/// values — die, pads, pins (offsets included), and net connectivity —
+/// except the netlist's display name. Folded into the optimizer's cache
+/// salt so memo entries computed under one netlist are never served to a
+/// run evaluating another.
+#[must_use]
+pub fn netlist_fingerprint(netlist: &Netlist) -> Fingerprint {
+    let mut h = Fingerprinter::new();
+    h.write_str("fp-netlist/v1");
+    match netlist.die {
+        None => h.write_u64(0),
+        Some(d) => {
+            h.write_u64(1);
+            h.write_u64(d.w);
+            h.write_u64(d.h);
+        }
+    }
+    h.write_usize(netlist.pads.len());
+    for pad in &netlist.pads {
+        h.write_str(&pad.name);
+        h.write_u64(pad.position.x);
+        h.write_u64(pad.position.y);
+    }
+    h.write_usize(netlist.pins.len());
+    for pin in &netlist.pins {
+        h.write_str(&pin.module);
+        h.write_str(&pin.name);
+        match &pin.offset {
+            PinOffset::Fraction { fx, fy } => {
+                h.write_u64(1);
+                h.write_u64(fx.to_bits());
+                h.write_u64(fy.to_bits());
+            }
+            PinOffset::PerImpl(offsets) => {
+                h.write_u64(2);
+                h.write_usize(offsets.len());
+                for &(dx, dy) in offsets {
+                    h.write_u64(dx);
+                    h.write_u64(dy);
+                }
+            }
+        }
+    }
+    h.write_usize(netlist.nets.len());
+    for net in &netlist.nets {
+        h.write_str(&net.name);
+        h.write_usize(net.endpoints.len());
+        for &ep in &net.endpoints {
+            match ep {
+                Endpoint::Pin(i) => {
+                    h.write_u64(1);
+                    h.write_usize(i);
+                }
+                Endpoint::Pad(i) => {
+                    h.write_u64(2);
+                    h.write_usize(i);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_tree::Module;
+
+    fn library() -> ModuleLibrary {
+        let mut lib = ModuleLibrary::new();
+        lib.add(Module::new("a", vec![Rect::new(4, 2), Rect::new(2, 4)]));
+        lib.add(Module::new("b", vec![Rect::new(3, 3)]));
+        lib
+    }
+
+    fn simple_netlist() -> Netlist {
+        let mut n = Netlist::new("t");
+        n.die = Some(Rect::new(10, 10));
+        n.pads.push(Pad {
+            name: "io0".into(),
+            position: Point::new(0, 5),
+        });
+        n.pins.push(Pin {
+            module: "a".into(),
+            name: "p".into(),
+            offset: PinOffset::Fraction { fx: 0.5, fy: 0.5 },
+        });
+        n.pins.push(Pin {
+            module: "b".into(),
+            name: "q".into(),
+            offset: PinOffset::PerImpl(vec![(1, 1)]),
+        });
+        n.nets.push(Net {
+            name: "n0".into(),
+            endpoints: vec![Endpoint::Pin(0), Endpoint::Pin(1), Endpoint::Pad(0)],
+        });
+        n
+    }
+
+    #[test]
+    fn bind_resolves_names_and_incidence() {
+        let bound = simple_netlist().bind(&library()).expect("binds");
+        assert_eq!(bound.net_count(), 1);
+        assert_eq!(bound.incident(0), &[0]);
+        assert_eq!(bound.incident(1), &[0]);
+        assert_eq!(bound.pad_nets, vec![0]);
+    }
+
+    #[test]
+    fn bind_rejects_unknown_module() {
+        let mut n = simple_netlist();
+        n.pins[0].module = "zzz".into();
+        assert!(matches!(
+            n.bind(&library()),
+            Err(BindError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_wrong_offset_count() {
+        let mut n = simple_netlist();
+        // Module `a` has two implementations; one offset is not enough.
+        n.pins[0].offset = PinOffset::PerImpl(vec![(0, 0)]);
+        assert!(matches!(
+            n.bind(&library()),
+            Err(BindError::OffsetCount { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_out_of_range_offset() {
+        let mut n = simple_netlist();
+        n.pins[1].offset = PinOffset::PerImpl(vec![(9, 0)]);
+        assert!(matches!(
+            n.bind(&library()),
+            Err(BindError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_and_covers_content() {
+        let a = simple_netlist();
+        let mut renamed = a.clone();
+        renamed.name = "other".into();
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&renamed));
+
+        let mut moved = a.clone();
+        moved.pads[0].position = Point::new(0, 6);
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&moved));
+
+        let mut rewired = a.clone();
+        rewired.nets[0].endpoints.pop();
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&rewired));
+    }
+}

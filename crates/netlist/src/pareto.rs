@@ -1,0 +1,153 @@
+//! Non-dominated filtering and hypervolume over (area, wirelength,
+//! outline-fit) objective vectors.
+
+use fp_geom::{Area, Coord};
+
+/// One candidate solution's objective vector, tagged with the frontier
+/// envelope index it was evaluated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Index into the solution frontier's envelope list.
+    pub index: usize,
+    /// Envelope width.
+    pub width: Coord,
+    /// Envelope height.
+    pub height: Coord,
+    /// Envelope area (minimized).
+    pub area: Area,
+    /// Total HPWL (minimized).
+    pub hpwl: u128,
+    /// Whether the envelope fits the requested fixed outline (`true`
+    /// when no outline was requested); fitting dominates not fitting.
+    pub fits: bool,
+}
+
+impl ParetoPoint {
+    /// `true` when `self` dominates `other`: no worse on every
+    /// objective (area, HPWL, outline fit) and strictly better on at
+    /// least one.
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse =
+            self.area <= other.area && self.hpwl <= other.hpwl && self.fits >= other.fits;
+        let better = self.area < other.area || self.hpwl < other.hpwl || (self.fits && !other.fits);
+        no_worse && better
+    }
+}
+
+/// Inserts `p` into a non-dominated front. Returns `true` (and removes
+/// every point `p` dominates) when `p` survives, `false` when an
+/// existing point dominates it. Exact duplicates of a surviving vector
+/// are kept out.
+pub fn pareto_insert(front: &mut Vec<ParetoPoint>, p: ParetoPoint) -> bool {
+    for q in front.iter() {
+        if q.dominates(&p) || (q.area, q.hpwl, q.fits) == (p.area, p.hpwl, p.fits) {
+            return false;
+        }
+    }
+    front.retain(|q| !p.dominates(q));
+    front.push(p);
+    true
+}
+
+/// Filters `points` down to the non-dominated front, sorted by area
+/// ascending (ties by HPWL ascending, then frontier index).
+#[must_use]
+pub fn pareto_front(points: impl IntoIterator<Item = ParetoPoint>) -> Vec<ParetoPoint> {
+    let mut front = Vec::new();
+    for p in points {
+        let _ = pareto_insert(&mut front, p);
+    }
+    front.sort_by_key(|p| (p.area, p.hpwl, p.index));
+    front
+}
+
+/// The 2-D hypervolume of the front in normalized (area, HPWL) space:
+/// the fraction of the `[0, ref_area] × [0, ref_hpwl]` rectangle
+/// dominated by the front. Points beyond the reference contribute
+/// nothing; an empty front scores 0. The usual scalar "is this whole
+/// trade-off curve better?" quality indicator.
+#[must_use]
+pub fn hypervolume(front: &[ParetoPoint], ref_area: Area, ref_hpwl: u128) -> f64 {
+    if ref_area == 0 || ref_hpwl == 0 {
+        return 0.0;
+    }
+    let mut pts: Vec<(Area, u128)> = front
+        .iter()
+        .filter(|p| p.area <= ref_area && p.hpwl <= ref_hpwl)
+        .map(|p| (p.area, p.hpwl))
+        .collect();
+    pts.sort_unstable();
+    let (ra, rh) = (ref_area as f64, ref_hpwl as f64);
+    let mut volume = 0.0;
+    let mut prev_hpwl = ref_hpwl;
+    for (area, hpwl) in pts {
+        if hpwl >= prev_hpwl {
+            continue; // dominated in this 2-D projection
+        }
+        volume += ((ref_area - area) as f64 / ra) * ((prev_hpwl - hpwl) as f64 / rh);
+        prev_hpwl = hpwl;
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(index: usize, area: Area, hpwl: u128, fits: bool) -> ParetoPoint {
+        ParetoPoint {
+            index,
+            width: 1,
+            height: 1,
+            area,
+            hpwl,
+            fits,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_fit_aware() {
+        assert!(p(0, 10, 10, true).dominates(&p(1, 10, 11, true)));
+        assert!(p(0, 10, 10, true).dominates(&p(1, 10, 10, false)));
+        assert!(!p(0, 10, 10, true).dominates(&p(1, 10, 10, true)));
+        assert!(!p(0, 9, 12, true).dominates(&p(1, 10, 11, true)));
+        assert!(!p(0, 10, 10, false).dominates(&p(1, 11, 11, true)));
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated() {
+        let front = pareto_front([
+            p(0, 100, 10, true),
+            p(1, 50, 20, true),
+            p(2, 120, 10, true), // dominated by index 0
+            p(3, 50, 20, true),  // duplicate vector of index 1
+            p(4, 30, 40, true),
+        ]);
+        let indices: Vec<_> = front.iter().map(|q| q.index).collect();
+        assert_eq!(indices, vec![4, 1, 0]);
+    }
+
+    #[test]
+    fn insertion_evicts_newly_dominated_points() {
+        let mut front = vec![p(0, 100, 10, true), p(1, 50, 20, true)];
+        assert!(pareto_insert(&mut front, p(2, 40, 5, true)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].index, 2);
+        assert!(!pareto_insert(&mut front, p(3, 41, 6, true)));
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let weak = [p(0, 90, 90, true)];
+        let strong = [p(0, 50, 90, true), p(1, 90, 50, true)];
+        let hv_weak = hypervolume(&weak, 100, 100);
+        let hv_strong = hypervolume(&strong, 100, 100);
+        assert!(hv_weak > 0.0);
+        assert!(hv_strong > hv_weak);
+        assert!(hv_strong <= 1.0);
+        assert_eq!(hypervolume(&[], 100, 100), 0.0);
+        // A point at the ideal corner dominates the whole rectangle.
+        assert!((hypervolume(&[p(0, 0, 0, true)], 100, 100) - 1.0).abs() < 1e-12);
+    }
+}

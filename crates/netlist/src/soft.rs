@@ -1,0 +1,131 @@
+//! Soft modules: continuous aspect-ratio ranges discretized into finite
+//! implementation lists, so the paper's CSPP implementation-selection
+//! machinery applies to them unchanged.
+
+use fp_geom::{Coord, Rect};
+use fp_tree::Module;
+
+/// A soft module specification: a target area and a continuous
+/// aspect-ratio range `[ar_min, ar_max]` (aspect ratio = width/height).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftSpec {
+    /// The module's name.
+    pub name: String,
+    /// Target area in grid units.
+    pub area: u64,
+    /// Minimum width/height ratio (≤ `ar_max`).
+    pub ar_min: f64,
+    /// Maximum width/height ratio.
+    pub ar_max: f64,
+}
+
+impl SoftSpec {
+    /// A soft module of `area` with aspect ratios in `[ar_min, ar_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `area == 0`, a bound is non-positive, or
+    /// `ar_min > ar_max`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, area: u64, ar_min: f64, ar_max: f64) -> Self {
+        assert!(area > 0, "a soft module needs positive area");
+        assert!(
+            ar_min > 0.0 && ar_max > 0.0 && ar_min <= ar_max,
+            "aspect-ratio range must be positive and ordered"
+        );
+        SoftSpec {
+            name: name.into(),
+            area,
+            ar_min,
+            ar_max,
+        }
+    }
+
+    /// Discretizes the continuous range into at most `steps` candidate
+    /// implementations (geometric steps across `[ar_min, ar_max]`, each
+    /// the smallest integer rectangle of at least the target area with
+    /// that approximate ratio) and prunes redundant ones through
+    /// [`Module::new`]. The result is an ordinary hard module: the
+    /// enumeration, pruning, and CSPP selection treat it like any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps == 0`.
+    #[must_use]
+    pub fn discretize(&self, steps: usize) -> Module {
+        assert!(steps > 0, "discretization needs at least one step");
+        let mut candidates = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let t = if steps == 1 {
+                0.5
+            } else {
+                i as f64 / (steps - 1) as f64
+            };
+            // Geometric interpolation keeps the ratio steps perceptually
+            // even across wide ranges (1/4 .. 4 steps through 1).
+            let ar = self.ar_min * (self.ar_max / self.ar_min).powf(t);
+            let w = ((self.area as f64 * ar).sqrt().round()).max(1.0) as Coord;
+            let h = ((self.area as f64) / w as f64).ceil().max(1.0) as Coord;
+            candidates.push(Rect::new(
+                w.min(fp_geom::MAX_COORD),
+                h.min(fp_geom::MAX_COORD),
+            ));
+        }
+        Module::new(self.name.clone(), candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discretization_covers_the_range_and_area() {
+        let spec = SoftSpec::new("soft", 120, 0.25, 4.0);
+        let module = spec.discretize(9);
+        let impls = module.implementations();
+        assert!(!impls.is_empty() && impls.len() <= 9);
+        for r in impls.iter() {
+            // Every implementation holds at least the target area and is
+            // within (rounded) range.
+            assert!(r.area() >= 120);
+            let ar = r.w as f64 / r.h as f64;
+            assert!((0.15..=5.0).contains(&ar), "aspect {ar} out of range");
+        }
+        // The list is a staircase: widths strictly decrease.
+        let widths: Vec<_> = impls.iter().map(|r| r.w).collect();
+        assert!(widths.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn single_step_is_the_square() {
+        let m = SoftSpec::new("sq", 100, 1.0, 1.0).discretize(1);
+        assert_eq!(m.implementations().len(), 1);
+        assert_eq!(m.implementations()[0], Rect::new(10, 10));
+    }
+
+    #[test]
+    fn discretized_soft_modules_feed_selection_unchanged() {
+        // A library of discretized soft modules goes through the full
+        // optimizer machinery like any hard library.
+        use fp_tree::generators;
+        let bench = generators::fig1();
+        let lib: fp_tree::ModuleLibrary = (0..5)
+            .map(|i| SoftSpec::new(format!("s{i}"), 60 + 13 * i, 0.5, 2.0).discretize(6))
+            .collect();
+        let layout = fp_tree::layout::realize(
+            &bench.tree,
+            &lib,
+            &fp_tree::layout::Assignment::first_fit(5),
+        )
+        .expect("realizes");
+        assert_eq!(layout.validate(), None);
+    }
+
+    #[test]
+    fn widths_increase_with_ratio() {
+        let wide = SoftSpec::new("w", 200, 4.0, 4.0).discretize(1);
+        let tall = SoftSpec::new("t", 200, 0.25, 0.25).discretize(1);
+        assert!(wide.implementations()[0].w > tall.implementations()[0].w);
+    }
+}

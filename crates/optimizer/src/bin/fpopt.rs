@@ -14,7 +14,10 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fp_optimizer::{FaultPlan, OptError, OptimizeConfig, Optimizer, Tracer};
+use fp_optimizer::{
+    netlist_fingerprint, parse_netlist, random_netlist, CompositeObjective, FaultPlan, Netlist,
+    OptError, OptimizeConfig, Optimizer, RunOutcome, Trace, Tracer,
+};
 use fp_select::LReductionPolicy;
 use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::layout::realize;
@@ -44,6 +47,19 @@ selection options (paper knobs):
   --max-impls <n>    alias for --memory
   --outline <WxH>    require the floorplan to fit a fixed outline
   --objective <obj>  area (default) or hp (half-perimeter)
+
+wirelength options (multi-objective):
+  --netlist <file>   score layouts against a .fpn netlist (HPWL)
+  --nets <count>     generate a seeded random netlist with <count> nets
+                     instead of reading one (mutually exclusive)
+  --net-seed <u64>   seed for --nets (default 1)
+  --alpha <0..1>     weighted objective alpha*area + (1-alpha)*HPWL,
+                     both normalized (default 1.0 = pure area, identical
+                     to running without a netlist)
+  --max-hpwl <n>     epsilon-constraint: minimize area subject to
+                     HPWL <= n (overrides --alpha)
+  --pareto           print the (area, HPWL, outline-fit) non-dominated
+                     frontier and its hypervolume instead of one layout
 
 robustness options:
   --deadline <secs>  wall-clock deadline for the optimization
@@ -101,6 +117,12 @@ struct Args {
     inject_fault: Option<Vec<u64>>,
     outline: Option<fp_geom::Rect>,
     objective: fp_optimizer::Objective,
+    netlist: Option<String>,
+    nets: Option<usize>,
+    net_seed: u64,
+    alpha: Option<f64>,
+    max_hpwl: Option<u64>,
+    pareto: bool,
     cache_bytes: Option<usize>,
     cache_file: Option<String>,
     session: Option<String>,
@@ -129,6 +151,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         inject_fault: None,
         outline: None,
         objective: fp_optimizer::Objective::MinArea,
+        netlist: None,
+        nets: None,
+        net_seed: 1,
+        alpha: None,
+        max_hpwl: None,
+        pareto: false,
         cache_bytes: None,
         cache_file: None,
         session: None,
@@ -204,6 +232,36 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown objective `{other}` (area, hp)")),
                 };
             }
+            "--netlist" => args.netlist = Some(value("--netlist")?),
+            "--nets" => {
+                args.nets = Some(
+                    value("--nets")?
+                        .parse()
+                        .map_err(|e| format!("--nets: {e}"))?,
+                );
+            }
+            "--net-seed" => {
+                args.net_seed = value("--net-seed")?
+                    .parse()
+                    .map_err(|e| format!("--net-seed: {e}"))?;
+            }
+            "--alpha" => {
+                let a: f64 = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+                if !(0.0..=1.0).contains(&a) {
+                    return Err(format!("--alpha expects a value in [0, 1], found {a}"));
+                }
+                args.alpha = Some(a);
+            }
+            "--max-hpwl" => {
+                args.max_hpwl = Some(
+                    value("--max-hpwl")?
+                        .parse()
+                        .map_err(|e| format!("--max-hpwl: {e}"))?,
+                );
+            }
+            "--pareto" => args.pareto = true,
             "--cache-bytes" => {
                 args.cache_bytes = Some(
                     value("--cache-bytes")?
@@ -239,6 +297,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.input.is_empty() && args.session.is_none() {
         return Err("missing input".to_owned());
+    }
+    if args.netlist.is_some() && args.nets.is_some() {
+        return Err("--netlist and --nets are mutually exclusive".to_owned());
+    }
+    if args.nets == Some(0) {
+        return Err("--nets expects at least one net".to_owned());
+    }
+    let wants_netlist = args.alpha.is_some() || args.max_hpwl.is_some() || args.pareto;
+    if wants_netlist && args.netlist.is_none() && args.nets.is_none() {
+        return Err("--alpha/--max-hpwl/--pareto need --netlist or --nets".to_owned());
     }
     Ok(args)
 }
@@ -290,6 +358,48 @@ fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
 /// shared with `fpserved`'s per-request statuses.
 fn exit_code_for(e: &OptError) -> u8 {
     fp_optimizer::serve::status_for(e)
+}
+
+/// Reads `--netlist <file>` or generates a `--nets` random netlist.
+fn load_netlist(args: &Args, instance: &FloorplanInstance) -> Result<Option<Netlist>, String> {
+    if let Some(path) = &args.netlist {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_netlist(&text)
+            .map(Some)
+            .map_err(|e| format!("{path}: {e}"))
+    } else if let Some(nets) = args.nets {
+        Ok(Some(random_netlist(&instance.library, nets, args.net_seed)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Honours `--trace` / `--profile` for a drained event stream.
+fn emit_observability(trace: &Trace, args: &Args) -> Result<(), ExitCode> {
+    if let Some(path) = &args.trace {
+        let mut buf: Vec<u8> = Vec::new();
+        if let Err(e) = trace.write_jsonl(&mut buf) {
+            eprintln!("fpopt: cannot render trace: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!(
+            "trace: wrote {} events to {path}{}",
+            trace.events.len(),
+            if trace.dropped > 0 {
+                format!(" ({} dropped at capacity)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if args.profile {
+        eprint!("{}", trace.profile());
+    }
+    Ok(())
 }
 
 /// Replays a JSON-lines request file through the `fpserved` protocol
@@ -385,10 +495,34 @@ fn main() -> ExitCode {
         instance.tree.len()
     );
 
+    let netlist = match load_netlist(&args, &instance) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("fpopt: {msg}");
+            return ExitCode::from(3);
+        }
+    };
+    let bound = match &netlist {
+        Some(netlist) => match netlist.bind(&instance.library) {
+            Ok(bound) => Some(bound),
+            Err(e) => {
+                eprintln!("fpopt: netlist does not bind the instance: {e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => None,
+    };
+
     let mut config = OptimizeConfig::default()
         .with_objective(args.objective)
         .with_auto_rescue(args.auto_rescue)
         .with_deadline(args.deadline);
+    if let Some(netlist) = &netlist {
+        // Wirelength-aware runs get their own cache addresses: the salt
+        // folds into the policy fingerprint, so a persistent store also
+        // cold-starts when the netlist changes.
+        config = config.with_extra_salt(netlist_fingerprint(netlist));
+    }
     if let Some(threads) = args.threads {
         config = config.with_threads(threads);
     }
@@ -453,30 +587,80 @@ fn main() -> ExitCode {
     if let Some(cache) = &cache {
         optimizer = optimizer.cache(cache);
     }
-    let result = optimizer.run();
-    let trace = tracer.drain();
-    if let Some(path) = &args.trace {
-        let mut buf: Vec<u8> = Vec::new();
-        if let Err(e) = trace.write_jsonl(&mut buf) {
-            eprintln!("fpopt: cannot render trace: {e}");
-            return ExitCode::FAILURE;
+    // Pareto mode prints the whole non-dominated frontier and stops —
+    // there is no single layout to verify or export.
+    if args.pareto {
+        let bound = bound.as_ref().expect("--pareto requires a netlist source");
+        let result = optimizer.run_pareto(bound);
+        let trace = tracer.drain();
+        if let Err(code) = emit_observability(&trace, &args) {
+            return code;
         }
-        if let Err(e) = std::fs::write(path, buf) {
-            eprintln!("fpopt: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "trace: wrote {} events to {path}{}",
-            trace.events.len(),
-            if trace.dropped > 0 {
-                format!(" ({} dropped at capacity)", trace.dropped)
-            } else {
-                String::new()
+        let pareto = match result {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fpopt: {e}");
+                return ExitCode::from(exit_code_for(&e));
             }
+        };
+        println!(
+            "pareto front: {} non-dominated of {} evaluated implementations",
+            pareto.front.len(),
+            pareto.evaluated
         );
+        for p in &pareto.front {
+            println!(
+                "  [{:>3}] {:>6} x {:<6} area {:<12} hpwl {:<12}{}",
+                p.index,
+                p.width,
+                p.height,
+                p.area,
+                p.hpwl,
+                if p.fits { " fits-outline" } else { "" }
+            );
+        }
+        let ref_area = pareto.front.iter().map(|p| p.area).max().unwrap_or(0) * 11 / 10 + 1;
+        let ref_hpwl = pareto.front.iter().map(|p| p.hpwl).max().unwrap_or(0) * 11 / 10 + 1;
+        println!(
+            "hypervolume {:.6} (reference area {ref_area}, hpwl {ref_hpwl})",
+            fp_optimizer::hypervolume(&pareto.front, ref_area, ref_hpwl)
+        );
+        if let Some(cache) = &cache {
+            if cache.is_persistent() {
+                if let Err(e) = cache.flush() {
+                    eprintln!("fpopt: cache flush failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
-    if args.profile {
-        eprint!("{}", trace.profile());
+
+    let (result, hpwl) = match &bound {
+        Some(bound) => {
+            let objective = match args.max_hpwl {
+                Some(h) => CompositeObjective::epsilon(u128::from(h)),
+                None => CompositeObjective::weighted(args.alpha.unwrap_or(1.0)),
+            };
+            match optimizer.run_composite(bound, objective) {
+                Ok(multi) => {
+                    let rescued = !multi.outcome.stats.degradations.is_empty();
+                    (
+                        Ok(RunOutcome {
+                            outcome: multi.outcome,
+                            rescued,
+                        }),
+                        Some(multi.hpwl),
+                    )
+                }
+                Err(e) => (Err(e), None),
+            }
+        }
+        None => (optimizer.run(), None),
+    };
+    let trace = tracer.drain();
+    if let Err(code) = emit_observability(&trace, &args) {
+        return code;
     }
     let report = match result {
         Ok(report) => report,
@@ -502,6 +686,15 @@ fn main() -> ExitCode {
     let outcome = report.outcome;
 
     println!("optimal area {} as {}", outcome.area, outcome.root_impl);
+    if let Some(hpwl) = hpwl {
+        match args.max_hpwl {
+            Some(limit) => println!("wirelength: HPWL {hpwl} (constraint <= {limit})"),
+            None => println!(
+                "wirelength: HPWL {hpwl} (alpha {})",
+                args.alpha.unwrap_or(1.0)
+            ),
+        }
+    }
     let layout = match realize(&instance.tree, &instance.library, &outcome.assignment) {
         Ok(l) => l,
         Err(e) => {

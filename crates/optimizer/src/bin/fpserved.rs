@@ -303,8 +303,8 @@ fn run_job(
 /// Admission + enqueue for one raw request line. Control methods
 /// (ping/stats/metrics/shutdown) always pass — they are cheap, and a
 /// drain request must get through even under flood; only `optimize`
-/// lines consume admission slots. Returns `false` when the worker
-/// queue is closed.
+/// and `pareto` lines consume admission slots. Returns `false` when
+/// the worker queue is closed.
 fn submit_line(
     line: String,
     line_no: u64,
@@ -315,7 +315,7 @@ fn submit_line(
     let heavy = matches!(
         parse_request(&line),
         Ok(Request {
-            method: Method::Optimize(_),
+            method: Method::Optimize(_) | Method::Pareto(_),
             ..
         })
     );
@@ -338,7 +338,7 @@ fn submit_line(
 /// the watchdog is armed to fire it.
 fn token_for(request: &Request, watchdog: &Watchdog) -> CancelToken {
     let token = CancelToken::new();
-    if let Method::Optimize(req) = &request.method {
+    if let Method::Optimize(req) | Method::Pareto(req) = &request.method {
         if let Some(ms) = req.deadline_ms {
             watchdog.register(Instant::now() + Duration::from_millis(ms), token.clone());
         }

@@ -600,6 +600,12 @@ pub fn policy_fingerprint(config: &OptimizeConfig) -> Fingerprint {
             h.write_usize(t);
         }
     }
+    // Appended only when set, so salt-free fingerprints (and every
+    // cache written before the salt existed) stay byte-identical.
+    if config.extra_salt != 0 {
+        h.write_u64(1);
+        h.write_u128(config.extra_salt);
+    }
     h.finish()
 }
 
@@ -630,6 +636,19 @@ mod tests {
             .clone()
             .with_l_selection(LReductionPolicy::new(30).with_theta(0.7));
         assert_ne!(policy_fingerprint(&theta), policy_fingerprint(&theta2));
+    }
+
+    #[test]
+    fn policy_fingerprint_extra_salt_is_compatible_and_distinct() {
+        let base = OptimizeConfig::default();
+        // Zero salt is the identity: old caches stay addressable.
+        assert_eq!(
+            policy_fingerprint(&base),
+            policy_fingerprint(&base.clone().with_extra_salt(0))
+        );
+        let salted = policy_fingerprint(&base.clone().with_extra_salt(7));
+        assert_ne!(policy_fingerprint(&base), salted);
+        assert_ne!(salted, policy_fingerprint(&base.clone().with_extra_salt(8)));
     }
 
     #[test]

@@ -141,6 +141,12 @@ pub struct OptimizeConfig {
     /// would trip a resource limit is transparently re-run serially).
     /// Defaults to the `FP_THREADS` environment variable, else `1`.
     pub threads: usize,
+    /// Extra salt folded into the cache's policy fingerprint. `0` (the
+    /// default) leaves the fingerprint byte-identical to earlier
+    /// releases; multi-objective runs set it to the netlist fingerprint
+    /// so area-only and wirelength-aware results never share cache
+    /// addresses.
+    pub extra_salt: u128,
 }
 
 impl OptimizeConfig {
@@ -173,6 +179,7 @@ impl OptimizeConfig {
             fault_plan: None,
             max_rescue_attempts: Self::DEFAULT_MAX_RESCUE_ATTEMPTS,
             threads: default_threads(),
+            extra_salt: 0,
         }
     }
 
@@ -269,6 +276,15 @@ impl OptimizeConfig {
     #[must_use]
     pub fn with_max_rescue_attempts(mut self, attempts: u32) -> Self {
         self.max_rescue_attempts = attempts;
+        self
+    }
+
+    /// Folds `salt` into the cache's policy fingerprint (see
+    /// [`OptimizeConfig::extra_salt`]). `0` restores the default,
+    /// salt-free fingerprint.
+    #[must_use]
+    pub fn with_extra_salt(mut self, salt: u128) -> Self {
+        self.extra_salt = salt;
         self
     }
 
@@ -813,11 +829,11 @@ impl Frontier {
 /// is byte-identical to the plain serial run.
 #[derive(Clone)]
 pub struct Optimizer<'a> {
-    tree: &'a FloorplanTree,
-    library: &'a ModuleLibrary,
-    config: OptimizeConfig,
-    cache: Option<&'a (dyn BlockCache + Sync)>,
-    tracer: Option<&'a Tracer>,
+    pub(crate) tree: &'a FloorplanTree,
+    pub(crate) library: &'a ModuleLibrary,
+    pub(crate) config: OptimizeConfig,
+    pub(crate) cache: Option<&'a (dyn BlockCache + Sync)>,
+    pub(crate) tracer: Option<&'a Tracer>,
 }
 
 impl<'a> Optimizer<'a> {

@@ -48,6 +48,7 @@ mod engine;
 pub mod governor;
 pub mod joins;
 mod meter;
+mod multi;
 pub mod oracle;
 mod sched;
 pub mod serve;
@@ -67,6 +68,13 @@ pub use engine::{
     RescueReason, RunOutcome, RunStats,
 };
 pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
+pub use multi::{CompositeObjective, MultiOutcome, ParetoSet};
+// Re-exported so wirelength-aware callers (CLIs, the batch server, the
+// annealer) don't need a direct `fp-netlist` dependency.
+pub use fp_netlist::{
+    hypervolume, netlist_fingerprint, parse_netlist, random_netlist, BoundNetlist, HpwlEvaluator,
+    Netlist, ParetoPoint,
+};
 pub use meter::{BudgetExhausted, MemoryMeter};
 // Persistence vocabulary re-exported so cache users (CLIs, the session
 // layer, fpserved) don't need a direct `fp-memo` dependency.

@@ -1,0 +1,484 @@
+//! Multi-objective optimization: wirelength-aware scalarizations and
+//! Pareto sweeps over the solution [`Frontier`].
+//!
+//! The bottom-up enumeration is objective-agnostic — the frontier holds
+//! *every* non-redundant root envelope, and the single-objective engine
+//! only commits to one at the very end ([`Frontier::best`]). That makes
+//! multi-objective optimization a post-pass: realize each envelope's
+//! layout, evaluate its half-perimeter wirelength against a bound
+//! netlist, and either scalarize ([`CompositeObjective`]) or keep the
+//! whole non-dominated front ([`Optimizer::run_pareto`]).
+//!
+//! Area remains exact (the candidates are the exhaustive envelope set);
+//! wirelength is evaluated on the realized layout of each candidate's
+//! traced-back assignment. HPWL evaluations reuse one incremental
+//! [`HpwlEvaluator`] across the sweep, so consecutive candidates — which
+//! typically differ in a handful of module choices — only recompute the
+//! nets they touch.
+//!
+//! ```
+//! use fp_optimizer::{CompositeObjective, OptimizeConfig, Optimizer};
+//! use fp_tree::generators;
+//!
+//! let bench = generators::fp1();
+//! let library = generators::module_library(&bench.tree, 3, 1);
+//! let netlist = fp_netlist::random_netlist(&library, 20, 1);
+//! let bound = netlist.bind(&library).expect("binds");
+//! let multi = Optimizer::new(&bench.tree, &library)
+//!     .config(&OptimizeConfig::default())
+//!     .run_composite(&bound, CompositeObjective::weighted(0.5))?;
+//! assert!(multi.outcome.area > 0 && multi.hpwl > 0);
+//! # Ok::<(), fp_optimizer::OptError>(())
+//! ```
+
+use std::time::Instant;
+
+use fp_geom::Rect;
+use fp_netlist::{pareto_insert, BoundNetlist, HpwlEvaluator, ParetoPoint};
+use fp_trace::{TraceEvent, Tracer};
+use fp_tree::layout::{realize, Assignment};
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+use crate::engine::{Frontier, OptError, Optimizer, Outcome};
+
+/// How to collapse (area, wirelength) into one winner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompositeObjective {
+    /// Minimize `alpha · area/area_min + (1 − alpha) · hpwl/hpwl_min`
+    /// (both terms normalized by the candidate minima so the weight is
+    /// scale-free). `alpha ≥ 1` reproduces the single-objective engine
+    /// byte-for-byte — same envelope, same assignment; `alpha ≤ 0` is
+    /// pure wirelength.
+    WeightedSum {
+        /// Weight on area, normally in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Minimize the configured area objective subject to
+    /// `hpwl ≤ max_hpwl`. When no candidate meets the bound the
+    /// minimum-HPWL candidate is returned instead (the constraint is
+    /// reported as infeasible-but-served rather than failing the run).
+    EpsilonConstraint {
+        /// The wirelength budget.
+        max_hpwl: u128,
+    },
+}
+
+impl CompositeObjective {
+    /// Weighted-sum scalarization with weight `alpha` on area.
+    #[must_use]
+    pub fn weighted(alpha: f64) -> Self {
+        CompositeObjective::WeightedSum { alpha }
+    }
+
+    /// Epsilon-constraint scalarization with wirelength budget
+    /// `max_hpwl`.
+    #[must_use]
+    pub fn epsilon(max_hpwl: u128) -> Self {
+        CompositeObjective::EpsilonConstraint { max_hpwl }
+    }
+}
+
+/// The winner of a composite run: the traced-back outcome plus its
+/// wirelength.
+#[derive(Debug, Clone)]
+pub struct MultiOutcome {
+    /// The chosen envelope's full outcome (area, assignment, stats).
+    pub outcome: Outcome,
+    /// Total half-perimeter wirelength of the realized layout.
+    pub hpwl: u128,
+    /// Frontier envelope index of the winner.
+    pub index: usize,
+    /// Whether the winner fits the configured outline (`true` when no
+    /// outline was configured).
+    pub fits: bool,
+}
+
+/// The result of a Pareto sweep: the non-dominated front plus the
+/// frontier it was evaluated from (for tracing points back to
+/// assignments).
+pub struct ParetoSet {
+    /// Non-dominated (area, HPWL, fits) points, area ascending.
+    pub front: Vec<ParetoPoint>,
+    /// Candidates evaluated (the frontier's envelope count).
+    pub evaluated: usize,
+    /// The underlying solution frontier; `front[i].index` indexes its
+    /// envelopes.
+    pub frontier: Frontier,
+}
+
+impl ParetoSet {
+    /// Traces a front point back to its full outcome.
+    #[must_use]
+    pub fn outcome(&self, point: &ParetoPoint) -> Outcome {
+        self.frontier.outcome(point.index)
+    }
+}
+
+/// One evaluated frontier candidate.
+struct Candidate {
+    index: usize,
+    envelope: Rect,
+    hpwl: u128,
+    fits: bool,
+}
+
+/// Realizes and HPWL-evaluates every frontier envelope, reusing one
+/// incremental evaluator across the sweep.
+fn sweep(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    frontier: &Frontier,
+    bound: &BoundNetlist,
+    outline: Option<Rect>,
+    tracer: Option<&Tracer>,
+) -> Result<Vec<Candidate>, OptError> {
+    let mut evaluator = HpwlEvaluator::new(bound);
+    let mut candidates = Vec::with_capacity(frontier.envelopes().len());
+    for index in 0..frontier.envelopes().len() {
+        let outcome = frontier.outcome(index);
+        let hpwl = evaluate_assignment(tree, library, &outcome.assignment, &mut evaluator, tracer)?;
+        candidates.push(Candidate {
+            index,
+            envelope: outcome.root_impl,
+            hpwl,
+            fits: outline.is_none_or(|o| outcome.root_impl.fits_in(o)),
+        });
+    }
+    Ok(candidates)
+}
+
+/// Realizes `assignment` and runs one (incremental) HPWL evaluation,
+/// emitting the `hpwl_eval` trace event.
+fn evaluate_assignment(
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    assignment: &Assignment,
+    evaluator: &mut HpwlEvaluator<'_>,
+    tracer: Option<&Tracer>,
+) -> Result<u128, OptError> {
+    let started = Instant::now();
+    let layout = realize(tree, library, assignment).map_err(|_| OptError::Internal {
+        what: "frontier assignment failed to realize",
+        block: 0,
+    })?;
+    let hpwl = evaluator
+        .update(tree, &layout, assignment)
+        .map_err(|_| OptError::Internal {
+            what: "netlist references a module absent from the layout",
+            block: 0,
+        })?;
+    if let Some(tracer) = tracer {
+        tracer.emit(
+            0,
+            TraceEvent::HpwlEval {
+                nets: u32::try_from(evaluator.nets()).unwrap_or(u32::MAX),
+                touched: u32::try_from(evaluator.last_touched()).unwrap_or(u32::MAX),
+                dur_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+    Ok(hpwl)
+}
+
+/// The composite winner among `candidates` (which must be non-empty and
+/// pre-filtered to outline fits).
+fn pick(candidates: &[Candidate], objective: CompositeObjective) -> usize {
+    match objective {
+        CompositeObjective::WeightedSum { alpha } => {
+            let a = alpha.clamp(0.0, 1.0);
+            let area_min = candidates
+                .iter()
+                .map(|c| c.envelope.area())
+                .min()
+                .unwrap_or(1)
+                .max(1) as f64;
+            let hpwl_min = candidates.iter().map(|c| c.hpwl).min().unwrap_or(1).max(1) as f64;
+            candidates
+                .iter()
+                .min_by(|x, y| {
+                    let score = |c: &Candidate| {
+                        a * (c.envelope.area() as f64 / area_min)
+                            + (1.0 - a) * (c.hpwl as f64 / hpwl_min)
+                    };
+                    score(x).total_cmp(&score(y)).then_with(|| {
+                        (x.envelope.area(), x.envelope.w, x.index).cmp(&(
+                            y.envelope.area(),
+                            y.envelope.w,
+                            y.index,
+                        ))
+                    })
+                })
+                .map_or(0, |c| c.index)
+        }
+        CompositeObjective::EpsilonConstraint { max_hpwl } => {
+            let within = |c: &&Candidate| c.hpwl <= max_hpwl;
+            let area_key = |c: &&Candidate| (c.envelope.area(), c.envelope.w, c.index);
+            if let Some(best) = candidates.iter().filter(within).min_by_key(area_key) {
+                best.index
+            } else {
+                // Infeasible budget: serve the closest (minimum-HPWL)
+                // candidate deterministically instead of failing.
+                candidates
+                    .iter()
+                    .min_by_key(|c| (c.hpwl, c.envelope.area(), c.envelope.w, c.index))
+                    .map_or(0, |c| c.index)
+            }
+        }
+    }
+}
+
+impl<'a> Optimizer<'a> {
+    /// Runs the enumeration and picks the winner of `objective` against
+    /// `bound`, evaluating wirelength over every frontier envelope.
+    ///
+    /// `WeightedSum { alpha }` with `alpha ≥ 1` short-circuits to the
+    /// single-objective path ([`Frontier::best`]) — the returned
+    /// envelope and assignment are byte-identical to
+    /// [`Optimizer::run_best`], with the winner's HPWL evaluated on
+    /// top.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run_best`]; additionally
+    /// [`OptError::Internal`] if the netlist references modules absent
+    /// from the library's realized layouts.
+    pub fn run_composite(
+        self,
+        bound: &BoundNetlist,
+        objective: CompositeObjective,
+    ) -> Result<MultiOutcome, OptError> {
+        let (tree, library) = (self.tree, self.library);
+        let config_objective = self.config.objective;
+        let outline = self.config.outline;
+        let tracer = self.tracer;
+        let frontier = self.run_frontier()?;
+
+        if let CompositeObjective::WeightedSum { alpha } = objective {
+            if alpha >= 1.0 {
+                // Exact single-objective path: byte-identical envelope
+                // and assignment, HPWL evaluated on the winner only.
+                let outcome = frontier.best(config_objective, outline)?;
+                let mut evaluator = HpwlEvaluator::new(bound);
+                let hpwl = evaluate_assignment(
+                    tree,
+                    library,
+                    &outcome.assignment,
+                    &mut evaluator,
+                    tracer,
+                )?;
+                let fits = outline.is_none_or(|o| outcome.root_impl.fits_in(o));
+                let index = frontier
+                    .envelopes()
+                    .iter()
+                    .position(|r| *r == outcome.root_impl)
+                    .unwrap_or(0);
+                return Ok(MultiOutcome {
+                    outcome,
+                    hpwl,
+                    index,
+                    fits,
+                });
+            }
+        }
+
+        let candidates = sweep(tree, library, &frontier, bound, outline, tracer)?;
+        let fitting: Vec<&Candidate> = candidates.iter().filter(|c| c.fits).collect();
+        if fitting.is_empty() {
+            // Same infeasibility report the single-objective path gives;
+            // a success here would contradict the empty filter.
+            return match frontier.best(config_objective, outline) {
+                Err(e) => Err(e),
+                Ok(_) => Err(OptError::Internal {
+                    what: "outline filter disagrees with the frontier's best pick",
+                    block: 0,
+                }),
+            };
+        }
+        let owned: Vec<Candidate> = fitting
+            .iter()
+            .map(|c| Candidate {
+                index: c.index,
+                envelope: c.envelope,
+                hpwl: c.hpwl,
+                fits: c.fits,
+            })
+            .collect();
+        let index = pick(&owned, objective);
+        let winner = candidates
+            .iter()
+            .find(|c| c.index == index)
+            .ok_or(OptError::Internal {
+                what: "pick returned an index missing from its input",
+                block: 0,
+            })?;
+        Ok(MultiOutcome {
+            outcome: frontier.outcome(index),
+            hpwl: winner.hpwl,
+            index,
+            fits: winner.fits,
+        })
+    }
+
+    /// Runs the enumeration and returns the non-dominated (area, HPWL,
+    /// outline-fit) front over every frontier envelope, area ascending.
+    /// Each surviving insertion emits a `pareto_insert` trace event.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run_composite`].
+    pub fn run_pareto(self, bound: &BoundNetlist) -> Result<ParetoSet, OptError> {
+        let (tree, library) = (self.tree, self.library);
+        let outline = self.config.outline;
+        let tracer = self.tracer;
+        let frontier = self.run_frontier()?;
+        let candidates = sweep(tree, library, &frontier, bound, outline, tracer)?;
+        let evaluated = candidates.len();
+        let mut front: Vec<ParetoPoint> = Vec::new();
+        for c in candidates {
+            let point = ParetoPoint {
+                index: c.index,
+                width: c.envelope.w,
+                height: c.envelope.h,
+                area: c.envelope.area(),
+                hpwl: c.hpwl,
+                fits: c.fits,
+            };
+            if pareto_insert(&mut front, point) {
+                if let Some(tracer) = tracer {
+                    tracer.emit(
+                        0,
+                        TraceEvent::ParetoInsert {
+                            index: u32::try_from(c.index).unwrap_or(u32::MAX),
+                            front_len: u32::try_from(front.len()).unwrap_or(u32::MAX),
+                        },
+                    );
+                }
+            }
+        }
+        front.sort_by_key(|p| (p.area, p.hpwl, p.index));
+        Ok(ParetoSet {
+            front,
+            evaluated,
+            frontier,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::OptimizeConfig;
+    use fp_netlist::random_netlist;
+    use fp_tree::generators;
+
+    fn setup() -> (generators::Benchmark, ModuleLibrary, fp_netlist::Netlist) {
+        let bench = generators::fp1();
+        let library = generators::module_library(&bench.tree, 3, 1);
+        let netlist = random_netlist(&library, 25, 2);
+        (bench, library, netlist)
+    }
+
+    #[test]
+    fn alpha_one_matches_single_objective_exactly() {
+        let (bench, library, netlist) = setup();
+        let bound = netlist.bind(&library).expect("binds");
+        let config = OptimizeConfig::default();
+        let single = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_best()
+            .expect("single-objective run");
+        let multi = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_composite(&bound, CompositeObjective::weighted(1.0))
+            .expect("composite run");
+        assert_eq!(multi.outcome.area, single.area);
+        assert_eq!(multi.outcome.root_impl, single.root_impl);
+        assert_eq!(multi.outcome.assignment.choices, single.assignment.choices);
+    }
+
+    #[test]
+    fn alpha_zero_minimizes_wirelength() {
+        let (bench, library, netlist) = setup();
+        let bound = netlist.bind(&library).expect("binds");
+        let config = OptimizeConfig::default();
+        let pure_wire = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_composite(&bound, CompositeObjective::weighted(0.0))
+            .expect("composite run");
+        // No other frontier point has strictly smaller HPWL.
+        let pareto = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_pareto(&bound)
+            .expect("pareto run");
+        let min_hpwl = pareto.front.iter().map(|p| p.hpwl).min().expect("front");
+        assert_eq!(pure_wire.hpwl, min_hpwl);
+    }
+
+    #[test]
+    fn epsilon_constraint_respects_budget_and_degrades_gracefully() {
+        let (bench, library, netlist) = setup();
+        let bound = netlist.bind(&library).expect("binds");
+        let config = OptimizeConfig::default();
+        let unconstrained = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_composite(&bound, CompositeObjective::weighted(0.0))
+            .expect("min-hpwl run");
+        // A generous budget admits the area-optimal candidate.
+        let generous = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_composite(&bound, CompositeObjective::epsilon(u128::MAX))
+            .expect("generous epsilon");
+        let single = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_best()
+            .expect("single run");
+        assert_eq!(generous.outcome.area, single.area);
+        // An impossible budget falls back to the min-HPWL candidate.
+        let impossible = Optimizer::new(&bench.tree, &library)
+            .config(&config)
+            .run_composite(&bound, CompositeObjective::epsilon(0))
+            .expect("impossible epsilon still serves");
+        assert_eq!(impossible.hpwl, unconstrained.hpwl);
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_non_dominated_and_traceable() {
+        let (bench, library, netlist) = setup();
+        let bound = netlist.bind(&library).expect("binds");
+        let pareto = Optimizer::new(&bench.tree, &library)
+            .config(&OptimizeConfig::default())
+            .run_pareto(&bound)
+            .expect("pareto run");
+        assert!(!pareto.front.is_empty());
+        assert!(pareto.evaluated >= pareto.front.len());
+        for (i, p) in pareto.front.iter().enumerate() {
+            for (j, q) in pareto.front.iter().enumerate() {
+                if i != j {
+                    assert!(!p.dominates(q), "front holds a dominated point");
+                }
+            }
+            // Every point traces back to a realizable assignment with
+            // the advertised envelope.
+            let outcome = pareto.outcome(p);
+            assert_eq!(outcome.root_impl.area(), p.area);
+        }
+        // Area ascending, HPWL (weakly) descending along the front.
+        assert!(pareto.front.windows(2).all(|w| w[0].area <= w[1].area));
+    }
+
+    #[test]
+    fn composite_emits_trace_events() {
+        let (bench, library, netlist) = setup();
+        let bound = netlist.bind(&library).expect("binds");
+        let tracer = Tracer::new();
+        let _ = Optimizer::new(&bench.tree, &library)
+            .config(&OptimizeConfig::default())
+            .tracer(&tracer)
+            .run_pareto(&bound)
+            .expect("pareto run");
+        let summary = tracer.drain().summary();
+        assert!(summary.hpwl_evals > 0);
+        assert!(summary.nets_touched > 0);
+        assert!(summary.pareto_inserts > 0);
+    }
+}

@@ -25,6 +25,19 @@
 //! `threads` (intra-request tree parallelism, `0` = all cores),
 //! `auto_rescue`, `objective` (`"area"`/`"hp"`), `outline` (`"WxH"`).
 //!
+//! Wirelength-aware requests attach a netlist — `netlist` (a full
+//! `.fpn` text, `\n`-escaped) or `nets`/`net_seed` (a deterministic
+//! generated netlist over the instance's modules) — plus `alpha`
+//! (weight on area in the composite objective, default 1.0) or
+//! `max_hpwl` (epsilon-constraint wirelength budget). The `pareto`
+//! method takes the same fields and returns the whole non-dominated
+//! (area, HPWL, fit) front instead of one winner:
+//!
+//! ```json
+//! {"id": 7, "method": "optimize", "builtin": "fp1", "nets": 30, "alpha": 0.5}
+//! {"id": 8, "method": "pareto", "builtin": "fp1", "nets": 30}
+//! ```
+//!
 //! ## Responses
 //!
 //! Every response carries the echoed `id` (when the request had one), the
@@ -44,6 +57,8 @@ use fp_tree::generators;
 use crate::cache::{shared_cache, shared_cache_stats, SharedBlockCache};
 use crate::engine::{Objective, OptError, OptimizeConfig, Optimizer, RunOutcome};
 use crate::governor::CancelToken;
+use crate::multi::CompositeObjective;
+use fp_netlist::{hypervolume, netlist_fingerprint, parse_netlist, random_netlist, Netlist};
 use fp_select::LReductionPolicy;
 use fp_trace::{MetricsRegistry, Tracer};
 
@@ -483,6 +498,9 @@ impl RequestId {
 pub enum Method {
     /// Run the optimizer over an instance.
     Optimize(Box<OptimizeRequest>),
+    /// Run the optimizer and return the non-dominated (area, HPWL,
+    /// outline-fit) front against the request's netlist.
+    Pareto(Box<OptimizeRequest>),
     /// Liveness probe.
     Ping,
     /// Cache/session counters.
@@ -527,6 +545,17 @@ pub struct OptimizeRequest {
     pub objective: Objective,
     /// Fixed outline `WxH`.
     pub outline: Option<fp_geom::Rect>,
+    /// Full `.fpn` netlist text for wirelength-aware requests.
+    pub netlist: Option<String>,
+    /// Net count of a deterministically generated netlist (alternative
+    /// to `netlist`).
+    pub nets: Option<usize>,
+    /// Seed of the generated netlist.
+    pub net_seed: u64,
+    /// Weight on area in the composite objective (`1.0` = area only).
+    pub alpha: Option<f64>,
+    /// Epsilon-constraint wirelength budget (overrides `alpha`).
+    pub max_hpwl: Option<u64>,
 }
 
 impl Default for OptimizeRequest {
@@ -546,6 +575,11 @@ impl Default for OptimizeRequest {
             auto_rescue: false,
             objective: Objective::MinArea,
             outline: None,
+            netlist: None,
+            nets: None,
+            net_seed: 1,
+            alpha: None,
+            max_hpwl: None,
         }
     }
 }
@@ -618,7 +652,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "stats" => Method::Stats,
         "metrics" => Method::Metrics,
         "shutdown" => Method::Shutdown,
-        "optimize" => {
+        "optimize" | "pareto" => {
             let mut req = OptimizeRequest {
                 builtin: doc.get("builtin").and_then(Json::as_str).map(str::to_owned),
                 instance: doc
@@ -628,7 +662,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 ..OptimizeRequest::default()
             };
             if req.builtin.is_none() && req.instance.is_none() {
-                return Err(bad("`optimize` needs `builtin` or `instance`".to_owned()));
+                return Err(bad(format!("`{method}` needs `builtin` or `instance`")));
             }
             if let Some(n) = field_usize(&doc, "n").map_err(&bad)? {
                 if n == 0 {
@@ -674,11 +708,44 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     _ => return Err(bad(format!("`outline` is not a WxH pair: `{text}`"))),
                 }
             }
-            Method::Optimize(Box::new(req))
+            req.netlist = doc.get("netlist").and_then(Json::as_str).map(str::to_owned);
+            if let Some(nets) = field_usize(&doc, "nets").map_err(&bad)? {
+                if nets == 0 {
+                    return Err(bad("`nets` must be at least 1".to_owned()));
+                }
+                req.nets = Some(nets);
+            }
+            if req.netlist.is_some() && req.nets.is_some() {
+                return Err(bad("`netlist` and `nets` are mutually exclusive".to_owned()));
+            }
+            if let Some(seed) = field_usize(&doc, "net_seed").map_err(&bad)? {
+                req.net_seed = seed as u64;
+            }
+            if let Some(alpha) = doc.get("alpha") {
+                let alpha = alpha
+                    .as_f64()
+                    .filter(|a| (0.0..=1.0).contains(a))
+                    .ok_or_else(|| bad("`alpha` must be a number in [0, 1]".to_owned()))?;
+                req.alpha = Some(alpha);
+            }
+            req.max_hpwl = field_usize(&doc, "max_hpwl")
+                .map_err(&bad)?
+                .map(|h| h as u64);
+            let wants_netlist = req.alpha.is_some() || req.max_hpwl.is_some() || method == "pareto";
+            if wants_netlist && req.netlist.is_none() && req.nets.is_none() {
+                return Err(bad(format!(
+                    "`{method}` with wirelength objectives needs `netlist` or `nets`"
+                )));
+            }
+            if method == "pareto" {
+                Method::Pareto(Box::new(req))
+            } else {
+                Method::Optimize(Box::new(req))
+            }
         }
         other => {
             return Err(bad(format!(
-                "unknown method `{other}` (optimize, ping, stats, metrics, shutdown)"
+                "unknown method `{other}` (optimize, pareto, ping, stats, metrics, shutdown)"
             )))
         }
     };
@@ -702,6 +769,12 @@ pub struct ServeState {
     max_inflight: u64,
     /// Requests shed with [`STATUS_OVERLOADED`] instead of executed.
     shed: AtomicU64,
+    /// Wirelength-aware `optimize` requests served.
+    netlist_requests: AtomicU64,
+    /// `pareto` requests served.
+    pareto_requests: AtomicU64,
+    /// Non-dominated points returned across all `pareto` replies.
+    pareto_points: AtomicU64,
 }
 
 impl ServeState {
@@ -725,6 +798,9 @@ impl ServeState {
             inflight: AtomicU64::new(0),
             max_inflight: 0,
             shed: AtomicU64::new(0),
+            netlist_requests: AtomicU64::new(0),
+            pareto_requests: AtomicU64::new(0),
+            pareto_points: AtomicU64::new(0),
         }
     }
 
@@ -789,6 +865,24 @@ impl ServeState {
     #[must_use]
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Wirelength-aware `optimize` requests served so far.
+    #[must_use]
+    pub fn netlist_requests(&self) -> u64 {
+        self.netlist_requests.load(Ordering::Relaxed)
+    }
+
+    /// `pareto` requests served so far.
+    #[must_use]
+    pub fn pareto_requests(&self) -> u64 {
+        self.pareto_requests.load(Ordering::Relaxed)
+    }
+
+    /// Non-dominated points returned across all `pareto` replies.
+    #[must_use]
+    pub fn pareto_points(&self) -> u64 {
+        self.pareto_points.load(Ordering::Relaxed)
     }
 
     /// Tries to admit one job. `true` reserves an in-flight slot the
@@ -896,6 +990,21 @@ impl ServeState {
             "fp_server_shed_total",
             "Requests shed with the overloaded status",
             self.shed(),
+        );
+        gauge(
+            "fp_netlist_requests_total",
+            "Wirelength-aware optimize requests served",
+            self.netlist_requests(),
+        );
+        gauge(
+            "fp_netlist_pareto_requests_total",
+            "Pareto-front requests served",
+            self.pareto_requests(),
+        );
+        gauge(
+            "fp_netlist_pareto_points_total",
+            "Non-dominated points returned across pareto replies",
+            self.pareto_points(),
         );
         out
     }
@@ -1057,6 +1166,61 @@ fn load_serve_instance(req: &OptimizeRequest) -> Result<FloorplanInstance, Reply
     }
 }
 
+/// Loads the request's netlist (inline `.fpn` or generated), if any.
+/// The error is a reply template without id/line, like
+/// [`load_serve_instance`]'s.
+fn load_serve_netlist(
+    req: &OptimizeRequest,
+    instance: &FloorplanInstance,
+) -> Result<Option<Netlist>, Reply> {
+    if let Some(text) = &req.netlist {
+        parse_netlist(text).map(Some).map_err(|e| {
+            let mut obj = JsonObj::new();
+            obj.u64("netlist_line", e.line as u64);
+            obj.u64("netlist_col", e.col as u64);
+            obj.str("error", &format!("bad netlist: {e}"));
+            Reply {
+                json: obj.finish(),
+                status: STATUS_BAD_INPUT,
+                shutdown: false,
+            }
+        })
+    } else if let Some(nets) = req.nets {
+        Ok(Some(random_netlist(&instance.library, nets, req.net_seed)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn bad_netlist_reply(message: String) -> Reply {
+    let mut obj = JsonObj::new();
+    obj.str("error", &message);
+    Reply {
+        json: obj.finish(),
+        status: STATUS_BAD_INPUT,
+        shutdown: false,
+    }
+}
+
+/// Re-heads a reply template (error body without id/line) with the
+/// response envelope.
+fn rehead(id: Option<&RequestId>, line_no: u64, template: &Reply) -> Reply {
+    let mut obj = response_head(id, line_no, template.status);
+    let inner = template
+        .json
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_default();
+    if !inner.is_empty() {
+        obj.raw_members(inner);
+    }
+    Reply {
+        json: obj.finish(),
+        status: template.status,
+        shutdown: false,
+    }
+}
+
 fn config_for(
     req: &OptimizeRequest,
     cancel: Option<CancelToken>,
@@ -1098,39 +1262,64 @@ fn optimize_reply(
 ) -> Reply {
     let instance = match load_serve_instance(req) {
         Ok(instance) => instance,
-        Err(template) => {
-            // Re-head the template with id/line/status.
-            let mut obj = response_head(id, line_no, template.status);
-            let inner = template
-                .json
-                .strip_prefix('{')
-                .and_then(|s| s.strip_suffix('}'))
-                .unwrap_or_default();
-            if !inner.is_empty() {
-                obj.raw_members(inner);
-            }
-            return Reply {
-                json: obj.finish(),
-                status: template.status,
-                shutdown: false,
-            };
-        }
+        Err(template) => return rehead(id, line_no, &template),
     };
-    let config = config_for(req, cancel, state.default_threads());
+    let netlist = match load_serve_netlist(req, &instance) {
+        Ok(netlist) => netlist,
+        Err(template) => return rehead(id, line_no, &template),
+    };
+    let bound = match &netlist {
+        Some(netlist) => match netlist.bind(&instance.library) {
+            Ok(bound) => Some(bound),
+            Err(e) => {
+                return rehead(
+                    id,
+                    line_no,
+                    &bad_netlist_reply(format!("netlist does not bind the instance: {e}")),
+                )
+            }
+        },
+        None => None,
+    };
+    let mut config = config_for(req, cancel, state.default_threads());
+    if let Some(netlist) = &netlist {
+        // Wirelength-aware results never share cache addresses with
+        // area-only runs of the same policy.
+        config = config.with_extra_salt(netlist_fingerprint(netlist));
+    }
     // Every optimize request runs under a subscribed tracer: the drained
     // summary feeds the reply's `trace_summary` and the server-lifetime
     // metrics registry (so the two always reconcile).
     let tracer = Tracer::new();
-    let result = Optimizer::new(&instance.tree, &instance.library)
+    let optimizer = Optimizer::new(&instance.tree, &instance.library)
         .config(&config)
         .cache(state.cache())
-        .tracer(&tracer)
-        .run();
+        .tracer(&tracer);
+    let result = match &bound {
+        Some(bound) => {
+            state.netlist_requests.fetch_add(1, Ordering::Relaxed);
+            let objective = match (req.max_hpwl, req.alpha) {
+                (Some(max_hpwl), _) => CompositeObjective::epsilon(u128::from(max_hpwl)),
+                (None, alpha) => CompositeObjective::weighted(alpha.unwrap_or(1.0)),
+            };
+            optimizer.run_composite(bound, objective).map(|multi| {
+                let rescued = !multi.outcome.stats.degradations.is_empty();
+                (
+                    RunOutcome {
+                        outcome: multi.outcome,
+                        rescued,
+                    },
+                    Some(multi.hpwl),
+                )
+            })
+        }
+        None => optimizer.run().map(|run| (run, None)),
+    };
     let summary = tracer.drain().summary();
     state.metrics().absorb(&summary);
     let eff = config.resolve();
     match result {
-        Ok(RunOutcome { outcome, rescued }) => {
+        Ok((RunOutcome { outcome, rescued }, hpwl)) => {
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.str("instance", &instance.name);
             obj.u64("threads", eff.threads as u64);
@@ -1140,6 +1329,14 @@ fn optimize_reply(
             obj.u128("area", outcome.area);
             obj.u64("width", outcome.root_impl.w);
             obj.u64("height", outcome.root_impl.h);
+            if let Some(hpwl) = hpwl {
+                obj.u128("hpwl", hpwl);
+                if let Some(max_hpwl) = req.max_hpwl {
+                    obj.u64("max_hpwl", max_hpwl);
+                } else {
+                    obj.raw("alpha", &format!("{}", req.alpha.unwrap_or(1.0)));
+                }
+            }
             obj.u64("elapsed_ms", outcome.stats.elapsed.as_millis() as u64);
             obj.u64("peak_impls", outcome.stats.peak_impls as u64);
             obj.u64("generated", outcome.stats.generated);
@@ -1147,6 +1344,103 @@ fn optimize_reply(
             obj.u64("cache_misses", outcome.stats.cache_misses as u64);
             obj.bool("rescued", rescued);
             obj.u64("degradations", outcome.stats.degradations.len() as u64);
+            obj.raw("trace_summary", &summary.to_json());
+            Reply {
+                json: obj.finish(),
+                status: STATUS_OK,
+                shutdown: false,
+            }
+        }
+        Err(e) => {
+            let status = status_for(&e);
+            let mut obj = response_head(id, line_no, status);
+            obj.str("error", &e.to_string());
+            obj.raw("trace_summary", &summary.to_json());
+            Reply {
+                json: obj.finish(),
+                status,
+                shutdown: false,
+            }
+        }
+    }
+}
+
+fn pareto_reply(
+    id: Option<&RequestId>,
+    line_no: u64,
+    req: &OptimizeRequest,
+    state: &ServeState,
+    cancel: Option<CancelToken>,
+) -> Reply {
+    let instance = match load_serve_instance(req) {
+        Ok(instance) => instance,
+        Err(template) => return rehead(id, line_no, &template),
+    };
+    let netlist = match load_serve_netlist(req, &instance) {
+        Ok(Some(netlist)) => netlist,
+        Ok(None) => {
+            return rehead(
+                id,
+                line_no,
+                &bad_netlist_reply("`pareto` needs `netlist` or `nets`".to_owned()),
+            )
+        }
+        Err(template) => return rehead(id, line_no, &template),
+    };
+    let bound = match netlist.bind(&instance.library) {
+        Ok(bound) => bound,
+        Err(e) => {
+            return rehead(
+                id,
+                line_no,
+                &bad_netlist_reply(format!("netlist does not bind the instance: {e}")),
+            )
+        }
+    };
+    let config = config_for(req, cancel, state.default_threads())
+        .with_extra_salt(netlist_fingerprint(&netlist));
+    let tracer = Tracer::new();
+    let result = Optimizer::new(&instance.tree, &instance.library)
+        .config(&config)
+        .cache(state.cache())
+        .tracer(&tracer)
+        .run_pareto(&bound);
+    let summary = tracer.drain().summary();
+    state.metrics().absorb(&summary);
+    state.pareto_requests.fetch_add(1, Ordering::Relaxed);
+    let eff = config.resolve();
+    match result {
+        Ok(pareto) => {
+            state
+                .pareto_points
+                .fetch_add(pareto.front.len() as u64, Ordering::Relaxed);
+            // Hypervolume against a reference 10% beyond the worst
+            // front point on each axis (deterministic, scale-free).
+            let ref_area = pareto.front.iter().map(|p| p.area).max().unwrap_or(0) * 11 / 10 + 1;
+            let ref_hpwl = pareto.front.iter().map(|p| p.hpwl).max().unwrap_or(0) * 11 / 10 + 1;
+            let hv = hypervolume(&pareto.front, ref_area, ref_hpwl);
+            let mut front_json = String::from("[");
+            for (i, p) in pareto.front.iter().enumerate() {
+                if i > 0 {
+                    front_json.push(',');
+                }
+                let mut point = JsonObj::new();
+                point.u64("index", p.index as u64);
+                point.u64("width", p.width);
+                point.u64("height", p.height);
+                point.u128("area", p.area);
+                point.u128("hpwl", p.hpwl);
+                point.bool("fits", p.fits);
+                front_json.push_str(&point.finish());
+            }
+            front_json.push(']');
+            let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.str("instance", &instance.name);
+            obj.u64("threads", eff.threads as u64);
+            obj.u64("front_size", pareto.front.len() as u64);
+            obj.u64("evaluated", pareto.evaluated as u64);
+            obj.raw("front", &front_json);
+            obj.raw("hypervolume", &format!("{hv:.6}"));
             obj.raw("trace_summary", &summary.to_json());
             Reply {
                 json: obj.finish(),
@@ -1208,6 +1502,9 @@ pub fn execute(
             let (bytes, entries, budget) = (cache.bytes(), cache.len(), cache.budget_bytes());
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.u64("requests", state.requests());
+            obj.u64("netlist_requests", state.netlist_requests());
+            obj.u64("pareto_requests", state.pareto_requests());
+            obj.u64("pareto_points", state.pareto_points());
             obj.u64(
                 "threads",
                 OptimizeConfig::default()
@@ -1265,6 +1562,7 @@ pub fn execute(
             }
         }
         Method::Optimize(req) => optimize_reply(id, line_no, req, state, cancel),
+        Method::Pareto(req) => pareto_reply(id, line_no, req, state, cancel),
     }
 }
 
@@ -1550,5 +1848,114 @@ mod tests {
         assert!(prom.contains("fp_server_shed_total 1"), "{prom}");
         assert!(prom.contains("fp_cache_recovered_entries 0"), "{prom}");
         state.finish_job();
+    }
+
+    #[test]
+    fn wirelength_optimize_reports_hpwl_and_counts_requests() {
+        let state = ServeState::new(16 << 20);
+        let line = r#"{"id": 1, "method": "optimize", "builtin": "fp1", "nets": 12, "alpha": 0.5}"#;
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+        assert!(reply.json.contains("\"hpwl\":"), "{}", reply.json);
+        assert!(reply.json.contains("\"alpha\":0.5"), "{}", reply.json);
+        // alpha = 1.0 with a netlist still reports HPWL, and the area
+        // matches the area-only reply byte-for-byte.
+        let pure = handle_line(
+            r#"{"id": 2, "method": "optimize", "builtin": "fp1", "nets": 12, "alpha": 1.0}"#,
+            2,
+            &state,
+            None,
+        );
+        assert_eq!(pure.status, STATUS_OK, "{}", pure.json);
+        let plain = handle_line(
+            r#"{"id": 3, "method": "optimize", "builtin": "fp1"}"#,
+            3,
+            &state,
+            None,
+        );
+        let area = |json: &str| {
+            json.split("\"area\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .map(str::to_owned)
+        };
+        assert_eq!(area(&pure.json), area(&plain.json));
+        assert_eq!(state.netlist_requests.load(Ordering::Relaxed), 2);
+        let prom = state.render_prometheus();
+        assert!(prom.contains("fp_netlist_requests_total 2"), "{prom}");
+    }
+
+    #[test]
+    fn pareto_reply_carries_a_nondominated_front() {
+        let state = ServeState::new(16 << 20);
+        let line = r#"{"id": 5, "method": "pareto", "builtin": "fp1", "nets": 15}"#;
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+        let doc = parse_json(&reply.json).expect("reply parses");
+        let front = match doc.get("front") {
+            Some(Json::Arr(points)) => points.clone(),
+            other => panic!("unexpected front {other:?}"),
+        };
+        assert!(!front.is_empty());
+        assert_eq!(
+            doc.get("front_size").and_then(Json::as_u64),
+            Some(front.len() as u64)
+        );
+        // Sorted ascending by area; HPWL must strictly improve as the
+        // area worsens, or the point would be dominated.
+        let mut last_area = 0u64;
+        let mut last_hpwl = u64::MAX;
+        for p in &front {
+            let area = p.get("area").and_then(Json::as_u64).expect("area");
+            let hpwl = p.get("hpwl").and_then(Json::as_u64).expect("hpwl");
+            assert!(area >= last_area);
+            if area > last_area && last_area > 0 {
+                assert!(hpwl < last_hpwl, "{}", reply.json);
+            }
+            last_area = area;
+            last_hpwl = hpwl;
+        }
+        let hv = doc
+            .get("hypervolume")
+            .and_then(Json::as_f64)
+            .expect("hypervolume");
+        assert!(hv > 0.0 && hv <= 1.0, "{hv}");
+        assert_eq!(state.pareto_requests.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            state.pareto_points.load(Ordering::Relaxed),
+            front.len() as u64
+        );
+        let prom = state.render_prometheus();
+        assert!(
+            prom.contains("fp_netlist_pareto_requests_total 1"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn netlist_request_validation_errors_are_structured() {
+        let state = ServeState::new(1 << 20);
+        // pareto without a netlist source is rejected at parse time.
+        let reply = handle_line(r#"{"method": "pareto", "builtin": "fp1"}"#, 1, &state, None);
+        assert_eq!(reply.status, STATUS_BAD_REQUEST, "{}", reply.json);
+        assert!(reply.json.contains("netlist"), "{}", reply.json);
+        // alpha outside [0, 1] is rejected.
+        let reply = handle_line(
+            r#"{"method": "optimize", "builtin": "fp1", "nets": 4, "alpha": 1.5}"#,
+            2,
+            &state,
+            None,
+        );
+        assert_eq!(reply.status, STATUS_BAD_REQUEST, "{}", reply.json);
+        // Malformed inline .fpn carries line/col coordinates.
+        let reply = handle_line(
+            r#"{"method": "optimize", "builtin": "fp1", "alpha": 0.5, "netlist": "module m0\nnet n1 m0.zzz"}"#,
+            3,
+            &state,
+            None,
+        );
+        assert_eq!(reply.status, STATUS_BAD_INPUT, "{}", reply.json);
+        assert!(reply.json.contains("\"netlist_line\":"), "{}", reply.json);
+        assert!(reply.json.contains("\"netlist_col\":"), "{}", reply.json);
     }
 }

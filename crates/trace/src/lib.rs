@@ -220,6 +220,25 @@ pub enum TraceEvent {
         /// Elapsed run time at the trip.
         elapsed_ns: u64,
     },
+    /// One HPWL evaluation over a realized layout (full or
+    /// incremental).
+    HpwlEval {
+        /// Nets in the bound netlist.
+        nets: u32,
+        /// Nets whose bounding boxes were actually recomputed (equals
+        /// `nets` for a full evaluation).
+        touched: u32,
+        /// Wall time of the evaluation.
+        dur_ns: u64,
+    },
+    /// A candidate survived non-dominated insertion into a Pareto
+    /// front.
+    ParetoInsert {
+        /// Frontier envelope index of the surviving candidate.
+        index: u32,
+        /// Front size after the insertion.
+        front_len: u32,
+    },
     /// A completed phase span (see [`PhaseName`]).
     Phase {
         /// Which phase.
@@ -245,6 +264,8 @@ impl TraceEvent {
             TraceEvent::ReplayDiscard { .. } => "replay_discard",
             TraceEvent::Rescue { .. } => "rescue",
             TraceEvent::DeadlineTrip { .. } => "deadline_trip",
+            TraceEvent::HpwlEval { .. } => "hpwl_eval",
+            TraceEvent::ParetoInsert { .. } => "pareto_insert",
             TraceEvent::Phase { .. } => "phase",
         }
     }
@@ -317,6 +338,19 @@ impl TraceEvent {
             }
             TraceEvent::DeadlineTrip { block, elapsed_ns } => {
                 let _ = write!(out, r#","block":{block},"elapsed_ns":{elapsed_ns}"#);
+            }
+            TraceEvent::HpwlEval {
+                nets,
+                touched,
+                dur_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","nets":{nets},"touched":{touched},"dur_ns":{dur_ns}"#
+                );
+            }
+            TraceEvent::ParetoInsert { index, front_len } => {
+                let _ = write!(out, r#","index":{index},"front_len":{front_len}"#);
             }
             TraceEvent::Phase { name, dur_ns } => {
                 let _ = write!(out, r#","phase":"{}","dur_ns":{dur_ns}"#, name.as_str());
@@ -560,6 +594,11 @@ impl Trace {
                 TraceEvent::ReplayDiscard { .. } => s.replay_discards += 1,
                 TraceEvent::Rescue { .. } => s.rescues += 1,
                 TraceEvent::DeadlineTrip { .. } => s.deadline_trips += 1,
+                TraceEvent::HpwlEval { touched, .. } => {
+                    s.hpwl_evals += 1;
+                    s.nets_touched += u64::from(touched);
+                }
+                TraceEvent::ParetoInsert { .. } => s.pareto_inserts += 1,
                 TraceEvent::Phase { name, dur_ns } => {
                     if name == PhaseName::Run {
                         s.run_ns += dur_ns;
@@ -610,6 +649,12 @@ pub struct TraceSummary {
     pub rescues: u64,
     /// Deadline trips.
     pub deadline_trips: u64,
+    /// HPWL evaluations (full or incremental).
+    pub hpwl_evals: u64,
+    /// Net bounding boxes recomputed across all HPWL evaluations.
+    pub nets_touched: u64,
+    /// Pareto-front insertions that survived dominance filtering.
+    pub pareto_inserts: u64,
     /// Total nanoseconds inside join builds.
     pub join_ns: u64,
     /// Total nanoseconds inside selection solves.
@@ -622,7 +667,7 @@ impl TraceSummary {
     /// The counter fields by wire name, in stable order (drives both
     /// the JSON rendering and the Prometheus counter names).
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 17] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("events", self.events),
             ("dropped", self.dropped),
@@ -638,6 +683,9 @@ impl TraceSummary {
             ("replay_discards", self.replay_discards),
             ("rescues", self.rescues),
             ("deadline_trips", self.deadline_trips),
+            ("hpwl_evals", self.hpwl_evals),
+            ("nets_touched", self.nets_touched),
+            ("pareto_inserts", self.pareto_inserts),
             ("join_ns", self.join_ns),
             ("selection_ns", self.selection_ns),
             ("run_ns", self.run_ns),

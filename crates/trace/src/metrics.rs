@@ -101,6 +101,9 @@ impl MetricsRegistry {
         t.replay_discards += summary.replay_discards;
         t.rescues += summary.rescues;
         t.deadline_trips += summary.deadline_trips;
+        t.hpwl_evals += summary.hpwl_evals;
+        t.nets_touched += summary.nets_touched;
+        t.pareto_inserts += summary.pareto_inserts;
         t.join_ns += summary.join_ns;
         t.selection_ns += summary.selection_ns;
         t.run_ns += summary.run_ns;
@@ -157,6 +160,9 @@ impl MetricsRegistry {
             ("replay_discards", t.replay_discards),
             ("rescues", t.rescues),
             ("deadline_trips", t.deadline_trips),
+            ("hpwl_evals", t.hpwl_evals),
+            ("nets_touched", t.nets_touched),
+            ("pareto_inserts", t.pareto_inserts),
             ("join_ns", t.join_ns),
             ("selection_ns", t.selection_ns),
             ("run_ns", t.run_ns),

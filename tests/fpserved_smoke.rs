@@ -95,6 +95,47 @@ fn concurrent_batch_is_answered_and_shares_the_cache() {
     assert!(stats.contains("\"cache_insertions\":"), "{stats}");
 }
 
+/// A `pareto` request over a generated netlist answers with a
+/// non-dominated front, and a wirelength-weighted `optimize` on the
+/// same connection reports its HPWL; both count as heavy traffic, so
+/// the stats line sees them.
+#[test]
+fn pareto_request_returns_a_front_over_the_wire() {
+    let requests = "\
+{\"id\": 1, \"method\": \"pareto\", \"builtin\": \"fp1\", \"n\": 5, \"nets\": 12, \"net_seed\": 7}\n\
+{\"id\": 2, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 5, \"nets\": 12, \"net_seed\": 7, \"alpha\": 0.5}\n\
+{\"id\": 3, \"method\": \"stats\"}\n";
+    let (code, lines) = batch(&["--workers", "2"], requests);
+    assert_eq!(code, 0, "clean drain: {lines:?}");
+
+    let front = line_with_id(&lines, "1");
+    assert_eq!(status_of(&front), 0, "{front}");
+    assert!(front.contains("\"front\":["), "{front}");
+    assert!(front.contains("\"front_size\":"), "{front}");
+    assert!(front.contains("\"hypervolume\":"), "{front}");
+    assert!(front.contains("\"hpwl\":"), "{front}");
+    let front_size: usize = front
+        .split("\"front_size\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("front_size is a number");
+    assert!(front_size >= 1, "{front}");
+
+    let weighted = line_with_id(&lines, "2");
+    assert_eq!(status_of(&weighted), 0, "{weighted}");
+    assert!(weighted.contains("\"hpwl\":"), "{weighted}");
+    assert!(weighted.contains("\"alpha\":0.5"), "{weighted}");
+
+    // Stats is control traffic and may be answered before the heavy
+    // requests finish, so assert the counters are exposed rather than
+    // their racy values (serve-level unit tests pin the exact counts).
+    let stats = line_with_id(&lines, "3");
+    assert!(stats.contains("\"pareto_requests\":"), "{stats}");
+    assert!(stats.contains("\"netlist_requests\":"), "{stats}");
+    assert!(stats.contains("\"pareto_points\":"), "{stats}");
+}
+
 /// A request whose deadline has already passed is answered with status 5
 /// — and the server keeps serving afterwards.
 #[test]

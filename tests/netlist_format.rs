@@ -1,0 +1,99 @@
+//! Malformed-input corpus for the `.fpn` netlist parser.
+//!
+//! Each fixture under `tests/fixtures/netlist/` captures a distinct way
+//! real netlists go wrong (dangling pin references, pads off the die
+//! boundary, duplicate nets, degenerate nets, malformed offsets). The
+//! parser must reject every one with a precise line/column diagnostic —
+//! and the `fpopt` CLI must map them all to the documented "bad input"
+//! exit code 3.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use fp_optimizer::{parse_netlist, random_netlist};
+use fp_tree::generators;
+
+fn fixture(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/optimizer; fixtures live at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/fixtures/netlist/{name}"))
+}
+
+fn load(name: &str) -> String {
+    let path = fixture(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// `(fixture, expected line, expected column, message fragment)`.
+const CORPUS: &[(&str, usize, usize, &str)] = &[
+    (
+        "dangling_pin.fpn",
+        3,
+        16,
+        "net `n0` references undeclared pin `cpu.data`",
+    ),
+    ("pad_off_boundary.fpn", 3, 9, "is not on the"),
+    ("duplicate_net.fpn", 5, 5, "duplicate net `n0`"),
+    ("empty_net.fpn", 3, 5, "net `empty` has 0 endpoint(s)"),
+    (
+        "pad_before_die.fpn",
+        2,
+        1,
+        "`pad` requires a prior `die` directive",
+    ),
+    ("unknown_directive.fpn", 2, 1, "unknown directive `module`"),
+    ("duplicate_pin.fpn", 3, 9, "duplicate pin `cpu.clk`"),
+    (
+        "bad_offsets.fpn",
+        2,
+        23,
+        "expected `<dx>,<dy>`, found `3;4`",
+    ),
+    (
+        "repeated_endpoint.fpn",
+        4,
+        13,
+        "net `n0` lists endpoint `a.p0` twice",
+    ),
+    ("duplicate_die.fpn", 3, 1, "duplicate `die` directive"),
+];
+
+#[test]
+fn malformed_corpus_is_rejected_with_positions() {
+    for &(name, line, col, needle) in CORPUS {
+        let err = parse_netlist(&load(name)).expect_err(name);
+        assert_eq!((err.line, err.col), (line, col), "{name}: {err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains(needle), "{name}: {rendered}");
+        assert!(rendered.contains(&format!("line {line}")), "{rendered}");
+        assert!(rendered.contains(&format!("column {col}")), "{rendered}");
+    }
+}
+
+#[test]
+fn fpopt_exits_3_on_every_malformed_netlist() {
+    for &(name, ..) in CORPUS {
+        let out = Command::new(env!("CARGO_BIN_EXE_fpopt"))
+            .arg("@fp1")
+            .arg("--netlist")
+            .arg(fixture(name))
+            .output()
+            .expect("fpopt runs");
+        assert_eq!(out.status.code(), Some(3), "{name}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("line"), "{name}: {stderr}");
+    }
+}
+
+/// Generated netlists survive the writer → parser round trip, so the
+/// `.fpn` fixtures and the `--nets` generator describe one format.
+#[test]
+fn generated_netlists_parse_back_identically() {
+    let bench = generators::fp1();
+    let lib = generators::module_library(&bench.tree, 4, 1);
+    for seed in 0..4 {
+        let netlist = random_netlist(&lib, 20, seed);
+        let text = fp_netlist::write_netlist(&netlist);
+        let parsed = parse_netlist(&text).expect("generated netlists are valid .fpn");
+        assert_eq!(netlist, parsed);
+    }
+}

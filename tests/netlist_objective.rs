@@ -1,0 +1,209 @@
+//! Multi-objective invariants for the wirelength-aware layer.
+//!
+//! The composite objective is a post-pass over the exhaustive root
+//! frontier, so it must not perturb the single-objective algorithm at
+//! all: `alpha = 1.0` reproduces the seed optimizer byte-for-byte on
+//! every paper benchmark, at every thread count, cached or not. The
+//! property suite then pins both scalarizations (weighted sum and
+//! epsilon constraint) to be deterministic across the same matrix —
+//! the guarantee that lets `fpserved` serve composite results from a
+//! shared cache.
+
+use fp_optimizer::{
+    random_netlist, CompositeObjective, OptimizeConfig, Optimizer, SharedBlockCache,
+};
+use fp_tree::generators::{self, Benchmark};
+use fp_tree::ModuleLibrary;
+use proptest::prelude::*;
+
+const CACHE_BYTES: usize = 64 << 20;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn paper_benches() -> Vec<(Benchmark, ModuleLibrary)> {
+    [
+        generators::fp1(),
+        generators::fp2(),
+        generators::fp3(),
+        generators::fp4(),
+    ]
+    .into_iter()
+    .map(|bench| {
+        let lib = generators::module_library(&bench.tree, 4, 1);
+        (bench, lib)
+    })
+    .collect()
+}
+
+/// `alpha = 1.0` must reproduce the area-only optimizer exactly —
+/// same area, same root implementation, same assignment — on FP1–FP4
+/// across 1/2/4 threads, cached and uncached.
+#[test]
+fn alpha_one_is_byte_identical_to_the_seed_optimizer() {
+    for (bench, lib) in paper_benches() {
+        let netlist = random_netlist(&lib, 30, 2);
+        let bound = netlist.bind(&lib).expect("generated netlist binds");
+        for threads in THREADS {
+            let config = OptimizeConfig::default().with_threads(threads);
+            let seed = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_best()
+                .expect("seed optimizer solves");
+
+            // Uncached.
+            let multi = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_composite(&bound, CompositeObjective::weighted(1.0))
+                .expect("composite solves");
+            assert_eq!(seed.area, multi.outcome.area, "{} x{threads}", bench.name);
+            assert_eq!(seed.root_impl, multi.outcome.root_impl);
+            assert_eq!(seed.assignment, multi.outcome.assignment);
+
+            // Cached, cold then warm.
+            let cache = SharedBlockCache::new(CACHE_BYTES);
+            for pass in ["cold", "warm"] {
+                let cached = Optimizer::new(&bench.tree, &lib)
+                    .config(&config)
+                    .cache(&cache)
+                    .run_composite(&bound, CompositeObjective::weighted(1.0))
+                    .expect("cached composite solves");
+                assert_eq!(
+                    seed.assignment, cached.outcome.assignment,
+                    "{} x{threads} {pass}",
+                    bench.name
+                );
+                assert_eq!(seed.area, cached.outcome.area);
+                assert_eq!(multi.hpwl, cached.hpwl);
+            }
+        }
+    }
+}
+
+/// A run with a netlist must not change what the *frontier* looks like:
+/// the composite layer reads the same envelopes the seed run produces.
+#[test]
+fn composite_runs_leave_the_frontier_untouched() {
+    for (bench, lib) in paper_benches() {
+        let netlist = random_netlist(&lib, 25, 5);
+        let bound = netlist.bind(&lib).expect("binds");
+        let frontier = Optimizer::new(&bench.tree, &lib)
+            .run_frontier()
+            .expect("frontier solves");
+        let pareto = Optimizer::new(&bench.tree, &lib)
+            .run_pareto(&bound)
+            .expect("pareto solves");
+        assert_eq!(
+            pareto.evaluated,
+            frontier.envelopes().len(),
+            "{}: the sweep walks the exhaustive root frontier",
+            bench.name
+        );
+        for p in &pareto.front {
+            assert_eq!(
+                frontier.envelopes()[p.index].area(),
+                p.area,
+                "front points index into the frontier's envelope list"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Weighted-sum results are byte-identical across 1/2/4 threads and
+    /// cached/uncached execution — alpha anywhere in [0, 1].
+    #[test]
+    fn weighted_sum_is_thread_and_cache_invariant(
+        tree_seed in 0u64..40,
+        leaves in 4usize..12,
+        nets in 5usize..40,
+        net_seed in 0u64..16,
+        alpha_pct in 0u32..=100,
+    ) {
+        let bench = generators::random_floorplan(leaves, 0.5, tree_seed);
+        let lib = generators::module_library(&bench.tree, 4, tree_seed);
+        let netlist = random_netlist(&lib, nets, net_seed);
+        let bound = netlist.bind(&lib).expect("binds");
+        let objective = CompositeObjective::weighted(f64::from(alpha_pct) / 100.0);
+
+        let reference = Optimizer::new(&bench.tree, &lib)
+            .config(&OptimizeConfig::default().with_threads(1))
+            .run_composite(&bound, objective)
+            .expect("reference solves");
+        for threads in THREADS {
+            let config = OptimizeConfig::default().with_threads(threads);
+            let plain = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_composite(&bound, objective)
+                .expect("solves");
+            prop_assert_eq!(&reference.outcome.assignment, &plain.outcome.assignment);
+            prop_assert_eq!(reference.outcome.area, plain.outcome.area);
+            prop_assert_eq!(reference.hpwl, plain.hpwl);
+            prop_assert_eq!(reference.index, plain.index);
+
+            let cache = SharedBlockCache::new(CACHE_BYTES);
+            for _pass in 0..2 {
+                let cached = Optimizer::new(&bench.tree, &lib)
+                    .config(&config)
+                    .cache(&cache)
+                    .run_composite(&bound, objective)
+                    .expect("cached solves");
+                prop_assert_eq!(&reference.outcome.assignment, &cached.outcome.assignment);
+                prop_assert_eq!(reference.hpwl, cached.hpwl);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Epsilon-constraint results are byte-identical across the same
+    /// matrix, whether the budget is feasible or degrades gracefully.
+    #[test]
+    fn epsilon_constraint_is_thread_and_cache_invariant(
+        tree_seed in 0u64..40,
+        leaves in 4usize..12,
+        nets in 5usize..40,
+        net_seed in 0u64..16,
+        budget_scale in 0u32..=8,
+    ) {
+        let bench = generators::random_floorplan(leaves, 0.5, tree_seed);
+        let lib = generators::module_library(&bench.tree, 4, tree_seed);
+        let netlist = random_netlist(&lib, nets, net_seed);
+        let bound = netlist.bind(&lib).expect("binds");
+
+        // Scale the budget off a baseline HPWL so cases hit both the
+        // feasible and the infeasible (degrade-to-min-HPWL) paths.
+        let baseline = Optimizer::new(&bench.tree, &lib)
+            .run_composite(&bound, CompositeObjective::weighted(0.0))
+            .expect("baseline solves")
+            .hpwl;
+        let budget = baseline * u128::from(budget_scale) / 4;
+        let objective = CompositeObjective::epsilon(budget);
+
+        let reference = Optimizer::new(&bench.tree, &lib)
+            .config(&OptimizeConfig::default().with_threads(1))
+            .run_composite(&bound, objective)
+            .expect("reference solves");
+        for threads in THREADS {
+            let config = OptimizeConfig::default().with_threads(threads);
+            let plain = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_composite(&bound, objective)
+                .expect("solves");
+            prop_assert_eq!(&reference.outcome.assignment, &plain.outcome.assignment);
+            prop_assert_eq!(reference.hpwl, plain.hpwl);
+            prop_assert_eq!(reference.index, plain.index);
+
+            let cache = SharedBlockCache::new(CACHE_BYTES);
+            for _pass in 0..2 {
+                let cached = Optimizer::new(&bench.tree, &lib)
+                    .config(&config)
+                    .cache(&cache)
+                    .run_composite(&bound, objective)
+                    .expect("cached solves");
+                prop_assert_eq!(&reference.outcome.assignment, &cached.outcome.assignment);
+                prop_assert_eq!(reference.hpwl, cached.hpwl);
+            }
+        }
+    }
+}
