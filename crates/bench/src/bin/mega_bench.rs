@@ -1,0 +1,398 @@
+//! Mega-scale benchmark: the FP5+ instance family (10k–500k modules)
+//! through the thread sweep, plus a same-process ablation against the
+//! pre-SoA pruning kernels, emitted as machine-readable `BENCH_mega.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin mega_bench
+//! cargo run --release -p fp-bench --bin mega_bench -- --out path.json
+//! cargo run --release -p fp-bench --bin mega_bench -- --smoke
+//! cargo run --release -p fp-bench --bin mega_bench -- --all
+//! ```
+//!
+//! Per benchmark and thread count the bench times a **cold** run (no
+//! block cache) and a **warm** run (pre-primed shared cache); every run's
+//! frontier must be byte-identical to the single-threaded baseline, so
+//! the sweep doubles as a determinism gate at real mega granularity
+//! (the default split threshold, inline subtree tasks, batch stealing).
+//!
+//! Two headline gates, both machine-readable in the artifact:
+//!
+//! * **parallel** — cold speedup at 4 threads on the largest benchmark
+//!   must reach [`SPEEDUP_GATE`]; enforced only on hosts with ≥ 4 cores
+//!   (`gate_enforced` records the decision).
+//! * **serial** — the 1-thread cold time must beat the pre-SoA pruning
+//!   kernels ([`fp_shape::legacy`]) by [`SERIAL_GATE`] on the 10k-module
+//!   benchmark; enforced on every host, since no parallelism is involved.
+//!
+//! The default matrix runs FP5-10k and FP6-50k. `--all` adds FP7-150k
+//! and FP8-500k (long). `--smoke` runs a reduced matrix on a ~2.5k-module
+//! instance — still above the auto-serial bound, so the granularity
+//! machinery engages — with the identical JSON schema, for CI.
+
+use std::time::Instant;
+
+use fp_optimizer::{OptimizeConfig, Optimizer, SharedBlockCache};
+use fp_tree::mega::{self, MegaConfig};
+use fp_tree::{FloorplanTree, ModuleLibrary};
+
+/// Repetitions per (bench, threads, phase) cell; the minimum is kept.
+/// Mega instances are slow enough that two repetitions already give a
+/// stable minimum.
+const REPS: usize = 2;
+/// Repetitions for the two measurements feeding the serial gate (the
+/// legacy ablation and the 1-thread cold run): the gated ratio is a
+/// quotient of two minima, so it gets a tighter estimate than the
+/// sweep cells. Only applies to full runs (smoke stays at one rep).
+const SERIAL_REPS: usize = 9;
+/// Block-cache budget for the warm phase (holds the FP6-50k frontier).
+const CACHE_BYTES: usize = 1 << 30;
+/// Required cold-cache speedup at 4 threads on the largest benchmark,
+/// enforced when the host has at least 4 cores.
+const SPEEDUP_GATE: f64 = 2.0;
+/// Required 1-thread cold speedup over the pre-SoA pruning kernels on
+/// the 10k-module benchmark, enforced on every host.
+const SERIAL_GATE: f64 = 1.5;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SMOKE_SWEEP: [usize; 2] = [1, 2];
+
+struct Cell {
+    threads: usize,
+    cold_millis: f64,
+    warm_millis: f64,
+    /// Process peak RSS after this cell (monotone high-water mark).
+    peak_rss_bytes: u64,
+}
+
+struct BenchRow {
+    name: String,
+    modules: usize,
+    nodes: usize,
+    area: u128,
+    /// Best 1-thread cold time with the pre-SoA pruning kernels.
+    legacy_serial_millis: f64,
+    /// Median of per-rep paired legacy/current time ratios. Each rep
+    /// times both kernel paths back to back under the same host load,
+    /// so transient contention inflates both sides of a pair alike and
+    /// cancels in the ratio; the median then discards pairs where a
+    /// burst straddled the boundary. Far more stable on shared hosts
+    /// than a ratio of independent minima.
+    serial_speedup: f64,
+    cells: Vec<Cell>,
+}
+
+impl BenchRow {
+    fn serial_cold(&self) -> f64 {
+        self.cells.first().map_or(f64::INFINITY, |c| c.cold_millis)
+    }
+
+    fn serial_speedup_vs_legacy(&self) -> f64 {
+        self.serial_speedup
+    }
+}
+
+fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(run());
+    }
+    best
+}
+
+fn run_bench(
+    name: &str,
+    tree: &FloorplanTree,
+    library: &ModuleLibrary,
+    sweep: &[usize],
+    reps: usize,
+) -> BenchRow {
+    // Single-threaded baseline pins the expected result.
+    let baseline = Optimizer::new(tree, library)
+        .config(&OptimizeConfig::default().with_threads(1))
+        .run_frontier()
+        .expect("baseline solves");
+    let area = baseline.outcome(0).area;
+
+    let serial_reps = if reps > 1 {
+        SERIAL_REPS.max(reps)
+    } else {
+        reps
+    };
+
+    // Ablation: the same serial run under the pre-SoA pruning kernels.
+    // Same instance, same process, results must be identical — only the
+    // kernel implementations differ. Legacy and current reps are
+    // interleaved so slow host-load drift hits both sides alike instead
+    // of biasing whichever side runs later.
+    let serial_config = OptimizeConfig::default().with_threads(1);
+    let run_once = |legacy: bool| -> f64 {
+        fp_shape::legacy::set_legacy_kernels(legacy);
+        let start = Instant::now();
+        let frontier = Optimizer::new(tree, library)
+            .config(&serial_config)
+            .run_frontier()
+            .expect("serial run solves");
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        fp_shape::legacy::set_legacy_kernels(false);
+        assert_eq!(
+            frontier.envelopes(),
+            baseline.envelopes(),
+            "{name}: serial kernels (legacy={legacy}) changed the result"
+        );
+        millis
+    };
+    let mut legacy_serial_millis = f64::INFINITY;
+    let mut serial_cold_millis = f64::INFINITY;
+    let mut pair_ratios = Vec::with_capacity(serial_reps);
+    for rep in 0..serial_reps {
+        // Alternate which path runs first within each pair so allocator
+        // and cache warm-up effects cancel across pairs too.
+        let (legacy, current) = if rep % 2 == 0 {
+            let l = run_once(true);
+            (l, run_once(false))
+        } else {
+            let c = run_once(false);
+            (run_once(true), c)
+        };
+        legacy_serial_millis = legacy_serial_millis.min(legacy);
+        serial_cold_millis = serial_cold_millis.min(current);
+        pair_ratios.push(legacy / current.max(1e-6));
+    }
+    pair_ratios.sort_by(f64::total_cmp);
+    let serial_speedup = pair_ratios[pair_ratios.len() / 2];
+
+    let mut cells = Vec::new();
+    for &threads in sweep {
+        let config = OptimizeConfig::default().with_threads(threads);
+
+        // The 1-thread cold cell is the serial gate's numerator; it was
+        // already measured above, interleaved with the legacy reps.
+        let cold_millis = if threads == 1 {
+            serial_cold_millis
+        } else {
+            time_best(reps, || {
+                let start = Instant::now();
+                let frontier = Optimizer::new(tree, library)
+                    .config(&config)
+                    .run_frontier()
+                    .expect("cold run solves");
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    frontier.envelopes(),
+                    baseline.envelopes(),
+                    "{name} @{threads}: frontier diverged from the serial baseline"
+                );
+                millis
+            })
+        };
+
+        // Prime a cache at this thread count, then time fully warm runs.
+        let cache = SharedBlockCache::new(CACHE_BYTES);
+        let primed = Optimizer::new(tree, library)
+            .config(&config)
+            .cache(&cache)
+            .run_frontier()
+            .expect("priming run solves");
+        assert_eq!(primed.envelopes(), baseline.envelopes());
+        let warm_millis = time_best(reps, || {
+            let start = Instant::now();
+            let frontier = Optimizer::new(tree, library)
+                .config(&config)
+                .cache(&cache)
+                .run_frontier()
+                .expect("warm run solves");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(frontier.stats().cache_misses, 0, "{name}: warm run missed");
+            assert_eq!(frontier.envelopes(), baseline.envelopes());
+            millis
+        });
+
+        cells.push(Cell {
+            threads,
+            cold_millis,
+            warm_millis,
+            peak_rss_bytes: fp_bench::host::peak_rss_bytes(),
+        });
+    }
+
+    BenchRow {
+        name: name.to_owned(),
+        modules: library.len(),
+        nodes: tree.len(),
+        area,
+        legacy_serial_millis,
+        serial_speedup,
+        cells,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_mega.json".to_owned();
+    let mut smoke = false;
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("mega_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            "--all" => all = true,
+            other => {
+                eprintln!("mega_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = fp_bench::host::cores();
+    let (sweep, reps): (&[usize], usize) = if smoke {
+        (&SMOKE_SWEEP, 1)
+    } else {
+        (&SWEEP, REPS)
+    };
+
+    // The smoke instance sits just above the auto-serial bound
+    // (2·2500−1 = 4999 binary nodes ≥ 256·16), so the parallel rows
+    // exercise inline subtree tasks at the default split threshold.
+    let cases: Vec<(String, MegaConfig)> = if smoke {
+        let cfg = MegaConfig::new(2_500).with_seed(42);
+        vec![(cfg.name(), cfg)]
+    } else {
+        mega::mega_family()
+            .into_iter()
+            .filter(|(name, _)| all || matches!(*name, "FP5-10k" | "FP6-50k"))
+            .map(|(name, cfg)| (name.to_owned(), cfg))
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for (name, cfg) in &cases {
+        eprintln!(
+            "mega_bench: running {name} ({} modules, sweep {sweep:?}) ...",
+            cfg.modules
+        );
+        let bench = mega::mega_floorplan(cfg);
+        let library = mega::mega_library(&bench.tree, cfg);
+        rows.push(run_bench(name, &bench.tree, &library, sweep, reps));
+    }
+
+    let mut entries = Vec::new();
+    for row in &rows {
+        let base_cold = row.serial_cold();
+        let base_warm = row.cells.first().map_or(0.0, |c| c.warm_millis);
+        let cells: Vec<String> = row
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "      {{\"threads\": {}, \"cold_millis\": {:.3}, \"warm_millis\": {:.3}, \
+                     \"cold_speedup\": {:.2}, \"warm_speedup\": {:.2}, \"peak_rss_bytes\": {}}}",
+                    c.threads,
+                    c.cold_millis,
+                    c.warm_millis,
+                    base_cold / c.cold_millis.max(1e-6),
+                    base_warm / c.warm_millis.max(1e-6),
+                    c.peak_rss_bytes,
+                )
+            })
+            .collect();
+        entries.push(format!(
+            "    {{\"bench\": \"{}\", \"modules\": {}, \"nodes\": {}, \"area\": {},\n     \
+             \"legacy_serial_millis\": {:.3}, \"serial_speedup_vs_legacy\": {:.2},\n     \
+             \"cells\": [\n{}\n    ]}}",
+            row.name,
+            row.modules,
+            row.nodes,
+            row.area,
+            row.legacy_serial_millis,
+            row.serial_speedup_vs_legacy(),
+            cells.join(",\n")
+        ));
+        println!(
+            "{}: legacy-kernel serial {:.3} ms -> {:.3} ms ({:.2}x)",
+            row.name,
+            row.legacy_serial_millis,
+            row.serial_cold(),
+            row.serial_speedup_vs_legacy(),
+        );
+        for c in &row.cells {
+            println!(
+                "{} @{} threads: cold {:>10.3} ms ({:>5.2}x) | warm {:>9.3} ms ({:>5.2}x) | \
+                 peak rss {} MiB",
+                row.name,
+                c.threads,
+                c.cold_millis,
+                base_cold / c.cold_millis.max(1e-6),
+                c.warm_millis,
+                base_warm / c.warm_millis.max(1e-6),
+                c.peak_rss_bytes >> 20,
+            );
+        }
+    }
+
+    let gate_enforced = !smoke && cores >= 4;
+    let json = format!(
+        "{{\n  \"benchmark\": \"mega-scale instance family sweep\",\n  \
+         \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"cache_bytes\": {CACHE_BYTES},\n  \
+         \"cores\": {cores},\n  \"speedup_gate\": {SPEEDUP_GATE},\n  \
+         \"serial_gate\": {SERIAL_GATE},\n  \"gate_enforced\": {gate_enforced},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("mega_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if smoke {
+        return;
+    }
+
+    // Serial gate: the SoA kernels must beat the legacy kernels at one
+    // thread on the 10k benchmark. No parallelism involved, so this is
+    // enforced regardless of the host's core count.
+    if let Some(fp5) = rows.iter().find(|r| r.name == "FP5-10k") {
+        let speedup = fp5.serial_speedup_vs_legacy();
+        if speedup < SERIAL_GATE {
+            eprintln!(
+                "mega_bench: FAIL: serial speedup over legacy kernels on FP5-10k \
+                 is {speedup:.2}x (< {SERIAL_GATE}x)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Parallel gate: cold at 4 threads on the largest benchmark must
+    // beat 1 thread by SPEEDUP_GATE when the host can run 4 workers.
+    let largest = rows.last().expect("cases are non-empty");
+    let base = largest.cells.first().map_or(0.0, |c| c.cold_millis);
+    let at4 = largest
+        .cells
+        .iter()
+        .find(|c| c.threads == 4)
+        .map_or(f64::INFINITY, |c| c.cold_millis);
+    let speedup = base / at4.max(1e-6);
+    if gate_enforced {
+        if speedup < SPEEDUP_GATE {
+            eprintln!(
+                "mega_bench: FAIL: cold speedup on {} at 4 threads is {speedup:.2}x \
+                 (< {SPEEDUP_GATE}x, {cores} cores)",
+                largest.name
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "mega_bench: speedup gate skipped: host has {cores} core(s); \
+             measured {speedup:.2}x on {}",
+            largest.name
+        );
+    }
+}

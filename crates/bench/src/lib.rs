@@ -24,6 +24,7 @@
 
 pub mod ablation;
 pub mod chart;
+pub mod host;
 
 use std::time::Duration;
 

@@ -21,18 +21,28 @@ use fp_optimizer::{
 use fp_select::LReductionPolicy;
 use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::layout::realize;
-use fp_tree::{export, generators};
+use fp_tree::{export, generators, mega};
 
 /// Fixed salt for `--session` replay stores (replay requests carry
 /// their own policies; block keys already mix the policy fingerprint).
 const REPLAY_STORE_SALT: u128 = 0x6670_6f70_742f_7265_706c_6179_2f31_3131; // "fpopt/replay/111"
 
 const USAGE: &str = "\
-usage: fpopt <design.fpt | @fig1 | @fp1..@fp4> [options]
+usage: fpopt <design.fpt | @fig1 | @fp1..@fp8> [options]
 
 input options (built-in benchmarks only):
   --n <count>        implementations per module (default 8)
   --seed <u64>       module-set seed (default 1)
+
+generator options:
+  --gen <spec>       synthesize a deterministic mega-scale instance
+                     instead of reading one:
+                       mega:<modules>[,profile=balanced|deep|wide]
+                            [,wheels=<0..1>][,impls=<n>][,seed=<u64>]
+                     e.g. --gen mega:10000,profile=deep,seed=7
+                     (@fp5..@fp8 are the canned 10k/50k/150k/500k
+                     members of this family; combine with --fpt <path>
+                     to export the instance)
 
 selection options (paper knobs):
   --k1 <limit>       enable R_Selection with limit K1
@@ -103,6 +113,7 @@ exit codes:
 
 struct Args {
     input: String,
+    gen: Option<String>,
     n: usize,
     seed: u64,
     k1: Option<usize>,
@@ -137,6 +148,7 @@ struct Args {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
+        gen: None,
         n: 8,
         seed: 1,
         k1: None,
@@ -271,6 +283,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--cache-file" => args.cache_file = Some(value("--cache-file")?),
             "--session" => args.session = Some(value("--session")?),
+            "--gen" => args.gen = Some(value("--gen")?),
             "--trace" => args.trace = Some(value("--trace")?),
             "--profile" => args.profile = true,
             "--parallel" => args.parallel = true,
@@ -295,8 +308,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     }
-    if args.input.is_empty() && args.session.is_none() {
+    if args.input.is_empty() && args.session.is_none() && args.gen.is_none() {
         return Err("missing input".to_owned());
+    }
+    if !args.input.is_empty() && args.gen.is_some() {
+        return Err("--gen and a <design> input are mutually exclusive".to_owned());
     }
     if args.netlist.is_some() && args.nets.is_some() {
         return Err("--netlist and --nets are mutually exclusive".to_owned());
@@ -311,7 +327,66 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parses a `--gen` spec (`mega:<modules>[,key=value...]`) into a
+/// [`mega::MegaConfig`].
+fn parse_mega_spec(spec: &str) -> Result<mega::MegaConfig, String> {
+    let rest = spec
+        .strip_prefix("mega:")
+        .ok_or_else(|| format!("--gen expects mega:<modules>[,key=value...], found `{spec}`"))?;
+    let mut parts = rest.split(',');
+    let modules: usize = parts
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse()
+        .map_err(|e| format!("--gen modules: {e}"))?;
+    if modules == 0 {
+        return Err("--gen expects at least one module".to_owned());
+    }
+    let mut cfg = mega::MegaConfig::new(modules);
+    for part in parts {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--gen expects key=value, found `{part}`"))?;
+        let val = val.trim();
+        match key.trim() {
+            "profile" => cfg = cfg.with_profile(mega::DepthProfile::parse(val)?),
+            "wheels" => {
+                let d: f64 = val.parse().map_err(|e| format!("--gen wheels: {e}"))?;
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(format!("--gen wheels expects a value in [0, 1], found {d}"));
+                }
+                cfg = cfg.with_wheel_density(d);
+            }
+            "impls" => {
+                cfg = cfg.with_impls(val.parse().map_err(|e| format!("--gen impls: {e}"))?);
+            }
+            "seed" => cfg = cfg.with_seed(val.parse().map_err(|e| format!("--gen seed: {e}"))?),
+            other => {
+                return Err(format!(
+                    "--gen: unknown key `{other}` (profile, wheels, impls, seed)"
+                ))
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Materializes a mega-family instance (tree + matched library).
+fn mega_instance(cfg: &mega::MegaConfig) -> FloorplanInstance {
+    let bench = mega::mega_floorplan(cfg);
+    let library = mega::mega_library(&bench.tree, cfg);
+    FloorplanInstance {
+        name: bench.name,
+        tree: bench.tree,
+        library,
+    }
+}
+
 fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
+    if let Some(spec) = &args.gen {
+        return parse_mega_spec(spec).map(|cfg| mega_instance(&cfg));
+    }
     if let Some(name) = args.input.strip_prefix('@') {
         let bench = match name {
             "fig1" => generators::fig1(),
@@ -319,6 +394,10 @@ fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
             "fp2" => generators::fp2(),
             "fp3" => generators::fp3(),
             "fp4" => generators::fp4(),
+            "fp5" => return Ok(mega_instance(&mega::fp5_config())),
+            "fp6" => return Ok(mega_instance(&mega::fp6_config())),
+            "fp7" => return Ok(mega_instance(&mega::fp7_config())),
+            "fp8" => return Ok(mega_instance(&mega::fp8_config())),
             "ami33" => {
                 let (bench, library) = generators::ami33_like();
                 return Ok(FloorplanInstance {
@@ -337,7 +416,7 @@ fn load_instance(args: &Args) -> Result<FloorplanInstance, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown built-in @{other} (fig1, fp1..fp4, ami33, ami49)"
+                    "unknown built-in @{other} (fig1, fp1..fp8, ami33, ami49)"
                 ))
             }
         };
@@ -546,6 +625,22 @@ fn main() -> ExitCode {
             policy = policy.with_prefilter(s);
         }
         config = config.with_l_selection(policy);
+    }
+
+    if args.profile {
+        // Echo the tree-aware scheduling resolution so "why didn't it
+        // parallelize?" is visible next to the phase tree.
+        let auto = config.auto_serial_for(instance.tree.module_count());
+        let eff = config.resolve_for(&instance.tree);
+        eprintln!(
+            "scheduling: {} thread(s){}",
+            eff.threads,
+            if auto {
+                " — auto-serial (tree below the split threshold)"
+            } else {
+                ""
+            }
+        );
     }
 
     let cache = match &args.cache_file {

@@ -141,6 +141,14 @@ pub struct OptimizeConfig {
     /// would trip a resource limit is transparently re-run serially).
     /// Defaults to the `FP_THREADS` environment variable, else `1`.
     pub threads: usize,
+    /// Scheduler split granularity, in restructured binary-tree nodes.
+    /// Subtrees smaller than this run inline as one serial task instead
+    /// of being split into per-node tasks, and whole trees smaller than
+    /// [`OptimizeConfig::AUTO_SERIAL_FACTOR`] times this threshold skip
+    /// the worker pool entirely (auto-serial) even when `threads > 1`.
+    /// `0` disables both heuristics: per-node scheduling, never
+    /// auto-serial (testing aid — results are identical either way).
+    pub split_threshold: usize,
     /// Extra salt folded into the cache's policy fingerprint. `0` (the
     /// default) leaves the fingerprint byte-identical to earlier
     /// releases; multi-objective runs set it to the netlist fingerprint
@@ -155,6 +163,17 @@ impl OptimizeConfig {
 
     /// The default cross-chain pruning threshold.
     pub const DEFAULT_GLOBAL_L_PRUNE: usize = 50_000;
+
+    /// The default scheduler split granularity (binary-tree nodes per
+    /// inline task). Calibrated so a stolen task amortizes its queue
+    /// round-trip over a few hundred joins rather than one.
+    pub const DEFAULT_SPLIT_THRESHOLD: usize = 256;
+
+    /// Whole trees below `AUTO_SERIAL_FACTOR * split_threshold` binary
+    /// nodes resolve to the serial path even when `threads > 1`: at that
+    /// size the pool spin-up, restructure-twice fallback risk, and
+    /// steal traffic provably cost more than the parallelism returns.
+    pub const AUTO_SERIAL_FACTOR: usize = 16;
 
     /// The default cap on run-wide rescue retries. Under a brutally tight
     /// budget every join of a large tree can trip once at the ladder's
@@ -179,6 +198,7 @@ impl OptimizeConfig {
             fault_plan: None,
             max_rescue_attempts: Self::DEFAULT_MAX_RESCUE_ATTEMPTS,
             threads: default_threads(),
+            split_threshold: Self::DEFAULT_SPLIT_THRESHOLD,
             extra_salt: 0,
         }
     }
@@ -200,6 +220,32 @@ impl OptimizeConfig {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             n => n,
         }
+    }
+
+    /// Overrides the scheduler split granularity (see
+    /// [`OptimizeConfig::split_threshold`]). `0` disables inline
+    /// batching and the auto-serial fallback — every node becomes its
+    /// own task, exactly the pre-granularity scheduler.
+    #[must_use]
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.split_threshold = threshold;
+        self
+    }
+
+    /// `true` when a tree with `modules` leaf modules resolves to the
+    /// serial path despite `threads > 1`: its restructured binary tree
+    /// (`2·modules − 1` nodes) is below the auto-serial bound, where
+    /// pool overhead cannot pay off. The decision never changes results
+    /// — parallel and serial runs are byte-identical by contract.
+    #[must_use]
+    pub fn auto_serial_for(&self, modules: usize) -> bool {
+        let bin_nodes = 2 * modules.max(1) - 1;
+        self.resolved_threads() > 1
+            && self.split_threshold > 0
+            && bin_nodes
+                < self
+                    .split_threshold
+                    .saturating_mul(Self::AUTO_SERIAL_FACTOR)
     }
 
     /// Sets the root objective.
@@ -314,6 +360,21 @@ impl OptimizeConfig {
             let workers = l.resolved_workers();
             l.with_workers(workers)
         });
+        resolved
+    }
+
+    /// [`OptimizeConfig::resolve`] plus the tree-aware scheduling
+    /// decision: when [`OptimizeConfig::auto_serial_for`] fires for
+    /// `tree`'s module count, the returned config's `threads` is
+    /// clamped to `1` — the worker count the run actually executes
+    /// with. Binaries and the batch server echo this resolved view so
+    /// "why didn't it parallelize?" is answerable from a reply alone.
+    #[must_use]
+    pub fn resolve_for(&self, tree: &FloorplanTree) -> OptimizeConfig {
+        let mut resolved = self.resolve();
+        if self.auto_serial_for(tree.module_count()) {
+            resolved.threads = 1;
+        }
         resolved
     }
 }
@@ -986,7 +1047,7 @@ fn optimize_frontier_impl(
     tracer: Option<&Tracer>,
 ) -> Result<Frontier, OptError> {
     let start = Instant::now();
-    if config.resolved_threads() > 1 {
+    if config.resolved_threads() > 1 && !config.auto_serial_for(tree.module_count()) {
         // The scheduler returns `None` whenever the serial path must run
         // instead — tiny trees, invalid inputs (whose error order the
         // serial loop defines), or a run whose serial schedule would trip
@@ -1560,12 +1621,11 @@ fn slice_join<G: Governor>(
     let (b, _) = right.as_rect()?;
     let combined = combine_with_provenance_scratch(a, b, how, scratch);
     meter.charge(combined.len())?;
-    let mut rects = Vec::with_capacity(combined.len());
-    let mut prov = Vec::with_capacity(combined.len());
-    for c in combined {
-        rects.push(c.rect);
-        prov.push((c.left as u32, c.right as u32));
-    }
+    let rects: Vec<Rect> = combined.iter().map(|c| c.rect).collect();
+    let prov: Vec<(u32, u32)> = combined
+        .iter()
+        .map(|c| (c.left as u32, c.right as u32))
+        .collect();
     let list = RList::from_sorted(rects)
         .map_err(|_| Trip::Internal("Stockmeyer merge output is not a staircase"))?;
     Ok(Shapes::Rect { list, prov })
@@ -1633,9 +1693,16 @@ fn push_rect_chain<G: Governor>(
 fn wheel_s1<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (a_list, _) = left.as_rect()?;
     let (e_list, _) = right.as_rect()?;
-    let mut shapes = Vec::new();
-    let mut prov = Vec::new();
-    let mut chains = Vec::new();
+    // Capacity hints are part of the new allocation discipline; the
+    // legacy ablation keeps the pre-SoA from-zero growth.
+    let hint = if fp_shape::legacy::legacy_kernels() {
+        0
+    } else {
+        a_list.len() + e_list.len()
+    };
+    let mut shapes = Vec::with_capacity(hint);
+    let mut prov = Vec::with_capacity(hint);
+    let mut chains = Vec::with_capacity(hint.min(a_list.len()));
     for (ai, &a) in a_list.iter().enumerate() {
         let start = shapes.len();
         for (ei, &e) in e_list.iter().enumerate() {
@@ -1669,9 +1736,14 @@ fn wheel_s23<G: Governor>(
 ) -> Result<Shapes, Trip> {
     let (l_shapes, _, _) = left.as_l()?;
     let (r_list, _) = right.as_rect()?;
-    let mut shapes = Vec::new();
-    let mut prov = Vec::new();
-    let mut chains = Vec::new();
+    let hint = if fp_shape::legacy::legacy_kernels() {
+        0
+    } else {
+        l_shapes.len() + r_list.len()
+    };
+    let mut shapes = Vec::with_capacity(hint);
+    let mut prov = Vec::with_capacity(hint);
+    let mut chains = Vec::with_capacity(hint.min(l_shapes.len()));
     for (li, &l) in l_shapes.iter().enumerate() {
         let start = shapes.len();
         for (ri, &r) in r_list.iter().enumerate() {
@@ -1701,9 +1773,14 @@ fn wheel_s23<G: Governor>(
 fn wheel_s3<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (l_shapes, _, l_chains) = left.as_l()?;
     let (c_list, _) = right.as_rect()?;
-    let mut shapes = Vec::new();
-    let mut prov = Vec::new();
-    let mut chains = Vec::new();
+    let hint = if fp_shape::legacy::legacy_kernels() {
+        0
+    } else {
+        l_shapes.len() + c_list.len()
+    };
+    let mut shapes = Vec::with_capacity(hint);
+    let mut prov = Vec::with_capacity(hint);
+    let mut chains = Vec::with_capacity(hint.min(l_chains.len() * c_list.len()));
     for &(cs, ce) in l_chains {
         for (ci, &c) in c_list.iter().enumerate() {
             let start = shapes.len();
@@ -1728,7 +1805,12 @@ fn wheel_s3<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result
 fn wheel_s4<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result<Shapes, Trip> {
     let (l_shapes, _, _) = left.as_l()?;
     let (d_list, _) = right.as_rect()?;
-    let mut out: Vec<(Rect, (u32, u32))> = Vec::new();
+    let hint = if fp_shape::legacy::legacy_kernels() {
+        0
+    } else {
+        l_shapes.len() + d_list.len()
+    };
+    let mut out: Vec<(Rect, (u32, u32))> = Vec::with_capacity(hint);
     for (li, &l) in l_shapes.iter().enumerate() {
         let start = out.len();
         for (di, &d) in d_list.iter().enumerate() {
@@ -1744,12 +1826,8 @@ fn wheel_s4<G: Governor>(left: &Shapes, right: &Shapes, meter: &mut G) -> Result
     let before = out.len();
     fp_shape::prune::pareto_min_rects_in_place(&mut out, |&(r, _)| r);
     meter.discard(before - out.len());
-    let mut rects = Vec::with_capacity(out.len());
-    let mut prov = Vec::with_capacity(out.len());
-    for (r, p) in out {
-        rects.push(r);
-        prov.push(p);
-    }
+    let rects: Vec<Rect> = out.iter().map(|&(r, _)| r).collect();
+    let prov: Vec<(u32, u32)> = out.iter().map(|&(_, p)| p).collect();
     let list = RList::from_sorted(rects)
         .map_err(|_| Trip::Internal("pruned stage-4 output is not a staircase"))?;
     Ok(Shapes::Rect { list, prov })
@@ -1779,24 +1857,80 @@ fn global_l_prune<G: Governor>(
         return;
     }
     let before = l_shapes.len();
-    let mut pruned: Vec<(LShape, (u32, u32))> =
-        l_shapes.iter().copied().zip(prov.iter().copied()).collect();
+    if fp_shape::legacy::legacy_kernels() {
+        return global_l_prune_legacy(l_shapes, prov, chains, config, meter, &mut scratch.front);
+    }
+    // The zipped pair buffer lives in the arena: every wheel join runs
+    // this prune, and the collect was a per-block allocation.
+    let pruned = &mut scratch.lprune;
+    pruned.clear();
+    pruned.extend(l_shapes.iter().copied().zip(prov.iter().copied()));
 
     // Pass 1 (always): same-w2 dominance, O(n log n), against the
-    // arena's reusable staircase-front buffer.
-    fp_shape::prune::pareto_min_lshapes_within_w2_scratch(
-        &mut pruned,
+    // arena's reusable staircase-front buffer; the canonical variant
+    // restores output order with an O(n) group reversal instead of a
+    // second sort.
+    fp_shape::prune::pareto_min_lshapes_within_w2_canonical_scratch(
+        pruned,
         |&(l, _)| l,
         &mut scratch.front,
     );
 
-    // Pass 2 (bounded): full cross-w2 dominance, O(n·front).
+    // Pass 2 (bounded): full cross-w2 dominance, O(n·front). Pass 1
+    // left the list grouped by w2 with no same-w2 dominance — exactly
+    // the precondition of the fused group sweep, which prunes in place
+    // with no sorts and no allocations.
+    if config.global_l_prune.is_some_and(|t| pruned.len() <= t) {
+        fp_shape::prune::pareto_min_lshapes_grouped_scratch(
+            pruned,
+            |&(l, _)| l,
+            &mut scratch.lfront,
+        );
+    }
+    if pruned.len() == before {
+        // Nothing was redundant; keep the existing (already valid) chains.
+        return;
+    }
+    // Re-chain the survivors through the flat decomposition arena and
+    // rebuild into the block's own buffers — the whole rebuild reuses
+    // existing capacity instead of allocating per-chain vectors.
+    scratch.chain.partition(pruned, |&(l, _)| l);
+    l_shapes.clear();
+    prov.clear();
+    chains.clear();
+    for &i in &scratch.chain.perm {
+        let (l, p) = pruned[i as usize];
+        l_shapes.push(l);
+        prov.push(p);
+    }
+    chains.extend_from_slice(&scratch.chain.spans);
+    meter.discard(before - l_shapes.len());
+}
+
+/// Pre-arena cross-chain prune, kept verbatim behind
+/// [`fp_shape::legacy::legacy_kernels`] as the ablation baseline: a
+/// fresh `collect` per block and the sort-based cross-`w2` pass instead
+/// of the fused group sweep. Results are identical to
+/// [`global_l_prune`]; only allocation and sweep strategy differ.
+fn global_l_prune_legacy<G: Governor>(
+    l_shapes: &mut Vec<LShape>,
+    prov: &mut Vec<(u32, u32)>,
+    chains: &mut Vec<(u32, u32)>,
+    config: &OptimizeConfig,
+    meter: &mut G,
+    front: &mut Vec<(u64, u64)>,
+) {
+    let before = l_shapes.len();
+    let mut pruned: Vec<(LShape, (u32, u32))> =
+        l_shapes.iter().copied().zip(prov.iter().copied()).collect();
+
+    fp_shape::prune::pareto_min_lshapes_within_w2_scratch(&mut pruned, |&(l, _)| l, front);
+
     if config.global_l_prune.is_some_and(|t| pruned.len() <= t) {
         pruned = fp_shape::prune::pareto_min_lshapes_by(pruned, |&(l, _)| l);
     }
 
     if pruned.len() == before {
-        // Nothing was redundant; keep the existing (already valid) chains.
         return;
     }
     let survivors: Vec<LShape> = pruned.iter().map(|&(l, _)| l).collect();

@@ -9,6 +9,14 @@
 //! injector — a hand-rolled work-stealing scheduler, since the build is
 //! fully offline.
 //!
+//! Task granularity is subtree-aware: maximal subtrees below the
+//! configured split threshold ([`OptimizeConfig::split_threshold`]) run
+//! inline as one serial task — their post-order node range is
+//! contiguous, so the task is a plain loop — while joins above the
+//! threshold are individual tasks, and a steal sweep moves up to half
+//! the victim's deque at once. Whole trees below the auto-serial bound
+//! never reach this module (see [`OptimizeConfig::auto_serial_for`]).
+//!
 //! # The determinism contract
 //!
 //! `optimize*` results are **byte-identical at any thread count**. The
@@ -60,8 +68,16 @@ use crate::governor::{CancelToken, FaultPlan, Governor, Trip, POLL_INTERVAL};
 
 /// Below this node count the scheduling overhead cannot pay off; the
 /// dispatcher falls through to the serial path (results are identical
-/// either way — this is purely a performance heuristic).
+/// either way — this is purely a performance heuristic). The engine
+/// additionally auto-serializes whole trees below
+/// `OptimizeConfig::split_threshold * AUTO_SERIAL_FACTOR` nodes before
+/// ever reaching this module.
 const MIN_PARALLEL_NODES: usize = 8;
+
+/// Upper bound on tasks moved by one steal sweep: stealing half a long
+/// deque amortizes the lock round-trip, but an unbounded grab would
+/// starve the victim of the locality it built up.
+const MAX_STEAL_BATCH: usize = 32;
 
 /// Sentinel `Trip` a worker returns when it stops because a *peer*
 /// tripped (or requested fallback). Never recorded, never surfaced.
@@ -278,9 +294,12 @@ impl WorkQueues {
     }
 
     /// Next task for worker `w`: own deque (back), injector, then a
-    /// steal sweep over the other workers' deques (front). Successful
-    /// steals are traced (thief/victim use the trace worker ids, where
-    /// 0 is the main thread).
+    /// steal sweep over the other workers' deques (front). A successful
+    /// steal takes up to half the victim's deque (capped at
+    /// [`MAX_STEAL_BATCH`]) in one sweep — one lock round-trip instead
+    /// of one per task — runs the oldest stolen task and keeps the rest
+    /// locally. Steals are traced (thief/victim use the trace worker
+    /// ids, where 0 is the main thread).
     fn pop(&self, w: usize, tc: TraceCtx<'_>) -> Option<usize> {
         if let Some(local) = self.locals.get(w) {
             if let Some(node) = lock_or_recover(local).pop_back() {
@@ -293,15 +312,39 @@ impl WorkQueues {
         let n = self.locals.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(local) = self.locals.get(victim) {
-                if let Some(node) = lock_or_recover(local).pop_front() {
-                    tc.emit(TraceEvent::Steal {
-                        worker: w as u32 + 1,
-                        victim: victim as u32 + 1,
-                    });
-                    return Some(node);
+            let Some(local) = self.locals.get(victim) else {
+                continue;
+            };
+            let mut batch: Vec<usize> = {
+                let mut deque = lock_or_recover(local);
+                if deque.is_empty() {
+                    continue;
+                }
+                let take = deque.len().div_ceil(2).min(MAX_STEAL_BATCH);
+                deque.drain(..take).collect()
+            };
+            let count = batch.len();
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                if let Some(own) = self.locals.get(w) {
+                    lock_or_recover(own).extend(batch);
+                } else {
+                    lock_or_recover(&self.injector).extend(batch);
                 }
             }
+            if count > 1 {
+                tc.emit(TraceEvent::StealBatch {
+                    worker: w as u32 + 1,
+                    victim: victim as u32 + 1,
+                    count: count as u32,
+                });
+            } else {
+                tc.emit(TraceEvent::Steal {
+                    worker: w as u32 + 1,
+                    victim: victim as u32 + 1,
+                });
+            }
+            return Some(first);
         }
         None
     }
@@ -318,6 +361,11 @@ struct WorkerCtx<'a> {
     fps: Option<&'a [Fingerprint]>,
     parent: &'a [usize],
     deps: &'a [AtomicUsize],
+    /// Subtree sizes in binary-tree nodes (post-order contiguity makes
+    /// `[i + 1 - size[i], i]` exactly node `i`'s subtree).
+    size: &'a [usize],
+    /// The split threshold: tasks covering fewer nodes run inline.
+    cap: usize,
     results: &'a [OnceLock<BuiltNode>],
     remaining: &'a AtomicUsize,
     queues: &'a WorkQueues,
@@ -371,23 +419,43 @@ pub(crate) fn try_parallel(
     });
     let fps = fps_vec.as_deref();
 
+    // Split granularity: subtrees below `cap` binary nodes execute as
+    // one inline serial task (their post-order range is contiguous);
+    // joins at or above it are individual tasks. `cap = 2` degenerates
+    // to per-node scheduling (`split_threshold == 0`, the testing aid).
+    let cap = config.split_threshold.max(2);
     let mut parent = vec![usize::MAX; n];
-    let mut dep_counts = vec![0usize; n];
+    let mut size = vec![1usize; n];
     for (i, node) in bin.nodes().iter().enumerate() {
         if let BinNode::Join { left, right, .. } = node {
             parent[*left] = i;
             parent[*right] = i;
+            size[i] = size[*left] + size[*right] + 1;
+        }
+    }
+    // Every child of a split join is itself a task root (either another
+    // split join or the root of a maximal inline subtree), so split
+    // joins always wait on exactly their two children's tasks.
+    let mut dep_counts = vec![0usize; n];
+    for i in 0..n {
+        if size[i] >= cap {
             dep_counts[i] = 2;
         }
     }
     let deps: Vec<AtomicUsize> = dep_counts.into_iter().map(AtomicUsize::new).collect();
     let results: Vec<OnceLock<BuiltNode>> = (0..n).map(|_| OnceLock::new()).collect();
     let queues = WorkQueues::new(threads);
-    // Seed the initially ready nodes (the leaves) round-robin so every
-    // worker starts with local work.
+    // Seed the initially ready tasks — the maximal inline subtrees —
+    // round-robin so every worker starts with local work. (With per-node
+    // scheduling these are exactly the leaves.)
     let mut next_worker = 0usize;
-    for (i, node) in bin.nodes().iter().enumerate() {
-        if matches!(node, BinNode::Leaf { .. }) {
+    for i in 0..n {
+        let ready = size[i] < cap
+            && match parent.get(i).copied() {
+                Some(p) if p != usize::MAX => size[p] >= cap,
+                _ => true,
+            };
+        if ready {
             queues.push_local(next_worker % threads, i);
             next_worker += 1;
         }
@@ -416,6 +484,7 @@ pub(crate) fn try_parallel(
         let bin = &bin;
         let parent: &[usize] = &parent;
         let deps: &[AtomicUsize] = &deps;
+        let size: &[usize] = &size;
         let results: &[OnceLock<BuiltNode>] = &results;
         let remaining = &remaining;
         let queues = &queues;
@@ -432,6 +501,8 @@ pub(crate) fn try_parallel(
                     fps,
                     parent,
                     deps,
+                    size,
+                    cap,
                     results,
                     remaining,
                     queues,
@@ -581,42 +652,60 @@ fn worker_loop(w: usize, ctx: WorkerCtx<'_>) {
             continue;
         };
         idle_spins = 0;
-        match build_node(index, &ctx, &mut scratch, tc) {
-            Ok(built) => {
-                let len = built.acc.final_len;
-                let Some(cell) = ctx.results.get(index) else {
-                    ctx.shared.request_fallback();
-                    return;
-                };
-                if cell.set(built).is_err() {
-                    // Double-build: a scheduling bug. The serial path
-                    // still computes the right answer.
-                    ctx.shared.request_fallback();
-                    return;
+        // An inline task executes its whole contiguous subtree range
+        // serially in post-order (children always precede parents); a
+        // split join's task is the single join node.
+        let task_size = ctx.size.get(index).copied().unwrap_or(1);
+        let lo = if task_size < ctx.cap {
+            if task_size > 1 {
+                tc.emit(TraceEvent::SplitInline {
+                    node: index as u32,
+                    nodes: task_size as u32,
+                });
+            }
+            index + 1 - task_size
+        } else {
+            index
+        };
+        for i in lo..=index {
+            match build_node(i, &ctx, &mut scratch, tc) {
+                Ok(built) => {
+                    let len = built.acc.final_len;
+                    let Some(cell) = ctx.results.get(i) else {
+                        ctx.shared.request_fallback();
+                        return;
+                    };
+                    if cell.set(built).is_err() {
+                        // Double-build: a scheduling bug. The serial path
+                        // still computes the right answer.
+                        ctx.shared.request_fallback();
+                        return;
+                    }
+                    ctx.shared.committed.fetch_add(len, Ordering::Relaxed);
+                    ctx.remaining.fetch_sub(1, Ordering::AcqRel);
                 }
-                ctx.shared.committed.fetch_add(len, Ordering::Relaxed);
-                ctx.remaining.fetch_sub(1, Ordering::AcqRel);
-                let p = ctx.parent.get(index).copied().unwrap_or(usize::MAX);
-                if p != usize::MAX {
-                    if let Some(dep) = ctx.deps.get(p) {
-                        if dep.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            ctx.queues.push_local(w, p);
+                Err(trip) => {
+                    if !is_abort(&trip) {
+                        if trip.is_rescuable() {
+                            // Defensive: workers do not produce rescuable
+                            // trips directly, but if one appears, the
+                            // serial path owns the rescue ladder.
+                            ctx.shared.request_fallback();
+                        } else {
+                            ctx.shared.record_trip(trip, i);
                         }
                     }
+                    return;
                 }
             }
-            Err(trip) => {
-                if !is_abort(&trip) {
-                    if trip.is_rescuable() {
-                        // Defensive: workers do not produce rescuable
-                        // trips directly, but if one appears, the serial
-                        // path owns the rescue ladder.
-                        ctx.shared.request_fallback();
-                    } else {
-                        ctx.shared.record_trip(trip, index);
-                    }
+        }
+        // The task is complete: release the consuming split join.
+        let p = ctx.parent.get(index).copied().unwrap_or(usize::MAX);
+        if p != usize::MAX {
+            if let Some(dep) = ctx.deps.get(p) {
+                if dep.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ctx.queues.push_local(w, p);
                 }
-                return;
             }
         }
     }

@@ -1317,12 +1317,16 @@ fn optimize_reply(
     };
     let summary = tracer.drain().summary();
     state.metrics().absorb(&summary);
-    let eff = config.resolve();
+    // `resolve_for` folds in the tree-aware auto-serial decision, so the
+    // echoed thread count is the one the run actually executed with.
+    let auto_serial = config.auto_serial_for(instance.tree.module_count());
+    let eff = config.resolve_for(&instance.tree);
     match result {
         Ok((RunOutcome { outcome, rescued }, hpwl)) => {
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.str("instance", &instance.name);
             obj.u64("threads", eff.threads as u64);
+            obj.bool("auto_serial", auto_serial);
             if let Some(l) = &eff.l_policy {
                 obj.u64("lred_workers", l.resolved_workers() as u64);
             }
@@ -1408,7 +1412,8 @@ fn pareto_reply(
     let summary = tracer.drain().summary();
     state.metrics().absorb(&summary);
     state.pareto_requests.fetch_add(1, Ordering::Relaxed);
-    let eff = config.resolve();
+    let auto_serial = config.auto_serial_for(instance.tree.module_count());
+    let eff = config.resolve_for(&instance.tree);
     match result {
         Ok(pareto) => {
             state
@@ -1437,6 +1442,7 @@ fn pareto_reply(
             let mut obj = response_head(id, line_no, STATUS_OK);
             obj.str("instance", &instance.name);
             obj.u64("threads", eff.threads as u64);
+            obj.bool("auto_serial", auto_serial);
             obj.u64("front_size", pareto.front.len() as u64);
             obj.u64("evaluated", pareto.evaluated as u64);
             obj.raw("front", &front_json);

@@ -112,7 +112,27 @@ pub fn combine_with_provenance_scratch<'s>(
             }
         }
     }
-    pareto_min_rects_in_place(&mut scratch.combined, |c| c.rect);
+    if crate::legacy::legacy_kernels() {
+        // Pre-SoA path, kept for the mega_bench ablation: sort + sweep.
+        pareto_min_rects_in_place(&mut scratch.combined, |c| c.rect);
+        return &scratch.combined;
+    }
+    // The lockstep walk over two strict staircases emits strictly
+    // decreasing max-width and strictly increasing summed height, so the
+    // output is *already* an irreducible staircase — in stack order for
+    // `Stack`, reversed for `Beside` (the rotation flips the axes). The
+    // old sort-based prune here was a no-op transformation; a reverse is
+    // all `Beside` needs to restore canonical width-descending order.
+    if matches!(how, Compose::Beside) {
+        scratch.combined.reverse();
+    }
+    debug_assert!(
+        scratch
+            .combined
+            .windows(2)
+            .all(|w| w[0].rect.w > w[1].rect.w && w[0].rect.h < w[1].rect.h),
+        "lockstep merge output is not a strict staircase"
+    );
     &scratch.combined
 }
 

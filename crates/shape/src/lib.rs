@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod combine;
+pub mod legacy;
 mod llist;
 pub mod prune;
 mod rlist;
@@ -41,7 +42,7 @@ pub mod scratch;
 mod shapefn;
 pub mod staircase;
 
-pub use llist::{chain_indices, LList, LListSet};
+pub use llist::{chain_indices, ChainScratch, LList, LListSet};
 pub use rlist::RList;
 pub use scratch::JoinScratch;
 pub use shapefn::ShapeFunction;

@@ -365,6 +365,103 @@ pub fn chain_indices(pruned: &[LShape]) -> Vec<Vec<usize>> {
     chains
 }
 
+/// Reusable arena for the allocation-free flavour of [`chain_indices`].
+///
+/// [`chain_indices`] allocates one `Vec` per chain, which dominates its
+/// cost when it runs once per wheel join on lists of a few dozen
+/// elements. `ChainScratch::partition` computes the *same* chains in the
+/// same order, but threads members through a flat `next`-link array and
+/// emits them as one concatenated index permutation plus per-chain
+/// spans; with a reused scratch the whole decomposition allocates
+/// nothing in steady state.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    /// Open-chain tails, `(h1, h2, chain)` staircase (see [`chain_indices`]).
+    tails: Vec<(u64, u64, usize)>,
+    /// First member index of each chain, in chain-creation order.
+    head: Vec<u32>,
+    /// Last member index of each chain (the append target).
+    last: Vec<u32>,
+    /// Successor links: `next[i]` is the next member of `i`'s chain.
+    next: Vec<u32>,
+    /// Output: member indices concatenated chain by chain.
+    pub perm: Vec<u32>,
+    /// Output: half-open `perm` spans, one per chain in creation order.
+    pub spans: Vec<(u32, u32)>,
+}
+
+/// `next`-link sentinel: no successor.
+const NO_NEXT: u32 = u32::MAX;
+
+impl ChainScratch {
+    /// An empty arena; buffers grow to the working-set high-water mark.
+    #[must_use]
+    pub fn new() -> ChainScratch {
+        ChainScratch::default()
+    }
+
+    /// Decomposes `items` (whose keys must be in [`crate::prune`] output
+    /// order, non-redundant — the same precondition as
+    /// [`chain_indices`]) into irreducible chains, leaving the member
+    /// permutation in `self.perm` and the chain spans in `self.spans`.
+    /// Chains and member order are identical to [`chain_indices`].
+    pub fn partition<T>(&mut self, items: &[T], key: impl Fn(&T) -> LShape) {
+        debug_assert!(
+            items
+                .windows(2)
+                .map(|w| (key(&w[0]), key(&w[1])))
+                .all(|(a, b)| (a.w2, core::cmp::Reverse(a.w1), a.h1, a.h2)
+                    <= (b.w2, core::cmp::Reverse(b.w1), b.h1, b.h2)),
+            "chain partition requires prune output order"
+        );
+        self.head.clear();
+        self.last.clear();
+        self.next.clear();
+        self.next.resize(items.len(), NO_NEXT);
+        let mut group_start = 0;
+        while group_start < items.len() {
+            let w2 = key(&items[group_start]).w2;
+            let group_end = group_start
+                + items[group_start..]
+                    .iter()
+                    .take_while(|t| key(t).w2 == w2)
+                    .count();
+            self.tails.clear();
+            for (i, t) in items.iter().enumerate().take(group_end).skip(group_start) {
+                let l = key(t);
+                let idx = self.tails.partition_point(|&(h1, _, _)| h1 <= l.h1);
+                let accepted = idx > 0 && self.tails[idx - 1].1 <= l.h2 && {
+                    // Strict-w1 acceptance, exactly as in chain_indices.
+                    let chain = self.tails[idx - 1].2;
+                    key(&items[self.last[chain] as usize]).w1 > l.w1
+                };
+                if accepted {
+                    let (_, _, chain) = self.tails.remove(idx - 1);
+                    self.next[self.last[chain] as usize] = i as u32;
+                    self.last[chain] = i as u32;
+                    insert_tail(&mut self.tails, (l.h1, l.h2, chain));
+                } else {
+                    self.head.push(i as u32);
+                    self.last.push(i as u32);
+                    insert_tail(&mut self.tails, (l.h1, l.h2, self.head.len() - 1));
+                }
+            }
+            group_start = group_end;
+        }
+        self.perm.clear();
+        self.spans.clear();
+        for &first in &self.head {
+            let start = self.perm.len() as u32;
+            let mut j = first;
+            while j != NO_NEXT {
+                self.perm.push(j);
+                j = self.next[j as usize];
+            }
+            self.spans.push((start, self.perm.len() as u32));
+        }
+    }
+}
+
 /// Inserts a tail into the (h1 asc, h2 desc) staircase, removing tails the
 /// newcomer dominates (those chains simply stop accepting appends, which
 /// is sound — any partition into valid chains is acceptable).

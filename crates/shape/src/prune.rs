@@ -46,15 +46,17 @@ pub fn pareto_min_rects_in_place<T>(items: &mut Vec<T>, key: impl Fn(&T) -> Rect
         let r = key(t);
         (r.w, r.h)
     });
-    let mut min_h: Option<u64> = None;
+    // Branch-light min tracking: one comparison per item instead of an
+    // `Option` unwrap (the `first` flag keeps an initial `h == u64::MAX`
+    // item alive, where a bare sentinel would drop it).
+    let mut min_h = u64::MAX;
+    let mut first = true;
     items.retain(|item| {
         let h = key(item).h;
-        if min_h.is_none_or(|m| h < m) {
-            min_h = Some(h);
-            true
-        } else {
-            false
-        }
+        let keep = first | (h < min_h);
+        first = false;
+        min_h = if keep { h } else { min_h };
+        keep
     });
     // (w asc, h desc) reversed gives the canonical R-list order.
     items.reverse();
@@ -92,20 +94,138 @@ pub fn pareto_min_lshapes_by<T>(mut items: Vec<T>, key: impl Fn(&T) -> LShape) -
         )
     });
     let mut kept: Vec<T> = Vec::new();
-    'outer: for item in items {
-        let l = key(&item);
-        for k in &kept {
-            if l.dominates(key(k)) {
-                continue 'outer; // redundant (covers exact duplicates too)
+    if crate::legacy::legacy_kernels() {
+        // Pre-SoA path, kept for the mega_bench ablation: scalar scan
+        // re-deriving each kept item's key through the accessor.
+        'outer: for item in items {
+            let l = key(&item);
+            for k in &kept {
+                if l.dominates(key(k)) {
+                    continue 'outer; // redundant (covers exact duplicates too)
+                }
             }
+            kept.push(item);
         }
-        kept.push(item);
+    } else {
+        // The kept front's four coordinates live in flat parallel arrays:
+        // the dominance scan is then a tight branch-light sweep over
+        // contiguous `u64`s (bitwise `&` instead of short-circuit `&&`,
+        // chunked so the compiler can vectorize) instead of re-keying a
+        // payload-carrying slice element per comparison.
+        let mut front = LFront::default();
+        for item in items {
+            let l = key(&item);
+            if front.dominates_any(l) {
+                continue; // redundant (covers exact duplicates too)
+            }
+            front.push(l);
+            kept.push(item);
+        }
     }
     kept.sort_by_key(|t| {
         let l = key(t);
         (l.w2, core::cmp::Reverse(l.w1), l.h1, l.h2)
     });
     kept
+}
+
+/// The kept Pareto front as four parallel coordinate arrays — the
+/// struct-of-arrays layout the 4-D dominance sweeps run over. Reusable
+/// across prunes (a [`crate::JoinScratch`] carries one) so the sweep
+/// allocates nothing once the arrays have grown to working-set size.
+#[derive(Debug, Default)]
+pub struct LFront {
+    w1: Vec<u64>,
+    w2: Vec<u64>,
+    h1: Vec<u64>,
+    h2: Vec<u64>,
+}
+
+impl LFront {
+    /// An empty front.
+    #[must_use]
+    pub fn new() -> LFront {
+        LFront::default()
+    }
+
+    /// Empties the front, keeping the arrays' capacity.
+    pub fn clear(&mut self) {
+        self.w1.clear();
+        self.w2.clear();
+        self.h1.clear();
+        self.h2.clear();
+    }
+
+    fn push(&mut self, l: LShape) {
+        self.w1.push(l.w1);
+        self.w2.push(l.w2);
+        self.h1.push(l.h1);
+        self.h2.push(l.h2);
+    }
+
+    /// `true` if `l` dominates (componentwise ≥) any front member.
+    fn dominates_any(&self, l: LShape) -> bool {
+        const CHUNK: usize = 16;
+        let n = self.w1.len();
+        let mut i = 0;
+        while i < n {
+            let end = (i + CHUNK).min(n);
+            let mut any = false;
+            for j in i..end {
+                any |= (l.w1 >= self.w1[j])
+                    & (l.w2 >= self.w2[j])
+                    & (l.h1 >= self.h1[j])
+                    & (l.h2 >= self.h2[j]);
+            }
+            if any {
+                return true;
+            }
+            i = end;
+        }
+        false
+    }
+}
+
+/// Full 4-D prune of an L-list that is already grouped by `w2` ascending
+/// and free of *same-w2* dominance (the exact state
+/// [`pareto_min_lshapes_within_w2_scratch`] leaves its output in).
+///
+/// Dominance requires `w1 ≥` and `w2 ≥`, so a redundant item's victims
+/// can only sit in **strictly smaller** `w2` groups (same-`w2` dominance
+/// was already removed). Sweeping the groups in ascending order with the
+/// kept front of completed groups therefore removes exactly the
+/// cross-`w2` redundancies — the same survivor set, in the same order,
+/// as [`pareto_min_lshapes_by`] on this input, with **zero** sorts and
+/// zero allocations (the front lives in the caller's arena).
+pub fn pareto_min_lshapes_grouped_scratch<T>(
+    items: &mut Vec<T>,
+    key: impl Fn(&T) -> LShape,
+    front: &mut LFront,
+) {
+    front.clear();
+    let mut write = 0usize;
+    let mut group_start = 0usize; // first kept index of the open group
+    let mut group_w2: Option<u64> = None;
+    for read in 0..items.len() {
+        let l = key(&items[read]);
+        if group_w2 != Some(l.w2) {
+            debug_assert!(group_w2.is_none_or(|w2| w2 < l.w2), "groups ascend");
+            // The finished group's survivors become front members: they
+            // were not eligible victims for their own group (no same-w2
+            // dominance) but are for every later one.
+            for kept in &items[group_start..write] {
+                front.push(key(kept));
+            }
+            group_w2 = Some(l.w2);
+            group_start = write;
+        }
+        if front.dominates_any(l) {
+            continue; // redundant: it dominates a smaller-w2 survivor
+        }
+        items.swap(write, read);
+        write += 1;
+    }
+    items.truncate(write);
 }
 
 /// [`pareto_min_lshapes_by`] for plain L-shapes.
@@ -182,6 +302,77 @@ pub fn pareto_min_lshapes_within_w2_scratch<T>(
         let l = key(t);
         (l.w2, core::cmp::Reverse(l.w1), l.h1, l.h2)
     });
+}
+
+/// [`pareto_min_lshapes_within_w2_scratch`] with the final canonical
+/// sort replaced by an `O(n)` reversal: the dominance sweep leaves each
+/// `w2` group sorted by `w1` ascending with equal-`w1` runs `(h1, h2)`
+/// ascending, so reversing each group and then re-reversing its
+/// equal-`w1` runs is exactly the canonical `(w2, w1 desc, h1, h2)`
+/// order — no second comparison sort. Output is identical to the plain
+/// variant (which stays as the legacy-ablation baseline).
+pub fn pareto_min_lshapes_within_w2_canonical_scratch<T>(
+    items: &mut Vec<T>,
+    key: impl Fn(&T) -> LShape,
+    front: &mut Vec<(u64, u64)>,
+) {
+    // Unstable sort: deterministic, allocation-free, and faster at join
+    // granularity. Items tying on the full 4-D key are interchangeable
+    // for every later stage (the sweep keeps exactly one), so stability
+    // buys nothing here.
+    items.sort_unstable_by_key(|t| {
+        let l = key(t);
+        (l.w2, l.w1, l.h1, l.h2)
+    });
+    front.clear();
+    let mut current_w2: Option<u64> = None;
+    let mut write = 0usize;
+    for read in 0..items.len() {
+        let l = key(&items[read]);
+        if current_w2 != Some(l.w2) {
+            current_w2 = Some(l.w2);
+            front.clear();
+        }
+        let idx = front.partition_point(|&(h1, _)| h1 <= l.h1);
+        let dominated = idx > 0 && front[idx - 1].1 <= l.h2;
+        if dominated {
+            continue;
+        }
+        let start = front.partition_point(|&(h1, _)| h1 < l.h1);
+        let mut end = start;
+        while end < front.len() && front[end].1 >= l.h2 {
+            end += 1;
+        }
+        front.splice(start..end, [(l.h1, l.h2)]);
+        items.swap(write, read);
+        write += 1;
+    }
+    items.truncate(write);
+    // Canonicalize per w2 group: reverse the group (w1 asc → desc), then
+    // restore ascending (h1, h2) inside each equal-w1 run. Runs are
+    // almost always singletons — dominance-freedom forces h1 strictly
+    // ascending / h2 strictly descending within one — so this is a
+    // near-pure group reversal.
+    let mut i = 0;
+    while i < items.len() {
+        let w2 = key(&items[i]).w2;
+        let mut j = i + 1;
+        while j < items.len() && key(&items[j]).w2 == w2 {
+            j += 1;
+        }
+        items[i..j].reverse();
+        let mut a = i;
+        while a < j {
+            let w1 = key(&items[a]).w1;
+            let mut b = a + 1;
+            while b < j && key(&items[b]).w1 == w1 {
+                b += 1;
+            }
+            items[a..b].reverse();
+            a = b;
+        }
+        i = j;
+    }
 }
 
 /// Returns `true` if no element of `items` dominates another (Definition 2

@@ -197,6 +197,25 @@ pub enum TraceEvent {
         /// The victim whose deque was popped.
         victim: u32,
     },
+    /// A scheduler worker stole a batch of tasks from another worker's
+    /// deque in one sweep (granularity-aware stealing; single-task
+    /// steals emit [`TraceEvent::Steal`]).
+    StealBatch {
+        /// The thief.
+        worker: u32,
+        /// The victim whose deque was drained.
+        victim: u32,
+        /// Tasks moved in the sweep (always ≥ 2).
+        count: u32,
+    },
+    /// A small subtree ran inline as one serial task instead of being
+    /// split into per-node tasks (scheduler granularity control).
+    SplitInline {
+        /// Root node of the inline subtree (restructured-tree id).
+        node: u32,
+        /// Binary-tree nodes the task covered.
+        nodes: u32,
+    },
     /// The parallel pass was discarded and the run fell back to the
     /// serial path.
     ReplayDiscard {
@@ -261,6 +280,8 @@ impl TraceEvent {
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::Steal { .. } => "steal",
+            TraceEvent::StealBatch { .. } => "steal_batch",
+            TraceEvent::SplitInline { .. } => "split_inline",
             TraceEvent::ReplayDiscard { .. } => "replay_discard",
             TraceEvent::Rescue { .. } => "rescue",
             TraceEvent::DeadlineTrip { .. } => "deadline_trip",
@@ -325,6 +346,19 @@ impl TraceEvent {
             }
             TraceEvent::Steal { worker, victim } => {
                 let _ = write!(out, r#","thief":{worker},"victim":{victim}"#);
+            }
+            TraceEvent::StealBatch {
+                worker,
+                victim,
+                count,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","thief":{worker},"victim":{victim},"count":{count}"#
+                );
+            }
+            TraceEvent::SplitInline { node, nodes } => {
+                let _ = write!(out, r#","node":{node},"nodes":{nodes}"#);
             }
             TraceEvent::ReplayDiscard { reason } => {
                 let _ = write!(out, r#","reason":"{reason}""#);
@@ -591,6 +625,8 @@ impl Trace {
                 TraceEvent::CacheMiss { .. } => s.cache_misses += 1,
                 TraceEvent::CacheEvict { count } => s.cache_evictions += count,
                 TraceEvent::Steal { .. } => s.steals += 1,
+                TraceEvent::StealBatch { .. } => s.steal_batches += 1,
+                TraceEvent::SplitInline { .. } => s.split_inlines += 1,
                 TraceEvent::ReplayDiscard { .. } => s.replay_discards += 1,
                 TraceEvent::Rescue { .. } => s.rescues += 1,
                 TraceEvent::DeadlineTrip { .. } => s.deadline_trips += 1,
@@ -643,6 +679,10 @@ pub struct TraceSummary {
     pub cache_evictions: u64,
     /// Work steals between scheduler workers.
     pub steals: u64,
+    /// Batched steals (one sweep moving several tasks).
+    pub steal_batches: u64,
+    /// Subtrees executed inline as one serial task.
+    pub split_inlines: u64,
     /// Parallel passes discarded in favour of the serial path.
     pub replay_discards: u64,
     /// Rescue-ladder retries.
@@ -667,7 +707,7 @@ impl TraceSummary {
     /// The counter fields by wire name, in stable order (drives both
     /// the JSON rendering and the Prometheus counter names).
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 20] {
+    pub fn fields(&self) -> [(&'static str, u64); 22] {
         [
             ("events", self.events),
             ("dropped", self.dropped),
@@ -680,6 +720,8 @@ impl TraceSummary {
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
             ("steals", self.steals),
+            ("steal_batches", self.steal_batches),
+            ("split_inlines", self.split_inlines),
             ("replay_discards", self.replay_discards),
             ("rescues", self.rescues),
             ("deadline_trips", self.deadline_trips),

@@ -98,6 +98,8 @@ impl MetricsRegistry {
         t.cache_misses += summary.cache_misses;
         t.cache_evictions += summary.cache_evictions;
         t.steals += summary.steals;
+        t.steal_batches += summary.steal_batches;
+        t.split_inlines += summary.split_inlines;
         t.replay_discards += summary.replay_discards;
         t.rescues += summary.rescues;
         t.deadline_trips += summary.deadline_trips;
@@ -157,6 +159,8 @@ impl MetricsRegistry {
             ("cache_misses", t.cache_misses),
             ("cache_evictions", t.cache_evictions),
             ("steals", t.steals),
+            ("steal_batches", t.steal_batches),
+            ("split_inlines", t.split_inlines),
             ("replay_discards", t.replay_discards),
             ("rescues", t.rescues),
             ("deadline_trips", t.deadline_trips),

@@ -40,8 +40,10 @@ pub mod fingerprint;
 pub mod format;
 pub mod generators;
 pub mod layout;
+pub mod mega;
 mod module;
 pub mod restructure;
+pub mod soa;
 mod tree;
 pub mod wheel;
 

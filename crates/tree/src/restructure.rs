@@ -19,6 +19,7 @@
 
 use fp_shape::combine::Compose;
 
+use crate::soa::SoaTree;
 use crate::{CutDir, FloorplanTree, ModuleId, NodeId, NodeKind, TreeError};
 
 /// Identifier of a node within a [`BinaryTree`] arena.
@@ -144,21 +145,35 @@ impl BinaryTree {
 /// Returns the [`TreeError`] from [`FloorplanTree::validate`] if the input
 /// is malformed.
 pub fn restructure(tree: &FloorplanTree) -> Result<BinaryTree, TreeError> {
-    tree.validate()?;
     let mut out = BinaryTree {
         nodes: Vec::with_capacity(tree.len() * 2),
     };
-    if tree.is_empty() {
+    if fp_shape::legacy::legacy_kernels() {
+        // Ablation baseline: the pre-SoA walk chases one child `Vec`
+        // allocation per node. Output is identical to the SoA walk.
+        tree.validate()?;
+        if tree.is_empty() {
+            return Ok(out);
+        }
+        build_ptr(tree, tree.root(), &mut out);
         return Ok(out);
     }
-    build(tree, tree.root(), &mut out);
+    // The SoA conversion performs the full validation, and the build walk
+    // below then runs over the flat CSR arrays instead of chasing one
+    // child `Vec` allocation per node — the difference is noise on FP1–4
+    // but dominates restructuring time on mega-scale trees.
+    let soa = SoaTree::from_tree(tree)?;
+    if soa.is_empty() {
+        return Ok(out);
+    }
+    build(&soa, soa.root(), &mut out);
     Ok(out)
 }
 
-/// Emits the binary nodes for the subtree at `root`, iteratively (an
-/// explicit task stack keeps arbitrarily deep floorplans from exhausting
-/// the call stack).
-fn build(tree: &FloorplanTree, root: NodeId, out: &mut BinaryTree) {
+/// Pre-SoA pointer-chasing build, kept behind
+/// [`fp_shape::legacy::legacy_kernels`] as the mega-bench ablation
+/// baseline. Emits exactly the same node sequence as [`build`].
+fn build_ptr(tree: &FloorplanTree, root: NodeId, out: &mut BinaryTree) {
     enum Task {
         Visit(NodeId),
         Emit(BinOp),
@@ -188,8 +203,6 @@ fn build(tree: &FloorplanTree, root: NodeId, out: &mut BinaryTree) {
                             CutDir::Vertical => Compose::Beside,
                             CutDir::Horizontal => Compose::Stack,
                         };
-                        // Execution order: visit c0, then for each further
-                        // child visit it and emit a join. Push in reverse.
                         for &child in node.children[1..].iter().rev() {
                             tasks.push(Task::Emit(BinOp::Slice(how)));
                             tasks.push(Task::Visit(child));
@@ -197,7 +210,6 @@ fn build(tree: &FloorplanTree, root: NodeId, out: &mut BinaryTree) {
                         tasks.push(Task::Visit(node.children[0]));
                     }
                     NodeKind::Wheel(_) => {
-                        // (((A ⊕ E) ⊕ B) ⊕ C) ⊕ D, pushed in reverse.
                         let c = &node.children;
                         tasks.push(Task::Emit(BinOp::WheelS4));
                         tasks.push(Task::Visit(c[3]));
@@ -208,6 +220,67 @@ fn build(tree: &FloorplanTree, root: NodeId, out: &mut BinaryTree) {
                         tasks.push(Task::Emit(BinOp::WheelS1));
                         tasks.push(Task::Visit(c[4]));
                         tasks.push(Task::Visit(c[0]));
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(values.len(), 1, "one value remains: the root");
+}
+
+/// Emits the binary nodes for the subtree at `root`, iteratively (an
+/// explicit task stack keeps arbitrarily deep floorplans from exhausting
+/// the call stack).
+fn build(tree: &SoaTree, root: NodeId, out: &mut BinaryTree) {
+    enum Task {
+        Visit(NodeId),
+        Emit(BinOp),
+    }
+    let mut tasks = vec![Task::Visit(root)];
+    let mut values: Vec<BinId> = Vec::new();
+    while let Some(task) = tasks.pop() {
+        match task {
+            Task::Emit(op) => {
+                let right = values.pop().expect("emit follows two visits");
+                let left = values.pop().expect("emit follows two visits");
+                out.nodes.push(BinNode::Join { op, left, right });
+                values.push(out.nodes.len() - 1);
+            }
+            Task::Visit(id) => {
+                match tree.kind(id) {
+                    NodeKind::Leaf(module) => {
+                        out.nodes.push(BinNode::Leaf {
+                            tree_leaf: id,
+                            module,
+                        });
+                        values.push(out.nodes.len() - 1);
+                    }
+                    NodeKind::Slice(dir) => {
+                        let how = match dir {
+                            CutDir::Vertical => Compose::Beside,
+                            CutDir::Horizontal => Compose::Stack,
+                        };
+                        let children = tree.node_children(id);
+                        // Execution order: visit c0, then for each further
+                        // child visit it and emit a join. Push in reverse.
+                        for &child in children[1..].iter().rev() {
+                            tasks.push(Task::Emit(BinOp::Slice(how)));
+                            tasks.push(Task::Visit(child as NodeId));
+                        }
+                        tasks.push(Task::Visit(children[0] as NodeId));
+                    }
+                    NodeKind::Wheel(_) => {
+                        // (((A ⊕ E) ⊕ B) ⊕ C) ⊕ D, pushed in reverse.
+                        let c = tree.node_children(id);
+                        tasks.push(Task::Emit(BinOp::WheelS4));
+                        tasks.push(Task::Visit(c[3] as NodeId));
+                        tasks.push(Task::Emit(BinOp::WheelS3));
+                        tasks.push(Task::Visit(c[2] as NodeId));
+                        tasks.push(Task::Emit(BinOp::WheelS2));
+                        tasks.push(Task::Visit(c[1] as NodeId));
+                        tasks.push(Task::Emit(BinOp::WheelS1));
+                        tasks.push(Task::Visit(c[4] as NodeId));
+                        tasks.push(Task::Visit(c[0] as NodeId));
                     }
                 }
             }
@@ -353,5 +426,24 @@ mod tests {
     fn empty_tree_restructures_to_empty() {
         let b = restructure(&FloorplanTree::new()).expect("empty is valid");
         assert!(b.is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// The legacy pointer-chasing restructure and the SoA walk emit
+        /// bit-identical binary join sequences — the fp-tree half of the
+        /// mega-bench ablation boundary.
+        #[test]
+        fn legacy_restructure_matches_soa(leaves in 2usize..40, seed in 0u64..1_000) {
+            let bench = crate::generators::random_floorplan(leaves, 0.4, seed);
+            fp_shape::legacy::set_legacy_kernels(true);
+            let via_ptr = restructure(&bench.tree);
+            fp_shape::legacy::set_legacy_kernels(false);
+            let via_soa = restructure(&bench.tree);
+            match (via_ptr, via_soa) {
+                (Ok(a), Ok(b)) => proptest::prop_assert_eq!(a.nodes(), b.nodes()),
+                (a, b) => proptest::prop_assert_eq!(a.err(), b.err()),
+            }
+        }
     }
 }

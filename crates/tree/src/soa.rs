@@ -1,0 +1,326 @@
+//! Struct-of-arrays floorplan tree layout.
+//!
+//! [`FloorplanTree`] stores one heap-allocated `Vec<NodeId>` per node, so
+//! a traversal of an `n`-node tree chases `n` scattered allocations. At
+//! mega scale (10k–500k modules) that dominates the cost of validation
+//! and restructuring. [`SoaTree`] packs the same tree into four flat
+//! arrays — a kind tag, a leaf payload, and a CSR (compressed sparse row)
+//! child adjacency — so every traversal is a linear walk over contiguous
+//! memory.
+//!
+//! The conversion performs the full structural validation of
+//! [`FloorplanTree::validate`] (same errors, same precedence), so a
+//! `SoaTree` is valid by construction and downstream passes (the
+//! restructurer, fingerprints) can index without re-checking.
+
+use crate::{Chirality, CutDir, FloorplanTree, NodeId, NodeKind, TreeError};
+
+/// Node kind tags for the flat layout (one byte per node).
+const TAG_LEAF: u8 = 0;
+const TAG_HSLICE: u8 = 1;
+const TAG_VSLICE: u8 = 2;
+const TAG_WHEEL_CW: u8 = 3;
+const TAG_WHEEL_CCW: u8 = 4;
+
+/// A validated floorplan tree in struct-of-arrays form: kind tags, leaf
+/// payloads, and a CSR child list, all contiguous.
+///
+/// Build with [`SoaTree::from_tree`]; the conversion validates, so every
+/// accessor can assume structural invariants hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaTree {
+    /// One kind tag per node (`TAG_*`).
+    tags: Vec<u8>,
+    /// Leaf module id (undefined for internal nodes).
+    payload: Vec<u32>,
+    /// CSR offsets: node `i`'s children are
+    /// `children[child_start[i] .. child_start[i + 1]]`.
+    child_start: Vec<u32>,
+    /// Flat child id array, grouped by parent in node order.
+    children: Vec<u32>,
+    root: u32,
+}
+
+impl SoaTree {
+    /// Converts (and fully validates) a pointer tree.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TreeError`]s as [`FloorplanTree::validate`], detected in
+    /// the same order.
+    pub fn from_tree(tree: &FloorplanTree) -> Result<SoaTree, TreeError> {
+        let n = tree.len();
+        assert!(n < u32::MAX as usize, "tree too large for SoA layout");
+        let mut out = SoaTree {
+            tags: Vec::with_capacity(n),
+            payload: Vec::with_capacity(n),
+            child_start: Vec::with_capacity(n + 1),
+            children: Vec::new(),
+            root: tree.root() as u32,
+        };
+        out.child_start.push(0);
+        let mut parent_count = vec![0u32; n];
+        for id in 0..n {
+            let node = tree.node(id).expect("id in range");
+            for &c in &node.children {
+                if c >= n {
+                    return Err(TreeError::DanglingChild {
+                        parent: id,
+                        child: c,
+                    });
+                }
+                parent_count[c] += 1;
+                out.children.push(c as u32);
+            }
+            let (tag, payload) = match node.kind {
+                NodeKind::Leaf(m) => {
+                    if !node.children.is_empty() {
+                        return Err(TreeError::LeafWithChildren { node: id });
+                    }
+                    (TAG_LEAF, m as u32)
+                }
+                NodeKind::Slice(dir) => {
+                    if node.children.len() < 2 {
+                        return Err(TreeError::SliceTooSmall {
+                            node: id,
+                            arity: node.children.len(),
+                        });
+                    }
+                    let tag = match dir {
+                        CutDir::Horizontal => TAG_HSLICE,
+                        CutDir::Vertical => TAG_VSLICE,
+                    };
+                    (tag, 0)
+                }
+                NodeKind::Wheel(ch) => {
+                    if node.children.len() != 5 {
+                        return Err(TreeError::WheelArity {
+                            node: id,
+                            arity: node.children.len(),
+                        });
+                    }
+                    let tag = match ch {
+                        Chirality::Clockwise => TAG_WHEEL_CW,
+                        Chirality::Counterclockwise => TAG_WHEEL_CCW,
+                    };
+                    (tag, 0)
+                }
+            };
+            out.tags.push(tag);
+            out.payload.push(payload);
+            out.child_start.push(out.children.len() as u32);
+        }
+        if n == 0 {
+            return Ok(out);
+        }
+        if parent_count[out.root as usize] != 0 {
+            return Err(TreeError::NotATree {
+                node: out.root as usize,
+            });
+        }
+        for (id, &count) in parent_count.iter().enumerate() {
+            if count > 1 {
+                return Err(TreeError::NotATree { node: id });
+            }
+        }
+        // Reachability from the root over the flat adjacency.
+        let mut seen = vec![false; n];
+        let mut stack = vec![out.root];
+        seen[out.root as usize] = true;
+        while let Some(id) = stack.pop() {
+            for &c in out.node_children(id as usize) {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        if let Some(orphan) = seen.iter().position(|&s| !s) {
+            return Err(TreeError::Unreachable { node: orphan });
+        }
+        Ok(out)
+    }
+
+    /// The root node id.
+    #[inline]
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root as usize
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` if the tree has no nodes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The children of `id` as a contiguous slice.
+    #[inline]
+    #[must_use]
+    pub fn node_children(&self, id: NodeId) -> &[u32] {
+        let lo = self.child_start[id] as usize;
+        let hi = self.child_start[id + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// `true` if `id` is a leaf.
+    #[inline]
+    #[must_use]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.tags[id] == TAG_LEAF
+    }
+
+    /// The node kind of `id`, reconstructed from the packed tag.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        match self.tags[id] {
+            TAG_LEAF => NodeKind::Leaf(self.payload[id] as usize),
+            TAG_HSLICE => NodeKind::Slice(CutDir::Horizontal),
+            TAG_VSLICE => NodeKind::Slice(CutDir::Vertical),
+            TAG_WHEEL_CW => NodeKind::Wheel(Chirality::Clockwise),
+            TAG_WHEEL_CCW => NodeKind::Wheel(Chirality::Counterclockwise),
+            other => unreachable!("invalid SoA tag {other}"),
+        }
+    }
+
+    /// Leaf node ids in depth-first left-to-right order — the canonical
+    /// leaf order, identical to [`FloorplanTree::leaves_in_order`].
+    #[must_use]
+    pub fn leaves_in_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if self.is_leaf(id as usize) {
+                out.push(id as usize);
+            } else {
+                stack.extend(self.node_children(id as usize).iter().rev());
+            }
+        }
+        out
+    }
+
+    /// Maximum depth (root = 1; empty tree = 0), identical to
+    /// [`FloorplanTree::depth`].
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut max = 0usize;
+        let mut stack = vec![(self.root, 1usize)];
+        while let Some((id, d)) = stack.pop() {
+            max = max.max(d);
+            for &c in self.node_children(id as usize) {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trips_kinds_and_children() {
+        let fp1 = generators::fp1();
+        let soa = SoaTree::from_tree(&fp1.tree).expect("valid");
+        assert_eq!(soa.len(), fp1.tree.len());
+        assert_eq!(soa.root(), fp1.tree.root());
+        for id in 0..soa.len() {
+            let node = fp1.tree.node(id).expect("exists");
+            assert_eq!(soa.kind(id), node.kind, "node {id}");
+            let kids: Vec<usize> = soa.node_children(id).iter().map(|&c| c as usize).collect();
+            assert_eq!(kids, node.children, "node {id}");
+        }
+    }
+
+    #[test]
+    fn traversals_match_pointer_tree() {
+        for bench in generators::paper_benchmarks() {
+            let soa = SoaTree::from_tree(&bench.tree).expect("valid");
+            assert_eq!(
+                soa.leaves_in_order(),
+                bench.tree.leaves_in_order(),
+                "{}",
+                bench.name
+            );
+            assert_eq!(soa.depth(), bench.tree.depth(), "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn validation_errors_match_pointer_tree() {
+        use crate::{CutDir, FloorplanTree};
+        // Slice arity.
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        t.slice(CutDir::Vertical, vec![a]);
+        assert_eq!(SoaTree::from_tree(&t).err(), t.validate().err());
+        // Dangling child.
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        t.slice(CutDir::Vertical, vec![a, 99]);
+        assert_eq!(SoaTree::from_tree(&t).err(), t.validate().err());
+        // Shared child.
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        let b = t.leaf(1);
+        t.slice(CutDir::Vertical, vec![a, b]);
+        let d = t.leaf(2);
+        t.slice(CutDir::Horizontal, vec![2, d, b]);
+        assert_eq!(SoaTree::from_tree(&t).err(), t.validate().err());
+        // Unreachable node.
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        let b = t.leaf(1);
+        let s = t.slice(CutDir::Vertical, vec![a, b]);
+        let _orphan = t.leaf(2);
+        t.set_root(s);
+        assert_eq!(SoaTree::from_tree(&t).err(), t.validate().err());
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let soa = SoaTree::from_tree(&FloorplanTree::new()).expect("valid");
+        assert!(soa.is_empty());
+        assert_eq!(soa.depth(), 0);
+        assert!(soa.leaves_in_order().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// On random floorplans (wheels included) the SoA mirror agrees
+        /// with the pointer tree on every per-node query and every
+        /// whole-tree traversal.
+        #[test]
+        fn soa_matches_pointer_tree(leaves in 2usize..40, seed in 0u64..1_000) {
+            let bench = generators::random_floorplan(leaves, 0.4, seed);
+            let soa = SoaTree::from_tree(&bench.tree).expect("generated tree is valid");
+            proptest::prop_assert_eq!(soa.len(), bench.tree.len());
+            proptest::prop_assert_eq!(soa.root(), bench.tree.root());
+            proptest::prop_assert_eq!(soa.depth(), bench.tree.depth());
+            proptest::prop_assert_eq!(soa.leaves_in_order(), bench.tree.leaves_in_order());
+            for id in 0..soa.len() {
+                let node = bench.tree.node(id).expect("node exists");
+                proptest::prop_assert_eq!(soa.kind(id), node.kind);
+                let kids: Vec<usize> =
+                    soa.node_children(id).iter().map(|&c| c as usize).collect();
+                proptest::prop_assert_eq!(kids, node.children.clone());
+            }
+        }
+    }
+}

@@ -31,10 +31,17 @@ fn benches() -> Vec<(Benchmark, ModuleLibrary)> {
 fn configs() -> Vec<OptimizeConfig> {
     let mut out = Vec::new();
     for threads in [1usize, 2, 4] {
-        out.push(OptimizeConfig::default().with_threads(threads));
+        // Split threshold 0 pins per-node parallel scheduling; the
+        // default would auto-serialize these paper-sized trees.
         out.push(
             OptimizeConfig::default()
                 .with_threads(threads)
+                .with_split_threshold(0),
+        );
+        out.push(
+            OptimizeConfig::default()
+                .with_threads(threads)
+                .with_split_threshold(0)
                 .with_r_selection(8)
                 .with_l_selection(LReductionPolicy::new(12)),
         );

@@ -47,6 +47,13 @@ fn optimize_report(
 
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 
+/// Split granularities swept alongside thread counts: `0` pins the
+/// per-node scheduling the pool shipped with, `4` forces small inline
+/// subtree tasks, and `16` mixes inline ranges with auto-serial
+/// resolution on the smaller benchmarks. The default threshold would
+/// auto-serialize every paper-sized tree, hiding the pool entirely.
+const SPLITS: [usize; 3] = [0, 4, 16];
+
 fn benches() -> Vec<(Benchmark, ModuleLibrary)> {
     let mut out = Vec::new();
     for bench in generators::paper_benchmarks() {
@@ -99,21 +106,25 @@ fn thread_sweep_clean_runs_are_bit_identical() {
         let base = OptimizeConfig::default().with_threads(1);
         let serial = optimize_frontier(&bench.tree, &lib, &base).expect("serial run solves");
         for threads in SWEEP {
-            let config = OptimizeConfig::default().with_threads(threads);
-            let parallel =
-                optimize_frontier(&bench.tree, &lib, &config).expect("parallel run solves");
-            let label = format!("{} @{threads}", bench.name);
-            assert_eq!(
-                serial.envelopes(),
-                parallel.envelopes(),
-                "{label}: frontier"
-            );
-            assert_stats_identical(serial.stats(), parallel.stats(), &label);
-            assert_eq!(
-                serial.outcome(0).assignment,
-                parallel.outcome(0).assignment,
-                "{label}: assignment"
-            );
+            for split in SPLITS {
+                let config = OptimizeConfig::default()
+                    .with_threads(threads)
+                    .with_split_threshold(split);
+                let parallel =
+                    optimize_frontier(&bench.tree, &lib, &config).expect("parallel run solves");
+                let label = format!("{} @{threads}/split {split}", bench.name);
+                assert_eq!(
+                    serial.envelopes(),
+                    parallel.envelopes(),
+                    "{label}: frontier"
+                );
+                assert_stats_identical(serial.stats(), parallel.stats(), &label);
+                assert_eq!(
+                    serial.outcome(0).assignment,
+                    parallel.outcome(0).assignment,
+                    "{label}: assignment"
+                );
+            }
         }
     }
 }
@@ -133,6 +144,7 @@ fn thread_sweep_with_selection_policies() {
                         .with_parallel(true),
                 )
                 .with_threads(threads)
+                .with_split_threshold(4)
         };
         let serial = optimize_frontier(&bench.tree, &lib, &config(1)).expect("serial run solves");
         for threads in SWEEP {
@@ -161,6 +173,7 @@ fn thread_sweep_rescued_runs_are_bit_identical() {
                 .with_memory_limit(Some(budget))
                 .with_auto_rescue(true)
                 .with_threads(threads)
+                .with_split_threshold(4)
         };
         let serial = optimize_report(&bench.tree, &lib, &config(1));
         for threads in SWEEP {
@@ -196,6 +209,7 @@ fn thread_sweep_fault_plans_are_bit_identical() {
             .with_fault_plan(Some(FaultPlan::at_allocations(&[midpoint])))
             .with_auto_rescue(true)
             .with_threads(threads)
+            .with_split_threshold(0)
     };
     let serial = optimize_report(&bench.tree, &lib, &config(1)).expect("serial rescue solves");
     for threads in SWEEP {
@@ -220,7 +234,9 @@ fn thread_sweep_with_shared_cache() {
     let lib = generators::module_library(&bench.tree, 4, 7);
     let mut baseline = None;
     for threads in SWEEP {
-        let config = OptimizeConfig::default().with_threads(threads);
+        let config = OptimizeConfig::default()
+            .with_threads(threads)
+            .with_split_threshold(4);
         let cache = SharedBlockCache::new(64 << 20);
         let cold =
             optimize_frontier_cached(&bench.tree, &lib, &config, &cache).expect("cold solves");
@@ -253,7 +269,9 @@ fn thread_sweep_with_shared_cache() {
     let at4 = optimize_frontier_cached(
         &bench.tree,
         &lib,
-        &OptimizeConfig::default().with_threads(4),
+        &OptimizeConfig::default()
+            .with_threads(4)
+            .with_split_threshold(4),
         &cache,
     )
     .expect("parallel reuse solves");
@@ -274,7 +292,8 @@ fn precancelled_token_cancels_the_parallel_run() {
     token.cancel();
     let config = OptimizeConfig::default()
         .with_cancel(Some(token))
-        .with_threads(4);
+        .with_threads(4)
+        .with_split_threshold(4);
     match optimize_frontier(&bench.tree, &lib, &config) {
         Err(OptError::Cancelled { .. }) => {}
         Err(other) => panic!("expected Cancelled, got {other:?}"),
@@ -292,7 +311,8 @@ fn mid_flight_cancellation_stops_the_pool() {
     let token = CancelToken::new();
     let config = OptimizeConfig::default()
         .with_cancel(Some(token.clone()))
-        .with_threads(4);
+        .with_threads(4)
+        .with_split_threshold(0);
     let canceller = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(2));
         token.cancel();
@@ -304,6 +324,70 @@ fn mid_flight_cancellation_stops_the_pool() {
         Err(OptError::Cancelled { .. }) => {}
         Err(other) => panic!("expected Ok or Cancelled, got {other:?}"),
     }
+}
+
+/// The mega family obeys the same determinism contract as the paper
+/// benchmarks: the FP5-sized 10k-module instance (far above the
+/// auto-serial bound at the default split threshold) produces the
+/// same frontier, stats, and assignment at every thread count and split
+/// granularity.
+#[test]
+fn mega_instance_thread_sweep_is_bit_identical() {
+    use fp_tree::mega::{mega_floorplan, mega_library, MegaConfig};
+    let cfg = MegaConfig::new(10_000).with_seed(42);
+    let bench = mega_floorplan(&cfg);
+    let lib = mega_library(&bench.tree, &cfg);
+    let serial = optimize_frontier(
+        &bench.tree,
+        &lib,
+        &OptimizeConfig::default().with_threads(1),
+    )
+    .expect("serial mega run solves");
+    for threads in SWEEP {
+        for split in SPLITS {
+            let config = OptimizeConfig::default()
+                .with_threads(threads)
+                .with_split_threshold(split);
+            let parallel =
+                optimize_frontier(&bench.tree, &lib, &config).expect("parallel mega run solves");
+            let label = format!("mega-10k @{threads}/split {split}");
+            assert_eq!(
+                serial.envelopes(),
+                parallel.envelopes(),
+                "{label}: frontier"
+            );
+            assert_stats_identical(serial.stats(), parallel.stats(), &label);
+            assert_eq!(
+                serial.outcome(0).assignment,
+                parallel.outcome(0).assignment,
+                "{label}: assignment"
+            );
+        }
+    }
+}
+
+/// The pre-SoA pruning kernels (the mega-bench ablation baseline) solve
+/// the mega instance to the exact same frontier as the current layout —
+/// the optimizer half of the ablation boundary.
+#[test]
+fn legacy_kernels_match_current_on_mega() {
+    use fp_tree::mega::{mega_floorplan, mega_library, MegaConfig};
+    let cfg = MegaConfig::new(1_500).with_seed(9);
+    let bench = mega_floorplan(&cfg);
+    let lib = mega_library(&bench.tree, &cfg);
+    let config = OptimizeConfig::default().with_threads(1);
+    let current = optimize_frontier(&bench.tree, &lib, &config).expect("current kernels solve");
+    fp_shape::legacy::set_legacy_kernels(true);
+    let legacy = optimize_frontier(&bench.tree, &lib, &config);
+    fp_shape::legacy::set_legacy_kernels(false);
+    let legacy = legacy.expect("legacy kernels solve");
+    assert_eq!(current.envelopes(), legacy.envelopes(), "frontier");
+    assert_stats_identical(current.stats(), legacy.stats(), "legacy kernels");
+    assert_eq!(
+        current.outcome(0).assignment,
+        legacy.outcome(0).assignment,
+        "assignment"
+    );
 }
 
 /// `threads: 0` resolves to the machine's available parallelism and
@@ -321,7 +405,9 @@ fn auto_thread_count_matches_serial() {
     let auto = optimize_frontier(
         &bench.tree,
         &lib,
-        &OptimizeConfig::default().with_threads(0),
+        &OptimizeConfig::default()
+            .with_threads(0)
+            .with_split_threshold(0),
     )
     .expect("auto solves");
     assert_eq!(serial.envelopes(), auto.envelopes());

@@ -55,7 +55,11 @@ fn profile_reconciles_with_run_stats() {
             .config(
                 &OptimizeConfig::default()
                     .with_r_selection(8)
-                    .with_threads(threads),
+                    .with_threads(threads)
+                    // Pin per-node scheduling: the default threshold
+                    // would auto-serialize this paper-sized tree and the
+                    // parallel span path would go untested.
+                    .with_split_threshold(0),
             )
             .tracer(&tracer)
             .run_best()
