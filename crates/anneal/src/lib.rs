@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod multi;
 mod polish;
 mod rewrite;
 mod sa;
 
+pub use multi::{anneal_multi, chain_seed, serve_backend, MultiAnnealConfig, MultiAnnealResult};
 pub use polish::{Element, PolishExpression};
 pub use rewrite::{wheel_rewrite, RewriteResult};
-pub use sa::{anneal, AnnealConfig, AnnealResult};
+pub use sa::{anneal, anneal_cached, AnnealConfig, AnnealResult};

@@ -1,0 +1,265 @@
+//! Multi-start annealing: N independent chains, one shared cache,
+//! deterministic best-of-N merge.
+//!
+//! Each chain is a full [`anneal`](crate::anneal) run with its own
+//! derived seed, so the chains explore different trajectories of the
+//! same landscape. They share one block cache — subtrees solved by any
+//! chain are free for the rest — and, when an [`Executor`] is supplied,
+//! run as `JobClass::Anneal` jobs on its pool. Because every chain is
+//! deterministic in its seed and the merge is a pure fold over the
+//! chain-indexed results, the outcome is byte-identical at any thread
+//! count, including fully serial.
+
+use std::sync::Arc;
+
+use fp_optimizer::serve::{AnnealBackend, AnnealJob, AnnealOutcome};
+use fp_optimizer::{BlockCache, Executor, JobClass};
+use fp_tree::ModuleLibrary;
+
+use crate::sa::{anneal_cached, AnnealConfig, AnnealResult};
+
+/// Configuration of a multi-start search.
+#[derive(Debug, Clone)]
+pub struct MultiAnnealConfig {
+    /// Number of independent chains (`0` is treated as `1`).
+    pub chains: usize,
+    /// The per-chain configuration. Chain 0 runs it verbatim — so
+    /// `chains: 1` reproduces a plain [`anneal`](crate::anneal) run —
+    /// and chain `i > 0` runs it with [`chain_seed`]`(base.seed, i)`.
+    pub base: AnnealConfig,
+}
+
+impl Default for MultiAnnealConfig {
+    fn default() -> Self {
+        MultiAnnealConfig {
+            chains: 1,
+            base: AnnealConfig::default(),
+        }
+    }
+}
+
+/// The multi-start outcome: the winning chain's result plus per-chain
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct MultiAnnealResult {
+    /// The best chain's full result.
+    pub best: AnnealResult,
+    /// Index of the winning chain (lowest index on ties).
+    pub best_chain: usize,
+    /// Every chain's best area, in chain order.
+    pub chain_areas: Vec<u128>,
+    /// Moves accepted across all chains.
+    pub total_accepted: usize,
+    /// Moves proposed across all chains.
+    pub total_proposed: usize,
+}
+
+/// The seed chain `i` anneals with, derived from the base seed by a
+/// SplitMix64 step so sibling chains get statistically independent
+/// streams. Chain 0 keeps the base seed unchanged.
+#[must_use]
+pub fn chain_seed(base: u64, chain: usize) -> u64 {
+    if chain == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add((chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `config.chains` independent annealing chains and merges them
+/// best-of-N.
+///
+/// The merge key is `(best_area, best_hpwl)` with ties broken by the
+/// lowest chain index, so the winner does not depend on completion
+/// order. With `exec` the chains run concurrently as
+/// [`JobClass::Anneal`] jobs (the calling thread helps); without it
+/// they run serially in chain order. Either way the result is
+/// identical.
+///
+/// # Panics
+///
+/// Panics when the library is empty or a chain's inner optimizer run
+/// exceeds its configured budget (the same conditions as
+/// [`anneal`](crate::anneal)).
+#[must_use]
+pub fn anneal_multi(
+    library: &ModuleLibrary,
+    config: &MultiAnnealConfig,
+    cache: Option<&(dyn BlockCache + Sync)>,
+    exec: Option<&Executor>,
+) -> MultiAnnealResult {
+    let chains = config.chains.max(1);
+    let configs: Vec<AnnealConfig> = (0..chains)
+        .map(|chain| AnnealConfig {
+            seed: chain_seed(config.base.seed, chain),
+            ..config.base.clone()
+        })
+        .collect();
+
+    let results: Vec<AnnealResult> = match exec {
+        Some(exec) if chains > 1 => {
+            let jobs: Vec<Box<dyn FnOnce() -> AnnealResult + Send + '_>> = configs
+                .iter()
+                .map(|cfg| {
+                    Box::new(move || anneal_cached(library, cfg, cache))
+                        as Box<dyn FnOnce() -> AnnealResult + Send + '_>
+                })
+                .collect();
+            exec.run_batch(JobClass::Anneal, jobs)
+        }
+        _ => configs
+            .iter()
+            .map(|cfg| anneal_cached(library, cfg, cache))
+            .collect(),
+    };
+
+    let chain_areas: Vec<u128> = results.iter().map(|r| r.best_area).collect();
+    let total_accepted = results.iter().map(|r| r.accepted).sum();
+    let total_proposed = results.iter().map(|r| r.proposed).sum();
+    let best_chain = results
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| (r.best_area, r.best_hpwl.unwrap_or(0)))
+        .map(|(i, _)| i)
+        .expect("at least one chain ran");
+    let mut results = results;
+    let best = results.swap_remove(best_chain);
+    MultiAnnealResult {
+        best,
+        best_chain,
+        chain_areas,
+        total_accepted,
+        total_proposed,
+    }
+}
+
+/// The ready-made annealing backend for the `fpserved` protocol layer:
+/// maps a serve-side [`AnnealJob`] onto [`anneal_multi`] — chains share
+/// the server's block cache and run on the server's executor — and
+/// folds the result into the wire-facing [`AnnealOutcome`].
+///
+/// `fp_optimizer::serve` cannot call the annealer directly (fp-anneal
+/// sits above fp-optimizer in the crate graph), so servers inject this
+/// via `ServeState::with_anneal_backend`.
+#[must_use]
+pub fn serve_backend() -> Arc<AnnealBackend> {
+    Arc::new(|job: &AnnealJob| {
+        let config = MultiAnnealConfig {
+            chains: job.chains,
+            base: AnnealConfig {
+                moves: job.moves,
+                seed: job.seed,
+                optimizer: job.optimizer.clone(),
+                ..AnnealConfig::default()
+            },
+        };
+        let result = anneal_multi(job.library, &config, Some(job.cache), job.executor);
+        AnnealOutcome {
+            best_area: result.best.best_area,
+            initial_area: result.best.initial_area,
+            best_chain: result.best_chain,
+            chain_areas: result.chain_areas,
+            accepted: result.total_accepted as u64,
+            proposed: result.total_proposed as u64,
+            expression: result.best.expression.to_string(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use fp_optimizer::shared_cache;
+
+    use crate::anneal;
+
+    fn small_config(moves: usize, seed: u64) -> MultiAnnealConfig {
+        MultiAnnealConfig {
+            chains: 3,
+            base: AnnealConfig {
+                moves,
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn one_chain_reproduces_plain_anneal() {
+        let library = fp_tree::spread_library(8, 3, 5);
+        let cfg = MultiAnnealConfig {
+            chains: 1,
+            base: AnnealConfig {
+                moves: 200,
+                seed: 9,
+                ..Default::default()
+            },
+        };
+        let multi = anneal_multi(&library, &cfg, None, None);
+        let single = anneal(&library, &cfg.base);
+        assert_eq!(multi.best_chain, 0);
+        assert_eq!(multi.best.best_area, single.best_area);
+        assert_eq!(multi.best.expression, single.expression);
+        assert_eq!(multi.best.accepted, single.accepted);
+    }
+
+    #[test]
+    fn chains_use_distinct_seeds_and_merge_deterministically() {
+        let library = fp_tree::spread_library(9, 3, 7);
+        let cfg = small_config(150, 41);
+        let a = anneal_multi(&library, &cfg, None, None);
+        let b = anneal_multi(&library, &cfg, None, None);
+        assert_eq!(a.best_chain, b.best_chain);
+        assert_eq!(a.chain_areas, b.chain_areas);
+        assert_eq!(a.best.expression, b.best.expression);
+        assert_eq!(a.chain_areas.len(), 3);
+        assert_ne!(chain_seed(41, 1), 41);
+        assert_ne!(chain_seed(41, 1), chain_seed(41, 2));
+        // The winner is at least as good as every chain.
+        assert!(a.chain_areas.iter().all(|&area| a.best.best_area <= area));
+        assert_eq!(a.chain_areas[a.best_chain], a.best.best_area);
+    }
+
+    #[test]
+    fn shared_cache_does_not_change_the_result() {
+        let library = fp_tree::spread_library(8, 3, 3);
+        let cfg = small_config(120, 13);
+        let cold = anneal_multi(&library, &cfg, None, None);
+        let cache = shared_cache(1 << 20);
+        let cached = anneal_multi(&library, &cfg, Some(&cache), None);
+        assert_eq!(cold.best.best_area, cached.best.best_area);
+        assert_eq!(cold.best.expression, cached.best.expression);
+        assert_eq!(cold.chain_areas, cached.chain_areas);
+        assert_eq!(cold.total_accepted, cached.total_accepted);
+    }
+
+    #[test]
+    fn executor_parallel_chains_match_serial_at_any_thread_count() {
+        let library = fp_tree::spread_library(8, 3, 11);
+        let cfg = small_config(100, 5);
+        let cache = shared_cache(1 << 20);
+        let serial = anneal_multi(&library, &cfg, Some(&cache), None);
+        for threads in [1, 2, 4] {
+            let exec = Executor::new(threads);
+            let parallel = anneal_multi(&library, &cfg, Some(&cache), Some(&exec));
+            assert_eq!(parallel.best_chain, serial.best_chain, "threads={threads}");
+            assert_eq!(parallel.chain_areas, serial.chain_areas);
+            assert_eq!(parallel.best.expression, serial.best.expression);
+            assert_eq!(parallel.total_proposed, serial.total_proposed);
+            exec.shutdown();
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_chain() {
+        // A single-module library: every chain proposes nothing and
+        // reports the same area, so the merge must pick chain 0.
+        let library = fp_tree::spread_library(1, 3, 2);
+        let multi = anneal_multi(&library, &small_config(50, 1), None, None);
+        assert_eq!(multi.best_chain, 0);
+        assert_eq!(multi.total_proposed, 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The simulated-annealing loop.
 
-use fp_optimizer::{HpwlEvaluator, Netlist, OptimizeConfig, Optimizer};
+use fp_optimizer::{BlockCache, HpwlEvaluator, Netlist, OptimizeConfig, Optimizer};
 use fp_prng::StdRng;
 use fp_tree::layout::{realize, Assignment};
 use fp_tree::{FloorplanTree, ModuleLibrary};
@@ -93,6 +93,25 @@ pub struct AnnealResult {
 /// the attached netlist does not bind against `library`.
 #[must_use]
 pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
+    anneal_cached(library, config, None)
+}
+
+/// [`anneal`] with an optional shared block cache attached to every
+/// inner-loop evaluation.
+///
+/// The cache is a pure memo: hits return the same irreducible lists a
+/// cold run would compute, so the walk — and the result — is
+/// byte-identical with or without it. Sharing one cache across the
+/// chains of a multi-start search (or across anneal jobs on a server)
+/// lets later chains reuse the subtrees earlier chains already solved.
+///
+/// Deterministic in `config.seed`; the cache affects speed only.
+#[must_use]
+pub fn anneal_cached(
+    library: &ModuleLibrary,
+    config: &AnnealConfig,
+    cache: Option<&(dyn BlockCache + Sync)>,
+) -> AnnealResult {
     assert!(
         !library.is_empty(),
         "topology search needs at least one module"
@@ -113,8 +132,11 @@ pub fn anneal(library: &ModuleLibrary, config: &AnnealConfig) -> AnnealResult {
                         need_hpwl: bool|
      -> (u128, u128, FloorplanTree, Assignment) {
         let tree = expr.to_tree();
-        let out = Optimizer::new(&tree, library)
-            .config(&config.optimizer)
+        let mut optimizer = Optimizer::new(&tree, library).config(&config.optimizer);
+        if let Some(cache) = cache {
+            optimizer = optimizer.cache(cache);
+        }
+        let out = optimizer
             .run_best()
             .expect("slicing candidates fit the configured budget");
         let hpwl = match (&mut evaluator, need_hpwl) {

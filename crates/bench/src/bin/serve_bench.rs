@@ -1,0 +1,415 @@
+//! Serving-throughput benchmark: a mixed optimize/update/pareto/anneal
+//! workload replayed through the `fpserved` protocol layer on the
+//! shared executor, emitted as machine-readable `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin serve_bench
+//! cargo run --release -p fp-bench --bin serve_bench -- --smoke
+//! cargo run --release -p fp-bench --bin serve_bench -- --tcp 127.0.0.1:7878
+//! ```
+//!
+//! **In-process mode** (default) builds the same stack the `fpserved`
+//! binary runs — one `ServeState`, one executor, the real annealing
+//! backend — and drives it closed-loop: `2 × threads` client threads,
+//! each submitting its next request as a `JobClass::Serve` job and
+//! waiting for the reply. Per thread count in the sweep it reports
+//! throughput (requests/s) and the p50/p99/p999/max reply latency, and
+//! cross-checks that every thread count serves byte-identical areas.
+//!
+//! **TCP mode** (`--tcp <addr>`) replays the same workload closed-loop
+//! over real sockets against an already-running `fpserved`; the
+//! server's thread count is outside this process, so the sweep is a
+//! single row and the speedup gate is recorded as not enforced.
+//!
+//! The headline gate — throughput at 4 executor threads must be ≥
+//! [`THROUGHPUT_GATE`]× the 1-thread figure — is enforced only on ≥
+//! 4-core hosts and outside `--smoke`; the artifact records the
+//! decision machine-readably as `"gate_enforced"`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fp_optimizer::cache::SharedBlockCache;
+use fp_optimizer::serve::{execute, parse_request, ServeState};
+use fp_optimizer::{Executor, JobClass};
+
+/// Executor thread counts swept in-process.
+const SWEEP: [usize; 3] = [1, 2, 4];
+const SMOKE_SWEEP: [usize; 2] = [1, 2];
+/// Requests per sweep cell (smoke: [`SMOKE_REQUESTS`]).
+const REQUESTS: usize = 400;
+const SMOKE_REQUESTS: usize = 40;
+/// Shared block-cache budget: the workload repeats instances, so the
+/// steady state is cache-warm like a real server's.
+const CACHE_BYTES: usize = 128 << 20;
+/// Required throughput ratio, 4 executor threads over 1.
+const THROUGHPUT_GATE: f64 = 1.8;
+
+/// The mixed workload, deterministic in `total`: per 10 requests,
+/// 5 optimizes cycling 3 warm instances, 2 "updates" (same benchmark,
+/// shifted seed — an edited-design re-optimization), 1 pareto,
+/// 1 anneal, 1 ping. Category per line is returned alongside it.
+fn workload(total: usize) -> Vec<(&'static str, String)> {
+    let mut lines = Vec::with_capacity(total);
+    for i in 0..total {
+        let line = match i % 10 {
+            0 | 2 | 4 | 6 | 8 => {
+                let seed = 1 + (i / 2) % 3;
+                (
+                    "optimize",
+                    format!(
+                        r#"{{"id": {i}, "method": "optimize", "builtin": "fp1", "n": 5, "seed": {seed}}}"#
+                    ),
+                )
+            }
+            1 | 5 => {
+                let seed = 100 + i % 7;
+                (
+                    "update",
+                    format!(
+                        r#"{{"id": {i}, "method": "optimize", "builtin": "fp2", "n": 5, "seed": {seed}}}"#
+                    ),
+                )
+            }
+            3 => (
+                "pareto",
+                format!(
+                    r#"{{"id": {i}, "method": "pareto", "builtin": "fp1", "n": 4, "nets": 8, "net_seed": {}}}"#,
+                    1 + i % 3
+                ),
+            ),
+            7 => (
+                "anneal",
+                format!(
+                    r#"{{"id": {i}, "method": "anneal", "builtin": "fp1", "chains": 2, "moves": 30, "anneal_seed": {}}}"#,
+                    1 + i % 2
+                ),
+            ),
+            _ => ("ping", format!(r#"{{"id": {i}, "method": "ping"}}"#)),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+struct CellResult {
+    threads: usize,
+    clients: usize,
+    elapsed_secs: f64,
+    latencies_us: Vec<u64>,
+    /// id -> area, for the cross-thread-count determinism check.
+    areas: Vec<(u64, String)>,
+    errors: usize,
+    shed: usize,
+}
+
+impl CellResult {
+    fn throughput_rps(&self) -> f64 {
+        self.latencies_us.len() as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((self.latencies_us.len() as f64 * q).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1] as f64 / 1e3
+    }
+
+    fn max_ms(&self) -> f64 {
+        self.latencies_us.last().copied().unwrap_or(0) as f64 / 1e3
+    }
+}
+
+fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    json.split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+}
+
+/// Per-run accumulator: (latencies µs, `(id, area)` pairs, errors, shed).
+type LoopTally = (Vec<u64>, Vec<(u64, String)>, usize, usize);
+
+/// Drives one closed-loop replay: `clients` worker threads pull the
+/// next request off a shared cursor, call `serve` (which blocks until
+/// the reply), and record the latency.
+fn drive_closed_loop(
+    lines: &[(&'static str, String)],
+    clients: usize,
+    serve: impl Fn(usize, &str) -> String + Sync,
+) -> (f64, Vec<u64>, Vec<(u64, String)>, usize, usize) {
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<LoopTally> = Mutex::new((Vec::new(), Vec::new(), 0, 0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let cursor = &cursor;
+            let collected = &collected;
+            let serve = &serve;
+            scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut areas = Vec::new();
+                let mut errors = 0usize;
+                let mut shed = 0usize;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= lines.len() {
+                        break;
+                    }
+                    let (_, line) = &lines[index];
+                    let sent = Instant::now();
+                    let reply = serve(client, line);
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    let status: u64 = field(&reply, "status")
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(1);
+                    match status {
+                        0 => {
+                            if let (Some(id), Some(area)) =
+                                (field(&reply, "id"), field(&reply, "area"))
+                            {
+                                if let Ok(id) = id.trim().parse() {
+                                    areas.push((id, area.trim().to_owned()));
+                                }
+                            }
+                        }
+                        7 => shed += 1,
+                        _ => errors += 1,
+                    }
+                }
+                let mut all = collected.lock().expect("collector");
+                all.0.append(&mut latencies);
+                all.1.append(&mut areas);
+                all.2 += errors;
+                all.3 += shed;
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let (mut latencies, mut areas, errors, shed) =
+        collected.into_inner().expect("collector settles");
+    latencies.sort_unstable();
+    areas.sort();
+    (elapsed, latencies, areas, errors, shed)
+}
+
+/// One in-process sweep cell: fresh state, fresh cache, fresh executor
+/// at `threads`; the workload replayed closed-loop by `2 × threads`
+/// clients submitting `JobClass::Serve` jobs.
+fn run_in_process(lines: &[(&'static str, String)], threads: usize) -> CellResult {
+    let exec = Executor::new(threads);
+    let state = Arc::new(
+        ServeState::with_cache(SharedBlockCache::new(CACHE_BYTES))
+            .with_executor(Arc::clone(&exec))
+            .with_anneal_backend(fp_anneal::serve_backend()),
+    );
+    let clients = (threads * 2).clamp(2, 8);
+    let (elapsed_secs, latencies_us, areas, errors, shed) =
+        drive_closed_loop(lines, clients, |_client, line| {
+            let state = Arc::clone(&state);
+            let line = line.to_owned();
+            exec.submit(JobClass::Serve, move || {
+                let request = parse_request(&line).expect("workload lines are well-formed");
+                execute(&request, 1, &state, None).json
+            })
+            .join()
+        });
+    exec.shutdown();
+    CellResult {
+        threads,
+        clients,
+        elapsed_secs,
+        latencies_us,
+        areas,
+        errors,
+        shed,
+    }
+}
+
+/// TCP replay against an external `fpserved`: each client owns one
+/// connection and runs the same closed loop over it.
+fn run_tcp(lines: &[(&'static str, String)], addr: &str, clients: usize) -> CellResult {
+    let streams: Vec<Mutex<(TcpStream, BufReader<TcpStream>)>> = (0..clients)
+        .map(|_| {
+            let stream = TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("serve_bench: cannot connect {addr}: {e}"));
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            Mutex::new((stream, reader))
+        })
+        .collect();
+    let (elapsed_secs, latencies_us, areas, errors, shed) =
+        drive_closed_loop(lines, clients, |client, line| {
+            let mut conn = streams[client].lock().expect("connection");
+            conn.0
+                .write_all(line.as_bytes())
+                .and_then(|()| conn.0.write_all(b"\n"))
+                .expect("request written");
+            let mut reply = String::new();
+            conn.1.read_line(&mut reply).expect("reply line");
+            reply
+        });
+    CellResult {
+        threads: 0,
+        clients,
+        elapsed_secs,
+        latencies_us,
+        areas,
+        errors,
+        shed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut smoke = false;
+    let mut tcp: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("serve_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--tcp" => match it.next() {
+                Some(a) => tcp = Some(a.clone()),
+                None => {
+                    eprintln!("serve_bench: --tcp needs an address");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("serve_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = fp_bench::host::cores();
+    let total = if smoke { SMOKE_REQUESTS } else { REQUESTS };
+    let lines = workload(total);
+    let mix = ["optimize", "update", "pareto", "anneal", "ping"]
+        .map(|kind| (kind, lines.iter().filter(|(k, _)| *k == kind).count()));
+
+    let mode = if tcp.is_some() { "tcp" } else { "in-process" };
+    let cells: Vec<CellResult> = match &tcp {
+        Some(addr) => {
+            eprintln!("serve_bench: replaying {total} requests against {addr} ...");
+            vec![run_tcp(&lines, addr, 4)]
+        }
+        None => {
+            let sweep: &[usize] = if smoke { &SMOKE_SWEEP } else { &SWEEP };
+            sweep
+                .iter()
+                .map(|&threads| {
+                    eprintln!(
+                        "serve_bench: replaying {total} requests at {threads} executor thread(s) ..."
+                    );
+                    run_in_process(&lines, threads)
+                })
+                .collect()
+        }
+    };
+
+    // Determinism cross-check (in-process): every thread count must
+    // answer every successful request with the same area.
+    if tcp.is_none() {
+        for cell in &cells[1..] {
+            assert_eq!(
+                cell.areas, cells[0].areas,
+                "areas diverged between {} and {} executor threads",
+                cells[0].threads, cell.threads
+            );
+        }
+    }
+
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"threads\": {}, \"clients\": {}, \"requests\": {}, \
+                 \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"errors\": {}, \"shed\": {}, \
+                 \"peak_rss_bytes\": {}}}",
+                c.threads,
+                c.clients,
+                c.latencies_us.len(),
+                c.throughput_rps(),
+                c.quantile_ms(0.50),
+                c.quantile_ms(0.99),
+                c.quantile_ms(0.999),
+                c.max_ms(),
+                c.errors,
+                c.shed,
+                fp_bench::host::peak_rss_bytes(),
+            )
+        })
+        .collect();
+    for c in &cells {
+        println!(
+            "{:>10} threads={} clients={}: {:>8.1} req/s | p50 {:>7.3} ms | p99 {:>8.3} ms | p999 {:>8.3} ms",
+            mode,
+            c.threads,
+            c.clients,
+            c.throughput_rps(),
+            c.quantile_ms(0.50),
+            c.quantile_ms(0.99),
+            c.quantile_ms(0.999),
+        );
+    }
+
+    let base = cells.first().map_or(0.0, CellResult::throughput_rps);
+    let at4 = cells
+        .iter()
+        .find(|c| c.threads == 4)
+        .map(CellResult::throughput_rps);
+    let speedup = at4.map(|t| t / base.max(1e-9));
+    let gate_enforced = !smoke && tcp.is_none() && cores >= 4;
+    let mix_json: Vec<String> = mix
+        .iter()
+        .map(|(kind, count)| format!("\"{kind}\": {count}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fpserved executor serving throughput\",\n  \
+         \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \
+         \"requests\": {total},\n  \"cache_bytes\": {CACHE_BYTES},\n  \
+         \"workload\": {{{}}},\n  \"throughput_gate\": {THROUGHPUT_GATE},\n  \
+         \"gate_enforced\": {gate_enforced},\n  \"speedup_at_4\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        mix_json.join(", "),
+        speedup.map_or("null".to_owned(), |s| format!("{s:.2}")),
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    match speedup {
+        Some(speedup) if gate_enforced => {
+            if speedup < THROUGHPUT_GATE {
+                eprintln!(
+                    "serve_bench: FAIL: throughput at 4 threads is {speedup:.2}x the 1-thread \
+                     figure (< {THROUGHPUT_GATE}x, {cores} cores)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("serve_bench: gate passed: {speedup:.2}x at 4 threads");
+        }
+        Some(speedup) => eprintln!(
+            "serve_bench: throughput gate skipped ({} core(s), smoke={smoke}); \
+             measured {speedup:.2}x at 4 threads",
+            cores
+        ),
+        None => eprintln!("serve_bench: throughput gate skipped (no 4-thread cell in this mode)"),
+    }
+}

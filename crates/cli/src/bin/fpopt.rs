@@ -12,11 +12,13 @@
 //! implementation count the way the paper's machine did.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use fp_anneal::{anneal_multi, AnnealConfig, MultiAnnealConfig};
 use fp_optimizer::{
-    netlist_fingerprint, parse_netlist, random_netlist, CompositeObjective, FaultPlan, Netlist,
-    OptError, OptimizeConfig, Optimizer, RunOutcome, Trace, Tracer,
+    netlist_fingerprint, parse_netlist, random_netlist, BlockCache, CompositeObjective, Executor,
+    FaultPlan, JobClass, Netlist, OptError, OptimizeConfig, Optimizer, RunOutcome, Trace, Tracer,
 };
 use fp_select::LReductionPolicy;
 use fp_tree::format::{parse_instance, FloorplanInstance};
@@ -70,6 +72,20 @@ wirelength options (multi-objective):
                      HPWL <= n (overrides --alpha)
   --pareto           print the (area, HPWL, outline-fit) non-dominated
                      frontier and its hypervolume instead of one layout
+
+annealing options (topology search):
+  --anneal-chains <n>
+                     search slicing topologies by multi-start simulated
+                     annealing: <n> independent chains (1..=64) run as
+                     jobs on a shared executor with a best-of-N merge;
+                     results are identical at any thread count. The
+                     paper's area optimizer (with the selection knobs
+                     above) is the inner cost loop; the <design>'s own
+                     tree is ignored — the topology is the variable
+  --anneal-moves <n> proposed moves per chain (default 2000)
+  --anneal-seed <u64>
+                     base seed; chain i > 0 derives its own independent
+                     stream from it (default 1)
 
 robustness options:
   --deadline <secs>  wall-clock deadline for the optimization
@@ -134,6 +150,9 @@ struct Args {
     alpha: Option<f64>,
     max_hpwl: Option<u64>,
     pareto: bool,
+    anneal_chains: Option<usize>,
+    anneal_moves: usize,
+    anneal_seed: u64,
     cache_bytes: Option<usize>,
     cache_file: Option<String>,
     session: Option<String>,
@@ -169,6 +188,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         alpha: None,
         max_hpwl: None,
         pareto: false,
+        anneal_chains: None,
+        anneal_moves: 2000,
+        anneal_seed: 1,
         cache_bytes: None,
         cache_file: None,
         session: None,
@@ -274,6 +296,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--pareto" => args.pareto = true,
+            "--anneal-chains" => {
+                let chains: usize = value("--anneal-chains")?
+                    .parse()
+                    .map_err(|e| format!("--anneal-chains: {e}"))?;
+                if !(1..=64).contains(&chains) {
+                    return Err(format!(
+                        "--anneal-chains expects a value in 1..=64, found {chains}"
+                    ));
+                }
+                args.anneal_chains = Some(chains);
+            }
+            "--anneal-moves" => {
+                args.anneal_moves = value("--anneal-moves")?
+                    .parse()
+                    .map_err(|e| format!("--anneal-moves: {e}"))?;
+                if args.anneal_moves == 0 {
+                    return Err("--anneal-moves expects at least one move".to_owned());
+                }
+            }
+            "--anneal-seed" => {
+                args.anneal_seed = value("--anneal-seed")?
+                    .parse()
+                    .map_err(|e| format!("--anneal-seed: {e}"))?;
+            }
             "--cache-bytes" => {
                 args.cache_bytes = Some(
                     value("--cache-bytes")?
@@ -323,6 +369,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let wants_netlist = args.alpha.is_some() || args.max_hpwl.is_some() || args.pareto;
     if wants_netlist && args.netlist.is_none() && args.nets.is_none() {
         return Err("--alpha/--max-hpwl/--pareto need --netlist or --nets".to_owned());
+    }
+    if args.anneal_chains.is_some() && (args.pareto || args.max_hpwl.is_some()) {
+        return Err("--anneal-chains searches topologies for one objective; it does not combine with --pareto or --max-hpwl".to_owned());
     }
     Ok(args)
 }
@@ -519,24 +568,142 @@ fn replay_session(path: &str, cache_bytes: Option<usize>, cache_file: Option<&st
             }
         }
     };
+    // Session re-optimizations run as `JobClass::Session` work on the
+    // same executor abstraction the server uses: requests lease spare
+    // pool capacity for their tree splits, anneal lines fan their
+    // chains out, and the replies are byte-identical to a serial run.
+    let exec = Executor::new(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let state = state
+        .with_executor(Arc::clone(&exec))
+        .with_anneal_backend(fp_anneal::serve_backend());
     let mut worst = 0u8;
     for (index, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let reply = fp_optimizer::serve::handle_line(line, index as u64 + 1, &state, None);
+        let reply = exec.run_scoped(JobClass::Session, || {
+            fp_optimizer::serve::handle_line(line, index as u64 + 1, &state, None)
+        });
         println!("{}", reply.json);
         worst = worst.max(reply.status);
         if reply.shutdown {
             break;
         }
     }
+    exec.shutdown();
     if state.cache().is_persistent() {
         if let Err(e) = state.cache().flush() {
             eprintln!("fpopt: cache flush failed: {e}");
         }
     }
     ExitCode::from(worst)
+}
+
+/// `--anneal-chains`: multi-start Wong–Liu topology search with the
+/// configured area optimizer as the inner cost loop. Chains run as
+/// [`JobClass::Anneal`] jobs on a dedicated executor and share the
+/// session cache; the merge is deterministic at any thread count.
+fn run_anneal(
+    args: &Args,
+    instance: &FloorplanInstance,
+    config: OptimizeConfig,
+    netlist: Option<Netlist>,
+    cache: Option<&fp_optimizer::cache::SharedBlockCache>,
+    chains: usize,
+) -> ExitCode {
+    let alpha = args.alpha.unwrap_or(1.0);
+    let multi_config = MultiAnnealConfig {
+        chains,
+        base: AnnealConfig {
+            moves: args.anneal_moves,
+            seed: args.anneal_seed,
+            optimizer: config,
+            netlist,
+            alpha,
+            ..AnnealConfig::default()
+        },
+    };
+    let exec = Executor::new(chains);
+    println!(
+        "anneal: {chains} chain(s) x {} moves, seed {}, {} executor thread(s)",
+        args.anneal_moves,
+        args.anneal_seed,
+        exec.threads()
+    );
+    let result = anneal_multi(
+        &instance.library,
+        &multi_config,
+        cache.map(|c| c as &(dyn BlockCache + Sync)),
+        Some(&exec),
+    );
+    exec.shutdown();
+    for (chain, area) in result.chain_areas.iter().enumerate() {
+        println!(
+            "  chain {chain}: area {area}{}",
+            if chain == result.best_chain {
+                "  <- best"
+            } else {
+                ""
+            }
+        );
+    }
+    let best = &result.best;
+    let saved = best.initial_area.saturating_sub(best.best_area);
+    println!(
+        "initial area {} -> best area {} ({:.1}% saved), {}/{} moves accepted across chains",
+        best.initial_area,
+        best.best_area,
+        100.0 * saved as f64 / best.initial_area.max(1) as f64,
+        result.total_accepted,
+        result.total_proposed
+    );
+    if let Some(hpwl) = best.best_hpwl {
+        println!("wirelength: HPWL {hpwl} (alpha {alpha})");
+    }
+    println!("best topology: {}", best.expression);
+    let layout = match realize(&best.tree, &instance.library, &best.assignment) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fpopt: internal error: annealed assignment does not realize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    debug_assert_eq!(layout.area(), best.best_area);
+    println!(
+        "verified layout: {} modules placed, dead space {} of {} ({:.1}%)",
+        layout.placed.len(),
+        layout.dead_space(),
+        layout.area(),
+        100.0 * layout.dead_space() as f64 / layout.area().max(1) as f64
+    );
+    if args.ascii {
+        println!("\n{}", layout.to_ascii(72));
+    }
+    if let Some(path) = &args.svg {
+        let svg = export::layout_to_svg(&layout, &best.tree, &instance.library, 800);
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.dot {
+        let dot = export::tree_to_dot(&best.tree, &instance.library);
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("fpopt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(cache) = cache {
+        if cache.is_persistent() {
+            if let Err(e) = cache.flush() {
+                eprintln!("fpopt: cache flush failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -669,6 +836,16 @@ fn main() -> ExitCode {
             }
         }
     };
+    if let Some(chains) = args.anneal_chains {
+        return run_anneal(
+            &args,
+            &instance,
+            config,
+            netlist.clone(),
+            cache.as_ref(),
+            chains,
+        );
+    }
     // The tracer is only subscribed (and only costs anything) when an
     // observability flag asks for the event stream.
     let tracer = if args.trace.is_some() || args.profile {

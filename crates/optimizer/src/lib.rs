@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod direct;
 mod engine;
+pub mod exec;
 pub mod governor;
 pub mod joins;
 mod meter;
@@ -67,6 +68,7 @@ pub use engine::{
     DegradationEvent, Frontier, Objective, OptError, OptimizeConfig, Optimizer, Outcome,
     RescueReason, RunOutcome, RunStats,
 };
+pub use exec::{Executor, JobHandle, Lease};
 pub use governor::{CancelToken, FaultPlan, ResourceGovernor, Trip};
 pub use multi::{CompositeObjective, MultiOutcome, ParetoSet};
 // Re-exported so wirelength-aware callers (CLIs, the batch server, the
@@ -82,6 +84,6 @@ pub use fp_memo::{IoFaultPlan, PersistError, PersistOptions, PersistStats, Recov
 // Re-exported so downstream users of the facade's tracing hooks don't
 // need a direct `fp-trace` dependency.
 pub use fp_trace::{
-    MetricsRegistry, MetricsSnapshot, PhaseName, ProfileReport, SolverKind, Trace, TraceEvent,
-    TraceSummary, Tracer,
+    JobClass, MetricsRegistry, MetricsSnapshot, PhaseName, ProfileReport, SolverKind, Trace,
+    TraceEvent, TraceSummary, Tracer,
 };

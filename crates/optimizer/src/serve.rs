@@ -38,6 +38,20 @@
 //! {"id": 8, "method": "pareto", "builtin": "fp1", "nets": 30}
 //! ```
 //!
+//! The `anneal` method runs multi-start simulated-annealing topology
+//! search over the instance's module library (the request's tree only
+//! supplies the modules): `chains` independent chains (default 1, max
+//! 64) of `moves` proposed moves each (default 2000), deterministic in
+//! `anneal_seed`, merged best-of-N. Annealing is area-only and runs to
+//! completion, so the netlist, outline, and budget fields are rejected.
+//! The search itself is injected by the server binary
+//! ([`ServeState::with_anneal_backend`]) because the annealer crate
+//! sits above this one:
+//!
+//! ```json
+//! {"id": 9, "method": "anneal", "builtin": "fp1", "chains": 4, "moves": 500}
+//! ```
+//!
 //! ## Responses
 //!
 //! Every response carries the echoed `id` (when the request had one), the
@@ -49,13 +63,16 @@
 //! (or the embedded instance's `instance_line`/`instance_col`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fp_tree::format::{parse_instance, FloorplanInstance};
 use fp_tree::generators;
+use fp_tree::ModuleLibrary;
 
 use crate::cache::{shared_cache, shared_cache_stats, SharedBlockCache};
 use crate::engine::{Objective, OptError, OptimizeConfig, Optimizer, RunOutcome};
+use crate::exec::Executor;
 use crate::governor::CancelToken;
 use crate::multi::CompositeObjective;
 use fp_netlist::{hypervolume, netlist_fingerprint, parse_netlist, random_netlist, Netlist};
@@ -501,6 +518,9 @@ pub enum Method {
     /// Run the optimizer and return the non-dominated (area, HPWL,
     /// outline-fit) front against the request's netlist.
     Pareto(Box<OptimizeRequest>),
+    /// Run multi-start simulated annealing over the instance's module
+    /// library (topology search; the optimizer is the inner loop).
+    Anneal(Box<AnnealRequest>),
     /// Liveness probe.
     Ping,
     /// Cache/session counters.
@@ -584,6 +604,79 @@ impl Default for OptimizeRequest {
     }
 }
 
+/// Parameters of an `anneal` request: the instance source and
+/// selection knobs of an [`OptimizeRequest`] (netlist, outline, and
+/// budget fields are rejected — annealing jobs are area-only and run
+/// to completion) plus the multi-start knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealRequest {
+    /// Instance source and inner-optimizer knobs.
+    pub base: OptimizeRequest,
+    /// Independent chains to run (best-of-N merge).
+    pub chains: usize,
+    /// Proposed moves per chain.
+    pub moves: usize,
+    /// Base annealing seed; chain `i` derives its own stream from it.
+    pub anneal_seed: u64,
+}
+
+impl Default for AnnealRequest {
+    fn default() -> Self {
+        AnnealRequest {
+            base: OptimizeRequest::default(),
+            chains: 1,
+            moves: 2_000,
+            anneal_seed: 1,
+        }
+    }
+}
+
+/// What the server hands an injected [`AnnealBackend`]: everything a
+/// multi-start run needs, resolved from the request and the server
+/// state. The protocol layer cannot depend on the annealer crate (the
+/// annealer depends on this crate), so the binary wires the search in.
+pub struct AnnealJob<'a> {
+    /// The instance's module library (topology search ignores the
+    /// request's tree — the annealer proposes its own).
+    pub library: &'a ModuleLibrary,
+    /// Independent chains to run.
+    pub chains: usize,
+    /// Proposed moves per chain.
+    pub moves: usize,
+    /// Base annealing seed.
+    pub seed: u64,
+    /// Inner-loop optimizer configuration (selection policies, threads).
+    pub optimizer: OptimizeConfig,
+    /// The server's shared block cache; chains share it.
+    pub cache: &'a SharedBlockCache,
+    /// The server's executor, when one is attached: chains should run
+    /// on it as anneal-class jobs.
+    pub executor: Option<&'a Executor>,
+}
+
+/// What an [`AnnealBackend`] returns; the server renders it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnealOutcome {
+    /// The winning chain's best area.
+    pub best_area: u128,
+    /// Area of the initial topology, for reference.
+    pub initial_area: u128,
+    /// Index of the winning chain.
+    pub best_chain: usize,
+    /// Every chain's best area, in chain order.
+    pub chain_areas: Vec<u128>,
+    /// Moves accepted across all chains.
+    pub accepted: u64,
+    /// Moves proposed across all chains.
+    pub proposed: u64,
+    /// The winning topology as a Polish-expression string.
+    pub expression: String,
+}
+
+/// The injected multi-start annealing implementation (see
+/// [`ServeState::with_anneal_backend`]).
+pub type AnnealBackend = dyn Fn(&AnnealJob<'_>) -> AnnealOutcome + Send + Sync;
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -652,7 +745,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "stats" => Method::Stats,
         "metrics" => Method::Metrics,
         "shutdown" => Method::Shutdown,
-        "optimize" | "pareto" => {
+        "optimize" | "pareto" | "anneal" => {
             let mut req = OptimizeRequest {
                 builtin: doc.get("builtin").and_then(Json::as_str).map(str::to_owned),
                 instance: doc
@@ -737,7 +830,45 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     "`{method}` with wirelength objectives needs `netlist` or `nets`"
                 )));
             }
-            if method == "pareto" {
+            if method == "anneal" {
+                // Annealing jobs are area-only and run to completion:
+                // the wirelength, outline, and budget knobs have no
+                // defined behaviour there, so reject them loudly
+                // instead of silently ignoring them.
+                for (present, field) in [
+                    (req.netlist.is_some(), "netlist"),
+                    (req.nets.is_some(), "nets"),
+                    (req.alpha.is_some(), "alpha"),
+                    (req.max_hpwl.is_some(), "max_hpwl"),
+                    (req.outline.is_some(), "outline"),
+                    (req.deadline_ms.is_some(), "deadline_ms"),
+                    (req.memory.is_some(), "memory"),
+                ] {
+                    if present {
+                        return Err(bad(format!("`anneal` does not accept `{field}`")));
+                    }
+                }
+                let mut anneal = AnnealRequest {
+                    base: req,
+                    ..AnnealRequest::default()
+                };
+                if let Some(chains) = field_usize(&doc, "chains").map_err(&bad)? {
+                    if chains == 0 || chains > 64 {
+                        return Err(bad("`chains` must be in 1..=64".to_owned()));
+                    }
+                    anneal.chains = chains;
+                }
+                if let Some(moves) = field_usize(&doc, "moves").map_err(&bad)? {
+                    if moves == 0 {
+                        return Err(bad("`moves` must be at least 1".to_owned()));
+                    }
+                    anneal.moves = moves;
+                }
+                if let Some(seed) = field_usize(&doc, "anneal_seed").map_err(&bad)? {
+                    anneal.anneal_seed = seed as u64;
+                }
+                Method::Anneal(Box::new(anneal))
+            } else if method == "pareto" {
                 Method::Pareto(Box::new(req))
             } else {
                 Method::Optimize(Box::new(req))
@@ -745,8 +876,8 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         }
         other => {
             return Err(bad(format!(
-                "unknown method `{other}` (optimize, pareto, ping, stats, metrics, shutdown)"
-            )))
+            "unknown method `{other}` (optimize, pareto, anneal, ping, stats, metrics, shutdown)"
+        )))
         }
     };
     Ok(Request { id, method })
@@ -755,6 +886,125 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
+
+/// Upper bounds (microseconds) of the per-method latency buckets; the
+/// implicit overflow bucket completes the series.
+const METHOD_LAT_BOUNDS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// One lock-free cumulative latency histogram (per served method).
+#[derive(Debug, Default)]
+struct MethodHist {
+    counts: [AtomicU64; METHOD_LAT_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl MethodHist {
+    fn observe(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let slot = METHOD_LAT_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(METHOD_LAT_BOUNDS_US.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// The smallest bucket bound covering quantile `q`, in
+    /// microseconds; the overflow bucket reports the observed maximum.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0;
+        for (slot, &bound) in METHOD_LAT_BOUNDS_US.iter().enumerate() {
+            cumulative += self.counts[slot].load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bound;
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// `{"count":N,"p50_ms":…,"p99_ms":…,"p999_ms":…,"max_ms":…}`.
+    fn to_json(&self) -> String {
+        let ms = |us: u64| us as f64 / 1_000.0;
+        format!(
+            "{{\"count\":{},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\"max_ms\":{}}}",
+            self.count.load(Ordering::Relaxed),
+            ms(self.quantile_us(0.50)),
+            ms(self.quantile_us(0.99)),
+            ms(self.quantile_us(0.999)),
+            ms(self.max_us.load(Ordering::Relaxed)),
+        )
+    }
+
+    fn render_prometheus(&self, name: &str, method: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut cumulative = 0;
+        for (slot, &bound) in METHOD_LAT_BOUNDS_US.iter().enumerate() {
+            cumulative += self.counts[slot].load(Ordering::Relaxed);
+            let le = bound as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{method=\"{method}\",le=\"{le}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.counts[METHOD_LAT_BOUNDS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{method=\"{method}\",le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{{method=\"{method}\"}} {}",
+            self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{{method=\"{method}\"}} {}",
+            self.count.load(Ordering::Relaxed)
+        );
+    }
+}
+
+/// The latency-accounting class of a request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MethodKind {
+    Optimize = 0,
+    Pareto = 1,
+    Anneal = 2,
+    /// `ping`, `stats`, `metrics`, `shutdown`.
+    Control = 3,
+}
+
+impl MethodKind {
+    const ALL: [(MethodKind, &'static str); 4] = [
+        (MethodKind::Optimize, "optimize"),
+        (MethodKind::Pareto, "pareto"),
+        (MethodKind::Anneal, "anneal"),
+        (MethodKind::Control, "control"),
+    ];
+
+    fn of(method: &Method) -> MethodKind {
+        match method {
+            Method::Optimize(_) => MethodKind::Optimize,
+            Method::Pareto(_) => MethodKind::Pareto,
+            Method::Anneal(_) => MethodKind::Anneal,
+            Method::Ping | Method::Stats | Method::Metrics | Method::Shutdown => {
+                MethodKind::Control
+            }
+        }
+    }
+}
 
 /// Server-wide shared state: the cross-request block cache, admission
 /// control, and counters.
@@ -775,6 +1025,15 @@ pub struct ServeState {
     pareto_requests: AtomicU64,
     /// Non-dominated points returned across all `pareto` replies.
     pareto_points: AtomicU64,
+    /// `anneal` requests served.
+    anneal_requests: AtomicU64,
+    /// The injected multi-start annealing implementation, if any.
+    anneal_backend: Option<Arc<AnnealBackend>>,
+    /// The job executor, when the server runs on one: stats/metrics
+    /// report its gauges and optimize runs lease spare workers from it.
+    executor: Option<Arc<Executor>>,
+    /// Per-method service-time histograms, indexed by [`MethodKind`].
+    latency: [MethodHist; 4],
 }
 
 impl ServeState {
@@ -801,6 +1060,10 @@ impl ServeState {
             netlist_requests: AtomicU64::new(0),
             pareto_requests: AtomicU64::new(0),
             pareto_points: AtomicU64::new(0),
+            anneal_requests: AtomicU64::new(0),
+            anneal_backend: None,
+            executor: None,
+            latency: Default::default(),
         }
     }
 
@@ -883,6 +1146,66 @@ impl ServeState {
     #[must_use]
     pub fn pareto_points(&self) -> u64 {
         self.pareto_points.load(Ordering::Relaxed)
+    }
+
+    /// `anneal` requests served so far.
+    #[must_use]
+    pub fn anneal_requests(&self) -> u64 {
+        self.anneal_requests.load(Ordering::Relaxed)
+    }
+
+    /// Injects the multi-start annealing implementation. The protocol
+    /// crate cannot depend on the annealer (the annealer's inner loop
+    /// is this crate's optimizer), so the server binary registers the
+    /// search here; without one, `anneal` requests are rejected with
+    /// [`STATUS_BAD_REQUEST`].
+    #[must_use]
+    pub fn with_anneal_backend(mut self, backend: Arc<AnnealBackend>) -> Self {
+        self.anneal_backend = Some(backend);
+        self
+    }
+
+    /// Attaches the job executor the server schedules onto. Stats and
+    /// metrics then report its queue/active gauges, anneal chains run
+    /// on its pool, and optimize runs lease spare workers from it for
+    /// intra-request tree parallelism. The *echoed* `threads` in
+    /// replies stays request-resolved — leasing changes speed, never
+    /// bytes.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The attached executor, if any.
+    #[must_use]
+    pub fn executor(&self) -> Option<&Arc<Executor>> {
+        self.executor.as_ref()
+    }
+
+    /// Records one served request's wall time under its method class.
+    fn observe_latency(&self, kind: MethodKind, elapsed: Duration) {
+        self.latency[kind as usize].observe(elapsed);
+    }
+
+    /// The per-method latency digest as a JSON object:
+    /// `{"optimize": {"count":…,"p50_ms":…,"p99_ms":…,"p999_ms":…,"max_ms":…}, …}`.
+    /// Quantiles are bucket upper bounds (conservative, never below
+    /// the true quantile until the overflow bucket).
+    #[must_use]
+    pub fn latency_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (kind, name)) in MethodKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{}",
+                self.latency[*kind as usize].to_json()
+            ));
+        }
+        out.push('}');
+        out
     }
 
     /// Tries to admit one job. `true` reserves an in-flight slot the
@@ -1006,6 +1329,46 @@ impl ServeState {
             "Non-dominated points returned across pareto replies",
             self.pareto_points(),
         );
+        gauge(
+            "fp_server_anneal_requests_total",
+            "Multi-start annealing requests served",
+            self.anneal_requests(),
+        );
+        if let Some(exec) = self.executor() {
+            gauge(
+                "fp_exec_threads",
+                "Worker threads in the job executor",
+                exec.threads() as u64,
+            );
+            gauge(
+                "fp_exec_queue_depth",
+                "Jobs queued in the executor and not yet started",
+                exec.queue_depth() as u64,
+            );
+            gauge(
+                "fp_exec_active_jobs",
+                "Jobs the executor is running right now",
+                exec.active() as u64,
+            );
+            gauge(
+                "fp_exec_completed_total",
+                "Jobs the executor has finished",
+                exec.completed(),
+            );
+            gauge(
+                "fp_exec_shed_total",
+                "Jobs shed at the executor level",
+                exec.shed_total(),
+            );
+        }
+        out.push_str("# TYPE fp_server_request_duration_seconds histogram\n");
+        for (kind, name) in MethodKind::ALL {
+            self.latency[kind as usize].render_prometheus(
+                "fp_server_request_duration_seconds",
+                name,
+                &mut out,
+            );
+        }
         out
     }
 }
@@ -1287,12 +1650,28 @@ fn optimize_reply(
         // area-only runs of the same policy.
         config = config.with_extra_salt(netlist_fingerprint(netlist));
     }
+    // With an executor attached, intra-request tree parallelism is
+    // leased from its spare capacity: the run may execute on fewer
+    // threads than requested when the pool is busy, but the echoed
+    // `threads`/`auto_serial` below stay request-resolved — results are
+    // byte-identical at any thread count, so leasing changes speed only.
+    let lease = state.executor().map(|exec| {
+        let wanted = config.resolve_for(&instance.tree).threads;
+        exec.lease(wanted.saturating_sub(1))
+    });
+    let run_config = match &lease {
+        Some(lease) => {
+            let wanted = config.resolve_for(&instance.tree).threads;
+            config.clone().with_threads(wanted.min(1 + lease.granted()))
+        }
+        None => config.clone(),
+    };
     // Every optimize request runs under a subscribed tracer: the drained
     // summary feeds the reply's `trace_summary` and the server-lifetime
     // metrics registry (so the two always reconcile).
     let tracer = Tracer::new();
     let optimizer = Optimizer::new(&instance.tree, &instance.library)
-        .config(&config)
+        .config(&run_config)
         .cache(state.cache())
         .tracer(&tracer);
     let result = match &bound {
@@ -1403,9 +1782,22 @@ fn pareto_reply(
     };
     let config = config_for(req, cancel, state.default_threads())
         .with_extra_salt(netlist_fingerprint(&netlist));
+    // Same lease discipline as `optimize_reply`: borrowed pool capacity
+    // caps the actual thread count, never the echoed one.
+    let lease = state.executor().map(|exec| {
+        let wanted = config.resolve_for(&instance.tree).threads;
+        exec.lease(wanted.saturating_sub(1))
+    });
+    let run_config = match &lease {
+        Some(lease) => {
+            let wanted = config.resolve_for(&instance.tree).threads;
+            config.clone().with_threads(wanted.min(1 + lease.granted()))
+        }
+        None => config.clone(),
+    };
     let tracer = Tracer::new();
     let result = Optimizer::new(&instance.tree, &instance.library)
-        .config(&config)
+        .config(&run_config)
         .cache(state.cache())
         .tracer(&tracer)
         .run_pareto(&bound);
@@ -1468,6 +1860,74 @@ fn pareto_reply(
     }
 }
 
+fn anneal_reply(
+    id: Option<&RequestId>,
+    line_no: u64,
+    req: &AnnealRequest,
+    state: &ServeState,
+) -> Reply {
+    let Some(backend) = state.anneal_backend.clone() else {
+        let mut obj = JsonObj::new();
+        obj.str(
+            "error",
+            "this server has no annealing backend registered (`anneal` unsupported)",
+        );
+        let template = Reply {
+            json: obj.finish(),
+            status: STATUS_BAD_REQUEST,
+            shutdown: false,
+        };
+        return rehead(id, line_no, &template);
+    };
+    let instance = match load_serve_instance(&req.base) {
+        Ok(instance) => instance,
+        Err(template) => return rehead(id, line_no, &template),
+    };
+    // Chains parallelize at the job level on the executor; the inner
+    // optimizer keeps the request's own thread setting. No cancel
+    // token: annealing jobs run to completion (`deadline_ms` is
+    // rejected at parse time).
+    let config = config_for(&req.base, None, state.default_threads());
+    let started = Instant::now();
+    let job = AnnealJob {
+        library: &instance.library,
+        chains: req.chains,
+        moves: req.moves,
+        seed: req.anneal_seed,
+        optimizer: config,
+        cache: state.cache(),
+        executor: state.executor().map(|e| &**e),
+    };
+    let outcome = backend(&job);
+    state.anneal_requests.fetch_add(1, Ordering::Relaxed);
+    let mut chain_areas = String::from("[");
+    for (i, area) in outcome.chain_areas.iter().enumerate() {
+        if i > 0 {
+            chain_areas.push(',');
+        }
+        chain_areas.push_str(&area.to_string());
+    }
+    chain_areas.push(']');
+    let mut obj = response_head(id, line_no, STATUS_OK);
+    obj.str("instance", &instance.name);
+    obj.u64("chains", req.chains as u64);
+    obj.u64("moves", req.moves as u64);
+    obj.u64("anneal_seed", req.anneal_seed);
+    obj.u128("area", outcome.best_area);
+    obj.u128("initial_area", outcome.initial_area);
+    obj.u64("best_chain", outcome.best_chain as u64);
+    obj.raw("chain_areas", &chain_areas);
+    obj.u64("accepted", outcome.accepted);
+    obj.u64("proposed", outcome.proposed);
+    obj.str("expression", &outcome.expression);
+    obj.u64("elapsed_ms", started.elapsed().as_millis() as u64);
+    Reply {
+        json: obj.finish(),
+        status: STATUS_OK,
+        shutdown: false,
+    }
+}
+
 impl JsonObj {
     /// Splices pre-serialized members (used to re-head reply templates).
     pub fn raw_members(&mut self, members: &str) -> &mut Self {
@@ -1485,6 +1945,19 @@ impl JsonObj {
 /// from run start.
 #[must_use]
 pub fn execute(
+    request: &Request,
+    line_no: u64,
+    state: &ServeState,
+    cancel: Option<CancelToken>,
+) -> Reply {
+    let started = Instant::now();
+    let kind = MethodKind::of(&request.method);
+    let reply = execute_inner(request, line_no, state, cancel);
+    state.observe_latency(kind, started.elapsed());
+    reply
+}
+
+fn execute_inner(
     request: &Request,
     line_no: u64,
     state: &ServeState,
@@ -1540,6 +2013,15 @@ pub fn execute(
             obj.u64("inflight", state.inflight());
             obj.u64("max_inflight", state.max_inflight());
             obj.u64("shed", state.shed());
+            obj.u64("anneal_requests", state.anneal_requests());
+            if let Some(exec) = state.executor() {
+                obj.u64("exec_threads", exec.threads() as u64);
+                obj.u64("exec_queue_depth", exec.queue_depth() as u64);
+                obj.u64("exec_active", exec.active() as u64);
+                obj.u64("exec_completed", exec.completed());
+                obj.u64("exec_shed", exec.shed_total());
+            }
+            obj.raw("latency", &state.latency_json());
             Reply {
                 json: obj.finish(),
                 status: STATUS_OK,
@@ -1569,6 +2051,7 @@ pub fn execute(
         }
         Method::Optimize(req) => optimize_reply(id, line_no, req, state, cancel),
         Method::Pareto(req) => pareto_reply(id, line_no, req, state, cancel),
+        Method::Anneal(req) => anneal_reply(id, line_no, req, state),
     }
 }
 
@@ -1963,5 +2446,211 @@ mod tests {
         assert_eq!(reply.status, STATUS_BAD_INPUT, "{}", reply.json);
         assert!(reply.json.contains("\"netlist_line\":"), "{}", reply.json);
         assert!(reply.json.contains("\"netlist_col\":"), "{}", reply.json);
+    }
+
+    #[test]
+    fn anneal_request_parsing_and_rejections() {
+        let req = parse_request(
+            r#"{"method": "anneal", "builtin": "fp1", "chains": 4, "moves": 500, "anneal_seed": 9}"#,
+        )
+        .expect("valid");
+        match req.method {
+            Method::Anneal(a) => {
+                assert_eq!(a.base.builtin.as_deref(), Some("fp1"));
+                assert_eq!(a.chains, 4);
+                assert_eq!(a.moves, 500);
+                assert_eq!(a.anneal_seed, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults when the knobs are absent.
+        let req = parse_request(r#"{"method": "anneal", "builtin": "fp1"}"#).expect("valid");
+        match req.method {
+            Method::Anneal(a) => {
+                assert_eq!(a.chains, 1);
+                assert_eq!(a.moves, 2_000);
+                assert_eq!(a.anneal_seed, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Netlist, outline, and budget knobs are rejected loudly.
+        for (line, field) in [
+            (
+                r#"{"method": "anneal", "builtin": "fp1", "nets": 4}"#,
+                "nets",
+            ),
+            (
+                r#"{"method": "anneal", "builtin": "fp1", "outline": "40x40"}"#,
+                "outline",
+            ),
+            (
+                r#"{"method": "anneal", "builtin": "fp1", "deadline_ms": 10}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"method": "anneal", "builtin": "fp1", "memory": 1000}"#,
+                "memory",
+            ),
+        ] {
+            match parse_request(line) {
+                Err(RequestError::Bad(_, msg)) => {
+                    assert!(msg.contains(field), "{msg}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Chain count bounds.
+        assert!(parse_request(r#"{"method": "anneal", "builtin": "fp1", "chains": 0}"#).is_err());
+        assert!(parse_request(r#"{"method": "anneal", "builtin": "fp1", "chains": 65}"#).is_err());
+    }
+
+    #[test]
+    fn anneal_without_backend_is_a_bad_request() {
+        let state = ServeState::new(1 << 20);
+        let reply = handle_line(
+            r#"{"id": 1, "method": "anneal", "builtin": "fp1"}"#,
+            1,
+            &state,
+            None,
+        );
+        assert_eq!(reply.status, STATUS_BAD_REQUEST, "{}", reply.json);
+        assert!(
+            reply.json.contains("no annealing backend"),
+            "{}",
+            reply.json
+        );
+        assert_eq!(state.anneal_requests(), 0);
+    }
+
+    #[test]
+    fn anneal_backend_reply_carries_the_outcome() {
+        let state = ServeState::new(1 << 20).with_anneal_backend(Arc::new(|job: &AnnealJob| {
+            assert_eq!(job.chains, 3);
+            assert_eq!(job.moves, 250);
+            assert_eq!(job.seed, 5);
+            assert!(!job.library.is_empty());
+            AnnealOutcome {
+                best_area: 1234,
+                initial_area: 2000,
+                best_chain: 2,
+                chain_areas: vec![1300, 1250, 1234],
+                accepted: 42,
+                proposed: 750,
+                expression: "a b + c *".to_owned(),
+            }
+        }));
+        let reply = handle_line(
+            r#"{"id": 1, "method": "anneal", "builtin": "fp1", "chains": 3, "moves": 250, "anneal_seed": 5}"#,
+            1,
+            &state,
+            None,
+        );
+        assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+        assert!(reply.json.contains("\"area\":1234"), "{}", reply.json);
+        assert!(
+            reply.json.contains("\"initial_area\":2000"),
+            "{}",
+            reply.json
+        );
+        assert!(reply.json.contains("\"best_chain\":2"), "{}", reply.json);
+        assert!(
+            reply.json.contains("\"chain_areas\":[1300,1250,1234]"),
+            "{}",
+            reply.json
+        );
+        assert!(
+            reply.json.contains("\"expression\":\"a b + c *\""),
+            "{}",
+            reply.json
+        );
+        assert_eq!(state.anneal_requests(), 1);
+        // The stats reply and the exposition both carry the counter.
+        let stats = handle_line(r#"{"method": "stats"}"#, 2, &state, None);
+        assert!(
+            stats.json.contains("\"anneal_requests\":1"),
+            "{}",
+            stats.json
+        );
+        assert!(state
+            .render_prometheus()
+            .contains("fp_server_anneal_requests_total 1"));
+    }
+
+    #[test]
+    fn stats_reports_executor_gauges_and_method_latency() {
+        let exec = Executor::new(1);
+        let state = ServeState::new(1 << 20).with_executor(Arc::clone(&exec));
+        let _ = handle_line(r#"{"method": "ping"}"#, 1, &state, None);
+        let _ = handle_line(
+            r#"{"id": 1, "method": "optimize", "builtin": "fig1", "n": 2}"#,
+            2,
+            &state,
+            None,
+        );
+        let stats = handle_line(r#"{"method": "stats"}"#, 3, &state, None);
+        assert!(stats.json.contains("\"exec_threads\":1"), "{}", stats.json);
+        assert!(
+            stats.json.contains("\"exec_queue_depth\":0"),
+            "{}",
+            stats.json
+        );
+        assert!(stats.json.contains("\"exec_active\":"), "{}", stats.json);
+        // The latency digest counts the served methods per class.
+        assert!(
+            stats.json.contains("\"optimize\":{\"count\":1,\"p50_ms\":"),
+            "{}",
+            stats.json
+        );
+        assert!(
+            stats.json.contains("\"anneal\":{\"count\":0"),
+            "{}",
+            stats.json
+        );
+        let prom = state.render_prometheus();
+        assert!(prom.contains("fp_exec_threads 1"), "{prom}");
+        assert!(prom.contains("fp_exec_queue_depth 0"), "{prom}");
+        assert!(
+            prom.contains(
+                "fp_server_request_duration_seconds_bucket{method=\"optimize\",le=\"+Inf\"} 1"
+            ),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("fp_server_request_duration_seconds_count{method=\"control\"}"),
+            "{prom}"
+        );
+        exec.shutdown();
+    }
+
+    #[test]
+    fn leased_threads_never_change_the_echoed_config() {
+        // A 1-thread executor has no spare capacity to lease, so the
+        // run executes serially — but the reply still echoes the
+        // request-resolved thread count (byte-identical replies at any
+        // executor size/load).
+        let exec = Executor::new(1);
+        let leased = ServeState::new(1 << 20).with_executor(Arc::clone(&exec));
+        let bare = ServeState::new(1 << 20);
+        let line = r#"{"id": 1, "method": "optimize", "builtin": "fp1", "threads": 4}"#;
+        let with_exec = handle_line(line, 1, &leased, None);
+        let without = handle_line(line, 1, &bare, None);
+        assert_eq!(with_exec.status, STATUS_OK, "{}", with_exec.json);
+        // Identical echoed config and result fields in both replies
+        // (on small trees `auto_serial` resolves the echo to 1 in both
+        // states; either way it must not depend on the executor).
+        for key in [
+            "\"threads\":",
+            "\"auto_serial\":",
+            "\"area\":",
+            "\"width\":",
+            "\"height\":",
+        ] {
+            let field = |json: &str| {
+                let start = json.find(key).expect(key);
+                json[start..json[start..].find(',').map_or(json.len(), |c| start + c)].to_owned()
+            };
+            assert_eq!(field(&with_exec.json), field(&without.json), "{key}");
+        }
+        exec.shutdown();
     }
 }

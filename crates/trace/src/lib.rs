@@ -84,6 +84,31 @@ impl SolverKind {
     }
 }
 
+/// The class of a batch-executor job (`fp_optimizer::exec`): which
+/// subsystem submitted it. Labels the `job_start`/`job_done` events and
+/// the per-class Prometheus gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// A server request (one fpserved protocol line).
+    Serve,
+    /// One annealing chain of a multi-start run.
+    Anneal,
+    /// A session re-optimization.
+    Session,
+}
+
+impl JobClass {
+    /// Stable wire name (`serve` / `anneal` / `session`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobClass::Serve => "serve",
+            JobClass::Anneal => "anneal",
+            JobClass::Session => "session",
+        }
+    }
+}
+
 /// A named phase of the optimization pipeline (the profiler's tree
 /// nodes). `Run` is the root span and always equals the run's
 /// `RunStats::elapsed`, so profile totals reconcile with the engine's
@@ -265,6 +290,31 @@ pub enum TraceEvent {
         /// Wall time of the phase.
         dur_ns: u64,
     },
+    /// A queued executor job began running on a pool worker.
+    JobStart {
+        /// Executor-assigned job id (monotone per executor).
+        job: u32,
+        /// Which subsystem submitted the job.
+        class: JobClass,
+        /// Nanoseconds the job waited in the queue before starting.
+        queue_ns: u64,
+    },
+    /// An executor job finished (successfully or tripped — trips are
+    /// reported in the job's own reply, not here).
+    JobDone {
+        /// Executor-assigned job id.
+        job: u32,
+        /// Which subsystem submitted the job.
+        class: JobClass,
+        /// Nanoseconds the job spent executing.
+        dur_ns: u64,
+    },
+    /// A job was refused before ever executing (admission control,
+    /// connection cap, or a queue-deadline shed).
+    Shed {
+        /// Why (`queue_full`, `too_many_connections`, `queue_deadline`).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -288,6 +338,9 @@ impl TraceEvent {
             TraceEvent::HpwlEval { .. } => "hpwl_eval",
             TraceEvent::ParetoInsert { .. } => "pareto_insert",
             TraceEvent::Phase { .. } => "phase",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobDone { .. } => "job_done",
+            TraceEvent::Shed { .. } => "shed",
         }
     }
 
@@ -388,6 +441,27 @@ impl TraceEvent {
             }
             TraceEvent::Phase { name, dur_ns } => {
                 let _ = write!(out, r#","phase":"{}","dur_ns":{dur_ns}"#, name.as_str());
+            }
+            TraceEvent::JobStart {
+                job,
+                class,
+                queue_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","job":{job},"class":"{}","queue_ns":{queue_ns}"#,
+                    class.as_str()
+                );
+            }
+            TraceEvent::JobDone { job, class, dur_ns } => {
+                let _ = write!(
+                    out,
+                    r#","job":{job},"class":"{}","dur_ns":{dur_ns}"#,
+                    class.as_str()
+                );
+            }
+            TraceEvent::Shed { reason } => {
+                let _ = write!(out, r#","reason":"{reason}""#);
             }
         }
     }
@@ -640,6 +714,14 @@ impl Trace {
                         s.run_ns += dur_ns;
                     }
                 }
+                TraceEvent::JobStart { queue_ns, .. } => {
+                    s.job_queue_ns += queue_ns;
+                }
+                TraceEvent::JobDone { dur_ns, .. } => {
+                    s.jobs += 1;
+                    s.job_ns += dur_ns;
+                }
+                TraceEvent::Shed { .. } => s.jobs_shed += 1,
             }
         }
         s
@@ -695,6 +777,14 @@ pub struct TraceSummary {
     pub nets_touched: u64,
     /// Pareto-front insertions that survived dominance filtering.
     pub pareto_inserts: u64,
+    /// Executor jobs completed (`job_done` events).
+    pub jobs: u64,
+    /// Jobs refused before execution (`shed` events).
+    pub jobs_shed: u64,
+    /// Total nanoseconds jobs waited in the executor queue.
+    pub job_queue_ns: u64,
+    /// Total nanoseconds jobs spent executing.
+    pub job_ns: u64,
     /// Total nanoseconds inside join builds.
     pub join_ns: u64,
     /// Total nanoseconds inside selection solves.
@@ -707,7 +797,7 @@ impl TraceSummary {
     /// The counter fields by wire name, in stable order (drives both
     /// the JSON rendering and the Prometheus counter names).
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 22] {
+    pub fn fields(&self) -> [(&'static str, u64); 26] {
         [
             ("events", self.events),
             ("dropped", self.dropped),
@@ -728,6 +818,10 @@ impl TraceSummary {
             ("hpwl_evals", self.hpwl_evals),
             ("nets_touched", self.nets_touched),
             ("pareto_inserts", self.pareto_inserts),
+            ("jobs", self.jobs),
+            ("jobs_shed", self.jobs_shed),
+            ("job_queue_ns", self.job_queue_ns),
+            ("job_ns", self.job_ns),
             ("join_ns", self.join_ns),
             ("selection_ns", self.selection_ns),
             ("run_ns", self.run_ns),

@@ -106,6 +106,10 @@ impl MetricsRegistry {
         t.hpwl_evals += summary.hpwl_evals;
         t.nets_touched += summary.nets_touched;
         t.pareto_inserts += summary.pareto_inserts;
+        t.jobs += summary.jobs;
+        t.jobs_shed += summary.jobs_shed;
+        t.job_queue_ns += summary.job_queue_ns;
+        t.job_ns += summary.job_ns;
         t.join_ns += summary.join_ns;
         t.selection_ns += summary.selection_ns;
         t.run_ns += summary.run_ns;
@@ -167,6 +171,10 @@ impl MetricsRegistry {
             ("hpwl_evals", t.hpwl_evals),
             ("nets_touched", t.nets_touched),
             ("pareto_inserts", t.pareto_inserts),
+            ("jobs", t.jobs),
+            ("jobs_shed", t.jobs_shed),
+            ("job_queue_ns", t.job_queue_ns),
+            ("job_ns", t.job_ns),
             ("join_ns", t.join_ns),
             ("selection_ns", t.selection_ns),
             ("run_ns", t.run_ns),

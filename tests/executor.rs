@@ -1,0 +1,200 @@
+//! The executor determinism matrix: one batch of serve-protocol
+//! requests, executed as jobs on the shared executor, must produce
+//! byte-identical replies at any thread count — across
+//! {1, 2, 4} executor threads × {cached, uncached} × anneal-chains
+//! {1, 4}.
+//!
+//! This is the serving-layer face of the repo's core discipline: every
+//! parallel path (tree splits, anneal chains, concurrent requests) is
+//! a scheduling choice only, never a semantic one. Timing- and
+//! cache-occupancy-dependent diagnostics (`elapsed_ms`, `cache_hits`,
+//! `trace_summary`, ...) are scrubbed before comparison; everything
+//! else — areas, dimensions, fronts, hypervolumes, expressions, status
+//! codes, echoed configs — must not drift by a byte.
+
+use std::sync::Arc;
+
+use fp_optimizer::cache::SharedBlockCache;
+use fp_optimizer::serve::{execute, parse_request, ServeState};
+use fp_optimizer::{Executor, JobClass};
+
+/// The request batch: distinct instances per line (so cross-request
+/// cache traffic is incidental, not load-bearing), covering optimize,
+/// wirelength-weighted optimize, pareto, and anneal.
+fn request_lines(chains: usize) -> Vec<String> {
+    vec![
+        r#"{"id": 1, "method": "optimize", "builtin": "fp1", "n": 5}"#.to_owned(),
+        r#"{"id": 2, "method": "optimize", "builtin": "fp2", "n": 6, "seed": 3}"#.to_owned(),
+        r#"{"id": 3, "method": "optimize", "builtin": "fig1", "n": 3}"#.to_owned(),
+        r#"{"id": 4, "method": "optimize", "builtin": "fp1", "n": 5, "nets": 10, "net_seed": 7, "alpha": 0.5}"#.to_owned(),
+        r#"{"id": 5, "method": "pareto", "builtin": "fp1", "n": 4, "nets": 8, "net_seed": 2}"#.to_owned(),
+        format!(
+            r#"{{"id": 6, "method": "anneal", "builtin": "fp1", "chains": {chains}, "moves": 40, "anneal_seed": 11}}"#
+        ),
+        r#"{"id": 7, "method": "ping"}"#.to_owned(),
+    ]
+}
+
+/// Executes the whole batch as concurrent `JobClass::Serve` jobs on a
+/// `threads`-wide executor and returns the replies in request order.
+fn reply_batch(threads: usize, cached: bool, chains: usize) -> Vec<String> {
+    let cache_bytes = if cached { 4 << 20 } else { 0 };
+    let exec = Executor::new(threads);
+    let state = Arc::new(
+        // The real annealing backend, as the binaries wire it — its
+        // chains run nested on the same executor as the request, so the
+        // chains=4-on-1-thread cell of the matrix also pins that a
+        // nested batch cannot deadlock the pool.
+        ServeState::with_cache(SharedBlockCache::new(cache_bytes))
+            .with_executor(Arc::clone(&exec))
+            .with_anneal_backend(fp_anneal::serve_backend()),
+    );
+    let handles: Vec<_> = request_lines(chains)
+        .into_iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let state = Arc::clone(&state);
+            exec.submit(JobClass::Serve, move || {
+                let request = parse_request(&line).expect("batch lines are well-formed");
+                execute(&request, index as u64 + 1, &state, None).json
+            })
+        })
+        .collect();
+    let replies = handles.into_iter().map(|handle| handle.join()).collect();
+    exec.shutdown();
+    replies
+}
+
+/// Scrubs the named keys' values (numbers, strings, or whole nested
+/// objects/arrays) to `0`, leaving every other byte untouched.
+fn scrub(json: &str, keys: &[&str]) -> String {
+    let mut out = json.to_owned();
+    for key in keys {
+        let needle = format!("\"{key}\":");
+        let mut search = 0;
+        while let Some(found) = out[search..].find(&needle) {
+            let start = search + found + needle.len();
+            let end = value_end(&out, start);
+            out.replace_range(start..end, "0");
+            search = start + 1;
+        }
+    }
+    out
+}
+
+/// Index one past a JSON value starting at `start` (string-aware and
+/// brace-balanced for objects/arrays).
+fn value_end(s: &str, start: usize) -> usize {
+    let bytes = s.as_bytes();
+    match bytes[start] {
+        open @ (b'{' | b'[') => {
+            let close = if open == b'{' { b'}' } else { b']' };
+            let mut depth = 0usize;
+            let mut in_string = false;
+            let mut escaped = false;
+            for (i, &b) in bytes.iter().enumerate().skip(start) {
+                if in_string {
+                    if escaped {
+                        escaped = false;
+                    } else if b == b'\\' {
+                        escaped = true;
+                    } else if b == b'"' {
+                        in_string = false;
+                    }
+                } else if b == b'"' {
+                    in_string = true;
+                } else if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            s.len()
+        }
+        b'"' => {
+            let mut escaped = false;
+            for (i, &b) in bytes.iter().enumerate().skip(start + 1) {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    return i + 1;
+                }
+            }
+            s.len()
+        }
+        _ => bytes
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|&(_, &b)| b == b',' || b == b'}' || b == b']')
+            .map_or(s.len(), |(i, _)| i),
+    }
+}
+
+/// The diagnostics that legitimately vary with timing, scheduling, and
+/// cache occupancy. Everything outside this list is the deterministic
+/// contract.
+const VOLATILE: &[&str] = &[
+    "elapsed_ms",
+    "cache_hits",
+    "cache_misses",
+    "generated",
+    "peak_impls",
+    "trace_summary",
+];
+
+fn normalized_batch(threads: usize, cached: bool, chains: usize) -> Vec<String> {
+    reply_batch(threads, cached, chains)
+        .iter()
+        .map(|reply| scrub(reply, VOLATILE))
+        .collect()
+}
+
+#[test]
+fn replies_are_byte_identical_across_the_executor_matrix() {
+    for cached in [false, true] {
+        for chains in [1, 4] {
+            let baseline = normalized_batch(1, cached, chains);
+            // Sanity: the batch actually succeeded (a batch of all-error
+            // replies would also be "deterministic").
+            for reply in &baseline {
+                assert!(
+                    reply.contains("\"status\":0"),
+                    "cached={cached} chains={chains}: {reply}"
+                );
+            }
+            for threads in [2, 4] {
+                let replies = normalized_batch(threads, cached, chains);
+                assert_eq!(
+                    replies, baseline,
+                    "threads={threads} cached={cached} chains={chains}"
+                );
+            }
+        }
+    }
+}
+
+/// The cache is a pure memo: warm and cold servers answer with the
+/// same semantic payload (only the scrubbed diagnostics differ).
+#[test]
+fn cached_and_uncached_replies_agree_semantically() {
+    for chains in [1, 4] {
+        let cold = normalized_batch(2, false, chains);
+        let warm = normalized_batch(2, true, chains);
+        assert_eq!(cold, warm, "chains={chains}");
+    }
+}
+
+/// The scrubber itself: nested objects, strings with escapes, and
+/// repeated keys all reduce to `0` without disturbing neighbors.
+#[test]
+fn scrubber_handles_nested_and_repeated_values() {
+    let json = r#"{"a":1,"t":{"x":[1,2],"s":"b}r\"ace"},"b":"keep","t":7}"#;
+    assert_eq!(scrub(json, &["t"]), r#"{"a":1,"t":0,"b":"keep","t":0}"#);
+    assert_eq!(scrub(json, &["missing"]), json);
+}

@@ -1,0 +1,267 @@
+//! Regression tests for the `fpserved` poll(2) event loop: fragmented
+//! request lines across many poll cycles, interleaved partial lines on
+//! concurrent connections, many simultaneous peers on one loop thread,
+//! flood-then-drain, and HTTP probes coexisting with JSON peers.
+//!
+//! `tests/fpserved_smoke.rs` pins the protocol behaviors; this file
+//! pins the behaviors that only exist because the front end is a
+//! single multiplexing loop rather than a thread per connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn fpserved() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpserved"))
+}
+
+fn status_of(line: &str) -> u64 {
+    line.split("\"status\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no status in {line}"))
+}
+
+fn spawn_tcp_with(extra: &[&str]) -> (Child, String) {
+    let mut child = fpserved()
+        .args(["--tcp", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fpserved spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("announce line") > 0,
+            "stderr closed before the listen announcement"
+        );
+        if line.contains("listening on ") {
+            let addr = line
+                .rsplit("listening on ")
+                .next()
+                .expect("address")
+                .trim()
+                .to_owned();
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                let _ = stderr.read_to_string(&mut sink);
+            });
+            break addr;
+        }
+    };
+    (child, addr)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    stream
+}
+
+fn shutdown_and_wait(mut child: Child, addr: &str) {
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"{\"method\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    assert_eq!(child.wait().expect("exits").code(), Some(0), "clean drain");
+}
+
+/// A request dribbled in one byte at a time — dozens of poll cycles per
+/// line — must accumulate into one request, not be answered per
+/// fragment or dropped between cycles.
+#[test]
+fn byte_at_a_time_request_survives_many_poll_cycles() {
+    let (child, addr) = spawn_tcp_with(&[]);
+    let mut stream = connect(&addr);
+    let request = b"{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fig1\", \"n\": 2}\n";
+    for byte in request.iter() {
+        stream.write_all(&[*byte]).expect("byte written");
+        stream.flush().expect("byte flushed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    assert_eq!(status_of(&line), 0, "{line}");
+    assert!(line.contains("\"area\":"), "{line}");
+    assert!(line.contains("\"line\":1"), "one request, line 1: {line}");
+    shutdown_and_wait(child, &addr);
+}
+
+/// Two connections trickling fragments in lockstep: the loop must keep
+/// each connection's partial line in its own buffer — interleaving on
+/// the wire must never interleave the parsed requests.
+#[test]
+fn interleaved_fragments_stay_per_connection() {
+    let (child, addr) = spawn_tcp_with(&[]);
+    let mut a = connect(&addr);
+    let mut b = connect(&addr);
+    let req_a = b"{\"id\": 11, \"method\": \"ping\"}\n" as &[u8];
+    let req_b = b"{\"id\": 22, \"method\": \"ping\"}\n" as &[u8];
+    let steps = req_a.len().max(req_b.len());
+    for i in 0..steps {
+        if let Some(byte) = req_a.get(i) {
+            a.write_all(&[*byte]).expect("a byte");
+            a.flush().expect("a flush");
+        }
+        if let Some(byte) = req_b.get(i) {
+            b.write_all(&[*byte]).expect("b byte");
+            b.flush().expect("b flush");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for (stream, id) in [(&a, "11"), (&b, "22")] {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        assert_eq!(status_of(&line), 0, "{line}");
+        assert!(line.contains(&format!("\"id\":{id},")), "{line}");
+        assert!(line.contains("\"pong\":true"), "{line}");
+    }
+    shutdown_and_wait(child, &addr);
+}
+
+/// Twenty simultaneous peers on one loop thread: every connection is
+/// served, and each sees its own 1-based line numbering — the loop
+/// never mixes up per-connection state.
+#[test]
+fn twenty_concurrent_connections_multiplex_on_one_loop() {
+    let (child, addr) = spawn_tcp_with(&[]);
+    let mut streams: Vec<TcpStream> = (0..20).map(|_| connect(&addr)).collect();
+    for (i, stream) in streams.iter_mut().enumerate() {
+        stream
+            .write_all(format!("{{\"id\": {i}, \"method\": \"ping\"}}\n").as_bytes())
+            .expect("request written");
+    }
+    for (i, stream) in streams.iter().enumerate() {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        assert_eq!(status_of(&line), 0, "{line}");
+        assert!(line.contains(&format!("\"id\":{i},")), "{line}");
+        assert!(line.contains("\"line\":1"), "per-connection lines: {line}");
+    }
+    shutdown_and_wait(child, &addr);
+}
+
+/// A 30-deep pipelined flood against a 2-slot server: every request is
+/// answered exactly once (served or shed with status 7), the drain ack
+/// arrives, and the server exits 0 — no lost lines, no hang.
+#[test]
+fn pipelined_flood_answers_every_line_and_drains() {
+    let (mut child, addr) = spawn_tcp_with(&["--max-inflight", "2"]);
+    let mut stream = connect(&addr);
+    let mut requests = String::new();
+    for id in 1..=30 {
+        requests.push_str(&format!(
+            "{{\"id\": {id}, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 4, \"seed\": {id}}}\n"
+        ));
+    }
+    requests.push_str("{\"id\": 99, \"method\": \"shutdown\"}\n");
+    stream
+        .write_all(requests.as_bytes())
+        .expect("flood written");
+
+    let mut all = String::new();
+    BufReader::new(stream.try_clone().expect("clone"))
+        .read_to_string(&mut all)
+        .expect("drain to EOF");
+    let lines: Vec<&str> = all.lines().collect();
+    assert_eq!(lines.len(), 31, "every line answered once:\n{all}");
+    let served = lines
+        .iter()
+        .filter(|l| status_of(l) == 0 && l.contains("\"area\":"))
+        .count();
+    let shed = lines.iter().filter(|l| status_of(l) == 7).count();
+    assert_eq!(served + shed, 30, "optimizes served xor shed:\n{all}");
+    assert!(served >= 1, "at least the admitted requests complete");
+    assert!(all.contains("\"draining\":true"), "{all}");
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+}
+
+/// An HTTP `GET /metrics` probe is served while JSON peers are live on
+/// the same loop, and the exposition reports the executor gauges the
+/// event loop submits into.
+#[test]
+fn http_probe_coexists_with_json_peers_and_reports_executor() {
+    let (child, addr) = spawn_tcp_with(&[]);
+    let mut json_peer = connect(&addr);
+    json_peer
+        .write_all(b"{\"id\": 1, \"method\": \"optimize\", \"builtin\": \"fp1\", \"n\": 4}\n")
+        .expect("request written");
+
+    let mut probe = connect(&addr);
+    probe
+        .write_all(b"GET /metrics HTTP/1.1\r\n\r\n")
+        .expect("probe written");
+    let mut exposition = String::new();
+    BufReader::new(probe)
+        .read_to_string(&mut exposition)
+        .expect("exposition read");
+    assert!(exposition.starts_with("HTTP/1.1 200 OK"), "{exposition}");
+    assert!(exposition.contains("fp_exec_threads 2"), "{exposition}");
+    assert!(
+        exposition.contains("fp_exec_completed_total"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("fp_server_request_duration_seconds"),
+        "{exposition}"
+    );
+
+    // The JSON peer was not disturbed by the probe.
+    let mut reader = BufReader::new(json_peer.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    assert_eq!(status_of(&line), 0, "{line}");
+    shutdown_and_wait(child, &addr);
+}
+
+/// The `anneal` method end to end over the loop: chains fan out onto
+/// the same executor the request runs on, and the reply carries the
+/// multi-start diagnostics.
+#[test]
+fn anneal_request_runs_chains_on_the_shared_executor() {
+    let (child, addr) = spawn_tcp_with(&[]);
+    let mut stream = connect(&addr);
+    stream
+        .write_all(
+            b"{\"id\": 1, \"method\": \"anneal\", \"builtin\": \"fp1\", \"chains\": 3, \"moves\": 60}\n",
+        )
+        .expect("request written");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    assert_eq!(status_of(&line), 0, "{line}");
+    assert!(line.contains("\"chains\":3"), "{line}");
+    assert!(line.contains("\"chain_areas\":["), "{line}");
+    assert!(line.contains("\"best_chain\":"), "{line}");
+    assert!(line.contains("\"expression\":"), "{line}");
+
+    // Determinism across the wire: a repeat request answers with the
+    // same area and expression.
+    stream
+        .write_all(
+            b"{\"id\": 2, \"method\": \"anneal\", \"builtin\": \"fp1\", \"chains\": 3, \"moves\": 60}\n",
+        )
+        .expect("repeat written");
+    let mut repeat = String::new();
+    reader.read_line(&mut repeat).expect("repeat line");
+    let field = |l: &str, key: &str| {
+        l.split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .map(str::to_owned)
+            .unwrap_or_else(|| panic!("no {key} in {l}"))
+    };
+    assert_eq!(field(&line, "area"), field(&repeat, "area"));
+    assert_eq!(field(&line, "best_chain"), field(&repeat, "best_chain"));
+    shutdown_and_wait(child, &addr);
+}
