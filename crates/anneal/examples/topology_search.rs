@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = AnnealConfig {
             moves: 3_000,
             seed: 7,
-            random_start: true,
+            init: fp_anneal::InitTopology::Random,
             optimizer,
             ..Default::default()
         };
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &AnnealConfig {
             moves: 3_000,
             seed: 7,
-            random_start: true,
+            init: fp_anneal::InitTopology::Random,
             ..Default::default()
         },
     );

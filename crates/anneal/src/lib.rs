@@ -36,4 +36,4 @@ mod sa;
 pub use multi::{anneal_multi, chain_seed, serve_backend, MultiAnnealConfig, MultiAnnealResult};
 pub use polish::{Element, PolishExpression};
 pub use rewrite::{wheel_rewrite, RewriteResult};
-pub use sa::{anneal, anneal_cached, AnnealConfig, AnnealResult};
+pub use sa::{anneal, anneal_cached, AnnealConfig, AnnealResult, InitTopology};

@@ -89,6 +89,56 @@ impl PolishExpression {
         expr
     }
 
+    /// Converts a slicing [`FloorplanTree`] into its normalized Polish
+    /// form, left-folding any-arity slices into binary joins.
+    ///
+    /// Returns `None` when the tree cannot be expressed: it is empty,
+    /// contains a wheel node, reuses a module, or two same-direction
+    /// slices nest on a right spine (no normalized representative under
+    /// the plain fold). Trees built by [`fp_tree::ost`] always convert.
+    #[must_use]
+    pub fn from_slicing_tree(tree: &FloorplanTree) -> Option<Self> {
+        use fp_tree::NodeKind;
+        if tree.is_empty() {
+            return None;
+        }
+        enum Act {
+            Visit(usize),
+            Emit(Element),
+        }
+        let mut elements = Vec::new();
+        let mut stack = vec![Act::Visit(tree.root())];
+        while let Some(act) = stack.pop() {
+            match act {
+                Act::Emit(op) => elements.push(op),
+                Act::Visit(id) => {
+                    let node = tree.node(id)?;
+                    match &node.kind {
+                        NodeKind::Leaf(m) => elements.push(Element::Operand(*m)),
+                        NodeKind::Slice(dir) => {
+                            let op = match dir {
+                                CutDir::Horizontal => Element::H,
+                                CutDir::Vertical => Element::V,
+                            };
+                            // Postfix of the left fold: c1 c2 op c3 op …
+                            // (pushed in reverse so the stack pops it in
+                            // order).
+                            for (i, &c) in node.children.iter().enumerate().rev() {
+                                if i >= 1 {
+                                    stack.push(Act::Emit(op));
+                                }
+                                stack.push(Act::Visit(c));
+                            }
+                        }
+                        NodeKind::Wheel(_) => return None,
+                    }
+                }
+            }
+        }
+        let expr = PolishExpression { elements };
+        expr.is_valid().then_some(expr)
+    }
+
     /// The symbols in postfix order.
     #[must_use]
     pub fn elements(&self) -> &[Element] {
@@ -324,6 +374,44 @@ mod tests {
         assert_eq!(
             tree.to_string(),
             "hsplit\n  vsplit\n    leaf m0\n    leaf m1\n  leaf m2\n"
+        );
+    }
+
+    #[test]
+    fn from_slicing_tree_accepts_ost_topologies() {
+        let library = fp_tree::spread_library(10, 3, 7);
+        let tree = fp_tree::ost::ost_tree(&library);
+        let e = PolishExpression::from_slicing_tree(&tree).expect("OST trees convert");
+        assert!(e.is_valid());
+        assert_eq!(e.module_count(), 10);
+        // The binary fold denotes the same floorplan: realizing either
+        // tree under the same choices yields the same envelope (slice
+        // composition is associative).
+        use fp_tree::layout::{realize, Assignment};
+        let a = realize(&tree, &library, &Assignment::first_fit(10)).expect("realizes");
+        let b = realize(&e.to_tree(), &library, &Assignment::first_fit(10)).expect("realizes");
+        assert_eq!(a.envelope, b.envelope);
+    }
+
+    #[test]
+    fn from_slicing_tree_rejects_wheels_and_reuse() {
+        let mut t = FloorplanTree::new();
+        let ids: Vec<usize> = (0..5).map(|m| t.leaf(m)).collect();
+        t.wheel(
+            fp_tree::Chirality::Clockwise,
+            [ids[0], ids[1], ids[2], ids[3], ids[4]],
+        );
+        assert_eq!(PolishExpression::from_slicing_tree(&t), None);
+
+        let mut reuse = FloorplanTree::new();
+        let a = reuse.leaf(0);
+        let b = reuse.leaf(0); // same module twice
+        reuse.slice(CutDir::Vertical, vec![a, b]);
+        assert_eq!(PolishExpression::from_slicing_tree(&reuse), None);
+
+        assert_eq!(
+            PolishExpression::from_slicing_tree(&FloorplanTree::new()),
+            None
         );
     }
 

@@ -7,6 +7,38 @@ use fp_tree::{FloorplanTree, ModuleLibrary};
 
 use crate::PolishExpression;
 
+/// The annealer's starting topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitTopology {
+    /// All modules in one row (`PolishExpression::row`) — the
+    /// reproducible classic default.
+    #[default]
+    Row,
+    /// Orderly-spanning-tree grid seed ([`fp_tree::ost`]): modules ranked
+    /// by area and dealt into `⌈√(n−1)⌉` columns. Deterministic in the
+    /// library; usually starts far closer to square than the row.
+    Ost,
+    /// The row shuffled at infinite temperature — an unbiased (usually
+    /// bad) start for search experiments.
+    Random,
+}
+
+impl InitTopology {
+    /// Parses the CLI spelling (`row`, `ost`, `random`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending word back for anything else.
+    pub fn parse(word: &str) -> Result<Self, String> {
+        match word {
+            "row" => Ok(InitTopology::Row),
+            "ost" => Ok(InitTopology::Ost),
+            "random" => Ok(InitTopology::Random),
+            other => Err(format!("unknown init topology `{other}` (row|ost|random)")),
+        }
+    }
+}
+
 /// Annealer configuration.
 #[derive(Debug, Clone)]
 pub struct AnnealConfig {
@@ -17,8 +49,8 @@ pub struct AnnealConfig {
     /// Target probability of accepting an average uphill move at the
     /// start (the Wong–Liu probe: `T₀ = avg_uphill / ln(1/p)`).
     pub initial_accept_prob: f64,
-    /// Start from a random topology instead of the all-in-a-row heuristic.
-    pub random_start: bool,
+    /// The starting topology (row by default).
+    pub init: InitTopology,
     /// Geometric cooling applied every [`AnnealConfig::moves_per_step`].
     pub cooling: f64,
     /// Moves between cooling steps.
@@ -43,7 +75,7 @@ impl Default for AnnealConfig {
             moves: 2_000,
             seed: 1,
             initial_accept_prob: 0.8,
-            random_start: false,
+            init: InitTopology::Row,
             cooling: 0.9,
             moves_per_step: 50,
             optimizer: OptimizeConfig::default(),
@@ -67,7 +99,8 @@ pub struct AnnealResult {
     pub best_area: u128,
     /// The per-module implementation choices realizing it.
     pub assignment: Assignment,
-    /// Area of the initial (all-in-a-row) topology, for reference.
+    /// Area of the initial topology ([`AnnealConfig::init`]), for
+    /// reference.
     pub initial_area: u128,
     /// The best solution's total HPWL, when a netlist was attached.
     pub best_hpwl: Option<u128>,
@@ -151,10 +184,11 @@ pub fn anneal_cached(
         (out.area, hpwl, tree, out.assignment)
     };
 
-    let mut current = if config.random_start {
-        PolishExpression::random(n, &mut rng)
-    } else {
-        PolishExpression::row(n)
+    let mut current = match config.init {
+        InitTopology::Row => PolishExpression::row(n),
+        InitTopology::Ost => PolishExpression::from_slicing_tree(&fp_tree::ost::ost_tree(library))
+            .expect("OST topologies are slicing, module-unique, and normalized"),
+        InitTopology::Random => PolishExpression::random(n, &mut rng),
     };
     let (initial_area, initial_hpwl, tree, assignment) = evaluate(&current, wire);
     // Composite cost, normalized by the initial solution so alpha is
@@ -260,7 +294,7 @@ mod tests {
             &AnnealConfig {
                 moves: 800,
                 seed: 11,
-                random_start: true,
+                init: InitTopology::Random,
                 ..Default::default()
             },
         );
@@ -276,6 +310,44 @@ mod tests {
         assert_eq!(layout.validate(), None);
         assert!(result.expression.is_valid());
         assert!(result.accepted > 0 && result.accepted <= result.proposed);
+    }
+
+    #[test]
+    fn ost_start_is_deterministic_and_valid() {
+        let library = fp_tree::spread_library(10, 4, 3);
+        let cfg = AnnealConfig {
+            moves: 120,
+            seed: 5,
+            init: InitTopology::Ost,
+            ..Default::default()
+        };
+        let a = anneal(&library, &cfg);
+        let b = anneal(&library, &cfg);
+        assert_eq!(a.expression, b.expression);
+        assert_eq!(a.best_area, b.best_area);
+        assert!(a.best_area <= a.initial_area);
+        let layout = realize(&a.tree, &library, &a.assignment).expect("valid");
+        assert_eq!(layout.area(), a.best_area);
+        assert_eq!(layout.validate(), None);
+        // The grid seed is a different starting point than the row.
+        let row = anneal(
+            &library,
+            &AnnealConfig {
+                moves: 0,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let ost_only = anneal(&library, &AnnealConfig { moves: 0, ..cfg });
+        assert_ne!(ost_only.expression, row.expression);
+    }
+
+    #[test]
+    fn init_topology_parses_cli_spellings() {
+        assert_eq!(InitTopology::parse("row"), Ok(InitTopology::Row));
+        assert_eq!(InitTopology::parse("ost"), Ok(InitTopology::Ost));
+        assert_eq!(InitTopology::parse("random"), Ok(InitTopology::Random));
+        assert!(InitTopology::parse("grid").is_err());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Layout post-processing benchmark: throughput of the scanline
+//! polygonize / whitespace pass on a paper benchmark (FP4, optimized
+//! placement) and a mega-scale instance (FP5-10k, first-fit placement),
+//! emitted as machine-readable `BENCH_geom.json`.
+//!
+//! ```sh
+//! cargo run --release -p fp-bench --bin geom_bench
+//! cargo run --release -p fp-bench --bin geom_bench -- --out path.json
+//! cargo run --release -p fp-bench --bin geom_bench -- --smoke
+//! ```
+//!
+//! The timed phase is [`fp_tree::layout::Layout::polygonize`] alone —
+//! the scanline union into dead-space regions plus the merged block
+//! outlines — over an already-realized layout; how the layout was found
+//! is reported but not timed. Timings are the best of [`REPS`]
+//! repetitions (1 in `--smoke`), and every run re-checks the
+//! conservation invariant: whitespace total == envelope area − Σ block
+//! areas, exactly, in integer coordinates.
+//!
+//! `--smoke` runs the identical instance set and JSON schema with a
+//! single repetition, for CI schema validation.
+
+use std::time::Instant;
+
+use fp_optimizer::{OptimizeConfig, Optimizer};
+use fp_tree::layout::{realize, Assignment, Layout};
+use fp_tree::{generators, mega};
+
+/// Repetitions per instance; the minimum is kept.
+const REPS: usize = 5;
+
+struct Row {
+    name: String,
+    modules: usize,
+    blocks: usize,
+    placement: &'static str,
+    envelope_area: u128,
+    dead_space: u128,
+    regions: usize,
+    whitespace_total: u128,
+    whitespace_largest: u128,
+    outline_rings: usize,
+    pass_millis: f64,
+    blocks_per_sec: f64,
+}
+
+fn run_case(name: &str, placement: &'static str, layout: &Layout, reps: usize) -> Row {
+    let mut pass_millis = f64::INFINITY;
+    let mut poly = layout.polygonize();
+    for _ in 0..reps {
+        let start = Instant::now();
+        poly = layout.polygonize();
+        pass_millis = pass_millis.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let ws = &poly.whitespace;
+    assert_eq!(
+        ws.total,
+        layout.dead_space(),
+        "{name}: whitespace must equal envelope minus blocks, exactly"
+    );
+    Row {
+        name: name.to_owned(),
+        modules: layout.placed.len(),
+        blocks: layout.placed.len(),
+        placement,
+        envelope_area: layout.area(),
+        dead_space: layout.dead_space(),
+        regions: ws.count(),
+        whitespace_total: ws.total,
+        whitespace_largest: ws.largest(),
+        outline_rings: poly.outlines.len(),
+        pass_millis,
+        blocks_per_sec: layout.placed.len() as f64 / (pass_millis / 1e3).max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_geom.json".to_owned();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("geom_bench: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("geom_bench: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = fp_bench::host::cores();
+    let reps = if smoke { 1 } else { REPS };
+    let mut rows = Vec::new();
+
+    // FP4 under its optimal assignment: the dead-space distribution of
+    // a placement the paper's optimizer actually picks.
+    eprintln!("geom_bench: running FP4 (optimized placement) ...");
+    let fp4 = generators::fp4();
+    let lib4 = generators::module_library(&fp4.tree, 8, 7);
+    let outcome = Optimizer::new(&fp4.tree, &lib4)
+        .config(&OptimizeConfig::default())
+        .run_best()
+        .expect("FP4 solves");
+    let layout4 = realize(&fp4.tree, &lib4, &outcome.assignment).expect("FP4 realizes");
+    rows.push(run_case("FP4", "optimized", &layout4, reps));
+
+    // FP5-10k under a first-fit assignment: the pass is the subject,
+    // not the optimizer, so the mega instance skips the solve.
+    eprintln!("geom_bench: running FP5-10k (first-fit placement) ...");
+    let fp5 = mega::fp5();
+    let cfg5 = mega::fp5_config();
+    let lib5 = mega::mega_library(&fp5.tree, &cfg5);
+    let layout5 = realize(
+        &fp5.tree,
+        &lib5,
+        &Assignment::first_fit(fp5.tree.module_count()),
+    )
+    .expect("FP5-10k realizes");
+    rows.push(run_case("FP5-10k", "first_fit", &layout5, reps));
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"bench\": \"{}\", \"modules\": {}, \"blocks\": {}, \
+                 \"placement\": \"{}\",\n     \"envelope_area\": {}, \"dead_space\": {}, \
+                 \"whitespace_regions\": {}, \"whitespace_total\": {}, \
+                 \"whitespace_largest\": {}, \"outline_rings\": {},\n     \
+                 \"pass_millis\": {:.3}, \"blocks_per_sec\": {:.0}, \"conserved\": true}}",
+                r.name,
+                r.modules,
+                r.blocks,
+                r.placement,
+                r.envelope_area,
+                r.dead_space,
+                r.regions,
+                r.whitespace_total,
+                r.whitespace_largest,
+                r.outline_rings,
+                r.pass_millis,
+                r.blocks_per_sec,
+            )
+        })
+        .collect();
+
+    for r in &rows {
+        println!(
+            "{:>8}: {} blocks through the whitespace pass in {:>8.3} ms \
+             ({:>12.0} blocks/s) | {} region(s), total {} ({:.1}% of envelope), largest {}",
+            r.name,
+            r.blocks,
+            r.pass_millis,
+            r.blocks_per_sec,
+            r.regions,
+            r.whitespace_total,
+            100.0 * r.whitespace_total as f64 / r.envelope_area.max(1) as f64,
+            r.whitespace_largest,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"layout polygonize / whitespace pass\",\n  \
+         \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"cores\": {cores},\n  \
+         \"peak_rss_bytes\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        fp_bench::host::peak_rss_bytes(),
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("geom_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

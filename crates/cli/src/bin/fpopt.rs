@@ -86,6 +86,10 @@ annealing options (topology search):
   --anneal-seed <u64>
                      base seed; chain i > 0 derives its own independent
                      stream from it (default 1)
+  --init <topology>  starting topology for every chain: row (default,
+                     all modules in one horizontal strip), ost (the
+                     orderly-spanning-tree grid seed -- deterministic,
+                     near-square), or random (seeded)
 
 robustness options:
   --deadline <secs>  wall-clock deadline for the optimization
@@ -115,6 +119,9 @@ observability options:
                      (restructure / enumerate / selection / trace-back)
 
 output options:
+  --whitespace       polygonize the final layout and print the dead-space
+                     distribution (region count, total, largest) and the
+                     number of merged block outline rings
   --ascii            print the layout as ASCII art
   --svg <path>       write the layout as SVG
   --dot <path>       write the floorplan tree as Graphviz DOT
@@ -153,6 +160,8 @@ struct Args {
     anneal_chains: Option<usize>,
     anneal_moves: usize,
     anneal_seed: u64,
+    init: fp_anneal::InitTopology,
+    whitespace: bool,
     cache_bytes: Option<usize>,
     cache_file: Option<String>,
     session: Option<String>,
@@ -191,6 +200,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         anneal_chains: None,
         anneal_moves: 2000,
         anneal_seed: 1,
+        init: fp_anneal::InitTopology::default(),
+        whitespace: false,
         cache_bytes: None,
         cache_file: None,
         session: None,
@@ -320,6 +331,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--anneal-seed: {e}"))?;
             }
+            "--init" => {
+                args.init = fp_anneal::InitTopology::parse(&value("--init")?)
+                    .map_err(|e| format!("--init: {e}"))?;
+            }
             "--cache-bytes" => {
                 args.cache_bytes = Some(
                     value("--cache-bytes")?
@@ -340,6 +355,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 );
             }
+            "--whitespace" => args.whitespace = true,
             "--ascii" => args.ascii = true,
             "--svg" => args.svg = Some(value("--svg")?),
             "--dot" => args.dot = Some(value("--dot")?),
@@ -369,6 +385,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let wants_netlist = args.alpha.is_some() || args.max_hpwl.is_some() || args.pareto;
     if wants_netlist && args.netlist.is_none() && args.nets.is_none() {
         return Err("--alpha/--max-hpwl/--pareto need --netlist or --nets".to_owned());
+    }
+    if args.init != fp_anneal::InitTopology::default() && args.anneal_chains.is_none() {
+        return Err(
+            "--init selects the annealer's starting topology; it needs --anneal-chains".to_owned(),
+        );
     }
     if args.anneal_chains.is_some() && (args.pareto || args.max_hpwl.is_some()) {
         return Err("--anneal-chains searches topologies for one objective; it does not combine with --pareto or --max-hpwl".to_owned());
@@ -599,6 +620,21 @@ fn replay_session(path: &str, cache_bytes: Option<usize>, cache_file: Option<&st
     ExitCode::from(worst)
 }
 
+/// `--whitespace`: one-line dead-space distribution of the verified
+/// layout, from the scanline polygonizer.
+fn print_whitespace(layout: &fp_tree::layout::Layout) {
+    let poly = layout.polygonize();
+    let ws = &poly.whitespace;
+    println!(
+        "whitespace: {} region(s), total {} ({:.1}% of envelope), largest {}; {} outline ring(s)",
+        ws.count(),
+        ws.total,
+        100.0 * ws.total as f64 / layout.area().max(1) as f64,
+        ws.largest(),
+        poly.outlines.len()
+    );
+}
+
 /// `--anneal-chains`: multi-start Wong–Liu topology search with the
 /// configured area optimizer as the inner cost loop. Chains run as
 /// [`JobClass::Anneal`] jobs on a dedicated executor and share the
@@ -617,6 +653,7 @@ fn run_anneal(
         base: AnnealConfig {
             moves: args.anneal_moves,
             seed: args.anneal_seed,
+            init: args.init,
             optimizer: config,
             netlist,
             alpha,
@@ -625,9 +662,10 @@ fn run_anneal(
     };
     let exec = Executor::new(chains);
     println!(
-        "anneal: {chains} chain(s) x {} moves, seed {}, {} executor thread(s)",
+        "anneal: {chains} chain(s) x {} moves, seed {}, {:?} start, {} executor thread(s)",
         args.anneal_moves,
         args.anneal_seed,
+        args.init,
         exec.threads()
     );
     let result = anneal_multi(
@@ -676,6 +714,9 @@ fn run_anneal(
         layout.area(),
         100.0 * layout.dead_space() as f64 / layout.area().max(1) as f64
     );
+    if args.whitespace {
+        print_whitespace(&layout);
+    }
     if args.ascii {
         println!("\n{}", layout.to_ascii(72));
     }
@@ -982,6 +1023,9 @@ fn main() -> ExitCode {
         layout.area(),
         100.0 * layout.dead_space() as f64 / layout.area().max(1) as f64
     );
+    if args.whitespace {
+        print_whitespace(&layout);
+    }
     println!(
         "stats: peak {} implementations (generated {}), {} R-reductions, {} L-reductions, {:?}",
         outcome.stats.peak_impls,

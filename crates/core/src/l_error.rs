@@ -72,8 +72,19 @@ impl LErrorTable<fp_cspp::OrderedF64> {
 
 impl<W: fp_cspp::Weight> LErrorTable<W> {
     fn build(list: &LList, dist: impl Fn(fp_geom::LShape, fp_geom::LShape) -> W) -> Self {
-        let n = list.len();
-        let items = list.as_slice();
+        Self::from_items(list.as_slice(), |a, b| dist(*a, *b))
+    }
+
+    /// Runs the `O(n²)` crossover build over any monotone chain of items
+    /// — the staircase generalization. `items` must be an irreducible
+    /// chain under `dist`: along the slice every profile coordinate is
+    /// monotone, so distances are non-decreasing with list separation
+    /// (Lemma 2) — the property the crossover pointer sweep relies on.
+    /// For [`LList`] slices with the Manhattan metric this is exactly
+    /// [`LErrorTable::new_l1`].
+    #[must_use]
+    pub fn from_items<T>(items: &[T], dist: impl Fn(&T, &T) -> W) -> Self {
+        let n = items.len();
         let mut values = vec![W::ZERO; n.saturating_sub(1) * n / 2];
         if n < 3 {
             // Only adjacent (zero-cost) gaps exist.
@@ -87,7 +98,7 @@ impl<W: fp_cspp::Weight> LErrorTable<W> {
             let row = Self::offset_for(n, i);
             let mut acc = W::ZERO;
             for q in i + 1..n {
-                acc = acc + dist(items[i], items[q]);
+                acc = acc + dist(&items[i], &items[q]);
                 pre[row + (q - i - 1)] = acc;
             }
         }
@@ -100,11 +111,11 @@ impl<W: fp_cspp::Weight> LErrorTable<W> {
         for j in 2..n {
             sfx[j] = W::ZERO;
             for q in (1..j).rev() {
-                sfx[q] = sfx[q + 1] + dist(items[q], items[j]);
+                sfx[q] = sfx[q + 1] + dist(&items[q], &items[j]);
             }
             let mut m = j - 1;
             for i in (0..j - 1).rev() {
-                while m > i && dist(items[i], items[m]) > dist(items[m], items[j]) {
+                while m > i && dist(&items[i], &items[m]) > dist(&items[m], &items[j]) {
                     m -= 1;
                 }
                 let left = if m == i {

@@ -1,0 +1,345 @@
+//! `S_Selection`: optimal subset selection for irreducible staircase
+//! lists — the bounded-staircase generalization of `L_Selection`.
+//!
+//! Along an irreducible [`SList`] every profile coordinate is monotone,
+//! so the exact `L₁` profile distance is additive with list separation:
+//! Lemma 2 and Lemma 3 of the paper hold verbatim, the crossover
+//! error-table build ([`LErrorTable::from_items`]) stays `O(n²)`, and
+//! the flat CSPP kernel solves the same constrained-shortest-path DP —
+//! nothing in the selection machinery changes but the distance oracle.
+//! A two-tooth staircase list reproduces the L-shape path byte for byte
+//! (pinned by the equivalence tests).
+
+use fp_cspp::CsppScratch;
+use fp_shape::SList;
+
+use crate::l_select::solve_on_table;
+use crate::{LErrorTable, LSelection, SelectError};
+
+/// The result of `S_Selection`; same layout as `L_Selection`'s.
+pub type SSelection = LSelection<u128>;
+
+/// Optimally selects `k` implementations from an irreducible staircase
+/// list under the exact integer `L₁` profile metric.
+///
+/// If `k >= n` the list already fits: the identity selection is returned.
+///
+/// # Errors
+///
+/// * [`SelectError::EmptyList`] — the list is empty.
+/// * [`SelectError::KTooSmall`] — `k < 2` while the list has two or more
+///   implementations.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Staircase;
+/// use fp_shape::SList;
+/// use fp_select::s_selection;
+///
+/// let list = SList::from_sorted(vec![
+///     Staircase::new_canonical(vec![(12, 2), (9, 4), (5, 6)]),
+///     Staircase::new_canonical(vec![(11, 3), (8, 5), (5, 7)]),  // near its neighbours
+///     Staircase::new_canonical(vec![(8, 6), (6, 8), (4, 10)]),
+/// ]).expect("valid chain");
+/// let sel = s_selection(&list, 2)?;
+/// assert_eq!(sel.positions, vec![0, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn s_selection(list: &SList, k: usize) -> Result<SSelection, SelectError> {
+    s_selection_scratch(list, k, &mut CsppScratch::new())
+}
+
+/// [`s_selection`] through a caller-owned [`CsppScratch`] arena.
+///
+/// # Errors
+///
+/// Same as [`s_selection`].
+pub fn s_selection_scratch(
+    list: &SList,
+    k: usize,
+    scratch: &mut CsppScratch<u128>,
+) -> Result<SSelection, SelectError> {
+    let n = list.len();
+    if n == 0 {
+        return Err(SelectError::EmptyList);
+    }
+    if k < 2 && k < n {
+        return Err(SelectError::KTooSmall { k, n });
+    }
+    if k >= n {
+        return Ok(SSelection {
+            positions: (0..n).collect(),
+            error: 0,
+        });
+    }
+    let table = LErrorTable::from_items(list.as_slice(), |a, b| a.profile_dist_l1(b));
+    Ok(solve_on_table(&table, k, scratch))
+}
+
+/// Convenience: run [`s_selection`] and apply it, returning the reduced
+/// list together with the incurred error.
+///
+/// # Errors
+///
+/// Same as [`s_selection`].
+pub fn s_selection_apply(list: &SList, k: usize) -> Result<(SList, u128), SelectError> {
+    let sel = s_selection(list, k)?;
+    Ok((list.subset(&sel.positions), sel.error))
+}
+
+/// Evaluates `ERROR(S, S')` directly for a given endpoint-keeping
+/// selection, in `O(n)` per gap — each discarded implementation costs its
+/// `L₁` profile distance to the nearer kept neighbour (Lemma 3).
+///
+/// # Panics
+///
+/// Panics if `positions` is empty for a non-empty list, not strictly
+/// increasing, out of range, or missing either endpoint.
+#[must_use]
+pub fn s_selection_error(list: &SList, positions: &[usize]) -> u128 {
+    if list.is_empty() {
+        assert!(positions.is_empty(), "positions for an empty list");
+        return 0;
+    }
+    assert!(!positions.is_empty(), "selection must be non-empty");
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must be strictly increasing"
+    );
+    assert_eq!(
+        positions[0], 0,
+        "selection must keep the first implementation"
+    );
+    assert_eq!(
+        *positions.last().expect("non-empty"),
+        list.len() - 1,
+        "selection must keep the last implementation"
+    );
+    let mut total = 0u128;
+    for win in positions.windows(2) {
+        let (i, j) = (win[0], win[1]);
+        for q in i + 1..j {
+            total += list[i]
+                .profile_dist_l1(&list[q])
+                .min(list[q].profile_dist_l1(&list[j]));
+        }
+    }
+    total
+}
+
+/// Reduces a slice of irreducible staircase lists to a total budget of
+/// `k2` implementations, apportioning the budget across lists by largest
+/// remainder (exactly the scheme [`crate::reduce_llist_set`] uses): a
+/// list with budget 0 is dropped, budget 1 keeps its endpoint-free
+/// 1-median, larger budgets run the optimal [`s_selection`]. Returns the
+/// kept positions per list, or `None` when the set already fits.
+#[must_use]
+pub fn reduce_slists(lists: &[SList], k2: usize) -> Option<Vec<Vec<usize>>> {
+    let total: usize = lists.iter().map(SList::len).sum();
+    if total <= k2 {
+        return None;
+    }
+    let mut budgets: Vec<usize> = lists.iter().map(|l| k2 * l.len() / total).collect();
+    let assigned: usize = budgets.iter().sum();
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|&i| core::cmp::Reverse(k2 * lists[i].len() % total));
+    for &i in order.iter().take(k2.saturating_sub(assigned)) {
+        budgets[i] += 1;
+    }
+    let mut scratch = CsppScratch::new();
+    Some(
+        lists
+            .iter()
+            .zip(&budgets)
+            .map(|(list, &budget)| {
+                let n = list.len();
+                match budget.min(n) {
+                    0 => Vec::new(),
+                    1 => vec![s_medoid(list)],
+                    b if b >= n => (0..n).collect(),
+                    b => {
+                        s_selection_scratch(list, b, &mut scratch)
+                            .expect("k >= 2 and list non-empty")
+                            .positions
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The 1-median of a staircase list under the `L₁` profile metric.
+fn s_medoid(list: &SList) -> usize {
+    let n = list.len();
+    let cost = |j: usize| -> u128 { (0..n).map(|i| list[i].profile_dist_l1(&list[j])).sum() };
+    (0..n)
+        .min_by_key(|&j| cost(j))
+        .expect("medoid of a non-empty list")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{l_selection, Metric};
+    use fp_geom::{LShape, Staircase};
+    use fp_shape::LList;
+    use proptest::prelude::*;
+
+    fn chain(n: u64) -> SList {
+        SList::from_sorted(
+            (0..n)
+                .map(|i| {
+                    Staircase::new_canonical(vec![
+                        (100 - 3 * i, 10 + 2 * i),
+                        (60 - 2 * i, 30 + 2 * i),
+                        (30 - i, 50 + 3 * i),
+                    ])
+                })
+                .collect(),
+        )
+        .expect("valid chain")
+    }
+
+    #[test]
+    fn identity_when_k_large_enough() {
+        let list = chain(4);
+        let sel = s_selection(&list, 9).expect("identity");
+        assert_eq!(sel.positions, vec![0, 1, 2, 3]);
+        assert_eq!(sel.error, 0);
+    }
+
+    #[test]
+    fn endpoints_always_kept_and_error_matches_direct_eval() {
+        let list = chain(8);
+        for k in 2..8 {
+            let sel = s_selection(&list, k).expect("selection");
+            assert_eq!(sel.positions.len(), k);
+            assert_eq!(sel.positions[0], 0);
+            assert_eq!(*sel.positions.last().expect("non-empty"), 7);
+            assert_eq!(sel.error, s_selection_error(&list, &sel.positions));
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(s_selection(&SList::new(), 2), Err(SelectError::EmptyList));
+        assert_eq!(
+            s_selection(&chain(4), 1),
+            Err(SelectError::KTooSmall { k: 1, n: 4 })
+        );
+    }
+
+    /// The tentpole byte-identity pin: a staircase list with one step
+    /// (two teeth) must reproduce the L-shape path exactly — same
+    /// positions, same error, for every k.
+    #[test]
+    fn two_teeth_reproduces_l_selection_byte_identically() {
+        let lshapes: Vec<LShape> = (0..9)
+            .map(|i| LShape::new_canonical(100 - 3 * i, 7, 10 + 2 * i, 5 + i))
+            .collect();
+        let llist = LList::from_sorted(lshapes.clone()).expect("valid chain");
+        let slist =
+            SList::from_sorted(lshapes.iter().map(|&l| Staircase::from_lshape(l)).collect())
+                .expect("valid chain");
+        for k in 2..=9 {
+            let l_sel = l_selection(&llist, k).expect("selection");
+            let s_sel = s_selection(&slist, k).expect("selection");
+            assert_eq!(l_sel.positions, s_sel.positions, "k = {k}");
+            assert_eq!(l_sel.error, s_sel.error, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn reduce_slists_apportions_exactly() {
+        let lists = [chain(10), chain(6), chain(4)];
+        let kept = reduce_slists(&lists, 11).expect("overflow");
+        let total: usize = kept.iter().map(Vec::len).sum();
+        assert_eq!(total, 11);
+        // No reduction when the set already fits.
+        assert!(reduce_slists(&lists, 20).is_none());
+        for (list, positions) in lists.iter().zip(&kept) {
+            if positions.len() >= 2 {
+                assert!(SList::from_sorted(list.subset(positions).into_vec()).is_ok());
+            }
+        }
+    }
+
+    fn arb_chain() -> impl Strategy<Value = SList> {
+        proptest::collection::vec((1u64..5, 1u64..4), 1..10).prop_map(|steps| {
+            let mut items = Vec::new();
+            let (mut w1, mut w2, mut w3) = (200u64, 150u64, 100u64);
+            let (mut h1, mut h2, mut h3) = (5u64, 20u64, 40u64);
+            items.push(Staircase::new_canonical(vec![(w1, h1), (w2, h2), (w3, h3)]));
+            for (dw, dh) in steps {
+                w1 -= dw;
+                w2 -= dw.min(w2 - w3 - 1).max(1);
+                w3 -= 1;
+                h1 += dh;
+                h2 += dh;
+                h3 += dh.max(1);
+                items.push(Staircase::new_canonical(vec![(w1, h1), (w2, h2), (w3, h3)]));
+            }
+            SList::from_sorted(items).expect("constructed chain is valid")
+        })
+    }
+
+    /// Exhaustive optimum over all endpoint-keeping subsets.
+    fn brute_force(list: &SList, k: usize) -> u128 {
+        let n = list.len();
+        let mid: Vec<usize> = (1..n - 1).collect();
+        let mut best = u128::MAX;
+        for mask in 0u32..(1 << mid.len()) {
+            if mask.count_ones() as usize != k - 2 {
+                continue;
+            }
+            let mut pos = vec![0];
+            pos.extend(
+                mid.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p),
+            );
+            pos.push(n - 1);
+            best = best.min(s_selection_error(list, &pos));
+        }
+        best
+    }
+
+    proptest! {
+        /// The CSPP reduction is optimal on staircase chains too.
+        #[test]
+        fn optimal_vs_brute_force(list in arb_chain(), k_seed in 0usize..10) {
+            prop_assume!(list.len() >= 2);
+            let k = 2 + k_seed % (list.len() - 1);
+            let sel = s_selection(&list, k).expect("selection");
+            if k < list.len() {
+                prop_assert_eq!(sel.positions.len(), k);
+                prop_assert_eq!(sel.error, brute_force(&list, k));
+            }
+        }
+
+        /// Distances are additive along the chain (the Lemma 2 analogue
+        /// the crossover build relies on).
+        #[test]
+        fn profile_distance_is_additive(list in arb_chain()) {
+            let n = list.len();
+            for i in 0..n {
+                for j in i..n {
+                    for q in i..=j {
+                        prop_assert_eq!(
+                            list[i].profile_dist_l1(&list[j]),
+                            list[i].profile_dist_l1(&list[q])
+                                + list[q].profile_dist_l1(&list[j]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_module_still_reexported() {
+        // Guard that the generalized table did not change the L path.
+        let _ = Metric::L1;
+    }
+}

@@ -188,6 +188,23 @@ impl<W> CsppScratch<W> {
         CsppScratch::default()
     }
 
+    /// An arena pre-sized for an `n`-vertex, `k`-layer selection solve
+    /// ([`solve_selection`]): the rolling distance rows hold `n` entries
+    /// and the layer-major predecessor table `(k - 2)·n`. Useful when
+    /// the caller knows the largest solve it will route through the
+    /// arena (e.g. staircase-list reduction over a fixed library) and
+    /// wants the steady state from the first call.
+    #[must_use]
+    pub fn with_capacity(n: usize, k: usize) -> Self {
+        CsppScratch {
+            dist_prev: Vec::with_capacity(n),
+            dist_cur: Vec::with_capacity(n),
+            pred: Vec::with_capacity(k.saturating_sub(2) * n),
+            path: Vec::with_capacity(k),
+            ..CsppScratch::default()
+        }
+    }
+
     /// The vertex sequence found by the most recent successful solve
     /// through this arena (empty before the first solve).
     #[inline]

@@ -11,8 +11,16 @@
 //!   block carries the orientation).
 //! * [`Transform`] — axis mirrors and transposition acting on shapes and
 //!   orientations.
+//! * [`Staircase`] — a bounded monotone *staircase block*: the rectilinear
+//!   generalization of rectangles (one tooth) and L-shapes (two teeth), with
+//!   at most [`MAX_STAIRCASE_STEPS`] notch steps.
+//! * [`Shape`] / [`AnyShape`] — the sealed common API over the three
+//!   geometries, with [`Staircase`] as the canonical embedding.
 //! * Placed geometry ([`Point`], [`PlacedRect`]) used to realize and verify
 //!   final layouts.
+//! * Layout post-processing ([`polygonize`], [`whitespace`]) — scanline
+//!   union of a realized placement into dead-space regions
+//!   ([`WhitespaceReport`]) and merged block outline rings.
 //!
 //! All coordinates are non-negative integers ([`Coord`] = `u64`), i.e. a
 //! fixed-point grid (e.g. nanometres or lambda units). Areas use [`Area`] =
@@ -37,12 +45,18 @@
 
 mod lshape;
 mod placed;
+mod polygonize;
 mod rect;
+mod shape_api;
+mod staircase;
 mod transform;
 
 pub use lshape::{InvalidShapeError, LOrient, LShape};
 pub use placed::{dead_space, first_overlap, total_area, BoundingBox, PlacedRect, Point};
+pub use polygonize::{polygonize, whitespace, DeadRegion, Polygonized, WhitespaceReport};
 pub use rect::Rect;
+pub use shape_api::{AnyShape, Shape};
+pub use staircase::{InvalidStaircaseError, Staircase, MAX_STAIRCASE_STEPS};
 pub use transform::Transform;
 
 /// Grid coordinate / length type. All module and block dimensions are

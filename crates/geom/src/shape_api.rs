@@ -1,0 +1,331 @@
+//! The sealed [`Shape`] API: one vocabulary over every block geometry.
+//!
+//! The DAC'92 machinery grew up speaking [`Rect`] and [`LShape`]
+//! concretely; the staircase generalization makes a third concrete
+//! geometry. [`Shape`] is the redesigned common surface: the geometric
+//! queries every implementation kind answers, with [`Staircase`] as the
+//! unifying canonical embedding ([`Shape::to_staircase`]). The trait is
+//! **sealed** — the selection and pruning kernels are written against
+//! exactly these three representations (their tuple layouts are what the
+//! SoA kernels vectorize over), so downstream crates cannot add
+//! implementors the kernels would silently mishandle.
+
+use crate::{Area, Coord, LShape, Rect, Staircase};
+
+mod sealed {
+    /// The sealing trait: only geometry types defined in `fp-geom` may
+    /// implement [`super::Shape`].
+    pub trait Sealed {}
+
+    impl Sealed for crate::Rect {}
+    impl Sealed for crate::LShape {}
+    impl Sealed for crate::Staircase {}
+    impl Sealed for super::AnyShape {}
+}
+
+/// Geometric queries common to every block implementation kind.
+///
+/// Sealed: implemented by [`Rect`], [`LShape`], [`Staircase`], and the
+/// [`AnyShape`] sum — nothing else. All three concrete geometries embed
+/// canonically into [`Staircase`] (a rectangle is one tooth, an L two),
+/// and for regions expressible in a smaller representation the queries
+/// agree exactly — pinned by the equivalence tests.
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::{LShape, Rect, Shape, Staircase};
+///
+/// let r = Rect::new(10, 8);
+/// let l = LShape::new(10, 4, 8, 3)?;
+/// assert_eq!(r.bounding_box(), l.bounding_box());
+/// assert_eq!(l.to_staircase().area(), l.area());
+/// assert!(Staircase::from_rect(r).dominates(&l.to_staircase()));
+/// # Ok::<(), fp_geom::InvalidShapeError>(())
+/// ```
+pub trait Shape: sealed::Sealed {
+    /// The enclosed area.
+    fn area(&self) -> Area;
+
+    /// The smallest rectangle containing the canonical region.
+    fn bounding_box(&self) -> Rect;
+
+    /// The boundary perimeter. For every monotone rectilinear shape this
+    /// equals the bounding-box perimeter.
+    fn perimeter(&self) -> Area;
+
+    /// The boundary polygon, counterclockwise from the origin.
+    fn outline(&self) -> Vec<(Coord, Coord)>;
+
+    /// Whether the canonical region contains `(x, y)`, boundary inclusive.
+    fn contains_point(&self, x: Coord, y: Coord) -> bool;
+
+    /// The canonical staircase embedding of the region.
+    fn to_staircase(&self) -> Staircase;
+}
+
+impl Shape for Rect {
+    #[inline]
+    fn area(&self) -> Area {
+        Rect::area(*self)
+    }
+
+    #[inline]
+    fn bounding_box(&self) -> Rect {
+        *self
+    }
+
+    #[inline]
+    fn perimeter(&self) -> Area {
+        2 * self.half_perimeter()
+    }
+
+    fn outline(&self) -> Vec<(Coord, Coord)> {
+        vec![(0, 0), (self.w, 0), (self.w, self.h), (0, self.h)]
+    }
+
+    #[inline]
+    fn contains_point(&self, x: Coord, y: Coord) -> bool {
+        x <= self.w && y <= self.h
+    }
+
+    #[inline]
+    fn to_staircase(&self) -> Staircase {
+        Staircase::from_rect(*self)
+    }
+}
+
+impl Shape for LShape {
+    #[inline]
+    fn area(&self) -> Area {
+        LShape::area(*self)
+    }
+
+    #[inline]
+    fn bounding_box(&self) -> Rect {
+        LShape::bounding_box(*self)
+    }
+
+    #[inline]
+    fn perimeter(&self) -> Area {
+        LShape::perimeter(*self)
+    }
+
+    fn outline(&self) -> Vec<(Coord, Coord)> {
+        LShape::outline(*self)
+    }
+
+    #[inline]
+    fn contains_point(&self, x: Coord, y: Coord) -> bool {
+        LShape::contains_point(*self, x, y)
+    }
+
+    #[inline]
+    fn to_staircase(&self) -> Staircase {
+        Staircase::from_lshape(*self)
+    }
+}
+
+impl Shape for Staircase {
+    #[inline]
+    fn area(&self) -> Area {
+        Staircase::area(self)
+    }
+
+    #[inline]
+    fn bounding_box(&self) -> Rect {
+        Staircase::bounding_box(self)
+    }
+
+    #[inline]
+    fn perimeter(&self) -> Area {
+        Staircase::perimeter(self)
+    }
+
+    fn outline(&self) -> Vec<(Coord, Coord)> {
+        Staircase::outline(self)
+    }
+
+    #[inline]
+    fn contains_point(&self, x: Coord, y: Coord) -> bool {
+        Staircase::contains_point(self, x, y)
+    }
+
+    #[inline]
+    fn to_staircase(&self) -> Staircase {
+        self.clone()
+    }
+}
+
+/// A block implementation of any of the three geometries, normalized to
+/// the smallest representation that expresses its region: a 1-tooth
+/// staircase is stored as a [`Rect`], a 2-tooth one as an [`LShape`].
+///
+/// This is the type mixed-geometry containers (module libraries with
+/// staircase implementations, layout export) carry; the invariant means
+/// pure-rect/L content never silently migrates into the staircase
+/// representation — the byte-identity guarantee the selection path
+/// relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AnyShape {
+    /// A rectangular implementation.
+    Rect(Rect),
+    /// An L-shaped implementation (non-degenerate).
+    L(LShape),
+    /// A staircase implementation with 2 or more steps.
+    Staircase(Staircase),
+}
+
+impl AnyShape {
+    /// Normalizes a staircase into the smallest representation.
+    #[must_use]
+    pub fn from_staircase(s: Staircase) -> AnyShape {
+        match s.teeth() {
+            1 => AnyShape::Rect(s.as_rect().expect("one tooth")),
+            2 => AnyShape::L(s.as_lshape().expect("two teeth")),
+            _ => AnyShape::Staircase(s),
+        }
+    }
+
+    /// The number of notch steps (0 for rectangles, 1 for L-shapes).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        match self {
+            AnyShape::Rect(_) => 0,
+            AnyShape::L(_) => 1,
+            AnyShape::Staircase(s) => s.steps(),
+        }
+    }
+}
+
+impl From<Rect> for AnyShape {
+    #[inline]
+    fn from(r: Rect) -> Self {
+        AnyShape::Rect(r)
+    }
+}
+
+impl From<LShape> for AnyShape {
+    fn from(l: LShape) -> Self {
+        match l.as_rect() {
+            Some(r) => AnyShape::Rect(r),
+            None => AnyShape::L(l),
+        }
+    }
+}
+
+impl From<Staircase> for AnyShape {
+    #[inline]
+    fn from(s: Staircase) -> Self {
+        AnyShape::from_staircase(s)
+    }
+}
+
+impl Shape for AnyShape {
+    fn area(&self) -> Area {
+        match self {
+            AnyShape::Rect(r) => Shape::area(r),
+            AnyShape::L(l) => Shape::area(l),
+            AnyShape::Staircase(s) => Shape::area(s),
+        }
+    }
+
+    fn bounding_box(&self) -> Rect {
+        match self {
+            AnyShape::Rect(r) => Shape::bounding_box(r),
+            AnyShape::L(l) => Shape::bounding_box(l),
+            AnyShape::Staircase(s) => Shape::bounding_box(s),
+        }
+    }
+
+    fn perimeter(&self) -> Area {
+        match self {
+            AnyShape::Rect(r) => Shape::perimeter(r),
+            AnyShape::L(l) => Shape::perimeter(l),
+            AnyShape::Staircase(s) => Shape::perimeter(s),
+        }
+    }
+
+    fn outline(&self) -> Vec<(Coord, Coord)> {
+        match self {
+            AnyShape::Rect(r) => Shape::outline(r),
+            AnyShape::L(l) => Shape::outline(l),
+            AnyShape::Staircase(s) => Shape::outline(s),
+        }
+    }
+
+    fn contains_point(&self, x: Coord, y: Coord) -> bool {
+        match self {
+            AnyShape::Rect(r) => Shape::contains_point(r, x, y),
+            AnyShape::L(l) => Shape::contains_point(l, x, y),
+            AnyShape::Staircase(s) => Shape::contains_point(s, x, y),
+        }
+    }
+
+    fn to_staircase(&self) -> Staircase {
+        match self {
+            AnyShape::Rect(r) => Shape::to_staircase(r),
+            AnyShape::L(l) => Shape::to_staircase(l),
+            AnyShape::Staircase(s) => s.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_agree_on_shared_regions() {
+        let r = Rect::new(9, 4);
+        let l = LShape::new_canonical(10, 4, 8, 3);
+        for shape in [AnyShape::from(r), AnyShape::from(l)] {
+            let s = shape.to_staircase();
+            assert_eq!(Shape::area(&shape), Shape::area(&s));
+            assert_eq!(Shape::bounding_box(&shape), Shape::bounding_box(&s));
+            assert_eq!(Shape::perimeter(&shape), Shape::perimeter(&s));
+            assert_eq!(Shape::outline(&shape), Shape::outline(&s));
+            for x in 0..12 {
+                for y in 0..10 {
+                    assert_eq!(
+                        Shape::contains_point(&shape, x, y),
+                        Shape::contains_point(&s, x, y),
+                        "({x}, {y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_shape_normalizes_small_staircases() {
+        let rect_stair = Staircase::from_rect(Rect::new(5, 5));
+        assert_eq!(
+            AnyShape::from_staircase(rect_stair),
+            AnyShape::Rect(Rect::new(5, 5))
+        );
+        let l_stair = Staircase::from_lshape(LShape::new_canonical(10, 4, 8, 3));
+        assert_eq!(
+            AnyShape::from_staircase(l_stair),
+            AnyShape::L(LShape::new_canonical(10, 4, 8, 3))
+        );
+        let deep = Staircase::new_canonical(vec![(10, 2), (7, 5), (3, 9)]);
+        assert_eq!(
+            AnyShape::from_staircase(deep.clone()),
+            AnyShape::Staircase(deep)
+        );
+        // Degenerate L-shapes normalize to rectangles too.
+        assert_eq!(
+            AnyShape::from(LShape::new_canonical(6, 6, 5, 2)),
+            AnyShape::Rect(Rect::new(6, 5))
+        );
+    }
+
+    #[test]
+    fn rect_outline_is_counterclockwise_square() {
+        let r = Rect::new(3, 2);
+        assert_eq!(Shape::outline(&r), vec![(0, 0), (3, 0), (3, 2), (0, 2)]);
+        assert_eq!(Shape::perimeter(&r), 10);
+    }
+}

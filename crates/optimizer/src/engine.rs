@@ -748,12 +748,14 @@ static EMPTY_RLIST: RList = RList::new();
 ///
 /// ```
 /// use fp_geom::Rect;
-/// use fp_optimizer::{optimize_frontier, Objective, OptimizeConfig};
+/// use fp_optimizer::{Objective, OptimizeConfig, Optimizer};
 /// use fp_tree::generators;
 ///
 /// let bench = generators::fig1();
 /// let lib = generators::module_library(&bench.tree, 4, 2);
-/// let frontier = optimize_frontier(&bench.tree, &lib, &OptimizeConfig::default())?;
+/// let frontier = Optimizer::new(&bench.tree, &lib)
+///     .config(&OptimizeConfig::default())
+///     .run_frontier()?;
 /// let free = frontier.best(Objective::MinArea, None)?;
 /// // Any envelope on the frontier traces back to a concrete assignment.
 /// for i in 0..frontier.envelopes().len() {
@@ -997,46 +999,6 @@ impl<'a> Optimizer<'a> {
         let rescued = !outcome.stats.degradations.is_empty();
         Ok(RunOutcome { outcome, rescued })
     }
-}
-
-/// Runs the bottom-up enumeration and returns the whole solution
-/// [`Frontier`] instead of a single outcome.
-///
-/// # Errors
-///
-/// Same as [`optimize`], except outline infeasibility (which is deferred
-/// to [`Frontier::best`]).
-#[deprecated(
-    note = "use the unified facade: `Optimizer::new(tree, library).config(config).run_frontier()`"
-)]
-pub fn optimize_frontier(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-) -> Result<Frontier, OptError> {
-    Optimizer::new(tree, library).config(config).run_frontier()
-}
-
-/// Like [`optimize_frontier`], but with a content-addressed
-/// [`BlockCache`] consulted before — and populated after — every join
-/// block build; see [`Optimizer::cache`].
-///
-/// # Errors
-///
-/// Same as [`optimize_frontier`].
-#[deprecated(
-    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run_frontier()`"
-)]
-pub fn optimize_frontier_cached(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-    cache: &(dyn BlockCache + Sync),
-) -> Result<Frontier, OptError> {
-    Optimizer::new(tree, library)
-        .config(config)
-        .cache(cache)
-        .run_frontier()
 }
 
 fn optimize_frontier_impl(
@@ -1331,87 +1293,6 @@ pub(crate) fn serial_frontier(
         slot_of,
         leaves: leaves.len(),
     })
-}
-
-/// Runs the floorplan area optimizer.
-///
-/// Returns the best implementation of the whole floorplan under the
-/// configured objective and outline (exact when no selection policy is
-/// configured; near-optimal under selection) together with a realizable
-/// per-module assignment and run statistics. Use [`Optimizer::run_frontier`]
-/// to query several objectives/outlines from one enumeration.
-///
-/// # Errors
-///
-/// See [`OptError`]; in particular [`OptError::OutOfMemory`] reproduces
-/// the paper's memory-exhaustion failures deterministically.
-#[deprecated(
-    note = "use the unified facade: `Optimizer::new(tree, library).config(config).run_best()`"
-)]
-pub fn optimize(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-) -> Result<Outcome, OptError> {
-    Optimizer::new(tree, library).config(config).run_best()
-}
-
-/// Like [`optimize`], but wraps the result in a [`RunOutcome`] carrying
-/// the fault-tolerance report (whether the rescue ladder fired, and the
-/// full degradation log in `outcome.stats.degradations`).
-///
-/// # Errors
-///
-/// Same as [`optimize`].
-#[deprecated(note = "use the unified facade: `Optimizer::new(tree, library).config(config).run()`")]
-pub fn optimize_report(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-) -> Result<RunOutcome, OptError> {
-    Optimizer::new(tree, library).config(config).run()
-}
-
-/// Like [`optimize`], but consulting (and populating) a content-addressed
-/// [`BlockCache`]; see [`Optimizer::cache`].
-///
-/// # Errors
-///
-/// Same as [`optimize`].
-#[deprecated(
-    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run_best()`"
-)]
-pub fn optimize_cached(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-    cache: &(dyn BlockCache + Sync),
-) -> Result<Outcome, OptError> {
-    Optimizer::new(tree, library)
-        .config(config)
-        .cache(cache)
-        .run_best()
-}
-
-/// Like [`optimize_report`], but consulting (and populating) a
-/// content-addressed [`BlockCache`]; see [`Optimizer::cache`].
-///
-/// # Errors
-///
-/// Same as [`optimize`].
-#[deprecated(
-    note = "use the unified facade: `Optimizer::new(tree, library).config(config).cache(cache).run()`"
-)]
-pub fn optimize_report_cached(
-    tree: &FloorplanTree,
-    library: &ModuleLibrary,
-    config: &OptimizeConfig,
-    cache: &(dyn BlockCache + Sync),
-) -> Result<RunOutcome, OptError> {
-    Optimizer::new(tree, library)
-        .config(config)
-        .cache(cache)
-        .run()
 }
 
 /// Snapshot of a committed block for the cross-run cache (clones the
@@ -2171,7 +2052,7 @@ mod tests {
     use fp_tree::{generators, Chirality, CutDir, Module};
     use proptest::prelude::*;
 
-    /// Facade shorthand; shadows the deprecated glob-imported wrapper.
+    /// Facade shorthand keeping this suite's call sites compact.
     fn optimize(
         tree: &FloorplanTree,
         lib: &ModuleLibrary,
@@ -2180,7 +2061,7 @@ mod tests {
         Optimizer::new(tree, lib).config(config).run_best()
     }
 
-    /// Facade shorthand; shadows the deprecated glob-imported wrapper.
+    /// Facade shorthand keeping this suite's call sites compact.
     fn optimize_frontier(
         tree: &FloorplanTree,
         lib: &ModuleLibrary,

@@ -59,11 +59,6 @@ pub use cache::{
     policy_fingerprint, shared_cache, shared_cache_stats, BlockCache, CachedBlock, CachedShapes,
     SharedBlockCache,
 };
-#[allow(deprecated)]
-pub use engine::{
-    optimize, optimize_cached, optimize_frontier, optimize_frontier_cached, optimize_report,
-    optimize_report_cached,
-};
 pub use engine::{
     DegradationEvent, Frontier, Objective, OptError, OptimizeConfig, Optimizer, Outcome,
     RescueReason, RunOutcome, RunStats,
@@ -87,3 +82,40 @@ pub use fp_trace::{
     JobClass, MetricsRegistry, MetricsSnapshot, PhaseName, ProfileReport, SolverKind, Trace,
     TraceEvent, TraceSummary, Tracer,
 };
+
+/// The one-stop import for typical callers.
+///
+/// `use fp_optimizer::prelude::*;` brings in the [`Optimizer`] facade
+/// with its configuration and result vocabulary, the shared block
+/// cache, tracing hooks, and the typed serve protocol — everything a
+/// CLI, server, or test harness needs to run the optimizer and speak
+/// its wire format. The legacy free-function entry points
+/// (`optimize`, `optimize_cached`, …) are gone; the facade is the only
+/// way in.
+///
+/// # Example
+///
+/// ```
+/// use fp_optimizer::prelude::*;
+/// use fp_tree::generators;
+///
+/// let bench = generators::fp1();
+/// let lib = generators::module_library(&bench.tree, 3, 1);
+/// let outcome = Optimizer::new(&bench.tree, &lib)
+///     .config(&OptimizeConfig::default())
+///     .run_best()?;
+/// assert!(outcome.area > 0);
+/// # Ok::<(), fp_optimizer::OptError>(())
+/// ```
+pub mod prelude {
+    pub use crate::cache::{BlockCache, SharedBlockCache};
+    pub use crate::engine::{
+        Frontier, Objective, OptError, OptimizeConfig, Optimizer, Outcome, RunOutcome, RunStats,
+    };
+    pub use crate::multi::{CompositeObjective, MultiOutcome, ParetoSet};
+    pub use crate::serve::{
+        handle_line, parse_request, Method, Reply, Request, RequestError, RequestId, ServeState,
+        PROTO_VERSION,
+    };
+    pub use fp_trace::{Trace, TraceSummary, Tracer};
+}

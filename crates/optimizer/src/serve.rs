@@ -52,6 +52,24 @@
 //! {"id": 9, "method": "anneal", "builtin": "fp1", "chains": 4, "moves": 500}
 //! ```
 //!
+//! ## Protocol versioning
+//!
+//! Every request may pin a protocol version with `"proto": 1`; omitting
+//! the field means v1, which is exactly the historical wire format
+//! (byte-for-byte). `ping` and `stats` replies echo `"proto":1` so
+//! clients can probe the server's version; pinning any other version
+//! gets a structured status-2 reply carrying both `proto` (the
+//! server's) and `requested_proto`.
+//!
+//! ## Layout post-processing
+//!
+//! `optimize` requests may add `"layout": true` to realize the winning
+//! assignment and attach a `layout` object to the reply: `dead_space`,
+//! the polygonized whitespace distribution (`whitespace_regions`,
+//! `whitespace_total`, `whitespace_largest`, `region_areas` sorted
+//! largest first), and `outline_rings` (boundary rings of the merged
+//! occupied area, holes included).
+//!
 //! ## Responses
 //!
 //! Every response carries the echoed `id` (when the request had one), the
@@ -98,6 +116,15 @@ pub const STATUS_OUTLINE: u8 = 6;
 /// deadline, or the connection backlog was full. The request was never
 /// executed — retrying later is safe.
 pub const STATUS_OVERLOADED: u8 = 7;
+
+/// The protocol version this server speaks. Requests may pin a version
+/// with a `proto` field; **v1 is exactly the historical wire format**,
+/// so omitting the field and sending `"proto":1` are byte-for-byte
+/// equivalent. `ping` and `stats` replies echo the server's version, and
+/// a request pinning any other version gets a structured
+/// [`STATUS_BAD_REQUEST`] reply carrying both versions — a client can
+/// probe for capabilities without tripping over an unknown-field error.
+pub const PROTO_VERSION: u64 = 1;
 
 /// Maps an optimizer error to the documented status/exit code. This is
 /// the single source of truth shared by the `fpopt` CLI's exit codes and
@@ -576,6 +603,10 @@ pub struct OptimizeRequest {
     pub alpha: Option<f64>,
     /// Epsilon-constraint wirelength budget (overrides `alpha`).
     pub max_hpwl: Option<u64>,
+    /// Attach layout post-processing to the reply: realize the winning
+    /// assignment and report the polygonized whitespace distribution
+    /// (`optimize` only).
+    pub layout: bool,
 }
 
 impl Default for OptimizeRequest {
@@ -600,6 +631,7 @@ impl Default for OptimizeRequest {
             net_seed: 1,
             alpha: None,
             max_hpwl: None,
+            layout: false,
         }
     }
 }
@@ -682,6 +714,11 @@ pub type AnnealBackend = dyn Fn(&AnnealJob<'_>) -> AnnealOutcome + Send + Sync;
 pub struct Request {
     /// Echoed correlation id, if the client sent one.
     pub id: Option<RequestId>,
+    /// The protocol version the request pinned (defaults to
+    /// [`PROTO_VERSION`] when the `proto` field is absent; any other
+    /// value is rejected at parse time, so an executed request always
+    /// carries the server's version).
+    pub proto: u64,
     /// The requested operation.
     pub method: Method,
 }
@@ -694,6 +731,10 @@ pub enum RequestError {
     /// The JSON is valid but the request is not; carries the echoed id
     /// (when one was readable) and the complaint.
     Bad(Option<RequestId>, String),
+    /// The request pinned a protocol version this server does not speak;
+    /// carries the echoed id and the requested version. The reply states
+    /// the server's own [`PROTO_VERSION`] so clients can downgrade.
+    UnsupportedProto(Option<RequestId>, u64),
 }
 
 fn field_usize(obj: &Json, key: &str) -> Result<Option<usize>, String> {
@@ -735,6 +776,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let bad = |msg: String| RequestError::Bad(id.clone(), msg);
     if !matches!(doc, Json::Obj(_)) {
         return Err(bad("request must be a JSON object".to_owned()));
+    }
+    let proto = match doc.get("proto") {
+        None | Some(Json::Null) => PROTO_VERSION,
+        Some(v) => v
+            .as_u64()
+            .filter(|&p| p >= 1)
+            .ok_or_else(|| bad("`proto` must be a positive integer".to_owned()))?,
+    };
+    if proto != PROTO_VERSION {
+        return Err(RequestError::UnsupportedProto(id.clone(), proto));
     }
     let method = doc
         .get("method")
@@ -824,6 +875,10 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             req.max_hpwl = field_usize(&doc, "max_hpwl")
                 .map_err(&bad)?
                 .map(|h| h as u64);
+            req.layout = field_bool(&doc, "layout").map_err(&bad)?;
+            if req.layout && method != "optimize" {
+                return Err(bad(format!("`{method}` does not accept `layout`")));
+            }
             let wants_netlist = req.alpha.is_some() || req.max_hpwl.is_some() || method == "pareto";
             if wants_netlist && req.netlist.is_none() && req.nets.is_none() {
                 return Err(bad(format!(
@@ -880,7 +935,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         )))
         }
     };
-    Ok(Request { id, method })
+    Ok(Request { id, proto, method })
 }
 
 // ---------------------------------------------------------------------------
@@ -1408,6 +1463,17 @@ pub fn error_reply(line_no: u64, error: &RequestError) -> Reply {
             obj = response_head(id.as_ref(), line_no, STATUS_BAD_REQUEST);
             obj.str("error", message);
         }
+        RequestError::UnsupportedProto(id, requested) => {
+            obj = response_head(id.as_ref(), line_no, STATUS_BAD_REQUEST);
+            obj.u64("proto", PROTO_VERSION);
+            obj.u64("requested_proto", *requested);
+            obj.str(
+                "error",
+                &format!(
+                    "unsupported protocol version {requested} (this server speaks proto {PROTO_VERSION})"
+                ),
+            );
+        }
     }
     Reply {
         json: obj.finish(),
@@ -1727,6 +1793,40 @@ fn optimize_reply(
             obj.u64("cache_misses", outcome.stats.cache_misses as u64);
             obj.bool("rescued", rescued);
             obj.u64("degradations", outcome.stats.degradations.len() as u64);
+            if req.layout {
+                // Realize the winning assignment and polygonize its dead
+                // space. Realization can only fail on instances the run
+                // itself would have rejected; surface that as a field
+                // rather than panicking.
+                let mut section = JsonObj::new();
+                match fp_tree::layout::realize(
+                    &instance.tree,
+                    &instance.library,
+                    &outcome.assignment,
+                ) {
+                    Ok(layout) => {
+                        let ws = layout.whitespace();
+                        section.u128("dead_space", layout.dead_space());
+                        section.u64("whitespace_regions", ws.count() as u64);
+                        section.u128("whitespace_total", ws.total);
+                        section.u128("whitespace_largest", ws.largest());
+                        let mut areas = String::from("[");
+                        for (i, region) in ws.regions.iter().enumerate() {
+                            if i > 0 {
+                                areas.push(',');
+                            }
+                            areas.push_str(&region.area.to_string());
+                        }
+                        areas.push(']');
+                        section.raw("region_areas", &areas);
+                        section.u64("outline_rings", layout.polygonize().outlines.len() as u64);
+                    }
+                    Err(e) => {
+                        section.str("error", &format!("layout did not realize: {e}"));
+                    }
+                }
+                obj.raw("layout", &section.finish());
+            }
             obj.raw("trace_summary", &summary.to_json());
             Reply {
                 json: obj.finish(),
@@ -1968,6 +2068,7 @@ fn execute_inner(
     match &request.method {
         Method::Ping => {
             let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.u64("proto", PROTO_VERSION);
             obj.bool("pong", true);
             Reply {
                 json: obj.finish(),
@@ -1980,6 +2081,7 @@ fn execute_inner(
             let cache = state.cache();
             let (bytes, entries, budget) = (cache.bytes(), cache.len(), cache.budget_bytes());
             let mut obj = response_head(id, line_no, STATUS_OK);
+            obj.u64("proto", PROTO_VERSION);
             obj.u64("requests", state.requests());
             obj.u64("netlist_requests", state.netlist_requests());
             obj.u64("pareto_requests", state.pareto_requests());
@@ -2153,6 +2255,104 @@ mod tests {
                 .map(str::to_owned)
         };
         assert_eq!(area(&cold.json), area(&warm.json));
+    }
+
+    #[test]
+    fn protocol_version_negotiation() {
+        // Omitted `proto` defaults to v1; explicit v1 is identical.
+        assert_eq!(
+            parse_request(r#"{"method": "ping"}"#).expect("valid").proto,
+            PROTO_VERSION
+        );
+        let pinned = parse_request(r#"{"id": 1, "proto": 1, "method": "ping"}"#).expect("valid");
+        assert_eq!(pinned.proto, 1);
+        // Unknown versions get a structured status-2 reply naming both
+        // versions.
+        let err = parse_request(r#"{"id": 9, "proto": 2, "method": "ping"}"#).expect_err("v2");
+        assert_eq!(
+            err,
+            RequestError::UnsupportedProto(Some(RequestId::Num(9.0)), 2)
+        );
+        let reply = error_reply(4, &err);
+        assert_eq!(reply.status, STATUS_BAD_REQUEST);
+        assert!(reply.json.contains("\"id\":9"), "{}", reply.json);
+        assert!(reply.json.contains("\"proto\":1"), "{}", reply.json);
+        assert!(
+            reply.json.contains("\"requested_proto\":2"),
+            "{}",
+            reply.json
+        );
+        // Malformed `proto` values are plain bad requests.
+        for line in [
+            r#"{"proto": 0, "method": "ping"}"#,
+            r#"{"proto": -1, "method": "ping"}"#,
+            r#"{"proto": "one", "method": "ping"}"#,
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(RequestError::Bad(_, _))),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn ping_and_stats_echo_proto() {
+        let state = ServeState::new(1 << 20);
+        let pong = handle_line(r#"{"id": 1, "method": "ping"}"#, 1, &state, None);
+        assert_eq!(pong.status, STATUS_OK);
+        assert!(pong.json.contains("\"proto\":1"), "{}", pong.json);
+        assert!(pong.json.contains("\"pong\":true"), "{}", pong.json);
+        let stats = handle_line(r#"{"method": "stats"}"#, 2, &state, None);
+        assert!(stats.json.contains("\"proto\":1"), "{}", stats.json);
+        // v1 pinned requests execute exactly like unpinned ones.
+        let pinned = handle_line(
+            r#"{"id": 1, "proto": 1, "method": "ping"}"#,
+            1,
+            &state,
+            None,
+        );
+        assert_eq!(pinned.json, pong.json);
+        // Unknown versions surface through the full line handler too.
+        let v9 = handle_line(r#"{"proto": 9, "method": "ping"}"#, 3, &state, None);
+        assert_eq!(v9.status, STATUS_BAD_REQUEST);
+        assert!(v9.json.contains("\"requested_proto\":9"), "{}", v9.json);
+    }
+
+    #[test]
+    fn layout_field_attaches_whitespace_analytics() {
+        let state = ServeState::new(16 << 20);
+        let line = r#"{"id": 1, "method": "optimize", "builtin": "fig1", "n": 4, "layout": true}"#;
+        let reply = handle_line(line, 1, &state, None);
+        assert_eq!(reply.status, STATUS_OK, "{}", reply.json);
+        assert!(reply.json.contains("\"layout\":{"), "{}", reply.json);
+        for field in [
+            "\"dead_space\":",
+            "\"whitespace_regions\":",
+            "\"whitespace_total\":",
+            "\"whitespace_largest\":",
+            "\"region_areas\":[",
+            "\"outline_rings\":",
+        ] {
+            assert!(
+                reply.json.contains(field),
+                "{field} missing: {}",
+                reply.json
+            );
+        }
+        // Without the flag the reply is unchanged (no layout section).
+        let plain = handle_line(
+            r#"{"id": 1, "method": "optimize", "builtin": "fig1", "n": 4}"#,
+            2,
+            &state,
+            None,
+        );
+        assert!(!plain.json.contains("\"layout\""), "{}", plain.json);
+        // `layout` rides `optimize` only.
+        let pareto =
+            parse_request(r#"{"method": "pareto", "builtin": "fig1", "nets": 5, "layout": true}"#);
+        assert!(matches!(pareto, Err(RequestError::Bad(_, _))));
+        let anneal = parse_request(r#"{"method": "anneal", "builtin": "fig1", "layout": true}"#);
+        assert!(matches!(anneal, Err(RequestError::Bad(_, _))));
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Irreducible staircase lists: the bounded-staircase generalization of
+//! [`LList`]/[`LListSet`] (ROADMAP item 5).
+//!
+//! A [`Staircase`] with `t` teeth has a `2t`-coordinate profile
+//! `(w_1..w_t, h_1..h_t)`; along an irreducible staircase list every
+//! width coordinate is non-increasing and every height coordinate
+//! non-decreasing, with no two items equal and neither dominating the
+//! other. That is exactly the monotone structure the DAC'92 selection
+//! machinery needs: along such a chain the `L₁` profile distance is
+//! *additive* (`dist(s_i, s_k) = dist(s_i, s_j) + dist(s_j, s_k)` for
+//! `i <= j <= k`), so Lemma 2 (distances grow with separation) and
+//! Lemma 3 (nearest kept implementation is a selection neighbour) hold
+//! verbatim and the flat CSPP kernel applies unchanged.
+//!
+//! [`SListSet`] routes candidates by tooth count so the existing kernels
+//! do the pruning: one-tooth staircases are rectangles (the [`RList`]
+//! staircase-front kernel), two-tooth staircases are L-shapes (the SoA
+//! [`crate::prune`] kernel + chain decomposition), and only genuinely
+//! deeper staircases take the generic chain path. A pure-rect/L library
+//! therefore produces byte-identical fronts whether it enters as shapes
+//! or as staircases — pinned by the equivalence tests.
+
+use core::fmt;
+use core::ops::Index;
+
+use fp_geom::{Area, Rect, Staircase};
+
+use crate::{LListSet, RList};
+
+/// An irreducible staircase list: a chain of equal-arity non-redundant
+/// staircase implementations, widths componentwise non-increasing and
+/// heights componentwise non-decreasing along the chain, each step
+/// strictly changing at least one width *and* one height (which is what
+/// rules out dominance inside the chain).
+///
+/// # Example
+///
+/// ```
+/// use fp_geom::Staircase;
+/// use fp_shape::SList;
+///
+/// let list = SList::from_sorted(vec![
+///     Staircase::new_canonical(vec![(12, 2), (9, 4), (5, 6)]),
+///     Staircase::new_canonical(vec![(11, 3), (8, 5), (4, 8)]),
+///     Staircase::new_canonical(vec![(10, 4), (7, 6), (3, 9)]),
+/// ]).expect("a valid chain");
+/// assert_eq!(list.arity(), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SList {
+    items: Vec<Staircase>,
+}
+
+/// `true` if `a` may immediately precede `b` in an irreducible staircase
+/// list: same arity, widths non-increasing, heights non-decreasing, at
+/// least one width strictly falling and one height strictly rising.
+fn chain_step_ok(a: &Staircase, b: &Staircase) -> bool {
+    if a.teeth() != b.teeth() {
+        return false;
+    }
+    let mut w_strict = false;
+    let mut h_strict = false;
+    for (&(aw, ah), &(bw, bh)) in a.corners().iter().zip(b.corners()) {
+        if aw < bw || ah > bh {
+            return false;
+        }
+        w_strict |= aw > bw;
+        h_strict |= ah < bh;
+    }
+    w_strict && h_strict
+}
+
+impl SList {
+    /// An empty staircase list.
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        SList { items: Vec::new() }
+    }
+
+    /// Wraps a vector that is already an irreducible staircase list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the vector back unless every consecutive pair satisfies
+    /// the chain step (equal arity, widths componentwise non-increasing,
+    /// heights componentwise non-decreasing, at least one strict change
+    /// on each side).
+    pub fn from_sorted(items: Vec<Staircase>) -> Result<Self, Vec<Staircase>> {
+        if items.windows(2).all(|w| chain_step_ok(&w[0], &w[1])) {
+            Ok(SList { items })
+        } else {
+            Err(items)
+        }
+    }
+
+    /// Number of implementations in the list.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the list is empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The common tooth count, if the list is non-empty.
+    #[inline]
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        self.items.first().map(Staircase::teeth)
+    }
+
+    /// The implementations in chain order (widths descending).
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[Staircase] {
+        &self.items
+    }
+
+    /// Borrowing iterator over the implementations in chain order.
+    #[inline]
+    pub fn iter(&self) -> core::slice::Iter<'_, Staircase> {
+        self.items.iter()
+    }
+
+    /// Consumes the list, returning the underlying vector.
+    #[inline]
+    #[must_use]
+    pub fn into_vec(self) -> Vec<Staircase> {
+        self.items
+    }
+
+    /// The implementation at `index`, if in range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Staircase> {
+        self.items.get(index)
+    }
+
+    /// The minimum-area implementation in this list.
+    #[must_use]
+    pub fn min_area(&self) -> Option<&Staircase> {
+        self.items.iter().min_by(|a, b| {
+            a.area()
+                .cmp(&b.area())
+                .then_with(|| a.corners().cmp(b.corners()))
+        })
+    }
+
+    /// Keeps only the implementations at the given **sorted** positions;
+    /// any subsequence of a chain is still an irreducible staircase list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is not strictly increasing or contains an
+    /// out-of-range index.
+    #[must_use]
+    pub fn subset(&self, positions: &[usize]) -> SList {
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be strictly increasing"
+        );
+        let items = positions.iter().map(|&i| self.items[i].clone()).collect();
+        SList { items }
+    }
+}
+
+impl fmt::Debug for SList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.items).finish()
+    }
+}
+
+impl Index<usize> for SList {
+    type Output = Staircase;
+
+    fn index(&self, index: usize) -> &Staircase {
+        &self.items[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a SList {
+    type Item = &'a Staircase;
+    type IntoIter = core::slice::Iter<'a, Staircase>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl IntoIterator for SList {
+    type Item = Staircase;
+    type IntoIter = std::vec::IntoIter<Staircase>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+/// The complete non-redundant implementation set of a bounded-staircase
+/// block, stratified by tooth count so each stratum is pruned by the
+/// kernel specialized for it:
+///
+/// * one tooth → rectangles, pruned into an irreducible [`RList`];
+/// * two teeth → L-shapes, pruned by the SoA kernel into an [`LListSet`];
+/// * three or more teeth → per-arity generic dominance prune plus greedy
+///   chain decomposition into irreducible [`SList`]s.
+///
+/// Strata are irreducible independently (the paper's machinery never
+/// cross-prunes representation kinds either), which is exactly what
+/// keeps pure-rect/L content byte-identical to the legacy path.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SListSet {
+    rects: RList,
+    lshapes: LListSet,
+    stairs: Vec<SList>,
+}
+
+impl SListSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SListSet::default()
+    }
+
+    /// Builds the set from arbitrary staircase candidates: routes by
+    /// tooth count, prunes each stratum with its specialized kernel, and
+    /// decomposes deep staircases into irreducible chains.
+    #[must_use]
+    pub fn from_candidates(candidates: Vec<Staircase>) -> Self {
+        let mut rects: Vec<Rect> = Vec::new();
+        let mut lshapes = Vec::new();
+        let mut deep: Vec<Staircase> = Vec::new();
+        for s in candidates {
+            match s.teeth() {
+                1 => rects.push(s.as_rect().expect("one tooth")),
+                2 => lshapes.push(s.as_lshape().expect("two teeth")),
+                _ => deep.push(s),
+            }
+        }
+        SListSet {
+            rects: RList::from_candidates(rects),
+            lshapes: LListSet::from_candidates(lshapes),
+            stairs: decompose_deep(deep),
+        }
+    }
+
+    /// The rectangle stratum (one-tooth staircases).
+    #[inline]
+    #[must_use]
+    pub fn rects(&self) -> &RList {
+        &self.rects
+    }
+
+    /// The L-shape stratum (two-tooth staircases).
+    #[inline]
+    #[must_use]
+    pub fn lshapes(&self) -> &LListSet {
+        &self.lshapes
+    }
+
+    /// The deep-staircase stratum (three or more teeth), as irreducible
+    /// chains.
+    #[inline]
+    #[must_use]
+    pub fn stairs(&self) -> &[SList] {
+        &self.stairs
+    }
+
+    /// Total number of implementations across all strata.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.rects.len()
+            + self.lshapes.total_len()
+            + self.stairs.iter().map(SList::len).sum::<usize>()
+    }
+
+    /// `true` if the block has no implementation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty() && self.lshapes.is_empty() && self.stairs.is_empty()
+    }
+
+    /// Iterator over every implementation, as canonical staircases.
+    pub fn iter(&self) -> impl Iterator<Item = Staircase> + '_ {
+        self.rects
+            .iter()
+            .map(|r| Staircase::from_rect(*r))
+            .chain(self.lshapes.iter().map(|l| Staircase::from_lshape(*l)))
+            .chain(self.stairs.iter().flat_map(|c| c.iter().cloned()))
+    }
+
+    /// The minimum area value across all strata.
+    #[must_use]
+    pub fn min_area_value(&self) -> Option<Area> {
+        self.iter().map(|s| s.area()).min()
+    }
+}
+
+/// Per-arity dominance prune + greedy first-fit chain decomposition for
+/// deep (three-plus-tooth) staircases. Any partition into irreducible
+/// chains is acceptable, mirroring [`crate::chain_indices`].
+fn decompose_deep(mut deep: Vec<Staircase>) -> Vec<SList> {
+    // Canonical processing order: arity, then widths descending, then
+    // heights ascending — the staircase analogue of prune output order.
+    deep.sort_by(|a, b| {
+        a.teeth()
+            .cmp(&b.teeth())
+            .then_with(|| {
+                let aw = a.corners().iter().map(|c| core::cmp::Reverse(c.0));
+                let bw = b.corners().iter().map(|c| core::cmp::Reverse(c.0));
+                aw.cmp(bw)
+            })
+            .then_with(|| a.corners().cmp(b.corners()))
+    });
+    deep.dedup();
+    // Dominance prune within each arity group: an implementation that
+    // geometrically contains another is redundant (anything realizable
+    // with it is realizable with the smaller one), matching the
+    // minimal-keeping convention of the rect and L kernels.
+    let mut kept: Vec<Staircase> = Vec::with_capacity(deep.len());
+    for s in deep {
+        if kept
+            .iter()
+            .any(|k| k.teeth() == s.teeth() && s.dominates(k))
+        {
+            continue;
+        }
+        kept.retain(|k| !(k.teeth() == s.teeth() && k.dominates(&s)));
+        kept.push(s);
+    }
+    // Greedy first-fit: append to the first chain whose tail precedes it.
+    let mut chains: Vec<SList> = Vec::new();
+    for s in kept {
+        match chains
+            .iter_mut()
+            .find(|c| c.items.last().is_some_and(|tail| chain_step_ok(tail, &s)))
+        {
+            Some(chain) => chain.items.push(s),
+            None => chains.push(SList { items: vec![s] }),
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::LShape;
+    use proptest::prelude::*;
+
+    fn stair(corners: &[(u64, u64)]) -> Staircase {
+        Staircase::new_canonical(corners.to_vec())
+    }
+
+    #[test]
+    fn from_sorted_validates_chain_invariants() {
+        let a = stair(&[(12, 2), (9, 4), (5, 6)]);
+        let b = stair(&[(11, 3), (8, 5), (4, 8)]);
+        assert!(SList::from_sorted(vec![a.clone(), b.clone()]).is_ok());
+        // Reversed order: widths grow.
+        assert!(SList::from_sorted(vec![b.clone(), a.clone()]).is_err());
+        // Mixed arity.
+        assert!(SList::from_sorted(vec![a.clone(), stair(&[(8, 5)])]).is_err());
+        // Dominated pair: widths fall but no height rises.
+        assert!(SList::from_sorted(vec![a.clone(), stair(&[(11, 2), (8, 4), (4, 6)])]).is_err());
+        assert!(SList::from_sorted(vec![]).is_ok());
+        assert!(SList::from_sorted(vec![a]).is_ok());
+    }
+
+    #[test]
+    fn subset_preserves_chain() {
+        let list = SList::from_sorted(vec![
+            stair(&[(12, 2), (9, 4), (5, 6)]),
+            stair(&[(11, 3), (8, 5), (4, 8)]),
+            stair(&[(10, 4), (7, 6), (3, 9)]),
+        ])
+        .unwrap();
+        let sub = list.subset(&[0, 2]);
+        assert!(SList::from_sorted(sub.clone().into_vec()).is_ok());
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[1], stair(&[(10, 4), (7, 6), (3, 9)]));
+    }
+
+    #[test]
+    fn set_routes_by_arity() {
+        let set = SListSet::from_candidates(vec![
+            stair(&[(8, 2)]),                  // rect
+            stair(&[(2, 8)]),                  // rect
+            stair(&[(9, 3), (3, 9)]),          // L
+            stair(&[(12, 2), (9, 4), (5, 6)]), // deep
+            stair(&[(20, 20)]),                // rect, dominates 8x2: pruned
+        ]);
+        assert_eq!(set.rects().len(), 2);
+        assert_eq!(set.lshapes().total_len(), 1);
+        assert_eq!(set.stairs().len(), 1);
+        assert_eq!(set.total_len(), 4);
+        assert!(!set.is_empty());
+        // min area: 8x2 rect = 16 vs others larger.
+        assert_eq!(set.min_area_value(), Some(16));
+    }
+
+    #[test]
+    fn pure_rect_candidates_match_rlist_kernel() {
+        // Byte-identity routing: staircases of one tooth produce exactly
+        // the RList the rect kernel produces.
+        let rects = vec![
+            Rect::new(8, 2),
+            Rect::new(4, 4),
+            Rect::new(2, 8),
+            Rect::new(9, 9),
+        ];
+        let set =
+            SListSet::from_candidates(rects.iter().map(|&r| Staircase::from_rect(r)).collect());
+        assert_eq!(set.rects(), &RList::from_candidates(rects));
+        assert!(set.lshapes().is_empty());
+        assert!(set.stairs().is_empty());
+    }
+
+    #[test]
+    fn pure_l_candidates_match_llist_kernel() {
+        let ls = vec![
+            LShape::new_canonical(9, 3, 2, 1),
+            LShape::new_canonical(7, 3, 4, 2),
+            LShape::new_canonical(9, 2, 3, 1),
+            LShape::new_canonical(10, 3, 2, 1),
+        ];
+        let set =
+            SListSet::from_candidates(ls.iter().map(|&l| Staircase::from_lshape(l)).collect());
+        assert_eq!(set.lshapes(), &LListSet::from_candidates(ls));
+        assert!(set.rects().is_empty());
+        assert!(set.stairs().is_empty());
+    }
+
+    #[test]
+    fn deep_prune_drops_dominated() {
+        let big = stair(&[(12, 2), (9, 4), (5, 6)]);
+        let small = stair(&[(11, 2), (8, 4), (4, 6)]); // contained in big
+        let set = SListSet::from_candidates(vec![small.clone(), big]);
+        let all: Vec<Staircase> = set.iter().collect();
+        // The containing (bigger) implementation is the redundant one.
+        assert_eq!(all, vec![small]);
+    }
+
+    fn arb_deep() -> impl Strategy<Value = Vec<Staircase>> {
+        proptest::collection::vec(proptest::collection::vec((1u64..20, 1u64..20), 3..6), 0..20)
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .map(|corners| Staircase::from_corners(corners).expect("within cap"))
+                    .collect()
+            })
+    }
+
+    proptest! {
+        /// Every chain the decomposition emits is a valid irreducible
+        /// staircase list, and no kept item dominates another of its arity.
+        #[test]
+        fn decomposition_is_valid(items in arb_deep()) {
+            let set = SListSet::from_candidates(items);
+            for chain in set.stairs() {
+                prop_assert!(SList::from_sorted(chain.as_slice().to_vec()).is_ok());
+            }
+            // Geometric-containment freedom holds within the deep stratum
+            // (the rect/L strata keep the paper's componentwise dominance,
+            // which is deliberately weaker than containment).
+            let deep: Vec<&Staircase> =
+                set.stairs().iter().flat_map(SList::iter).collect();
+            for (i, a) in deep.iter().enumerate() {
+                for (j, b) in deep.iter().enumerate() {
+                    if i != j && a.teeth() == b.teeth() {
+                        prop_assert!(!a.dominates(b) || a == b,
+                            "{a} dominates {b}");
+                    }
+                }
+            }
+        }
+    }
+}

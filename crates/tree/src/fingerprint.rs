@@ -34,6 +34,10 @@ pub const FINGERPRINT_VERSION: u64 = 1;
 const TAG_LEAF: u64 = 0x4c45_4146; // "LEAF"
 const TAG_JOIN: u64 = 0x4a4f_494e; // "JOIN"
 const TAG_MISSING: u64 = 0x4d49_5353; // "MISS"
+/// Separates a module's staircase section from its rect list; written
+/// only when the module actually has staircases (see
+/// [`module_fingerprint`]).
+const TAG_STAIRS: u64 = 0x5354_4152; // "STAR"
 
 /// The order of every wheel template in this codebase (the smallest
 /// non-slicing pattern); encoded into wheel-join fingerprints so a future
@@ -66,6 +70,20 @@ pub fn module_fingerprint(module: &Module) -> Fingerprint {
     for r in list.iter() {
         h.write_u64(r.w);
         h.write_u64(r.h);
+    }
+    // Staircase geometry participates only when present, so classic
+    // rectangular modules keep the exact fingerprints (and thus cache
+    // addresses) they had before staircases existed.
+    if !module.staircases().is_empty() {
+        h.write_u64(TAG_STAIRS);
+        h.write_usize(module.staircases().len());
+        for s in module.staircases() {
+            h.write_usize(s.teeth());
+            for &(w, ht) in s.corners() {
+                h.write_u64(w);
+                h.write_u64(ht);
+            }
+        }
     }
     h.finish()
 }
@@ -230,6 +248,36 @@ mod tests {
         assert_eq!(fv[0], fh[0]);
         assert_eq!(fv[1], fh[1]);
         assert_ne!(fv[2], fh[2]);
+    }
+
+    #[test]
+    fn staircases_participate_only_when_present() {
+        use fp_geom::Staircase;
+        let impls = vec![Rect::new(12, 6), Rect::new(9, 8)];
+        // A module built through `with_staircases` with an empty staircase
+        // list keeps the exact pre-staircase fingerprint: cache addresses
+        // from older runs stay valid.
+        assert_eq!(
+            module_fingerprint(&Module::new("m", impls.clone())),
+            module_fingerprint(&Module::with_staircases("m", impls.clone(), Vec::new()))
+        );
+        // Adding staircase geometry changes the address even when the
+        // bounding box it contributes is already in the rect list.
+        let s = Staircase::from_corners(vec![(12, 2), (9, 4), (5, 6)]).expect("valid");
+        let with = Module::with_staircases("m", impls.clone(), vec![s.clone()]);
+        assert_ne!(
+            module_fingerprint(&Module::new(
+                "m",
+                with.implementations().as_slice().to_vec()
+            )),
+            module_fingerprint(&with)
+        );
+        // And distinct staircase geometry means a distinct address.
+        let s2 = Staircase::from_corners(vec![(12, 2), (5, 6)]).expect("valid");
+        assert_ne!(
+            module_fingerprint(&with),
+            module_fingerprint(&Module::with_staircases("m", impls, vec![s2]))
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * `module <name> [rot] <w>x<h> [...]` — a module and its
 //!   implementations (redundant candidates are pruned on load); with the
 //!   `rot` keyword every size also contributes its 90°-rotated variant
-//!   (free-orientation macros).
+//!   (free-orientation macros). A size written as slash-joined corners
+//!   (`12x2/9x4/5x6`, widths descending, heights ascending) declares a
+//!   bounded-staircase implementation: its bounding box joins the
+//!   rectangular list and the staircase geometry is kept on the module
+//!   (with `rot`, the transposed staircase too).
 //! * `tree <expr>` — the topology, where `<expr>` is a module name (one
 //!   leaf instance per occurrence) or one of:
 //!   * `(hsplit e1 e2 …)` — horizontal cut lines, children stacked
@@ -180,6 +184,19 @@ fn parse_size(word: &str, pos: Pos) -> Result<Rect, ParseInstanceError> {
     Ok(Rect::new(w, h))
 }
 
+/// Parses a staircase token: slash-joined corner sizes
+/// (`12x2/9x4/5x6`), validated and canonicalized by
+/// [`fp_geom::Staircase::from_corners`].
+fn parse_staircase(word: &str, pos: Pos) -> Result<fp_geom::Staircase, ParseInstanceError> {
+    let mut corners = Vec::new();
+    for part in word.split('/') {
+        let r = parse_size(part, pos)?;
+        corners.push((r.w, r.h));
+    }
+    fp_geom::Staircase::from_corners(corners)
+        .map_err(|e| err_at(pos, format!("invalid staircase `{word}`: {e}")))
+}
+
 /// Parses an instance from its text form.
 ///
 /// # Errors
@@ -224,24 +241,35 @@ pub fn parse_instance(input: &str) -> Result<FloorplanInstance, ParseInstanceErr
                     }
                 }
                 let mut sizes = Vec::new();
+                let mut stairs = Vec::new();
                 while let Some((Token::Word(w), wpos)) = parser.peek().cloned() {
                     if !w.chars().next().is_some_and(|c| c.is_ascii_digit()) {
                         break;
                     }
                     parser.pos += 1;
-                    let r = parse_size(&w, wpos)?;
-                    sizes.push(r);
-                    if rotatable {
-                        sizes.push(r.rotated());
+                    if w.contains('/') {
+                        // Staircase implementation: slash-joined corner
+                        // sizes `w1xh1/w2xh2/...`, widths descending.
+                        let s = parse_staircase(&w, wpos)?;
+                        if rotatable {
+                            stairs.push(s.transposed());
+                        }
+                        stairs.push(s);
+                    } else {
+                        let r = parse_size(&w, wpos)?;
+                        sizes.push(r);
+                        if rotatable {
+                            sizes.push(r.rotated());
+                        }
                     }
                 }
-                if sizes.is_empty() {
+                if sizes.is_empty() && stairs.is_empty() {
                     return Err(err_at(
                         name_pos,
                         format!("module `{mod_name}` has no implementations"),
                     ));
                 }
-                let id = library.add(Module::new(mod_name.clone(), sizes));
+                let id = library.add(Module::with_staircases(mod_name.clone(), sizes, stairs));
                 by_name.insert(mod_name, id);
             }
             "tree" => {
@@ -408,6 +436,11 @@ pub fn write_instance(instance: &FloorplanInstance) -> Result<String, WriteInsta
         for r in module.implementations().iter() {
             out.push_str(&format!(" {}x{}", r.w, r.h));
         }
+        for s in module.staircases() {
+            // Staircase Display is the slash-joined corner syntax the
+            // parser accepts.
+            out.push_str(&format!(" {s}"));
+        }
         out.push('\n');
     }
     out.push_str("tree ");
@@ -517,6 +550,62 @@ tree (wheel cw a a a a e)
             assert_eq!(inst.tree.module_count(), reparsed.tree.module_count());
             // Second write is a fixpoint.
             assert_eq!(written, write_instance(&reparsed).expect("writable"));
+        }
+    }
+
+    #[test]
+    fn staircase_modules_round_trip() {
+        let text = "\
+module cpu 12x2/9x4/5x6
+module ram rot 10x3/6x5
+module io 8x3
+tree (hsplit (vsplit cpu ram) io)
+";
+        let inst = parse_instance(text).expect("parses");
+        // The staircase geometry survives on the module, and its bounding
+        // box joined the rectangular implementation list.
+        assert_eq!(inst.library[0].staircases().len(), 1);
+        assert_eq!(
+            inst.library[0].staircases()[0].corners(),
+            &[(12, 2), (9, 4), (5, 6)]
+        );
+        assert!(inst.library[0]
+            .implementations()
+            .iter()
+            .any(|r| *r == fp_geom::Rect::new(12, 6)));
+        // `rot` adds the transposed staircase as a second implementation.
+        assert_eq!(inst.library[1].staircases().len(), 2);
+
+        let written = write_instance(&inst).expect("writable");
+        let reparsed = parse_instance(&written).expect("round-trips");
+        assert_eq!(inst.library, reparsed.library);
+        assert_eq!(written, write_instance(&reparsed).expect("fixpoint"));
+    }
+
+    #[test]
+    fn staircase_syntax_errors_report_the_line() {
+        // Ten strictly-descending teeth exceed MAX_STAIRCASE_STEPS.
+        let deep: String = (0..10)
+            .map(|i| format!("{}x{}", 20 - i, 2 + i))
+            .collect::<Vec<_>>()
+            .join("/");
+        for (text, needle) in [
+            (
+                format!("module m {deep}\ntree m\n"),
+                "invalid staircase".to_owned(),
+            ),
+            (
+                "module m 12x2/9xx4\ntree m\n".to_owned(),
+                "expected <width>x<height>".to_owned(),
+            ),
+            (
+                "module m 12x0/9x4\ntree m\n".to_owned(),
+                "zero dimension".to_owned(),
+            ),
+        ] {
+            let err = parse_instance(&text).expect_err(&text);
+            assert_eq!(err.line, 1, "{text}");
+            assert!(err.message.contains(&needle), "{}: {}", text, err.message);
         }
     }
 

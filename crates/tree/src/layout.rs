@@ -116,6 +116,23 @@ impl Layout {
         self.area() - used
     }
 
+    /// Polygonizes the dead space into connected whitespace regions
+    /// (scanline union over the placed rectangles). The report's total is
+    /// exactly [`Layout::dead_space`].
+    #[must_use]
+    pub fn whitespace(&self) -> fp_geom::WhitespaceReport {
+        let rects: Vec<PlacedRect> = self.placed.iter().map(|&(_, r)| r).collect();
+        fp_geom::whitespace(self.envelope, &rects)
+    }
+
+    /// Full layout post-processing: whitespace regions plus the merged
+    /// rectilinear outlines of the occupied area, for export.
+    #[must_use]
+    pub fn polygonize(&self) -> fp_geom::Polygonized {
+        let rects: Vec<PlacedRect> = self.placed.iter().map(|&(_, r)| r).collect();
+        fp_geom::polygonize(self.envelope, &rects)
+    }
+
     /// Renders the layout as ASCII art, at most `max_cols` characters wide.
     /// Each module is filled with a letter (`a`–`z` cycling by leaf order);
     /// dead space is `.`.
@@ -428,6 +445,34 @@ mod tests {
         assert!(positions.contains(&(b, Point::new(0, 2))));
         assert_eq!(layout.validate(), None);
         assert_eq!(layout.dead_space(), 20 - 8 - 9);
+    }
+
+    #[test]
+    fn whitespace_report_matches_dead_space() {
+        let (t, lib) = domino_wheel();
+        let tiled = realize(&t, &lib, &Assignment::first_fit(5)).expect("realizes");
+        let ws = tiled.whitespace();
+        assert_eq!(ws.total, 0);
+        assert_eq!(ws.count(), 0);
+
+        let mut t = FloorplanTree::new();
+        let a = t.leaf(0);
+        let b = t.leaf(1);
+        t.slice(CutDir::Horizontal, vec![a, b]);
+        let lib: ModuleLibrary = [
+            Module::hard("a", Rect::new(4, 2), false),
+            Module::hard("b", Rect::new(3, 3), false),
+        ]
+        .into_iter()
+        .collect();
+        let layout = realize(&t, &lib, &Assignment::first_fit(2)).expect("realizes");
+        let ws = layout.whitespace();
+        assert_eq!(ws.total, layout.dead_space());
+        assert_eq!(ws.count(), 1, "the 1x3 slot right of b is one region");
+        assert_eq!(ws.largest(), 3);
+        let poly = layout.polygonize();
+        assert_eq!(poly.whitespace.total, ws.total);
+        assert!(!poly.outlines.is_empty());
     }
 
     #[test]

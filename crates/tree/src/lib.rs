@@ -16,7 +16,10 @@
 //!   positions of a wheel given its five children's sizes (the ground truth
 //!   the optimizer's incremental L-shape joins must reproduce).
 //! * [`layout`] — realization of an implementation choice into placed
-//!   rectangles, with overlap/containment validation.
+//!   rectangles, with overlap/containment validation and whitespace
+//!   polygonization.
+//! * [`ost`] — orderly-spanning-tree style initial topologies (grid-shaped
+//!   deterministic seeds for the annealer).
 //! * [`generators`] — the FP1–FP4 benchmark floorplans of paper §5
 //!   (Figure 8) and seeded random floorplans.
 //!
@@ -42,6 +45,7 @@ pub mod generators;
 pub mod layout;
 pub mod mega;
 mod module;
+pub mod ost;
 pub mod restructure;
 pub mod soa;
 mod tree;

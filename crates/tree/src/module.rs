@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use fp_geom::{Coord, Rect};
+use fp_geom::{Coord, Rect, Staircase};
 use fp_prng::StdRng;
 use fp_shape::RList;
 
@@ -24,6 +24,17 @@ pub type ModuleId = usize;
 pub struct Module {
     name: String,
     implementations: RList,
+    /// Bounded-staircase implementations, if any. Each contributes its
+    /// bounding box to `implementations` (the footprint the packing
+    /// machinery consumes) while the staircase geometry itself is kept
+    /// for layout analytics and export. Empty for classic rect modules —
+    /// and an empty list leaves serialization and fingerprints exactly
+    /// as they were before staircases existed.
+    #[cfg_attr(
+        feature = "serde",
+        serde(default, skip_serializing_if = "Vec::is_empty")
+    )]
+    staircases: Vec<Staircase>,
 }
 
 impl Module {
@@ -37,7 +48,35 @@ impl Module {
     /// overflow-free).
     #[must_use]
     pub fn new(name: impl Into<String>, candidates: Vec<Rect>) -> Self {
+        Module::with_staircases(name, candidates, Vec::new())
+    }
+
+    /// Creates a module from rectangular candidates plus bounded-staircase
+    /// implementations. Each staircase's bounding box joins the rectangular
+    /// candidate set (that is the footprint selection and packing operate
+    /// on); the staircase geometry is retained for whitespace analytics.
+    /// Staircases are stored canonically sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rectangle or staircase dimension is zero or exceeds
+    /// [`fp_geom::MAX_COORD`].
+    #[must_use]
+    pub fn with_staircases(
+        name: impl Into<String>,
+        mut candidates: Vec<Rect>,
+        mut staircases: Vec<Staircase>,
+    ) -> Self {
         let name = name.into();
+        for s in &staircases {
+            let bb = s.bounding_box();
+            assert!(
+                bb.w <= fp_geom::MAX_COORD && bb.h <= fp_geom::MAX_COORD,
+                "module `{name}`: staircase {s} exceeds MAX_COORD = {}",
+                fp_geom::MAX_COORD,
+            );
+            candidates.push(bb);
+        }
         for r in &candidates {
             assert!(
                 r.w > 0 && r.h > 0,
@@ -49,9 +88,12 @@ impl Module {
                 fp_geom::MAX_COORD,
             );
         }
+        staircases.sort_by(|a, b| a.corners().cmp(b.corners()));
+        staircases.dedup();
         Module {
             name,
             implementations: RList::from_candidates(candidates),
+            staircases,
         }
     }
 
@@ -77,6 +119,14 @@ impl Module {
     #[must_use]
     pub fn implementations(&self) -> &RList {
         &self.implementations
+    }
+
+    /// The module's bounded-staircase implementations, canonically sorted
+    /// (empty for classic rectangular modules).
+    #[inline]
+    #[must_use]
+    pub fn staircases(&self) -> &[Staircase] {
+        &self.staircases
     }
 }
 

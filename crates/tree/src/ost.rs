@@ -1,0 +1,264 @@
+//! Orderly-spanning-tree style initial topologies.
+//!
+//! *Compact Floor-Planning via Orderly Spanning Trees* (Chiang–Lin–Lu)
+//! derives a compact floorplan in `O(n)` from an orderly spanning tree of
+//! the module adjacency graph: vertices are labelled in preorder, every
+//! subtree owns a contiguous label interval, and the floorplan follows
+//! the tree shape directly. This codebase has no adjacency graph — the
+//! modules arrive as a bare library — so [`orderly_tree`] constructs the
+//! orderly spanning tree of the canonical grid triangulation instead:
+//! modules ranked by their smallest implementation area (largest first),
+//! the largest at the root, the rest dealt into `⌈√(n−1)⌉` side-by-side
+//! columns, labels assigned in preorder. [`OrderlyTree::to_slicing_tree`]
+//! then turns that tree into a slicing topology with depth-alternating
+//! cuts, which yields a near-square grid seed for the annealer — a much
+//! better-shaped start than the all-in-a-row default, still `O(n)` and
+//! fully deterministic (no randomness anywhere).
+
+use core::cmp::Reverse;
+
+use fp_geom::Area;
+
+use crate::{CutDir, FloorplanTree, ModuleId, ModuleLibrary, NodeId};
+
+/// An ordered rooted tree over the modules whose node ids are exactly
+/// preorder ranks (the orderly labelling): the root is node `0`, every
+/// child id exceeds its parent's, children are listed in increasing id
+/// order, and each subtree owns a contiguous id interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderlyTree {
+    /// Ordered children per node (ids are preorder ranks).
+    children: Vec<Vec<usize>>,
+    /// `order[rank]` is the module placed at that node; ranks run in
+    /// decreasing smallest-implementation area.
+    order: Vec<ModuleId>,
+}
+
+impl OrderlyTree {
+    /// Number of nodes (= modules).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the tree has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The root's preorder rank (always `0`).
+    #[must_use]
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The ordered children of node `rank`.
+    #[must_use]
+    pub fn children(&self, rank: usize) -> &[usize] {
+        &self.children[rank]
+    }
+
+    /// The module occupying node `rank`.
+    #[must_use]
+    pub fn module_at(&self, rank: usize) -> ModuleId {
+        self.order[rank]
+    }
+
+    /// Checks the orderly labelling: a preorder walk from the root visits
+    /// the nodes exactly in id order `0, 1, 2, …` (which implies every
+    /// subtree spans a contiguous id interval and every child id exceeds
+    /// its parent's), and the module assignment is a permutation.
+    #[must_use]
+    pub fn is_orderly(&self) -> bool {
+        let n = self.len();
+        if n == 0 || self.children.len() != n {
+            return false;
+        }
+        let mut next = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            if v != next {
+                return false;
+            }
+            next += 1;
+            for &c in self.children[v].iter().rev() {
+                if c >= n || c <= v {
+                    return false;
+                }
+                stack.push(c);
+            }
+        }
+        let mut seen = vec![false; n];
+        for &m in &self.order {
+            if m >= n || seen[m] {
+                return false;
+            }
+            seen[m] = true;
+        }
+        next == n
+    }
+
+    /// Realizes the orderly tree as a slicing topology: each node becomes
+    /// its module's leaf placed beside (even depth, vertical cuts) or
+    /// below (odd depth, horizontal cuts) the strip of its children's
+    /// sub-floorplans. For the grid-shaped trees [`orderly_tree`] builds
+    /// this is the classic column layout: the root module followed by
+    /// `⌈√(n−1)⌉` vertical stacks, side by side.
+    #[must_use]
+    pub fn to_slicing_tree(&self) -> FloorplanTree {
+        assert!(!self.is_empty(), "an orderly tree has at least one node");
+        let mut tree = FloorplanTree::new();
+        let root = self.build(0, 0, &mut tree);
+        tree.set_root(root);
+        tree
+    }
+
+    fn build(&self, v: usize, depth: usize, tree: &mut FloorplanTree) -> NodeId {
+        let leaf = tree.leaf(self.order[v]);
+        if self.children[v].is_empty() {
+            return leaf;
+        }
+        let mut kids = Vec::with_capacity(1 + self.children[v].len());
+        kids.push(leaf);
+        for &c in &self.children[v] {
+            kids.push(self.build(c, depth + 1, tree));
+        }
+        let dir = if depth.is_multiple_of(2) {
+            CutDir::Vertical
+        } else {
+            CutDir::Horizontal
+        };
+        tree.slice(dir, kids)
+    }
+}
+
+/// Builds the orderly spanning tree of the canonical grid triangulation
+/// over `library`: modules ranked by smallest implementation area
+/// (largest first, ties by id), the largest at the root, the remaining
+/// `n − 1` dealt — in rank order — into `⌈√(n−1)⌉` columns of near-equal
+/// height hanging off the root.
+///
+/// Deterministic in the library alone.
+///
+/// # Panics
+///
+/// Panics if the library is empty or a module has no implementations.
+#[must_use]
+pub fn orderly_tree(library: &ModuleLibrary) -> OrderlyTree {
+    assert!(
+        !library.is_empty(),
+        "orderly tree needs at least one module"
+    );
+    let n = library.len();
+    let min_area = |m: ModuleId| -> Area {
+        library[m]
+            .implementations()
+            .iter()
+            .map(|r| r.area())
+            .min()
+            .expect("modules have at least one implementation")
+    };
+    let mut order: Vec<ModuleId> = (0..n).collect();
+    order.sort_by_key(|&m| (Reverse(min_area(m)), m));
+
+    let mut children = vec![Vec::new(); n];
+    let rest = n - 1;
+    if rest > 0 {
+        let cols = (1..).find(|&b| b * b >= rest).expect("sqrt exists");
+        let mut next = 1usize;
+        for c in 0..cols {
+            let take = rest / cols + usize::from(c < rest % cols);
+            if take == 0 {
+                continue;
+            }
+            children[0].push(next);
+            children[next] = (next + 1..next + take).collect();
+            next += take;
+        }
+    }
+    OrderlyTree { children, order }
+}
+
+/// Convenience: the orderly-spanning-tree topology of `library` as a
+/// ready-to-optimize slicing [`FloorplanTree`]
+/// ([`orderly_tree`] + [`OrderlyTree::to_slicing_tree`]).
+///
+/// # Panics
+///
+/// Panics if the library is empty or a module has no implementations.
+#[must_use]
+pub fn ost_tree(library: &ModuleLibrary) -> FloorplanTree {
+    orderly_tree(library).to_slicing_tree()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{realize, Assignment};
+    use crate::spread_library;
+
+    #[test]
+    fn grid_shape_and_orderly_labels() {
+        let library = spread_library(10, 3, 7);
+        let ost = orderly_tree(&library);
+        assert!(ost.is_orderly());
+        assert_eq!(ost.len(), 10);
+        // 9 non-root modules over ceil(sqrt(9)) = 3 columns of 3.
+        assert_eq!(ost.children(0), &[1, 4, 7]);
+        assert_eq!(ost.children(1), &[2, 3]);
+        assert_eq!(ost.children(4), &[5, 6]);
+        assert_eq!(ost.children(7), &[8, 9]);
+    }
+
+    #[test]
+    fn ranks_are_area_sorted_largest_first() {
+        let library = spread_library(12, 4, 3);
+        let ost = orderly_tree(&library);
+        let area = |rank: usize| {
+            library[ost.module_at(rank)]
+                .implementations()
+                .iter()
+                .map(|r| r.area())
+                .min()
+                .expect("non-empty")
+        };
+        for rank in 1..ost.len() {
+            assert!(area(rank - 1) >= area(rank), "rank {rank} out of order");
+        }
+    }
+
+    #[test]
+    fn slicing_tree_is_valid_and_realizes() {
+        for n in [1usize, 2, 3, 5, 10, 17] {
+            let library = spread_library(n, 3, n as u64);
+            let tree = ost_tree(&library);
+            assert!(tree.validate().is_ok(), "n = {n}");
+            assert_eq!(tree.module_count(), n);
+            let layout = realize(&tree, &library, &Assignment::first_fit(n)).expect("ost realizes");
+            assert_eq!(layout.validate(), None);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_the_library() {
+        let library = spread_library(9, 3, 5);
+        assert_eq!(orderly_tree(&library), orderly_tree(&library));
+    }
+
+    #[test]
+    fn orderly_checker_rejects_broken_labellings() {
+        let library = spread_library(6, 3, 1);
+        let good = orderly_tree(&library);
+        // Swap a parent/child pair: child id no longer exceeds parent's.
+        let mut bad = good.clone();
+        let first_col = bad.children[0][0];
+        bad.children[0][0] = bad.children[first_col][0];
+        bad.children[first_col][0] = first_col;
+        assert!(!bad.is_orderly());
+        // Duplicate a module in the assignment.
+        let mut dup = good.clone();
+        dup.order[1] = dup.order[0];
+        assert!(!dup.is_orderly());
+    }
+}

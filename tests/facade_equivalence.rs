@@ -1,16 +1,11 @@
-//! The [`Optimizer`] facade must be a drop-in for the six deprecated
-//! entry points: byte-identical frontiers, outcomes, and degradation
-//! logs across the serial/parallel × cached/uncached × tracer on/off
-//! matrix. These tests are the one sanctioned caller of the legacy
-//! functions — everything else in the repository goes through the
-//! facade (CI greps for it).
+//! The [`Optimizer`] facade is the only entry point (the six legacy
+//! `optimize*` free functions are gone; CI greps for stragglers). These
+//! tests pin the facade's internal consistency across the
+//! serial/parallel × cached/uncached × tracer on/off matrix: every run
+//! mode must report the same frontiers, outcomes, and degradation logs,
+//! and `fp_optimizer::prelude` must expose the whole surface.
 
-#![allow(deprecated)]
-
-use fp_optimizer::{
-    optimize, optimize_cached, optimize_frontier, optimize_frontier_cached, optimize_report,
-    optimize_report_cached, OptimizeConfig, Optimizer, SharedBlockCache, Tracer,
-};
+use fp_optimizer::prelude::*;
 use fp_select::LReductionPolicy;
 use fp_tree::generators::{self, Benchmark};
 use fp_tree::ModuleLibrary;
@@ -27,7 +22,7 @@ fn benches() -> Vec<(Benchmark, ModuleLibrary)> {
 
 /// Serial, parallel, and selection-heavy configurations. `FP_THREADS`
 /// in the environment shifts the unset-thread default identically for
-/// the facade and the legacy wrappers, so equivalence is unaffected.
+/// every run mode, so equivalence is unaffected.
 fn configs() -> Vec<OptimizeConfig> {
     let mut out = Vec::new();
     for threads in [1usize, 2, 4] {
@@ -49,111 +44,112 @@ fn configs() -> Vec<OptimizeConfig> {
     out
 }
 
+/// `run_best` and `run` are projections of `run_frontier`: the
+/// frontier's best pick under the configured objective must be exactly
+/// the outcome the shorthand entry points return, and `run` must wrap
+/// it unchanged.
 #[test]
-fn facade_matches_optimize_frontier() {
+fn run_modes_agree_on_one_enumeration() {
     for (bench, lib) in benches() {
         for config in configs() {
-            let legacy = optimize_frontier(&bench.tree, &lib, &config).expect("legacy solves");
-            let facade = Optimizer::new(&bench.tree, &lib)
+            let frontier = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
                 .run_frontier()
-                .expect("facade solves");
-            assert_eq!(legacy.envelopes(), facade.envelopes(), "{}", bench.name);
+                .expect("frontier solves");
+            let from_frontier = frontier
+                .best(config.objective, config.outline)
+                .expect("frontier has a best");
+
+            let best = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run_best()
+                .expect("run_best solves");
+            assert_eq!(from_frontier.area, best.area, "{}", bench.name);
+            assert_eq!(from_frontier.root_impl, best.root_impl);
+            assert_eq!(from_frontier.assignment, best.assignment);
+
+            let report = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .run()
+                .expect("run solves");
+            assert_eq!(best.area, report.outcome.area);
+            assert_eq!(best.assignment, report.outcome.assignment);
             assert_eq!(
-                legacy.stats().degradations,
-                facade.stats().degradations,
+                report.rescued,
+                !report.outcome.stats.degradations.is_empty(),
+                "`rescued` mirrors the degradation log"
+            );
+            assert_eq!(
+                frontier.stats().degradations,
+                report.outcome.stats.degradations,
                 "{}",
                 bench.name
             );
-            assert_eq!(legacy.stats().peak_impls, facade.stats().peak_impls);
         }
     }
 }
 
+/// Deterministic replays: the same inputs produce byte-identical
+/// frontiers on every repetition, in every configuration.
 #[test]
-fn facade_matches_optimize_and_report() {
+fn replays_are_byte_identical() {
     for (bench, lib) in benches() {
         for config in configs() {
-            let legacy = optimize(&bench.tree, &lib, &config).expect("legacy solves");
-            let facade = Optimizer::new(&bench.tree, &lib)
+            let a = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .run_best()
-                .expect("facade solves");
-            assert_eq!(legacy.area, facade.area, "{}", bench.name);
-            assert_eq!(legacy.root_impl, facade.root_impl);
-            assert_eq!(legacy.assignment, facade.assignment);
-
-            let legacy_report =
-                optimize_report(&bench.tree, &lib, &config).expect("legacy report solves");
-            let facade_report = Optimizer::new(&bench.tree, &lib)
+                .run_frontier()
+                .expect("first run solves");
+            let b = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .run()
-                .expect("facade report solves");
-            assert_eq!(legacy_report.outcome.area, facade_report.outcome.area);
-            assert_eq!(
-                legacy_report.outcome.assignment,
-                facade_report.outcome.assignment
-            );
-            assert_eq!(legacy_report.rescued, facade_report.rescued);
-            assert_eq!(legacy_report.degradations(), facade_report.degradations());
+                .run_frontier()
+                .expect("second run solves");
+            assert_eq!(a.envelopes(), b.envelopes(), "{}", bench.name);
+            assert_eq!(a.stats().degradations, b.stats().degradations);
+            assert_eq!(a.stats().peak_impls, b.stats().peak_impls);
         }
     }
 }
 
+/// Attaching a cache must never change results: cold-through-cache,
+/// warm-from-cache, and uncached runs all report identical frontiers
+/// and outcomes, and the warm run is a pure cache replay (zero misses).
 #[test]
-fn facade_matches_cached_entry_points() {
+fn cache_is_transparent_to_results() {
     for (bench, lib) in benches() {
         for config in configs() {
-            // Independent caches, primed by the same cold run each side.
-            let legacy_cache = SharedBlockCache::new(CACHE_BYTES);
-            let facade_cache = SharedBlockCache::new(CACHE_BYTES);
-
-            let legacy_cold = optimize_frontier_cached(&bench.tree, &lib, &config, &legacy_cache)
-                .expect("legacy cold solves");
-            let facade_cold = Optimizer::new(&bench.tree, &lib)
+            let uncached = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .cache(&facade_cache)
                 .run_frontier()
-                .expect("facade cold solves");
-            assert_eq!(legacy_cold.envelopes(), facade_cold.envelopes());
+                .expect("uncached solves");
 
-            let legacy_warm = optimize_frontier_cached(&bench.tree, &lib, &config, &legacy_cache)
-                .expect("legacy warm solves");
-            let facade_warm = Optimizer::new(&bench.tree, &lib)
+            let cache = SharedBlockCache::new(CACHE_BYTES);
+            let cold = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .cache(&facade_cache)
+                .cache(&cache)
                 .run_frontier()
-                .expect("facade warm solves");
-            assert_eq!(legacy_warm.envelopes(), facade_warm.envelopes());
-            assert_eq!(
-                legacy_warm.stats().cache_hits,
-                facade_warm.stats().cache_hits
-            );
-            assert_eq!(legacy_warm.stats().cache_misses, 0);
-            assert_eq!(facade_warm.stats().cache_misses, 0);
+                .expect("cold solves");
+            assert_eq!(uncached.envelopes(), cold.envelopes(), "{}", bench.name);
 
-            let legacy_best = optimize_cached(&bench.tree, &lib, &config, &legacy_cache)
-                .expect("legacy cached best solves");
-            let facade_best = Optimizer::new(&bench.tree, &lib)
+            let warm = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .cache(&facade_cache)
+                .cache(&cache)
+                .run_frontier()
+                .expect("warm solves");
+            assert_eq!(uncached.envelopes(), warm.envelopes());
+            assert_eq!(warm.stats().cache_misses, 0, "warm run is a pure replay");
+            assert!(warm.stats().cache_hits > 0);
+
+            let warm_best = Optimizer::new(&bench.tree, &lib)
+                .config(&config)
+                .cache(&cache)
                 .run_best()
-                .expect("facade cached best solves");
-            assert_eq!(legacy_best.area, facade_best.area);
-            assert_eq!(legacy_best.assignment, facade_best.assignment);
-
-            let legacy_report = optimize_report_cached(&bench.tree, &lib, &config, &legacy_cache)
-                .expect("legacy cached report solves");
-            let facade_report = Optimizer::new(&bench.tree, &lib)
+                .expect("warm best solves");
+            let plain_best = Optimizer::new(&bench.tree, &lib)
                 .config(&config)
-                .cache(&facade_cache)
-                .run()
-                .expect("facade cached report solves");
-            assert_eq!(legacy_report.outcome.area, facade_report.outcome.area);
-            assert_eq!(
-                legacy_report.outcome.assignment,
-                facade_report.outcome.assignment
-            );
+                .run_best()
+                .expect("plain best solves");
+            assert_eq!(warm_best.area, plain_best.area);
+            assert_eq!(warm_best.assignment, plain_best.assignment);
         }
     }
 }
@@ -194,4 +190,26 @@ fn tracer_does_not_change_results() {
             );
         }
     }
+}
+
+/// The prelude really is one-stop: the serve protocol rides along with
+/// the optimizer vocabulary, at the pinned wire version.
+#[test]
+fn prelude_carries_the_serve_protocol() {
+    assert_eq!(PROTO_VERSION, 1);
+    let state = ServeState::new(CACHE_BYTES);
+    let reply: Reply = handle_line(r#"{"id":1,"method":"ping"}"#, 1, &state, None);
+    assert!(reply.json.contains("\"pong\":true"), "{}", reply.json);
+    assert!(reply.json.contains("\"proto\":1"), "{}", reply.json);
+
+    let parsed = parse_request(r#"{"id":2,"method":"ping"}"#).expect("parses");
+    assert_eq!(parsed.proto, PROTO_VERSION);
+    assert!(matches!(parsed.method, Method::Ping));
+    assert!(matches!(parsed.id, Some(RequestId::Num(n)) if n == 2.0));
+
+    let unsupported = parse_request(r#"{"id":3,"method":"ping","proto":7}"#);
+    assert!(matches!(
+        unsupported,
+        Err(RequestError::UnsupportedProto(_, 7))
+    ));
 }
